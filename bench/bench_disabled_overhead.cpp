@@ -1,0 +1,129 @@
+// T-disabled (paper §3.2/§4): "we leave the trace statements in. The
+// overall performance degradation is less than 1 percent" — and goal 6's
+// compile-out option for zero impact.
+//
+// Part A (virtual time): the SDET workload on the simulated OS with the
+// kernel's trace statements (a) compiled out, (b) compiled in but mask-
+// disabled, (c) fully enabled. The disabled-vs-compiled-out delta is the
+// paper's <1% claim; the enabled run shows tracing is cheap enough to
+// leave on.
+//
+// Part B (host time): a real instrumented loop, with the trace statement
+// compiled in (mask disabled — pays the 4-instruction check) vs compiled
+// out via if constexpr, on this machine.
+#include <chrono>
+#include <cstdio>
+
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "util/table.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+double sdetMakespanMs(ossim::Tick traceEnabled, bool compiledOut, bool maskOn) {
+  std::unique_ptr<Facility> facility;
+  if (!compiledOut) {
+    FacilityConfig fcfg;
+    fcfg.numProcessors = 8;
+    fcfg.bufferWords = 1u << 14;
+    fcfg.buffersPerProcessor = 8;  // flight recorder: wraps freely
+    facility = std::make_unique<Facility>(fcfg);
+    if (maskOn) facility->mask().enableAll();
+  }
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = 8;
+  mcfg.traceCostEnabledNs = traceEnabled;
+  ossim::Machine machine(mcfg, facility.get());
+  analysis::SymbolTable symbols;
+  workload::SdetConfig scfg;
+  scfg.numScripts = 24;
+  scfg.commandsPerScript = 6;
+  scfg.tunedAllocator = true;  // the scalable kernel; isolate tracing cost
+  scfg.seed = 11;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+  return static_cast<double>(machine.now()) / 1e6;
+}
+
+// --- Part B: host-time instrumented loop ---------------------------------
+
+// ~20 ns of real work per iteration.
+inline uint64_t workUnit(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+template <bool kCompiledIn>
+uint64_t instrumentedLoop(Facility* facility, uint64_t iters) {
+  uint64_t acc = 0x12345;
+  for (uint64_t i = 0; i < iters; ++i) {
+    acc = workUnit(acc + i);
+    if constexpr (kCompiledIn) {
+      // Mask is disabled: this is the paper's 4-instruction check.
+      facility->log(Major::Test, 0, acc);
+    }
+  }
+  return acc;
+}
+
+double timeLoopNs(bool compiledIn, Facility* facility, uint64_t iters) {
+  const auto start = std::chrono::steady_clock::now();
+  volatile uint64_t sink = compiledIn ? instrumentedLoop<true>(facility, iters)
+                                      : instrumentedLoop<false>(facility, iters);
+  (void)sink;
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Part A: SDET on the simulated OS (virtual time, 8 cpus, "
+              "24 scripts) ===\n\n");
+  const double compiledOut = sdetMakespanMs(100, /*compiledOut=*/true, false);
+  const double disabled = sdetMakespanMs(100, false, /*maskOn=*/false);
+  const double enabled = sdetMakespanMs(100, false, /*maskOn=*/true);
+
+  util::TextTable table;
+  table.addColumn("configuration");
+  table.addColumn("makespan (ms)", util::Align::Right);
+  table.addColumn("overhead", util::Align::Right);
+  table.addRow({"tracing compiled out", util::strprintf("%.3f", compiledOut), "-"});
+  table.addRow({"compiled in, disabled (mask=0)", util::strprintf("%.3f", disabled),
+                util::strprintf("%.3f%%", 100 * (disabled - compiledOut) / compiledOut)});
+  table.addRow({"compiled in, all events enabled", util::strprintf("%.3f", enabled),
+                util::strprintf("%.3f%%", 100 * (enabled - compiledOut) / compiledOut)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\npaper claim: compiled-in-but-disabled < 1%% degradation\n");
+
+  std::printf("\n=== Part B: host-time instrumented loop (%d Miter) ===\n\n", 32);
+  constexpr uint64_t kIters = 32'000'000;
+  FacilityConfig fcfg;
+  fcfg.numProcessors = 1;
+  Facility facility(fcfg);  // mask stays all-disabled
+  facility.bindCurrentThread(0);
+  // Warm up, then take the minimum of interleaved repetitions (the
+  // least-disturbed run) to damp scheduler and frequency noise.
+  timeLoopNs(false, &facility, kIters / 8);
+  double outNs = 1e30, inNs = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    outNs = std::min(outNs, timeLoopNs(false, &facility, kIters));
+    inNs = std::min(inNs, timeLoopNs(true, &facility, kIters));
+  }
+  const double delta = inNs - outNs;
+  std::printf("compiled out:            %.2f ns/iter\n", outNs / kIters);
+  std::printf("compiled in (disabled):  %.2f ns/iter\n", inNs / kIters);
+  std::printf("mask-check cost:         %.2f ns/iter (%.2f%% on this loop%s)\n",
+              delta / kIters, 100 * delta / outNs,
+              delta <= 0 ? "; below measurement noise" : "");
+  return 0;
+}

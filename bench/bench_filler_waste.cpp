@@ -1,0 +1,113 @@
+// T-filler (paper §3.2): "We have found empirically that 30 to 40 percent
+// of events end exactly on a buffer boundary and because there are very
+// few events larger than 4 64-bit words, this alignment in practice
+// wastes very little space."
+//
+// Logs a realistic event-size mix into 128 KiB buffers and reports:
+//   - filler words as a fraction of all words (the space cost of random
+//     access via alignment boundaries),
+//   - the fraction of buffer crossings needing no filler (exact fit),
+//   - the same mix through the prior fixed-slot design, whose padding
+//     waste dwarfs the filler cost (the §2 fixed-vs-variable trade-off).
+#include <cstdio>
+
+#include "baseline/fixedlen_tracer.hpp"
+#include "core/ktrace.hpp"
+#include "util/table.hpp"
+#include "workload/micro.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+struct MixResult {
+  double fillerFraction = 0;
+  double exactFitFraction = 0;
+  double fixedSlotWasteFraction = 0;
+  uint64_t crossings = 0;
+};
+
+MixResult measure(const workload::EventMix& mix, uint32_t bufferWords,
+                  uint64_t events) {
+  FacilityConfig cfg;
+  cfg.numProcessors = 1;
+  cfg.bufferWords = bufferWords;
+  cfg.buffersPerProcessor = 4;  // flight recorder; we only need counters
+  Facility facility(cfg);
+  facility.mask().enableAll();
+  TraceControl& control = facility.control(0);
+
+  const auto sizes = mix.generate(events, /*seed=*/42);
+  std::vector<uint64_t> payload(mix.maxWords(), 0x5A5A);
+  for (const uint32_t words : sizes) {
+    logEventData(control, Major::Test, 0, std::span(payload.data(), words));
+  }
+
+  MixResult result;
+  const uint64_t totalWords = control.currentIndex();
+  result.fillerFraction =
+      static_cast<double>(control.fillerWordsWritten()) / static_cast<double>(totalWords);
+  result.crossings = control.slowPathEntries();
+  const uint64_t exact = control.exactFitCrossings();
+  // Exact-fit events end on the boundary without a filler: express as a
+  // fraction of all crossings.
+  result.exactFitFraction = result.crossings > 0
+                                ? static_cast<double>(exact) /
+                                      static_cast<double>(result.crossings)
+                                : 0.0;
+
+  // The fixed-slot alternative must size slots for the largest event.
+  baseline::FixedSlotTracerConfig fcfg;
+  fcfg.slotWords = 1 + mix.maxWords();
+  fcfg.numSlots = 1u << 16;
+  FakeClock clock(1, 1);
+  fcfg.clock = clock.ref();
+  baseline::FixedSlotTracer fixed(fcfg);
+  for (const uint32_t words : sizes) {
+    fixed.log(Major::Test, 0, std::span(payload.data(), words));
+  }
+  const uint64_t fixedTotal = fixed.eventsLogged() * fcfg.slotWords;
+  result.fixedSlotWasteFraction =
+      static_cast<double>(fixed.paddingWords()) / static_cast<double>(fixedTotal);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr uint64_t kEvents = 2'000'000;
+  std::printf("filler-event space overhead, %llu events per mix\n\n",
+              static_cast<unsigned long long>(kEvents));
+
+  util::TextTable table;
+  table.addColumn("mix");
+  table.addColumn("buffer", util::Align::Right);
+  table.addColumn("filler waste", util::Align::Right);
+  table.addColumn("exact-fit crossings", util::Align::Right);
+  table.addColumn("fixed-slot waste", util::Align::Right);
+
+  struct Case {
+    const char* name;
+    workload::EventMix mix;
+  };
+  const Case cases[] = {
+      {"realistic (paper-like)", workload::EventMix::realistic()},
+      {"all 1-word", workload::EventMix::fixed(1)},
+      {"uniform 0..8", workload::EventMix::uniform(0, 8)},
+      {"large-ish 8..32", workload::EventMix::uniform(8, 32)},
+  };
+  for (const auto& c : cases) {
+    for (const uint32_t bufferWords : {1u << 14, 1u << 11}) {
+      const MixResult r = measure(c.mix, bufferWords, kEvents);
+      table.addRow({c.name, util::strprintf("%u KiB", bufferWords * 8 / 1024),
+                    util::strprintf("%.3f%%", 100 * r.fillerFraction),
+                    util::strprintf("%.1f%%", 100 * r.exactFitFraction),
+                    util::strprintf("%.1f%%", 100 * r.fixedSlotWasteFraction)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\npaper §3.2: 30-40%% of events end exactly on the boundary; filler\n"
+      "waste is negligible next to the fixed-length design's padding.\n");
+  return 0;
+}

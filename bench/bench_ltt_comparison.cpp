@@ -1,0 +1,170 @@
+// T-ltt (paper §4.1): "An order of magnitude performance improvement was
+// achieved when this technology was applied to Linux. The three primary
+// aspects providing this performance improvement were the lockless
+// logging of events, per-processor buffers, and more efficient timestamp
+// acquisition."
+//
+// This bench sweeps the full 2x2x2 design space:
+//   {lockless, locking} x {per-cpu buffers, one shared buffer} x
+//   {cheap tsc clock, syscall clock}
+// and reports ns/event under multi-threaded logging. The pre-K42-LTT
+// corner is locking+shared+syscall; the K42 corner is
+// lockless+per-cpu+tsc; the end-to-end ratio is the order-of-magnitude
+// claim, and the single-axis deltas decompose it.
+//
+// Host note: on a single-core machine the *parallelism* benefit of
+// per-cpu buffers is muted (threads are time-sliced), but lock convoys,
+// CAS retries, and clock costs are all real.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/locking_tracer.hpp"
+#include "core/ktrace.hpp"
+#include "util/table.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+constexpr uint32_t kThreads = 4;
+constexpr uint64_t kEventsPerThread = 100'000;
+
+double nsPerEvent(uint64_t elapsedNs) {
+  return static_cast<double>(elapsedNs) /
+         static_cast<double>(kThreads * kEventsPerThread);
+}
+
+uint64_t timeThreads(const std::function<void(uint32_t)>& worker) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      worker(t);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+}
+
+double runLockless(bool perCpu, ClockKind clock) {
+  FacilityConfig cfg;
+  cfg.numProcessors = perCpu ? kThreads : 1;
+  cfg.bufferWords = 1u << 14;
+  cfg.buffersPerProcessor = 8;
+  cfg.clockKind = clock;
+  Facility facility(cfg);
+  facility.mask().enableAll();
+  const uint64_t ns = timeThreads([&](uint32_t t) {
+    facility.bindCurrentThread(perCpu ? t : 0);
+    TraceControl& control = facility.control(perCpu ? t : 0);
+    for (uint64_t i = 0; i < kEventsPerThread; ++i) {
+      logEvent(control, Major::Test, static_cast<uint16_t>(t), i);
+    }
+  });
+  return nsPerEvent(ns);
+}
+
+double runLocking(bool perCpu, ClockKind clock) {
+  baseline::LockTracerConfig cfg;
+  cfg.regionWords = 1u << 17;
+  cfg.numProcessors = kThreads;
+  cfg.clock = defaultClockRef(clock);
+  if (perCpu) {
+    baseline::PerCpuLockTracer tracer(cfg);
+    const uint64_t ns = timeThreads([&](uint32_t t) {
+      for (uint64_t i = 0; i < kEventsPerThread; ++i) {
+        const uint64_t payload[] = {i};
+        tracer.log(t, Major::Test, static_cast<uint16_t>(t), payload);
+      }
+    });
+    return nsPerEvent(ns);
+  }
+  baseline::GlobalLockTracer tracer(cfg);
+  const uint64_t ns = timeThreads([&](uint32_t t) {
+    for (uint64_t i = 0; i < kEventsPerThread; ++i) {
+      const uint64_t payload[] = {i};
+      tracer.log(Major::Test, static_cast<uint16_t>(t), payload);
+    }
+  });
+  return nsPerEvent(ns);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("LTT comparison: %u threads x %llu 1-word events, ns/event\n\n",
+              kThreads, static_cast<unsigned long long>(kEventsPerThread));
+
+  struct Row {
+    const char* logging;
+    const char* buffers;
+    const char* clock;
+    double ns;
+  };
+  std::vector<Row> rows;
+  for (const bool lockless : {false, true}) {
+    for (const bool perCpu : {false, true}) {
+      for (const ClockKind clock : {ClockKind::Syscall, ClockKind::Tsc}) {
+        const double ns = lockless ? runLockless(perCpu, clock)
+                                   : runLocking(perCpu, clock);
+        rows.push_back({lockless ? "lockless" : "locking",
+                        perCpu ? "per-cpu" : "shared",
+                        clock == ClockKind::Tsc ? "tsc" : "syscall", ns});
+      }
+    }
+  }
+
+  util::TextTable table;
+  table.addColumn("logging");
+  table.addColumn("buffers");
+  table.addColumn("clock");
+  table.addColumn("ns/event", util::Align::Right);
+  table.addColumn("vs K42", util::Align::Right);
+  const double k42 = rows.back().ns;  // lockless, per-cpu, tsc
+  for (const Row& r : rows) {
+    table.addRow({r.logging, r.buffers, r.clock, util::strprintf("%.1f", r.ns),
+                  util::strprintf("%.1fx", r.ns / k42)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const double baseline = rows.front().ns;  // locking, shared, syscall
+  std::printf("\npre-K42 LTT corner (locking+shared+syscall): %.1f ns/event\n",
+              baseline);
+  std::printf("K42 corner   (lockless+per-cpu+tsc):           %.1f ns/event\n", k42);
+  std::printf("end-to-end improvement: %.1fx  (paper: ~10x)\n", baseline / k42);
+
+  // Single-axis decomposition from the pre-K42 corner.
+  auto find = [&](const char* l, const char* b, const char* c) {
+    for (const Row& r : rows) {
+      if (std::string(r.logging) == l && std::string(r.buffers) == b &&
+          std::string(r.clock) == c) {
+        return r.ns;
+      }
+    }
+    return 0.0;
+  };
+  std::printf("\naxis contributions from the pre-K42 corner:\n");
+  std::printf("  cheap timestamps alone:   %.2fx\n",
+              baseline / find("locking", "shared", "tsc"));
+  std::printf("  per-cpu buffers alone:    %.2fx\n",
+              baseline / find("locking", "per-cpu", "syscall"));
+  std::printf("  lockless logging alone:   %.2fx\n",
+              baseline / find("lockless", "shared", "syscall"));
+  std::printf(
+      "\nnote: on a single-core host threads time-slice, so the lock is\n"
+      "rarely *observed* contended and the locking/buffer axes read ~1x;\n"
+      "only the timestamp axis shows its full factor here. The missing\n"
+      "cross-CPU serialization appears in virtual time instead: see the\n"
+      "'locking tracer' column of bench_sdet_scaling collapse as P grows.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// F6 (paper Figure 6): the statistical-profiling histogram — "a sorted
+// histogram of the routines that were statistically most active", with a
+// contended run showing FairBLock::_acquire() leading the list exactly as
+// the paper's figure does.
+#include <cstdio>
+
+#include "analysis/profile.hpp"
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+int main() {
+  constexpr uint32_t kProcs = 8;
+  FacilityConfig fcfg;
+  fcfg.numProcessors = kProcs;
+  fcfg.bufferWords = 1u << 14;
+  fcfg.buffersPerProcessor = 128;
+  fcfg.mode = Mode::Stream;
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = kProcs;
+  mcfg.pcSampleIntervalNs = 20'000;  // the random-pc-sample event
+  ossim::Machine machine(mcfg, &facility);
+
+  analysis::SymbolTable symbols;
+  workload::SdetConfig scfg;
+  scfg.numScripts = kProcs * 2;
+  scfg.commandsPerScript = 6;
+  scfg.tunedAllocator = false;  // heavy allocator-lock contention
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  facility.flushAll();
+  consumer.drainNow();
+  const auto trace = analysis::TraceSet::fromRecords(sink.records());
+  analysis::Profile profile(trace);
+
+  std::printf("pc samples collected: %llu across %zu processes\n\n",
+              static_cast<unsigned long long>(machine.stats().pcSamples),
+              profile.pids().size());
+
+  // The busiest process, like Figure 6's per-process histogram.
+  uint64_t busiest = 0, most = 0;
+  for (const uint64_t pid : profile.pids()) {
+    if (profile.totalSamples(pid) > most) {
+      most = profile.totalSamples(pid);
+      busiest = pid;
+    }
+  }
+  std::fputs(profile.report(busiest, symbols, "sdet-script.dbg", 12).c_str(), stdout);
+
+  std::printf("\npaper's Figure 6 shape: the lock-acquire routine leads the\n"
+              "histogram under contention, pointing the developer at the lock\n"
+              "analysis tool (Figure 7) for the culprit locks.\n");
+  return 0;
+}

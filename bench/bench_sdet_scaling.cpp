@@ -1,0 +1,125 @@
+// F3 (paper Figure 3): SPEC SDET throughput scaling with the tracing
+// infrastructure compiled in, plus the §4 tuning narrative (T-tune).
+//
+// For each processor count we run the SDET-like workload (scripts scale
+// with P) on the virtual-time OS and report scripts/hour for:
+//   - tuned kernel, tracing compiled in but disabled  (the Figure 3 line),
+//   - tuned kernel, tracing compiled out              (<1% apart),
+//   - tuned kernel, all trace events enabled,
+//   - tuned kernel, a locking tracer (pre-K42 LTT style, serialized),
+//   - untuned kernel (global allocator lock), tracing disabled — the
+//     before-tuning curve whose collapse the lock tool diagnosed.
+//
+// Expected shape: near-linear scaling for the tuned kernel; the disabled
+// curve within ~1% of compiled-out; the locking tracer degrading as P
+// grows; the untuned kernel flattening hard.
+//
+// Usage: bench_sdet_scaling [--max-procs=24] [--scripts-per-proc=3]
+#include <cstdio>
+#include <memory>
+
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+struct RunConfig {
+  bool tuned = true;
+  bool compiledOut = false;
+  bool maskOn = false;
+  bool lockingTracer = false;
+};
+
+double throughput(uint32_t procs, uint32_t scriptsPerProc, const RunConfig& rc) {
+  std::unique_ptr<Facility> facility;
+  if (!rc.compiledOut) {
+    FacilityConfig fcfg;
+    fcfg.numProcessors = procs;
+    fcfg.bufferWords = 1u << 14;
+    fcfg.buffersPerProcessor = 8;
+    facility = std::make_unique<Facility>(fcfg);
+    if (rc.maskOn) facility->mask().enableAll();
+  }
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = procs;
+  mcfg.traceLockSerialization = rc.lockingTracer;
+  if (rc.lockingTracer) mcfg.traceCostEnabledNs = 1'000;  // locking + syscall ts
+  ossim::Machine machine(mcfg, facility.get());
+  analysis::SymbolTable symbols;
+  workload::SdetConfig scfg;
+  scfg.numScripts = procs * scriptsPerProc;
+  scfg.commandsPerScript = 6;
+  scfg.tunedAllocator = rc.tuned;
+  scfg.seed = 99;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+  return sdet.throughputScriptsPerHour();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const uint32_t maxProcs = static_cast<uint32_t>(cli.getInt("max-procs", 24));
+  const uint32_t spp = static_cast<uint32_t>(cli.getInt("scripts-per-proc", 3));
+
+  std::printf("SDET throughput scaling (scripts/hour, virtual time; %u scripts "
+              "per processor)\n\n", spp);
+
+  util::TextTable table;
+  table.addColumn("procs", util::Align::Right);
+  table.addColumn("tuned, trace disabled", util::Align::Right);
+  table.addColumn("tuned, compiled out", util::Align::Right);
+  table.addColumn("disabled ovh", util::Align::Right);
+  table.addColumn("tuned, enabled", util::Align::Right);
+  table.addColumn("tuned, locking tracer", util::Align::Right);
+  table.addColumn("untuned, disabled", util::Align::Right);
+
+  double base1 = 0, untuned1 = 0, locking1 = 0;
+  double baseP = 0, untunedP = 0, lockingP = 0;
+  std::vector<uint32_t> procList;
+  for (uint32_t p = 1; p <= maxProcs; p = p < 4 ? p + 1 : p + 4) procList.push_back(p);
+  if (procList.back() != maxProcs) procList.push_back(maxProcs);
+
+  for (const uint32_t procs : procList) {
+    const double disabled = throughput(procs, spp, {true, false, false, false});
+    const double compiledOut = throughput(procs, spp, {true, true, false, false});
+    const double enabled = throughput(procs, spp, {true, false, true, false});
+    const double locking = throughput(procs, spp, {true, false, true, true});
+    const double untuned = throughput(procs, spp, {false, false, false, false});
+    if (procs == 1) {
+      base1 = disabled;
+      untuned1 = untuned;
+      locking1 = locking;
+    }
+    baseP = disabled;
+    untunedP = untuned;
+    lockingP = locking;
+    table.addRow({util::strprintf("%u", procs), util::strprintf("%.0f", disabled),
+                  util::strprintf("%.0f", compiledOut),
+                  util::strprintf("%.2f%%", 100 * (compiledOut - disabled) / compiledOut),
+                  util::strprintf("%.0f", enabled), util::strprintf("%.0f", locking),
+                  util::strprintf("%.0f", untuned)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const double last = static_cast<double>(procList.back());
+  std::printf("\nspeedup at %u processors (vs 1):\n", procList.back());
+  std::printf("  tuned kernel, tracing compiled in (disabled): %.1fx of %.0fx ideal\n",
+              baseP / base1, last);
+  std::printf("  locking tracer enabled:                       %.1fx\n",
+              lockingP / locking1);
+  std::printf("  untuned kernel (global allocator lock):       %.1fx\n",
+              untunedP / untuned1);
+  std::printf("\nFigure 3's story: the tuned kernel scales near-linearly with\n"
+              "tracing compiled in; the untuned kernel (the state before the\n"
+              "lock-analysis iterations of §4) flattens; a locking tracer\n"
+              "drags scaling down with it.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// T-ts (paper §4.1): timestamp acquisition strategies.
+//
+// K42 on PowerPC reads a synchronized timebase register cheaply; pre-K42
+// LTT on x86 paid a gettimeofday per event; improved LTT logs the raw tsc
+// and interpolates against wall-clock sync points taken at buffer
+// boundaries. The cheap-register and interpolated strategies should be
+// within a few ns of each other; the syscall strategy should be 10-100x
+// slower — one of the three ingredients of the order-of-magnitude win.
+#include <benchmark/benchmark.h>
+
+#include "core/timestamp.hpp"
+
+namespace {
+
+using namespace ktrace;
+
+void BM_TscClock(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(TscClock::now());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TscClock);
+
+void BM_SyscallClock(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(SyscallClock::now());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyscallClock);
+
+// The interpolated strategy's per-event cost is just the tsc read; the
+// sync points are amortized over a whole buffer. Model one sync point per
+// 2048 events (a 16 KiB buffer of 8-byte events).
+void BM_InterpolatedTsc(benchmark::State& state) {
+  TscWallInterpolator interp;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TscClock::now());
+    if ((++i & 2047) == 0) {
+      interp.addSyncPoint(TscClock::now(), SyscallClock::now());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpolatedTsc);
+
+// Post-processing conversion cost (analysis side, not logging side).
+void BM_InterpolatorConversion(benchmark::State& state) {
+  TscWallInterpolator interp;
+  for (uint64_t k = 0; k < 64; ++k) interp.addSyncPoint(k * 1000, k * 350);
+  uint64_t tsc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.tscToWallNs(tsc));
+    tsc = (tsc + 977) % 64000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpolatorConversion);
+
+void BM_VirtualClock(benchmark::State& state) {
+  VirtualClock clock;
+  const ClockRef ref = clock.ref();
+  for (auto _ : state) benchmark::DoNotOptimize(ref());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VirtualClock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// The §4.2 deadlock story: "a deadlock in the file system was tracked down
+// with the tracing facility ... A printf solution would both have been too
+// clumsy and would have changed the timing thereby masking the deadlock.
+// Instead, a trace file was produced and post-processed to detect where
+// the cycle had occurred."
+//
+// This example replays that scenario: two file-system server threads take
+// a directory lock and a dentry-cache lock in opposite orders while
+// serving their clients' requests; the cheap always-on lock events capture
+// the interleaving, and the post-processor finds the cycle.
+//
+// Run:  ./build/examples/deadlock_detective
+#include <cstdio>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/lister.hpp"
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/events.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+constexpr uint64_t kDirLock = 0xD1;
+constexpr uint64_t kDentryLock = 0xDE;
+constexpr uint64_t kFsWorkerA = 11;  // serving "create file"
+constexpr uint64_t kFsWorkerB = 12;  // serving "lookup path"
+
+constexpr uint16_t kContend = static_cast<uint16_t>(ossim::LockMinor::ContendStart);
+constexpr uint16_t kAcquired = static_cast<uint16_t>(ossim::LockMinor::Acquired);
+constexpr uint16_t kRelease = static_cast<uint16_t>(ossim::LockMinor::Release);
+
+}  // namespace
+
+int main() {
+  FacilityConfig cfg;
+  cfg.numProcessors = 2;
+  cfg.bufferWords = 256;
+  cfg.buffersPerProcessor = 16;
+  cfg.mode = Mode::Stream;
+  FakeClock clock(0, 0);
+  cfg.clockKind = ClockKind::Virtual;
+  cfg.clockOverride = clock.ref();
+  Facility facility(cfg);
+  facility.mask().enableAll();
+
+  Registry registry;
+  ossim::registerOssimEvents(registry);
+  analysis::SymbolTable symbols;
+  const uint64_t fCreate = symbols.intern("DirLinuxFS::createFile(char*)");
+  const uint64_t fInsert = symbols.intern("DentryListHash::insert(char*)");
+  const uint64_t fLookup = symbols.intern("DentryListHash::lookupPtr(char*)");
+  const uint64_t fRevalidate = symbols.intern("DirLinuxFS::revalidate(Dentry*)");
+
+  // The fatal interleaving, as the trace records it.
+  auto log = [&](uint32_t cpu, uint64_t at, uint16_t minor,
+                 std::initializer_list<uint64_t> words) {
+    clock.set(at);
+    logEventData(facility.control(cpu), Major::Lock, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  };
+  // Worker A (cpu0): create-file path takes dir lock, then dentry lock.
+  log(0, 1'000, kAcquired, {kDirLock, kFsWorkerA, 0, 0});
+  // Worker B (cpu1): lookup path takes dentry lock, then dir lock.
+  log(1, 1'200, kAcquired, {kDentryLock, kFsWorkerB, 0, 0});
+  // A now needs the dentry lock B holds...
+  log(0, 1'500, kContend, {kDentryLock, kFsWorkerA, 2, fInsert, fCreate});
+  // ...and B needs the dir lock A holds. Deadlock.
+  log(1, 1'600, kContend, {kDirLock, kFsWorkerB, 2, fRevalidate, fLookup});
+
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+  facility.flushAll();
+  consumer.drainNow();
+  const auto trace = analysis::TraceSet::fromRecords(sink.records());
+
+  std::printf("file-system request trace (the printf-free record):\n\n");
+  analysis::ListerOptions opts;
+  opts.showProcessor = true;
+  std::fputs(analysis::listEvents(trace, registry, 1e9, opts).c_str(), stdout);
+
+  std::printf("\npost-processing for a wait-for cycle:\n\n");
+  analysis::DeadlockDetector detector(trace);
+  std::fputs(detector.report(symbols, 1e9).c_str(), stdout);
+
+  if (detector.hasDeadlock()) {
+    std::printf("\n=> fix: make the lookup path take the directory lock before\n"
+                "   the dentry-cache lock, matching the create path's order.\n");
+  }
+  return detector.hasDeadlock() ? 0 : 1;
+}

@@ -1,0 +1,101 @@
+// Tracing a bulk-synchronous scientific application (§3.1's "large
+// scientific applications running one thread per processor").
+//
+// Eight ranks run a stencil-like compute/halo-exchange/barrier loop with
+// per-rank imbalance. The unified trace shows the barrier-wait idle in
+// the timeline, the iteration markers as Figure 4-style marked events,
+// and — because exactly one thread logs per processor — zero garbled
+// buffers and zero commit mismatches, as the paper promises for this
+// workload class. The always-compiled-in tracing costs well under 1% of
+// the virtual runtime.
+//
+// Run:  ./build/examples/hpc_application
+#include <cstdio>
+
+#include "analysis/intervals.hpp"
+#include "analysis/timeline.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "workload/hpc.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+struct RunResult {
+  double iterationsPerSecond = 0;
+  uint64_t commitMismatches = 0;
+  uint64_t garbledBuffers = 0;
+  std::string ascii;
+  std::string intervals;
+};
+
+RunResult runRanks(bool tracingEnabled, double imbalance) {
+  constexpr uint32_t kRanks = 8;
+  FacilityConfig fcfg;
+  fcfg.numProcessors = kRanks;
+  fcfg.bufferWords = 1u << 12;
+  fcfg.buffersPerProcessor = 128;
+  fcfg.mode = Mode::Stream;
+  FakeClock boot(0, 0);
+  fcfg.clockKind = ClockKind::Virtual;
+  fcfg.clockOverride = boot.ref();
+  Facility facility(fcfg);
+  if (tracingEnabled) facility.mask().enableAll();
+
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = kRanks;
+  ossim::Machine machine(mcfg, &facility);
+  analysis::SymbolTable symbols;
+  workload::HpcConfig hcfg;
+  hcfg.ranks = kRanks;
+  hcfg.iterations = 25;
+  hcfg.imbalance = imbalance;
+  workload::HpcWorkload hpc(hcfg, machine, symbols);
+  hpc.spawnAll();
+  machine.run();
+
+  facility.flushAll();
+  consumer.drainNow();
+  const auto trace = analysis::TraceSet::fromRecords(sink.records());
+
+  RunResult result;
+  result.iterationsPerSecond = hpc.iterationsPerSecond();
+  result.commitMismatches = consumer.stats().commitMismatches;
+  result.garbledBuffers = trace.stats().garbledBuffers;
+  if (tracingEnabled) {
+    analysis::Timeline timeline(trace);
+    result.ascii = timeline.renderAscii(90);
+    analysis::IntervalAnalysis ia(trace, analysis::defaultOssimIntervals());
+    result.intervals = ia.report(1e9);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("8-rank BSP application, 25 iterations, 20%% compute imbalance\n\n");
+  const RunResult traced = runRanks(/*tracingEnabled=*/true, 0.2);
+
+  std::printf("timeline ('.' idle = barrier wait, U compute, K kernel/IPC):\n\n%s\n",
+              traced.ascii.c_str());
+  std::printf("latency distributions from the same trace:\n%s\n",
+              traced.intervals.c_str());
+  std::printf("one thread per processor => garbled buffers: %llu, "
+              "commit mismatches: %llu  (paper §3.1: \"such errors will not "
+              "occur\")\n",
+              static_cast<unsigned long long>(traced.garbledBuffers),
+              static_cast<unsigned long long>(traced.commitMismatches));
+
+  const RunResult quiet = runRanks(/*tracingEnabled=*/false, 0.2);
+  std::printf("\ntracing overhead on this app: %.3f%% "
+              "(enabled %.1f vs disabled %.1f iterations/s)\n",
+              100.0 * (quiet.iterationsPerSecond - traced.iterationsPerSecond) /
+                  quiet.iterationsPerSecond,
+              traced.iterationsPerSecond, quiet.iterationsPerSecond);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// The §4.6 tuning loop: run an SDET-like load on the simulated OS, find
+// the most contended lock with the Figure 7 tool, apply the fix
+// (per-processor allocator pools), and measure the throughput win.
+//
+// Run:  ./build/examples/lock_contention_analysis [--procs=8] [--scripts=16]
+#include <cstdio>
+
+#include "analysis/lock_analysis.hpp"
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "util/cli.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+struct RunResult {
+  double scriptsPerHour = 0;
+  std::string lockReport;
+  uint64_t totalWaitTicks = 0;
+};
+
+RunResult runSdet(uint32_t procs, uint32_t scripts, bool tuned,
+                  analysis::SymbolTable& symbols) {
+  FacilityConfig fcfg;
+  fcfg.numProcessors = procs;
+  fcfg.bufferWords = 1u << 14;
+  fcfg.buffersPerProcessor = 64;
+  fcfg.clockKind = ClockKind::Virtual;
+  FakeClock boot(0, 0);
+  fcfg.clockOverride = boot.ref();
+  fcfg.mode = Mode::Stream;
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = procs;
+  ossim::Machine machine(mcfg, &facility);
+
+  workload::SdetConfig scfg;
+  scfg.numScripts = scripts;
+  scfg.commandsPerScript = 6;
+  scfg.tunedAllocator = tuned;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  facility.flushAll();
+  consumer.drainNow();
+  const auto trace = analysis::TraceSet::fromRecords(sink.records());
+  analysis::LockAnalysis la(trace);
+
+  RunResult result;
+  result.scriptsPerHour = sdet.throughputScriptsPerHour();
+  result.lockReport = la.report(symbols, 1e9, 4, analysis::LockSortKey::Time);
+  result.totalWaitTicks = la.totalWaitTicks();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const uint32_t procs = static_cast<uint32_t>(cli.getInt("procs", 8));
+  const uint32_t scripts = static_cast<uint32_t>(cli.getInt("scripts", 16));
+
+  analysis::SymbolTable symbols;
+
+  std::printf("=== iteration 1: untuned kernel (%u processors, %u scripts) ===\n\n",
+              procs, scripts);
+  const RunResult before = runSdet(procs, scripts, /*tuned=*/false, symbols);
+  std::fputs(before.lockReport.c_str(), stdout);
+  std::printf("throughput: %.0f scripts/hour, total lock wait %.3f ms\n\n",
+              before.scriptsPerHour, before.totalWaitTicks / 1e6);
+
+  std::printf("=== fix applied: per-processor allocator pools ===\n");
+  std::printf("(the most contended lock above is the global allocator lock;\n");
+  std::printf(" splitting it per processor is the paper's §4 fix)\n\n");
+
+  std::printf("=== iteration 2: tuned kernel ===\n\n");
+  const RunResult after = runSdet(procs, scripts, /*tuned=*/true, symbols);
+  std::fputs(after.lockReport.c_str(), stdout);
+  std::printf("throughput: %.0f scripts/hour, total lock wait %.3f ms\n\n",
+              after.scriptsPerHour, after.totalWaitTicks / 1e6);
+
+  std::printf("speedup from fixing the lock: %.2fx, lock wait reduced %.1fx\n",
+              after.scriptsPerHour / before.scriptsPerHour,
+              before.totalWaitTicks /
+                  static_cast<double>(std::max<uint64_t>(1, after.totalWaitTicks)));
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Hardware-counter tracing (§2): "the trace infrastructure may be used to
+// study memory bottlenecks, memory hot-spots ... by logging hardware
+// counter events, e.g., cache-line misses."
+//
+// Runs a contended SDET load with the simulated cache-miss counter sampled
+// into the trace, then shows the per-function hot-spot report: the
+// FairBLock spin site dominates because the contended lock's cache line
+// bounces between processors. After the per-processor-pool fix, the same
+// report cools down.
+//
+// Run:  ./build/examples/memory_hotspots
+#include <cstdio>
+
+#include "analysis/hwcounters.hpp"
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+std::string hotspotReport(bool tuned, analysis::SymbolTable& symbols) {
+  FacilityConfig fcfg;
+  fcfg.numProcessors = 4;
+  fcfg.bufferWords = 1u << 14;
+  fcfg.buffersPerProcessor = 64;
+  fcfg.mode = Mode::Stream;
+  FakeClock boot(0, 0);
+  fcfg.clockKind = ClockKind::Virtual;
+  fcfg.clockOverride = boot.ref();
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = 4;
+  mcfg.hwCounterSampleIntervalNs = 20'000;
+  ossim::Machine machine(mcfg, &facility);
+  workload::SdetConfig scfg;
+  scfg.numScripts = 12;
+  scfg.commandsPerScript = 4;
+  scfg.tunedAllocator = tuned;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  facility.flushAll();
+  consumer.drainNow();
+  const auto trace = analysis::TraceSet::fromRecords(sink.records());
+  analysis::HwCounterAnalysis hw(trace);
+  return hw.report(/*counterId=*/0, symbols, 1e9, 6);
+}
+
+}  // namespace
+
+int main() {
+  analysis::SymbolTable symbols;
+  std::printf("=== untuned kernel: global allocator lock bounces its line ===\n\n");
+  std::fputs(hotspotReport(/*tuned=*/false, symbols).c_str(), stdout);
+
+  std::printf("\n=== tuned kernel: per-processor pools, the hot spot cools ===\n\n");
+  std::fputs(hotspotReport(/*tuned=*/true, symbols).c_str(), stdout);
+
+  std::printf("\nthe same unified trace carries the counter samples alongside\n"
+              "every other event, so the hot-spot report lines up with the\n"
+              "lock, profile, and timeline views without a separate collector.\n");
+  return 0;
+}

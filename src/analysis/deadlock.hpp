@@ -1,0 +1,68 @@
+// Deadlock detection from trace data (paper §4.2).
+//
+// "a deadlock in the file system was tracked down with the tracing
+// facility. To discover the deadlock, it was important to track the order
+// of all the different requests ... a trace file was produced and
+// post-processed to detect where the cycle had occurred."
+//
+// This tool reconstructs the wait-for graph from Lock events: a process
+// holds every lock it Acquired (or entered uncontended via a Release
+// match) and not yet Released; a ContendStart with no later Acquired means
+// it is still waiting. An edge waiter → holder exists when a process waits
+// on a lock another process holds at end of trace; a cycle in that graph
+// is the deadlock, reported with the locks and call chains involved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/symbols.hpp"
+
+namespace ktrace::analysis {
+
+struct DeadlockEdge {
+  uint64_t waiterPid = 0;
+  uint64_t lockId = 0;       // the lock the waiter is blocked on
+  uint64_t holderPid = 0;    // who holds it
+  uint64_t waitingSinceTick = 0;
+  std::vector<uint64_t> chain;  // waiter's call chain at the contend point
+};
+
+struct DeadlockCycle {
+  std::vector<DeadlockEdge> edges;  // closed: edges[i].holderPid == edges[i+1].waiterPid
+};
+
+class DeadlockDetector {
+ public:
+  explicit DeadlockDetector(const TraceSet& trace);
+
+  /// True if the end-of-trace wait-for graph contains a cycle.
+  bool hasDeadlock() const noexcept { return !cycles_.empty(); }
+  const std::vector<DeadlockCycle>& cycles() const noexcept { return cycles_; }
+
+  /// Processes blocked at end of trace (waiting with no acquire), whether
+  /// or not they form a cycle — the "who is stuck" overview.
+  const std::vector<DeadlockEdge>& pendingWaits() const noexcept { return waits_; }
+
+  /// Locks still held at end of trace, per holder.
+  const std::map<uint64_t, std::set<uint64_t>>& heldLocks() const noexcept {
+    return held_;
+  }
+
+  /// Human-readable cycle report with symbolized call chains.
+  std::string report(const SymbolTable& symbols, double ticksPerSecond) const;
+
+ private:
+  std::vector<DeadlockEdge> waits_;
+  std::map<uint64_t, std::set<uint64_t>> held_;   // pid -> locks held
+  std::map<uint64_t, uint64_t> lockHolder_;       // lock -> pid
+  std::vector<DeadlockCycle> cycles_;
+
+  void findCycles();
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,82 @@
+#include "analysis/event_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+namespace {
+uint32_t key(Major major, uint16_t minor) noexcept {
+  return (static_cast<uint32_t>(major) << 16) | minor;
+}
+}  // namespace
+
+EventStats::EventStats(const TraceSet& trace) {
+  numProcessors_ = trace.numProcessors();
+  for (uint32_t p = 0; p < numProcessors_; ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      EventTypeStats& s = stats_[key(e.header.major, e.header.minor)];
+      if (s.count == 0) {
+        s.major = e.header.major;
+        s.minor = e.header.minor;
+        s.firstTick = e.fullTimestamp;
+        s.perProcessor.assign(numProcessors_, 0);
+      }
+      s.count += 1;
+      s.totalWords += e.header.lengthWords;
+      s.firstTick = std::min(s.firstTick, e.fullTimestamp);
+      s.lastTick = std::max(s.lastTick, e.fullTimestamp);
+      s.perProcessor[p] += 1;
+      totalEvents_ += 1;
+      totalWords_ += e.header.lengthWords;
+    }
+  }
+}
+
+std::vector<EventTypeStats> EventStats::byCount() const {
+  std::vector<EventTypeStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [_, s] : stats_) out.push_back(s);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EventTypeStats& a, const EventTypeStats& b) {
+                     return a.count > b.count;
+                   });
+  return out;
+}
+
+const EventTypeStats* EventStats::find(Major major, uint16_t minor) const {
+  const auto it = stats_.find(key(major, minor));
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+std::string EventStats::report(const Registry& registry, double ticksPerSecond,
+                               size_t topN) const {
+  std::ostringstream out;
+  out << util::strprintf("%llu events, %llu words (%.2f words/event average)\n\n",
+                         static_cast<unsigned long long>(totalEvents_),
+                         static_cast<unsigned long long>(totalWords_),
+                         meanEventWords());
+  util::TextTable table;
+  table.addColumn("event");
+  table.addColumn("count", util::Align::Right);
+  table.addColumn("share", util::Align::Right);
+  table.addColumn("words/evt", util::Align::Right);
+  table.addColumn("rate/s", util::Align::Right);
+  size_t emitted = 0;
+  for (const EventTypeStats& s : byCount()) {
+    if (emitted++ == topN) break;
+    table.addRow({registry.eventName(s.major, s.minor),
+                  util::strprintf("%llu", static_cast<unsigned long long>(s.count)),
+                  util::strprintf("%.1f%%", 100.0 * static_cast<double>(s.count) /
+                                                static_cast<double>(totalEvents_)),
+                  util::strprintf("%.2f", static_cast<double>(s.totalWords) /
+                                              static_cast<double>(s.count)),
+                  util::strprintf("%.0f", s.ratePerSecond(ticksPerSecond))});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

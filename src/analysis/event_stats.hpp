@@ -1,0 +1,67 @@
+// Event-frequency statistics (paper §4.2).
+//
+// "other developers have used the tracing facility to obtain statistics
+// about the relative frequency of different paths taken through code" —
+// instead of one-off counters, count trace events. This tool aggregates
+// per event type: occurrences, payload words, events/second over the
+// traced interval, and per-processor distribution; plus stream-level
+// totals (words, filler share) when fillers/anchors are decoded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "core/registry.hpp"
+
+namespace ktrace::analysis {
+
+struct EventTypeStats {
+  Major major = Major::Control;
+  uint16_t minor = 0;
+  uint64_t count = 0;
+  uint64_t totalWords = 0;  // headers included
+  uint64_t firstTick = 0;
+  uint64_t lastTick = 0;
+  std::vector<uint64_t> perProcessor;  // counts
+
+  double ratePerSecond(double ticksPerSecond) const noexcept {
+    if (lastTick <= firstTick) return 0.0;
+    return static_cast<double>(count) * ticksPerSecond /
+           static_cast<double>(lastTick - firstTick);
+  }
+};
+
+class EventStats {
+ public:
+  explicit EventStats(const TraceSet& trace);
+
+  /// All event types, sorted by descending count.
+  std::vector<EventTypeStats> byCount() const;
+
+  const EventTypeStats* find(Major major, uint16_t minor) const;
+
+  uint64_t totalEvents() const noexcept { return totalEvents_; }
+  uint64_t totalWords() const noexcept { return totalWords_; }
+  /// Mean payload+header words per event.
+  double meanEventWords() const noexcept {
+    return totalEvents_ == 0 ? 0.0
+                             : static_cast<double>(totalWords_) /
+                                   static_cast<double>(totalEvents_);
+  }
+
+  /// "relative frequency of different paths": counts table with names from
+  /// the registry, rates, and per-event sizes.
+  std::string report(const Registry& registry, double ticksPerSecond,
+                     size_t topN = 20) const;
+
+ private:
+  std::map<uint32_t, EventTypeStats> stats_;
+  uint64_t totalEvents_ = 0;
+  uint64_t totalWords_ = 0;
+  uint32_t numProcessors_ = 0;
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,87 @@
+#include "analysis/hwcounters.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ossim/events.hpp"
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+namespace {
+void accumulate(std::map<uint64_t, CounterTotals>& map, uint64_t key, uint64_t delta,
+                uint64_t tick) {
+  CounterTotals& t = map[key];
+  if (t.samples == 0) t.firstTick = tick;
+  t.samples += 1;
+  t.total += delta;
+  t.firstTick = std::min(t.firstTick, tick);
+  t.lastTick = std::max(t.lastTick, tick);
+}
+
+const std::map<uint64_t, CounterTotals> kEmpty;
+}  // namespace
+
+HwCounterAnalysis::HwCounterAnalysis(const TraceSet& trace) {
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      if (e.header.major != Major::HwPerf ||
+          e.header.minor != static_cast<uint16_t>(ossim::HwPerfMinor::CounterSample) ||
+          e.data.size() < 3) {
+        continue;
+      }
+      const uint64_t pid = e.data[0];
+      const uint64_t counterId = e.data[1];
+      const uint64_t delta = e.data[2];
+      const uint64_t funcId = e.data.size() > 3 ? e.data[3] : 0;
+      accumulate(byProcess_[counterId], pid, delta, e.fullTimestamp);
+      accumulate(byFunction_[counterId], funcId, delta, e.fullTimestamp);
+      ++totalSamples_;
+    }
+  }
+}
+
+const std::map<uint64_t, CounterTotals>& HwCounterAnalysis::perProcess(
+    uint64_t counterId) const {
+  const auto it = byProcess_.find(counterId);
+  return it == byProcess_.end() ? kEmpty : it->second;
+}
+
+const std::map<uint64_t, CounterTotals>& HwCounterAnalysis::perFunction(
+    uint64_t counterId) const {
+  const auto it = byFunction_.find(counterId);
+  return it == byFunction_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<uint64_t, CounterTotals>> HwCounterAnalysis::hotFunctions(
+    uint64_t counterId) const {
+  std::vector<std::pair<uint64_t, CounterTotals>> out(perFunction(counterId).begin(),
+                                                      perFunction(counterId).end());
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second.total > b.second.total;
+  });
+  return out;
+}
+
+std::string HwCounterAnalysis::report(uint64_t counterId, const SymbolTable& symbols,
+                                      double ticksPerSecond, size_t topN) const {
+  std::ostringstream out;
+  out << util::strprintf("memory hot-spots, counter %llu (%llu samples)\n\n",
+                         static_cast<unsigned long long>(counterId),
+                         static_cast<unsigned long long>(totalSamples_));
+  util::TextTable table;
+  table.addColumn("function");
+  table.addColumn("misses", util::Align::Right);
+  table.addColumn("rate/s", util::Align::Right);
+  size_t emitted = 0;
+  for (const auto& [funcId, totals] : hotFunctions(counterId)) {
+    if (emitted++ == topN) break;
+    table.addRow({symbols.name(funcId),
+                  util::strprintf("%llu", static_cast<unsigned long long>(totals.total)),
+                  util::strprintf("%.0f", totals.ratePerSecond(ticksPerSecond))});
+  }
+  out << table.render();
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

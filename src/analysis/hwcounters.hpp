@@ -1,0 +1,63 @@
+// Hardware-counter analysis (paper §2).
+//
+// "the trace infrastructure may be used to study memory bottlenecks,
+// memory hot-spots, and other I/O interactions by logging hardware counter
+// events, e.g., cache-line misses. Integrating the hardware counter
+// mechanism and the tracing infrastructure allows the counters to be
+// sampled and understood at various stages throughout the program's ...
+// execution."
+//
+// Consumes HwPerf/CounterSample events [pid, counterId, delta, funcId] and
+// aggregates per process and per function — the per-function view is the
+// memory hot-spot report (lock spin sites light up because the contended
+// line bounces between processors).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/symbols.hpp"
+
+namespace ktrace::analysis {
+
+struct CounterTotals {
+  uint64_t samples = 0;
+  uint64_t total = 0;
+  uint64_t firstTick = 0;
+  uint64_t lastTick = 0;
+
+  double ratePerSecond(double ticksPerSecond) const noexcept {
+    if (lastTick <= firstTick) return 0.0;
+    return static_cast<double>(total) * ticksPerSecond /
+           static_cast<double>(lastTick - firstTick);
+  }
+};
+
+class HwCounterAnalysis {
+ public:
+  explicit HwCounterAnalysis(const TraceSet& trace);
+
+  /// Per-process totals for a counter id (0 = simulated cache misses).
+  const std::map<uint64_t, CounterTotals>& perProcess(uint64_t counterId) const;
+  /// Per-function totals — the memory hot-spot view.
+  const std::map<uint64_t, CounterTotals>& perFunction(uint64_t counterId) const;
+
+  /// Functions sorted by descending counter total.
+  std::vector<std::pair<uint64_t, CounterTotals>> hotFunctions(uint64_t counterId) const;
+
+  uint64_t totalSamples() const noexcept { return totalSamples_; }
+
+  /// "memory hot-spots for counter N" report with symbolized functions.
+  std::string report(uint64_t counterId, const SymbolTable& symbols,
+                     double ticksPerSecond, size_t topN = 10) const;
+
+ private:
+  std::map<uint64_t, std::map<uint64_t, CounterTotals>> byProcess_;   // counter -> pid
+  std::map<uint64_t, std::map<uint64_t, CounterTotals>> byFunction_;  // counter -> func
+  uint64_t totalSamples_ = 0;
+};
+
+}  // namespace ktrace::analysis

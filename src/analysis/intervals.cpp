@@ -1,0 +1,103 @@
+#include "analysis/intervals.hpp"
+
+#include <sstream>
+
+#include "ossim/events.hpp"
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+std::vector<IntervalSpec> defaultOssimIntervals() {
+  using ossim::ExcMinor;
+  using ossim::LinuxMinor;
+  using ossim::LockMinor;
+  return {
+      {"page-fault", Major::Exception, static_cast<uint16_t>(ExcMinor::PgfltStart),
+       static_cast<uint16_t>(ExcMinor::PgfltDone), 0},
+      {"ppc-call", Major::Exception, static_cast<uint16_t>(ExcMinor::PpcCall),
+       static_cast<uint16_t>(ExcMinor::PpcReturn), 0},
+      {"syscall", Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallEnter),
+       static_cast<uint16_t>(LinuxMinor::SyscallExit), 0},
+      {"lock-hold", Major::Lock, static_cast<uint16_t>(LockMinor::Acquired),
+       static_cast<uint16_t>(LockMinor::Release), 0},
+      {"lock-wait", Major::Lock, static_cast<uint16_t>(LockMinor::ContendStart),
+       static_cast<uint16_t>(LockMinor::Acquired), 0},
+  };
+}
+
+IntervalAnalysis::IntervalAnalysis(const TraceSet& trace,
+                                   std::vector<IntervalSpec> specs)
+    : specs_(std::move(specs)) {
+  for (const IntervalSpec& spec : specs_) {
+    stats_[spec.name];  // materialize even if empty
+    unmatched_[spec.name] = 0;
+  }
+  // Per processor, per spec: open intervals keyed by the correlation word.
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    std::vector<std::map<uint64_t, uint64_t>> open(specs_.size());
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      for (size_t s = 0; s < specs_.size(); ++s) {
+        const IntervalSpec& spec = specs_[s];
+        if (e.header.major != spec.major) continue;
+        if (e.data.size() <= spec.keyField) continue;
+        const uint64_t key = e.data[spec.keyField];
+        if (e.header.minor == spec.startMinor) {
+          // A re-start without an end loses the earlier start.
+          if (!open[s].emplace(key, e.fullTimestamp).second) {
+            unmatched_[spec.name] += 1;
+            open[s][key] = e.fullTimestamp;
+          }
+        }
+        // Note: when startMinor == endMinor matching is meaningless; the
+        // specs here never do that. An event can close one spec and open
+        // another (e.g. Acquired ends lock-wait and begins lock-hold).
+        if (e.header.minor == spec.endMinor) {
+          const auto it = open[s].find(key);
+          if (it != open[s].end()) {
+            stats_[spec.name].add(static_cast<double>(e.fullTimestamp - it->second));
+            open[s].erase(it);
+          }
+        }
+      }
+    }
+    for (size_t s = 0; s < specs_.size(); ++s) {
+      unmatched_[specs_[s].name] += open[s].size();
+    }
+  }
+}
+
+const util::Stats* IntervalAnalysis::stats(const std::string& name) const {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+uint64_t IntervalAnalysis::unmatchedStarts(const std::string& name) const {
+  const auto it = unmatched_.find(name);
+  return it == unmatched_.end() ? 0 : it->second;
+}
+
+std::string IntervalAnalysis::report(double ticksPerSecond) const {
+  const double toUs = 1e6 / ticksPerSecond;
+  util::TextTable table;
+  table.addColumn("interval");
+  table.addColumn("count", util::Align::Right);
+  table.addColumn("mean us", util::Align::Right);
+  table.addColumn("p50", util::Align::Right);
+  table.addColumn("p95", util::Align::Right);
+  table.addColumn("max", util::Align::Right);
+  table.addColumn("unmatched", util::Align::Right);
+  for (const IntervalSpec& spec : specs_) {
+    const util::Stats& s = stats_.at(spec.name);
+    table.addRow({spec.name, util::strprintf("%zu", s.count()),
+                  util::strprintf("%.2f", s.mean() * toUs),
+                  util::strprintf("%.2f", s.percentile(0.5) * toUs),
+                  util::strprintf("%.2f", s.percentile(0.95) * toUs),
+                  util::strprintf("%.2f", s.max() * toUs),
+                  util::strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      unmatchedStarts(spec.name)))});
+  }
+  return table.render();
+}
+
+}  // namespace ktrace::analysis

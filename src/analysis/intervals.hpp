@@ -1,0 +1,55 @@
+// Interval (latency) analysis — the §4.7 fine-grained cost breakdowns:
+// "a fine-grain breakdown of the costs of different system calls", page
+// fault service times, IPC round trips, lock hold times.
+//
+// An IntervalSpec names a (start event, end event) pair and which payload
+// field correlates them (pid for faults/syscalls, commId for PPC calls,
+// lockId for holds). The analysis matches pairs per processor and feeds
+// the durations into distribution statistics (mean/p50/p95/max).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "core/event.hpp"
+#include "util/stats.hpp"
+
+namespace ktrace::analysis {
+
+struct IntervalSpec {
+  std::string name;
+  Major major = Major::Control;
+  uint16_t startMinor = 0;
+  uint16_t endMinor = 0;
+  /// Index of the payload word correlating start with end (0 = first).
+  size_t keyField = 0;
+};
+
+/// The standard intervals of the simulated OS: page-fault service, PPC
+/// round trip, syscall residence, contended-lock hold.
+std::vector<IntervalSpec> defaultOssimIntervals();
+
+class IntervalAnalysis {
+ public:
+  IntervalAnalysis(const TraceSet& trace, std::vector<IntervalSpec> specs);
+
+  /// Distribution for a named interval; nullptr if the spec is unknown.
+  const util::Stats* stats(const std::string& name) const;
+
+  /// Start events that never matched an end (trace ended mid-interval, or
+  /// the writer died).
+  uint64_t unmatchedStarts(const std::string& name) const;
+
+  /// "interval  count  mean(us)  p50  p95  max" table.
+  std::string report(double ticksPerSecond) const;
+
+ private:
+  std::vector<IntervalSpec> specs_;
+  std::map<std::string, util::Stats> stats_;
+  std::map<std::string, uint64_t> unmatched_;
+};
+
+}  // namespace ktrace::analysis

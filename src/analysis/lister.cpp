@@ -1,0 +1,33 @@
+#include "analysis/lister.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+std::string listEvents(const TraceSet& trace, const Registry& registry,
+                       double ticksPerSecond, const ListerOptions& options) {
+  std::ostringstream out;
+  size_t emitted = 0;
+  for (const DecodedEvent* e : trace.merged()) {
+    if ((options.majorMask & (1ull << static_cast<uint32_t>(e->header.major))) == 0) {
+      continue;
+    }
+    if (e->fullTimestamp < options.startTick) continue;
+    if (options.endTick != 0 && e->fullTimestamp > options.endTick) continue;
+    if (options.maxEvents != 0 && emitted >= options.maxEvents) break;
+
+    const double seconds = static_cast<double>(e->fullTimestamp) / ticksPerSecond;
+    if (options.showProcessor) {
+      out << util::strprintf("[cpu%u] ", e->processor);
+    }
+    out << util::strprintf("%12.7f %-32s %s\n", seconds,
+                           registry.eventName(e->header.major, e->header.minor).c_str(),
+                           registry.formatEvent(e->asEvent()).c_str());
+    ++emitted;
+  }
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,32 @@
+// Textual event listing — the Figure 5 tool: "takes a binary trace file
+// and produces the textual output ... left column is time in seconds",
+// followed by the event name and the registry-driven description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/reader.hpp"
+#include "core/registry.hpp"
+
+namespace ktrace::analysis {
+
+struct ListerOptions {
+  /// Bit i set = include major class i.
+  uint64_t majorMask = ~0ull;
+  /// Time window in ticks; endTick 0 = unbounded. Enables the graphical
+  /// tool's "listing of every event around the time the mouse clicked".
+  uint64_t startTick = 0;
+  uint64_t endTick = 0;
+  /// Maximum lines (0 = unlimited).
+  size_t maxEvents = 0;
+  /// Prefix each line with the source processor.
+  bool showProcessor = false;
+};
+
+/// Renders the merged event stream as one line per event:
+///   "21.4747350 TRC_USER_RUN_UL_LOADER process 6 created ...".
+std::string listEvents(const TraceSet& trace, const Registry& registry,
+                       double ticksPerSecond, const ListerOptions& options = {});
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,167 @@
+#include "analysis/lock_analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ossim/events.hpp"
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+namespace {
+
+struct PendingContend {
+  uint64_t startTs = 0;
+  std::vector<uint64_t> chain;
+};
+
+struct PendingHold {
+  uint64_t acquireTs = 0;
+};
+
+uint64_t chainHash(const std::vector<uint64_t>& chain) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const uint64_t v : chain) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+LockAnalysis::LockAnalysis(const TraceSet& trace) {
+  // (lockId, pid) -> in-flight contention / hold. A thread contends on at
+  // most one lock at a time, and ossim lock ids are unique per lock
+  // instance, so this key resolves interleavings across processors.
+  std::map<std::pair<uint64_t, uint64_t>, PendingContend> contending;
+  std::map<std::pair<uint64_t, uint64_t>, PendingHold> holding;
+  // (lockId, pid, chainHash) -> row index.
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, size_t> rowIndex;
+
+  auto rowFor = [&](uint64_t lockId, uint64_t pid,
+                    const std::vector<uint64_t>& chain) -> LockStats& {
+    const auto key = std::make_tuple(lockId, pid, chainHash(chain));
+    const auto it = rowIndex.find(key);
+    if (it != rowIndex.end()) return rows_[it->second];
+    rowIndex.emplace(key, rows_.size());
+    LockStats row;
+    row.lockId = lockId;
+    row.pid = pid;
+    row.chain = chain;
+    rows_.push_back(std::move(row));
+    return rows_.back();
+  };
+
+  for (const DecodedEvent* e : trace.merged()) {
+    if (e->header.major != Major::Lock) continue;
+    const auto minor = static_cast<ossim::LockMinor>(e->header.minor);
+    if (e->data.size() < 2) continue;
+    const uint64_t lockId = e->data[0];
+    const uint64_t pid = e->data[1];
+    const auto key = std::make_pair(lockId, pid);
+
+    switch (minor) {
+      case ossim::LockMinor::ContendStart: {
+        PendingContend pending;
+        pending.startTs = e->fullTimestamp;
+        if (e->data.size() >= 3) {
+          const uint64_t chainLen = std::min<uint64_t>(e->data[2], e->data.size() - 3);
+          pending.chain.assign(e->data.begin() + 3,
+                               e->data.begin() + 3 + static_cast<ptrdiff_t>(chainLen));
+        }
+        if (contending.count(key) != 0) ++unmatchedContends_;
+        contending[key] = std::move(pending);
+        break;
+      }
+      case ossim::LockMinor::Acquired: {
+        const uint64_t spins = e->data.size() > 2 ? e->data[2] : 0;
+        const auto it = contending.find(key);
+        if (it != contending.end()) {
+          LockStats& row = rowFor(lockId, pid, it->second.chain);
+          const uint64_t wait = e->fullTimestamp - it->second.startTs;
+          row.totalWaitTicks += wait;
+          row.maxWaitTicks = std::max(row.maxWaitTicks, wait);
+          row.contendedCount += 1;
+          row.totalSpins += spins;
+          contending.erase(it);
+        }
+        holding[key] = PendingHold{e->fullTimestamp};
+        break;
+      }
+      case ossim::LockMinor::Release: {
+        const auto it = holding.find(key);
+        if (it != holding.end()) {
+          // Attribute hold time to every row of this (lock, pid); the
+          // canonical row is the one matching the releasing chain, but the
+          // release event does not carry a chain, so fold it into the row
+          // with the most contention (display-only detail).
+          LockStats* best = nullptr;
+          for (auto& row : rows_) {
+            if (row.lockId == lockId && row.pid == pid &&
+                (best == nullptr || row.contendedCount > best->contendedCount)) {
+              best = &row;
+            }
+          }
+          if (best != nullptr) {
+            best->totalHoldTicks += e->fullTimestamp - it->second.acquireTs;
+            best->releaseCount += 1;
+          }
+          holding.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  unmatchedContends_ += contending.size();
+}
+
+std::vector<LockStats> LockAnalysis::sorted(LockSortKey key) const {
+  std::vector<LockStats> out = rows_;
+  auto metric = [key](const LockStats& row) -> uint64_t {
+    switch (key) {
+      case LockSortKey::Time: return row.totalWaitTicks;
+      case LockSortKey::Count: return row.contendedCount;
+      case LockSortKey::Spin: return row.totalSpins;
+      case LockSortKey::MaxTime: return row.maxWaitTicks;
+    }
+    return 0;
+  };
+  std::stable_sort(out.begin(), out.end(), [&](const LockStats& a, const LockStats& b) {
+    return metric(a) > metric(b);
+  });
+  return out;
+}
+
+uint64_t LockAnalysis::totalWaitTicks() const noexcept {
+  uint64_t total = 0;
+  for (const auto& row : rows_) total += row.totalWaitTicks;
+  return total;
+}
+
+std::string LockAnalysis::report(const SymbolTable& symbols, double ticksPerSecond,
+                                 size_t topN, LockSortKey key) const {
+  const char* keyName = key == LockSortKey::Time    ? "time"
+                        : key == LockSortKey::Count ? "count"
+                        : key == LockSortKey::Spin  ? "spin"
+                                                    : "max time";
+  std::ostringstream out;
+  out << util::strprintf("top %zu contended locks by %s\n", topN, keyName);
+  out << "time  count  spin  max time  pid\ncall chain\n\n";
+  size_t emitted = 0;
+  for (const LockStats& row : sorted(key)) {
+    if (emitted++ == topN) break;
+    out << util::strprintf(
+        "%.9f  %llu %llu %.9f  0x%llx\n",
+        static_cast<double>(row.totalWaitTicks) / ticksPerSecond,
+        static_cast<unsigned long long>(row.contendedCount),
+        static_cast<unsigned long long>(row.totalSpins),
+        static_cast<double>(row.maxWaitTicks) / ticksPerSecond,
+        static_cast<unsigned long long>(row.pid));
+    out << symbols.renderChain(row.chain, 0);
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,64 @@
+// Lock contention analysis — the Figure 7 tool (paper §4.6).
+//
+// Consumes Lock/ContendStart, Lock/Acquired and Lock/Release events and
+// aggregates per (lock, call chain):
+//   time      total ticks spent waiting for the lock,
+//   count     number of contended acquisitions,
+//   spin      total trips around the spin loop,
+//   max time  longest single wait,
+//   pid       process the lock belongs to,
+//   chain     call chain that led to the acquisition.
+// Sortable on any column, like the paper's tool. Matching of start→acquire
+// is per (processor, lock, pid) so interleaved contention on different
+// CPUs resolves correctly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/symbols.hpp"
+
+namespace ktrace::analysis {
+
+struct LockStats {
+  uint64_t lockId = 0;
+  uint64_t pid = 0;
+  std::vector<uint64_t> chain;  // innermost first
+  uint64_t totalWaitTicks = 0;
+  uint64_t contendedCount = 0;
+  uint64_t totalSpins = 0;
+  uint64_t maxWaitTicks = 0;
+  uint64_t totalHoldTicks = 0;
+  uint64_t releaseCount = 0;
+};
+
+enum class LockSortKey { Time, Count, Spin, MaxTime };
+
+class LockAnalysis {
+ public:
+  /// Scans the trace and builds per-(lock, chain) statistics.
+  explicit LockAnalysis(const TraceSet& trace);
+
+  /// Aggregated rows, sorted descending by the given key.
+  std::vector<LockStats> sorted(LockSortKey key = LockSortKey::Time) const;
+
+  /// The Figure 7 report: "top N contended locks by <key>".
+  std::string report(const SymbolTable& symbols, double ticksPerSecond,
+                     size_t topN = 10, LockSortKey key = LockSortKey::Time) const;
+
+  /// Events that looked like contention but never matched an acquire
+  /// (e.g. trace ended mid-wait).
+  uint64_t unmatchedContends() const noexcept { return unmatchedContends_; }
+
+  /// Total wait time across all locks (the tuning loop's progress metric).
+  uint64_t totalWaitTicks() const noexcept;
+
+ private:
+  std::vector<LockStats> rows_;
+  uint64_t unmatchedContends_ = 0;
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,90 @@
+#include "analysis/ltt_export.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+const char* lttFacilityName(Major major) noexcept {
+  switch (major) {
+    case Major::Control: return "core";
+    case Major::Test: return "test";
+    case Major::Mem: return "mem";
+    case Major::Proc: return "process";
+    case Major::Exception: return "trap";
+    case Major::Io: return "fs";
+    case Major::Lock: return "locking";
+    case Major::Sched: return "kernel";
+    case Major::Ipc: return "ipc";
+    case Major::User: return "user";
+    case Major::App: return "app";
+    case Major::Linux: return "syscall";
+    case Major::Prof: return "profile";
+    case Major::HwPerf: return "hwperf";
+    case Major::MajorCount: break;
+  }
+  return "unknown";
+}
+
+std::string exportLttText(const TraceSet& trace, const Registry& registry,
+                          double ticksPerSecond, size_t maxEvents) {
+  std::ostringstream out;
+  size_t emitted = 0;
+  std::vector<FieldValue> values;
+  for (const DecodedEvent* e : trace.merged()) {
+    if (maxEvents != 0 && emitted++ >= maxEvents) break;
+    out << util::strprintf("cpu %u  %.9f  %s.%s  { ", e->processor,
+                           static_cast<double>(e->fullTimestamp) / ticksPerSecond,
+                           lttFacilityName(e->header.major),
+                           registry.eventName(e->header.major, e->header.minor).c_str());
+    const EventDescriptor* desc = registry.find(e->header.major, e->header.minor);
+    bool wroteField = false;
+    if (desc != nullptr &&
+        registry.decodeValues(*desc, {e->data.data(), e->data.size()}, values)) {
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (wroteField) out << ", ";
+        if (values[i].isString) {
+          out << util::strprintf("f%zu=\"%s\"", i, values[i].str.c_str());
+        } else {
+          out << util::strprintf("f%zu=0x%llx", i,
+                                 static_cast<unsigned long long>(values[i].num));
+        }
+        wroteField = true;
+      }
+    } else {
+      for (size_t i = 0; i < e->data.size(); ++i) {
+        if (wroteField) out << ", ";
+        out << util::strprintf("w%zu=0x%llx", i,
+                               static_cast<unsigned long long>(e->data[i]));
+        wroteField = true;
+      }
+    }
+    out << " }\n";
+  }
+  return out.str();
+}
+
+std::string exportCsv(const TraceSet& trace, const Registry& registry,
+                      size_t maxEvents) {
+  std::ostringstream out;
+  out << "time_ticks,cpu,major,minor,name,payload\n";
+  size_t emitted = 0;
+  for (const DecodedEvent* e : trace.merged()) {
+    if (maxEvents != 0 && emitted++ >= maxEvents) break;
+    out << util::strprintf("%llu,%u,%u,%u,%s,",
+                           static_cast<unsigned long long>(e->fullTimestamp),
+                           e->processor, static_cast<uint32_t>(e->header.major),
+                           e->header.minor,
+                           registry.eventName(e->header.major, e->header.minor).c_str());
+    out << '"';
+    for (size_t i = 0; i < e->data.size(); ++i) {
+      if (i != 0) out << ' ';
+      out << util::strprintf("%llx", static_cast<unsigned long long>(e->data[i]));
+    }
+    out << "\"\n";
+  }
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,36 @@
+// Trace export to LTT-style formats (paper §5, future work):
+//
+// "An immediate area of future work is converting the output stream
+// produced by K42's trace facility so that it can be read by LTT's visual
+// display toolkit."
+//
+// Two formats:
+//   - LTT text dump: one line per event,
+//       "cpu N  <seconds>  <facility>.<event>  { f0=…, f1=… }"
+//     with facility taken from the major class and field values decoded
+//     via the registry's format tokens — the shape LTT's textual viewer
+//     consumes.
+//   - CSV: "time_ns,cpu,major,minor,name,words..." for spreadsheet or
+//     machine-centric tooling.
+#pragma once
+
+#include <string>
+
+#include "analysis/reader.hpp"
+#include "core/registry.hpp"
+
+namespace ktrace::analysis {
+
+/// LTT-visualizer-style text dump of the merged stream.
+std::string exportLttText(const TraceSet& trace, const Registry& registry,
+                          double ticksPerSecond, size_t maxEvents = 0);
+
+/// CSV with one row per event; payload words rendered in hex, strings
+/// escaped. Header row included.
+std::string exportCsv(const TraceSet& trace, const Registry& registry,
+                      size_t maxEvents = 0);
+
+/// The facility name LTT would use for a major class ("kernel", "mem", ...).
+const char* lttFacilityName(Major major) noexcept;
+
+}  // namespace ktrace::analysis

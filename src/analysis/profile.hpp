@@ -1,0 +1,46 @@
+// Statistical execution profiling — the Figure 6 tool (paper §4.5).
+//
+// "An event that logs the program counter at random times is used to drive
+// statistical execution profiling. Post-processing analysis maps the pc
+// values to C function names and provides a sorted histogram of the
+// routines that were statistically most active."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/symbols.hpp"
+
+namespace ktrace::analysis {
+
+struct ProfileRow {
+  uint64_t funcId = 0;
+  uint64_t count = 0;
+};
+
+class Profile {
+ public:
+  /// Builds per-pid histograms from Prof/PcSample events.
+  explicit Profile(const TraceSet& trace);
+
+  /// Sorted (descending by count) histogram for one pid.
+  std::vector<ProfileRow> histogram(uint64_t pid) const;
+
+  /// Pids that have at least one sample, ascending.
+  std::vector<uint64_t> pids() const;
+
+  uint64_t totalSamples(uint64_t pid) const;
+
+  /// The Figure 6 report:
+  ///   "histogram for pid 0x1 mapped filename ...\ncount method\n904 ..."
+  std::string report(uint64_t pid, const SymbolTable& symbols,
+                     const std::string& mappedFilename, size_t topN = 20) const;
+
+ private:
+  std::map<uint64_t, std::map<uint64_t, uint64_t>> samples_;  // pid -> func -> count
+};
+
+}  // namespace ktrace::analysis

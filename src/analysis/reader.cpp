@@ -1,0 +1,107 @@
+#include "analysis/reader.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "core/trace_file.hpp"
+
+namespace ktrace::analysis {
+
+TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
+                               const DecodeOptions& options) {
+  TraceSet set;
+  // Group per processor, preserving per-processor seq order.
+  std::map<uint32_t, std::vector<const BufferRecord*>> byProcessor;
+  uint32_t maxProcessor = 0;
+  for (const BufferRecord& r : records) {
+    byProcessor[r.processor].push_back(&r);
+    maxProcessor = std::max(maxProcessor, r.processor);
+  }
+  set.perProcessor_.resize(records.empty() ? 0 : maxProcessor + 1);
+  for (auto& [processor, recs] : byProcessor) {
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const BufferRecord* a, const BufferRecord* b) {
+                       return a->seq < b->seq;
+                     });
+    uint64_t tsBase = 0;
+    for (const BufferRecord* r : recs) {
+      set.stats_.merge(decodeBuffer(r->words, r->seq, processor, tsBase,
+                                    set.perProcessor_[processor], options));
+    }
+  }
+  return set;
+}
+
+TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
+                             const DecodeOptions& options) {
+  TraceSet set;
+  for (const std::string& path : paths) {
+    TraceFileReader reader(path);
+    const uint32_t processor = reader.meta().processorId;
+    if (set.perProcessor_.size() <= processor) {
+      set.perProcessor_.resize(processor + 1);
+    }
+    set.ticksPerSecond_ = reader.meta().ticksPerSecond;
+    uint64_t tsBase = 0;
+    BufferRecord record;
+    for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
+      if (!reader.readBuffer(k, record)) break;
+      set.stats_.merge(decodeBuffer(record.words, record.seq, processor, tsBase,
+                                    set.perProcessor_[processor], options));
+    }
+  }
+  return set;
+}
+
+std::vector<const DecodedEvent*> TraceSet::merged() const {
+  // K-way merge: each per-processor stream is already time-ordered.
+  struct Cursor {
+    const std::vector<DecodedEvent>* events;
+    size_t pos;
+    uint32_t processor;
+  };
+  auto later = [](const Cursor& a, const Cursor& b) {
+    const uint64_t ta = (*a.events)[a.pos].fullTimestamp;
+    const uint64_t tb = (*b.events)[b.pos].fullTimestamp;
+    if (ta != tb) return ta > tb;
+    return a.processor > b.processor;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
+  for (uint32_t p = 0; p < perProcessor_.size(); ++p) {
+    if (!perProcessor_[p].empty()) heap.push({&perProcessor_[p], 0, p});
+  }
+  std::vector<const DecodedEvent*> out;
+  out.reserve(totalEvents());
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back(&(*c.events)[c.pos]);
+    if (++c.pos < c.events->size()) heap.push(c);
+  }
+  return out;
+}
+
+size_t TraceSet::totalEvents() const noexcept {
+  size_t n = 0;
+  for (const auto& v : perProcessor_) n += v.size();
+  return n;
+}
+
+uint64_t TraceSet::firstTimestamp() const noexcept {
+  uint64_t first = ~0ull;
+  for (const auto& v : perProcessor_) {
+    if (!v.empty()) first = std::min(first, v.front().fullTimestamp);
+  }
+  return first == ~0ull ? 0 : first;
+}
+
+uint64_t TraceSet::lastTimestamp() const noexcept {
+  uint64_t last = 0;
+  for (const auto& v : perProcessor_) {
+    if (!v.empty()) last = std::max(last, v.back().fullTimestamp);
+  }
+  return last;
+}
+
+}  // namespace ktrace::analysis

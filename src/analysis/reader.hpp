@@ -1,0 +1,53 @@
+// TraceSet: a fully decoded trace, grouped per processor and mergeable
+// into one time-ordered stream (paper §2 goal 3: unified buffer with
+// monotonically increasing timestamps per processor; tools merge across
+// processors by timestamp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/sink.hpp"
+
+namespace ktrace::analysis {
+
+class TraceSet {
+ public:
+  /// Decode completed buffers (e.g. a MemorySink's records). Records are
+  /// grouped by processor and decoded in seq order.
+  static TraceSet fromRecords(const std::vector<BufferRecord>& records,
+                              const DecodeOptions& options = {});
+
+  /// Decode per-processor trace files written by FileSink.
+  static TraceSet fromFiles(const std::vector<std::string>& paths,
+                            const DecodeOptions& options = {});
+
+  uint32_t numProcessors() const noexcept {
+    return static_cast<uint32_t>(perProcessor_.size());
+  }
+  const std::vector<DecodedEvent>& processorEvents(uint32_t p) const {
+    return perProcessor_[p];
+  }
+  const DecodeStats& stats() const noexcept { return stats_; }
+  double ticksPerSecond() const noexcept { return ticksPerSecond_; }
+
+  /// All events across processors, merged by full timestamp (stable for
+  /// equal stamps: lower processor first). Pointers reference the
+  /// TraceSet's own storage.
+  std::vector<const DecodedEvent*> merged() const;
+
+  size_t totalEvents() const noexcept;
+
+  /// Earliest / latest event timestamps across all processors (0 if empty).
+  uint64_t firstTimestamp() const noexcept;
+  uint64_t lastTimestamp() const noexcept;
+
+ private:
+  std::vector<std::vector<DecodedEvent>> perProcessor_;
+  DecodeStats stats_;
+  double ticksPerSecond_ = 1e9;
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,35 @@
+#include "analysis/symbols.hpp"
+
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+uint64_t SymbolTable::add(uint64_t id, std::string name) {
+  names_[id] = std::move(name);
+  if (id >= nextId_) nextId_ = id + 1;
+  return id;
+}
+
+uint64_t SymbolTable::intern(std::string name) {
+  return add(nextId_, std::move(name));
+}
+
+std::string SymbolTable::name(uint64_t id) const {
+  const auto it = names_.find(id);
+  if (it != names_.end()) return it->second;
+  return util::strprintf("func%llu", static_cast<unsigned long long>(id));
+}
+
+std::string SymbolTable::renderChain(const std::vector<uint64_t>& chain,
+                                     int indent) const {
+  std::string out;
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  for (const uint64_t id : chain) {
+    out += pad;
+    out += name(id);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ktrace::analysis

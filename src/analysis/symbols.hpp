@@ -1,0 +1,39 @@
+// Symbol table mapping function ids in trace payloads to names.
+//
+// The paper's profiling tool "maps the pc values to C function names"
+// (§4.5) and the lock tool prints call chains (§4.6). The simulator logs
+// compact function ids; this table is the analysis-side mapping, standing
+// in for the .dbg symbol files the paper's tools consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ktrace::analysis {
+
+class SymbolTable {
+ public:
+  /// Registers (or replaces) a symbol; returns id for chaining.
+  uint64_t add(uint64_t id, std::string name);
+
+  /// Convenience: assigns the next free id.
+  uint64_t intern(std::string name);
+
+  /// Name for id, or "func<id>" when unknown.
+  std::string name(uint64_t id) const;
+
+  bool contains(uint64_t id) const { return names_.count(id) != 0; }
+  size_t size() const noexcept { return names_.size(); }
+
+  /// Renders a call chain, innermost frame first, one frame per line with
+  /// `indent` leading spaces (the Figure 7 layout).
+  std::string renderChain(const std::vector<uint64_t>& chain, int indent = 0) const;
+
+ private:
+  std::unordered_map<uint64_t, std::string> names_;
+  uint64_t nextId_ = 1;
+};
+
+}  // namespace ktrace::analysis

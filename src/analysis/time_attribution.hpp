@@ -1,0 +1,81 @@
+// Fine-grained system behaviour — the Figure 8 tool (paper §4.7).
+//
+// "K42 tracing data is detailed and fine-grained enough to allow us to
+// attribute time accurately among processes, thread switches, IPC
+// activity, page-faults, and transitions to and from the Linux emulation
+// layer in user space."
+//
+// The attribution walks each processor's event stream once, splitting the
+// time between consecutive events into buckets according to the machine
+// state the events imply: which process is dispatched, whether it is in a
+// syscall, inside an IPC (PPC call), or handling a page fault. Per
+// syscall it accumulates compute time, call count, event count, and the
+// IPC time/calls made on its behalf; "Ex-process" aggregates time spent in
+// the kernel/servers on calls made by this process, exactly the row in
+// Figure 8.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/symbols.hpp"
+
+namespace ktrace::analysis {
+
+struct SyscallStats {
+  uint64_t computeTicks = 0;  // in-syscall time excluding IPC service
+  uint64_t calls = 0;
+  uint64_t events = 0;        // trace events logged while inside
+  uint64_t ipcTicks = 0;      // PPC call..return time within this syscall
+  uint64_t ipcCalls = 0;
+};
+
+struct ProcessAttribution {
+  uint64_t pid = 0;
+  uint64_t userTicks = 0;        // on-cpu outside syscalls/faults/emulation
+  uint64_t emulationTicks = 0;   // inside the Linux emulation layer
+  uint64_t pageFaultTicks = 0;
+  uint64_t pageFaults = 0;
+  uint64_t exProcessTicks = 0;   // kernel/server work on this process's calls
+  uint64_t exProcessCalls = 0;
+  uint64_t dispatches = 0;       // times this process was dispatched
+  std::map<uint16_t, SyscallStats> syscalls;  // key: ossim::Syscall
+
+  uint64_t totalOnCpuTicks() const noexcept;
+};
+
+/// A server-side entry point: who serviced how many IPC calls for how long
+/// (the "thread entry points" list at the bottom of Figure 8).
+struct ServiceEntryStats {
+  uint64_t serverPid = 0;
+  uint64_t funcId = 0;
+  uint64_t calls = 0;
+  uint64_t ticks = 0;
+};
+
+class TimeAttribution {
+ public:
+  explicit TimeAttribution(const TraceSet& trace);
+
+  const ProcessAttribution* process(uint64_t pid) const;
+  std::vector<uint64_t> pids() const;
+  const std::vector<ServiceEntryStats>& serviceEntries() const noexcept {
+    return serviceEntries_;
+  }
+  uint64_t idleTicks(uint32_t processor) const;
+  uint64_t totalIdleTicks() const noexcept;
+
+  /// The Figure 8 report for one process (times in microseconds).
+  std::string report(uint64_t pid, const SymbolTable& symbols,
+                     double ticksPerSecond) const;
+
+ private:
+  std::map<uint64_t, ProcessAttribution> processes_;
+  std::vector<ServiceEntryStats> serviceEntries_;
+  std::vector<uint64_t> idlePerProcessor_;
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,86 @@
+// Timeline visualization — the kmon tool of Figure 4 (paper §4.3).
+//
+// Renders per-processor lanes over time, colored by what the processor was
+// doing (idle / user / kernel / lock-wait / emulation), with selected
+// event types drawn as markers — the paper's "timeline [that] provides the
+// developer with a visual sense of what is occurring in the system".
+// Output is headless: SVG for graphical viewing and ASCII for terminals.
+// listRegion reproduces the click-to-list feature: "will produce a listing
+// of every event that occurred around the time period the mouse was
+// clicked in".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "core/registry.hpp"
+
+namespace ktrace::analysis {
+
+enum class Activity : uint8_t {
+  Idle = 0,
+  User = 1,
+  Kernel = 2,    // syscall, page fault, or IPC service
+  LockWait = 3,  // spinning on a contended lock
+  Emulation = 4, // Linux emulation layer
+  ActivityCount = 5,
+};
+
+const char* activityName(Activity a) noexcept;
+
+/// A maximal run of one activity on one processor.
+struct ActivitySegment {
+  uint32_t processor = 0;
+  Activity activity = Activity::Idle;
+  uint64_t startTick = 0;
+  uint64_t endTick = 0;
+  uint64_t pid = ~0ull;  // dispatched process (if any)
+};
+
+struct TimelineMark {
+  Major major;
+  uint16_t minor;
+};
+
+struct TimelineOptions {
+  uint64_t startTick = 0;
+  uint64_t endTick = 0;  // 0 = full trace
+  std::vector<TimelineMark> marks;
+  uint32_t widthPx = 1200;
+  uint32_t laneHeightPx = 26;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(const TraceSet& trace);
+
+  const std::vector<ActivitySegment>& segments() const noexcept { return segments_; }
+
+  /// Total ticks per activity per processor (drives tests and summaries).
+  uint64_t activityTicks(uint32_t processor, Activity activity) const;
+
+  std::string renderSvg(const Registry& registry, double ticksPerSecond,
+                        const TimelineOptions& options = {}) const;
+
+  /// One row per processor, `widthCols` buckets; each bucket shows the
+  /// dominant activity: '.' idle, 'U' user, 'K' kernel, 'L' lock wait,
+  /// 'E' emulation.
+  std::string renderAscii(uint32_t widthCols = 80,
+                          const TimelineOptions& options = {}) const;
+
+  /// Events within [aroundTick - radius, aroundTick + radius], rendered by
+  /// the lister (the mouse-click listing of Figure 5).
+  std::string listRegion(const Registry& registry, double ticksPerSecond,
+                         uint64_t aroundTick, uint64_t radius) const;
+
+ private:
+  const TraceSet& trace_;
+  std::vector<ActivitySegment> segments_;
+  uint64_t firstTick_ = 0;
+  uint64_t lastTick_ = 0;
+  uint32_t numProcessors_ = 0;
+};
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,61 @@
+#include "baseline/fixedlen_tracer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace ktrace::baseline {
+
+FixedSlotTracer::FixedSlotTracer(const FixedSlotTracerConfig& config)
+    : slotWords_(config.slotWords), numSlots_(config.numSlots), clock_(config.clock) {
+  if (slotWords_ < 2) throw std::invalid_argument("slotWords must be >= 2");
+  if (!util::isPowerOfTwo(numSlots_)) {
+    throw std::invalid_argument("numSlots must be a power of two");
+  }
+  if (!clock_.valid()) throw std::invalid_argument("clock required");
+  slots_ = std::make_unique<uint64_t[]>(numSlots_ * slotWords_);
+  validSeq_ = std::make_unique<std::atomic<uint64_t>[]>(numSlots_);
+  for (uint64_t i = 0; i < numSlots_; ++i) validSeq_[i].store(0, std::memory_order_relaxed);
+}
+
+void FixedSlotTracer::log(Major major, uint16_t minor,
+                          std::span<const uint64_t> payload) noexcept {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t slot = seq & (numSlots_ - 1);
+  uint64_t* base = slots_.get() + slot * slotWords_;
+
+  // Invalidate first so readers never see the old lap's payload with the
+  // new lap's header.
+  validSeq_[slot].store(0, std::memory_order_release);
+
+  const uint64_t ts = clock_();
+  uint32_t n = static_cast<uint32_t>(payload.size());
+  if (n > slotWords_ - 1) {
+    n = slotWords_ - 1;
+    truncated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  padding_.fetch_add(slotWords_ - 1 - n, std::memory_order_relaxed);
+
+  base[0] = EventHeader::encode(static_cast<uint32_t>(ts), 1 + n, major, minor);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::atomic_ref<uint64_t>(base[1 + i]).store(payload[i], std::memory_order_relaxed);
+  }
+  // Publish: valid flag carries the sequence so laps are distinguishable.
+  validSeq_[slot].store(seq + 1, std::memory_order_release);
+}
+
+FixedSlotTracer::SlotView FixedSlotTracer::readSlot(uint64_t i) const noexcept {
+  SlotView view;
+  if (i >= numSlots_) return view;
+  const uint64_t slot = i & (numSlots_ - 1);
+  const uint64_t seqPlus1 = validSeq_[slot].load(std::memory_order_acquire);
+  if (seqPlus1 == 0) return view;  // never written or in flight
+  const uint64_t* base = slots_.get() + slot * slotWords_;
+  view.valid = true;
+  view.header = EventHeader::decode(base[0]);
+  view.payload = base + 1;
+  return view;
+}
+
+}  // namespace ktrace::baseline

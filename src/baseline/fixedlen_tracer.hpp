@@ -1,0 +1,71 @@
+// The prior lockless scheme: fixed-length event slots with valid bits
+// (paper §3.1: "Previous lockless logging schemes [IRIX] used fixed-length
+// events with valid bits").
+//
+// Each event occupies exactly slotWords words regardless of payload size.
+// Reservation is a fetch-add of the slot counter; the valid bit is set
+// (with release ordering) only after the payload is written, so readers
+// can skip invalid (in-flight or abandoned) slots — the fixed-length
+// design's answer to the killed-writer problem.
+//
+// The trade-offs the paper calls out are measurable here:
+//   - short events waste (slotWords - actual) words (space benchmark),
+//   - payloads larger than slotWords-1 words cannot be logged at all
+//     (truncation counter),
+//   - random access is trivial (slots are uniform) — the property K42
+//     retains for variable-length events via alignment boundaries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/event.hpp"
+#include "core/timestamp.hpp"
+
+namespace ktrace::baseline {
+
+struct FixedSlotTracerConfig {
+  uint32_t slotWords = 8;      // header + up to slotWords-1 payload words
+  uint64_t numSlots = 1 << 14;  // circular
+  ClockRef clock{};
+};
+
+class FixedSlotTracer {
+ public:
+  explicit FixedSlotTracer(const FixedSlotTracerConfig& config);
+
+  /// Logs an event; payloads longer than slotWords-1 are truncated (and
+  /// counted). Lock-free: one fetch-add plus plain stores plus a release
+  /// store of the valid flag.
+  void log(Major major, uint16_t minor, std::span<const uint64_t> payload) noexcept;
+
+  struct SlotView {
+    bool valid = false;
+    EventHeader header;
+    const uint64_t* payload = nullptr;  // slotWords-1 words
+  };
+
+  /// Reads slot i of the current window (0 = oldest retained).
+  SlotView readSlot(uint64_t i) const noexcept;
+
+  uint64_t eventsLogged() const noexcept { return next_.load(std::memory_order_relaxed); }
+  uint64_t truncatedEvents() const noexcept { return truncated_.load(std::memory_order_relaxed); }
+  /// Words of padding wasted on events shorter than the slot.
+  uint64_t paddingWords() const noexcept { return padding_.load(std::memory_order_relaxed); }
+  uint32_t slotWords() const noexcept { return slotWords_; }
+  uint64_t numSlots() const noexcept { return numSlots_; }
+
+ private:
+  uint32_t slotWords_;
+  uint64_t numSlots_;
+  ClockRef clock_;
+  std::unique_ptr<uint64_t[]> slots_;          // numSlots * slotWords
+  std::unique_ptr<std::atomic<uint64_t>[]> validSeq_;  // seq+1 when valid
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> truncated_{0};
+  std::atomic<uint64_t> padding_{0};
+};
+
+}  // namespace ktrace::baseline

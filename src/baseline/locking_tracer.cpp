@@ -1,0 +1,84 @@
+#include "baseline/locking_tracer.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace ktrace::baseline {
+
+GlobalLockTracer::GlobalLockTracer(const LockTracerConfig& config)
+    : region_(config.regionWords, 0), clock_(config.clock) {
+  if (!util::isPowerOfTwo(config.regionWords)) {
+    throw std::invalid_argument("regionWords must be a power of two");
+  }
+  if (!clock_.valid()) throw std::invalid_argument("clock required");
+}
+
+void GlobalLockTracer::log(Major major, uint16_t minor,
+                           std::span<const uint64_t> payload) noexcept {
+  const uint32_t length = 1 + static_cast<uint32_t>(payload.size());
+  std::lock_guard lock(mutex_);
+  const uint64_t ts = clock_();
+  const uint64_t mask = region_.size() - 1;
+  region_[index_ & mask] =
+      EventHeader::encode(static_cast<uint32_t>(ts), length, major, minor);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    region_[(index_ + 1 + i) & mask] = payload[i];
+  }
+  index_ += length;
+  ++events_;
+}
+
+uint64_t GlobalLockTracer::eventsLogged() const noexcept {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+uint64_t GlobalLockTracer::wordsLogged() const noexcept {
+  std::lock_guard lock(mutex_);
+  return index_;
+}
+
+PerCpuLockTracer::PerCpuLockTracer(const LockTracerConfig& config)
+    : regionWords_(config.regionWords), clock_(config.clock) {
+  if (!util::isPowerOfTwo(config.regionWords)) {
+    throw std::invalid_argument("regionWords must be a power of two");
+  }
+  if (!clock_.valid()) throw std::invalid_argument("clock required");
+  cpus_.reserve(config.numProcessors);
+  for (uint32_t p = 0; p < config.numProcessors; ++p) {
+    auto cpu = std::make_unique<Cpu>();
+    cpu->region.assign(regionWords_, 0);
+    cpus_.push_back(std::move(cpu));
+  }
+}
+
+void PerCpuLockTracer::log(uint32_t processor, Major major, uint16_t minor,
+                           std::span<const uint64_t> payload) noexcept {
+  Cpu& cpu = *cpus_[processor];
+  const uint32_t length = 1 + static_cast<uint32_t>(payload.size());
+  std::lock_guard lock(cpu.mutex);
+  const uint64_t ts = clock_();
+  const uint64_t mask = cpu.region.size() - 1;
+  cpu.region[cpu.index & mask] =
+      EventHeader::encode(static_cast<uint32_t>(ts), length, major, minor);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    cpu.region[(cpu.index + 1 + i) & mask] = payload[i];
+  }
+  cpu.index += length;
+  ++cpu.events;
+}
+
+uint64_t PerCpuLockTracer::eventsLogged(uint32_t processor) const noexcept {
+  Cpu& cpu = *cpus_[processor];
+  std::lock_guard lock(cpu.mutex);
+  return cpu.events;
+}
+
+uint64_t PerCpuLockTracer::totalEvents() const noexcept {
+  uint64_t total = 0;
+  for (uint32_t p = 0; p < cpus_.size(); ++p) total += eventsLogged(p);
+  return total;
+}
+
+}  // namespace ktrace::baseline

@@ -1,0 +1,79 @@
+// Prior-art locking tracers (paper §5: AIX, IRIX and pre-K42 LTT designs
+// required locking to log events; §4.1: applying lockless logging,
+// per-processor buffers, and cheap timestamps to LTT yielded an order of
+// magnitude improvement).
+//
+// Two variants factor the comparison:
+//   GlobalLockTracer  — one shared circular buffer behind one mutex (the
+//                       "single buffer, locking" starting point),
+//   PerCpuLockTracer  — per-processor buffers, still locking (isolates the
+//                       per-processor-buffers contribution).
+// The clock is pluggable so the cheap-vs-syscall timestamp contribution can
+// be measured independently on either variant.
+//
+// Both log the same header+payload word format as ktrace, so downstream
+// decoding is comparable; neither supports the paper's random access or
+// anomaly detection — they model the baseline, not the contribution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/timestamp.hpp"
+
+namespace ktrace::baseline {
+
+struct LockTracerConfig {
+  uint64_t regionWords = 1ull << 17;  // per buffer (shared or per cpu)
+  uint32_t numProcessors = 1;         // used by PerCpuLockTracer
+  ClockRef clock{};
+};
+
+/// One shared circular buffer, one global mutex.
+class GlobalLockTracer {
+ public:
+  explicit GlobalLockTracer(const LockTracerConfig& config);
+
+  /// Logs header + payload under the lock. Never fails (overwrites oldest).
+  void log(Major major, uint16_t minor, std::span<const uint64_t> payload) noexcept;
+
+  uint64_t eventsLogged() const noexcept;
+  uint64_t wordsLogged() const noexcept;
+  const std::vector<uint64_t>& region() const noexcept { return region_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> region_;
+  uint64_t index_ = 0;
+  uint64_t events_ = 0;
+  ClockRef clock_;
+};
+
+/// Per-processor circular buffers, each behind its own mutex.
+class PerCpuLockTracer {
+ public:
+  explicit PerCpuLockTracer(const LockTracerConfig& config);
+
+  void log(uint32_t processor, Major major, uint16_t minor,
+           std::span<const uint64_t> payload) noexcept;
+
+  uint64_t eventsLogged(uint32_t processor) const noexcept;
+  uint64_t totalEvents() const noexcept;
+
+ private:
+  struct alignas(64) Cpu {
+    std::mutex mutex;
+    std::vector<uint64_t> region;
+    uint64_t index = 0;
+    uint64_t events = 0;
+  };
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  uint64_t regionWords_;
+  ClockRef clock_;
+};
+
+}  // namespace ktrace::baseline

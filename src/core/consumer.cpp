@@ -1,0 +1,120 @@
+#include "core/consumer.hpp"
+
+namespace ktrace {
+
+Consumer::Consumer(Facility& facility, Sink& sink, ConsumerConfig config)
+    : facility_(facility), sink_(sink), config_(config),
+      nextSeq_(facility.numProcessors(), 0) {}
+
+Consumer::~Consumer() { stop(); }
+
+void Consumer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Consumer::stop() {
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Consumer::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    bool progressed;
+    {
+      std::lock_guard lock(consumeMutex_);
+      progressed = consumePass();
+    }
+    if (!progressed) std::this_thread::sleep_for(config_.pollInterval);
+  }
+  // Final sweep so a stop() right after producer quiescence loses nothing
+  // that was already complete.
+  std::lock_guard lock(consumeMutex_);
+  while (consumePass()) {
+  }
+}
+
+void Consumer::drainNow() {
+  std::lock_guard lock(consumeMutex_);
+  while (consumePass()) {
+  }
+}
+
+Consumer::Stats Consumer::stats() const {
+  std::lock_guard lock(consumeMutex_);
+  return stats_;
+}
+
+bool Consumer::consumePass() {
+  bool any = false;
+  for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
+    while (consumeOne(p)) any = true;
+  }
+  return any;
+}
+
+bool Consumer::consumeOne(uint32_t p) {
+  TraceControl& control = facility_.control(p);
+  const uint32_t numBuffers = control.numBuffers();
+  const uint32_t bufferWords = control.bufferWords();
+
+  const uint64_t currentSeq = control.currentBufferSeq();
+  uint64_t seq = nextSeq_[p];
+  if (seq >= currentSeq) return false;  // that lap is still being filled
+
+  // Lap detection: only the most recent numBuffers-1 completed laps can
+  // still be intact (the current lap occupies one slot).
+  if (currentSeq - seq >= numBuffers) {
+    const uint64_t oldestSafe = currentSeq - numBuffers + 1;
+    stats_.buffersLost += oldestSafe - seq;
+    seq = oldestSafe;
+    nextSeq_[p] = seq;
+  }
+
+  const uint32_t slot = static_cast<uint32_t>(seq & (numBuffers - 1));
+  auto& state = control.bufferState(slot);
+  if (state.lapSeq.load(std::memory_order_acquire) != seq) {
+    // The slot was already recycled for a newer lap: this buffer is gone.
+    stats_.buffersLost += 1;
+    nextSeq_[p] = seq + 1;
+    return true;
+  }
+
+  // Wait (bounded) for stragglers to commit; pairs with commit()'s release.
+  const uint64_t lapStart = state.lapStartCommitted.load(std::memory_order_relaxed);
+  const auto deadline = std::chrono::steady_clock::now() + config_.commitWait;
+  uint64_t delta;
+  for (;;) {
+    delta = state.committed.load(std::memory_order_acquire) - lapStart;
+    if (delta >= bufferWords) break;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::yield();
+  }
+
+  BufferRecord record;
+  record.processor = p;
+  record.seq = seq;
+  record.committedDelta = delta;
+  record.commitMismatch = control.commitCountsEnabled() && delta != bufferWords;
+  record.words.resize(bufferWords);
+  const uint64_t base = static_cast<uint64_t>(slot) * bufferWords;
+  for (uint32_t i = 0; i < bufferWords; ++i) {
+    record.words[i] = control.loadWord(base + i);
+  }
+
+  // Seqlock-style validation: if the lap changed under us, the copy is torn.
+  if (state.lapSeq.load(std::memory_order_acquire) != seq) {
+    stats_.buffersLost += 1;
+    nextSeq_[p] = seq + 1;
+    return true;
+  }
+
+  if (record.commitMismatch) stats_.commitMismatches += 1;
+  stats_.buffersConsumed += 1;
+  nextSeq_[p] = seq + 1;
+  sink_.onBuffer(std::move(record));
+  return true;
+}
+
+}  // namespace ktrace

@@ -1,0 +1,77 @@
+// The buffer consumer: moves completed buffers from the per-processor
+// rings to a Sink (paper §3.1's "code responsible for writing the data").
+//
+// The consumer never synchronizes with the logging fast path. It polls
+// each control's index; a buffer lap is consumable once the index has
+// moved past it. Validity is checked seqlock-style against the slot's
+// lapSeq: if the producers lapped the consumer, the overwritten buffers
+// are counted as lost (the logging side never blocks — the paper's design
+// choice), and the commit-count-vs-size comparison detects partially
+// written buffers, reported via commitMismatches.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "core/sink.hpp"
+
+namespace ktrace {
+
+struct ConsumerConfig {
+  std::chrono::microseconds pollInterval{200};
+  /// How long to wait for a buffer's commit count to reach its size before
+  /// writing it out anyway with the mismatch anomaly flagged.
+  std::chrono::microseconds commitWait{2000};
+};
+
+class Consumer {
+ public:
+  Consumer(Facility& facility, Sink& sink, ConsumerConfig config = {});
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Start the background polling thread.
+  void start();
+  /// Stop and join the polling thread (idempotent).
+  void stop();
+
+  /// Synchronously consume every currently complete buffer. Safe to call
+  /// whether or not the background thread runs; typically used after
+  /// Facility::flushAll() with producers quiesced.
+  void drainNow();
+
+  struct Stats {
+    uint64_t buffersConsumed = 0;
+    uint64_t commitMismatches = 0;  // partially written buffers (§3.1)
+    uint64_t buffersLost = 0;       // producer lapped the consumer
+  };
+  Stats stats() const;
+
+ private:
+  /// One consumption pass over all processors; returns true if any buffer
+  /// was consumed. Caller holds consumeMutex_.
+  bool consumePass();
+  /// Try to consume processor p's next buffer. Caller holds consumeMutex_.
+  bool consumeOne(uint32_t p);
+  void run();
+
+  Facility& facility_;
+  Sink& sink_;
+  ConsumerConfig config_;
+
+  mutable std::mutex consumeMutex_;    // guards nextSeq_ and stats_
+  std::vector<uint64_t> nextSeq_;      // per processor
+  Stats stats_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace ktrace

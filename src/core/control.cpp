@@ -1,0 +1,193 @@
+#include "core/control.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ktrace {
+
+TraceControl::TraceControl(const TraceControlConfig& config)
+    : processorId_(config.processorId),
+      bufferWords_(config.bufferWords),
+      numBuffers_(config.numBuffers),
+      commitCounts_(config.commitCounts),
+      timestampPerAttempt_(config.timestampPerAttempt),
+      clock_(config.clock) {
+  if (!util::isPowerOfTwo(bufferWords_) || !util::isPowerOfTwo(numBuffers_)) {
+    throw std::invalid_argument("bufferWords and numBuffers must be powers of two");
+  }
+  if (bufferWords_ < 2 * kAnchorWords) {
+    throw std::invalid_argument("bufferWords too small");
+  }
+  if (numBuffers_ < 2) {
+    throw std::invalid_argument("need at least two buffers");
+  }
+  if (!clock_.valid()) {
+    throw std::invalid_argument("TraceControl requires a valid clock");
+  }
+  bufferShift_ = util::log2Exact(bufferWords_);
+  regionWords_ = static_cast<uint64_t>(bufferWords_) * numBuffers_;
+  regionMask_ = regionWords_ - 1;
+  // An event must fit in one buffer alongside the buffer's anchor, and in
+  // the 10-bit header length field.
+  maxEventWords_ = std::min<uint32_t>(EventHeader::kMaxWords,
+                                      bufferWords_ - kAnchorWords);
+  region_ = std::make_unique<uint64_t[]>(regionWords_);
+  slots_ = std::make_unique<BufferSlotState[]>(numBuffers_);
+
+  // Lap 0 of slot 0 starts now; write its anchor so that every buffer lap
+  // begins with an anchor event carrying the full 64-bit timestamp.
+  const uint64_t t0 = clock_();
+  writeAnchor(0, t0, 0);
+  index_.store(kAnchorWords, std::memory_order_release);
+  commit(0, kAnchorWords);
+}
+
+bool TraceControl::reserve(uint32_t lengthWords, Reservation& out) noexcept {
+  if (lengthWords == 0 || lengthWords > maxEventWords_) {
+    rejectedEvents_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t staleTs = 0;
+  bool haveStaleTs = false;
+  for (;;) {
+    uint64_t oldIndex = index_.load(std::memory_order_relaxed);
+    const uint64_t offsetInBuffer = oldIndex & (bufferWords_ - 1);
+    // offset 0 means the previous event ended exactly on the boundary (the
+    // paper observes 30-40% of events do): the new lap still needs its
+    // anchor and commit zero-point, so it also takes the slow path — with
+    // zero filler words.
+    if (offsetInBuffer == 0 || offsetInBuffer + lengthWords > bufferWords_) {
+      if (reserveSlow(lengthWords, out)) return true;
+      continue;  // lost the slow-path race; retry from scratch
+    }
+    // The timestamp is taken inside the CAS loop: a winner with a stale
+    // timestamp would break the buffer's monotonic timestamp order (§3.1).
+    // (timestampPerAttempt=false is the DESIGN.md §4 ablation of exactly
+    // that rule.)
+    uint64_t ts;
+    if (timestampPerAttempt_) {
+      ts = clock_();
+    } else {
+      if (!haveStaleTs) {
+        staleTs = clock_();
+        haveStaleTs = true;
+      }
+      ts = staleTs;
+    }
+    if (index_.compare_exchange_weak(oldIndex, oldIndex + lengthWords,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      out.index = oldIndex;
+      out.slot = region_.get() + physicalWord(oldIndex);
+      out.ts32 = static_cast<uint32_t>(ts);
+      out.fullTs = ts;
+      return true;
+    }
+    reserveRetries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TraceControl::reserveSlow(uint32_t lengthWords, Reservation& out) noexcept {
+  slowPathEntries_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t oldIndex = index_.load(std::memory_order_relaxed);
+  const uint64_t offsetInBuffer = oldIndex & (bufferWords_ - 1);
+  if (offsetInBuffer != 0 && offsetInBuffer + lengthWords <= bufferWords_) {
+    return false;  // another thread already crossed; take the fast path
+  }
+  const uint64_t remainder = offsetInBuffer == 0 ? 0 : bufferWords_ - offsetInBuffer;
+  if (remainder == 0) exactFitCrossings_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t newBufferStart = oldIndex + remainder;
+  const uint64_t newSeq = bufferSeq(newBufferStart);
+  const uint32_t newSlot = static_cast<uint32_t>(newSeq & (numBuffers_ - 1));
+
+  // Snapshot the new slot's committed count *before* publishing the new
+  // index: no thread can commit into the new lap until the CAS succeeds.
+  // (A writer still holding a reservation from a previous lap of this slot
+  // can violate this; that is exactly the long-blocked-writer anomaly the
+  // per-buffer counts exist to detect, §3.1.)
+  const uint64_t committedSnapshot =
+      bufferState(newSlot).committed.load(std::memory_order_relaxed);
+
+  const uint64_t ts = clock_();
+  const uint64_t newIndex = newBufferStart + kAnchorWords + lengthWords;
+  if (!index_.compare_exchange_strong(oldIndex, newIndex,
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+    reserveRetries_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // We own [oldIndex, newIndex). Record the new lap's zero point, pad the
+  // old buffer with fillers, and write the new buffer's anchor.
+  bufferState(newSlot).lapStartCommitted.store(committedSnapshot,
+                                               std::memory_order_relaxed);
+  bufferState(newSlot).lapSeq.store(newSeq, std::memory_order_release);
+
+  if (remainder > 0) {
+    writeFillers(oldIndex, remainder, static_cast<uint32_t>(ts));
+    commit(oldIndex, static_cast<uint32_t>(remainder));
+  }
+
+  writeAnchor(newBufferStart, ts, newSeq);
+  commit(newBufferStart, kAnchorWords);
+
+  out.index = newBufferStart + kAnchorWords;
+  out.slot = region_.get() + physicalWord(out.index);
+  out.ts32 = static_cast<uint32_t>(ts);
+  out.fullTs = ts;
+  return true;
+}
+
+void TraceControl::flushCurrentBuffer() noexcept {
+  for (;;) {
+    uint64_t oldIndex = index_.load(std::memory_order_relaxed);
+    const uint64_t offsetInBuffer = oldIndex & (bufferWords_ - 1);
+    if (offsetInBuffer == 0) return;  // buffer is empty: nothing to flush
+    const uint64_t remainder = bufferWords_ - offsetInBuffer;
+    const uint64_t newBufferStart = oldIndex + remainder;
+    const uint64_t newSeq = bufferSeq(newBufferStart);
+    const uint32_t newSlot = static_cast<uint32_t>(newSeq & (numBuffers_ - 1));
+    const uint64_t committedSnapshot =
+        bufferState(newSlot).committed.load(std::memory_order_relaxed);
+    const uint64_t ts = clock_();
+    const uint64_t newIndex = newBufferStart + kAnchorWords;
+    if (index_.compare_exchange_strong(oldIndex, newIndex,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+      bufferState(newSlot).lapStartCommitted.store(committedSnapshot,
+                                                   std::memory_order_relaxed);
+      bufferState(newSlot).lapSeq.store(newSeq, std::memory_order_release);
+      writeFillers(oldIndex, remainder, static_cast<uint32_t>(ts));
+      commit(oldIndex, static_cast<uint32_t>(remainder));
+      writeAnchor(newBufferStart, ts, newSeq);
+      commit(newBufferStart, kAnchorWords);
+      return;
+    }
+  }
+}
+
+void TraceControl::writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept {
+  // A filler is a header-only event whose length covers dead space up to
+  // the boundary (§3.2). The 10-bit length field caps one filler at 1023
+  // words, so large remainders become chains of maximal fillers.
+  fillerWords_.fetch_add(words, std::memory_order_relaxed);
+  while (words > 0) {
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<uint64_t>(words, EventHeader::kMaxWords));
+    storeWord(from, EventHeader::encode(ts32, len, Major::Control,
+                                        static_cast<uint16_t>(ControlMinor::Filler)));
+    from += len;
+    words -= len;
+  }
+}
+
+void TraceControl::writeAnchor(uint64_t index, uint64_t fullTs, uint64_t seq) noexcept {
+  storeWord(index, EventHeader::encode(static_cast<uint32_t>(fullTs), kAnchorWords,
+                                       Major::Control,
+                                       static_cast<uint16_t>(ControlMinor::BufferAnchor)));
+  storeWord(index + 1, fullTs);
+  storeWord(index + 2, seq);
+}
+
+}  // namespace ktrace

@@ -1,0 +1,182 @@
+// Per-processor trace control: the lockless variable-length reservation
+// algorithm of paper §3.1 (Figures 1 and 2).
+//
+// One TraceControl per (simulated or physical) processor. All state a
+// logging thread touches lives here, cache-line aligned, so logging on
+// different processors never shares cache lines (paper §2, "User-mapped
+// per-processor buffers and control structures").
+//
+// The trace memory region is `numBuffers` buffers of `bufferWords` 64-bit
+// words each (both powers of two). `index` is a global, monotonically
+// increasing word index; the physical slot of word i is i & (regionWords-1),
+// and the buffer sequence number of word i is i >> log2(bufferWords).
+//
+// Reservation (traceReserve): CAS-increment `index` by the event length.
+// The timestamp is (re)read on every CAS attempt so that buffer order is
+// timestamp order — the paper's monotonicity requirement. If the event
+// would cross the buffer boundary, the slow path reserves the remainder of
+// the old buffer (filled with filler events), plus a buffer-anchor event,
+// plus the caller's event at the start of the next buffer, in a single CAS.
+//
+// Commit (traceCommit): adds the event length to the per-buffer-slot
+// cumulative committed count. A buffer whose committed delta for the
+// current lap equals bufferWords is fully written; anything else indicates
+// a writer that was preempted, blocked, or killed mid-log (§3.1's anomaly
+// detection).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/timestamp.hpp"
+#include "util/bits.hpp"
+
+namespace ktrace {
+
+/// A successful reservation: the caller owns words
+/// [index, index+lengthWords) and must write the header at `slot`.
+struct Reservation {
+  uint64_t index = 0;       // global word index of the header word
+  uint64_t* slot = nullptr;  // physical location of the header word
+  uint32_t ts32 = 0;        // low 32 bits of the timestamp taken at reserve
+  uint64_t fullTs = 0;      // the full timestamp (for anchors and tests)
+};
+
+struct TraceControlConfig {
+  uint32_t processorId = 0;
+  uint32_t bufferWords = 1u << 14;  // 128 KiB buffers: the paper's example
+  uint32_t numBuffers = 8;
+  ClockRef clock{};
+  bool commitCounts = true;  // traceCommit is "optional" per the paper
+  /// Ablation switch (DESIGN.md §4). true = the paper's algorithm: the
+  /// timestamp is re-read on every CAS attempt, so buffer order is
+  /// timestamp order. false = read the clock once before the loop; a
+  /// losing CAS can then commit a stale timestamp after a later one — the
+  /// exact hazard §3.1 warns about ("that process may be interrupted by
+  /// another process [that] gets the next slot in the buffer, but obtains
+  /// an earlier timestamp").
+  bool timestampPerAttempt = true;
+};
+
+class TraceControl {
+ public:
+  /// Words in a buffer-anchor event: header + full timestamp + buffer seq.
+  static constexpr uint32_t kAnchorWords = 3;
+
+  explicit TraceControl(const TraceControlConfig& config);
+
+  TraceControl(const TraceControl&) = delete;
+  TraceControl& operator=(const TraceControl&) = delete;
+
+  /// traceReserve (Fig. 2): returns false only if lengthWords is zero or
+  /// exceeds maxEventWords(). Never blocks; retries CAS until success.
+  bool reserve(uint32_t lengthWords, Reservation& out) noexcept;
+
+  /// traceCommit (Fig. 2): publish lengthWords at the buffer slot covering
+  /// `index`. Release ordering pairs with the consumer's acquire.
+  void commit(uint64_t index, uint32_t lengthWords) noexcept {
+    if (!commitCounts_) return;
+    bufferState(bufferSeq(index) & (numBuffers_ - 1))
+        .committed.fetch_add(lengthWords, std::memory_order_release);
+  }
+
+  /// Forces the current buffer to complete by reserving its remainder as
+  /// filler (plus the next buffer's anchor). No-op when the current buffer
+  /// is empty. Used by Facility::flush so partially filled buffers reach
+  /// the consumer.
+  void flushCurrentBuffer() noexcept;
+
+  // --- geometry ---
+  uint32_t processorId() const noexcept { return processorId_; }
+  uint32_t bufferWords() const noexcept { return bufferWords_; }
+  uint32_t numBuffers() const noexcept { return numBuffers_; }
+  uint64_t regionWords() const noexcept { return regionWords_; }
+  /// Largest loggable event in words (header included).
+  uint32_t maxEventWords() const noexcept { return maxEventWords_; }
+  const uint64_t* regionData() const noexcept { return region_.get(); }
+
+  uint64_t bufferSeq(uint64_t index) const noexcept { return index >> bufferShift_; }
+  uint64_t physicalWord(uint64_t index) const noexcept { return index & regionMask_; }
+
+  /// Direct access to a buffer slot's words (for the consumer/reader).
+  const uint64_t* bufferSlotData(uint32_t slot) const noexcept {
+    return region_.get() + static_cast<uint64_t>(slot) * bufferWords_;
+  }
+
+  // --- progress & anomaly counters ---
+  uint64_t currentIndex() const noexcept { return index_.load(std::memory_order_acquire); }
+  uint64_t currentBufferSeq() const noexcept { return bufferSeq(currentIndex()); }
+  uint64_t reserveRetries() const noexcept { return reserveRetries_.load(std::memory_order_relaxed); }
+  uint64_t slowPathEntries() const noexcept { return slowPathEntries_.load(std::memory_order_relaxed); }
+  uint64_t rejectedEvents() const noexcept { return rejectedEvents_.load(std::memory_order_relaxed); }
+  uint64_t fillerWordsWritten() const noexcept { return fillerWords_.load(std::memory_order_relaxed); }
+  /// Buffer crossings where the previous event ended exactly on the
+  /// boundary, needing no filler (the paper reports 30-40% of events).
+  uint64_t exactFitCrossings() const noexcept { return exactFitCrossings_.load(std::memory_order_relaxed); }
+
+  /// Per-buffer-slot completion metadata consumed by the Consumer.
+  struct BufferSlotState {
+    /// Cumulative words committed into this physical slot across all laps.
+    std::atomic<uint64_t> committed{0};
+    /// Snapshot of `committed` taken by the crosser entering this slot.
+    std::atomic<uint64_t> lapStartCommitted{0};
+    /// The buffer sequence number this lap corresponds to.
+    std::atomic<uint64_t> lapSeq{0};
+  };
+
+  BufferSlotState& bufferState(uint32_t slot) noexcept { return slots_[slot]; }
+  const BufferSlotState& bufferState(uint32_t slot) const noexcept { return slots_[slot]; }
+
+  ClockRef clock() const noexcept { return clock_; }
+  void setClock(ClockRef clock) noexcept { clock_ = clock; }
+  bool commitCountsEnabled() const noexcept { return commitCounts_; }
+
+  /// Writes a 64-bit word into the trace array. Relaxed atomic store so
+  /// concurrent readers of in-flight buffers are race-free; publication
+  /// happens via commit()'s release.
+  void storeWord(uint64_t index, uint64_t value) noexcept {
+    std::atomic_ref<uint64_t>(region_.get()[physicalWord(index)])
+        .store(value, std::memory_order_relaxed);
+  }
+
+  uint64_t loadWord(uint64_t index) const noexcept {
+    return std::atomic_ref<uint64_t>(region_.get()[physicalWord(index)])
+        .load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Fig. 2's traceReserveSlow: reserve old-buffer remainder + anchor +
+  /// event; write the fillers and the anchor; zero-point the new lap.
+  bool reserveSlow(uint32_t lengthWords, Reservation& out) noexcept;
+
+  void writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept;
+  void writeAnchor(uint64_t index, uint64_t fullTs, uint64_t seq) noexcept;
+
+  // Hot, read-mostly geometry first.
+  uint32_t processorId_;
+  uint32_t bufferWords_;
+  uint32_t numBuffers_;
+  uint32_t bufferShift_;
+  uint64_t regionWords_;
+  uint64_t regionMask_;
+  uint32_t maxEventWords_;
+  bool commitCounts_;
+  bool timestampPerAttempt_;
+  ClockRef clock_;
+  std::unique_ptr<uint64_t[]> region_;
+  std::unique_ptr<BufferSlotState[]> slots_;
+
+  // The contended word gets its own cache line.
+  alignas(64) std::atomic<uint64_t> index_{0};
+
+  alignas(64) std::atomic<uint64_t> reserveRetries_{0};
+  std::atomic<uint64_t> slowPathEntries_{0};
+  std::atomic<uint64_t> rejectedEvents_{0};
+  std::atomic<uint64_t> fillerWords_{0};
+  std::atomic<uint64_t> exactFitCrossings_{0};
+};
+
+}  // namespace ktrace

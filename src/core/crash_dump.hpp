@@ -1,0 +1,74 @@
+// Crash-dump access to the trace rings (paper §4.2).
+//
+// "If the kernel is not stable enough to call this function, a crash dump
+// tool can access the trace log providing similar functionality. We have
+// not implemented the crash dump tool yet." — this module implements it.
+//
+// writeCrashDump serializes a facility's raw per-processor trace regions
+// (controls' geometry, indices, commit state, and the ring words exactly
+// as they sit in memory) to a dump file, the way a kernel core dump would
+// capture the mapped trace pages. CrashDumpReader reconstructs
+// flight-recorder views from such a dump offline — no cooperation from
+// the crashed system required beyond the memory image.
+//
+// Format (little-endian):
+//   DumpFileHeader                        (64 bytes)
+//   per processor: DumpControlHeader      (64 bytes)
+//                  numBuffers * BufferSlot state (3 u64 each)
+//                  regionWords * 8 bytes of ring words
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/facility.hpp"
+#include "core/flight_recorder.hpp"
+
+namespace ktrace {
+
+/// Serializes every processor's trace region. Best taken with producers
+/// quiesced (it is exactly as racy as a crash dump: torn buffers fail
+/// header validation downstream, which the tools tolerate).
+/// Returns false on I/O failure.
+bool writeCrashDump(const Facility& facility, const std::string& path);
+
+class CrashDumpReader {
+ public:
+  /// Throws std::runtime_error on a missing/corrupt dump.
+  explicit CrashDumpReader(const std::string& path);
+
+  uint32_t numProcessors() const noexcept {
+    return static_cast<uint32_t>(processors_.size());
+  }
+  double ticksPerSecond() const noexcept { return ticksPerSecond_; }
+
+  /// The flight-recorder reconstruction for one processor: most recent
+  /// events, oldest first, with the usual filtering options.
+  std::vector<DecodedEvent> snapshot(uint32_t processor,
+                                     const FlightRecorderOptions& options = {}) const;
+
+  /// Renders the §4.2 debugger-style listing from the dump.
+  std::string report(uint32_t processor, const Registry& registry,
+                     const FlightRecorderOptions& options = {}) const;
+
+  /// Raw access for custom tooling.
+  struct ProcessorImage {
+    uint32_t processorId = 0;
+    uint32_t bufferWords = 0;
+    uint32_t numBuffers = 0;
+    uint64_t index = 0;  // the control's index at dump time
+    std::vector<uint64_t> committed;
+    std::vector<uint64_t> lapStartCommitted;
+    std::vector<uint64_t> lapSeq;
+    std::vector<uint64_t> region;
+  };
+  const ProcessorImage& image(uint32_t processor) const { return processors_[processor]; }
+
+ private:
+  std::vector<ProcessorImage> processors_;
+  double ticksPerSecond_ = 1e9;
+};
+
+}  // namespace ktrace

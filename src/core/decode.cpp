@@ -1,0 +1,74 @@
+#include "core/decode.hpp"
+
+namespace ktrace {
+
+bool headerLooksValid(uint64_t headerWord, uint32_t offset, uint32_t bufferWords) noexcept {
+  const EventHeader h = EventHeader::decode(headerWord);
+  if (h.lengthWords == 0) return false;
+  if (offset + h.lengthWords > bufferWords) return false;  // crosses boundary
+  if (static_cast<uint32_t>(h.major) >= static_cast<uint32_t>(Major::MajorCount)) return false;
+  if (h.major == Major::Control &&
+      h.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor) &&
+      h.lengthWords != 3) {
+    return false;
+  }
+  return true;
+}
+
+DecodeStats decodeBuffer(std::span<const uint64_t> words, uint64_t bufferSeq,
+                         uint32_t processor, uint64_t& tsBase,
+                         std::vector<DecodedEvent>& out,
+                         const DecodeOptions& options, uint32_t limitWords) {
+  DecodeStats stats;
+  const uint32_t bufferWords = static_cast<uint32_t>(words.size());
+  const uint32_t end = (limitWords != 0 && limitWords < bufferWords) ? limitWords : bufferWords;
+  uint32_t pos = 0;
+  while (pos < end) {
+    const uint64_t headerWord = words[pos];
+    if (!headerLooksValid(headerWord, pos, bufferWords)) {
+      // Abandon this buffer; the caller resynchronizes at the next one.
+      stats.garbledBuffers += 1;
+      stats.garbledWords += bufferWords - pos;
+      break;
+    }
+    const EventHeader h = EventHeader::decode(headerWord);
+    if (pos + h.lengthWords > end) break;  // event extends past the snapshot limit
+
+    const bool isFiller = h.isFiller();
+    const bool isAnchor = h.major == Major::Control &&
+                          h.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor);
+    if (isAnchor) {
+      // The anchor carries the full 64-bit timestamp: exact re-basing.
+      tsBase = words[pos + 1];
+    }
+
+    if (isFiller) {
+      stats.fillers += 1;
+      stats.fillerWords += h.lengthWords;
+    } else {
+      stats.events += 1;
+    }
+
+    const bool emit = isFiller ? options.keepFillers
+                    : isAnchor ? options.keepAnchors
+                               : true;
+    if (emit) {
+      DecodedEvent e;
+      e.header = h;
+      e.data.assign(words.begin() + pos + 1, words.begin() + pos + h.lengthWords);
+      e.fullTimestamp = isAnchor ? tsBase : unwrapTimestamp(tsBase, h.timestamp);
+      e.bufferSeq = bufferSeq;
+      e.offsetInBuffer = pos;
+      e.processor = processor;
+      out.push_back(std::move(e));
+    }
+    if (!isAnchor && !isFiller) {
+      // Keep the base advancing so long gaps between anchors still unwrap.
+      tsBase = unwrapTimestamp(tsBase, h.timestamp);
+    }
+    pos += h.lengthWords;
+  }
+  return stats;
+}
+
+}  // namespace ktrace

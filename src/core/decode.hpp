@@ -1,0 +1,82 @@
+// Low-level decoding of trace-buffer words into events.
+//
+// Because events are variable length, a corrupted header can make the rest
+// of a buffer uninterpretable; the paper's tools "have ways of handling
+// this situation" (§3.1) — concretely: validate each header structurally,
+// and on failure abandon the remainder of the buffer and resynchronize at
+// the next buffer boundary (the alignment points of §3.2). Random access
+// into a large trace works the same way: seek to any buffer boundary and
+// decode forward.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/event.hpp"
+
+namespace ktrace {
+
+/// An event copied out of a trace buffer.
+struct DecodedEvent {
+  EventHeader header;
+  std::vector<uint64_t> data;   // header.lengthWords - 1 payload words
+  uint64_t fullTimestamp = 0;   // 32-bit timestamp unwrapped via anchors
+  uint64_t bufferSeq = 0;       // which buffer lap the event came from
+  uint32_t offsetInBuffer = 0;  // word offset of the header in its buffer
+  uint32_t processor = 0;
+
+  /// View of the payload for Registry::formatEvent.
+  Event asEvent() const noexcept {
+    Event e;
+    e.header = header;
+    e.data = data.data();
+    e.fullTimestamp = fullTimestamp;
+    e.processor = processor;
+    return e;
+  }
+};
+
+struct DecodeStats {
+  uint64_t events = 0;        // non-filler events decoded (anchors included)
+  uint64_t fillers = 0;       // filler events skipped
+  uint64_t fillerWords = 0;   // words of filler skipped
+  uint64_t garbledBuffers = 0;  // buffers abandoned at a bad header
+  uint64_t garbledWords = 0;    // words skipped due to garbling
+
+  void merge(const DecodeStats& other) noexcept {
+    events += other.events;
+    fillers += other.fillers;
+    fillerWords += other.fillerWords;
+    garbledBuffers += other.garbledBuffers;
+    garbledWords += other.garbledWords;
+  }
+};
+
+struct DecodeOptions {
+  bool keepFillers = false;   // emit filler events too (space accounting)
+  bool keepAnchors = false;   // emit buffer-anchor events
+};
+
+/// Structural validity of a header at `offset` within a buffer of
+/// `bufferWords` words: nonzero length, fits within the buffer, known
+/// major class.
+bool headerLooksValid(uint64_t headerWord, uint32_t offset, uint32_t bufferWords) noexcept;
+
+/// Unwraps a 32-bit timestamp against a 64-bit base, assuming forward
+/// progress of less than 2^32 ticks between consecutive events.
+constexpr uint64_t unwrapTimestamp(uint64_t base, uint32_t ts32) noexcept {
+  return base + static_cast<uint32_t>(ts32 - static_cast<uint32_t>(base));
+}
+
+/// Decodes one buffer's words. `tsBase` carries the running 64-bit time
+/// base across buffers; a leading anchor event updates it exactly.
+/// `limitWords`, when nonzero, stops decoding at that offset (used for the
+/// in-flight buffer of a flight-recorder snapshot). Appends to `out`.
+DecodeStats decodeBuffer(std::span<const uint64_t> words, uint64_t bufferSeq,
+                         uint32_t processor, uint64_t& tsBase,
+                         std::vector<DecodedEvent>& out,
+                         const DecodeOptions& options = {},
+                         uint32_t limitWords = 0);
+
+}  // namespace ktrace

@@ -1,0 +1,116 @@
+// Trace event header word layout.
+//
+// Reproduces the K42 event encoding (paper §3.2): every event is a series
+// of 64-bit words. The first word packs
+//
+//   [63:32] 32 bits of timestamp (low bits of the facility clock)
+//   [31:22] 10 bits of length, in 64-bit words, INCLUDING this header
+//   [21:16]  6 bits of major ID (so at most 64 major classes)
+//   [15: 0] 16 bits of major-class-defined data, typically a minor ID
+//
+// followed by length-1 data words. The 10-bit length bounds a single event
+// at 1023 words; buffer-remainder fillers larger than that are emitted as
+// chains of maximal fillers.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+
+namespace ktrace {
+
+/// Major event classes. At most 64 (6-bit field); one bit each in the
+/// trace mask. Mirrors K42's per-subsystem classes (traceMem, traceProc,
+/// traceIO, ...).
+enum class Major : uint8_t {
+  Control = 0,  // infrastructure events: fillers, buffer anchors
+  Test = 1,     // unit tests and microbenchmarks
+  Mem = 2,      // memory subsystem (regions, FCMs, allocator)
+  Proc = 3,     // process lifecycle
+  Exception = 4,  // page faults, PPC (protected procedure call) entry/exit
+  Io = 5,
+  Lock = 6,     // contended-lock paths
+  Sched = 7,    // dispatch / context switch / idle
+  Ipc = 8,
+  User = 9,     // user-level run/return markers
+  App = 10,     // application-defined events
+  Linux = 11,   // Linux-emulation-layer transitions
+  Prof = 12,    // statistical PC samples
+  HwPerf = 13,  // hardware-counter samples logged as events (paper §2)
+  MajorCount = 14,
+};
+
+constexpr uint32_t kMaxMajors = 64;
+
+/// Minor IDs of Major::Control events emitted by the infrastructure itself.
+enum class ControlMinor : uint16_t {
+  Filler = 0,        // header-only event padding to the buffer boundary
+  BufferAnchor = 1,  // full 64-bit timestamp + global buffer sequence
+};
+
+/// Field geometry of the header word.
+struct EventHeader {
+  static constexpr uint32_t kTimestampShift = 32;
+  static constexpr uint32_t kTimestampBits = 32;
+  static constexpr uint32_t kLengthShift = 22;
+  static constexpr uint32_t kLengthBits = 10;
+  static constexpr uint32_t kMajorShift = 16;
+  static constexpr uint32_t kMajorBits = 6;
+  static constexpr uint32_t kMinorShift = 0;
+  static constexpr uint32_t kMinorBits = 16;
+
+  /// Largest encodable event, in words, header included.
+  static constexpr uint32_t kMaxWords = (1u << kLengthBits) - 1;
+
+  uint32_t timestamp = 0;  // low 32 bits of the clock
+  uint32_t lengthWords = 0;
+  Major major = Major::Control;
+  uint16_t minor = 0;
+
+  static constexpr uint64_t encode(uint32_t timestamp, uint32_t lengthWords,
+                                   Major major, uint16_t minor) noexcept {
+    return util::depositBits(timestamp, kTimestampShift, kTimestampBits) |
+           util::depositBits(lengthWords, kLengthShift, kLengthBits) |
+           util::depositBits(static_cast<uint64_t>(major), kMajorShift, kMajorBits) |
+           util::depositBits(minor, kMinorShift, kMinorBits);
+  }
+
+  static constexpr EventHeader decode(uint64_t word) noexcept {
+    EventHeader h;
+    h.timestamp = static_cast<uint32_t>(util::extractBits(word, kTimestampShift, kTimestampBits));
+    h.lengthWords = static_cast<uint32_t>(util::extractBits(word, kLengthShift, kLengthBits));
+    h.major = static_cast<Major>(util::extractBits(word, kMajorShift, kMajorBits));
+    h.minor = static_cast<uint16_t>(util::extractBits(word, kMinorShift, kMinorBits));
+    return h;
+  }
+
+  constexpr uint64_t encode() const noexcept {
+    return encode(timestamp, lengthWords, major, minor);
+  }
+
+  constexpr bool isFiller() const noexcept {
+    return major == Major::Control &&
+           minor == static_cast<uint16_t>(ControlMinor::Filler);
+  }
+};
+
+static_assert(EventHeader::kTimestampBits + EventHeader::kLengthBits +
+                  EventHeader::kMajorBits + EventHeader::kMinorBits == 64,
+              "header fields must exactly fill the 64-bit word");
+static_assert(static_cast<uint32_t>(Major::MajorCount) <= kMaxMajors,
+              "at most 64 major classes (single-word trace mask)");
+
+/// A decoded event: header plus a view of its data words. The data pointer
+/// aliases the trace buffer (or a copy thereof) owned by the reader.
+struct Event {
+  EventHeader header;
+  const uint64_t* data = nullptr;  // header.lengthWords - 1 words
+  uint64_t fullTimestamp = 0;      // reconstructed 64-bit time (reader fills in)
+  uint32_t processor = 0;          // source processor (reader fills in)
+
+  uint32_t dataWords() const noexcept {
+    return header.lengthWords > 0 ? header.lengthWords - 1 : 0;
+  }
+};
+
+}  // namespace ktrace

@@ -1,0 +1,77 @@
+#include "core/facility.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace ktrace {
+
+namespace {
+
+struct ThreadBinding {
+  const Facility* facility = nullptr;
+  TraceControl* control = nullptr;
+  uint32_t processor = 0;
+};
+
+thread_local ThreadBinding tlsBinding;
+
+std::atomic<Facility*> gCurrentFacility{nullptr};
+
+}  // namespace
+
+Facility::Facility(const FacilityConfig& config) : config_(config), mask_(config.initialMask) {
+  if (config_.numProcessors == 0) {
+    throw std::invalid_argument("numProcessors must be at least 1");
+  }
+  const ClockRef clock = config_.clockOverride.valid()
+                             ? config_.clockOverride
+                             : defaultClockRef(config_.clockKind);
+  controls_.reserve(config_.numProcessors);
+  for (uint32_t p = 0; p < config_.numProcessors; ++p) {
+    TraceControlConfig cc;
+    cc.processorId = p;
+    cc.bufferWords = config_.bufferWords;
+    cc.numBuffers = config_.buffersPerProcessor;
+    cc.clock = clock;
+    cc.commitCounts = config_.commitCounts;
+    cc.timestampPerAttempt = config_.timestampPerAttempt;
+    controls_.push_back(std::make_unique<TraceControl>(cc));
+  }
+}
+
+Facility::~Facility() {
+  if (Facility::current() == this) Facility::setCurrent(nullptr);
+  if (tlsBinding.facility == this) tlsBinding = {};
+}
+
+void Facility::bindCurrentThread(uint32_t processor) noexcept {
+  tlsBinding.facility = this;
+  tlsBinding.control = controls_[processor].get();
+  tlsBinding.processor = processor;
+}
+
+void Facility::unbindCurrentThread() noexcept {
+  if (tlsBinding.facility == this) tlsBinding = {};
+}
+
+TraceControl* Facility::currentControl() const noexcept {
+  return tlsBinding.facility == this ? tlsBinding.control : nullptr;
+}
+
+uint32_t Facility::currentProcessor() const noexcept {
+  return tlsBinding.facility == this ? tlsBinding.processor : numProcessors();
+}
+
+void Facility::flushAll() noexcept {
+  for (auto& control : controls_) control->flushCurrentBuffer();
+}
+
+Facility* Facility::current() noexcept {
+  return gCurrentFacility.load(std::memory_order_acquire);
+}
+
+void Facility::setCurrent(Facility* facility) noexcept {
+  gCurrentFacility.store(facility, std::memory_order_release);
+}
+
+}  // namespace ktrace

@@ -1,0 +1,44 @@
+// Visibility filtering between consumers (paper §5, future work).
+//
+// "different users may not desire to have information about their behavior
+// available to other users. To solve this, we intend to map in different
+// buffers to user applications that do not have sufficient privileges to
+// see all data."
+//
+// The userspace analogue: a FilteredSink sits in front of an unprivileged
+// consumer and scrubs every event whose major class the consumer is not
+// entitled to, rewriting it in place into a filler event of the same
+// length and zeroing its payload. Stream structure (buffer geometry,
+// alignment points, remaining events' offsets and timestamps) is
+// preserved, so every downstream tool keeps working on the redacted
+// stream. Structurally invalid regions are zeroed and covered with filler
+// too — an unprivileged consumer must not receive bytes the filter could
+// not classify.
+#pragma once
+
+#include <cstdint>
+
+#include "core/decode.hpp"
+#include "core/sink.hpp"
+
+namespace ktrace {
+
+class FilteredSink final : public Sink {
+ public:
+  /// `allowedMajorMask`: bit i set = major class i is visible downstream.
+  FilteredSink(Sink& inner, uint64_t allowedMajorMask)
+      : inner_(inner), allowed_(allowedMajorMask) {}
+
+  void onBuffer(BufferRecord&& record) override;
+
+  uint64_t eventsScrubbed() const noexcept { return eventsScrubbed_; }
+  uint64_t wordsScrubbed() const noexcept { return wordsScrubbed_; }
+
+ private:
+  Sink& inner_;
+  uint64_t allowed_;
+  uint64_t eventsScrubbed_ = 0;  // consumer-thread only
+  uint64_t wordsScrubbed_ = 0;
+};
+
+}  // namespace ktrace

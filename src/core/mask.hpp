@@ -1,0 +1,44 @@
+// The single-word trace mask (paper §2, "Major and Minor IDs and a single
+// word trace mask").
+//
+// Each major class owns one bit of a 64-bit word. The logging fast path
+// performs exactly one load and one AND to decide whether to log; the mask
+// word stays hot in cache, so a disabled facility costs a handful of
+// instructions per trace statement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/event.hpp"
+
+namespace ktrace {
+
+class TraceMask {
+ public:
+  constexpr TraceMask() noexcept = default;
+  explicit TraceMask(uint64_t initial) noexcept : bits_(initial) {}
+
+  /// The hot-path check: one relaxed load + AND.
+  bool isEnabled(Major major) const noexcept {
+    return (bits_.load(std::memory_order_relaxed) & bit(major)) != 0;
+  }
+
+  void enable(Major major) noexcept { bits_.fetch_or(bit(major), std::memory_order_relaxed); }
+  void disable(Major major) noexcept { bits_.fetch_and(~bit(major), std::memory_order_relaxed); }
+
+  void enableAll() noexcept { bits_.store(~0ull, std::memory_order_relaxed); }
+  void disableAll() noexcept { bits_.store(0, std::memory_order_relaxed); }
+
+  void set(uint64_t bits) noexcept { bits_.store(bits, std::memory_order_relaxed); }
+  uint64_t value() const noexcept { return bits_.load(std::memory_order_relaxed); }
+
+  static constexpr uint64_t bit(Major major) noexcept {
+    return 1ull << static_cast<uint32_t>(major);
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};
+};
+
+}  // namespace ktrace

@@ -1,0 +1,150 @@
+// User-mapped shared trace buffers (paper §2, goals 2-3).
+//
+// "To allow fast logging of events from user space, these control
+// structures, containing for example the current index, and the trace
+// buffers themselves, are mapped into each application's address space."
+//
+// The userspace analogue: the entire per-processor trace state — the
+// atomic reservation index, the per-buffer commit counts, and the ring
+// words — lives in one relocatable, position-independent memory block
+// (ShmControlState) that can sit in a MAP_SHARED mapping. Any process
+// mapping the block logs with the same lockless CAS algorithm as
+// TraceControl; kernel (parent) and applications (children) interleave in
+// one unified buffer exactly as in K42.
+//
+// ShmTraceControl is a thin accessor over the mapped state; it holds no
+// state of its own besides the pointer and the clock, so each process
+// constructs its own accessor over the common mapping.
+//
+// Layout of the block (8-byte aligned throughout):
+//   ShmControlState header
+//   numBuffers x ShmSlotState
+//   bufferWords * numBuffers ring words
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/control.hpp"
+#include "core/decode.hpp"
+#include "core/event.hpp"
+#include "core/sink.hpp"
+#include "core/timestamp.hpp"
+
+namespace ktrace {
+
+struct ShmSlotState {
+  std::atomic<uint64_t> committed;
+  std::atomic<uint64_t> lapStartCommitted;
+  std::atomic<uint64_t> lapSeq;
+};
+
+struct ShmControlState {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t processorId;
+  uint32_t bufferWords;   // power of two
+  uint32_t numBuffers;    // power of two
+  uint32_t reserved;
+  alignas(64) std::atomic<uint64_t> index;
+  alignas(64) std::atomic<uint64_t> rejected;
+  std::atomic<uint64_t> slowPathEntries;
+  std::atomic<uint64_t> fillerWords;
+
+  static constexpr uint32_t kMagic = 0x4B54524Bu;  // "KTRK"
+  static constexpr uint32_t kVersion = 1;
+};
+
+static_assert(std::is_trivially_destructible_v<ShmControlState>);
+static_assert(std::is_trivially_destructible_v<ShmSlotState>);
+
+class ShmTraceControl {
+ public:
+  /// Bytes needed for a block with this geometry.
+  static size_t bytesFor(uint32_t bufferWords, uint32_t numBuffers) noexcept;
+
+  /// Initializes a raw block (zeroed or not) and returns an accessor.
+  /// `memory` must be 64-byte aligned and at least bytesFor(...) bytes.
+  /// Writes the lap-0 anchor. Throws std::invalid_argument on bad
+  /// geometry.
+  static ShmTraceControl create(void* memory, uint32_t processorId,
+                                uint32_t bufferWords, uint32_t numBuffers,
+                                ClockRef clock);
+
+  /// Attaches to an already-initialized block (e.g. in another process's
+  /// creation order). Validates magic/version/geometry; throws
+  /// std::runtime_error on mismatch.
+  static ShmTraceControl attach(void* memory, ClockRef clock);
+
+  // --- the lockless algorithm, cross-process ---------------------------
+  bool reserve(uint32_t lengthWords, Reservation& out) noexcept;
+  void commit(uint64_t index, uint32_t lengthWords) noexcept;
+  void storeWord(uint64_t index, uint64_t value) noexcept;
+  uint64_t loadWord(uint64_t index) const noexcept;
+
+  template <typename... Ws>
+    requires(std::convertible_to<Ws, uint64_t> && ...)
+  bool logEvent(Major major, uint16_t minor, Ws... words) noexcept {
+    constexpr uint32_t length = 1 + sizeof...(Ws);
+    Reservation r;
+    if (!reserve(length, r)) return false;
+    storeWord(r.index, EventHeader::encode(r.ts32, length, major, minor));
+    uint64_t at = r.index + 1;
+    ((storeWord(at++, static_cast<uint64_t>(words))), ...);
+    commit(r.index, length);
+    return true;
+  }
+
+  bool logEventData(Major major, uint16_t minor,
+                    std::span<const uint64_t> data) noexcept;
+
+  // --- geometry & state --------------------------------------------------
+  uint32_t processorId() const noexcept { return state_->processorId; }
+  uint32_t bufferWords() const noexcept { return state_->bufferWords; }
+  uint32_t numBuffers() const noexcept { return state_->numBuffers; }
+  uint64_t regionWords() const noexcept {
+    return static_cast<uint64_t>(state_->bufferWords) * state_->numBuffers;
+  }
+  uint32_t maxEventWords() const noexcept { return maxEventWords_; }
+  uint64_t currentIndex() const noexcept {
+    return state_->index.load(std::memory_order_acquire);
+  }
+  uint64_t currentBufferSeq() const noexcept {
+    return currentIndex() / state_->bufferWords;
+  }
+  uint64_t fillerWordsWritten() const noexcept {
+    return state_->fillerWords.load(std::memory_order_relaxed);
+  }
+  const ShmSlotState& slot(uint32_t i) const noexcept { return slots_[i]; }
+
+  /// Copies and decodes the most recent events (flight-recorder style).
+  std::vector<DecodedEvent> snapshot(size_t maxEvents = 0) const;
+
+  /// Consumes every complete buffer after `nextSeq` into `sink`; returns
+  /// the new nextSeq. Call with producers quiesced or accept best-effort
+  /// (same contract as Consumer).
+  uint64_t drainCompleteBuffers(uint64_t nextSeq, Sink& sink) const;
+
+  /// Pads the current buffer to its boundary (Facility::flush analogue).
+  void flushCurrentBuffer() noexcept;
+
+ private:
+  ShmTraceControl(ShmControlState* state, ClockRef clock);
+  bool reserveSlow(uint32_t lengthWords, Reservation& out) noexcept;
+  void writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept;
+  void writeAnchor(uint64_t index, uint64_t fullTs, uint64_t seq) noexcept;
+  bool crossInto(uint64_t oldIndex, uint64_t offsetInBuffer, uint32_t extraWords,
+                 Reservation& out) noexcept;
+
+  ShmControlState* state_ = nullptr;
+  ShmSlotState* slots_ = nullptr;
+  uint64_t* words_ = nullptr;
+  ClockRef clock_{};
+  uint32_t maxEventWords_ = 0;
+  uint64_t regionMask_ = 0;
+};
+
+}  // namespace ktrace

@@ -1,0 +1,72 @@
+// Buffer sinks: where completed trace buffers go.
+//
+// The paper separates collection from analysis (§2 goal 5): the logging
+// side only fills buffers; a consumer hands each completed buffer to a
+// sink, which may keep it in memory, write it to disk, or drop it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ktrace {
+
+/// A completed per-processor buffer, copied out of the trace region.
+struct BufferRecord {
+  uint32_t processor = 0;
+  uint64_t seq = 0;               // global buffer sequence on that processor
+  uint64_t committedDelta = 0;    // words committed during this lap
+  bool commitMismatch = false;    // delta != bufferWords at consume time (§3.1 anomaly)
+  std::vector<uint64_t> words;    // bufferWords words
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  /// Called by the consumer thread with each completed buffer, in
+  /// per-processor seq order (interleaving across processors is arbitrary).
+  virtual void onBuffer(BufferRecord&& record) = 0;
+};
+
+/// Keeps every buffer in memory; the unit tests' and analysis tools' view
+/// of a completed trace.
+class MemorySink final : public Sink {
+ public:
+  void onBuffer(BufferRecord&& record) override {
+    std::lock_guard lock(mutex_);
+    records_.push_back(std::move(record));
+  }
+
+  /// Snapshot of the records received so far.
+  std::vector<BufferRecord> records() const {
+    std::lock_guard lock(mutex_);
+    return records_;
+  }
+
+  size_t count() const {
+    std::lock_guard lock(mutex_);
+    return records_.size();
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<BufferRecord> records_;
+};
+
+/// Drops buffers but counts them (benchmarking the producer side without
+/// sink cost).
+class NullSink final : public Sink {
+ public:
+  void onBuffer(BufferRecord&&) override { ++count_; }
+  uint64_t count() const noexcept { return count_; }
+
+ private:
+  uint64_t count_ = 0;  // consumer thread only
+};
+
+}  // namespace ktrace

@@ -1,0 +1,114 @@
+#include "core/timestamp.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define KTRACE_HAVE_RDTSC 1
+#endif
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#define KTRACE_HAVE_RAW_SYSCALL 1
+#endif
+
+namespace ktrace {
+
+uint64_t TscClock::now() noexcept {
+#ifdef KTRACE_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+double TscClock::ticksPerSecond() {
+  static const double cached = [] {
+#ifdef KTRACE_HAVE_RDTSC
+    // Calibrate rdtsc against steady_clock over a short window.
+    const auto wall0 = std::chrono::steady_clock::now();
+    const uint64_t t0 = now();
+    for (;;) {
+      const auto wall1 = std::chrono::steady_clock::now();
+      if (wall1 - wall0 >= std::chrono::milliseconds(20)) {
+        const uint64_t t1 = now();
+        const double secs =
+            std::chrono::duration<double>(wall1 - wall0).count();
+        return static_cast<double>(t1 - t0) / secs;
+      }
+    }
+#else
+    using period = std::chrono::steady_clock::period;
+    return static_cast<double>(period::den) / static_cast<double>(period::num);
+#endif
+  }();
+  return cached;
+}
+
+uint64_t SyscallClock::now() noexcept {
+#ifdef KTRACE_HAVE_RAW_SYSCALL
+  // Bypass the vDSO so this costs a genuine user/kernel transition, like
+  // the gettimeofday path the paper contrasts against.
+  struct timespec ts;
+  syscall(SYS_clock_gettime, CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+#endif
+}
+
+void TscWallInterpolator::addSyncPoint(uint64_t tsc, uint64_t wallNs) {
+  if (count_ == kMax) return;  // keep the earliest points; callers sample sparsely
+  if (count_ > 0 && tsc <= points_[count_ - 1].tsc) return;  // must increase
+  points_[count_++] = {tsc, wallNs};
+}
+
+uint64_t TscWallInterpolator::tscToWallNs(uint64_t tsc) const {
+  if (count_ == 0) return 0;
+  if (count_ == 1) return points_[0].wallNs;
+  // Find the bracketing pair; clamp to the outermost segment outside range.
+  size_t hi = 1;
+  while (hi + 1 < count_ && points_[hi].tsc < tsc) ++hi;
+  const SyncPoint& a = points_[hi - 1];
+  const SyncPoint& b = points_[hi];
+  const double slope = static_cast<double>(b.wallNs - a.wallNs) /
+                       static_cast<double>(b.tsc - a.tsc);
+  const double dt = static_cast<double>(tsc) - static_cast<double>(a.tsc);
+  const double result = static_cast<double>(a.wallNs) + slope * dt;
+  return result < 0 ? 0 : static_cast<uint64_t>(result);
+}
+
+ClockRef defaultClockRef(ClockKind kind) {
+  switch (kind) {
+    case ClockKind::Tsc:
+      return TscClock::ref();
+    case ClockKind::Syscall:
+      return SyscallClock::ref();
+    case ClockKind::Virtual:
+    case ClockKind::Fake:
+      break;
+  }
+  throw std::invalid_argument(
+      "defaultClockRef: Virtual/Fake clocks need caller-provided instances");
+}
+
+double clockTicksPerSecond(ClockKind kind) {
+  switch (kind) {
+    case ClockKind::Tsc:
+      return TscClock::ticksPerSecond();
+    case ClockKind::Syscall:
+      return SyscallClock::ticksPerSecond();
+    case ClockKind::Virtual:
+    case ClockKind::Fake:
+      return 1e9;  // simulated ticks are defined as nanoseconds
+  }
+  return 1e9;
+}
+
+}  // namespace ktrace

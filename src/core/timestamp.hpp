@@ -1,0 +1,146 @@
+// Timestamp acquisition strategies.
+//
+// The paper leans on cheap timestamp acquisition as one of the three
+// ingredients of its order-of-magnitude win over locking tracers (§4.1):
+//   - On PowerPC, K42 reads the synchronized timebase register cheaply from
+//     user space. Our analogue is TscClock (rdtsc, or steady_clock where
+//     rdtsc is unavailable).
+//   - Pre-K42 LTT on x86 called gettimeofday per event. Our analogue is
+//     SyscallClock, which deliberately enters the kernel (bypassing the
+//     vDSO) so it costs what a real syscall costs.
+//   - The improved LTT logs the raw tsc per event and interpolates against
+//     wall-clock sync points taken at buffer boundaries. TscWallInterpolator
+//     implements that reconstruction.
+//   - VirtualClock serves the ossim discrete-event simulator: time is a
+//     value the simulator advances explicitly.
+//   - FakeClock gives tests full control of the time sequence.
+//
+// The logger takes a ClockRef (function pointer + context): one indirect
+// call per event, uniform across strategies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ktrace {
+
+enum class ClockKind : uint8_t {
+  Tsc = 0,
+  Syscall = 1,
+  Virtual = 2,
+  Fake = 3,
+};
+
+/// A bound clock: fn(ctx) returns the current tick count. Copyable; the
+/// pointed-to context must outlive every TraceControl using it.
+struct ClockRef {
+  uint64_t (*fn)(const void* ctx) = nullptr;
+  const void* ctx = nullptr;
+
+  uint64_t operator()() const noexcept { return fn(ctx); }
+  bool valid() const noexcept { return fn != nullptr; }
+};
+
+/// Cycle-counter clock (K42's PowerPC timebase analogue). Stateless.
+class TscClock {
+ public:
+  static uint64_t now() noexcept;
+  static ClockRef ref() noexcept { return {&trampoline, nullptr}; }
+  /// Measured ticks per second (calibrated once, cached).
+  static double ticksPerSecond();
+
+ private:
+  static uint64_t trampoline(const void*) noexcept { return now(); }
+};
+
+/// Deliberately expensive clock: a genuine kernel entry per reading, like
+/// gettimeofday on a pre-vDSO x86. Returns nanoseconds since the epoch.
+class SyscallClock {
+ public:
+  static uint64_t now() noexcept;
+  static ClockRef ref() noexcept { return {&trampoline, nullptr}; }
+  static double ticksPerSecond() { return 1e9; }
+
+ private:
+  static uint64_t trampoline(const void*) noexcept { return now(); }
+};
+
+/// Simulator-driven clock: reads an externally advanced atomic tick count.
+/// One instance per simulated processor.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(uint64_t start) : ticks_(start) {}
+
+  void advance(uint64_t delta) noexcept { ticks_.fetch_add(delta, std::memory_order_relaxed); }
+  void set(uint64_t t) noexcept { ticks_.store(t, std::memory_order_relaxed); }
+  uint64_t now() const noexcept { return ticks_.load(std::memory_order_relaxed); }
+
+  ClockRef ref() const noexcept { return {&trampoline, this}; }
+
+ private:
+  static uint64_t trampoline(const void* ctx) noexcept {
+    return static_cast<const VirtualClock*>(ctx)->now();
+  }
+  std::atomic<uint64_t> ticks_{0};
+};
+
+/// Test clock: monotonically increments on every reading by a configurable
+/// step, starting from a configurable origin.
+class FakeClock {
+ public:
+  explicit FakeClock(uint64_t start = 0, uint64_t step = 1)
+      : ticks_(start), step_(step) {}
+
+  uint64_t now() const noexcept {
+    return ticks_.fetch_add(step_, std::memory_order_relaxed);
+  }
+  void set(uint64_t t) noexcept { ticks_.store(t, std::memory_order_relaxed); }
+  uint64_t peek() const noexcept { return ticks_.load(std::memory_order_relaxed); }
+
+  ClockRef ref() const noexcept { return {&trampoline, this}; }
+
+ private:
+  static uint64_t trampoline(const void* ctx) noexcept {
+    return static_cast<const FakeClock*>(ctx)->now();
+  }
+  mutable std::atomic<uint64_t> ticks_;
+  uint64_t step_;
+};
+
+/// Reconstructs wall-clock times from raw tsc values using sync points
+/// (tsc, wallNs) sampled at buffer boundaries — the LTT x86 scheme (§4.1):
+/// "LTT logs the cheaply available tsc with each event, and only at the
+/// beginning and end is the more expensive call made allowing
+/// synchronization ... through interpolation".
+class TscWallInterpolator {
+ public:
+  struct SyncPoint {
+    uint64_t tsc = 0;
+    uint64_t wallNs = 0;
+  };
+
+  void addSyncPoint(uint64_t tsc, uint64_t wallNs);
+  bool ready() const noexcept { return count_ >= 2; }
+
+  /// Linear interpolation/extrapolation between the two bracketing sync
+  /// points (or the outermost pair when out of range).
+  uint64_t tscToWallNs(uint64_t tsc) const;
+
+  size_t syncPointCount() const noexcept { return count_; }
+
+ private:
+  static constexpr size_t kMax = 4096;
+  SyncPoint points_[kMax];
+  size_t count_ = 0;
+};
+
+/// Returns a ClockRef for the given kind using the process-wide instances.
+/// Virtual/Fake kinds require caller-provided instances and are not
+/// resolvable here.
+ClockRef defaultClockRef(ClockKind kind);
+
+/// Ticks-per-second for trace-file metadata.
+double clockTicksPerSecond(ClockKind kind);
+
+}  // namespace ktrace

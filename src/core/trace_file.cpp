@@ -1,0 +1,165 @@
+#include "core/trace_file.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace ktrace {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', '4', '2', 'T', 'R', 'C', 'F', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kHeaderBytes = 128;
+constexpr uint64_t kRecordHeaderBytes = 32;
+
+struct DiskFileHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t processorId;
+  uint32_t numProcessors;
+  uint32_t bufferWords;
+  uint32_t clockKind;
+  uint32_t reserved0;
+  uint64_t ticksPerSecondBits;  // double, bit-cast
+  uint64_t startWallNs;
+  uint64_t startTicks;
+  uint8_t padding[kHeaderBytes - 8 - 4 * 6 - 8 * 3];
+};
+static_assert(sizeof(DiskFileHeader) == kHeaderBytes);
+
+struct DiskRecordHeader {
+  uint64_t seq;
+  uint64_t committedDelta;
+  uint32_t processor;
+  uint32_t flags;  // bit 0: commit mismatch
+  uint64_t reserved;
+};
+static_assert(sizeof(DiskRecordHeader) == kRecordHeaderBytes);
+
+}  // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& meta)
+    : meta_(meta) {
+  if (meta_.bufferWords == 0) {
+    throw std::invalid_argument("TraceFileWriter: bufferWords must be set");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceFileWriter: cannot open " + path);
+  }
+  DiskFileHeader h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.processorId = meta_.processorId;
+  h.numProcessors = meta_.numProcessors;
+  h.bufferWords = meta_.bufferWords;
+  h.clockKind = static_cast<uint32_t>(meta_.clockKind);
+  std::memcpy(&h.ticksPerSecondBits, &meta_.ticksPerSecond, sizeof(double));
+  h.startWallNs = meta_.startWallNs;
+  h.startTicks = meta_.startTicks;
+  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
+    throw std::runtime_error("TraceFileWriter: header write failed");
+  }
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceFileWriter::writeBuffer(const BufferRecord& record) {
+  if (record.words.size() != meta_.bufferWords) {
+    throw std::invalid_argument("TraceFileWriter: buffer size mismatch");
+  }
+  DiskRecordHeader rh{};
+  rh.seq = record.seq;
+  rh.committedDelta = record.committedDelta;
+  rh.processor = record.processor;
+  rh.flags = record.commitMismatch ? 1u : 0u;
+  if (std::fwrite(&rh, sizeof(rh), 1, file_) != 1 ||
+      std::fwrite(record.words.data(), sizeof(uint64_t), record.words.size(), file_) !=
+          record.words.size()) {
+    throw std::runtime_error("TraceFileWriter: record write failed");
+  }
+  ++buffersWritten_;
+}
+
+void TraceFileWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+TraceFileReader::TraceFileReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("TraceFileReader: cannot open " + path);
+  }
+  DiskFileHeader h{};
+  if (std::fread(&h, sizeof(h), 1, file_) != 1 ||
+      std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 || h.version != kVersion) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw std::runtime_error("TraceFileReader: bad header in " + path);
+  }
+  meta_.processorId = h.processorId;
+  meta_.numProcessors = h.numProcessors;
+  meta_.bufferWords = h.bufferWords;
+  meta_.clockKind = static_cast<ClockKind>(h.clockKind);
+  std::memcpy(&meta_.ticksPerSecond, &h.ticksPerSecondBits, sizeof(double));
+  meta_.startWallNs = h.startWallNs;
+  meta_.startTicks = h.startTicks;
+
+  headerBytes_ = kHeaderBytes;
+  recordBytes_ = kRecordHeaderBytes + static_cast<uint64_t>(meta_.bufferWords) * 8;
+  std::fseek(file_, 0, SEEK_END);
+  const long size = std::ftell(file_);
+  bufferCount_ = (static_cast<uint64_t>(size) - headerBytes_) / recordBytes_;
+}
+
+TraceFileReader::~TraceFileReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
+  if (k >= bufferCount_) return false;
+  const uint64_t offset = headerBytes_ + k * recordBytes_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) return false;
+  DiskRecordHeader rh{};
+  if (std::fread(&rh, sizeof(rh), 1, file_) != 1) return false;
+  out.seq = rh.seq;
+  out.committedDelta = rh.committedDelta;
+  out.processor = rh.processor;
+  out.commitMismatch = (rh.flags & 1u) != 0;
+  out.words.resize(meta_.bufferWords);
+  return std::fread(out.words.data(), sizeof(uint64_t), out.words.size(), file_) ==
+         out.words.size();
+}
+
+FileSink::FileSink(std::string directory, std::string baseName,
+                   const TraceFileMeta& commonMeta)
+    : directory_(std::move(directory)), baseName_(std::move(baseName)),
+      commonMeta_(commonMeta), writers_(commonMeta.numProcessors) {}
+
+std::string FileSink::pathFor(uint32_t processor) const {
+  return util::strprintf("%s/%s.cpu%u.ktrc", directory_.c_str(), baseName_.c_str(),
+                         processor);
+}
+
+void FileSink::onBuffer(BufferRecord&& record) {
+  if (record.processor >= writers_.size()) return;
+  auto& writer = writers_[record.processor];
+  if (writer == nullptr) {
+    TraceFileMeta meta = commonMeta_;
+    meta.processorId = record.processor;
+    writer = std::make_unique<TraceFileWriter>(pathFor(record.processor), meta);
+  }
+  writer->writeBuffer(record);
+}
+
+void FileSink::flush() {
+  for (auto& writer : writers_) {
+    if (writer != nullptr) writer->flush();
+  }
+}
+
+}  // namespace ktrace

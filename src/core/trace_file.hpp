@@ -1,0 +1,97 @@
+// On-disk trace file format.
+//
+// One file per processor (the paper notes "gigabytes per processor is
+// common"). The file is a fixed-size header followed by fixed-size buffer
+// records, so tools can seek directly to the k-th buffer — the random
+// access property of §3.2: every record starts at a known offset and its
+// contents begin at an event boundary (buffers start with an anchor).
+//
+// Layout (all little-endian):
+//   TraceFileHeader               (128 bytes)
+//   repeat: BufferRecordHeader    (32 bytes)
+//           bufferWords * 8 bytes of trace words
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/sink.hpp"
+#include "core/timestamp.hpp"
+
+namespace ktrace {
+
+struct TraceFileMeta {
+  uint32_t processorId = 0;
+  uint32_t numProcessors = 1;
+  uint32_t bufferWords = 0;
+  ClockKind clockKind = ClockKind::Tsc;
+  double ticksPerSecond = 1e9;
+  uint64_t startWallNs = 0;  // wall-clock time of facility start
+  uint64_t startTicks = 0;   // facility clock at the same instant
+};
+
+class TraceFileWriter {
+ public:
+  TraceFileWriter(const std::string& path, const TraceFileMeta& meta);
+  ~TraceFileWriter();
+
+  TraceFileWriter(const TraceFileWriter&) = delete;
+  TraceFileWriter& operator=(const TraceFileWriter&) = delete;
+
+  /// Appends one buffer record. record.words.size() must equal
+  /// meta.bufferWords.
+  void writeBuffer(const BufferRecord& record);
+
+  uint64_t buffersWritten() const noexcept { return buffersWritten_; }
+  void flush();
+
+ private:
+  std::FILE* file_ = nullptr;
+  TraceFileMeta meta_;
+  uint64_t buffersWritten_ = 0;
+};
+
+class TraceFileReader {
+ public:
+  explicit TraceFileReader(const std::string& path);
+  ~TraceFileReader();
+
+  TraceFileReader(const TraceFileReader&) = delete;
+  TraceFileReader& operator=(const TraceFileReader&) = delete;
+
+  const TraceFileMeta& meta() const noexcept { return meta_; }
+  uint64_t bufferCount() const noexcept { return bufferCount_; }
+
+  /// Random access: read the k-th buffer record without scanning. Returns
+  /// false past the end or on a short/corrupt record.
+  bool readBuffer(uint64_t k, BufferRecord& out);
+
+ private:
+  std::FILE* file_ = nullptr;
+  TraceFileMeta meta_;
+  uint64_t bufferCount_ = 0;
+  uint64_t recordBytes_ = 0;
+  uint64_t headerBytes_ = 0;
+};
+
+/// A FileSink writes each processor's buffers to "<dir>/<base>.cpuN.ktrc".
+class FileSink final : public Sink {
+ public:
+  FileSink(std::string directory, std::string baseName, const TraceFileMeta& commonMeta);
+
+  void onBuffer(BufferRecord&& record) override;
+  void flush();
+
+  /// Path used for a given processor.
+  std::string pathFor(uint32_t processor) const;
+
+ private:
+  std::string directory_;
+  std::string baseName_;
+  TraceFileMeta commonMeta_;
+  std::vector<std::unique_ptr<TraceFileWriter>> writers_;
+};
+
+}  // namespace ktrace

@@ -1,0 +1,143 @@
+#include "ossim/events.hpp"
+
+#include <array>
+
+namespace ossim {
+
+using ktrace::EventDescriptor;
+using ktrace::Major;
+
+const char* syscallName(Syscall sc) noexcept {
+  switch (sc) {
+    case Syscall::Fork: return "SCfork";
+    case Syscall::Execve: return "SCexecve";
+    case Syscall::Open: return "SCopen";
+    case Syscall::Read: return "SCread";
+    case Syscall::Write: return "SCwrite";
+    case Syscall::Close: return "SCclose";
+    case Syscall::Brk: return "SCbrk";
+    case Syscall::Mmap: return "SCmmap";
+    case Syscall::Stat: return "SCstat";
+    case Syscall::Exit: return "SCexit";
+    case Syscall::GetPid: return "SCgetpid";
+    case Syscall::SyscallCount: break;
+  }
+  return "SCunknown";
+}
+
+void registerOssimEvents(ktrace::Registry& registry) {
+  const std::array<EventDescriptor, 36> descs = {{
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Dispatch),
+       KT_TR(TRACE_SCHED_DISPATCH), "64 64",
+       "dispatch pid %0[%llu] thread %1[%llx]"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Preempt),
+       KT_TR(TRACE_SCHED_PREEMPT), "64 64",
+       "preempt pid %0[%llu] thread %1[%llx]"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Block),
+       KT_TR(TRACE_SCHED_BLOCK), "64 64 64",
+       "block pid %0[%llu] thread %1[%llx] reason %2[%llu]"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Unblock),
+       KT_TR(TRACE_SCHED_UNBLOCK), "64 64",
+       "unblock pid %0[%llu] thread %1[%llx]"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Idle),
+       KT_TR(TRACE_SCHED_IDLE), "", "idle"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::Migrate),
+       KT_TR(TRACE_SCHED_MIGRATE), "64 64 64 64",
+       "migrate pid %0[%llu] thread %1[%llx] cpu %2[%llu] -> %3[%llu]"},
+      {Major::Sched, static_cast<uint16_t>(SchedMinor::ThreadExit),
+       KT_TR(TRACE_SCHED_THREAD_EXIT), "64 64",
+       "thread exit pid %0[%llu] thread %1[%llx]"},
+
+      {Major::Proc, static_cast<uint16_t>(ProcMinor::Fork),
+       KT_TR(TRACE_PROC_FORK), "64 64",
+       "fork parent %0[%llu] child %1[%llu]"},
+      {Major::Proc, static_cast<uint16_t>(ProcMinor::Exec),
+       KT_TR(TRACE_PROC_EXEC), "64 str", "exec pid %0[%llu] name %1[%s]"},
+      {Major::Proc, static_cast<uint16_t>(ProcMinor::Exit),
+       KT_TR(TRACE_PROC_EXIT), "64 64", "exit pid %0[%llu] status %1[%llu]"},
+      {Major::Proc, static_cast<uint16_t>(ProcMinor::ThreadCreate),
+       KT_TR(TRACE_PROC_THREAD_CREATE), "64 64 64",
+       "thread create pid %0[%llu] thread %1[%llx] entry %2[%llu]"},
+
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PgfltStart),
+       KT_TR(TRACE_EXCEPTION_PGFLT), "64 64 64",
+       "PGFLT, pid %0[%llu], faultAddr %1[%llx], kind %2[%llu]"},
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PgfltDone),
+       KT_TR(TRACE_EXCEPTION_PGFLT_DONE), "64 64",
+       "PGFLT DONE, pid %0[%llu], faultAddr %1[%llx]"},
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PpcCall),
+       KT_TR(TRACE_EXCEPTION_PPC_CALL), "64", "PPC CALL, commID %0[%llx]"},
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PpcReturn),
+       KT_TR(TRACE_EXCEPTION_PPC_RETURN), "64", "PPC RETURN, commID %0[%llx]"},
+
+      {Major::Mem, static_cast<uint16_t>(MemMinor::RegionCreate),
+       KT_TR(TRACE_MEM_REG_CREATE), "64 64",
+       "Region %0[%llx] created size %1[%llx]"},
+      {Major::Mem, static_cast<uint16_t>(MemMinor::RegionAttach),
+       KT_TR(TRACE_MEM_FCMCOM_ATCH_REG), "64 64",
+       "Region %0[%llx] attached to FCM %1[%llx]"},
+      {Major::Mem, static_cast<uint16_t>(MemMinor::Alloc),
+       KT_TR(TRACE_MEM_ALLOC), "64 64", "alloc pid %0[%llu] bytes %1[%llu]"},
+      {Major::Mem, static_cast<uint16_t>(MemMinor::Free),
+       KT_TR(TRACE_MEM_FREE), "64 64", "free pid %0[%llu] bytes %1[%llu]"},
+
+      {Major::Lock, static_cast<uint16_t>(LockMinor::ContendStart),
+       KT_TR(TRACE_LOCK_CONTEND_START), "64 64 64",
+       "lock %0[%llx] contend pid %1[%llu] chainLen %2[%llu]"},
+      {Major::Lock, static_cast<uint16_t>(LockMinor::Acquired),
+       KT_TR(TRACE_LOCK_ACQUIRED), "64 64 64 64",
+       "lock %0[%llx] acquired pid %1[%llu] spins %2[%llu] wait %3[%llu]"},
+      {Major::Lock, static_cast<uint16_t>(LockMinor::Release),
+       KT_TR(TRACE_LOCK_RELEASE), "64 64 64",
+       "lock %0[%llx] release pid %1[%llu] held %2[%llu]"},
+      {Major::Lock, static_cast<uint16_t>(LockMinor::HotSwap),
+       KT_TR(TRACE_LOCK_HOT_SWAP), "64 64",
+       "lock %0[%llx] hot-swapped to per-cpu base %1[%llx]"},
+
+      {Major::Io, static_cast<uint16_t>(IoMinor::Open),
+       KT_TR(TRACE_IO_OPEN), "64 64", "open pid %0[%llu] fd %1[%llu]"},
+      {Major::Io, static_cast<uint16_t>(IoMinor::Read),
+       KT_TR(TRACE_IO_READ), "64 64 64",
+       "read pid %0[%llu] fd %1[%llu] bytes %2[%llu]"},
+      {Major::Io, static_cast<uint16_t>(IoMinor::Write),
+       KT_TR(TRACE_IO_WRITE), "64 64 64",
+       "write pid %0[%llu] fd %1[%llu] bytes %2[%llu]"},
+      {Major::Io, static_cast<uint16_t>(IoMinor::Close),
+       KT_TR(TRACE_IO_CLOSE), "64 64", "close pid %0[%llu] fd %1[%llu]"},
+
+      {Major::Ipc, static_cast<uint16_t>(IpcMinor::Call),
+       KT_TR(TRACE_IPC_CALL), "64 64 64",
+       "ipc call %0[%llu] -> %1[%llu] func %2[%llu]"},
+      {Major::Ipc, static_cast<uint16_t>(IpcMinor::Return),
+       KT_TR(TRACE_IPC_RETURN), "64 64 64",
+       "ipc return %0[%llu] <- %1[%llu] func %2[%llu]"},
+
+      {Major::User, static_cast<uint16_t>(UserMinor::RunULoader),
+       KT_TR(TRACE_USER_RUN_UL_LOADER), "64 64 str",
+       "process %0[%llu] created new process with id %1[%llu] name %2[%s]"},
+      {Major::User, static_cast<uint16_t>(UserMinor::ReturnedMain),
+       KT_TR(TRACE_USER_RETURNED_MAIN), "64", "process %0[%llu] returned from main"},
+
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallEnter),
+       KT_TR(TRACE_LINUX_SYSCALL_ENTER), "64 64",
+       "syscall enter pid %0[%llu] sc %1[%llu]"},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallExit),
+       KT_TR(TRACE_LINUX_SYSCALL_EXIT), "64 64",
+       "syscall exit pid %0[%llu] sc %1[%llu]"},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuEnter),
+       KT_TR(TRACE_LINUX_EMU_ENTER), "64", "emu enter pid %0[%llu]"},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuExit),
+       KT_TR(TRACE_LINUX_EMU_EXIT), "64", "emu exit pid %0[%llu]"},
+
+      {Major::Prof, static_cast<uint16_t>(ProfMinor::PcSample),
+       KT_TR(TRACE_PROF_PC_SAMPLE), "64 64",
+       "pc sample pid %0[%llu] func %1[%llu]"},
+  }};
+  registry.addAll(descs);
+
+  registry.add({Major::HwPerf, static_cast<uint16_t>(HwPerfMinor::CounterSample),
+                KT_TR(TRACE_HWPERF_COUNTER_SAMPLE), "64 64 64 64",
+                "hw counter pid %0[%llu] id %1[%llu] delta %2[%llu] func %3[%llu]"});
+}
+
+}  // namespace ossim

@@ -1,0 +1,158 @@
+// Event schema of the simulated multiprocessor OS (the K42 stand-in).
+//
+// These are the "well known events that affect behavior" of paper §5 —
+// context switches, page faults, IPC, lock contention, emulation-layer
+// transitions — with minor IDs grouped under the per-subsystem major
+// classes of §3.2. Analysis tools share this header with the simulator the
+// same way K42's post-processing tools share event definitions with the
+// kernel.
+//
+// Payload layouts (all 64-bit words unless noted):
+//   Sched/Dispatch      [pid, tid]
+//   Sched/Preempt       [pid, tid]
+//   Sched/Block         [pid, tid, reason]
+//   Sched/Unblock       [pid, tid]
+//   Sched/Idle          []
+//   Sched/Migrate       [pid, tid, fromCpu, toCpu]
+//   Sched/ThreadExit    [pid, tid]
+//   Proc/Fork           [parentPid, childPid]
+//   Proc/Exec           [pid, str name]
+//   Proc/Exit           [pid, status]
+//   Proc/ThreadCreate   [pid, tid, entryFuncId]
+//   Exc/PgfltStart      [pid, faultAddr, kind]   kind: 0 minor, 1 major
+//   Exc/PgfltDone       [pid, faultAddr]
+//   Exc/PpcCall         [commId]                  (IPC entry, like K42 PPC CALL)
+//   Exc/PpcReturn       [commId]
+//   Mem/RegionCreate    [regionId, size]
+//   Mem/RegionAttach    [regionId, fcmId]
+//   Mem/Alloc           [pid, bytes]
+//   Mem/Free            [pid, bytes]
+//   Lock/ContendStart   [lockId, pid, chainLen, chain...]
+//   Lock/Acquired       [lockId, pid, spinCount, waitTicks]
+//   Lock/Release        [lockId, pid, holdTicks]
+//   Io/Open             [pid, fd]
+//   Io/Read             [pid, fd, bytes]
+//   Io/Write            [pid, fd, bytes]
+//   Io/Close            [pid, fd]
+//   Ipc/Call            [srcPid, dstPid, funcId]
+//   Ipc/Return          [srcPid, dstPid, funcId]
+//   User/RunULoader     [creatorPid, newPid, str name]
+//   User/ReturnedMain   [pid]
+//   Linux/SyscallEnter  [pid, syscallId]
+//   Linux/SyscallExit   [pid, syscallId]
+//   Linux/EmuEnter      [pid]
+//   Linux/EmuExit       [pid]
+//   Prof/PcSample       [pid, funcId]
+//   HwPerf/CounterSample [pid, counterId, delta, funcId]  (paper §2:
+//                        hardware counters logged as trace events so the
+//                        tools can study memory bottlenecks/hot-spots)
+#pragma once
+
+#include <cstdint>
+
+#include "core/registry.hpp"
+
+namespace ossim {
+
+enum class SchedMinor : uint16_t {
+  Dispatch = 0,
+  Preempt = 1,
+  Block = 2,
+  Unblock = 3,
+  Idle = 4,
+  Migrate = 5,
+  ThreadExit = 6,
+};
+
+enum class ProcMinor : uint16_t {
+  Fork = 0,
+  Exec = 1,
+  Exit = 2,
+  ThreadCreate = 3,
+};
+
+enum class ExcMinor : uint16_t {
+  PgfltStart = 0,
+  PgfltDone = 1,
+  PpcCall = 2,
+  PpcReturn = 3,
+};
+
+enum class MemMinor : uint16_t {
+  RegionCreate = 0,
+  RegionAttach = 1,
+  Alloc = 2,
+  Free = 3,
+};
+
+enum class LockMinor : uint16_t {
+  ContendStart = 0,
+  Acquired = 1,
+  Release = 2,
+  /// §5 future work: the hot-swapping infrastructure replaced this lock
+  /// with per-processor instances, driven by tracing feedback.
+  /// Payload: [lockId, newBaseId].
+  HotSwap = 3,
+};
+
+enum class IoMinor : uint16_t {
+  Open = 0,
+  Read = 1,
+  Write = 2,
+  Close = 3,
+};
+
+enum class IpcMinor : uint16_t {
+  Call = 0,
+  Return = 1,
+};
+
+enum class UserMinor : uint16_t {
+  RunULoader = 0,
+  ReturnedMain = 1,
+};
+
+enum class LinuxMinor : uint16_t {
+  SyscallEnter = 0,
+  SyscallExit = 1,
+  EmuEnter = 2,
+  EmuExit = 3,
+};
+
+enum class ProfMinor : uint16_t {
+  PcSample = 0,
+};
+
+enum class HwPerfMinor : uint16_t {
+  CounterSample = 0,
+};
+
+/// Well-known process ids, as in the paper (§4.6): "PID 0 in K42 is the
+/// kernel and 1 is baseServers".
+constexpr uint64_t kKernelPid = 0;
+constexpr uint64_t kBaseServersPid = 1;
+constexpr uint64_t kFirstUserPid = 2;
+
+/// Simulated syscall ids (the SC* rows of Figure 8).
+enum class Syscall : uint16_t {
+  Fork = 0,
+  Execve = 1,
+  Open = 2,
+  Read = 3,
+  Write = 4,
+  Close = 5,
+  Brk = 6,
+  Mmap = 7,
+  Stat = 8,
+  Exit = 9,
+  GetPid = 10,
+  SyscallCount = 11,
+};
+
+const char* syscallName(Syscall sc) noexcept;
+
+/// Registers every ossim event descriptor (names, formats, display
+/// templates) so generic tools can print traces from the simulator.
+void registerOssimEvents(ktrace::Registry& registry);
+
+}  // namespace ossim

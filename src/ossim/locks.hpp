@@ -1,0 +1,55 @@
+// Virtual-time lock model.
+//
+// Models a FairBLock-style FIFO spinlock: the lock is "free at" some
+// virtual time; an acquire arriving earlier spins (burning CPU) until that
+// time. Because the Machine executes ops in global time order, arrival
+// order approximates the FIFO hand-off of K42's FairBLock. Contended
+// acquisitions log the ContendStart/Acquired/Release events the paper's
+// lock analysis tool consumes (§4.6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ossim/program.hpp"
+
+namespace ossim {
+
+struct SimLock {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t ownerPid = ~0ull;  // informational
+  Tick freeAt = 0;
+
+  // Cumulative statistics (ground truth for validating the analysis tool).
+  uint64_t acquisitions = 0;
+  uint64_t contendedAcquisitions = 0;
+  Tick totalWaitNs = 0;
+  Tick maxWaitNs = 0;
+  Tick totalHoldNs = 0;
+};
+
+class LockTable {
+ public:
+  /// Gets or creates the lock.
+  SimLock& lock(uint64_t id) {
+    SimLock& l = locks_[id];
+    l.id = id;
+    return l;
+  }
+
+  bool contains(uint64_t id) const { return locks_.count(id) != 0; }
+  const std::map<uint64_t, SimLock>& all() const noexcept { return locks_; }
+
+  Tick totalWaitNs() const noexcept {
+    Tick total = 0;
+    for (const auto& [_, l] : locks_) total += l.totalWaitNs;
+    return total;
+  }
+
+ private:
+  std::map<uint64_t, SimLock> locks_;
+};
+
+}  // namespace ossim

@@ -1,0 +1,625 @@
+#include "ossim/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/logger.hpp"
+
+namespace ossim {
+
+using ktrace::Major;
+
+namespace {
+
+/// Relative kernel work per syscall (multiplied by syscallBaseNs).
+double syscallWeight(Syscall sc) noexcept {
+  switch (sc) {
+    case Syscall::Fork: return 5.0;
+    case Syscall::Execve: return 10.0;
+    case Syscall::Open: return 2.0;
+    case Syscall::Read: return 1.5;
+    case Syscall::Write: return 1.5;
+    case Syscall::Close: return 1.0;
+    case Syscall::Brk: return 1.0;
+    case Syscall::Mmap: return 3.0;
+    case Syscall::Stat: return 1.0;
+    case Syscall::Exit: return 1.0;
+    case Syscall::GetPid: return 0.2;
+    case Syscall::SyscallCount: break;
+  }
+  return 1.0;
+}
+
+/// Which syscalls are serviced by an IPC to baseServers (file-system-ish
+/// calls in K42 are served by user-level servers).
+bool syscallUsesIpc(Syscall sc) noexcept {
+  switch (sc) {
+    case Syscall::Open:
+    case Syscall::Read:
+    case Syscall::Write:
+    case Syscall::Close:
+    case Syscall::Stat:
+    case Syscall::Execve:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Machine::Machine(const MachineConfig& config, ktrace::Facility* facility)
+    : config_(config), facility_(facility), rng_(config.seed) {
+  if (config_.numProcessors == 0) {
+    throw std::invalid_argument("numProcessors must be >= 1");
+  }
+  if (facility_ != nullptr && facility_->numProcessors() < config_.numProcessors) {
+    throw std::invalid_argument("facility has fewer controls than processors");
+  }
+  cpus_.reserve(config_.numProcessors);
+  for (uint32_t p = 0; p < config_.numProcessors; ++p) {
+    auto cpu = std::make_unique<Cpu>();
+    cpu->id = p;
+    cpu->quantumLeft = config_.quantumNs;
+    if (facility_ != nullptr) {
+      facility_->setProcessorClock(p, cpu->clock.ref());
+      // The control's initial anchor was written with the facility's own
+      // clock; force a buffer crossing so the next buffer starts with an
+      // anchor in this processor's virtual timebase.
+      facility_->control(p).flushCurrentBuffer();
+    }
+    cpus_.push_back(std::move(cpu));
+  }
+}
+
+uint64_t Machine::registerProgram(Program program) {
+  programs_.push_back(std::move(program));
+  return programs_.size() - 1;
+}
+
+uint64_t Machine::spawnProcess(const std::string& name, uint64_t programId,
+                               uint32_t cpu, uint64_t parentPid, Tick startNotBefore) {
+  if (programId >= programs_.size()) {
+    throw std::invalid_argument("unknown program id");
+  }
+  const uint32_t target = cpu == kAutoCpu ? leastLoadedCpu() : cpu;
+  if (target >= cpus_.size()) throw std::invalid_argument("bad cpu");
+
+  auto thread = std::make_unique<SimThread>();
+  thread->tid = nextTid_++;
+  thread->pid = nextPid_++;
+  thread->programId = programId;
+  thread->processName = name;
+  thread->notBefore = startNotBefore;
+  const uint64_t pid = thread->pid;
+
+  Cpu& c = *cpus_[target];
+  logvString(c, Major::User, static_cast<uint16_t>(UserMinor::RunULoader),
+             name, {parentPid, pid});
+  logv(c, Major::Proc, static_cast<uint16_t>(ProcMinor::ThreadCreate), pid,
+       thread->tid, uint64_t{0});
+
+  c.runQueue.push_back(std::move(thread));
+  c.idleLogged = false;
+  ++liveThreads_;
+  ++stats_.processesCreated;
+  return pid;
+}
+
+uint32_t Machine::leastLoadedCpu() const {
+  uint32_t best = 0;
+  size_t bestLoad = ~size_t{0};
+  for (uint32_t p = 0; p < cpus_.size(); ++p) {
+    const size_t load = cpus_[p]->runQueue.size();
+    if (load < bestLoad) {
+      bestLoad = load;
+      best = p;
+    }
+  }
+  return best;
+}
+
+Tick Machine::now() const noexcept {
+  Tick maxNow = 0;
+  for (const auto& c : cpus_) maxNow = std::max(maxNow, c->now);
+  return maxNow;
+}
+
+bool Machine::allExited() const noexcept { return liveThreads_ == 0; }
+
+uint32_t Machine::pickNextCpu() const {
+  uint32_t best = ~0u;
+  Tick bestTime = ~Tick{0};
+  for (uint32_t p = 0; p < cpus_.size(); ++p) {
+    const Cpu& c = *cpus_[p];
+    if (c.runQueue.empty()) continue;
+    Tick minNotBefore = ~Tick{0};
+    for (const auto& t : c.runQueue) minNotBefore = std::min(minNotBefore, t->notBefore);
+    const Tick effective = std::max(c.now, minNotBefore);
+    if (effective < bestTime) {
+      bestTime = effective;
+      best = p;
+    }
+  }
+  return best;
+}
+
+void Machine::run(Tick untilNs) {
+  for (;;) {
+    if (config_.workStealing) {
+      for (auto& c : cpus_) {
+        if (c->runQueue.empty()) trySteal(*c);
+      }
+    }
+    const uint32_t pick = pickNextCpu();
+    if (pick == ~0u) break;  // everything exited
+    if (untilNs != 0 && cpus_[pick]->now >= untilNs) break;
+    step(*cpus_[pick]);
+  }
+  // Align idle processors with the makespan so utilization adds up.
+  const Tick horizon = untilNs != 0 ? std::max(untilNs, now()) : now();
+  for (auto& c : cpus_) {
+    if (c->runQueue.empty() && c->now < horizon) {
+      c->stats.idleNs += horizon - c->now;
+      c->now = horizon;
+    }
+  }
+}
+
+void Machine::step(Cpu& cpu) {
+  // Rotate until a ready thread is at the head; if none, idle-advance.
+  bool anyReady = false;
+  for (size_t i = 0; i < cpu.runQueue.size(); ++i) {
+    if (cpu.runQueue.front()->notBefore <= cpu.now) {
+      anyReady = true;
+      break;
+    }
+    cpu.runQueue.push_back(std::move(cpu.runQueue.front()));
+    cpu.runQueue.pop_front();
+    cpu.running = nullptr;
+  }
+  if (!anyReady) {
+    Tick wake = ~Tick{0};
+    for (const auto& t : cpu.runQueue) wake = std::min(wake, t->notBefore);
+    if (wake >= kBarrierParked) {
+      throw std::runtime_error(
+          "ossim: every runnable thread is parked at a barrier that can "
+          "never complete (participant count mismatch)");
+    }
+    if (!cpu.idleLogged) {
+      logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Idle));
+      cpu.idleLogged = true;
+    }
+    cpu.stats.idleNs += wake - cpu.now;
+    cpu.now = wake;
+  }
+  cpu.idleLogged = false;
+
+  if (cpu.running != cpu.runQueue.front().get()) dispatch(cpu);
+
+  SimThread& thread = *cpu.runQueue.front();
+  const bool exited = executeOp(cpu, thread);
+  if (exited) {
+    finishThread(cpu);
+    return;
+  }
+  if (cpu.quantumLeft == 0) {
+    if (cpu.runQueue.size() > 1) {
+      preempt(cpu);
+    } else {
+      cpu.quantumLeft = config_.quantumNs;  // timer tick, same thread resumes
+    }
+  }
+}
+
+void Machine::dispatch(Cpu& cpu) {
+  SimThread& thread = *cpu.runQueue.front();
+  cpu.now += config_.contextSwitchNs;
+  cpu.stats.busyNs += config_.contextSwitchNs;
+  cpu.running = &thread;
+  cpu.quantumLeft = config_.quantumNs;
+  cpu.stats.dispatches += 1;
+  if (thread.sleeping) {
+    thread.sleeping = false;
+    logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Unblock), thread.pid,
+         thread.tid);
+  }
+  logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Dispatch), thread.pid,
+       thread.tid);
+}
+
+void Machine::preempt(Cpu& cpu) {
+  SimThread& thread = *cpu.runQueue.front();
+  logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Preempt), thread.pid,
+       thread.tid);
+  cpu.stats.preemptions += 1;
+  cpu.runQueue.push_back(std::move(cpu.runQueue.front()));
+  cpu.runQueue.pop_front();
+  cpu.running = nullptr;
+}
+
+bool Machine::trySteal(Cpu& cpu) {
+  // Find the donor with the most ready surplus.
+  Cpu* donor = nullptr;
+  for (auto& candidate : cpus_) {
+    if (candidate.get() == &cpu || candidate->runQueue.size() < 2) continue;
+    if (donor == nullptr || candidate->runQueue.size() > donor->runQueue.size()) {
+      donor = candidate.get();
+    }
+  }
+  if (donor == nullptr) return false;
+  // Steal from the back (the thread waiting longest for the donor's cpu),
+  // never the currently dispatched front.
+  auto thread = std::move(donor->runQueue.back());
+  donor->runQueue.pop_back();
+  // The thread's events so far were logged at times <= donor->now; keep
+  // its timeline causal on the new processor.
+  thread->notBefore = std::max(thread->notBefore, donor->now);
+  ++stats_.migrations;
+  logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Migrate), thread->pid,
+       thread->tid, static_cast<uint64_t>(donor->id), static_cast<uint64_t>(cpu.id));
+  cpu.runQueue.push_back(std::move(thread));
+  cpu.idleLogged = false;
+  return true;
+}
+
+uint64_t Machine::resolveLockId(const Cpu& cpu, uint64_t lockId) {
+  if (hotSwappedLocks_.count(lockId) == 0) return lockId;
+  // Per-processor instance namespace for hot-swapped locks.
+  return lockId + 0x0100'0000 + cpu.id;
+}
+
+bool Machine::executeOp(Cpu& cpu, SimThread& thread) {
+  // Lazy-fork children take their deferred page faults first (§4's fork
+  // optimization: state is replicated in the child on demand).
+  if (thread.pendingFaults > 0) {
+    --thread.pendingFaults;
+    opPageFault(cpu, thread, 0x4000000 + thread.pendingFaults * 0x1000, false);
+    return false;
+  }
+
+  const Program& prog = programs_[thread.programId];
+  if (thread.opIndex >= prog.ops().size()) return true;  // ran off the end
+  const Op& op = prog.ops()[thread.opIndex];
+
+  switch (op.kind) {
+    case OpKind::Cpu:
+      opCpu(cpu, thread, op);
+      return false;
+    case OpKind::Syscall:
+      opSyscall(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::LockedSection:
+      opLocked(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Ipc:
+      opIpc(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::PageFault:
+      opPageFault(cpu, thread, op.addr, op.majorFault);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Fork:
+      opFork(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Exec:
+      opExec(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Barrier:
+      opBarrier(cpu, thread, op);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Mark:
+      logv(cpu, Major::App, static_cast<uint16_t>(op.funcId), op.addr, thread.pid);
+      ++thread.opIndex;
+      return false;
+    case OpKind::Sleep:
+      ++stats_.sleeps;
+      logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Block), thread.pid,
+           thread.tid, uint64_t{1} /* reason: I/O wait */);
+      thread.notBefore = cpu.now + op.ns;
+      thread.sleeping = true;
+      ++thread.opIndex;
+      cpu.running = nullptr;  // the scheduler picks someone else
+      return false;
+    case OpKind::Exit:
+      return true;
+  }
+  return true;
+}
+
+void Machine::finishThread(Cpu& cpu) {
+  SimThread& thread = *cpu.runQueue.front();
+  logv(cpu, Major::Proc, static_cast<uint16_t>(ProcMinor::Exit), thread.pid,
+       uint64_t{0});
+  logv(cpu, Major::User, static_cast<uint16_t>(UserMinor::ReturnedMain), thread.pid);
+  logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::ThreadExit), thread.pid,
+       thread.tid);
+  cpu.runQueue.pop_front();
+  cpu.running = nullptr;
+  --liveThreads_;
+  ++stats_.processesExited;
+  if (cpu.runQueue.empty()) {
+    logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Idle));
+    cpu.idleLogged = true;
+  }
+}
+
+void Machine::opCpu(Cpu& cpu, SimThread& thread, const Op& op) {
+  if (!thread.opInProgress) {
+    thread.opRemainingNs = op.ns;
+    thread.opInProgress = true;
+    thread.currentFuncId = op.funcId;
+  }
+  const Tick quantum = cpu.quantumLeft > 0 ? cpu.quantumLeft : config_.quantumNs;
+  const Tick step = std::min(thread.opRemainingNs, quantum);
+  consume(cpu, thread, step);
+  thread.opRemainingNs -= step;
+  if (thread.opRemainingNs == 0) {
+    thread.opInProgress = false;
+    ++thread.opIndex;
+  }
+}
+
+void Machine::opSyscall(Cpu& cpu, SimThread& thread, const Op& op) {
+  ++stats_.syscalls;
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuEnter), thread.pid);
+  consume(cpu, thread, 300);  // emulation-layer entry
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallEnter), thread.pid,
+       static_cast<uint64_t>(op.sc));
+  const Tick kernelNs =
+      static_cast<Tick>(syscallWeight(op.sc) * static_cast<double>(config_.syscallBaseNs));
+  consume(cpu, thread, kernelNs);
+  if (syscallUsesIpc(op.sc)) {
+    Op ipcOp;
+    ipcOp.serverPid = kBaseServersPid;
+    ipcOp.funcId = 1000 + static_cast<uint64_t>(op.sc);  // per-syscall service entry
+    ipcOp.ns = op.ns != 0 ? op.ns : 3000;
+    opIpc(cpu, thread, ipcOp);
+  }
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallExit), thread.pid,
+       static_cast<uint64_t>(op.sc));
+  consume(cpu, thread, 200);  // emulation-layer exit
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuExit), thread.pid);
+}
+
+void Machine::opLocked(Cpu& cpu, SimThread& thread, const Op& op) {
+  const uint64_t lockId = resolveLockId(cpu, op.lockId);
+  SimLock& lock = locks_.lock(lockId);
+  thread.currentFuncId = op.funcId != 0 ? op.funcId
+                         : op.chain.empty() ? thread.currentFuncId
+                                            : op.chain.front();
+  const Tick arrival = cpu.now;
+  const bool contended = lock.freeAt > arrival;
+  if (contended) {
+    // ContendStart carries the call chain for the Figure 7 tool.
+    if (facility_ != nullptr) {
+      chargeTraceStatement(cpu, Major::Lock);
+      if (facility_->mask().isEnabled(Major::Lock)) {
+        ktrace::EventBuilder<20> builder;
+        builder.addWord(lockId).addWord(thread.pid).addWord(op.chain.size());
+        for (const uint64_t frame : op.chain) builder.addWord(frame);
+        cpu.clock.set(cpu.now);
+        builder.post(facility_->control(cpu.id), Major::Lock,
+                     static_cast<uint16_t>(LockMinor::ContendStart));
+      }
+    }
+    // The ContendStart trace statement itself consumed time; the lock may
+    // have been released meanwhile.
+    const Tick wait = lock.freeAt > cpu.now ? lock.freeAt - cpu.now : 0;
+    const uint64_t spins = config_.spinLoopNs > 0 ? wait / config_.spinLoopNs : 0;
+    cpu.stats.lockSpinNs += wait;
+    consume(cpu, thread, wait, /*spinning=*/true);
+    lock.contendedAcquisitions += 1;
+    lock.totalWaitNs += wait;
+    lock.maxWaitNs = std::max(lock.maxWaitNs, wait);
+    logv(cpu, Major::Lock, static_cast<uint16_t>(LockMinor::Acquired), lockId,
+         thread.pid, spins, wait);
+  }
+  lock.acquisitions += 1;
+  lock.ownerPid = thread.pid;
+  const Tick acquiredAt = cpu.now;
+
+  if (config_.preemptInCriticalSection && cpu.runQueue.size() > 1 &&
+      cpu.quantumLeft < op.ns) {
+    // The §2 anecdote: a context switch lands between acquire and release,
+    // stretching the hold time while other processors spin.
+    consume(cpu, thread, op.ns / 2);
+    logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Preempt), thread.pid,
+         thread.tid);
+    cpu.now += config_.quantumNs;  // holder off-cpu for a quantum
+    cpu.stats.idleNs += config_.quantumNs;
+    logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Dispatch), thread.pid,
+         thread.tid);
+    cpu.quantumLeft = config_.quantumNs;
+    consume(cpu, thread, op.ns - op.ns / 2);
+  } else {
+    consume(cpu, thread, op.ns);
+  }
+
+  lock.freeAt = cpu.now;
+  lock.totalHoldNs += cpu.now - acquiredAt;
+  if (contended) {
+    logv(cpu, Major::Lock, static_cast<uint16_t>(LockMinor::Release), lockId,
+         thread.pid, cpu.now - acquiredAt);
+  }
+
+  // §5 future work: tracing feedback drives the hot-swapping
+  // infrastructure — a lock whose cumulative wait crosses the threshold is
+  // replaced with per-processor instances from here on.
+  if (config_.adaptiveLockSplitThresholdNs > 0 && lockId == op.lockId &&
+      hotSwappedLocks_.count(op.lockId) == 0 &&
+      lock.totalWaitNs > config_.adaptiveLockSplitThresholdNs) {
+    hotSwappedLocks_.insert(op.lockId);
+    ++stats_.locksHotSwapped;
+    logv(cpu, Major::Lock, static_cast<uint16_t>(LockMinor::HotSwap), op.lockId,
+         op.lockId + 0x0100'0000);
+  }
+}
+
+void Machine::opIpc(Cpu& cpu, SimThread& thread, const Op& op) {
+  ++stats_.ipcs;
+  const uint64_t commId = (thread.pid << 16) | (stats_.ipcs & 0xFFFF);
+  logv(cpu, Major::Exception, static_cast<uint16_t>(ExcMinor::PpcCall), commId);
+  logv(cpu, Major::Ipc, static_cast<uint16_t>(IpcMinor::Call), thread.pid,
+       op.serverPid, op.funcId);
+  consume(cpu, thread, op.ns);  // synchronous service on this processor
+  logv(cpu, Major::Ipc, static_cast<uint16_t>(IpcMinor::Return), thread.pid,
+       op.serverPid, op.funcId);
+  logv(cpu, Major::Exception, static_cast<uint16_t>(ExcMinor::PpcReturn), commId);
+}
+
+void Machine::opPageFault(Cpu& cpu, SimThread& thread, uint64_t addr, bool majorFault) {
+  ++stats_.pageFaults;
+  logv(cpu, Major::Exception, static_cast<uint16_t>(ExcMinor::PgfltStart), thread.pid,
+       addr, static_cast<uint64_t>(majorFault ? 1 : 0));
+  consume(cpu, thread, majorFault ? config_.majorFaultNs : config_.minorFaultNs);
+  logv(cpu, Major::Exception, static_cast<uint16_t>(ExcMinor::PgfltDone), thread.pid,
+       addr);
+}
+
+void Machine::opFork(Cpu& cpu, SimThread& thread, const Op& op) {
+  ++stats_.syscalls;
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuEnter), thread.pid);
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallEnter), thread.pid,
+       static_cast<uint64_t>(Syscall::Fork));
+  consume(cpu, thread,
+          config_.lazyFork ? config_.forkLazyBaseNs : config_.forkEagerCopyNs);
+
+  auto child = std::make_unique<SimThread>();
+  child->tid = nextTid_++;
+  child->pid = nextPid_++;
+  child->programId = op.programId;
+  child->processName = op.name.empty() ? thread.processName + "-child" : op.name;
+  child->notBefore = cpu.now;
+  if (config_.lazyFork) child->pendingFaults = config_.forkLazyFaults;
+  const uint64_t childPid = child->pid;
+
+  logv(cpu, Major::Proc, static_cast<uint16_t>(ProcMinor::Fork), thread.pid, childPid);
+  logvString(cpu, Major::User, static_cast<uint16_t>(UserMinor::RunULoader),
+             child->processName, {thread.pid, childPid});
+
+  Cpu& target = *cpus_[leastLoadedCpu()];
+  target.runQueue.push_back(std::move(child));
+  target.idleLogged = false;
+  ++liveThreads_;
+  ++stats_.processesCreated;
+
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallExit), thread.pid,
+       static_cast<uint64_t>(Syscall::Fork));
+  logv(cpu, Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuExit), thread.pid);
+}
+
+void Machine::opExec(Cpu& cpu, SimThread& thread, const Op& op) {
+  thread.processName = op.name;
+  logvString(cpu, Major::Proc, static_cast<uint16_t>(ProcMinor::Exec), op.name,
+             {thread.pid});
+  consume(cpu, thread, 20'000);  // image load
+}
+
+void Machine::opBarrier(Cpu& cpu, SimThread& thread, const Op& op) {
+  const uint32_t participants = static_cast<uint32_t>(op.addr);
+  BarrierState& barrier = barriers_[op.lockId];
+  const Tick arrival = cpu.now;
+  barrier.maxArrival = std::max(barrier.maxArrival, arrival);
+  if (barrier.arrived + 1 == participants) {
+    // Last arrival: everyone (including this thread) proceeds now.
+    for (SimThread* waiter : barrier.waiting) {
+      waiter->notBefore = barrier.maxArrival;
+      // waiter->sleeping stays true: the dispatcher logs its Unblock.
+    }
+    barrier.waiting.clear();
+    barrier.arrived = 0;
+    barrier.maxArrival = 0;
+    return;
+  }
+  // Not last: block until released.
+  ++barrier.arrived;
+  ++stats_.barrierWaits;
+  barrier.waiting.push_back(&thread);
+  logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Block), thread.pid,
+       thread.tid, uint64_t{2} /* reason: barrier */);
+  thread.notBefore = kBarrierParked;
+  thread.sleeping = true;
+  cpu.running = nullptr;
+}
+
+void Machine::consume(Cpu& cpu, SimThread& thread, Tick ns, bool spinning) {
+  cpu.now += ns;
+  cpu.stats.busyNs += ns;
+  cpu.quantumLeft = cpu.quantumLeft > ns ? cpu.quantumLeft - ns : 0;
+  if (config_.pcSampleIntervalNs > 0) {
+    cpu.sinceSample += ns;
+    while (cpu.sinceSample >= config_.pcSampleIntervalNs) {
+      cpu.sinceSample -= config_.pcSampleIntervalNs;
+      ++stats_.pcSamples;
+      logv(cpu, Major::Prof, static_cast<uint16_t>(ProfMinor::PcSample), thread.pid,
+           thread.currentFuncId);
+    }
+  }
+  if (config_.hwCounterSampleIntervalNs > 0) {
+    // Simulated cache-miss counter: spin time bounces the lock's line.
+    const double rate = config_.cacheMissesPerUs *
+                        (spinning ? config_.spinMissMultiplier : 1.0);
+    cpu.missAccum += static_cast<double>(ns) * rate / 1000.0;
+    cpu.sinceHwSample += ns;
+    while (cpu.sinceHwSample >= config_.hwCounterSampleIntervalNs) {
+      cpu.sinceHwSample -= config_.hwCounterSampleIntervalNs;
+      const uint64_t delta = static_cast<uint64_t>(cpu.missAccum);
+      cpu.missAccum -= static_cast<double>(delta);
+      ++stats_.hwCounterSamples;
+      logv(cpu, Major::HwPerf, static_cast<uint16_t>(HwPerfMinor::CounterSample),
+           thread.pid, uint64_t{0}, delta, thread.currentFuncId);
+    }
+  }
+}
+
+void Machine::chargeTraceStatement(Cpu& cpu, Major major) {
+  if (facility_ == nullptr) return;  // tracing compiled out: zero cost
+  const bool enabled = facility_->mask().isEnabled(major);
+  Tick cost = enabled ? config_.traceCostEnabledNs : config_.traceCostDisabledNs;
+  if (enabled && config_.traceLockSerialization) {
+    // The locking-tracer model: the statement holds a machine-wide lock
+    // for its duration, so concurrent statements queue behind each other.
+    SimLock& traceLock = locks_.lock(kTraceSerializationLockId);
+    if (traceLock.freeAt > cpu.now) {
+      const Tick wait = traceLock.freeAt - cpu.now;
+      cost += wait;
+      traceLock.totalWaitNs += wait;
+      traceLock.contendedAcquisitions += 1;
+    }
+    traceLock.acquisitions += 1;
+    traceLock.freeAt = cpu.now + cost;
+  }
+  cpu.now += cost;
+  cpu.stats.busyNs += cost;
+  cpu.stats.traceNs += cost;
+  ++stats_.traceStatements;
+}
+
+template <typename... Ws>
+void Machine::logv(Cpu& cpu, Major major, uint16_t minor, Ws... words) {
+  if (facility_ == nullptr) return;
+  chargeTraceStatement(cpu, major);
+  if (!facility_->mask().isEnabled(major)) return;
+  cpu.clock.set(cpu.now);
+  ktrace::logEvent(facility_->control(cpu.id), major, minor,
+                   static_cast<uint64_t>(words)...);
+}
+
+void Machine::logvString(Cpu& cpu, Major major, uint16_t minor, std::string_view text,
+                         std::initializer_list<uint64_t> leading) {
+  if (facility_ == nullptr) return;
+  chargeTraceStatement(cpu, major);
+  if (!facility_->mask().isEnabled(major)) return;
+  cpu.clock.set(cpu.now);
+  ktrace::logEventString(facility_->control(cpu.id), major, minor, text,
+                         std::span<const uint64_t>(leading.begin(), leading.size()));
+}
+
+}  // namespace ossim

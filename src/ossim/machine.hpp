@@ -1,0 +1,233 @@
+// The simulated multiprocessor OS — the substrate standing in for K42.
+//
+// A conservative discrete-event simulator: each processor has its own
+// virtual clock; the machine repeatedly picks the runnable processor with
+// the smallest clock and executes one step (one op, or one quantum-bounded
+// chunk of a CPU burst) of the thread at the head of its run queue. The
+// only cross-processor couplings are lock hand-offs (LockTable's freeAt
+// times) and process placement, both of which the min-clock-first order
+// resolves consistently.
+//
+// Every OS-level action logs the corresponding schema event through the
+// REAL ktrace facility (per-processor controls with virtual clocks), so
+// benches and tools exercise the genuine logging fast path. Trace
+// statements also consume virtual time: ~the paper's 91-cycle cost when
+// the major class is enabled, ~the 4-instruction mask check when disabled.
+// That is what makes the SDET overhead experiment (Figure 3) meaningful in
+// virtual time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/facility.hpp"
+#include "ossim/events.hpp"
+#include "ossim/locks.hpp"
+#include "ossim/program.hpp"
+#include "util/rng.hpp"
+
+namespace ossim {
+
+struct MachineConfig {
+  uint32_t numProcessors = 1;
+  Tick quantumNs = 10'000'000;     // 10 ms time slice
+  Tick contextSwitchNs = 2'000;
+  Tick spinLoopNs = 50;            // one trip around a lock spin loop
+  Tick pcSampleIntervalNs = 0;     // 0 = statistical profiling off
+  /// Hardware-counter sampling (paper §2): every interval of CPU time,
+  /// log a HwPerf/CounterSample event with the cache-miss delta since the
+  /// previous sample. 0 = off.
+  Tick hwCounterSampleIntervalNs = 0;
+  double cacheMissesPerUs = 30.0;     // baseline simulated miss rate
+  double spinMissMultiplier = 12.0;   // lock-line bouncing while spinning
+  Tick minorFaultNs = 2'000;
+  Tick majorFaultNs = 50'000;
+  /// Lazy state replication in the child after fork — the §4 fork
+  /// optimization. Eager forks pay forkEagerCopyNs up front; lazy forks
+  /// pay forkLazyBaseNs plus forkLazyFaults minor faults as the child runs.
+  bool lazyFork = true;
+  Tick forkEagerCopyNs = 400'000;
+  Tick forkLazyBaseNs = 40'000;
+  uint32_t forkLazyFaults = 8;
+  /// Allow preemption while holding a lock — reproduces the paper's
+  /// "context switches between the lock acquire and release" anomaly.
+  bool preemptInCriticalSection = false;
+  /// Virtual cost of one trace statement (enabled / mask-disabled). Zero
+  /// both to model a kernel with tracing compiled out.
+  Tick traceCostEnabledNs = 100;  // the paper's 91 cycles on a 1 GHz CPU
+  Tick traceCostDisabledNs = 2;   // the 4-instruction mask check
+  /// Model a pre-K42 locking tracer (§4.1/§5): every enabled trace
+  /// statement serializes on one machine-wide lock, so trace statements on
+  /// different processors wait on each other.
+  bool traceLockSerialization = false;
+  /// Work-stealing migration: an idling processor pulls a ready thread
+  /// from the longest run queue, logging Sched/Migrate. (K42 de-emphasizes
+  /// migration for locality — §2 — so this defaults off.)
+  bool workStealing = false;
+  /// §5 future work ("integrate our hot-swapping infrastructure with the
+  /// tracing infrastructure in order to provide feedback for the system to
+  /// tune itself"): when a lock's cumulative wait exceeds this many ns,
+  /// hot-swap it to per-processor instances. 0 = off.
+  Tick adaptiveLockSplitThresholdNs = 0;
+  /// Syscall cost scale (direct kernel work per syscall).
+  Tick syscallBaseNs = 1'500;
+  uint64_t seed = 1;
+};
+
+struct CpuStats {
+  Tick busyNs = 0;       // executing user/kernel work
+  Tick idleNs = 0;
+  Tick lockSpinNs = 0;   // part of busyNs spent spinning
+  Tick traceNs = 0;      // part of busyNs spent in trace statements
+  uint64_t dispatches = 0;
+  uint64_t preemptions = 0;
+};
+
+struct MachineStats {
+  uint64_t processesCreated = 0;
+  uint64_t processesExited = 0;
+  uint64_t syscalls = 0;
+  uint64_t pageFaults = 0;
+  uint64_t ipcs = 0;
+  uint64_t traceStatements = 0;
+  uint64_t pcSamples = 0;
+  uint64_t hwCounterSamples = 0;
+  uint64_t migrations = 0;
+  uint64_t sleeps = 0;
+  uint64_t locksHotSwapped = 0;
+  uint64_t barrierWaits = 0;
+};
+
+class Machine {
+ public:
+  static constexpr uint32_t kAutoCpu = ~0u;
+  /// Lock id used by the traceLockSerialization model.
+  static constexpr uint64_t kTraceSerializationLockId = 0xFFFF'0001;
+  /// notBefore sentinel for threads parked at a barrier. A processor that
+  /// would have to idle-advance to this time has deadlocked (a barrier
+  /// whose participant count can never be met): Machine::run throws.
+  static constexpr Tick kBarrierParked = ~Tick{0} / 2;
+
+  /// `facility` may be null: a kernel built with tracing compiled out.
+  /// Otherwise it must have at least numProcessors controls; the machine
+  /// installs its per-processor virtual clocks into them.
+  Machine(const MachineConfig& config, ktrace::Facility* facility);
+
+  /// Registers a program; returns its id for fork/spawn references.
+  uint64_t registerProgram(Program program);
+  const Program& program(uint64_t id) const { return programs_[id]; }
+
+  /// Creates a process with one thread running programId, placed on `cpu`
+  /// (kAutoCpu = least loaded). Returns the new pid.
+  uint64_t spawnProcess(const std::string& name, uint64_t programId,
+                        uint32_t cpu = kAutoCpu, uint64_t parentPid = kKernelPid,
+                        Tick startNotBefore = 0);
+
+  /// Runs until every thread has exited, or (if untilNs != 0) until every
+  /// processor clock reaches untilNs.
+  void run(Tick untilNs = 0);
+
+  /// Largest processor clock (the virtual makespan).
+  Tick now() const noexcept;
+  Tick cpuNow(uint32_t cpu) const { return cpus_[cpu]->now; }
+
+  uint32_t numProcessors() const noexcept { return static_cast<uint32_t>(cpus_.size()); }
+  const CpuStats& cpuStats(uint32_t cpu) const { return cpus_[cpu]->stats; }
+  const MachineStats& stats() const noexcept { return stats_; }
+  LockTable& locks() noexcept { return locks_; }
+  const LockTable& locks() const noexcept { return locks_; }
+  const MachineConfig& config() const noexcept { return config_; }
+
+  bool allExited() const noexcept;
+
+ private:
+  struct SimThread {
+    uint64_t tid = 0;
+    uint64_t pid = 0;
+    uint64_t programId = 0;
+    size_t opIndex = 0;
+    Tick opRemainingNs = 0;  // for preempted CPU bursts
+    bool opInProgress = false;
+    uint64_t currentFuncId = 0;
+    uint32_t pendingFaults = 0;  // lazy-fork faults still to take
+    Tick notBefore = 0;          // earliest virtual time this thread may run
+    bool sleeping = false;       // blocked; log Unblock at next dispatch
+    std::string processName;
+  };
+
+  struct Cpu {
+    uint32_t id = 0;
+    Tick now = 0;
+    Tick quantumLeft = 0;
+    std::deque<std::unique_ptr<SimThread>> runQueue;
+    SimThread* running = nullptr;  // == runQueue.front() when dispatched
+    ktrace::VirtualClock clock;
+    CpuStats stats;
+    Tick sinceSample = 0;    // cpu time since last pc sample
+    Tick sinceHwSample = 0;  // cpu time since last hw-counter sample
+    double missAccum = 0;    // simulated cache misses since last sample
+    bool idleLogged = false;
+  };
+
+  // --- execution ---
+  uint32_t pickNextCpu() const;
+  void step(Cpu& cpu);
+  void dispatch(Cpu& cpu);
+  void preempt(Cpu& cpu);
+  bool executeOp(Cpu& cpu, SimThread& thread);  // true if thread exited
+  void finishThread(Cpu& cpu);
+  /// Work stealing: pull a ready thread from the longest other queue.
+  bool trySteal(Cpu& cpu);
+  /// Resolve a lock id through the hot-swap remap (per-cpu split).
+  uint64_t resolveLockId(const Cpu& cpu, uint64_t lockId);
+
+  // --- op handlers ---
+  void opCpu(Cpu& cpu, SimThread& thread, const Op& op);
+  void opSyscall(Cpu& cpu, SimThread& thread, const Op& op);
+  void opLocked(Cpu& cpu, SimThread& thread, const Op& op);
+  void opIpc(Cpu& cpu, SimThread& thread, const Op& op);
+  void opPageFault(Cpu& cpu, SimThread& thread, uint64_t addr, bool majorFault);
+  void opFork(Cpu& cpu, SimThread& thread, const Op& op);
+  void opExec(Cpu& cpu, SimThread& thread, const Op& op);
+  void opBarrier(Cpu& cpu, SimThread& thread, const Op& op);
+
+  /// Burn `ns` of CPU (busy time, pc/hw-counter sampling, clock advance).
+  /// `spinning` marks lock-spin time, which bounces the lock's cache line
+  /// and inflates the simulated miss rate.
+  void consume(Cpu& cpu, SimThread& thread, Tick ns, bool spinning = false);
+
+  /// Log a trace event from `cpu`, charging the virtual cost of the trace
+  /// statement itself.
+  template <typename... Ws>
+  void logv(Cpu& cpu, ktrace::Major major, uint16_t minor, Ws... words);
+  void logvString(Cpu& cpu, ktrace::Major major, uint16_t minor,
+                  std::string_view text, std::initializer_list<uint64_t> leading);
+  void chargeTraceStatement(Cpu& cpu, ktrace::Major major);
+
+  uint32_t leastLoadedCpu() const;
+
+  MachineConfig config_;
+  ktrace::Facility* facility_;
+  std::vector<Program> programs_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;  // Cpu holds atomics: not movable
+  LockTable locks_;
+  MachineStats stats_;
+  ktrace::util::Rng rng_;
+  uint64_t nextPid_ = kFirstUserPid;
+  uint64_t nextTid_ = 1;
+  uint64_t liveThreads_ = 0;
+  std::set<uint64_t> hotSwappedLocks_;  // locks split per-cpu at runtime
+
+  struct BarrierState {
+    uint32_t arrived = 0;
+    Tick maxArrival = 0;
+    std::vector<SimThread*> waiting;  // stable: SimThreads never relocate
+  };
+  std::map<uint64_t, BarrierState> barriers_;
+};
+
+}  // namespace ossim

@@ -1,0 +1,173 @@
+// Programs: the work a simulated thread executes.
+//
+// A Program is a sequence of Ops — CPU bursts, syscalls, locked sections,
+// IPC calls, page faults, fork/exec — that the Machine interprets in
+// virtual time, logging the corresponding trace events through the real
+// ktrace facility. Programs are registered with the Machine and referenced
+// by id (fork children name the program the child runs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ossim/events.hpp"
+
+namespace ossim {
+
+using Tick = uint64_t;  // one tick = one nanosecond of virtual time
+
+enum class OpKind : uint8_t {
+  Cpu,            // burn ns of user-mode CPU in function funcId
+  Syscall,        // enter the emulation layer + kernel for syscall sc
+  LockedSection,  // acquire lockId (spinning if contended), hold, release
+  Ipc,            // PPC call to serverPid, funcId, serviceNs of server work
+  PageFault,      // take a page fault at addr (minor or major)
+  Fork,           // create a child process running programs[programId]
+  Exec,           // become `name` (logs Proc/Exec + User/RunULoader)
+  Sleep,          // block for ns (I/O wait); the cpu runs other threads
+  Barrier,        // wait until `participants` threads reach barrierId
+  Mark,           // log an application event (Major::App, minor=funcId)
+  Exit,           // terminate the process
+};
+
+struct Op {
+  OpKind kind = OpKind::Cpu;
+  Tick ns = 0;            // Cpu burst / lock hold / IPC service duration
+  uint64_t funcId = 0;    // executing function (profiling, lock chains)
+  uint64_t lockId = 0;    // LockedSection
+  std::vector<uint64_t> chain;  // call chain for lock contention analysis
+  Syscall sc = Syscall::GetPid;
+  uint64_t serverPid = kKernelPid;  // Ipc target
+  uint64_t programId = 0;           // Fork child program
+  std::string name;                 // Exec name
+  uint64_t addr = 0;                // PageFault address
+  bool majorFault = false;
+};
+
+/// Fluent builder for op sequences.
+class Program {
+ public:
+  Program& cpu(Tick ns, uint64_t funcId = 0) {
+    Op op;
+    op.kind = OpKind::Cpu;
+    op.ns = ns;
+    op.funcId = funcId;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& syscall(Syscall sc) {
+    Op op;
+    op.kind = OpKind::Syscall;
+    op.sc = sc;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& lockedSection(uint64_t lockId, Tick holdNs, std::vector<uint64_t> chain,
+                         uint64_t funcId = 0) {
+    Op op;
+    op.kind = OpKind::LockedSection;
+    op.lockId = lockId;
+    op.ns = holdNs;
+    op.chain = std::move(chain);
+    op.funcId = funcId;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& ipc(uint64_t serverPid, uint64_t funcId, Tick serviceNs) {
+    Op op;
+    op.kind = OpKind::Ipc;
+    op.serverPid = serverPid;
+    op.funcId = funcId;
+    op.ns = serviceNs;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& pageFault(uint64_t addr, bool majorFault = false) {
+    Op op;
+    op.kind = OpKind::PageFault;
+    op.addr = addr;
+    op.majorFault = majorFault;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& fork(uint64_t programId) {
+    Op op;
+    op.kind = OpKind::Fork;
+    op.programId = programId;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& exec(std::string name) {
+    Op op;
+    op.kind = OpKind::Exec;
+    op.name = std::move(name);
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& sleep(Tick ns) {
+    Op op;
+    op.kind = OpKind::Sleep;
+    op.ns = ns;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  /// BSP-style barrier: blocks until `participants` threads (this one
+  /// included) have arrived at barrierId; all release together at the
+  /// last arrival time.
+  Program& barrier(uint64_t barrierId, uint32_t participants) {
+    Op op;
+    op.kind = OpKind::Barrier;
+    op.lockId = barrierId;        // reuse the id field
+    op.addr = participants;       // reuse the addr field
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  /// Application-defined trace event: Major::App, minor = `minor`,
+  /// payload [value, pid].
+  Program& mark(uint16_t minor, uint64_t value) {
+    Op op;
+    op.kind = OpKind::Mark;
+    op.funcId = minor;
+    op.addr = value;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& exit() {
+    Op op;
+    op.kind = OpKind::Exit;
+    ops_.push_back(std::move(op));
+    return *this;
+  }
+
+  Program& append(const Program& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+    return *this;
+  }
+
+  const std::vector<Op>& ops() const noexcept { return ops_; }
+  bool empty() const noexcept { return ops_.empty(); }
+  size_t size() const noexcept { return ops_.size(); }
+
+  /// Sum of all deterministic durations (rough lower bound on runtime).
+  Tick nominalNs() const noexcept {
+    Tick total = 0;
+    for (const Op& op : ops_) total += op.ns;
+    return total;
+  }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace ossim

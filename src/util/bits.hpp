@@ -1,0 +1,45 @@
+// Bit-manipulation helpers shared across the tracing library.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+namespace ktrace::util {
+
+/// True if v is a power of two (0 is not).
+constexpr bool isPowerOfTwo(uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two.
+constexpr uint32_t log2Exact(uint64_t v) noexcept {
+  uint32_t n = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+}
+
+/// Round v up to the next multiple of the power-of-two `align`.
+constexpr uint64_t roundUpPow2(uint64_t v, uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Extract `width` bits of `v` starting at bit `shift`.
+constexpr uint64_t extractBits(uint64_t v, uint32_t shift, uint32_t width) noexcept {
+  return (v >> shift) & ((width == 64) ? ~0ull : ((1ull << width) - 1));
+}
+
+/// Deposit `field` (must fit in `width` bits) into position `shift`.
+constexpr uint64_t depositBits(uint64_t field, uint32_t shift, uint32_t width) noexcept {
+  const uint64_t mask = (width == 64) ? ~0ull : ((1ull << width) - 1);
+  return (field & mask) << shift;
+}
+
+/// Mask with the low `width` bits set.
+constexpr uint64_t lowMask(uint32_t width) noexcept {
+  return (width == 64) ? ~0ull : ((1ull << width) - 1);
+}
+
+}  // namespace ktrace::util

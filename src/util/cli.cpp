@@ -1,0 +1,49 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace ktrace::util {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) != 0; }
+
+std::string Cli::getString(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t Cli::getInt(const std::string& name, int64_t def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::getDouble(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::getBool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace ktrace::util

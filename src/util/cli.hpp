@@ -1,0 +1,33 @@
+// Minimal command-line flag parsing for examples and bench drivers.
+//
+// Supports --name=value, --name value, and boolean --name forms. Unknown
+// flags are reported; positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ktrace::util {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string getString(const std::string& name, const std::string& def) const;
+  int64_t getInt(const std::string& name, int64_t def) const;
+  double getDouble(const std::string& name, double def) const;
+  bool getBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::vector<std::string>& unknownFlags() const noexcept { return unknown_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> unknown_;
+};
+
+}  // namespace ktrace::util

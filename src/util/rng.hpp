@@ -1,0 +1,71 @@
+// Small deterministic PRNG used by workloads and the OS simulator.
+//
+// xoshiro256** — fast, high quality, and reproducible across platforms,
+// which matters because the SDET workload and ossim schedules must be
+// deterministic for the regression tests.
+#pragma once
+
+#include <cstdint>
+
+namespace ktrace::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept { reseed(seed); }
+
+  void reseed(uint64_t seed) noexcept {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& slot : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      slot = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() noexcept {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t nextBelow(uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t nextInRange(uint64_t lo, uint64_t hi) noexcept {
+    return lo + nextBelow(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool nextBool(double p) noexcept { return nextDouble() < p; }
+
+  /// Geometric-ish burst length: 1 + exponential tail, mean ~ mean.
+  uint64_t nextBurst(uint64_t mean) noexcept {
+    if (mean <= 1) return 1;
+    uint64_t v = 1;
+    while (v < mean * 8 && nextBool(1.0 - 1.0 / static_cast<double>(mean))) ++v;
+    return v;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace ktrace::util

@@ -1,0 +1,60 @@
+// Summary statistics used by benches and analysis tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ktrace::util {
+
+/// Accumulates samples and reports summary statistics. Not thread-safe;
+/// each thread accumulates into its own instance and merges.
+class Stats {
+ public:
+  void add(double v);
+  void merge(const Stats& other);
+
+  size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  double percentile(double q) const;
+
+  /// "mean=... p50=... p95=... max=..." single-line rendering.
+  std::string summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+
+  void ensureSorted() const;
+};
+
+/// Online mean/variance without retaining samples (Welford). Suitable for
+/// very long runs where storing every sample is too costly.
+class OnlineStats {
+ public:
+  void add(double v) noexcept;
+  void merge(const OnlineStats& other) noexcept;
+  size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ktrace::util

@@ -1,0 +1,74 @@
+#include "util/table.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace ktrace::util {
+
+void TextTable::addColumn(std::string header, Align align) {
+  columns_.push_back({std::move(header), align});
+}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(bool underline) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].header.size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  std::ostringstream out;
+  auto emitCell = [&](const std::string& text, size_t c, bool last) {
+    const size_t pad = widths[c] - text.size();
+    if (columns_[c].align == Align::Right) out << std::string(pad, ' ');
+    out << text;
+    if (!last) {
+      if (columns_[c].align == Align::Left) out << std::string(pad, ' ');
+      out << "  ";
+    }
+  };
+
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    emitCell(columns_[c].header, c, c + 1 == columns_.size());
+  }
+  out << '\n';
+  if (underline) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out << std::string(widths[c], '-');
+      if (c + 1 != columns_.size()) out << "  ";
+    }
+    out << '\n';
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      emitCell(row[c], c, c + 1 == columns_.size());
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list argsCopy;
+  va_copy(argsCopy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, argsCopy);
+  }
+  va_end(argsCopy);
+  return out;
+}
+
+}  // namespace ktrace::util

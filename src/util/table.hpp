@@ -1,0 +1,40 @@
+// Plain-text table rendering for the analysis tools and bench reports.
+//
+// The paper's tools print column-aligned reports (Figures 5-8); this is the
+// shared formatter they all use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ktrace::util {
+
+enum class Align { Left, Right };
+
+class TextTable {
+ public:
+  /// Declare a column. Must be called before any addRow.
+  void addColumn(std::string header, Align align = Align::Left);
+
+  /// Append a row; missing cells render empty, extras are dropped.
+  void addRow(std::vector<std::string> cells);
+
+  size_t rowCount() const noexcept { return rows_.size(); }
+
+  /// Render with two-space gutters; includes the header line and an
+  /// underline when `underline` is true.
+  std::string render(bool underline = true) const;
+
+ private:
+  struct Column {
+    std::string header;
+    Align align;
+  };
+  std::vector<Column> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style convenience to build a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ktrace::util

@@ -1,0 +1,68 @@
+#include "workload/hpc.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace workload {
+
+using ossim::Program;
+
+void registerHpcEvents(ktrace::Registry& registry) {
+  registry.add({ktrace::Major::App, static_cast<uint16_t>(HpcMark::IterationStart),
+                KT_TR(TRACE_APP_ITERATION_START), "64 64",
+                "iteration %0[%llu] start, rank pid %1[%llu]"});
+  registry.add({ktrace::Major::App, static_cast<uint16_t>(HpcMark::IterationEnd),
+                KT_TR(TRACE_APP_ITERATION_END), "64 64",
+                "iteration %0[%llu] end, rank pid %1[%llu]"});
+}
+
+HpcWorkload::HpcWorkload(const HpcConfig& config, ossim::Machine& machine,
+                         ktrace::analysis::SymbolTable& symbols)
+    : config_(config), machine_(machine) {
+  if (config_.ranks != machine.numProcessors()) {
+    throw std::invalid_argument("HpcWorkload: ranks must equal processors");
+  }
+  if (config_.ranks == 0 || config_.iterations == 0) {
+    throw std::invalid_argument("HpcWorkload: need ranks and iterations");
+  }
+  funcCompute_ = symbols.intern("StencilKernel::compute()");
+  funcHalo_ = symbols.intern("HaloExchange::exchange()");
+
+  ktrace::util::Rng rng(config_.seed);
+  constexpr uint64_t kBarrierBase = 0x8000;
+  for (uint32_t rank = 0; rank < config_.ranks; ++rank) {
+    Program p;
+    for (uint32_t iter = 0; iter < config_.iterations; ++iter) {
+      p.mark(static_cast<uint16_t>(HpcMark::IterationStart), iter);
+      // Deterministic per-(rank, iter) jitter in [-1, 1].
+      ktrace::util::Rng cell(config_.seed * 1000003 + rank * 131 + iter);
+      const double jitter = 2.0 * cell.nextDouble() - 1.0;
+      const double factor = 1.0 + config_.imbalance * jitter;
+      const Tick compute = static_cast<Tick>(
+          static_cast<double>(config_.computeNsMean) * (factor < 0.05 ? 0.05 : factor));
+      p.cpu(compute, funcCompute_);
+      p.ipc(ossim::kKernelPid, funcHalo_, config_.haloExchangeNs);
+      p.mark(static_cast<uint16_t>(HpcMark::IterationEnd), iter);
+      // One barrier id per iteration keeps generations separate.
+      p.barrier(kBarrierBase + iter, config_.ranks);
+    }
+    p.exit();
+    rankPrograms_.push_back(machine_.registerProgram(std::move(p)));
+  }
+}
+
+void HpcWorkload::spawnAll() {
+  for (uint32_t rank = 0; rank < config_.ranks; ++rank) {
+    machine_.spawnProcess("rank-" + std::to_string(rank), rankPrograms_[rank],
+                          /*cpu=*/rank);
+  }
+}
+
+double HpcWorkload::iterationsPerSecond() const {
+  const double seconds = static_cast<double>(machine_.now()) / 1e9;
+  if (seconds <= 0) return 0;
+  return static_cast<double>(config_.iterations) / seconds;
+}
+
+}  // namespace workload

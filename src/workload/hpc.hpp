@@ -1,0 +1,64 @@
+// Bulk-synchronous HPC workload (paper §3.1's "large scientific
+// applications running one thread per processor").
+//
+// One rank per processor; each iteration is compute (with configurable
+// imbalance across ranks), a halo-exchange IPC, and a global barrier —
+// the classic BSP shape. Because exactly one thread logs per processor,
+// the paper's claim that "such errors will not occur" (no garbled buffers
+// from preempted writers) is directly testable, and the barrier-wait idle
+// caused by imbalance shows up in the timeline exactly like an MPI trace.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/symbols.hpp"
+#include "core/registry.hpp"
+#include "ossim/machine.hpp"
+
+namespace workload {
+
+using ossim::Tick;
+
+struct HpcConfig {
+  uint32_t ranks = 4;          // must equal the machine's processor count
+  uint32_t iterations = 20;
+  Tick computeNsMean = 500'000;
+  /// Per-rank compute jitter: rank r computes mean * (1 + imbalance *
+  /// jitter(r, iter)) with jitter in [-1, 1]. 0 = perfectly balanced.
+  double imbalance = 0.2;
+  Tick haloExchangeNs = 20'000;
+  uint64_t seed = 13;
+};
+
+/// App-event minors logged by the workload (via Program::mark).
+enum class HpcMark : uint16_t {
+  IterationStart = 1,  // payload: [iteration, pid]
+  IterationEnd = 2,
+};
+
+/// Registers the workload's App event descriptors.
+void registerHpcEvents(ktrace::Registry& registry);
+
+class HpcWorkload {
+ public:
+  HpcWorkload(const HpcConfig& config, ossim::Machine& machine,
+              ktrace::analysis::SymbolTable& symbols);
+
+  /// One process per rank, pinned to its processor.
+  void spawnAll();
+
+  /// After machine.run(): completed iterations per virtual second.
+  double iterationsPerSecond() const;
+
+  const HpcConfig& config() const noexcept { return config_; }
+  uint64_t computeFuncId() const noexcept { return funcCompute_; }
+
+ private:
+  HpcConfig config_;
+  ossim::Machine& machine_;
+  std::vector<uint64_t> rankPrograms_;
+  uint64_t funcCompute_ = 0;
+  uint64_t funcHalo_ = 0;
+};
+
+}  // namespace workload

@@ -1,0 +1,61 @@
+#include "workload/micro.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace workload {
+
+EventMix::EventMix(std::vector<std::pair<uint32_t, double>> buckets)
+    : buckets_(std::move(buckets)) {
+  if (buckets_.empty()) throw std::invalid_argument("EventMix needs buckets");
+  cumulative_.reserve(buckets_.size());
+  for (const auto& [words, weight] : buckets_) {
+    if (weight < 0) throw std::invalid_argument("negative weight");
+    totalWeight_ += weight;
+    cumulative_.push_back(totalWeight_);
+  }
+  if (totalWeight_ <= 0) throw std::invalid_argument("zero total weight");
+}
+
+EventMix EventMix::realistic() {
+  return EventMix({{0, 0.20}, {1, 0.35}, {2, 0.25}, {3, 0.12}, {4, 0.05},
+                   {8, 0.02}, {16, 0.01}});
+}
+
+EventMix EventMix::fixed(uint32_t words) { return EventMix({{words, 1.0}}); }
+
+EventMix EventMix::uniform(uint32_t lo, uint32_t hi) {
+  std::vector<std::pair<uint32_t, double>> buckets;
+  for (uint32_t w = lo; w <= hi; ++w) buckets.push_back({w, 1.0});
+  return EventMix(std::move(buckets));
+}
+
+uint32_t EventMix::sample(ktrace::util::Rng& rng) const {
+  const double r = rng.nextDouble() * totalWeight_;
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+  const size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  return buckets_[std::min(idx, buckets_.size() - 1)].first;
+}
+
+std::vector<uint32_t> EventMix::generate(size_t n, uint64_t seed) const {
+  ktrace::util::Rng rng(seed);
+  std::vector<uint32_t> out(n);
+  for (auto& v : out) v = sample(rng);
+  return out;
+}
+
+double EventMix::meanWords() const noexcept {
+  double acc = 0;
+  for (const auto& [words, weight] : buckets_) {
+    acc += words * weight / totalWeight_;
+  }
+  return acc;
+}
+
+uint32_t EventMix::maxWords() const noexcept {
+  uint32_t best = 0;
+  for (const auto& [words, _] : buckets_) best = std::max(best, words);
+  return best;
+}
+
+}  // namespace workload

@@ -1,0 +1,47 @@
+// Micro-workload generators for the tracing benchmarks.
+//
+// EventMix models the payload-size distribution of a real trace. The
+// paper observes "there are very few events larger than 4 64-bit words"
+// (§3.2); realistic() matches that shape and drives the filler-waste and
+// tracer-comparison benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace workload {
+
+class EventMix {
+ public:
+  /// buckets: (payloadWords, relativeWeight).
+  explicit EventMix(std::vector<std::pair<uint32_t, double>> buckets);
+
+  /// The paper's observed shape: mostly 0-4 data words, rare large events.
+  static EventMix realistic();
+  /// Every event has exactly `words` payload words.
+  static EventMix fixed(uint32_t words);
+  /// Uniform payload sizes in [lo, hi].
+  static EventMix uniform(uint32_t lo, uint32_t hi);
+
+  /// Sample one payload size.
+  uint32_t sample(ktrace::util::Rng& rng) const;
+
+  /// Pre-generate n payload sizes (keeps RNG cost out of timed loops).
+  std::vector<uint32_t> generate(size_t n, uint64_t seed) const;
+
+  /// Expected payload words per event.
+  double meanWords() const noexcept;
+
+  uint32_t maxWords() const noexcept;
+
+ private:
+  std::vector<std::pair<uint32_t, double>> buckets_;
+  std::vector<double> cumulative_;
+  double totalWeight_ = 0;
+};
+
+}  // namespace workload

@@ -1,0 +1,106 @@
+#include "workload/sdet.hpp"
+
+#include <array>
+
+namespace workload {
+
+using ossim::Op;
+using ossim::Program;
+using ossim::Syscall;
+
+namespace {
+
+constexpr std::array<const char*, 6> kCommands = {"awk",  "grep", "nroff",
+                                                  "cc",   "ed",   "ls"};
+
+}  // namespace
+
+SdetWorkload::SdetWorkload(const SdetConfig& config, ossim::Machine& machine,
+                           ktrace::analysis::SymbolTable& symbols)
+    : config_(config), machine_(machine), symbols_(symbols), rng_(config.seed) {
+  // The allocator call chain of Figure 7, innermost frame first.
+  funcAllocRegion_ = symbols_.intern("AllocRegionManager::alloc(unsigned long)");
+  funcPMalloc_ = symbols_.intern("PMallocDefault::pMalloc(unsigned long)");
+  funcGMalloc_ = symbols_.intern("GMalloc::gMalloc()");
+  funcFairBLockAcquire_ = symbols_.intern("FairBLock::_acquire()");
+  funcPageAlloc_ = symbols_.intern("PageAllocatorDefault::deallocPages(unsigned long)");
+  for (const char* cmd : kCommands) {
+    commandFuncs_.push_back(symbols_.intern(std::string(cmd) + "_main"));
+  }
+
+  // One script program per script so the allocator lock id can differ per
+  // script under the tuned configuration.
+  for (uint32_t s = 0; s < config_.numScripts; ++s) {
+    Program script;
+    for (uint32_t c = 0; c < config_.commandsPerScript; ++c) {
+      const size_t cmd = rng_.nextBelow(kCommands.size());
+      Program command = buildCommand(kCommands[cmd], commandFuncs_[cmd]);
+      // The allocator traffic: every command mallocs through the lock
+      // chain. Hold times and counts scale with workScale.
+      const uint32_t mallocs = std::max<uint32_t>(
+          1, static_cast<uint32_t>((24 + rng_.nextBelow(24)) * config_.workScale));
+      const uint64_t lockId = allocatorLockFor(s);
+      for (uint32_t m = 0; m < mallocs; ++m) {
+        command.lockedSection(lockId, 2'000 + rng_.nextBelow(2'000),
+                              {funcAllocRegion_, funcPMalloc_, funcGMalloc_},
+                              funcFairBLockAcquire_);
+      }
+      // Page allocator traffic (the second contender in Figure 7).
+      const uint32_t pageOps = 3 + static_cast<uint32_t>(rng_.nextBelow(4));
+      for (uint32_t pg = 0; pg < pageOps; ++pg) {
+        command.lockedSection(kPageAllocLockId, 800 + rng_.nextBelow(400),
+                              {funcPageAlloc_}, funcFairBLockAcquire_);
+      }
+      script.append(command);
+    }
+    script.exit();
+    scriptPrograms_.push_back(machine_.registerProgram(std::move(script)));
+  }
+}
+
+Program SdetWorkload::buildCommand(const std::string& name, uint64_t commandFunc) {
+  Program p;
+  p.exec(name);
+  p.syscall(Syscall::Open);
+  // Faults while the command warms up its image.
+  const uint32_t faults = 1 + static_cast<uint32_t>(rng_.nextBelow(3));
+  for (uint32_t f = 0; f < faults; ++f) {
+    p.pageFault(0x400000 + rng_.nextBelow(0x100000), rng_.nextBool(0.1));
+  }
+  const uint32_t ios = 2 + static_cast<uint32_t>(rng_.nextBelow(4));
+  for (uint32_t i = 0; i < ios; ++i) {
+    p.syscall(rng_.nextBool(0.5) ? Syscall::Read : Syscall::Write);
+    p.cpu(static_cast<Tick>((20'000 + rng_.nextBelow(60'000)) * config_.workScale),
+          commandFunc);
+  }
+  p.syscall(Syscall::Brk);
+  p.syscall(Syscall::Close);
+  return p;
+}
+
+uint64_t SdetWorkload::allocatorLockFor(uint32_t scriptIndex) const {
+  if (!config_.tunedAllocator) return kGMallocLockId;
+  // Per-processor allocator pools: scripts are placed round-robin-ish, so
+  // hashing the script over the processors approximates "each processor
+  // uses its own pool".
+  return kGMallocPerCpuLockBase + (scriptIndex % machine_.numProcessors());
+}
+
+void SdetWorkload::spawnAll() {
+  for (uint32_t s = 0; s < config_.numScripts; ++s) {
+    const Tick start =
+        config_.staggeredStart
+            ? (config_.startSpreadNs * s) / std::max<uint32_t>(1, config_.numScripts)
+            : 0;
+    machine_.spawnProcess("sdet-script-" + std::to_string(s), scriptPrograms_[s],
+                          ossim::Machine::kAutoCpu, ossim::kKernelPid, start);
+  }
+}
+
+double SdetWorkload::throughputScriptsPerHour() const {
+  const double hours = static_cast<double>(machine_.now()) / 1e9 / 3600.0;
+  if (hours <= 0) return 0;
+  return static_cast<double>(config_.numScripts) / hours;
+}
+
+}  // namespace workload

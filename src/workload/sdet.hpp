@@ -1,0 +1,92 @@
+// SDET-like workload (paper §4, Figure 3).
+//
+// SPEC SDET runs concurrent scripts of Unix commands (awk, grep, nroff,
+// ...) and reports throughput in scripts/hour. This generator builds the
+// equivalent load for the ossim machine: each script is a process running
+// a random-but-deterministic sequence of simulated commands, each of which
+// execs, opens/reads/writes files (IPC-serviced syscalls), takes page
+// faults, computes, and allocates memory through the kernel allocator's
+// lock chain (GMalloc -> PMallocDefault -> AllocRegionManager — the very
+// locks Figure 7 shows as the top contenders).
+//
+// The `tunedAllocator` flag switches the allocator from one global lock to
+// per-processor pools — the lock-fixing iteration of §4 that restored
+// K42's scalability; `staggeredStart` reproduces the idle-at-start anomaly
+// the graphical tool exposed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/symbols.hpp"
+#include "ossim/machine.hpp"
+
+namespace workload {
+
+using ossim::Tick;
+
+struct SdetConfig {
+  uint32_t numScripts = 8;
+  uint32_t commandsPerScript = 12;
+  uint64_t seed = 7;
+  /// false: single global allocator lock (the untuned system);
+  /// true: per-processor allocator pools (the paper's fix).
+  bool tunedAllocator = false;
+  /// Stagger script starts over startSpreadNs of virtual time, creating
+  /// the "large idle periods on many processors when the benchmark
+  /// started" that §4 describes discovering with the graphics tool.
+  bool staggeredStart = false;
+  Tick startSpreadNs = 50'000'000;
+  /// Scale factor on per-command work (1.0 = defaults).
+  double workScale = 1.0;
+};
+
+/// Well-known lock ids used by the workload (stable for tests/benches).
+constexpr uint64_t kGMallocLockId = 0x100;          // global allocator lock
+constexpr uint64_t kGMallocPerCpuLockBase = 0x200;  // + cpu when tuned
+constexpr uint64_t kPageAllocLockId = 0x300;
+
+class SdetWorkload {
+ public:
+  /// Builds the command programs, interns chain/function symbols, and
+  /// registers everything with the machine. Does not spawn yet.
+  SdetWorkload(const SdetConfig& config, ossim::Machine& machine,
+               ktrace::analysis::SymbolTable& symbols);
+
+  /// Creates all script processes (call once, then machine.run()).
+  void spawnAll();
+
+  /// Throughput once the machine has run to completion.
+  double throughputScriptsPerHour() const;
+
+  uint32_t numScripts() const noexcept { return config_.numScripts; }
+  const SdetConfig& config() const noexcept { return config_; }
+
+  /// Function ids the workload interned (exposed for tests and Figure 6/7
+  /// expectations).
+  uint64_t funcGMalloc() const noexcept { return funcGMalloc_; }
+  uint64_t funcPMalloc() const noexcept { return funcPMalloc_; }
+  uint64_t funcAllocRegion() const noexcept { return funcAllocRegion_; }
+  uint64_t funcFairBLockAcquire() const noexcept { return funcFairBLockAcquire_; }
+  uint64_t funcPageAlloc() const noexcept { return funcPageAlloc_; }
+
+ private:
+  ossim::Program buildCommand(const std::string& name, uint64_t commandFunc);
+  uint64_t allocatorLockFor(uint32_t scriptIndex) const;
+
+  SdetConfig config_;
+  ossim::Machine& machine_;
+  ktrace::analysis::SymbolTable& symbols_;
+  ktrace::util::Rng rng_;
+  std::vector<uint64_t> scriptPrograms_;
+
+  uint64_t funcGMalloc_ = 0;
+  uint64_t funcPMalloc_ = 0;
+  uint64_t funcAllocRegion_ = 0;
+  uint64_t funcFairBLockAcquire_ = 0;
+  uint64_t funcPageAlloc_ = 0;
+  std::vector<uint64_t> commandFuncs_;
+};
+
+}  // namespace workload

@@ -1,0 +1,129 @@
+// The §4.2 deadlock-detection use case: post-process the trace to find the
+// cycle.
+#include "analysis/deadlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim_support.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+constexpr uint16_t kContend = static_cast<uint16_t>(ossim::LockMinor::ContendStart);
+constexpr uint16_t kAcquired = static_cast<uint16_t>(ossim::LockMinor::Acquired);
+constexpr uint16_t kRelease = static_cast<uint16_t>(ossim::LockMinor::Release);
+
+struct DeadlockFixture : ::testing::Test {
+  SimHarness hx{1, 512, 64};
+  uint64_t t = 0;
+
+  void logAt(uint16_t minor, std::initializer_list<uint64_t> words) {
+    hx.bootClock.set(t += 10);
+    logEventData(hx.facility.control(0), Major::Lock, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  }
+};
+
+TEST_F(DeadlockFixture, TwoProcessCycleIsDetected) {
+  // A(pid 5) acquires L1; B(pid 6) acquires L2; A waits L2; B waits L1.
+  logAt(kAcquired, {0x11, 5, 0, 0});
+  logAt(kAcquired, {0x22, 6, 0, 0});
+  logAt(kContend, {0x22, 5, 1, 77});
+  logAt(kContend, {0x11, 6, 1, 88});
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+
+  ASSERT_TRUE(detector.hasDeadlock());
+  ASSERT_EQ(detector.cycles().size(), 1u);
+  EXPECT_EQ(detector.cycles()[0].edges.size(), 2u);
+  // The waits close over each other's holdings.
+  std::set<uint64_t> waiters;
+  for (const auto& edge : detector.cycles()[0].edges) {
+    waiters.insert(edge.waiterPid);
+    EXPECT_TRUE((edge.waiterPid == 5 && edge.holderPid == 6 && edge.lockId == 0x22) ||
+                (edge.waiterPid == 6 && edge.holderPid == 5 && edge.lockId == 0x11));
+  }
+  EXPECT_EQ(waiters, (std::set<uint64_t>{5, 6}));
+}
+
+TEST_F(DeadlockFixture, ThreeProcessCycle) {
+  logAt(kAcquired, {0x1, 10, 0, 0});
+  logAt(kAcquired, {0x2, 11, 0, 0});
+  logAt(kAcquired, {0x3, 12, 0, 0});
+  logAt(kContend, {0x2, 10, 0});
+  logAt(kContend, {0x3, 11, 0});
+  logAt(kContend, {0x1, 12, 0});
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  ASSERT_TRUE(detector.hasDeadlock());
+  ASSERT_EQ(detector.cycles().size(), 1u);
+  EXPECT_EQ(detector.cycles()[0].edges.size(), 3u);
+}
+
+TEST_F(DeadlockFixture, ResolvedContentionIsNotADeadlock) {
+  logAt(kAcquired, {0x11, 5, 0, 0});
+  logAt(kContend, {0x11, 6, 0});
+  logAt(kRelease, {0x11, 5, 100});
+  logAt(kAcquired, {0x11, 6, 3, 30});
+  logAt(kRelease, {0x11, 6, 50});
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  EXPECT_FALSE(detector.hasDeadlock());
+  EXPECT_TRUE(detector.pendingWaits().empty());
+  EXPECT_TRUE(detector.heldLocks().empty());
+}
+
+TEST_F(DeadlockFixture, WaitOnHeldLockWithoutCycleIsJustBlocked) {
+  logAt(kAcquired, {0x11, 5, 0, 0});
+  logAt(kContend, {0x11, 6, 0});  // blocked, but 5 isn't waiting on anything
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  EXPECT_FALSE(detector.hasDeadlock());
+  ASSERT_EQ(detector.pendingWaits().size(), 1u);
+  EXPECT_EQ(detector.pendingWaits()[0].waiterPid, 6u);
+  EXPECT_EQ(detector.pendingWaits()[0].holderPid, 5u);
+  ASSERT_EQ(detector.heldLocks().count(5), 1u);
+}
+
+TEST_F(DeadlockFixture, ReportNamesTheCycleAndChains) {
+  logAt(kAcquired, {0x11, 5, 0, 0});
+  logAt(kAcquired, {0x22, 6, 0, 0});
+  logAt(kContend, {0x22, 5, 1, 40});
+  logAt(kContend, {0x11, 6, 1, 41});
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  SymbolTable symbols;
+  symbols.add(40, "DirLinuxFS::lookup()");
+  symbols.add(41, "FileSystem::create()");
+  const std::string report = detector.report(symbols, 1e9);
+  EXPECT_NE(report.find("deadlock cycle 1 (2 processes)"), std::string::npos);
+  EXPECT_NE(report.find("pid 5 waits for lock 0x22 held by pid 6"), std::string::npos);
+  EXPECT_NE(report.find("DirLinuxFS::lookup()"), std::string::npos);
+  EXPECT_NE(report.find("FileSystem::create()"), std::string::npos);
+}
+
+TEST_F(DeadlockFixture, NoDeadlockReportSaysSo) {
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  SymbolTable symbols;
+  EXPECT_NE(detector.report(symbols, 1e9).find("no deadlock cycle"), std::string::npos);
+}
+
+TEST_F(DeadlockFixture, TwoIndependentCycles) {
+  logAt(kAcquired, {0x1, 1, 0, 0});
+  logAt(kAcquired, {0x2, 2, 0, 0});
+  logAt(kContend, {0x2, 1, 0});
+  logAt(kContend, {0x1, 2, 0});
+  logAt(kAcquired, {0x3, 3, 0, 0});
+  logAt(kAcquired, {0x4, 4, 0, 0});
+  logAt(kContend, {0x4, 3, 0});
+  logAt(kContend, {0x3, 4, 0});
+  const auto trace = hx.collect();
+  DeadlockDetector detector(trace);
+  EXPECT_EQ(detector.cycles().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

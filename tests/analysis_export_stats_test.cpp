@@ -1,0 +1,121 @@
+// Event-frequency statistics (§4.2) and LTT/CSV export (§5 future work).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/event_stats.hpp"
+#include "analysis/ltt_export.hpp"
+#include "ossim/events.hpp"
+#include "sim_support.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+struct ExportFixture : ::testing::Test {
+  SimHarness hx{2, 512, 64};
+
+  void logAt(uint32_t cpu, uint64_t at, Major major, uint16_t minor,
+             std::initializer_list<uint64_t> words) {
+    hx.bootClock.set(at);
+    logEventData(hx.facility.control(cpu), major, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  }
+};
+
+TEST_F(ExportFixture, EventStatsCountsAndSorts) {
+  for (uint64_t i = 0; i < 30; ++i) logAt(0, 100 + i, Major::Mem, 1, {i});
+  for (uint64_t i = 0; i < 10; ++i) logAt(1, 200 + i, Major::Io, 2, {i, i});
+  const auto trace = hx.collect();
+  EventStats stats(trace);
+
+  EXPECT_EQ(stats.totalEvents(), 40u);
+  EXPECT_EQ(stats.totalWords(), 30u * 2 + 10u * 3);
+
+  const auto rows = stats.byCount();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].major, Major::Mem);
+  EXPECT_EQ(rows[0].count, 30u);
+  EXPECT_EQ(rows[1].count, 10u);
+
+  const EventTypeStats* io = stats.find(Major::Io, 2);
+  ASSERT_NE(io, nullptr);
+  EXPECT_EQ(io->perProcessor[0], 0u);
+  EXPECT_EQ(io->perProcessor[1], 10u);
+  EXPECT_EQ(io->firstTick, 200u);
+  EXPECT_EQ(io->lastTick, 209u);
+  // 10 events across 9 ticks at 1e9 ticks/s.
+  EXPECT_NEAR(io->ratePerSecond(1e9), 10.0 / 9e-9, 1e6);
+}
+
+TEST_F(ExportFixture, EventStatsReportIncludesSharesAndNames) {
+  Registry registry;
+  registry.add({Major::Mem, 1, "TRACE_MEM_THING", "64", ""});
+  for (uint64_t i = 0; i < 4; ++i) logAt(0, 10 + i, Major::Mem, 1, {i});
+  const auto trace = hx.collect();
+  EventStats stats(trace);
+  const std::string report = stats.report(registry, 1e9);
+  EXPECT_NE(report.find("TRACE_MEM_THING"), std::string::npos);
+  EXPECT_NE(report.find("100.0%"), std::string::npos);
+  EXPECT_NE(report.find("words/evt"), std::string::npos);
+}
+
+TEST_F(ExportFixture, LttTextUsesFacilityNamesAndFields) {
+  Registry registry;
+  ossim::registerOssimEvents(registry);
+  logAt(0, 1'000'000, Major::Sched,
+        static_cast<uint16_t>(ossim::SchedMinor::Dispatch), {7, 3});
+  const auto trace = hx.collect();
+  const std::string text = exportLttText(trace, registry, 1e9);
+  EXPECT_NE(text.find("cpu 0"), std::string::npos);
+  EXPECT_NE(text.find("kernel.TRACE_SCHED_DISPATCH"), std::string::npos);
+  EXPECT_NE(text.find("f0=0x7"), std::string::npos);
+  EXPECT_NE(text.find("f1=0x3"), std::string::npos);
+  EXPECT_NE(text.find("0.001000"), std::string::npos);  // 1 ms
+}
+
+TEST_F(ExportFixture, LttTextRendersStringsAndUnknowns) {
+  Registry registry;
+  ossim::registerOssimEvents(registry);
+  hx.bootClock.set(500);
+  logEventString(hx.facility.control(0), Major::Proc,
+                 static_cast<uint16_t>(ossim::ProcMinor::Exec), "nroff",
+                 std::array<uint64_t, 1>{9});
+  logAt(0, 600, Major::App, 42, {0xAB});  // unregistered
+  const auto trace = hx.collect();
+  const std::string text = exportLttText(trace, registry, 1e9);
+  EXPECT_NE(text.find("f1=\"nroff\""), std::string::npos);
+  EXPECT_NE(text.find("w0=0xab"), std::string::npos);  // raw-word fallback
+}
+
+TEST_F(ExportFixture, CsvHasHeaderAndOneRowPerEvent) {
+  Registry registry;
+  logAt(0, 100, Major::Test, 1, {0xFF});
+  logAt(1, 200, Major::Test, 2, {1, 2});
+  const auto trace = hx.collect();
+  const std::string csv = exportCsv(trace, registry);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+  EXPECT_NE(csv.find("time_ticks,cpu,major,minor,name,payload"), std::string::npos);
+  EXPECT_NE(csv.find("100,0,1,1,"), std::string::npos);
+  EXPECT_NE(csv.find("\"1 2\""), std::string::npos);
+}
+
+TEST_F(ExportFixture, MaxEventsBoundsBothExports) {
+  Registry registry;
+  for (uint64_t i = 0; i < 20; ++i) logAt(0, 100 + i, Major::Test, 1, {i});
+  const auto trace = hx.collect();
+  const std::string ltt = exportLttText(trace, registry, 1e9, 5);
+  EXPECT_EQ(std::count(ltt.begin(), ltt.end(), '\n'), 5);
+  const std::string csv = exportCsv(trace, registry, 5);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 6);
+}
+
+TEST(LttFacilityNames, CoverAllMajors) {
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Major::MajorCount); ++m) {
+    EXPECT_STRNE(lttFacilityName(static_cast<Major>(m)), "unknown") << m;
+  }
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

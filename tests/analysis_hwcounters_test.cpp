@@ -1,0 +1,117 @@
+// Hardware-counter events and the memory hot-spot analysis (§2).
+#include "analysis/hwcounters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ossim/machine.hpp"
+#include "sim_support.hpp"
+#include "workload/sdet.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+constexpr uint16_t kSample = static_cast<uint16_t>(ossim::HwPerfMinor::CounterSample);
+
+struct HwFixture : ::testing::Test {
+  SimHarness hx{1, 512, 64};
+  uint64_t t = 0;
+
+  void sample(uint64_t pid, uint64_t counter, uint64_t delta, uint64_t func) {
+    hx.bootClock.set(t += 1000);
+    logEvent(hx.facility.control(0), Major::HwPerf, kSample, pid, counter, delta, func);
+  }
+};
+
+TEST_F(HwFixture, AggregatesPerProcessAndFunction) {
+  sample(1, 0, 100, 7);
+  sample(1, 0, 50, 7);
+  sample(2, 0, 30, 8);
+  sample(1, 1, 999, 7);  // another counter, kept separate
+  const auto trace = hx.collect();
+  HwCounterAnalysis hw(trace);
+
+  EXPECT_EQ(hw.totalSamples(), 4u);
+  ASSERT_EQ(hw.perProcess(0).size(), 2u);
+  EXPECT_EQ(hw.perProcess(0).at(1).total, 150u);
+  EXPECT_EQ(hw.perProcess(0).at(1).samples, 2u);
+  EXPECT_EQ(hw.perProcess(0).at(2).total, 30u);
+  EXPECT_EQ(hw.perFunction(0).at(7).total, 150u);
+  EXPECT_EQ(hw.perFunction(1).at(7).total, 999u);
+  EXPECT_TRUE(hw.perProcess(5).empty());
+}
+
+TEST_F(HwFixture, HotFunctionsSortDescending) {
+  sample(1, 0, 10, 100);
+  sample(1, 0, 500, 200);
+  sample(1, 0, 90, 300);
+  const auto trace = hx.collect();
+  HwCounterAnalysis hw(trace);
+  const auto hot = hw.hotFunctions(0);
+  ASSERT_EQ(hot.size(), 3u);
+  EXPECT_EQ(hot[0].first, 200u);
+  EXPECT_EQ(hot[1].first, 300u);
+  EXPECT_EQ(hot[2].first, 100u);
+}
+
+TEST_F(HwFixture, ReportNamesFunctions) {
+  sample(1, 0, 1234, 55);
+  const auto trace = hx.collect();
+  HwCounterAnalysis hw(trace);
+  SymbolTable symbols;
+  symbols.add(55, "HashSimpleBase::extendHash()");
+  const std::string report = hw.report(0, symbols, 1e9);
+  EXPECT_NE(report.find("HashSimpleBase::extendHash()"), std::string::npos);
+  EXPECT_NE(report.find("1234"), std::string::npos);
+}
+
+TEST(HwCounterIntegration, LockSpinSitesAreHotSpots) {
+  // Contended SDET with hw sampling: the lock-acquire function must show a
+  // disproportionate share of cache misses (the bouncing lock line) —
+  // the §2 "memory hot-spots" use case.
+  SimHarness hx(4, 1u << 12, 512);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 4;
+  mc.hwCounterSampleIntervalNs = 25'000;
+  ossim::Machine machine(mc, &hx.facility);
+  SymbolTable symbols;
+  workload::SdetConfig cfg;
+  cfg.numScripts = 12;
+  cfg.commandsPerScript = 4;
+  cfg.tunedAllocator = false;
+  workload::SdetWorkload sdet(cfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  ASSERT_GT(machine.stats().hwCounterSamples, 0u);
+  const auto trace = hx.collect();
+  HwCounterAnalysis hw(trace);
+  const auto hot = hw.hotFunctions(0);
+  ASSERT_FALSE(hot.empty());
+
+  // Misses attributed to the lock-acquire site vs everything else,
+  // normalized by nothing: the multiplier should push it to the top 2.
+  bool lockSiteHot = false;
+  for (size_t i = 0; i < std::min<size_t>(2, hot.size()); ++i) {
+    if (hot[i].first == sdet.funcFairBLockAcquire()) lockSiteHot = true;
+  }
+  EXPECT_TRUE(lockSiteHot) << "lock spin site not among top-2 miss producers";
+}
+
+TEST(HwCounterIntegration, NoSamplingMeansNoEvents) {
+  SimHarness hx(1, 512, 64);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 1;
+  mc.hwCounterSampleIntervalNs = 0;
+  ossim::Machine machine(mc, &hx.facility);
+  machine.spawnProcess("p", machine.registerProgram(ossim::Program().cpu(1'000'000).exit()));
+  machine.run();
+  EXPECT_EQ(machine.stats().hwCounterSamples, 0u);
+  const auto trace = hx.collect();
+  HwCounterAnalysis hw(trace);
+  EXPECT_EQ(hw.totalSamples(), 0u);
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

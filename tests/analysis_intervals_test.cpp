@@ -1,0 +1,150 @@
+// The §4.7 interval/latency analysis.
+#include "analysis/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ossim/machine.hpp"
+#include "sim_support.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+constexpr uint16_t kFltStart = static_cast<uint16_t>(ossim::ExcMinor::PgfltStart);
+constexpr uint16_t kFltDone = static_cast<uint16_t>(ossim::ExcMinor::PgfltDone);
+constexpr uint16_t kPpcCall = static_cast<uint16_t>(ossim::ExcMinor::PpcCall);
+constexpr uint16_t kPpcReturn = static_cast<uint16_t>(ossim::ExcMinor::PpcReturn);
+
+struct IntervalFixture : ::testing::Test {
+  SimHarness hx{2, 512, 64};
+
+  void logAt(uint32_t cpu, uint64_t at, Major major, uint16_t minor,
+             std::initializer_list<uint64_t> words) {
+    hx.bootClock.set(at);
+    logEventData(hx.facility.control(cpu), major, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  }
+};
+
+TEST_F(IntervalFixture, MatchesPairsByKeyField) {
+  logAt(0, 1000, Major::Exception, kFltStart, {6, 0x1000, 0});
+  logAt(0, 1500, Major::Exception, kFltDone, {6, 0x1000});
+  logAt(0, 2000, Major::Exception, kFltStart, {6, 0x2000, 0});
+  logAt(0, 2800, Major::Exception, kFltDone, {6, 0x2000});
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const util::Stats* s = ia.stats("page-fault");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count(), 2u);
+  EXPECT_DOUBLE_EQ(s->mean(), (500.0 + 800.0) / 2);
+  EXPECT_DOUBLE_EQ(s->max(), 800.0);
+  EXPECT_EQ(ia.unmatchedStarts("page-fault"), 0u);
+}
+
+TEST_F(IntervalFixture, DistinctKeysInterleave) {
+  // Two overlapping PPC calls with different commIds must not cross-match.
+  logAt(0, 100, Major::Exception, kPpcCall, {0xA});
+  logAt(0, 150, Major::Exception, kPpcCall, {0xB});
+  logAt(0, 400, Major::Exception, kPpcReturn, {0xA});
+  logAt(0, 950, Major::Exception, kPpcReturn, {0xB});
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const util::Stats* s = ia.stats("ppc-call");
+  ASSERT_EQ(s->count(), 2u);
+  EXPECT_DOUBLE_EQ(s->min(), 300.0);
+  EXPECT_DOUBLE_EQ(s->max(), 800.0);
+}
+
+TEST_F(IntervalFixture, PerProcessorStreamsAreIndependent) {
+  logAt(0, 100, Major::Exception, kFltStart, {1, 0xAA, 0});
+  logAt(1, 120, Major::Exception, kFltStart, {1, 0xBB, 0});  // same pid, other cpu
+  logAt(0, 200, Major::Exception, kFltDone, {1, 0xAA});
+  logAt(1, 520, Major::Exception, kFltDone, {1, 0xBB});
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const util::Stats* s = ia.stats("page-fault");
+  ASSERT_EQ(s->count(), 2u);
+  EXPECT_DOUBLE_EQ(s->min(), 100.0);
+  EXPECT_DOUBLE_EQ(s->max(), 400.0);
+}
+
+TEST_F(IntervalFixture, UnmatchedStartsAreCounted) {
+  logAt(0, 100, Major::Exception, kFltStart, {5, 0x1, 0});
+  // Trace ends mid-fault.
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  EXPECT_EQ(ia.stats("page-fault")->count(), 0u);
+  EXPECT_EQ(ia.unmatchedStarts("page-fault"), 1u);
+}
+
+TEST_F(IntervalFixture, UnknownNameReturnsNull) {
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  EXPECT_EQ(ia.stats("nope"), nullptr);
+  EXPECT_EQ(ia.unmatchedStarts("nope"), 0u);
+}
+
+TEST_F(IntervalFixture, ReportContainsAllSpecs) {
+  logAt(0, 100, Major::Exception, kFltStart, {5, 0x1, 0});
+  logAt(0, 600, Major::Exception, kFltDone, {5, 0x1});
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const std::string report = ia.report(1e9);
+  for (const char* name :
+       {"page-fault", "ppc-call", "syscall", "lock-hold", "lock-wait"}) {
+    EXPECT_NE(report.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(report.find("0.50"), std::string::npos);  // 500ns = 0.50us
+}
+
+TEST(IntervalIntegration, SimulatorLatenciesMatchCostModel) {
+  // Page faults in the machine cost minorFaultNs (plus trace statements);
+  // the measured distribution must sit right there.
+  SimHarness hx(1, 1u << 12, 128);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 1;
+  ossim::Machine machine(mc, &hx.facility);
+  ossim::Program p;
+  for (int i = 0; i < 50; ++i) p.pageFault(0x1000 + i * 0x100, false);
+  p.exit();
+  machine.spawnProcess("flt", machine.registerProgram(std::move(p)));
+  machine.run();
+
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const util::Stats* s = ia.stats("page-fault");
+  ASSERT_EQ(s->count(), 50u);
+  EXPECT_GE(s->mean(), static_cast<double>(mc.minorFaultNs));
+  EXPECT_LE(s->mean(), static_cast<double>(mc.minorFaultNs) +
+                           2.0 * static_cast<double>(mc.traceCostEnabledNs) + 10);
+  // Deterministic cost model: tight distribution.
+  EXPECT_DOUBLE_EQ(s->percentile(0.5), s->max());
+}
+
+TEST(IntervalIntegration, LockWaitAndHoldFromContendedRun) {
+  SimHarness hx(2, 1u << 12, 256);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 2;
+  ossim::Machine machine(mc, &hx.facility);
+  ossim::Program p;
+  for (int i = 0; i < 60; ++i) p.lockedSection(0x5, 8'000, {1});
+  p.exit();
+  const uint64_t prog = machine.registerProgram(std::move(p));
+  machine.spawnProcess("a", prog, 0);
+  machine.spawnProcess("b", prog, 1);
+  machine.run();
+
+  const auto trace = hx.collect();
+  IntervalAnalysis ia(trace, defaultOssimIntervals());
+  const util::Stats* hold = ia.stats("lock-hold");
+  const util::Stats* wait = ia.stats("lock-wait");
+  ASSERT_GT(hold->count(), 0u);
+  ASSERT_GT(wait->count(), 0u);
+  EXPECT_EQ(hold->count(), wait->count());  // only contended paths are traced
+  // Hold time ≈ the configured 8 us (plus trace costs).
+  EXPECT_NEAR(hold->mean(), 8'000.0, 500.0);
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

@@ -1,0 +1,112 @@
+// The Figure 5 event lister and the symbol table.
+#include "analysis/lister.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/symbols.hpp"
+#include "ossim/events.hpp"
+#include "sim_support.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+struct ListerFixture : ::testing::Test {
+  SimHarness hx{1, 256, 64};
+  Registry registry;
+
+  ListerFixture() {
+    ossim::registerOssimEvents(registry);
+    registry.add({Major::Test, 1, "TRACE_TEST_VALUE", "64", "value %0[%llu]"});
+  }
+
+  void logAt(uint64_t at, Major major, uint16_t minor,
+             std::initializer_list<uint64_t> words) {
+    hx.bootClock.set(at);
+    logEventData(hx.facility.control(0), major, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  }
+};
+
+TEST_F(ListerFixture, RendersTimeNameDescription) {
+  logAt(21'474'735, Major::Test, 1, {42});
+  const auto trace = hx.collect();
+  const std::string out = listEvents(trace, registry, 1e9);
+  // 21474735 ns = 0.0214747 s.
+  EXPECT_NE(out.find("0.0214747"), std::string::npos) << out;
+  EXPECT_NE(out.find("TRACE_TEST_VALUE"), std::string::npos);
+  EXPECT_NE(out.find("value 42"), std::string::npos);
+}
+
+TEST_F(ListerFixture, RendersOssimEventsLikeFigure5) {
+  logAt(1000, Major::Exception, static_cast<uint16_t>(ossim::ExcMinor::PgfltStart),
+        {6, 0x405e628, 0});
+  logAt(2000, Major::Mem, static_cast<uint16_t>(ossim::MemMinor::RegionAttach),
+        {0x800000001022cc98ull, 0xe100000000003f30ull});
+  const auto trace = hx.collect();
+  const std::string out = listEvents(trace, registry, 1e9);
+  EXPECT_NE(out.find("TRACE_EXCEPTION_PGFLT"), std::string::npos);
+  EXPECT_NE(out.find("faultAddr 405e628"), std::string::npos);
+  EXPECT_NE(out.find("Region 800000001022cc98 attached to FCM e100000000003f30"),
+            std::string::npos);
+}
+
+TEST_F(ListerFixture, MajorMaskFilters) {
+  logAt(100, Major::Test, 1, {1});
+  logAt(200, Major::Mem, static_cast<uint16_t>(ossim::MemMinor::Alloc), {1, 64});
+  const auto trace = hx.collect();
+  ListerOptions opts;
+  opts.majorMask = TraceMask::bit(Major::Mem);
+  const std::string out = listEvents(trace, registry, 1e9, opts);
+  EXPECT_EQ(out.find("TRACE_TEST_VALUE"), std::string::npos);
+  EXPECT_NE(out.find("TRACE_MEM_ALLOC"), std::string::npos);
+}
+
+TEST_F(ListerFixture, TimeWindowSelectsMiddleOfTrace) {
+  for (uint64_t i = 0; i < 10; ++i) logAt(1000 * (i + 1), Major::Test, 1, {i});
+  const auto trace = hx.collect();
+  ListerOptions opts;
+  opts.startTick = 3500;
+  opts.endTick = 6500;
+  const std::string out = listEvents(trace, registry, 1e9, opts);
+  EXPECT_EQ(out.find("value 2"), std::string::npos);
+  EXPECT_NE(out.find("value 3"), std::string::npos);
+  EXPECT_NE(out.find("value 5"), std::string::npos);
+  EXPECT_EQ(out.find("value 6"), std::string::npos);
+}
+
+TEST_F(ListerFixture, MaxEventsTruncates) {
+  for (uint64_t i = 0; i < 10; ++i) logAt(1000 * (i + 1), Major::Test, 1, {i});
+  const auto trace = hx.collect();
+  ListerOptions opts;
+  opts.maxEvents = 3;
+  const std::string out = listEvents(trace, registry, 1e9, opts);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(SymbolTable, InternAndLookup) {
+  SymbolTable symbols;
+  const uint64_t a = symbols.intern("FairBLock::_acquire()");
+  const uint64_t b = symbols.intern("GMalloc::gMalloc()");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(symbols.name(a), "FairBLock::_acquire()");
+  EXPECT_EQ(symbols.name(b), "GMalloc::gMalloc()");
+  EXPECT_EQ(symbols.name(9999), "func9999");
+  EXPECT_TRUE(symbols.contains(a));
+  EXPECT_FALSE(symbols.contains(9999));
+}
+
+TEST(SymbolTable, ExplicitIdsAndChainRendering) {
+  SymbolTable symbols;
+  symbols.add(10, "inner()");
+  symbols.add(20, "outer()");
+  const std::string chain = symbols.renderChain({10, 20}, 2);
+  EXPECT_EQ(chain, "  inner()\n  outer()\n");
+  // intern after explicit add must not collide
+  const uint64_t next = symbols.intern("fresh()");
+  EXPECT_GT(next, 20u);
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

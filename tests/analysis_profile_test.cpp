@@ -1,0 +1,123 @@
+// The Figure 6 statistical profiler.
+#include "analysis/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ossim/machine.hpp"
+#include "sim_support.hpp"
+#include "workload/sdet.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+constexpr uint16_t kSample = static_cast<uint16_t>(ossim::ProfMinor::PcSample);
+
+struct ProfileFixture : ::testing::Test {
+  SimHarness hx{1, 512, 64};
+  uint64_t t = 0;
+
+  void sample(uint64_t pid, uint64_t funcId, uint64_t count = 1) {
+    for (uint64_t i = 0; i < count; ++i) {
+      hx.bootClock.set(t += 10);
+      logEvent(hx.facility.control(0), Major::Prof, kSample, pid, funcId);
+    }
+  }
+};
+
+TEST_F(ProfileFixture, HistogramSortsByCount) {
+  sample(1, 100, 904);
+  sample(1, 200, 585);
+  sample(1, 300, 386);
+  sample(2, 100, 5);  // another pid, kept separate
+  const auto trace = hx.collect();
+  Profile profile(trace);
+
+  const auto rows = profile.histogram(1);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].funcId, 100u);
+  EXPECT_EQ(rows[0].count, 904u);
+  EXPECT_EQ(rows[1].count, 585u);
+  EXPECT_EQ(rows[2].count, 386u);
+  EXPECT_EQ(profile.totalSamples(1), 904u + 585u + 386u);
+  EXPECT_EQ(profile.totalSamples(2), 5u);
+  EXPECT_EQ(profile.pids(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(ProfileFixture, UnknownPidIsEmpty) {
+  sample(1, 100, 3);
+  const auto trace = hx.collect();
+  Profile profile(trace);
+  EXPECT_TRUE(profile.histogram(42).empty());
+  EXPECT_EQ(profile.totalSamples(42), 0u);
+}
+
+TEST_F(ProfileFixture, ReportMatchesFigure6Shape) {
+  sample(1, 100, 904);
+  sample(1, 200, 585);
+  const auto trace = hx.collect();
+  Profile profile(trace);
+  SymbolTable symbols;
+  symbols.add(100, "FairBLock::_acquire()");
+  symbols.add(200, "HashSNBBase<AllocGlobal, 01, 8l>::add(unsigned long, unsigned long)");
+
+  const std::string report =
+      profile.report(1, symbols, "servers/baseServers/baseServers.dbg", 10);
+  EXPECT_NE(report.find("histogram for pid 0x1 mapped filename "
+                        "servers/baseServers/baseServers.dbg"),
+            std::string::npos);
+  EXPECT_NE(report.find("count method"), std::string::npos);
+  EXPECT_NE(report.find("904 FairBLock::_acquire()"), std::string::npos);
+  // Sorted: the lock routine leads the list, as in Figure 6.
+  EXPECT_LT(report.find("FairBLock"), report.find("HashSNBBase"));
+}
+
+TEST_F(ProfileFixture, TopNLimitsRows) {
+  for (uint64_t f = 0; f < 30; ++f) sample(1, 1000 + f, 30 - f);
+  const auto trace = hx.collect();
+  Profile profile(trace);
+  SymbolTable symbols;
+  const std::string report = profile.report(1, symbols, "x.dbg", 5);
+  // Header (2 lines) + 5 rows.
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 7);
+}
+
+TEST(ProfileIntegration, ContendedSdetShowsLockAcquireAtTop) {
+  // With heavy allocator contention the PC sampler should find the lock
+  // acquire path dominating — the paper's Figure 6 observation.
+  SimHarness hx(4, 1u << 12, 512);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 4;
+  mc.pcSampleIntervalNs = 20'000;
+  ossim::Machine machine(mc, &hx.facility);
+  SymbolTable symbols;
+  workload::SdetConfig cfg;
+  cfg.numScripts = 12;
+  cfg.commandsPerScript = 4;
+  workload::SdetWorkload sdet(cfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  const auto trace = hx.collect();
+  Profile profile(trace);
+
+  // Aggregate across all script pids: the FairBLock acquire function
+  // should rank in the top three once contention dominates.
+  std::map<uint64_t, uint64_t> total;
+  for (const uint64_t pid : profile.pids()) {
+    for (const auto& row : profile.histogram(pid)) total[row.funcId] += row.count;
+  }
+  ASSERT_FALSE(total.empty());
+  std::vector<std::pair<uint64_t, uint64_t>> sorted(total.begin(), total.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  bool lockNearTop = false;
+  for (size_t i = 0; i < std::min<size_t>(3, sorted.size()); ++i) {
+    if (sorted[i].first == sdet.funcFairBLockAcquire()) lockNearTop = true;
+  }
+  EXPECT_TRUE(lockNearTop) << "lock acquire not in top 3 sampled functions";
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

@@ -1,0 +1,146 @@
+// The Figure 4 timeline tool: activity segments, SVG/ASCII rendering, and
+// the click-to-list region feature.
+#include "analysis/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ossim/machine.hpp"
+#include "sim_support.hpp"
+#include "workload/sdet.hpp"
+
+namespace ktrace::analysis {
+namespace {
+
+using ktrace::testing::SimHarness;
+
+constexpr uint16_t kDispatch = static_cast<uint16_t>(ossim::SchedMinor::Dispatch);
+constexpr uint16_t kIdle = static_cast<uint16_t>(ossim::SchedMinor::Idle);
+constexpr uint16_t kThreadExit = static_cast<uint16_t>(ossim::SchedMinor::ThreadExit);
+constexpr uint16_t kScEnter = static_cast<uint16_t>(ossim::LinuxMinor::SyscallEnter);
+constexpr uint16_t kScExit = static_cast<uint16_t>(ossim::LinuxMinor::SyscallExit);
+constexpr uint16_t kContend = static_cast<uint16_t>(ossim::LockMinor::ContendStart);
+constexpr uint16_t kAcquired = static_cast<uint16_t>(ossim::LockMinor::Acquired);
+
+struct TimelineFixture : ::testing::Test {
+  SimHarness hx{2, 512, 64};
+
+  void logAt(uint32_t cpu, uint64_t at, Major major, uint16_t minor,
+             std::initializer_list<uint64_t> words) {
+    hx.bootClock.set(at);
+    logEventData(hx.facility.control(cpu), major, minor,
+                 std::span<const uint64_t>(words.begin(), words.size()));
+  }
+};
+
+TEST_F(TimelineFixture, SegmentsFollowActivityTransitions) {
+  logAt(0, 0, Major::Sched, kDispatch, {5, 1});
+  logAt(0, 1000, Major::Linux, kScEnter, {5, 2});
+  logAt(0, 3000, Major::Linux, kScExit, {5, 2});
+  logAt(0, 4000, Major::Sched, kThreadExit, {5, 1});
+  logAt(0, 4000, Major::Sched, kIdle, {});
+  logAt(0, 5000, Major::Test, 0, {});  // trailing marker to extend the trace
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+
+  EXPECT_EQ(timeline.activityTicks(0, Activity::User), 1000u + 1000u);
+  EXPECT_EQ(timeline.activityTicks(0, Activity::Kernel), 2000u);
+  EXPECT_EQ(timeline.activityTicks(0, Activity::Idle), 1000u);
+}
+
+TEST_F(TimelineFixture, LockWaitIsItsOwnActivity) {
+  logAt(0, 0, Major::Sched, kDispatch, {5, 1});
+  logAt(0, 1000, Major::Lock, kContend, {0x42, 5, 0});
+  logAt(0, 2500, Major::Lock, kAcquired, {0x42, 5, 30, 1500});
+  logAt(0, 4000, Major::Sched, kThreadExit, {5, 1});
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+  EXPECT_EQ(timeline.activityTicks(0, Activity::LockWait), 1500u);
+}
+
+TEST_F(TimelineFixture, AsciiHasOneRowPerProcessorShowingActivity) {
+  logAt(0, 0, Major::Sched, kDispatch, {5, 1});
+  logAt(0, 10'000, Major::Sched, kThreadExit, {5, 1});
+  logAt(1, 0, Major::Sched, kIdle, {});
+  logAt(1, 10'000, Major::Test, 0, {});
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+  const std::string ascii = timeline.renderAscii(40);
+  // Two lanes.
+  EXPECT_EQ(std::count(ascii.begin(), ascii.end(), '\n'), 2);
+  EXPECT_NE(ascii.find("cpu0"), std::string::npos);
+  EXPECT_NE(ascii.find("cpu1"), std::string::npos);
+  // cpu0 mostly user ('U'), cpu1 all idle ('.').
+  const auto lane0 = ascii.substr(0, ascii.find('\n'));
+  const auto lane1 = ascii.substr(ascii.find('\n') + 1);
+  EXPECT_GT(std::count(lane0.begin(), lane0.end(), 'U'), 30);
+  EXPECT_GT(std::count(lane1.begin(), lane1.end(), '.'), 30);
+}
+
+TEST_F(TimelineFixture, SvgContainsLanesLegendAndMarks) {
+  logAt(0, 0, Major::Sched, kDispatch, {5, 1});
+  logAt(0, 500, Major::User, static_cast<uint16_t>(ossim::UserMinor::ReturnedMain), {5});
+  logAt(0, 1000, Major::Sched, kThreadExit, {5, 1});
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+
+  Registry registry;
+  ossim::registerOssimEvents(registry);
+  TimelineOptions opts;
+  opts.marks.push_back(
+      {Major::User, static_cast<uint16_t>(ossim::UserMinor::ReturnedMain)});
+  const std::string svg = timeline.renderSvg(registry, 1e9, opts);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("cpu0"), std::string::npos);
+  EXPECT_NE(svg.find("cpu1"), std::string::npos);
+  // Legend entries for every activity kind.
+  EXPECT_NE(svg.find(">kernel<"), std::string::npos);
+  EXPECT_NE(svg.find(">lock-wait<"), std::string::npos);
+  // The marked event renders as a line with its name in the tooltip.
+  EXPECT_NE(svg.find("TRACE_USER_RETURNED_MAIN"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+}
+
+TEST_F(TimelineFixture, ListRegionShowsEventsAroundAClick) {
+  for (uint64_t i = 0; i < 10; ++i) {
+    logAt(0, 1000 * (i + 1), Major::Test, static_cast<uint16_t>(i), {i});
+  }
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+  Registry registry;
+  registry.add({Major::Test, 5, "TRACE_TEST_FIVE", "64", "v %0[%llu]"});
+  const std::string listing = timeline.listRegion(registry, 1e9, 6000, 1500);
+  // Window [4500, 7500]: events at 5000, 6000, 7000.
+  EXPECT_EQ(std::count(listing.begin(), listing.end(), '\n'), 3);
+  EXPECT_NE(listing.find("TRACE_TEST_FIVE"), std::string::npos);
+}
+
+TEST(TimelineIntegration, StaggeredSdetShowsIdleAtStart) {
+  // The §4 war story: the graphics tool exposed large idle periods at
+  // benchmark start.
+  SimHarness hx(4, 1u << 12, 256);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 4;
+  ossim::Machine machine(mc, &hx.facility);
+  SymbolTable symbols;
+  workload::SdetConfig cfg;
+  cfg.numScripts = 4;
+  cfg.commandsPerScript = 3;
+  cfg.staggeredStart = true;
+  cfg.startSpreadNs = 80'000'000;
+  workload::SdetWorkload sdet(cfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  const auto trace = hx.collect();
+  Timeline timeline(trace);
+  uint64_t idle = 0;
+  for (uint32_t p = 0; p < 4; ++p) idle += timeline.activityTicks(p, Activity::Idle);
+  EXPECT_GT(idle, 10'000'000u);
+
+  // And the ASCII art actually shows leading idle on a late-starting cpu.
+  const std::string ascii = timeline.renderAscii(60);
+  EXPECT_NE(ascii.find("|."), std::string::npos) << ascii;
+}
+
+}  // namespace
+}  // namespace ktrace::analysis

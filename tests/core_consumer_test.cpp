@@ -1,0 +1,158 @@
+// Consumer behaviour: completed buffers reach the sink in order, commit
+// mismatches are flagged, and producer overrun is detected (paper §3.1).
+#include "core/consumer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ktrace {
+namespace {
+
+using testing::FakeFacility;
+
+TEST(Consumer, DrainDeliversCompletedBuffersInSeqOrder) {
+  FakeFacility fx(/*numProcessors=*/1, /*bufferWords=*/64, /*buffersPerProcessor=*/8);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+
+  // Fill a bit more than three buffers.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t(i), uint64_t(i), uint64_t(i)));
+  }
+  consumer.drainNow();
+  const auto records = sink.records();
+  ASSERT_GE(records.size(), 3u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i);
+    EXPECT_EQ(records[i].processor, 0u);
+    EXPECT_FALSE(records[i].commitMismatch) << "buffer " << i;
+    EXPECT_EQ(records[i].committedDelta, 64u);
+  }
+  EXPECT_EQ(consumer.stats().buffersConsumed, records.size());
+  EXPECT_EQ(consumer.stats().buffersLost, 0u);
+}
+
+TEST(Consumer, CurrentPartialBufferIsNotConsumed) {
+  FakeFacility fx(1, 64, 8);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t{1}));
+  consumer.drainNow();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(Consumer, FlushMakesPartialBufferConsumable) {
+  FakeFacility fx(1, 64, 8);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t{1}));
+  fx.facility.flushAll();
+  consumer.drainNow();
+  ASSERT_EQ(sink.count(), 1u);
+  EXPECT_FALSE(sink.records()[0].commitMismatch);
+}
+
+TEST(Consumer, MultiProcessorBuffersCarryProcessorIds) {
+  FakeFacility fx(/*numProcessors=*/3, 64, 8);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  for (uint32_t p = 0; p < 3; ++p) {
+    fx.facility.bindCurrentThread(p);
+    for (int i = 0; i < 30; ++i) {
+      ASSERT_TRUE(fx.facility.log(Major::Test, static_cast<uint16_t>(p), uint64_t(i)));
+    }
+  }
+  fx.facility.flushAll();
+  consumer.drainNow();
+  const auto records = sink.records();
+  ASSERT_GE(records.size(), 3u);
+  bool sawProc[3] = {false, false, false};
+  for (const auto& r : records) {
+    ASSERT_LT(r.processor, 3u);
+    sawProc[r.processor] = true;
+  }
+  EXPECT_TRUE(sawProc[0] && sawProc[1] && sawProc[2]);
+}
+
+TEST(Consumer, OverrunIsCountedAsLostBuffers) {
+  // Tiny ring (2 buffers) with no consumer running: most laps are lost.
+  FakeFacility fx(1, 64, /*buffersPerProcessor=*/2);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t(i), uint64_t(i)));
+  }
+  fx.facility.flushAll();
+  consumer.drainNow();
+  const auto stats = consumer.stats();
+  EXPECT_GT(stats.buffersLost, 0u);
+  EXPECT_GE(stats.buffersConsumed, 1u);
+  // Every buffer lap is either consumed or lost.
+  const uint64_t totalLaps = fx.facility.control(0).currentBufferSeq();
+  EXPECT_EQ(stats.buffersConsumed + stats.buffersLost, totalLaps);
+}
+
+TEST(Consumer, AbandonedReservationIsFlaggedAsMismatch) {
+  // Simulate the killed-writer of §3.1: reserve then never write/commit.
+  FakeFacility fx(1, 64, 8);
+  fx.facility.bindCurrentThread(0);
+  TraceControl& control = fx.facility.control(0);
+  MemorySink sink;
+  ConsumerConfig cc;
+  cc.commitWait = std::chrono::microseconds(1000);
+  Consumer consumer(fx.facility, sink, cc);
+
+  ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t{1}));
+  Reservation dead;
+  ASSERT_TRUE(control.reserve(4, dead));  // never committed
+  ASSERT_TRUE(fx.facility.log(Major::Test, 2, uint64_t{2}));
+
+  fx.facility.flushAll();
+  consumer.drainNow();
+  ASSERT_GE(sink.count(), 1u);
+  EXPECT_TRUE(sink.records()[0].commitMismatch);
+  EXPECT_EQ(sink.records()[0].committedDelta, 64u - 4u);
+  EXPECT_EQ(consumer.stats().commitMismatches, 1u);
+}
+
+TEST(Consumer, BackgroundThreadConsumesWithoutDrain) {
+  // Ring large enough (32*64 words) that the producer cannot lap the
+  // consumer even if the poller is scheduled late.
+  FakeFacility fx(1, 64, 32);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  ConsumerConfig cc;
+  cc.pollInterval = std::chrono::microseconds(50);
+  Consumer consumer(fx.facility, sink, cc);
+  consumer.start();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t(i), uint64_t(i)));
+  }
+  fx.facility.flushAll();
+  // The poller should pick everything up shortly.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sink.count() < 9 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  consumer.stop();
+  EXPECT_GE(sink.count(), 9u);
+  EXPECT_EQ(consumer.stats().buffersLost, 0u);
+}
+
+TEST(Consumer, StopIsIdempotentAndStartOnceOnly) {
+  FakeFacility fx(1, 64, 4);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  consumer.start();
+  consumer.start();  // second start is a no-op
+  consumer.stop();
+  consumer.stop();
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,244 @@
+// Single-threaded behaviour of the lockless reservation algorithm
+// (paper §3.1, Figures 1-2): fast path, boundary slow path, fillers,
+// anchors, exact-fit crossings, commit counts.
+#include "core/control.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/decode.hpp"
+#include "core/logger.hpp"
+
+namespace ktrace {
+namespace {
+
+TraceControlConfig makeConfig(FakeClock& clock, uint32_t bufferWords = 64,
+                              uint32_t numBuffers = 4, bool commitCounts = true) {
+  TraceControlConfig cfg;
+  cfg.processorId = 0;
+  cfg.bufferWords = bufferWords;
+  cfg.numBuffers = numBuffers;
+  cfg.clock = clock.ref();
+  cfg.commitCounts = commitCounts;
+  return cfg;
+}
+
+TEST(TraceControl, ConstructorValidation) {
+  FakeClock clock;
+  {
+    TraceControlConfig cfg = makeConfig(clock);
+    cfg.bufferWords = 100;  // not a power of two
+    EXPECT_THROW(TraceControl c(cfg), std::invalid_argument);
+  }
+  {
+    TraceControlConfig cfg = makeConfig(clock);
+    cfg.bufferWords = 4;  // too small for two anchors
+    EXPECT_THROW(TraceControl c(cfg), std::invalid_argument);
+  }
+  {
+    TraceControlConfig cfg = makeConfig(clock);
+    cfg.numBuffers = 1;
+    EXPECT_THROW(TraceControl c(cfg), std::invalid_argument);
+  }
+  {
+    TraceControlConfig cfg = makeConfig(clock);
+    cfg.clock = ClockRef{};
+    EXPECT_THROW(TraceControl c(cfg), std::invalid_argument);
+  }
+}
+
+TEST(TraceControl, InitialStateHasLapZeroAnchor) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock));
+  EXPECT_EQ(control.currentIndex(), TraceControl::kAnchorWords);
+  const EventHeader h = EventHeader::decode(control.loadWord(0));
+  EXPECT_EQ(h.major, Major::Control);
+  EXPECT_EQ(h.minor, static_cast<uint16_t>(ControlMinor::BufferAnchor));
+  EXPECT_EQ(h.lengthWords, TraceControl::kAnchorWords);
+  EXPECT_EQ(control.loadWord(1), 1u);  // full timestamp: first clock tick
+  EXPECT_EQ(control.loadWord(2), 0u);  // buffer seq 0
+}
+
+TEST(TraceControl, FastPathReservationIsContiguous) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock));
+  Reservation a, b;
+  ASSERT_TRUE(control.reserve(4, a));
+  ASSERT_TRUE(control.reserve(2, b));
+  EXPECT_EQ(a.index, TraceControl::kAnchorWords);
+  EXPECT_EQ(b.index, a.index + 4);
+  EXPECT_EQ(control.currentIndex(), b.index + 2);
+  EXPECT_LT(a.fullTs, b.fullTs);  // timestamps taken in reservation order
+}
+
+TEST(TraceControl, RejectsZeroAndOversizeEvents) {
+  FakeClock clock;
+  TraceControl control(makeConfig(clock));
+  Reservation r;
+  EXPECT_FALSE(control.reserve(0, r));
+  EXPECT_FALSE(control.reserve(control.maxEventWords() + 1, r));
+  EXPECT_EQ(control.rejectedEvents(), 2u);
+}
+
+TEST(TraceControl, MaxEventWordsLeavesRoomForAnchor) {
+  FakeClock clock;
+  {
+    TraceControl control(makeConfig(clock, /*bufferWords=*/64));
+    EXPECT_EQ(control.maxEventWords(), 64u - TraceControl::kAnchorWords);
+  }
+  {
+    TraceControl control(makeConfig(clock, /*bufferWords=*/4096));
+    EXPECT_EQ(control.maxEventWords(), EventHeader::kMaxWords);
+  }
+}
+
+TEST(TraceControl, SlowPathPadsAndAnchorsNextBuffer) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/64));
+  // Buffer 0 holds the anchor (3 words); fill to offset 3 + 10*6 = 63.
+  for (int i = 0; i < 10; ++i) {
+    Reservation r;
+    ASSERT_TRUE(control.reserve(6, r));
+    control.storeWord(r.index, EventHeader::encode(r.ts32, 6, Major::Test, 1));
+    control.commit(r.index, 6);
+  }
+  ASSERT_EQ(control.currentIndex(), 63u);
+
+  // A 6-word event cannot fit in the single remaining word: slow path.
+  Reservation r;
+  ASSERT_TRUE(control.reserve(6, r));
+  EXPECT_EQ(control.slowPathEntries(), 1u);
+  EXPECT_EQ(control.fillerWordsWritten(), 1u);
+  // The reservation landed after the new buffer's anchor.
+  EXPECT_EQ(r.index, 64u + TraceControl::kAnchorWords);
+
+  // Word 63 holds a 1-word filler.
+  const EventHeader filler = EventHeader::decode(control.loadWord(63));
+  EXPECT_TRUE(filler.isFiller());
+  EXPECT_EQ(filler.lengthWords, 1u);
+
+  // Word 64 holds buffer 1's anchor with seq 1.
+  const EventHeader anchor = EventHeader::decode(control.loadWord(64));
+  EXPECT_EQ(anchor.minor, static_cast<uint16_t>(ControlMinor::BufferAnchor));
+  EXPECT_EQ(control.loadWord(66), 1u);
+
+  // Buffer 0's committed count (fillers included) covers the whole buffer.
+  control.commit(r.index, 6);
+  const auto& slot0 = control.bufferState(0);
+  EXPECT_EQ(slot0.committed.load() - slot0.lapStartCommitted.load(), 64u);
+}
+
+TEST(TraceControl, ExactBoundaryFitNeedsNoFiller) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/64));
+  // Anchor used 3 words; 61 remain: log 61 words exactly.
+  Reservation r;
+  ASSERT_TRUE(control.reserve(61, r));
+  control.commit(r.index, 61);
+  ASSERT_EQ(control.currentIndex(), 64u);
+
+  // Next reservation starts the new lap via the slow path with no filler.
+  Reservation next;
+  ASSERT_TRUE(control.reserve(5, next));
+  EXPECT_EQ(control.exactFitCrossings(), 1u);
+  EXPECT_EQ(control.fillerWordsWritten(), 0u);
+  EXPECT_EQ(next.index, 64u + TraceControl::kAnchorWords);
+
+  const auto& slot0 = control.bufferState(0);
+  EXPECT_EQ(slot0.committed.load() - slot0.lapStartCommitted.load(), 64u);
+}
+
+TEST(TraceControl, CommitCountsCanBeDisabled) {
+  FakeClock clock;
+  TraceControl control(makeConfig(clock, 64, 4, /*commitCounts=*/false));
+  Reservation r;
+  ASSERT_TRUE(control.reserve(4, r));
+  control.commit(r.index, 4);
+  EXPECT_EQ(control.bufferState(0).committed.load(), 0u);
+  EXPECT_FALSE(control.commitCountsEnabled());
+}
+
+TEST(TraceControl, FlushPadsPartialBuffer) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/64));
+  Reservation r;
+  ASSERT_TRUE(control.reserve(10, r));
+  control.commit(r.index, 10);
+  control.flushCurrentBuffer();
+
+  // The old buffer is fully committed; the index sits after the new
+  // buffer's anchor.
+  EXPECT_EQ(control.currentIndex(), 64u + TraceControl::kAnchorWords);
+  const auto& slot0 = control.bufferState(0);
+  EXPECT_EQ(slot0.committed.load() - slot0.lapStartCommitted.load(), 64u);
+  EXPECT_EQ(control.fillerWordsWritten(), 64u - 13u);
+}
+
+TEST(TraceControl, FlushOnEmptyBufferIsNoOp) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/64));
+  // Fill exactly to the boundary so the next lap has not begun.
+  Reservation r;
+  ASSERT_TRUE(control.reserve(61, r));
+  control.commit(r.index, 61);
+  const uint64_t before = control.currentIndex();
+  control.flushCurrentBuffer();
+  EXPECT_EQ(control.currentIndex(), before);
+}
+
+TEST(TraceControl, RingWrapsAroundRegion) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/64, /*numBuffers=*/4));
+  // Write far more than the region (4*64 = 256 words).
+  for (int i = 0; i < 500; ++i) {
+    Reservation r;
+    ASSERT_TRUE(control.reserve(5, r));
+    control.storeWord(r.index, EventHeader::encode(r.ts32, 5, Major::Test, 2));
+    control.commit(r.index, 5);
+  }
+  EXPECT_GT(control.currentIndex(), control.regionWords());
+  EXPECT_GT(control.currentBufferSeq(), 4u);
+  // Physical addressing stays within the region.
+  EXPECT_LT(control.physicalWord(control.currentIndex()), control.regionWords());
+}
+
+TEST(TraceControl, LongFillerChainsCoverLargeRemainders) {
+  FakeClock clock(1, 1);
+  // 4096-word buffers: a near-empty buffer's remainder (4093 words) cannot
+  // be covered by one 1023-word filler.
+  TraceControl control(makeConfig(clock, /*bufferWords=*/4096));
+  Reservation r;
+  ASSERT_TRUE(control.reserve(2, r));
+  control.storeWord(r.index, EventHeader::encode(r.ts32, 2, Major::Test, 3));
+  control.storeWord(r.index + 1, 42);
+  control.commit(r.index, 2);
+  control.flushCurrentBuffer();
+
+  // Decode buffer 0 fully: fillers must tile the remainder exactly.
+  std::vector<uint64_t> words(4096);
+  for (uint32_t i = 0; i < 4096; ++i) words[i] = control.loadWord(i);
+  std::vector<DecodedEvent> events;
+  uint64_t tsBase = 0;
+  DecodeOptions opts;
+  opts.keepFillers = true;
+  const DecodeStats stats = decodeBuffer(words, 0, 0, tsBase, events, opts);
+  EXPECT_EQ(stats.garbledBuffers, 0u);
+  EXPECT_EQ(stats.fillerWords, 4096u - 3u - 2u);
+  EXPECT_GE(stats.fillers, (4096u - 5u) / 1023u);
+}
+
+TEST(TraceControl, TimestampsAreMonotonicInBufferOrder) {
+  FakeClock clock(1, 1);
+  TraceControl control(makeConfig(clock, /*bufferWords=*/256));
+  uint32_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    Reservation r;
+    ASSERT_TRUE(control.reserve(3, r));
+    ASSERT_GT(r.ts32, prev);
+    prev = r.ts32;
+    control.storeWord(r.index, EventHeader::encode(r.ts32, 3, Major::Test, 4));
+    control.commit(r.index, 3);
+  }
+}
+
+}  // namespace
+}  // namespace ktrace

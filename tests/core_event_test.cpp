@@ -1,0 +1,93 @@
+// Header word encode/decode: the 32/10/6/16 field layout of paper §3.2.
+#include "core/event.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ktrace {
+namespace {
+
+TEST(EventHeader, RoundTripBasic) {
+  const uint64_t w = EventHeader::encode(0x12345678u, 5, Major::Mem, 0xBEEF);
+  const EventHeader h = EventHeader::decode(w);
+  EXPECT_EQ(h.timestamp, 0x12345678u);
+  EXPECT_EQ(h.lengthWords, 5u);
+  EXPECT_EQ(h.major, Major::Mem);
+  EXPECT_EQ(h.minor, 0xBEEF);
+}
+
+TEST(EventHeader, FieldBoundaries) {
+  // Max values of every field coexist without bleeding into neighbours.
+  const uint64_t w =
+      EventHeader::encode(0xFFFFFFFFu, EventHeader::kMaxWords, Major::HwPerf, 0xFFFF);
+  const EventHeader h = EventHeader::decode(w);
+  EXPECT_EQ(h.timestamp, 0xFFFFFFFFu);
+  EXPECT_EQ(h.lengthWords, EventHeader::kMaxWords);
+  EXPECT_EQ(h.major, Major::HwPerf);
+  EXPECT_EQ(h.minor, 0xFFFF);
+}
+
+TEST(EventHeader, ZeroEncodesToZeroFields) {
+  const EventHeader h = EventHeader::decode(0);
+  EXPECT_EQ(h.timestamp, 0u);
+  EXPECT_EQ(h.lengthWords, 0u);
+  EXPECT_EQ(h.major, Major::Control);
+  EXPECT_EQ(h.minor, 0u);
+}
+
+TEST(EventHeader, EncodeIsConstexpr) {
+  constexpr uint64_t w = EventHeader::encode(1, 2, Major::Test, 3);
+  static_assert(EventHeader::decode(w).lengthWords == 2);
+  EXPECT_EQ(EventHeader::decode(w).minor, 3u);
+}
+
+TEST(EventHeader, FillerDetection) {
+  EventHeader filler;
+  filler.major = Major::Control;
+  filler.minor = static_cast<uint16_t>(ControlMinor::Filler);
+  EXPECT_TRUE(filler.isFiller());
+
+  EventHeader anchor;
+  anchor.major = Major::Control;
+  anchor.minor = static_cast<uint16_t>(ControlMinor::BufferAnchor);
+  EXPECT_FALSE(anchor.isFiller());
+
+  EventHeader mem;
+  mem.major = Major::Mem;
+  mem.minor = 0;
+  EXPECT_FALSE(mem.isFiller());
+}
+
+TEST(EventHeader, MaxWordsMatchesTenBits) {
+  EXPECT_EQ(EventHeader::kMaxWords, 1023u);
+}
+
+TEST(EventHeader, MemberEncodeMatchesStatic) {
+  EventHeader h;
+  h.timestamp = 42;
+  h.lengthWords = 7;
+  h.major = Major::Lock;
+  h.minor = 9;
+  EXPECT_EQ(h.encode(), EventHeader::encode(42, 7, Major::Lock, 9));
+}
+
+class EventHeaderSweep : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, int, uint32_t>> {};
+
+TEST_P(EventHeaderSweep, RoundTrip) {
+  const auto [ts, len, majorInt, minor] = GetParam();
+  const Major major = static_cast<Major>(majorInt);
+  const EventHeader h = EventHeader::decode(EventHeader::encode(ts, len, major, minor));
+  EXPECT_EQ(h.timestamp, ts);
+  EXPECT_EQ(h.lengthWords, len);
+  EXPECT_EQ(h.major, major);
+  EXPECT_EQ(h.minor, minor);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFields, EventHeaderSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 0x7FFFFFFFu, 0xFFFFFFFFu),
+                       ::testing::Values(1u, 2u, 511u, 1023u),
+                       ::testing::Values(0, 1, 6, 13),
+                       ::testing::Values(0u, 1u, 0x8000u, 0xFFFFu)));
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,132 @@
+// Visibility filtering (§5): unprivileged consumers receive redacted
+// buffers whose structure still decodes.
+#include "core/filtered_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ktrace {
+namespace {
+
+using testing::FakeFacility;
+
+struct FilteredFixture : ::testing::Test {
+  FakeFacility fx{1, 64, 8};
+
+  std::vector<BufferRecord> recordsThrough(uint64_t allowedMask) {
+    MemorySink inner;
+    FilteredSink filter(inner, allowedMask);
+    Consumer consumer(fx.facility, filter, {});
+    fx.facility.flushAll();
+    consumer.drainNow();
+    return inner.records();
+  }
+};
+
+TEST_F(FilteredFixture, ForbiddenEventsBecomeFillers) {
+  fx.facility.bindCurrentThread(0);
+  ASSERT_TRUE(fx.facility.log(Major::Mem, 1, uint64_t{0x5EC3E7}));  // forbidden
+  ASSERT_TRUE(fx.facility.log(Major::Sched, 2, uint64_t{0xAA}));    // allowed
+
+  const auto records = recordsThrough(TraceMask::bit(Major::Sched));
+  ASSERT_EQ(records.size(), 1u);
+
+  const auto events = testing::decodeRecords(records);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].header.major, Major::Sched);
+  EXPECT_EQ(events[0].data[0], 0xAAu);
+
+  // The secret payload is gone from the raw words too.
+  for (const uint64_t w : records[0].words) EXPECT_NE(w, 0x5EC3E7u);
+}
+
+TEST_F(FilteredFixture, StreamStructureSurvivesRedaction) {
+  fx.facility.bindCurrentThread(0);
+  for (uint64_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(fx.facility.log(i % 3 == 0 ? Major::App : Major::Io,
+                                static_cast<uint16_t>(i), i, i));
+  }
+  const auto records = recordsThrough(TraceMask::bit(Major::App));
+  DecodeStats stats;
+  const auto events = testing::decodeRecords(records, {}, &stats);
+  EXPECT_EQ(stats.garbledBuffers, 0u);  // redacted buffers still decode
+  ASSERT_EQ(events.size(), 20u);        // exactly the App third remains
+  for (const auto& e : events) {
+    EXPECT_EQ(e.header.major, Major::App);
+    EXPECT_EQ(e.data[0] % 3, 0u);
+  }
+}
+
+TEST_F(FilteredFixture, TimestampsOfRemainingEventsUnchanged) {
+  fx.facility.bindCurrentThread(0);
+  ASSERT_TRUE(fx.facility.log(Major::Io, 1, uint64_t{1}));
+  ASSERT_TRUE(fx.facility.log(Major::App, 2, uint64_t{2}));
+  MemorySink plainSink;
+  {
+    Consumer consumer(fx.facility, plainSink, {});
+    fx.facility.flushAll();
+    consumer.drainNow();
+  }
+  // Same buffers through the filter.
+  MemorySink inner;
+  FilteredSink filter(inner, TraceMask::bit(Major::App));
+  for (auto record : plainSink.records()) filter.onBuffer(std::move(record));
+
+  const auto plain = testing::decodeRecords(plainSink.records());
+  const auto redacted = testing::decodeRecords(inner.records());
+  ASSERT_EQ(redacted.size(), 1u);
+  // The surviving event keeps its timestamp and offset.
+  const auto appIt = std::find_if(plain.begin(), plain.end(), [](const auto& e) {
+    return e.header.major == Major::App;
+  });
+  ASSERT_NE(appIt, plain.end());
+  EXPECT_EQ(redacted[0].fullTimestamp, appIt->fullTimestamp);
+  EXPECT_EQ(redacted[0].offsetInBuffer, appIt->offsetInBuffer);
+}
+
+TEST_F(FilteredFixture, ScrubCountersTrackRedactions) {
+  fx.facility.bindCurrentThread(0);
+  for (uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Mem, 0, i, i, i));  // 4 words each
+  }
+  MemorySink inner;
+  FilteredSink filter(inner, 0);  // nothing visible
+  Consumer consumer(fx.facility, filter, {});
+  fx.facility.flushAll();
+  consumer.drainNow();
+  EXPECT_EQ(filter.eventsScrubbed(), 10u);
+  EXPECT_EQ(filter.wordsScrubbed(), 40u);
+  EXPECT_TRUE(testing::decodeRecords(inner.records()).empty());
+}
+
+TEST_F(FilteredFixture, UnclassifiableRegionIsZeroedNotLeaked) {
+  // Hand the filter a buffer with garbage after one valid event: the
+  // garbage must be zeroed and covered by filler.
+  BufferRecord record;
+  record.processor = 0;
+  record.seq = 0;
+  record.words.assign(64, 0xFEEDFACEDEADBEEFull);  // "secret" residue
+  record.words[0] = EventHeader::encode(5, 2, Major::App, 1);
+  record.words[1] = 0x1234;
+  // words[2..] decode as an invalid header (length 1013 > remaining? those
+  // bytes happen to be huge garbage) — rely on validation rejecting them.
+  MemorySink inner;
+  FilteredSink filter(inner, ~0ull);
+  filter.onBuffer(std::move(record));
+
+  const auto records = inner.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].words[1], 0x1234u);  // visible event untouched
+  for (size_t i = 2; i < 64; ++i) {
+    EXPECT_NE(records[0].words[i], 0xFEEDFACEDEADBEEFull) << i;
+  }
+  DecodeStats stats;
+  const auto events = testing::decodeRecords(records, {}, &stats);
+  EXPECT_EQ(stats.garbledBuffers, 0u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].header.major, Major::App);
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,104 @@
+// Flight-recorder mode: circular overwrite keeps the most recent events,
+// with filtering and bounded output (paper §4.2).
+#include "core/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/logger.hpp"
+#include "test_support.hpp"
+
+namespace ktrace {
+namespace {
+
+using testing::FakeFacility;
+
+TEST(FlightRecorder, KeepsMostRecentEventsAfterWrap) {
+  FakeFacility fx(1, /*bufferWords=*/64, /*buffersPerProcessor=*/4);
+  fx.facility.bindCurrentThread(0);
+  // 500 events of 2 words each: far beyond the 256-word region.
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, i));
+  }
+  FlightRecorderOptions opts;
+  opts.maxEvents = 0;  // unlimited
+  const auto events = flightRecorderSnapshot(fx.facility.control(0), opts);
+  ASSERT_FALSE(events.empty());
+  // Events are oldest-first and their payloads are a contiguous suffix of
+  // the logged sequence, ending with the last event.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].data[0], events[i - 1].data[0] + 1) << i;
+  }
+  EXPECT_EQ(events.back().data[0], 499u);
+  // The region holds at most numBuffers * bufferWords / 2 two-word events.
+  EXPECT_LE(events.size(), 128u);
+  EXPECT_GT(events.size(), 64u);  // at least the newest couple of buffers
+}
+
+TEST(FlightRecorder, MaxEventsBoundsTheTail) {
+  FakeFacility fx(1, 64, 4);
+  fx.facility.bindCurrentThread(0);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, i));
+  }
+  FlightRecorderOptions opts;
+  opts.maxEvents = 10;
+  const auto events = flightRecorderSnapshot(fx.facility.control(0), opts);
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(events.back().data[0], 99u);
+  EXPECT_EQ(events.front().data[0], 90u);
+}
+
+TEST(FlightRecorder, MajorMaskFiltersEventTypes) {
+  FakeFacility fx(1, 64, 4);
+  fx.facility.bindCurrentThread(0);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(fx.facility.log(i % 2 == 0 ? Major::Mem : Major::Sched,
+                                static_cast<uint16_t>(i), i));
+  }
+  FlightRecorderOptions opts;
+  opts.maxEvents = 0;
+  opts.majorMask = TraceMask::bit(Major::Sched);
+  const auto events = flightRecorderSnapshot(fx.facility.control(0), opts);
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) EXPECT_EQ(e.header.major, Major::Sched);
+}
+
+TEST(FlightRecorder, TimestampsAreNonDecreasing) {
+  FakeFacility fx(1, 64, 4);
+  fx.facility.bindCurrentThread(0);
+  for (uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, i));
+  }
+  FlightRecorderOptions opts;
+  opts.maxEvents = 0;
+  const auto events = flightRecorderSnapshot(fx.facility.control(0), opts);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].fullTimestamp, events[i - 1].fullTimestamp);
+  }
+}
+
+TEST(FlightRecorder, ReportRendersOneLinePerEvent) {
+  FakeFacility fx(1, 64, 4);
+  fx.facility.bindCurrentThread(0);
+  Registry registry;
+  registry.add({Major::Test, 5, "TRACE_TEST_EVENT", "64", "value %0[%llu]"});
+  ASSERT_TRUE(fx.facility.log(Major::Test, 5, uint64_t{42}));
+  ASSERT_TRUE(fx.facility.log(Major::Test, 5, uint64_t{43}));
+
+  const std::string report =
+      flightRecorderReport(fx.facility.control(0), registry, 1e9);
+  EXPECT_NE(report.find("TRACE_TEST_EVENT"), std::string::npos);
+  EXPECT_NE(report.find("value 42"), std::string::npos);
+  EXPECT_NE(report.find("value 43"), std::string::npos);
+  EXPECT_EQ(std::count(report.begin(), report.end(), '\n'), 2);
+}
+
+TEST(FlightRecorder, EmptyFacilitySnapshotIsEmpty) {
+  FakeFacility fx(1, 64, 4);
+  const auto events = flightRecorderSnapshot(fx.facility.control(0));
+  // Only the initial anchor exists and anchors are excluded by default.
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,85 @@
+// The single-word trace mask: one bit per major class (paper §2).
+#include "core/mask.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ktrace {
+namespace {
+
+TEST(TraceMask, StartsDisabled) {
+  TraceMask mask;
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Major::MajorCount); ++m) {
+    EXPECT_FALSE(mask.isEnabled(static_cast<Major>(m)));
+  }
+  EXPECT_EQ(mask.value(), 0u);
+}
+
+TEST(TraceMask, EnableDisableSingleMajor) {
+  TraceMask mask;
+  mask.enable(Major::Lock);
+  EXPECT_TRUE(mask.isEnabled(Major::Lock));
+  EXPECT_FALSE(mask.isEnabled(Major::Mem));
+  mask.disable(Major::Lock);
+  EXPECT_FALSE(mask.isEnabled(Major::Lock));
+}
+
+TEST(TraceMask, EnableAllDisableAll) {
+  TraceMask mask;
+  mask.enableAll();
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Major::MajorCount); ++m) {
+    EXPECT_TRUE(mask.isEnabled(static_cast<Major>(m)));
+  }
+  mask.disableAll();
+  EXPECT_EQ(mask.value(), 0u);
+}
+
+TEST(TraceMask, EnablingOneDoesNotDisturbOthers) {
+  TraceMask mask;
+  mask.enable(Major::Mem);
+  mask.enable(Major::Sched);
+  mask.disable(Major::Mem);
+  EXPECT_TRUE(mask.isEnabled(Major::Sched));
+  EXPECT_FALSE(mask.isEnabled(Major::Mem));
+}
+
+TEST(TraceMask, SetAndValueRoundTrip) {
+  TraceMask mask;
+  const uint64_t bits = TraceMask::bit(Major::Io) | TraceMask::bit(Major::Ipc);
+  mask.set(bits);
+  EXPECT_EQ(mask.value(), bits);
+  EXPECT_TRUE(mask.isEnabled(Major::Io));
+  EXPECT_TRUE(mask.isEnabled(Major::Ipc));
+  EXPECT_FALSE(mask.isEnabled(Major::Lock));
+}
+
+TEST(TraceMask, InitialValueConstructor) {
+  TraceMask mask(TraceMask::bit(Major::App));
+  EXPECT_TRUE(mask.isEnabled(Major::App));
+  EXPECT_FALSE(mask.isEnabled(Major::Mem));
+}
+
+TEST(TraceMask, ConcurrentEnableDisableDistinctBitsIsLossless) {
+  // fetch_or/fetch_and on distinct bits from many threads must not lose
+  // updates — the dynamic-enabling guarantee of goal 4.
+  TraceMask mask;
+  std::vector<std::thread> threads;
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Major::MajorCount); ++m) {
+    threads.emplace_back([&mask, m] {
+      for (int i = 0; i < 1000; ++i) {
+        mask.enable(static_cast<Major>(m));
+        mask.disable(static_cast<Major>(m));
+      }
+      mask.enable(static_cast<Major>(m));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Major::MajorCount); ++m) {
+    EXPECT_TRUE(mask.isEnabled(static_cast<Major>(m))) << "major " << m;
+  }
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,80 @@
+// Packing of sub-word values and strings into 64-bit trace words (§3.2).
+#include "core/packing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ktrace {
+namespace {
+
+TEST(Packing, Pack2x32RoundTrip) {
+  const uint64_t w = pack2x32(0xDEADBEEFu, 0xCAFEBABEu);
+  EXPECT_EQ(unpackLow32(w), 0xDEADBEEFu);
+  EXPECT_EQ(unpackHigh32(w), 0xCAFEBABEu);
+}
+
+TEST(Packing, Pack4x16RoundTrip) {
+  const uint64_t w = pack4x16(1, 2, 3, 0xFFFF);
+  EXPECT_EQ(unpack16(w, 0), 1u);
+  EXPECT_EQ(unpack16(w, 1), 2u);
+  EXPECT_EQ(unpack16(w, 2), 3u);
+  EXPECT_EQ(unpack16(w, 3), 0xFFFFu);
+}
+
+TEST(Packing, Pack8x8RoundTrip) {
+  const uint8_t bytes[8] = {0, 1, 2, 3, 252, 253, 254, 255};
+  const uint64_t w = pack8x8(bytes);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((w >> (8 * i)) & 0xFF, bytes[i]) << i;
+  }
+}
+
+TEST(Packing, StringWordsAccountsForLengthWord) {
+  EXPECT_EQ(stringWords(0), 1u);
+  EXPECT_EQ(stringWords(1), 2u);
+  EXPECT_EQ(stringWords(8), 2u);
+  EXPECT_EQ(stringWords(9), 3u);
+  EXPECT_EQ(stringWords(16), 3u);
+}
+
+class StringRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StringRoundTrip, PackUnpack) {
+  const std::string input = GetParam();
+  std::vector<uint64_t> words;
+  packString(input, words);
+  ASSERT_EQ(words.size(), stringWords(input.size()));
+
+  std::string output;
+  const size_t consumed = unpackString(words.data(), words.size(), output);
+  EXPECT_EQ(consumed, words.size());
+  EXPECT_EQ(output, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, StringRoundTrip,
+    ::testing::Values("", "a", "eightchr", "ninechars!",
+                      "/shellServer", std::string(100, 'x'),
+                      std::string("embedded\0null", 13),
+                      "Region attached to FCM e100000000003f90"));
+
+TEST(Packing, UnpackStringRejectsTruncatedPayload) {
+  std::vector<uint64_t> words;
+  packString("a long enough string", words);
+  std::string out;
+  // Claim fewer available words than the encoding needs.
+  EXPECT_EQ(unpackString(words.data(), words.size() - 1, out), 0u);
+}
+
+TEST(Packing, UnpackStringRejectsBogusLength) {
+  const uint64_t words[2] = {1ull << 40, 0};  // absurd byte length
+  std::string out;
+  EXPECT_EQ(unpackString(words, 2, out), 0u);
+}
+
+TEST(Packing, UnpackStringRejectsEmptyInput) {
+  std::string out;
+  EXPECT_EQ(unpackString(nullptr, 0, out), 0u);
+}
+
+}  // namespace
+}  // namespace ktrace

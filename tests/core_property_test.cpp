@@ -1,0 +1,235 @@
+// Property-style sweeps and failure injection for the core logging stack:
+//   - exactly-once delivery holds across buffer sizes, ring sizes, payload
+//     mixes and thread counts,
+//   - random corruption of completed buffers never breaks the reader
+//     (bounded, detected loss; resync at buffer boundaries),
+//   - header validation never accepts an event that crosses a boundary,
+//   - the stale-timestamp ablation keeps delivery intact (only ordering
+//     degrades).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+#include "workload/micro.hpp"
+
+namespace ktrace {
+namespace {
+
+using testing::decodeRecords;
+using testing::FakeFacility;
+
+struct GeometryParams {
+  uint32_t bufferWords;
+  uint32_t numBuffers;
+  uint32_t threads;
+  uint32_t eventsPerThread;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryParams> {};
+
+TEST_P(GeometrySweep, ExactlyOnceAcrossGeometries) {
+  const auto p = GetParam();
+  // Ring sized to retain everything.
+  uint64_t needWords = 0;
+  {
+    const uint64_t perEvent = 4;  // header + up to 3 payload (mix below)
+    needWords = static_cast<uint64_t>(p.threads) * p.eventsPerThread * perEvent * 2 + 512;
+  }
+  uint32_t buffers = p.numBuffers;
+  while (static_cast<uint64_t>(buffers) * p.bufferWords < needWords) buffers *= 2;
+
+  FakeFacility fx(1, p.bufferWords, buffers);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < p.threads; ++t) {
+    workers.emplace_back([&, t] {
+      util::Rng rng(t * 1000 + 7);
+      while (!go.load()) std::this_thread::yield();
+      for (uint32_t i = 0; i < p.eventsPerThread; ++i) {
+        const uint64_t id = (static_cast<uint64_t>(t) << 32) | i;
+        const uint32_t payloadWords = 1 + static_cast<uint32_t>(rng.nextBelow(3));
+        uint64_t payload[3] = {id, id, id};
+        ASSERT_TRUE(logEventData(fx.facility.control(0), Major::Test,
+                                 static_cast<uint16_t>(t),
+                                 std::span(payload, payloadWords)));
+      }
+    });
+  }
+  go.store(true);
+  for (auto& w : workers) w.join();
+
+  DecodeStats stats;
+  const auto events = testing::drainAndDecode(fx.facility, consumer, sink, {}, &stats);
+  EXPECT_EQ(stats.garbledBuffers, 0u);
+  EXPECT_EQ(consumer.stats().buffersLost, 0u);
+
+  std::set<uint64_t> seen;
+  for (const auto& e : events) {
+    if (e.header.major != Major::Test) continue;
+    ASSERT_FALSE(e.data.empty());
+    for (const uint64_t w : e.data) ASSERT_EQ(w, e.data[0]);
+    ASSERT_TRUE(seen.insert(e.data[0]).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(p.threads) * p.eventsPerThread);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeometryParams{16, 4, 1, 500},    // minimum-size buffers
+                      GeometryParams{64, 4, 2, 800},
+                      GeometryParams{64, 8, 6, 400},
+                      GeometryParams{256, 4, 3, 1000},
+                      GeometryParams{1024, 2, 4, 800},
+                      GeometryParams{4096, 2, 2, 2000}));
+
+class CorruptionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorruptionSweep, ReaderSurvivesRandomCorruption) {
+  // Fill several buffers, then flip random words in the completed records
+  // and decode: no crash, garbling detected, loss bounded per buffer.
+  FakeFacility fx(1, 128, 64);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, i, i));
+  }
+  fx.facility.flushAll();
+  consumer.drainNow();
+  auto records = sink.records();
+  ASSERT_GE(records.size(), 10u);
+
+  util::Rng rng(GetParam());
+  uint64_t corruptedBuffers = 0;
+  for (auto& record : records) {
+    if (rng.nextBool(0.5)) {
+      const size_t at = rng.nextBelow(record.words.size());
+      record.words[at] ^= rng.next() | 1;  // guaranteed change
+      ++corruptedBuffers;
+    }
+  }
+
+  DecodeStats stats;
+  const auto events = decodeRecords(records, {}, &stats);
+  // Loss is confined: at most the tail of each corrupted buffer.
+  EXPECT_LE(stats.garbledBuffers, corruptedBuffers);
+  uint64_t intact = 0;
+  uint64_t lastSeen = 0;
+  for (const auto& e : events) {
+    if (e.header.major != Major::Test || e.data.size() != 2) continue;
+    // Payload pairs must still be self-consistent unless the corruption
+    // hit them (in which case header validation usually rejected the
+    // buffer; a silent payload flip is possible and acceptable — the
+    // paper relies on header-format checks, not checksums).
+    if (e.data[0] == e.data[1]) {
+      ++intact;
+      lastSeen = e.data[0];
+    }
+  }
+  EXPECT_GT(intact, 1000u);  // the majority of events survive
+  EXPECT_GT(lastSeen, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptionSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(HeaderFuzz, ValidationNeverAcceptsBoundaryCrossing) {
+  util::Rng rng(99);
+  for (int i = 0; i < 200000; ++i) {
+    const uint64_t word = rng.next();
+    const uint32_t bufferWords = 1u << (4 + rng.nextBelow(10));
+    const uint32_t offset = static_cast<uint32_t>(rng.nextBelow(bufferWords));
+    if (headerLooksValid(word, offset, bufferWords)) {
+      const EventHeader h = EventHeader::decode(word);
+      ASSERT_GE(h.lengthWords, 1u);
+      ASSERT_LE(offset + h.lengthWords, bufferWords);
+      ASSERT_LT(static_cast<uint32_t>(h.major),
+                static_cast<uint32_t>(Major::MajorCount));
+    }
+  }
+}
+
+TEST(StaleTimestampAblation, DeliveryStillExactlyOnce) {
+  // With the timestamp read outside the CAS loop (the ablation), ordering
+  // guarantees weaken but no event may be lost or duplicated.
+  FakeClock clock(1, 1);
+  FacilityConfig cfg;
+  cfg.numProcessors = 1;
+  cfg.bufferWords = 64;
+  cfg.buffersPerProcessor = 512;
+  cfg.clockKind = ClockKind::Fake;
+  cfg.clockOverride = clock.ref();
+  cfg.timestampPerAttempt = false;
+  cfg.mode = Mode::Stream;
+  Facility facility(cfg);
+  facility.mask().enableAll();
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+
+  constexpr uint32_t kThreads = 4;
+  constexpr uint32_t kEvents = 1500;
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint32_t i = 0; i < kEvents; ++i) {
+        const uint64_t id = (static_cast<uint64_t>(t) << 32) | i;
+        ASSERT_TRUE(logEvent(facility.control(0), Major::Test,
+                             static_cast<uint16_t>(t), id));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  facility.flushAll();
+  consumer.drainNow();
+  DecodeStats stats;
+  const auto events = decodeRecords(sink.records(), {}, &stats);
+  EXPECT_EQ(stats.garbledBuffers, 0u);
+  std::set<uint64_t> seen;
+  for (const auto& e : events) {
+    if (e.header.major != Major::Test) continue;
+    ASSERT_TRUE(seen.insert(e.data[0]).second);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads) * kEvents);
+}
+
+TEST(EventMixProperty, AllMixesRoundTripThroughTheStack) {
+  // Every generator mix logs and decodes losslessly.
+  for (const workload::EventMix& mix :
+       {workload::EventMix::realistic(), workload::EventMix::fixed(0),
+        workload::EventMix::fixed(7), workload::EventMix::uniform(0, 12)}) {
+    FakeFacility fx(1, 256, 256);
+    fx.facility.bindCurrentThread(0);
+    MemorySink sink;
+    Consumer consumer(fx.facility, sink, {});
+    const auto sizes = mix.generate(3000, 17);
+    std::vector<uint64_t> payload(mix.maxWords() + 1, 0x77);
+    for (const uint32_t words : sizes) {
+      ASSERT_TRUE(logEventData(fx.facility.control(0), Major::Test, 0,
+                               std::span(payload.data(), words)));
+    }
+    DecodeStats stats;
+    const auto events = testing::drainAndDecode(fx.facility, consumer, sink, {}, &stats);
+    EXPECT_EQ(stats.garbledBuffers, 0u);
+    size_t testEvents = 0;
+    size_t wordSum = 0;
+    for (const auto& e : events) {
+      if (e.header.major != Major::Test) continue;
+      ++testEvents;
+      wordSum += e.data.size();
+    }
+    EXPECT_EQ(testEvents, sizes.size());
+    size_t expectedWords = 0;
+    for (const uint32_t w : sizes) expectedWords += w;
+    EXPECT_EQ(wordSum, expectedWords);
+  }
+}
+
+}  // namespace
+}  // namespace ktrace

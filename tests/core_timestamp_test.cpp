@@ -1,0 +1,138 @@
+// Clock sources and the LTT-style tsc/wall interpolation (§4.1).
+#include "core/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ktrace {
+namespace {
+
+TEST(TscClock, MonotonicNonDecreasing) {
+  uint64_t prev = TscClock::now();
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t t = TscClock::now();
+    ASSERT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TscClock, TicksPerSecondIsPlausible) {
+  const double tps = TscClock::ticksPerSecond();
+  // Anywhere between 1 MHz and 10 GHz covers every supported platform.
+  EXPECT_GT(tps, 1e6);
+  EXPECT_LT(tps, 1e10);
+}
+
+TEST(SyscallClock, MonotonicNonDecreasingAndNanoseconds) {
+  const uint64_t a = SyscallClock::now();
+  const uint64_t b = SyscallClock::now();
+  EXPECT_GE(b, a);
+  // A real date: after 2020-01-01 and before 2100-01-01 in ns.
+  EXPECT_GT(a, 1577836800ull * 1000000000ull);
+  EXPECT_LT(a, 4102444800ull * 1000000000ull);
+}
+
+TEST(VirtualClock, AdvanceAndSet) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance(50);
+  EXPECT_EQ(clock.now(), 150u);
+  clock.set(7);
+  EXPECT_EQ(clock.now(), 7u);
+  const ClockRef ref = clock.ref();
+  EXPECT_EQ(ref(), 7u);
+}
+
+TEST(FakeClock, StepsOnEveryReading) {
+  FakeClock clock(10, 3);
+  EXPECT_EQ(clock.now(), 10u);
+  EXPECT_EQ(clock.now(), 13u);
+  const ClockRef ref = clock.ref();
+  EXPECT_EQ(ref(), 16u);
+  EXPECT_EQ(clock.peek(), 19u);
+}
+
+TEST(DefaultClockRef, ResolvesRealClocks) {
+  EXPECT_TRUE(defaultClockRef(ClockKind::Tsc).valid());
+  EXPECT_TRUE(defaultClockRef(ClockKind::Syscall).valid());
+}
+
+TEST(DefaultClockRef, RejectsVirtualAndFake) {
+  EXPECT_THROW(defaultClockRef(ClockKind::Virtual), std::invalid_argument);
+  EXPECT_THROW(defaultClockRef(ClockKind::Fake), std::invalid_argument);
+}
+
+TEST(Interpolator, ExactAtSyncPoints) {
+  TscWallInterpolator interp;
+  interp.addSyncPoint(1000, 5000);
+  interp.addSyncPoint(2000, 7000);
+  EXPECT_TRUE(interp.ready());
+  EXPECT_EQ(interp.tscToWallNs(1000), 5000u);
+  EXPECT_EQ(interp.tscToWallNs(2000), 7000u);
+}
+
+TEST(Interpolator, LinearBetweenSyncPoints) {
+  TscWallInterpolator interp;
+  interp.addSyncPoint(1000, 5000);
+  interp.addSyncPoint(2000, 7000);
+  EXPECT_EQ(interp.tscToWallNs(1500), 6000u);
+  EXPECT_EQ(interp.tscToWallNs(1250), 5500u);
+}
+
+TEST(Interpolator, ExtrapolatesOutsideRange) {
+  TscWallInterpolator interp;
+  interp.addSyncPoint(1000, 5000);
+  interp.addSyncPoint(2000, 7000);
+  EXPECT_EQ(interp.tscToWallNs(2500), 8000u);
+  EXPECT_EQ(interp.tscToWallNs(500), 4000u);
+}
+
+TEST(Interpolator, MultiSegmentSelectsBracketingPair) {
+  TscWallInterpolator interp;
+  interp.addSyncPoint(0, 0);
+  interp.addSyncPoint(100, 1000);   // slope 10
+  interp.addSyncPoint(200, 1100);   // slope 1
+  EXPECT_EQ(interp.tscToWallNs(50), 500u);
+  EXPECT_EQ(interp.tscToWallNs(150), 1050u);
+}
+
+TEST(Interpolator, RejectsNonIncreasingTsc) {
+  TscWallInterpolator interp;
+  interp.addSyncPoint(1000, 5000);
+  interp.addSyncPoint(900, 6000);  // ignored
+  EXPECT_EQ(interp.syncPointCount(), 1u);
+  EXPECT_FALSE(interp.ready());
+}
+
+TEST(Interpolator, AgreesWithRealClocksWithinTolerance) {
+  // Sample (tsc, wall) pairs, interpolate a point inside the window, and
+  // check the reconstruction error is small relative to the window.
+  TscWallInterpolator interp;
+  const uint64_t tsc0 = TscClock::now();
+  const uint64_t wall0 = SyscallClock::now();
+  interp.addSyncPoint(tsc0, wall0);
+
+  uint64_t tscMid = 0;
+  uint64_t wallMid = 0;
+  uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    sink += static_cast<uint64_t>(i) * 2654435761u;  // busy work
+    if (i == 1000000) {
+      tscMid = TscClock::now();
+      wallMid = SyscallClock::now();
+    }
+  }
+  ASSERT_NE(sink, 0u);
+  const uint64_t tsc1 = TscClock::now();
+  const uint64_t wall1 = SyscallClock::now();
+  interp.addSyncPoint(tsc1, wall1);
+
+  const uint64_t reconstructed = interp.tscToWallNs(tscMid);
+  const double window = static_cast<double>(wall1 - wall0);
+  const double error = reconstructed > wallMid
+                           ? static_cast<double>(reconstructed - wallMid)
+                           : static_cast<double>(wallMid - reconstructed);
+  EXPECT_LT(error, 0.2 * window + 1e5) << "window=" << window;
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,186 @@
+// On-disk trace format: roundtrip, metadata, and random access (§3.2).
+#include "core/trace_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/decode.hpp"
+#include "test_support.hpp"
+
+namespace ktrace {
+namespace {
+
+class TraceFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static BufferRecord makeRecord(uint32_t processor, uint64_t seq, uint32_t words) {
+    BufferRecord r;
+    r.processor = processor;
+    r.seq = seq;
+    r.committedDelta = words;
+    r.words.resize(words);
+    for (uint32_t i = 0; i < words; ++i) r.words[i] = seq * 100000 + i;
+    return r;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceFileTest, WriteReadRoundTrip) {
+  TraceFileMeta meta;
+  meta.processorId = 2;
+  meta.numProcessors = 4;
+  meta.bufferWords = 64;
+  meta.clockKind = ClockKind::Fake;
+  meta.ticksPerSecond = 12345.5;
+  meta.startWallNs = 777;
+  meta.startTicks = 888;
+
+  {
+    TraceFileWriter writer(path("t.ktrc"), meta);
+    for (uint64_t s = 0; s < 5; ++s) writer.writeBuffer(makeRecord(2, s, 64));
+    EXPECT_EQ(writer.buffersWritten(), 5u);
+  }
+
+  TraceFileReader reader(path("t.ktrc"));
+  EXPECT_EQ(reader.meta().processorId, 2u);
+  EXPECT_EQ(reader.meta().numProcessors, 4u);
+  EXPECT_EQ(reader.meta().bufferWords, 64u);
+  EXPECT_EQ(reader.meta().clockKind, ClockKind::Fake);
+  EXPECT_DOUBLE_EQ(reader.meta().ticksPerSecond, 12345.5);
+  EXPECT_EQ(reader.meta().startWallNs, 777u);
+  EXPECT_EQ(reader.meta().startTicks, 888u);
+  EXPECT_EQ(reader.bufferCount(), 5u);
+
+  BufferRecord r;
+  ASSERT_TRUE(reader.readBuffer(0, r));
+  EXPECT_EQ(r.seq, 0u);
+  EXPECT_EQ(r.words[63], 63u);
+}
+
+TEST_F(TraceFileTest, RandomAccessToMiddleBuffer) {
+  TraceFileMeta meta;
+  meta.bufferWords = 128;
+  {
+    TraceFileWriter writer(path("r.ktrc"), meta);
+    for (uint64_t s = 0; s < 50; ++s) writer.writeBuffer(makeRecord(0, s, 128));
+  }
+  TraceFileReader reader(path("r.ktrc"));
+  // Jump straight to buffer 37 — the paper's "skip to any alignment point".
+  BufferRecord r;
+  ASSERT_TRUE(reader.readBuffer(37, r));
+  EXPECT_EQ(r.seq, 37u);
+  EXPECT_EQ(r.words[0], 3700000u);
+  EXPECT_EQ(r.committedDelta, 128u);
+  // And backwards, to 5.
+  ASSERT_TRUE(reader.readBuffer(5, r));
+  EXPECT_EQ(r.seq, 5u);
+}
+
+TEST_F(TraceFileTest, ReadPastEndFails) {
+  TraceFileMeta meta;
+  meta.bufferWords = 64;
+  {
+    TraceFileWriter writer(path("e.ktrc"), meta);
+    writer.writeBuffer(makeRecord(0, 0, 64));
+  }
+  TraceFileReader reader(path("e.ktrc"));
+  BufferRecord r;
+  EXPECT_FALSE(reader.readBuffer(1, r));
+}
+
+TEST_F(TraceFileTest, MismatchFlagSurvivesRoundTrip) {
+  TraceFileMeta meta;
+  meta.bufferWords = 64;
+  {
+    TraceFileWriter writer(path("m.ktrc"), meta);
+    BufferRecord rec = makeRecord(0, 0, 64);
+    rec.commitMismatch = true;
+    rec.committedDelta = 60;
+    writer.writeBuffer(rec);
+  }
+  TraceFileReader reader(path("m.ktrc"));
+  BufferRecord r;
+  ASSERT_TRUE(reader.readBuffer(0, r));
+  EXPECT_TRUE(r.commitMismatch);
+  EXPECT_EQ(r.committedDelta, 60u);
+}
+
+TEST_F(TraceFileTest, RejectsWrongSizeBuffer) {
+  TraceFileMeta meta;
+  meta.bufferWords = 64;
+  TraceFileWriter writer(path("w.ktrc"), meta);
+  EXPECT_THROW(writer.writeBuffer(makeRecord(0, 0, 32)), std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, RejectsCorruptHeader) {
+  {
+    std::FILE* f = std::fopen(path("bad.ktrc").c_str(), "wb");
+    const char junk[256] = "not a trace file";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(TraceFileReader reader(path("bad.ktrc")), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, FileSinkEndToEnd) {
+  // Log through a real facility, stream to files, read back and decode.
+  testing::FakeFacility fx(/*numProcessors=*/2, /*bufferWords=*/64, 8);
+  TraceFileMeta meta;
+  meta.numProcessors = 2;
+  meta.bufferWords = 64;
+  meta.clockKind = ClockKind::Fake;
+  FileSink fileSink(dir_.string(), "trace", meta);
+  Consumer consumer(fx.facility, fileSink, {});
+
+  for (uint32_t p = 0; p < 2; ++p) {
+    fx.facility.bindCurrentThread(p);
+    for (int i = 0; i < 40; ++i) {
+      ASSERT_TRUE(fx.facility.log(Major::Test, static_cast<uint16_t>(p),
+                                  uint64_t(i), uint64_t(p)));
+    }
+  }
+  fx.facility.flushAll();
+  consumer.drainNow();
+  fileSink.flush();
+
+  for (uint32_t p = 0; p < 2; ++p) {
+    TraceFileReader reader(fileSink.pathFor(p));
+    ASSERT_GE(reader.bufferCount(), 1u) << "cpu " << p;
+    uint64_t tsBase = 0;
+    uint64_t seen = 0;
+    for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
+      BufferRecord rec;
+      ASSERT_TRUE(reader.readBuffer(k, rec));
+      EXPECT_EQ(rec.processor, p);
+      std::vector<DecodedEvent> events;
+      const DecodeStats stats =
+          decodeBuffer(rec.words, rec.seq, rec.processor, tsBase, events);
+      EXPECT_EQ(stats.garbledBuffers, 0u);
+      for (const auto& e : events) {
+        if (e.header.major == Major::Test) {
+          EXPECT_EQ(e.header.minor, p);
+          EXPECT_EQ(e.data[1], p);
+          ++seen;
+        }
+      }
+    }
+    EXPECT_EQ(seen, 40u) << "cpu " << p;
+  }
+}
+
+}  // namespace
+}  // namespace ktrace

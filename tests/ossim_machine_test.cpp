@@ -1,0 +1,376 @@
+// The simulated multiprocessor OS: scheduling, syscalls, locks, forks,
+// page faults, profiling — and the trace events each emits.
+#include "ossim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ossim/events.hpp"
+#include "sim_support.hpp"
+
+namespace ossim {
+namespace {
+
+using ktrace::Major;
+using ktrace::testing::countEvents;
+using ktrace::testing::SimHarness;
+
+MachineConfig quickConfig(uint32_t procs) {
+  MachineConfig cfg;
+  cfg.numProcessors = procs;
+  cfg.quantumNs = 1'000'000;  // 1 ms quanta keep tests snappy
+  return cfg;
+}
+
+TEST(Machine, RunsSingleProgramToCompletion) {
+  Machine machine(quickConfig(1), nullptr);
+  const uint64_t prog = machine.registerProgram(Program().cpu(500'000).exit());
+  machine.spawnProcess("p", prog);
+  machine.run();
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_EQ(machine.stats().processesCreated, 1u);
+  EXPECT_EQ(machine.stats().processesExited, 1u);
+  // Busy time covers the burst plus the dispatch context switch.
+  EXPECT_GE(machine.cpuStats(0).busyNs, 500'000u);
+  EXPECT_LT(machine.cpuStats(0).busyNs, 600'000u);
+}
+
+TEST(Machine, ValidatesConfiguration) {
+  MachineConfig cfg;
+  cfg.numProcessors = 0;
+  EXPECT_THROW(Machine m(cfg, nullptr), std::invalid_argument);
+
+  SimHarness hx(1);
+  MachineConfig big = quickConfig(4);  // facility only has 1 control
+  EXPECT_THROW(Machine m(big, &hx.facility), std::invalid_argument);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto runOnce = [] {
+    Machine machine(quickConfig(2), nullptr);
+    const uint64_t prog = machine.registerProgram(
+        Program().cpu(100'000).syscall(Syscall::Open).cpu(200'000).exit());
+    for (int i = 0; i < 4; ++i) machine.spawnProcess("p", prog);
+    machine.run();
+    return machine.now();
+  };
+  const Tick a = runOnce();
+  const Tick b = runOnce();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(Machine, EmitsDispatchAndExitEvents) {
+  SimHarness hx(1);
+  Machine machine(quickConfig(1), &hx.facility);
+  const uint64_t prog = machine.registerProgram(Program().cpu(10'000).exit());
+  const uint64_t pid = machine.spawnProcess("demo", prog);
+  machine.run();
+
+  const auto trace = hx.collect();
+  EXPECT_EQ(trace.stats().garbledBuffers, 0u);
+  EXPECT_GE(countEvents(trace, Major::Sched,
+                        static_cast<uint16_t>(SchedMinor::Dispatch)), 1u);
+  EXPECT_EQ(countEvents(trace, Major::Proc, static_cast<uint16_t>(ProcMinor::Exit)), 1u);
+  EXPECT_EQ(countEvents(trace, Major::User,
+                        static_cast<uint16_t>(UserMinor::ReturnedMain)), 1u);
+
+  // The exit event names the right pid.
+  bool found = false;
+  for (const auto& e : trace.processorEvents(0)) {
+    if (e.header.major == Major::Proc &&
+        e.header.minor == static_cast<uint16_t>(ProcMinor::Exit)) {
+      EXPECT_EQ(e.data[0], pid);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Machine, SyscallEmitsNestedEventSequence) {
+  SimHarness hx(1);
+  Machine machine(quickConfig(1), &hx.facility);
+  const uint64_t prog =
+      machine.registerProgram(Program().syscall(Syscall::Open).exit());
+  machine.spawnProcess("p", prog);
+  machine.run();
+
+  const auto trace = hx.collect();
+  // EmuEnter < SyscallEnter < PpcCall < PpcReturn < SyscallExit < EmuExit.
+  std::vector<std::pair<Major, uint16_t>> expectedOrder = {
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuEnter)},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallEnter)},
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PpcCall)},
+      {Major::Ipc, static_cast<uint16_t>(IpcMinor::Call)},
+      {Major::Ipc, static_cast<uint16_t>(IpcMinor::Return)},
+      {Major::Exception, static_cast<uint16_t>(ExcMinor::PpcReturn)},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::SyscallExit)},
+      {Major::Linux, static_cast<uint16_t>(LinuxMinor::EmuExit)},
+  };
+  size_t want = 0;
+  for (const auto& e : trace.processorEvents(0)) {
+    if (want < expectedOrder.size() && e.header.major == expectedOrder[want].first &&
+        e.header.minor == expectedOrder[want].second) {
+      ++want;
+    }
+  }
+  EXPECT_EQ(want, expectedOrder.size()) << "syscall event nesting broken";
+  EXPECT_EQ(machine.stats().syscalls, 1u);
+  EXPECT_EQ(machine.stats().ipcs, 1u);
+}
+
+TEST(Machine, ContendedLockProducesWaitAndEvents) {
+  SimHarness hx(2);
+  Machine machine(quickConfig(2), &hx.facility);
+  // Two processes on two cpus, hammering one lock with long holds.
+  Program p;
+  for (int i = 0; i < 50; ++i) p.lockedSection(0x42, 10'000, {7, 8, 9});
+  p.exit();
+  const uint64_t prog = machine.registerProgram(std::move(p));
+  machine.spawnProcess("a", prog, 0);
+  machine.spawnProcess("b", prog, 1);
+  machine.run();
+
+  const SimLock& lock = machine.locks().all().at(0x42);
+  EXPECT_EQ(lock.acquisitions, 100u);
+  EXPECT_GT(lock.contendedAcquisitions, 20u);
+  EXPECT_GT(lock.totalWaitNs, 0u);
+  EXPECT_GE(lock.maxWaitNs, 5'000u);
+
+  const auto trace = hx.collect();
+  const size_t contends =
+      countEvents(trace, Major::Lock, static_cast<uint16_t>(LockMinor::ContendStart));
+  const size_t acquires =
+      countEvents(trace, Major::Lock, static_cast<uint16_t>(LockMinor::Acquired));
+  const size_t releases =
+      countEvents(trace, Major::Lock, static_cast<uint16_t>(LockMinor::Release));
+  EXPECT_EQ(contends, lock.contendedAcquisitions);
+  EXPECT_EQ(acquires, contends);
+  EXPECT_EQ(releases, contends);
+}
+
+TEST(Machine, UncontendedLocksLogNothing) {
+  // The paper traces the *contended* lock paths; uncontended acquires stay
+  // cheap and silent.
+  SimHarness hx(1);
+  Machine machine(quickConfig(1), &hx.facility);
+  Program p;
+  for (int i = 0; i < 20; ++i) p.lockedSection(0x99, 1'000, {1});
+  p.exit();
+  machine.spawnProcess("solo", machine.registerProgram(std::move(p)));
+  machine.run();
+
+  const SimLock& lock = machine.locks().all().at(0x99);
+  EXPECT_EQ(lock.acquisitions, 20u);
+  EXPECT_EQ(lock.contendedAcquisitions, 0u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Lock,
+                        static_cast<uint16_t>(LockMinor::ContendStart)), 0u);
+}
+
+TEST(Machine, ForkCreatesChildThatRuns) {
+  SimHarness hx(2);
+  Machine machine(quickConfig(2), &hx.facility);
+  const uint64_t childProg =
+      machine.registerProgram(Program().cpu(50'000).exit());
+  Program parent;
+  parent.cpu(10'000);
+  parent.fork(childProg);
+  parent.cpu(10'000);
+  parent.exit();
+  machine.spawnProcess("parent", machine.registerProgram(std::move(parent)));
+  machine.run();
+
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_EQ(machine.stats().processesCreated, 2u);
+  EXPECT_EQ(machine.stats().processesExited, 2u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Proc, static_cast<uint16_t>(ProcMinor::Fork)), 1u);
+  EXPECT_EQ(countEvents(trace, Major::User,
+                        static_cast<uint16_t>(UserMinor::RunULoader)), 2u);
+}
+
+TEST(Machine, LazyForkDefersCopyToPageFaults) {
+  MachineConfig lazy = quickConfig(1);
+  lazy.lazyFork = true;
+  MachineConfig eager = quickConfig(1);
+  eager.lazyFork = false;
+
+  auto forkCost = [](const MachineConfig& cfg) {
+    Machine machine(cfg, nullptr);
+    const uint64_t childProg = machine.registerProgram(Program().cpu(1'000).exit());
+    Program parent;
+    parent.fork(childProg);
+    parent.exit();
+    machine.spawnProcess("parent", machine.registerProgram(std::move(parent)));
+    machine.run();
+    return std::make_pair(machine.now(), machine.stats().pageFaults);
+  };
+
+  const auto [lazyTime, lazyFaults] = forkCost(lazy);
+  const auto [eagerTime, eagerFaults] = forkCost(eager);
+  EXPECT_EQ(lazyFaults, lazy.forkLazyFaults);
+  EXPECT_EQ(eagerFaults, 0u);
+  // Lazy fork is cheaper overall here (the §4 fork optimization) because
+  // the deferred faults cost less than the eager copy.
+  EXPECT_LT(lazyTime, eagerTime);
+}
+
+TEST(Machine, QuantumExpiryPreemptsBetweenThreads) {
+  SimHarness hx(1);
+  MachineConfig cfg = quickConfig(1);
+  cfg.quantumNs = 100'000;
+  Machine machine(cfg, &hx.facility);
+  const uint64_t prog = machine.registerProgram(Program().cpu(1'000'000).exit());
+  machine.spawnProcess("a", prog, 0);
+  machine.spawnProcess("b", prog, 0);
+  machine.run();
+
+  EXPECT_GT(machine.cpuStats(0).preemptions, 5u);
+  const auto trace = hx.collect();
+  EXPECT_GE(countEvents(trace, Major::Sched,
+                        static_cast<uint16_t>(SchedMinor::Preempt)), 5u);
+  // Dispatches interleave the two pids.
+  EXPECT_GT(machine.cpuStats(0).dispatches, 10u);
+}
+
+TEST(Machine, StaggeredStartCreatesIdleTime) {
+  SimHarness hx(2);
+  Machine machine(quickConfig(2), &hx.facility);
+  const uint64_t prog = machine.registerProgram(Program().cpu(100'000).exit());
+  machine.spawnProcess("early", prog, 0, kKernelPid, 0);
+  machine.spawnProcess("late", prog, 1, kKernelPid, 5'000'000);
+  machine.run();
+
+  EXPECT_GE(machine.cpuStats(1).idleNs, 4'000'000u);
+  const auto trace = hx.collect();
+  EXPECT_GE(countEvents(trace, Major::Sched, static_cast<uint16_t>(SchedMinor::Idle)),
+            1u);
+}
+
+TEST(Machine, PcSamplingFollowsCpuTime) {
+  SimHarness hx(1);
+  MachineConfig cfg = quickConfig(1);
+  cfg.pcSampleIntervalNs = 10'000;
+  Machine machine(cfg, &hx.facility);
+  const uint64_t prog =
+      machine.registerProgram(Program().cpu(1'000'000, /*funcId=*/77).exit());
+  const uint64_t pid = machine.spawnProcess("prof", prog);
+  machine.run();
+
+  // ~100 samples for 1 ms of cpu at 10 us intervals.
+  EXPECT_GE(machine.stats().pcSamples, 95u);
+  EXPECT_LE(machine.stats().pcSamples, 120u);
+  const auto trace = hx.collect();
+  size_t samples = 0;
+  for (const auto& e : trace.processorEvents(0)) {
+    if (e.header.major == Major::Prof) {
+      EXPECT_EQ(e.data[0], pid);
+      EXPECT_EQ(e.data[1], 77u);
+      ++samples;
+    }
+  }
+  EXPECT_EQ(samples, machine.stats().pcSamples);
+}
+
+TEST(Machine, PageFaultEventsBracketTheFault) {
+  SimHarness hx(1);
+  Machine machine(quickConfig(1), &hx.facility);
+  Program p;
+  p.pageFault(0x1234000, false);
+  p.pageFault(0x5678000, true);
+  p.exit();
+  machine.spawnProcess("flt", machine.registerProgram(std::move(p)));
+  machine.run();
+
+  EXPECT_EQ(machine.stats().pageFaults, 2u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Exception,
+                        static_cast<uint16_t>(ExcMinor::PgfltStart)), 2u);
+  EXPECT_EQ(countEvents(trace, Major::Exception,
+                        static_cast<uint16_t>(ExcMinor::PgfltDone)), 2u);
+  // Major faults cost more.
+  uint64_t minorNs = 0, majorNs = 0, start = 0;
+  for (const auto& e : trace.processorEvents(0)) {
+    if (e.header.major != Major::Exception) continue;
+    if (e.header.minor == static_cast<uint16_t>(ExcMinor::PgfltStart)) {
+      start = e.fullTimestamp;
+    } else if (e.header.minor == static_cast<uint16_t>(ExcMinor::PgfltDone)) {
+      const uint64_t cost = e.fullTimestamp - start;
+      if (e.data[1] == 0x1234000) minorNs = cost;
+      if (e.data[1] == 0x5678000) majorNs = cost;
+    }
+  }
+  EXPECT_GT(majorNs, minorNs);
+}
+
+TEST(Machine, PerProcessorTimestampsAreMonotonic) {
+  SimHarness hx(4);
+  Machine machine(quickConfig(4), &hx.facility);
+  const uint64_t prog = machine.registerProgram(
+      Program().cpu(50'000).syscall(Syscall::Read).cpu(50'000).exit());
+  for (int i = 0; i < 8; ++i) machine.spawnProcess("p", prog);
+  machine.run();
+
+  const auto trace = hx.collect();
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    uint64_t prev = 0;
+    for (const auto& e : trace.processorEvents(p)) {
+      EXPECT_GE(e.fullTimestamp, prev) << "cpu " << p;
+      prev = e.fullTimestamp;
+    }
+  }
+}
+
+TEST(Machine, DisabledMaskSkipsEventsButKeepsRunning) {
+  SimHarness hx(1);
+  hx.facility.mask().disableAll();
+  Machine machine(quickConfig(1), &hx.facility);
+  const uint64_t prog =
+      machine.registerProgram(Program().cpu(10'000).syscall(Syscall::Open).exit());
+  machine.spawnProcess("quiet", prog);
+  machine.run();
+
+  EXPECT_TRUE(machine.allExited());
+  const auto trace = hx.collect();
+  EXPECT_EQ(trace.totalEvents(), 0u);
+  // Trace statements still cost the mask-check time.
+  EXPECT_GT(machine.cpuStats(0).traceNs, 0u);
+}
+
+TEST(Machine, TracingCompiledOutCostsNothing) {
+  Machine machine(quickConfig(1), nullptr);
+  const uint64_t prog =
+      machine.registerProgram(Program().cpu(10'000).syscall(Syscall::Open).exit());
+  machine.spawnProcess("bare", prog);
+  machine.run();
+  EXPECT_EQ(machine.cpuStats(0).traceNs, 0u);
+  EXPECT_EQ(machine.stats().traceStatements, 0u);
+}
+
+TEST(Machine, PreemptInCriticalSectionStretchesHold) {
+  // The §2 anecdote: context switches between acquire and release make
+  // hold times unexpectedly long.
+  auto maxWait = [](bool preemptible) {
+    MachineConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.quantumNs = 30'000;
+    cfg.preemptInCriticalSection = preemptible;
+    Machine machine(cfg, nullptr);
+    Program p;
+    for (int i = 0; i < 40; ++i) {
+      p.cpu(5'000);
+      p.lockedSection(0x7, 50'000, {1});
+    }
+    p.exit();
+    const uint64_t prog = machine.registerProgram(std::move(p));
+    machine.spawnProcess("a", prog, 0);
+    machine.spawnProcess("a2", prog, 0);  // makes cpu0's queue preemptible
+    machine.spawnProcess("b", prog, 1);
+    machine.run();
+    return machine.locks().all().at(0x7).maxWaitNs;
+  };
+  EXPECT_GT(maxWait(true), maxWait(false));
+}
+
+}  // namespace
+}  // namespace ossim

@@ -1,0 +1,182 @@
+// Scheduler extensions: blocking sleeps, work-stealing migration, and the
+// §5 hot-swap adaptive lock split driven by tracing feedback.
+#include <gtest/gtest.h>
+
+#include "ossim/machine.hpp"
+#include "sim_support.hpp"
+
+namespace ossim {
+namespace {
+
+using ktrace::Major;
+using ktrace::testing::countEvents;
+using ktrace::testing::SimHarness;
+
+MachineConfig quickConfig(uint32_t procs) {
+  MachineConfig cfg;
+  cfg.numProcessors = procs;
+  cfg.quantumNs = 1'000'000;
+  return cfg;
+}
+
+TEST(Sleep, BlocksThreadAndRunsOthers) {
+  SimHarness hx(1);
+  Machine machine(quickConfig(1), &hx.facility);
+  const uint64_t sleeper = machine.registerProgram(
+      Program().cpu(10'000).sleep(500'000).cpu(10'000).exit());
+  const uint64_t worker = machine.registerProgram(Program().cpu(100'000).exit());
+  const uint64_t sleeperPid = machine.spawnProcess("sleeper", sleeper, 0);
+  machine.spawnProcess("worker", worker, 0);
+  machine.run();
+
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_EQ(machine.stats().sleeps, 1u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Sched,
+                        static_cast<uint16_t>(SchedMinor::Block)), 1u);
+  EXPECT_EQ(countEvents(trace, Major::Sched,
+                        static_cast<uint16_t>(SchedMinor::Unblock)), 1u);
+
+  // While the sleeper blocked, the worker ran: between the sleeper's Block
+  // and its Unblock there is a Dispatch of another pid.
+  bool sawBlock = false;
+  bool workerRanDuringSleep = false;
+  for (const auto& e : trace.processorEvents(0)) {
+    if (e.header.major != Major::Sched) continue;
+    if (e.header.minor == static_cast<uint16_t>(SchedMinor::Block)) sawBlock = true;
+    if (e.header.minor == static_cast<uint16_t>(SchedMinor::Unblock)) break;
+    if (sawBlock && e.header.minor == static_cast<uint16_t>(SchedMinor::Dispatch) &&
+        e.data[0] != sleeperPid) {
+      workerRanDuringSleep = true;
+    }
+  }
+  EXPECT_TRUE(workerRanDuringSleep);
+}
+
+TEST(Sleep, SoloSleeperIdlesTheCpu) {
+  Machine machine(quickConfig(1), nullptr);
+  machine.spawnProcess("s", machine.registerProgram(
+                                Program().cpu(1'000).sleep(2'000'000).exit()));
+  machine.run();
+  EXPECT_GE(machine.cpuStats(0).idleNs, 2'000'000u);
+}
+
+TEST(WorkStealing, IdleCpuStealsFromLoadedCpu) {
+  SimHarness hx(2);
+  MachineConfig cfg = quickConfig(2);
+  cfg.workStealing = true;
+  Machine machine(cfg, &hx.facility);
+  const uint64_t prog = machine.registerProgram(Program().cpu(500'000).exit());
+  // Pile four processes onto cpu 0; cpu 1 starts empty.
+  for (int i = 0; i < 4; ++i) machine.spawnProcess("p", prog, 0);
+  machine.run();
+
+  EXPECT_GT(machine.stats().migrations, 0u);
+  EXPECT_GT(machine.cpuStats(1).busyNs, 0u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Sched,
+                        static_cast<uint16_t>(SchedMinor::Migrate)),
+            machine.stats().migrations);
+  // Stealing must speed up the makespan vs no stealing.
+  Machine baseline(quickConfig(2), nullptr);
+  const uint64_t prog2 = baseline.registerProgram(Program().cpu(500'000).exit());
+  for (int i = 0; i < 4; ++i) baseline.spawnProcess("p", prog2, 0);
+  baseline.run();
+  EXPECT_LT(machine.now(), baseline.now());
+}
+
+TEST(WorkStealing, DisabledMeansNoMigrations) {
+  Machine machine(quickConfig(2), nullptr);
+  const uint64_t prog = machine.registerProgram(Program().cpu(100'000).exit());
+  for (int i = 0; i < 4; ++i) machine.spawnProcess("p", prog, 0);
+  machine.run();
+  EXPECT_EQ(machine.stats().migrations, 0u);
+  EXPECT_EQ(machine.cpuStats(1).busyNs, 0u);
+}
+
+TEST(AdaptiveLockSplit, HotLockGetsSwappedAndContentionDrops) {
+  SimHarness hx(4);
+  MachineConfig cfg = quickConfig(4);
+  cfg.adaptiveLockSplitThresholdNs = 200'000;
+  Machine machine(cfg, &hx.facility);
+  Program p;
+  for (int i = 0; i < 300; ++i) p.lockedSection(0x77, 5'000, {1});
+  p.exit();
+  const uint64_t prog = machine.registerProgram(std::move(p));
+  for (uint32_t c = 0; c < 4; ++c) machine.spawnProcess("h", prog, c);
+  machine.run();
+
+  EXPECT_EQ(machine.stats().locksHotSwapped, 1u);
+  const auto trace = hx.collect();
+  EXPECT_EQ(countEvents(trace, Major::Lock,
+                        static_cast<uint16_t>(LockMinor::HotSwap)), 1u);
+  // Post-swap, per-cpu instances exist and carry acquisitions.
+  uint64_t perCpuAcquisitions = 0;
+  for (const auto& [id, lock] : machine.locks().all()) {
+    if (id >= 0x0100'0000) perCpuAcquisitions += lock.acquisitions;
+  }
+  EXPECT_GT(perCpuAcquisitions, 100u);
+  // The per-cpu instances never contend (one thread per cpu here).
+  for (const auto& [id, lock] : machine.locks().all()) {
+    if (id >= 0x0100'0000) {
+      EXPECT_EQ(lock.contendedAcquisitions, 0u) << id;
+    }
+  }
+
+  // And the same load without adaptation waits far longer in total.
+  MachineConfig off = quickConfig(4);
+  Machine fixed(off, nullptr);
+  Program p2;
+  for (int i = 0; i < 300; ++i) p2.lockedSection(0x77, 5'000, {1});
+  p2.exit();
+  const uint64_t prog2 = fixed.registerProgram(std::move(p2));
+  for (uint32_t c = 0; c < 4; ++c) fixed.spawnProcess("h", prog2, c);
+  fixed.run();
+  EXPECT_GT(fixed.locks().totalWaitNs(), machine.locks().totalWaitNs() * 2);
+}
+
+TEST(AdaptiveLockSplit, BelowThresholdNothingHappens) {
+  MachineConfig cfg = quickConfig(2);
+  cfg.adaptiveLockSplitThresholdNs = 1'000'000'000;  // unreachable
+  Machine machine(cfg, nullptr);
+  Program p;
+  for (int i = 0; i < 20; ++i) p.lockedSection(0x88, 2'000, {1});
+  p.exit();
+  const uint64_t prog = machine.registerProgram(std::move(p));
+  machine.spawnProcess("a", prog, 0);
+  machine.spawnProcess("b", prog, 1);
+  machine.run();
+  EXPECT_EQ(machine.stats().locksHotSwapped, 0u);
+}
+
+TEST(MigrationHazard, LateCommitAfterRebindIsDetected) {
+  // The §2 migration discussion: a thread migrated mid-log can garble the
+  // old processor's buffer. Reproduce with the userspace analogue — a
+  // reservation on control A completed only after the thread moved to
+  // control B — and verify the per-buffer counts flag it.
+  SimHarness hx(2, 64, 8);
+  hx.facility.bindCurrentThread(0);
+  ktrace::Reservation pending;
+  ASSERT_TRUE(hx.facility.control(0).reserve(3, pending));  // mid-log on cpu0...
+  hx.facility.bindCurrentThread(1);                         // ...migrated to cpu1
+  for (uint64_t i = 0; i < 30; ++i) {
+    ASSERT_TRUE(hx.facility.log(Major::Test, 1, i));
+  }
+  // The migrated thread never finishes the cpu0 write (or finishes it
+  // "too late"): cpu0's buffer stays short.
+  ktrace::MemorySink sink;
+  ktrace::ConsumerConfig cc;
+  cc.commitWait = std::chrono::microseconds(500);
+  ktrace::Consumer consumer(hx.facility, sink, cc);
+  hx.facility.flushAll();
+  consumer.drainNow();
+  ASSERT_GE(sink.count(), 1u);
+  bool cpu0Flagged = false;
+  for (const auto& record : sink.records()) {
+    if (record.processor == 0 && record.commitMismatch) cpu0Flagged = true;
+  }
+  EXPECT_TRUE(cpu0Flagged);
+}
+
+}  // namespace
+}  // namespace ossim

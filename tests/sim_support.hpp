@@ -1,0 +1,55 @@
+// Shared harness for simulator-driven tests: a facility with virtual
+// clocks, a machine wired to it, and one-call collection into a TraceSet.
+#pragma once
+
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+
+namespace ktrace::testing {
+
+struct SimHarness {
+  FakeClock bootClock{0, 0};  // constant 0 until the machine installs clocks
+  Facility facility;
+  MemorySink sink;
+  Consumer consumer;
+
+  explicit SimHarness(uint32_t numProcessors, uint32_t bufferWords = 1u << 12,
+                      uint32_t buffersPerProcessor = 128)
+      : facility(makeConfig(bootClock, numProcessors, bufferWords, buffersPerProcessor)),
+        consumer(facility, sink, {}) {
+    facility.mask().enableAll();
+  }
+
+  analysis::TraceSet collect(const DecodeOptions& options = {}) {
+    facility.flushAll();
+    consumer.drainNow();
+    return analysis::TraceSet::fromRecords(sink.records(), options);
+  }
+
+ private:
+  static FacilityConfig makeConfig(FakeClock& clock, uint32_t numProcessors,
+                                   uint32_t bufferWords, uint32_t buffersPerProcessor) {
+    FacilityConfig cfg;
+    cfg.numProcessors = numProcessors;
+    cfg.bufferWords = bufferWords;
+    cfg.buffersPerProcessor = buffersPerProcessor;
+    cfg.clockKind = ClockKind::Virtual;
+    cfg.clockOverride = clock.ref();
+    cfg.mode = Mode::Stream;
+    return cfg;
+  }
+};
+
+/// Count events of a given (major, minor) in a trace set.
+inline size_t countEvents(const analysis::TraceSet& trace, Major major, uint16_t minor) {
+  size_t n = 0;
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      if (e.header.major == major && e.header.minor == minor) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace ktrace::testing

@@ -1,0 +1,75 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/ktrace.hpp"
+
+namespace ktrace::testing {
+
+/// A facility driven by a FakeClock, one tick per reading.
+struct FakeFacility {
+  FakeClock clock;
+  Facility facility;
+
+  explicit FakeFacility(uint32_t numProcessors = 1, uint32_t bufferWords = 64,
+                        uint32_t buffersPerProcessor = 4, bool commitCounts = true)
+      : clock(1, 1), facility(makeConfig(clock, numProcessors, bufferWords,
+                                         buffersPerProcessor, commitCounts)) {
+    facility.mask().enableAll();
+  }
+
+ private:
+  static FacilityConfig makeConfig(FakeClock& clock, uint32_t numProcessors,
+                                   uint32_t bufferWords, uint32_t buffersPerProcessor,
+                                   bool commitCounts) {
+    FacilityConfig cfg;
+    cfg.numProcessors = numProcessors;
+    cfg.bufferWords = bufferWords;
+    cfg.buffersPerProcessor = buffersPerProcessor;
+    cfg.clockKind = ClockKind::Fake;
+    cfg.clockOverride = clock.ref();
+    cfg.commitCounts = commitCounts;
+    cfg.mode = Mode::Stream;
+    return cfg;
+  }
+};
+
+/// Decode every record in a MemorySink into events, per processor in seq
+/// order. Fillers and anchors are dropped unless requested.
+inline std::vector<DecodedEvent> decodeRecords(const std::vector<BufferRecord>& records,
+                                               const DecodeOptions& options = {},
+                                               DecodeStats* statsOut = nullptr) {
+  // Group by processor, sort by seq, decode with a running time base.
+  std::vector<BufferRecord> sorted = records;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.processor != b.processor) return a.processor < b.processor;
+    return a.seq < b.seq;
+  });
+  std::vector<DecodedEvent> events;
+  DecodeStats stats;
+  uint64_t tsBase = 0;
+  uint32_t lastProcessor = ~0u;
+  for (const BufferRecord& r : sorted) {
+    if (r.processor != lastProcessor) {
+      tsBase = 0;
+      lastProcessor = r.processor;
+    }
+    stats.merge(decodeBuffer(r.words, r.seq, r.processor, tsBase, events, options));
+  }
+  if (statsOut != nullptr) *statsOut = stats;
+  return events;
+}
+
+/// Flush, drain, and decode everything the facility has logged so far.
+inline std::vector<DecodedEvent> drainAndDecode(Facility& facility, Consumer& consumer,
+                                                MemorySink& sink,
+                                                const DecodeOptions& options = {},
+                                                DecodeStats* statsOut = nullptr) {
+  facility.flushAll();
+  consumer.drainNow();
+  return decodeRecords(sink.records(), options, statsOut);
+}
+
+}  // namespace ktrace::testing

@@ -1,0 +1,177 @@
+// End-to-end test of the ktracetool CLI: generate real .ktrc trace files
+// and a crash dump with the library, then drive the installed binary the
+// way a user would. KTRACETOOL_PATH is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/crash_dump.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "workload/sdet.hpp"
+
+#ifndef KTRACETOOL_PATH
+#error "KTRACETOOL_PATH must be defined by the build"
+#endif
+
+namespace ktrace {
+namespace {
+
+class ToolCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktracetool_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    generateTrace();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void generateTrace() {
+    FacilityConfig fcfg;
+    fcfg.numProcessors = 2;
+    fcfg.bufferWords = 1u << 10;
+    fcfg.buffersPerProcessor = 64;
+    fcfg.mode = Mode::Stream;
+    Facility facility(fcfg);
+    facility.mask().enableAll();
+
+    TraceFileMeta meta;
+    meta.numProcessors = 2;
+    meta.bufferWords = fcfg.bufferWords;
+    meta.clockKind = ClockKind::Virtual;
+    meta.ticksPerSecond = 1e9;
+    FileSink files(dir_.string(), "t", meta);
+    Consumer consumer(facility, files, {});
+
+    ossim::MachineConfig mcfg;
+    mcfg.numProcessors = 2;
+    mcfg.pcSampleIntervalNs = 50'000;
+    mcfg.hwCounterSampleIntervalNs = 50'000;
+    ossim::Machine machine(mcfg, &facility);
+    analysis::SymbolTable symbols;
+    workload::SdetConfig scfg;
+    scfg.numScripts = 4;
+    scfg.commandsPerScript = 3;
+    workload::SdetWorkload sdet(scfg, machine, symbols);
+    sdet.spawnAll();
+    machine.run();
+
+    facility.flushAll();
+    consumer.drainNow();
+    files.flush();
+    cpu0_ = files.pathFor(0);
+    cpu1_ = files.pathFor(1);
+
+    ASSERT_TRUE(writeCrashDump(facility, (dir_ / "crash.k42dump").string()));
+  }
+
+  /// Runs the tool, captures stdout, returns exit code.
+  int runTool(const std::string& args, std::string& output) {
+    const std::string outPath = (dir_ / "out.txt").string();
+    const std::string cmd =
+        std::string(KTRACETOOL_PATH) + " " + args + " > " + outPath + " 2>/dev/null";
+    const int rc = std::system(cmd.c_str());
+    std::ifstream in(outPath);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    output = ss.str();
+    return WEXITSTATUS(rc);
+  }
+
+  std::filesystem::path dir_;
+  std::string cpu0_, cpu1_;
+};
+
+TEST_F(ToolCliTest, NoArgsShowsUsage) {
+  std::string out;
+  EXPECT_EQ(runTool("", out), 2);
+}
+
+TEST_F(ToolCliTest, ListPrintsEvents) {
+  std::string out;
+  ASSERT_EQ(runTool("list " + cpu0_ + " " + cpu1_ + " --max=20", out), 0);
+  EXPECT_NE(out.find("TRACE_SCHED_DISPATCH"), std::string::npos);
+  EXPECT_NE(out.find("[cpu"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 20);
+}
+
+TEST_F(ToolCliTest, LocksReportsContention) {
+  std::string out;
+  ASSERT_EQ(runTool("locks " + cpu0_ + " " + cpu1_ + " --top=5", out), 0);
+  EXPECT_NE(out.find("top 5 contended locks by time"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, StatsSummarizesEventMix) {
+  std::string out;
+  ASSERT_EQ(runTool("stats " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("words/event average"), std::string::npos);
+  EXPECT_NE(out.find("TRACE_"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, TimelineAndSvg) {
+  std::string out;
+  ASSERT_EQ(runTool("timeline " + cpu0_ + " " + cpu1_ + " --width=40", out), 0);
+  EXPECT_NE(out.find("cpu0"), std::string::npos);
+  EXPECT_NE(out.find("cpu1"), std::string::npos);
+
+  const std::string svgPath = (dir_ / "tl.svg").string();
+  ASSERT_EQ(runTool("svg " + cpu0_ + " --out=" + svgPath, out), 0);
+  std::ifstream svg(svgPath);
+  std::stringstream ss;
+  ss << svg.rdbuf();
+  EXPECT_NE(ss.str().find("<svg"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, ExportsLttAndCsv) {
+  std::string out;
+  ASSERT_EQ(runTool("ltt " + cpu0_ + " --max=5", out), 0);
+  EXPECT_NE(out.find("cpu 0"), std::string::npos);
+  EXPECT_NE(out.find("{"), std::string::npos);
+
+  ASSERT_EQ(runTool("csv " + cpu0_ + " --max=5", out), 0);
+  EXPECT_NE(out.find("time_ticks,cpu,major,minor,name,payload"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, ProfileAttribAndHotspots) {
+  std::string out;
+  ASSERT_EQ(runTool("profile " + cpu0_ + " " + cpu1_ + " --top=5", out), 0);
+  EXPECT_NE(out.find("histogram for pid"), std::string::npos);
+
+  ASSERT_EQ(runTool("attrib " + cpu0_ + " " + cpu1_ + " --pid=2", out), 0);
+  EXPECT_NE(out.find("time attribution for pid 2"), std::string::npos);
+
+  ASSERT_EQ(runTool("hotspots " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("memory hot-spots"), std::string::npos);
+
+  ASSERT_EQ(runTool("intervals " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("page-fault"), std::string::npos);
+  EXPECT_NE(out.find("p95"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, DeadlockExitCodeSignalsResult) {
+  std::string out;
+  // The SDET trace has contention but no deadlock: exit 0.
+  EXPECT_EQ(runTool("deadlock " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("no deadlock cycle"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, CrashDumpReader) {
+  std::string out;
+  ASSERT_EQ(runTool("crashdump " + (dir_ / "crash.k42dump").string() +
+                        " --cpu=0 --max=10",
+                    out),
+            0);
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find("TRACE_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -1,0 +1,166 @@
+// Barriers in the simulator and the BSP/HPC workload (§3.1's
+// one-thread-per-processor scientific applications).
+#include "workload/hpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/timeline.hpp"
+#include "sim_support.hpp"
+
+namespace workload {
+namespace {
+
+using ktrace::Major;
+using ktrace::testing::SimHarness;
+
+TEST(Barrier, ReleasesAllAtLastArrival) {
+  ossim::MachineConfig cfg;
+  cfg.numProcessors = 2;
+  ossim::Machine machine(cfg, nullptr);
+  // Rank 0 computes 100us, rank 1 computes 500us; both then barrier.
+  const uint64_t fast = machine.registerProgram(
+      ossim::Program().cpu(100'000).barrier(1, 2).cpu(10'000).exit());
+  const uint64_t slow = machine.registerProgram(
+      ossim::Program().cpu(500'000).barrier(1, 2).cpu(10'000).exit());
+  machine.spawnProcess("fast", fast, 0);
+  machine.spawnProcess("slow", slow, 1);
+  machine.run();
+
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_EQ(machine.stats().barrierWaits, 1u);  // only the fast rank waited
+  // The fast rank idled ~400us at the barrier.
+  EXPECT_GE(machine.cpuStats(0).idleNs, 350'000u);
+  // Both finish within a small window of each other.
+  const auto diff = machine.cpuNow(0) > machine.cpuNow(1)
+                        ? machine.cpuNow(0) - machine.cpuNow(1)
+                        : machine.cpuNow(1) - machine.cpuNow(0);
+  EXPECT_LT(diff, 50'000u);
+}
+
+TEST(Barrier, MismatchedParticipantsIsDiagnosed) {
+  ossim::MachineConfig cfg;
+  cfg.numProcessors = 1;
+  ossim::Machine machine(cfg, nullptr);
+  // A barrier expecting 2 participants with only one thread: deadlock.
+  machine.spawnProcess("lonely", machine.registerProgram(
+                                     ossim::Program().barrier(9, 2).exit()));
+  EXPECT_THROW(machine.run(), std::runtime_error);
+}
+
+TEST(Barrier, EmitsBlockAndUnblockEvents) {
+  SimHarness hx(2);
+  ossim::MachineConfig cfg;
+  cfg.numProcessors = 2;
+  ossim::Machine machine(cfg, &hx.facility);
+  const uint64_t prog = machine.registerProgram(
+      ossim::Program().cpu(10'000).barrier(3, 2).exit());
+  const uint64_t slowProg = machine.registerProgram(
+      ossim::Program().cpu(200'000).barrier(3, 2).exit());
+  machine.spawnProcess("a", prog, 0);
+  machine.spawnProcess("b", slowProg, 1);
+  machine.run();
+
+  const auto trace = hx.collect();
+  EXPECT_EQ(ktrace::testing::countEvents(
+                trace, Major::Sched,
+                static_cast<uint16_t>(ossim::SchedMinor::Block)), 1u);
+  EXPECT_EQ(ktrace::testing::countEvents(
+                trace, Major::Sched,
+                static_cast<uint16_t>(ossim::SchedMinor::Unblock)), 1u);
+}
+
+TEST(HpcWorkload, ValidatesConfiguration) {
+  ossim::MachineConfig cfg;
+  cfg.numProcessors = 2;
+  ossim::Machine machine(cfg, nullptr);
+  ktrace::analysis::SymbolTable symbols;
+  HpcConfig bad;
+  bad.ranks = 4;  // != processors
+  EXPECT_THROW(HpcWorkload w(bad, machine, symbols), std::invalid_argument);
+}
+
+TEST(HpcWorkload, RunsToCompletionDeterministically) {
+  auto runOnce = [] {
+    ossim::MachineConfig cfg;
+    cfg.numProcessors = 4;
+    ossim::Machine machine(cfg, nullptr);
+    ktrace::analysis::SymbolTable symbols;
+    HpcConfig hcfg;
+    hcfg.ranks = 4;
+    hcfg.iterations = 10;
+    HpcWorkload hpc(hcfg, machine, symbols);
+    hpc.spawnAll();
+    machine.run();
+    EXPECT_TRUE(machine.allExited());
+    return machine.now();
+  };
+  const auto a = runOnce();
+  EXPECT_EQ(a, runOnce());
+  EXPECT_GT(a, 0u);
+}
+
+TEST(HpcWorkload, OneThreadPerProcessorNeverGarblesBuffers) {
+  // The §3.1 claim: "For large scientific applications running one thread
+  // per processor, such errors will not occur."
+  SimHarness hx(4, 1u << 12, 256);
+  ossim::MachineConfig cfg;
+  cfg.numProcessors = 4;
+  ossim::Machine machine(cfg, &hx.facility);
+  ktrace::analysis::SymbolTable symbols;
+  HpcConfig hcfg;
+  hcfg.ranks = 4;
+  hcfg.iterations = 15;
+  HpcWorkload hpc(hcfg, machine, symbols);
+  hpc.spawnAll();
+  machine.run();
+
+  hx.facility.flushAll();
+  hx.consumer.drainNow();
+  EXPECT_EQ(hx.consumer.stats().commitMismatches, 0u);
+  EXPECT_EQ(hx.consumer.stats().buffersLost, 0u);
+  const auto trace = ktrace::analysis::TraceSet::fromRecords(hx.sink.records());
+  EXPECT_EQ(trace.stats().garbledBuffers, 0u);
+
+  // Every iteration's start/end markers arrived from every rank.
+  EXPECT_EQ(ktrace::testing::countEvents(trace, Major::App,
+                                         static_cast<uint16_t>(HpcMark::IterationStart)),
+            4u * 15u);
+}
+
+TEST(HpcWorkload, ImbalanceCreatesBarrierIdleVisibleInTimeline) {
+  auto idleFraction = [](double imbalance) {
+    SimHarness hx(4, 1u << 12, 256);
+    ossim::MachineConfig cfg;
+    cfg.numProcessors = 4;
+    ossim::Machine machine(cfg, &hx.facility);
+    ktrace::analysis::SymbolTable symbols;
+    HpcConfig hcfg;
+    hcfg.ranks = 4;
+    hcfg.iterations = 12;
+    hcfg.imbalance = imbalance;
+    HpcWorkload hpc(hcfg, machine, symbols);
+    hpc.spawnAll();
+    machine.run();
+    const auto trace = hx.collect();
+    ktrace::analysis::Timeline timeline(trace);
+    uint64_t idle = 0;
+    uint64_t total = 0;
+    for (uint32_t p = 0; p < 4; ++p) {
+      for (uint32_t a = 0;
+           a < static_cast<uint32_t>(ktrace::analysis::Activity::ActivityCount); ++a) {
+        const uint64_t ticks =
+            timeline.activityTicks(p, static_cast<ktrace::analysis::Activity>(a));
+        total += ticks;
+        if (a == 0) idle += ticks;
+      }
+    }
+    return static_cast<double>(idle) / static_cast<double>(total);
+  };
+  const double balanced = idleFraction(0.0);
+  const double imbalanced = idleFraction(0.6);
+  EXPECT_GT(imbalanced, balanced + 0.05)
+      << "barrier waits from imbalance must show up as idle lanes";
+}
+
+}  // namespace
+}  // namespace workload

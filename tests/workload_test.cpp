@@ -1,0 +1,199 @@
+// SDET workload generator and micro event mixes.
+#include <gtest/gtest.h>
+
+#include "sim_support.hpp"
+#include "workload/micro.hpp"
+#include "workload/sdet.hpp"
+
+namespace workload {
+namespace {
+
+using ktrace::Major;
+using ktrace::testing::SimHarness;
+
+TEST(EventMix, FixedAlwaysSamplesSameSize) {
+  const EventMix mix = EventMix::fixed(3);
+  ktrace::util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(mix.sample(rng), 3u);
+  EXPECT_DOUBLE_EQ(mix.meanWords(), 3.0);
+  EXPECT_EQ(mix.maxWords(), 3u);
+}
+
+TEST(EventMix, UniformCoversRange) {
+  const EventMix mix = EventMix::uniform(1, 4);
+  const auto sizes = mix.generate(4000, 99);
+  uint64_t seen[5] = {0, 0, 0, 0, 0};
+  for (const uint32_t s : sizes) {
+    ASSERT_GE(s, 1u);
+    ASSERT_LE(s, 4u);
+    seen[s] += 1;
+  }
+  for (int w = 1; w <= 4; ++w) EXPECT_GT(seen[w], 700u) << w;
+}
+
+TEST(EventMix, RealisticMatchesPaperShape) {
+  // "there are very few events larger than 4 64-bit words" (§3.2).
+  const EventMix mix = EventMix::realistic();
+  const auto sizes = mix.generate(10000, 5);
+  size_t small = 0, large = 0;
+  for (const uint32_t s : sizes) (s <= 4 ? small : large) += 1;
+  EXPECT_GT(static_cast<double>(small) / sizes.size(), 0.9);
+  EXPECT_GT(large, 0u);  // but they exist
+  EXPECT_LT(mix.meanWords(), 3.0);
+}
+
+TEST(EventMix, GenerateIsDeterministicPerSeed) {
+  const EventMix mix = EventMix::realistic();
+  EXPECT_EQ(mix.generate(100, 7), mix.generate(100, 7));
+  EXPECT_NE(mix.generate(100, 7), mix.generate(100, 8));
+}
+
+TEST(EventMix, RejectsDegenerateBuckets) {
+  EXPECT_THROW(EventMix({}), std::invalid_argument);
+  EXPECT_THROW(EventMix({{1, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(EventMix({{1, -2.0}}), std::invalid_argument);
+}
+
+SdetConfig smallSdet(uint32_t scripts) {
+  SdetConfig cfg;
+  cfg.numScripts = scripts;
+  cfg.commandsPerScript = 4;
+  cfg.workScale = 0.3;
+  return cfg;
+}
+
+TEST(Sdet, RunsToCompletionAndReportsThroughput) {
+  ossim::MachineConfig mc;
+  mc.numProcessors = 2;
+  ossim::Machine machine(mc, nullptr);
+  ktrace::analysis::SymbolTable symbols;
+  SdetWorkload sdet(smallSdet(4), machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_EQ(machine.stats().processesExited, 4u);
+  EXPECT_GT(sdet.throughputScriptsPerHour(), 0.0);
+  EXPECT_GT(machine.stats().syscalls, 0u);
+  EXPECT_GT(machine.stats().pageFaults, 0u);
+  EXPECT_GT(machine.stats().ipcs, 0u);
+}
+
+TEST(Sdet, DeterministicThroughputPerSeed) {
+  auto runOnce = [] {
+    ossim::MachineConfig mc;
+    mc.numProcessors = 2;
+    ossim::Machine machine(mc, nullptr);
+    ktrace::analysis::SymbolTable symbols;
+    SdetWorkload sdet(smallSdet(4), machine, symbols);
+    sdet.spawnAll();
+    machine.run();
+    return sdet.throughputScriptsPerHour();
+  };
+  EXPECT_DOUBLE_EQ(runOnce(), runOnce());
+}
+
+TEST(Sdet, UntunedAllocatorContendsOnOneLock) {
+  ossim::MachineConfig mc;
+  mc.numProcessors = 4;
+  ossim::Machine machine(mc, nullptr);
+  ktrace::analysis::SymbolTable symbols;
+  SdetConfig cfg = smallSdet(8);
+  cfg.tunedAllocator = false;
+  SdetWorkload sdet(cfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  ASSERT_TRUE(machine.locks().contains(kGMallocLockId));
+  const auto& lock = machine.locks().all().at(kGMallocLockId);
+  EXPECT_GT(lock.contendedAcquisitions, 0u);
+  EXPECT_GT(lock.totalWaitNs, 0u);
+}
+
+TEST(Sdet, TunedAllocatorSpreadsLoadAndReducesWait) {
+  auto totalWait = [](bool tuned) {
+    ossim::MachineConfig mc;
+    mc.numProcessors = 4;
+    ossim::Machine machine(mc, nullptr);
+    ktrace::analysis::SymbolTable symbols;
+    SdetConfig cfg = smallSdet(8);
+    cfg.tunedAllocator = tuned;
+    SdetWorkload sdet(cfg, machine, symbols);
+    sdet.spawnAll();
+    machine.run();
+    // Wait on allocator locks only (page-allocator lock is shared either way).
+    ossim::Tick wait = 0;
+    for (const auto& [id, lock] : machine.locks().all()) {
+      if (id == kGMallocLockId ||
+          (id >= kGMallocPerCpuLockBase && id < kGMallocPerCpuLockBase + 64)) {
+        wait += lock.totalWaitNs;
+      }
+    }
+    return wait;
+  };
+  const auto untuned = totalWait(false);
+  const auto tuned = totalWait(true);
+  EXPECT_LT(tuned, untuned / 2) << "per-processor pools should slash contention";
+}
+
+TEST(Sdet, TunedScalesBetterThanUntuned) {
+  // The §4 narrative: fixing the most contended lock restores scaling.
+  auto makespan = [](bool tuned, uint32_t procs) {
+    ossim::MachineConfig mc;
+    mc.numProcessors = procs;
+    ossim::Machine machine(mc, nullptr);
+    ktrace::analysis::SymbolTable symbols;
+    SdetConfig cfg;
+    cfg.numScripts = procs * 2;
+    cfg.commandsPerScript = 3;
+    cfg.workScale = 1.0;
+    cfg.tunedAllocator = tuned;
+    SdetWorkload sdet(cfg, machine, symbols);
+    sdet.spawnAll();
+    machine.run();
+    return static_cast<double>(machine.now());
+  };
+  // Per-processor makespan should stay ~flat when tuned; grow when not.
+  const double untunedRatio = makespan(false, 8) / makespan(false, 1);
+  const double tunedRatio = makespan(true, 8) / makespan(true, 1);
+  EXPECT_LT(tunedRatio, untunedRatio);
+}
+
+TEST(Sdet, StaggeredStartProducesIdlePeriods) {
+  ossim::MachineConfig mc;
+  mc.numProcessors = 4;
+  ossim::Machine machine(mc, nullptr);
+  ktrace::analysis::SymbolTable symbols;
+  SdetConfig cfg = smallSdet(4);
+  cfg.staggeredStart = true;
+  cfg.startSpreadNs = 100'000'000;
+  SdetWorkload sdet(cfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  ossim::Tick idle = 0;
+  for (uint32_t p = 0; p < 4; ++p) idle += machine.cpuStats(p).idleNs;
+  EXPECT_GT(idle, 50'000'000u);
+}
+
+TEST(Sdet, EmitsTraceEventsThroughFacility) {
+  SimHarness hx(2);
+  ossim::MachineConfig mc;
+  mc.numProcessors = 2;
+  ossim::Machine machine(mc, &hx.facility);
+  ktrace::analysis::SymbolTable symbols;
+  SdetWorkload sdet(smallSdet(4), machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  const auto trace = hx.collect();
+  EXPECT_EQ(trace.stats().garbledBuffers, 0u);
+  EXPECT_GT(trace.totalEvents(), 100u);
+  EXPECT_GT(ktrace::testing::countEvents(
+                trace, Major::Linux,
+                static_cast<uint16_t>(ossim::LinuxMinor::SyscallEnter)),
+            0u);
+}
+
+}  // namespace
+}  // namespace workload

@@ -1,0 +1,176 @@
+// ktracetool — command-line front end for the analysis suite.
+//
+// Operates on the per-processor .ktrc files a FileSink writes (or a crash
+// dump from writeCrashDump). One subcommand per tool:
+//
+//   ktracetool list     a.cpu0.ktrc a.cpu1.ktrc [--max=N] [--start=s] [--end=s]
+//   ktracetool locks    ... [--top=N] [--sort=time|count|spin|max]
+//   ktracetool profile  ... [--pid=P] [--top=N]
+//   ktracetool attrib   ... [--pid=P]
+//   ktracetool stats    ... [--top=N]
+//   ktracetool timeline ... [--width=N]          (ASCII lanes)
+//   ktracetool svg      ... [--out=timeline.svg]
+//   ktracetool ltt      ... [--max=N]            (LTT-style text dump)
+//   ktracetool csv      ... [--max=N]
+//   ktracetool deadlock ...
+//   ktracetool intervals ...                      (latency distributions)
+//   ktracetool hotspots ... [--counter=0] [--top=N]
+//   ktracetool crashdump <dump.k42dump> [--cpu=N] [--max=N]
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/deadlock.hpp"
+#include "analysis/event_stats.hpp"
+#include "analysis/hwcounters.hpp"
+#include "analysis/intervals.hpp"
+#include "analysis/lister.hpp"
+#include "analysis/lock_analysis.hpp"
+#include "analysis/ltt_export.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/reader.hpp"
+#include "analysis/time_attribution.hpp"
+#include "analysis/timeline.hpp"
+#include "core/crash_dump.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/events.hpp"
+#include "util/cli.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ktracetool <list|locks|profile|attrib|stats|timeline|svg|"
+               "ltt|csv|deadlock|intervals|hotspots|crashdump> "
+               "<trace files...> [flags]\n");
+  return 2;
+}
+
+Registry& toolRegistry() {
+  Registry& registry = Registry::global();
+  ossim::registerOssimEvents(registry);
+  return registry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto& positional = cli.positional();
+  if (positional.empty()) return usage();
+  const std::string command = positional[0];
+  std::vector<std::string> files(positional.begin() + 1, positional.end());
+  if (files.empty()) return usage();
+
+  Registry& registry = toolRegistry();
+  analysis::SymbolTable symbols;  // ids print as funcN unless a map is loaded
+
+  if (command == "crashdump") {
+    CrashDumpReader dump(files[0]);
+    FlightRecorderOptions opts;
+    opts.maxEvents = static_cast<size_t>(cli.getInt("max", 64));
+    const uint32_t cpu = static_cast<uint32_t>(cli.getInt("cpu", 0));
+    if (cpu >= dump.numProcessors()) {
+      std::fprintf(stderr, "dump has %u processors\n", dump.numProcessors());
+      return 1;
+    }
+    std::fputs(dump.report(cpu, registry, opts).c_str(), stdout);
+    return 0;
+  }
+
+  const auto trace = analysis::TraceSet::fromFiles(files);
+  const double tps = trace.ticksPerSecond();
+  std::fprintf(stderr, "loaded %zu events from %zu file(s), %llu garbled buffer(s)\n",
+               trace.totalEvents(), files.size(),
+               static_cast<unsigned long long>(trace.stats().garbledBuffers));
+
+  if (command == "list") {
+    analysis::ListerOptions opts;
+    opts.maxEvents = static_cast<size_t>(cli.getInt("max", 0));
+    opts.showProcessor = true;
+    if (cli.has("start")) opts.startTick = static_cast<uint64_t>(cli.getDouble("start", 0) * tps);
+    if (cli.has("end")) opts.endTick = static_cast<uint64_t>(cli.getDouble("end", 0) * tps);
+    std::fputs(analysis::listEvents(trace, registry, tps, opts).c_str(), stdout);
+  } else if (command == "locks") {
+    analysis::LockAnalysis la(trace);
+    const std::string sort = cli.getString("sort", "time");
+    const analysis::LockSortKey key =
+        sort == "count" ? analysis::LockSortKey::Count
+        : sort == "spin" ? analysis::LockSortKey::Spin
+        : sort == "max"  ? analysis::LockSortKey::MaxTime
+                         : analysis::LockSortKey::Time;
+    std::fputs(la.report(symbols, tps, static_cast<size_t>(cli.getInt("top", 10)), key)
+                   .c_str(),
+               stdout);
+  } else if (command == "profile") {
+    analysis::Profile profile(trace);
+    uint64_t pid = static_cast<uint64_t>(cli.getInt("pid", -1));
+    if (pid == static_cast<uint64_t>(-1)) {
+      uint64_t most = 0;
+      for (const uint64_t candidate : profile.pids()) {
+        if (profile.totalSamples(candidate) > most) {
+          most = profile.totalSamples(candidate);
+          pid = candidate;
+        }
+      }
+    }
+    std::fputs(profile.report(pid, symbols, files[0],
+                              static_cast<size_t>(cli.getInt("top", 20)))
+                   .c_str(),
+               stdout);
+  } else if (command == "attrib") {
+    analysis::TimeAttribution ta(trace);
+    if (cli.has("pid")) {
+      std::fputs(ta.report(static_cast<uint64_t>(cli.getInt("pid", 0)), symbols, tps)
+                     .c_str(),
+                 stdout);
+    } else {
+      for (const uint64_t pid : ta.pids()) {
+        std::fputs(ta.report(pid, symbols, tps).c_str(), stdout);
+        std::printf("\n");
+      }
+    }
+  } else if (command == "stats") {
+    analysis::EventStats stats(trace);
+    std::fputs(
+        stats.report(registry, tps, static_cast<size_t>(cli.getInt("top", 20))).c_str(),
+        stdout);
+  } else if (command == "timeline") {
+    analysis::Timeline timeline(trace);
+    std::fputs(
+        timeline.renderAscii(static_cast<uint32_t>(cli.getInt("width", 100))).c_str(),
+        stdout);
+  } else if (command == "svg") {
+    analysis::Timeline timeline(trace);
+    const std::string out = cli.getString("out", "timeline.svg");
+    std::ofstream(out) << timeline.renderSvg(registry, tps, {});
+    std::printf("wrote %s\n", out.c_str());
+  } else if (command == "ltt") {
+    std::fputs(analysis::exportLttText(trace, registry, tps,
+                                       static_cast<size_t>(cli.getInt("max", 0)))
+                   .c_str(),
+               stdout);
+  } else if (command == "csv") {
+    std::fputs(
+        analysis::exportCsv(trace, registry, static_cast<size_t>(cli.getInt("max", 0)))
+            .c_str(),
+        stdout);
+  } else if (command == "deadlock") {
+    analysis::DeadlockDetector detector(trace);
+    std::fputs(detector.report(symbols, tps).c_str(), stdout);
+    return detector.hasDeadlock() ? 3 : 0;
+  } else if (command == "intervals") {
+    analysis::IntervalAnalysis ia(trace, analysis::defaultOssimIntervals());
+    std::fputs(ia.report(tps).c_str(), stdout);
+  } else if (command == "hotspots") {
+    analysis::HwCounterAnalysis hw(trace);
+    std::fputs(hw.report(static_cast<uint64_t>(cli.getInt("counter", 0)), symbols, tps,
+                         static_cast<size_t>(cli.getInt("top", 10)))
+                   .c_str(),
+               stdout);
+  } else {
+    return usage();
+  }
+  return 0;
+}
