@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_size.dir/bench_buffer_size.cpp.o"
+  "CMakeFiles/bench_buffer_size.dir/bench_buffer_size.cpp.o.d"
+  "bench_buffer_size"
+  "bench_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

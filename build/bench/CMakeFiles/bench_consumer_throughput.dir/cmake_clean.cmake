@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consumer_throughput.dir/bench_consumer_throughput.cpp.o"
+  "CMakeFiles/bench_consumer_throughput.dir/bench_consumer_throughput.cpp.o.d"
+  "bench_consumer_throughput"
+  "bench_consumer_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consumer_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

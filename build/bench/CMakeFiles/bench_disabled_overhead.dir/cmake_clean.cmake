@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disabled_overhead.dir/bench_disabled_overhead.cpp.o"
+  "CMakeFiles/bench_disabled_overhead.dir/bench_disabled_overhead.cpp.o.d"
+  "bench_disabled_overhead"
+  "bench_disabled_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disabled_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

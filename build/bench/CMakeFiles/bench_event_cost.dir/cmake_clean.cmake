@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_cost.dir/bench_event_cost.cpp.o"
+  "CMakeFiles/bench_event_cost.dir/bench_event_cost.cpp.o.d"
+  "bench_event_cost"
+  "bench_event_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

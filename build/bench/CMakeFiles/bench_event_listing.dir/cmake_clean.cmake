@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_listing.dir/bench_event_listing.cpp.o"
+  "CMakeFiles/bench_event_listing.dir/bench_event_listing.cpp.o.d"
+  "bench_event_listing"
+  "bench_event_listing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_listing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

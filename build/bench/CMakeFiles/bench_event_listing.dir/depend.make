@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_event_listing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_filler_waste.dir/bench_filler_waste.cpp.o"
+  "CMakeFiles/bench_filler_waste.dir/bench_filler_waste.cpp.o.d"
+  "bench_filler_waste"
+  "bench_filler_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_filler_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

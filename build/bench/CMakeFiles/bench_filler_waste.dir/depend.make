@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_filler_waste.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logging_scalability.dir/bench_logging_scalability.cpp.o"
+  "CMakeFiles/bench_logging_scalability.dir/bench_logging_scalability.cpp.o.d"
+  "bench_logging_scalability"
+  "bench_logging_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logging_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_breakdown.dir/bench_profile_breakdown.cpp.o"
+  "CMakeFiles/bench_profile_breakdown.dir/bench_profile_breakdown.cpp.o.d"
+  "bench_profile_breakdown"
+  "bench_profile_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdet_scaling.dir/bench_sdet_scaling.cpp.o"
+  "CMakeFiles/bench_sdet_scaling.dir/bench_sdet_scaling.cpp.o.d"
+  "bench_sdet_scaling"
+  "bench_sdet_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

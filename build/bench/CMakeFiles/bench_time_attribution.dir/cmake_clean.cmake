@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_attribution.dir/bench_time_attribution.cpp.o"
+  "CMakeFiles/bench_time_attribution.dir/bench_time_attribution.cpp.o.d"
+  "bench_time_attribution"
+  "bench_time_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timestamp.dir/bench_timestamp.cpp.o"
+  "CMakeFiles/bench_timestamp.dir/bench_timestamp.cpp.o.d"
+  "bench_timestamp"
+  "bench_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

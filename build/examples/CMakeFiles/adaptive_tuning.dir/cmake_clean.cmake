@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tuning.dir/adaptive_tuning.cpp.o"
+  "CMakeFiles/adaptive_tuning.dir/adaptive_tuning.cpp.o.d"
+  "adaptive_tuning"
+  "adaptive_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_detective.dir/deadlock_detective.cpp.o"
+  "CMakeFiles/deadlock_detective.dir/deadlock_detective.cpp.o.d"
+  "deadlock_detective"
+  "deadlock_detective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_detective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deadlock_detective.
+# This may be replaced when dependencies are built.

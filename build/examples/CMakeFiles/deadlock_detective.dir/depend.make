@@ -1,0 +1,2 @@
+# Empty dependencies file for deadlock_detective.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_recorder.dir/flight_recorder.cpp.o"
+  "CMakeFiles/flight_recorder.dir/flight_recorder.cpp.o.d"
+  "flight_recorder"
+  "flight_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

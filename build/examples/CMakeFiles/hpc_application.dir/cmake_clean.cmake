@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpc_application.dir/hpc_application.cpp.o"
+  "CMakeFiles/hpc_application.dir/hpc_application.cpp.o.d"
+  "hpc_application"
+  "hpc_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpc_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_contention_analysis.dir/lock_contention_analysis.cpp.o"
+  "CMakeFiles/lock_contention_analysis.dir/lock_contention_analysis.cpp.o.d"
+  "lock_contention_analysis"
+  "lock_contention_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_contention_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

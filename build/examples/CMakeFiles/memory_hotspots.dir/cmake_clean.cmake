@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_hotspots.dir/memory_hotspots.cpp.o"
+  "CMakeFiles/memory_hotspots.dir/memory_hotspots.cpp.o.d"
+  "memory_hotspots"
+  "memory_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syscall_breakdown.dir/syscall_breakdown.cpp.o"
+  "CMakeFiles/syscall_breakdown.dir/syscall_breakdown.cpp.o.d"
+  "syscall_breakdown"
+  "syscall_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syscall_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

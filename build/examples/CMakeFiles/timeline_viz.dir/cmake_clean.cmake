@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_viz.dir/timeline_viz.cpp.o"
+  "CMakeFiles/timeline_viz.dir/timeline_viz.cpp.o.d"
+  "timeline_viz"
+  "timeline_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

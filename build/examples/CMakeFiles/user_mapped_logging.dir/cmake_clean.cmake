@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_mapped_logging.dir/user_mapped_logging.cpp.o"
+  "CMakeFiles/user_mapped_logging.dir/user_mapped_logging.cpp.o.d"
+  "user_mapped_logging"
+  "user_mapped_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_mapped_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for user_mapped_logging.
+# This may be replaced when dependencies are built.

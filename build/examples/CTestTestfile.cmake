@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;13;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lock_contention_analysis "/root/repo/build/examples/lock_contention_analysis")
+set_tests_properties(example_lock_contention_analysis PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;14;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_flight_recorder "/root/repo/build/examples/flight_recorder")
+set_tests_properties(example_flight_recorder PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;15;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeline_viz "/root/repo/build/examples/timeline_viz")
+set_tests_properties(example_timeline_viz PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;16;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_syscall_breakdown "/root/repo/build/examples/syscall_breakdown")
+set_tests_properties(example_syscall_breakdown PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;17;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deadlock_detective "/root/repo/build/examples/deadlock_detective")
+set_tests_properties(example_deadlock_detective PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;18;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_memory_hotspots "/root/repo/build/examples/memory_hotspots")
+set_tests_properties(example_memory_hotspots PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;19;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_adaptive_tuning "/root/repo/build/examples/adaptive_tuning")
+set_tests_properties(example_adaptive_tuning PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;20;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_user_mapped_logging "/root/repo/build/examples/user_mapped_logging")
+set_tests_properties(example_user_mapped_logging PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;21;add_kexample;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_hpc_application "/root/repo/build/examples/hpc_application")
+set_tests_properties(example_hpc_application PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;9;add_test;/root/repo/examples/CMakeLists.txt;22;add_kexample;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/deadlock.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/deadlock.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/event_stats.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/event_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/event_stats.cpp.o.d"
+  "/root/repo/src/analysis/hwcounters.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/hwcounters.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/hwcounters.cpp.o.d"
+  "/root/repo/src/analysis/intervals.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/intervals.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/intervals.cpp.o.d"
+  "/root/repo/src/analysis/lister.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/lister.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/lister.cpp.o.d"
+  "/root/repo/src/analysis/lock_analysis.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/lock_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/lock_analysis.cpp.o.d"
+  "/root/repo/src/analysis/ltt_export.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/ltt_export.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/ltt_export.cpp.o.d"
+  "/root/repo/src/analysis/profile.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/profile.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/profile.cpp.o.d"
+  "/root/repo/src/analysis/reader.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/reader.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/reader.cpp.o.d"
+  "/root/repo/src/analysis/symbols.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/symbols.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/symbols.cpp.o.d"
+  "/root/repo/src/analysis/time_attribution.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/time_attribution.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/time_attribution.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/ktrace_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/ktrace_analysis.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ktrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ossim/CMakeFiles/ossim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

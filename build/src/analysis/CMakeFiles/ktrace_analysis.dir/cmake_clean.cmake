@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktrace_analysis.dir/deadlock.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/deadlock.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/event_stats.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/event_stats.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/hwcounters.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/hwcounters.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/intervals.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/intervals.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/lister.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/lister.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/lock_analysis.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/lock_analysis.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/ltt_export.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/ltt_export.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/profile.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/profile.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/reader.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/reader.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/symbols.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/symbols.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/time_attribution.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/time_attribution.cpp.o.d"
+  "CMakeFiles/ktrace_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/ktrace_analysis.dir/timeline.cpp.o.d"
+  "libktrace_analysis.a"
+  "libktrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktrace_baseline.dir/fixedlen_tracer.cpp.o"
+  "CMakeFiles/ktrace_baseline.dir/fixedlen_tracer.cpp.o.d"
+  "CMakeFiles/ktrace_baseline.dir/locking_tracer.cpp.o"
+  "CMakeFiles/ktrace_baseline.dir/locking_tracer.cpp.o.d"
+  "libktrace_baseline.a"
+  "libktrace_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktrace_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

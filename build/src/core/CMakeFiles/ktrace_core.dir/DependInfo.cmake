@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consumer.cpp" "src/core/CMakeFiles/ktrace_core.dir/consumer.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/consumer.cpp.o.d"
+  "/root/repo/src/core/control.cpp" "src/core/CMakeFiles/ktrace_core.dir/control.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/control.cpp.o.d"
+  "/root/repo/src/core/crash_dump.cpp" "src/core/CMakeFiles/ktrace_core.dir/crash_dump.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/crash_dump.cpp.o.d"
+  "/root/repo/src/core/decode.cpp" "src/core/CMakeFiles/ktrace_core.dir/decode.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/decode.cpp.o.d"
+  "/root/repo/src/core/facility.cpp" "src/core/CMakeFiles/ktrace_core.dir/facility.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/facility.cpp.o.d"
+  "/root/repo/src/core/filtered_sink.cpp" "src/core/CMakeFiles/ktrace_core.dir/filtered_sink.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/filtered_sink.cpp.o.d"
+  "/root/repo/src/core/flight_recorder.cpp" "src/core/CMakeFiles/ktrace_core.dir/flight_recorder.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/flight_recorder.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/ktrace_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/shm.cpp" "src/core/CMakeFiles/ktrace_core.dir/shm.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/shm.cpp.o.d"
+  "/root/repo/src/core/timestamp.cpp" "src/core/CMakeFiles/ktrace_core.dir/timestamp.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/timestamp.cpp.o.d"
+  "/root/repo/src/core/trace_file.cpp" "src/core/CMakeFiles/ktrace_core.dir/trace_file.cpp.o" "gcc" "src/core/CMakeFiles/ktrace_core.dir/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ktrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

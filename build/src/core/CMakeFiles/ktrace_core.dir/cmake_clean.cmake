@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktrace_core.dir/consumer.cpp.o"
+  "CMakeFiles/ktrace_core.dir/consumer.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/control.cpp.o"
+  "CMakeFiles/ktrace_core.dir/control.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/crash_dump.cpp.o"
+  "CMakeFiles/ktrace_core.dir/crash_dump.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/decode.cpp.o"
+  "CMakeFiles/ktrace_core.dir/decode.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/facility.cpp.o"
+  "CMakeFiles/ktrace_core.dir/facility.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/filtered_sink.cpp.o"
+  "CMakeFiles/ktrace_core.dir/filtered_sink.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/flight_recorder.cpp.o"
+  "CMakeFiles/ktrace_core.dir/flight_recorder.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/registry.cpp.o"
+  "CMakeFiles/ktrace_core.dir/registry.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/shm.cpp.o"
+  "CMakeFiles/ktrace_core.dir/shm.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/timestamp.cpp.o"
+  "CMakeFiles/ktrace_core.dir/timestamp.cpp.o.d"
+  "CMakeFiles/ktrace_core.dir/trace_file.cpp.o"
+  "CMakeFiles/ktrace_core.dir/trace_file.cpp.o.d"
+  "libktrace_core.a"
+  "libktrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libktrace_core.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ossim/events.cpp" "src/ossim/CMakeFiles/ossim.dir/events.cpp.o" "gcc" "src/ossim/CMakeFiles/ossim.dir/events.cpp.o.d"
+  "/root/repo/src/ossim/machine.cpp" "src/ossim/CMakeFiles/ossim.dir/machine.cpp.o" "gcc" "src/ossim/CMakeFiles/ossim.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ktrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

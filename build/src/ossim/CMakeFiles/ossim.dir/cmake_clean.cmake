@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim.dir/events.cpp.o"
+  "CMakeFiles/ossim.dir/events.cpp.o.d"
+  "CMakeFiles/ossim.dir/machine.cpp.o"
+  "CMakeFiles/ossim.dir/machine.cpp.o.d"
+  "libossim.a"
+  "libossim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

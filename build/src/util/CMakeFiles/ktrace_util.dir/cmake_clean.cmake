@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktrace_util.dir/cli.cpp.o"
+  "CMakeFiles/ktrace_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ktrace_util.dir/stats.cpp.o"
+  "CMakeFiles/ktrace_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ktrace_util.dir/table.cpp.o"
+  "CMakeFiles/ktrace_util.dir/table.cpp.o.d"
+  "libktrace_util.a"
+  "libktrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

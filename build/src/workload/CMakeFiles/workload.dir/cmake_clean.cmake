@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/hpc.cpp.o"
+  "CMakeFiles/workload.dir/hpc.cpp.o.d"
+  "CMakeFiles/workload.dir/micro.cpp.o"
+  "CMakeFiles/workload.dir/micro.cpp.o.d"
+  "CMakeFiles/workload.dir/sdet.cpp.o"
+  "CMakeFiles/workload.dir/sdet.cpp.o.d"
+  "libworkload.a"
+  "libworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

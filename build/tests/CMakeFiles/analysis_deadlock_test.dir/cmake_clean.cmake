@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_deadlock_test.dir/analysis_deadlock_test.cpp.o"
+  "CMakeFiles/analysis_deadlock_test.dir/analysis_deadlock_test.cpp.o.d"
+  "analysis_deadlock_test"
+  "analysis_deadlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_deadlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

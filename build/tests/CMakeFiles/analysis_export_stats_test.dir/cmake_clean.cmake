@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_export_stats_test.dir/analysis_export_stats_test.cpp.o"
+  "CMakeFiles/analysis_export_stats_test.dir/analysis_export_stats_test.cpp.o.d"
+  "analysis_export_stats_test"
+  "analysis_export_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_export_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_hwcounters_test.dir/analysis_hwcounters_test.cpp.o"
+  "CMakeFiles/analysis_hwcounters_test.dir/analysis_hwcounters_test.cpp.o.d"
+  "analysis_hwcounters_test"
+  "analysis_hwcounters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_hwcounters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_intervals_test.dir/analysis_intervals_test.cpp.o"
+  "CMakeFiles/analysis_intervals_test.dir/analysis_intervals_test.cpp.o.d"
+  "analysis_intervals_test"
+  "analysis_intervals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_intervals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_lock_test.dir/analysis_lock_test.cpp.o"
+  "CMakeFiles/analysis_lock_test.dir/analysis_lock_test.cpp.o.d"
+  "analysis_lock_test"
+  "analysis_lock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_reader_test.dir/analysis_reader_test.cpp.o"
+  "CMakeFiles/analysis_reader_test.dir/analysis_reader_test.cpp.o.d"
+  "analysis_reader_test"
+  "analysis_reader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_reader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_timeline_test.dir/analysis_timeline_test.cpp.o"
+  "CMakeFiles/analysis_timeline_test.dir/analysis_timeline_test.cpp.o.d"
+  "analysis_timeline_test"
+  "analysis_timeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_timeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

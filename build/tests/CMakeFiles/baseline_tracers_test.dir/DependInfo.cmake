@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_tracers_test.cpp" "tests/CMakeFiles/baseline_tracers_test.dir/baseline_tracers_test.cpp.o" "gcc" "tests/CMakeFiles/baseline_tracers_test.dir/baseline_tracers_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ktrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ktrace_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ktrace_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ossim/CMakeFiles/ossim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ktrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tracers_test.dir/baseline_tracers_test.cpp.o"
+  "CMakeFiles/baseline_tracers_test.dir/baseline_tracers_test.cpp.o.d"
+  "baseline_tracers_test"
+  "baseline_tracers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tracers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

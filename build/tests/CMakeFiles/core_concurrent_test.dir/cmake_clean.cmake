@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrent_test.dir/core_concurrent_test.cpp.o"
+  "CMakeFiles/core_concurrent_test.dir/core_concurrent_test.cpp.o.d"
+  "core_concurrent_test"
+  "core_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

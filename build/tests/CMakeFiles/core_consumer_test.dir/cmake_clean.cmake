@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_consumer_test.dir/core_consumer_test.cpp.o"
+  "CMakeFiles/core_consumer_test.dir/core_consumer_test.cpp.o.d"
+  "core_consumer_test"
+  "core_consumer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_consumer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

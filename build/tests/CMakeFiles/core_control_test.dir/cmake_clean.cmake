@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_control_test.dir/core_control_test.cpp.o"
+  "CMakeFiles/core_control_test.dir/core_control_test.cpp.o.d"
+  "core_control_test"
+  "core_control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_crash_dump_test.dir/core_crash_dump_test.cpp.o"
+  "CMakeFiles/core_crash_dump_test.dir/core_crash_dump_test.cpp.o.d"
+  "core_crash_dump_test"
+  "core_crash_dump_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_crash_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_facility_test.dir/core_facility_test.cpp.o"
+  "CMakeFiles/core_facility_test.dir/core_facility_test.cpp.o.d"
+  "core_facility_test"
+  "core_facility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_facility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_filtered_sink_test.dir/core_filtered_sink_test.cpp.o"
+  "CMakeFiles/core_filtered_sink_test.dir/core_filtered_sink_test.cpp.o.d"
+  "core_filtered_sink_test"
+  "core_filtered_sink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_filtered_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_flight_recorder_test.dir/core_flight_recorder_test.cpp.o"
+  "CMakeFiles/core_flight_recorder_test.dir/core_flight_recorder_test.cpp.o.d"
+  "core_flight_recorder_test"
+  "core_flight_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_flight_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mask_test.dir/core_mask_test.cpp.o"
+  "CMakeFiles/core_mask_test.dir/core_mask_test.cpp.o.d"
+  "core_mask_test"
+  "core_mask_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_packing_test.dir/core_packing_test.cpp.o"
+  "CMakeFiles/core_packing_test.dir/core_packing_test.cpp.o.d"
+  "core_packing_test"
+  "core_packing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_packing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

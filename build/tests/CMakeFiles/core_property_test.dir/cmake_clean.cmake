@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_property_test.dir/core_property_test.cpp.o"
+  "CMakeFiles/core_property_test.dir/core_property_test.cpp.o.d"
+  "core_property_test"
+  "core_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

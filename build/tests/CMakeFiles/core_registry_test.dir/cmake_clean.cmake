@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_registry_test.dir/core_registry_test.cpp.o"
+  "CMakeFiles/core_registry_test.dir/core_registry_test.cpp.o.d"
+  "core_registry_test"
+  "core_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_shm_test.dir/core_shm_test.cpp.o"
+  "CMakeFiles/core_shm_test.dir/core_shm_test.cpp.o.d"
+  "core_shm_test"
+  "core_shm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_shm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_timestamp_test.dir/core_timestamp_test.cpp.o"
+  "CMakeFiles/core_timestamp_test.dir/core_timestamp_test.cpp.o.d"
+  "core_timestamp_test"
+  "core_timestamp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for core_trace_file_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cpp.o"
+  "CMakeFiles/integration_pipeline_test.dir/integration_pipeline_test.cpp.o.d"
+  "integration_pipeline_test"
+  "integration_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

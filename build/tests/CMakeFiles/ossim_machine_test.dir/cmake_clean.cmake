@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim_machine_test.dir/ossim_machine_test.cpp.o"
+  "CMakeFiles/ossim_machine_test.dir/ossim_machine_test.cpp.o.d"
+  "ossim_machine_test"
+  "ossim_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

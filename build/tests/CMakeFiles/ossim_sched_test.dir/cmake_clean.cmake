@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ossim_sched_test.dir/ossim_sched_test.cpp.o"
+  "CMakeFiles/ossim_sched_test.dir/ossim_sched_test.cpp.o.d"
+  "ossim_sched_test"
+  "ossim_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ossim_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_cli_test.dir/tool_cli_test.cpp.o"
+  "CMakeFiles/tool_cli_test.dir/tool_cli_test.cpp.o.d"
+  "tool_cli_test"
+  "tool_cli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_hpc_test.dir/workload_hpc_test.cpp.o"
+  "CMakeFiles/workload_hpc_test.dir/workload_hpc_test.cpp.o.d"
+  "workload_hpc_test"
+  "workload_hpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_hpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

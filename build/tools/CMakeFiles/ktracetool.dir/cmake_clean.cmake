@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ktracetool.dir/ktracetool.cpp.o"
+  "CMakeFiles/ktracetool.dir/ktracetool.cpp.o.d"
+  "ktracetool"
+  "ktracetool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ktracetool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

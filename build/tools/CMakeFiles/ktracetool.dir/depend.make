@@ -1,0 +1,2 @@
+# Empty dependencies file for ktracetool.
+# This may be replaced when dependencies are built.
