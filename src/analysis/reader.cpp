@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <queue>
+#include <stdexcept>
 
 #include "core/trace_file.hpp"
+#include "util/table.hpp"
 
 namespace ktrace::analysis {
 
@@ -37,19 +40,46 @@ TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
                              const DecodeOptions& options) {
   TraceSet set;
   for (const std::string& path : paths) {
-    TraceFileReader reader(path);
-    const uint32_t processor = reader.meta().processorId;
+    TraceReaderOptions readerOptions;
+    readerOptions.salvage = options.salvage;
+    std::unique_ptr<TraceFileReader> reader;
+    if (options.salvage) {
+      // Post-mortem mode: a file whose header is gone is tallied, not
+      // fatal — the other processors' files are still worth decoding.
+      try {
+        reader = std::make_unique<TraceFileReader>(path, readerOptions);
+      } catch (const std::exception&) {
+        ++set.stats_.unreadableFiles;
+        continue;
+      }
+    } else {
+      reader = std::make_unique<TraceFileReader>(path, readerOptions);
+    }
+    const uint32_t processor = reader->meta().processorId;
     if (set.perProcessor_.size() <= processor) {
       set.perProcessor_.resize(processor + 1);
     }
-    set.ticksPerSecond_ = reader.meta().ticksPerSecond;
+    set.ticksPerSecond_ = reader->meta().ticksPerSecond;
     uint64_t tsBase = 0;
     BufferRecord record;
-    for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
-      if (!reader.readBuffer(k, record)) break;
+    for (uint64_t k = 0; k < reader->bufferCount(); ++k) {
+      if (!reader->readBuffer(k, record)) {
+        // Salvage offsets were validated during the scan; a failure here
+        // means the file changed underneath us — tolerate it.
+        if (options.salvage) break;
+        // Strict mode must not silently drop the rest of the file: a record
+        // inside bufferCount() only fails validation when it is damaged.
+        throw std::runtime_error(util::strprintf(
+            "%s: record %llu failed validation (damaged or CRC mismatch)",
+            path.c_str(), static_cast<unsigned long long>(k)));
+      }
       set.stats_.merge(decodeBuffer(record.words, record.seq, processor, tsBase,
                                     set.perProcessor_[processor], options));
     }
+    const SalvageReport& report = reader->salvageReport();
+    set.stats_.tornRecords += report.tornRecords;
+    set.stats_.corruptRecords += report.corruptRecords;
+    set.stats_.skippedBytes += report.skippedBytes;
   }
   return set;
 }

@@ -44,18 +44,31 @@ struct DecodeStats {
   uint64_t garbledBuffers = 0;  // buffers abandoned at a bad header
   uint64_t garbledWords = 0;    // words skipped due to garbling
 
+  // File-level damage tolerated by salvage mode (TraceSet::fromFiles with
+  // DecodeOptions::salvage); mirrors the per-file SalvageReport totals.
+  uint64_t tornRecords = 0;     // tail records cut short by a crash
+  uint64_t corruptRecords = 0;  // records failing their magic/CRC, skipped
+  uint64_t skippedBytes = 0;    // file bytes passed over while resynchronizing
+  uint64_t unreadableFiles = 0; // files whose header could not be read at all
+
   void merge(const DecodeStats& other) noexcept {
     events += other.events;
     fillers += other.fillers;
     fillerWords += other.fillerWords;
     garbledBuffers += other.garbledBuffers;
     garbledWords += other.garbledWords;
+    tornRecords += other.tornRecords;
+    corruptRecords += other.corruptRecords;
+    skippedBytes += other.skippedBytes;
+    unreadableFiles += other.unreadableFiles;
   }
 };
 
 struct DecodeOptions {
   bool keepFillers = false;   // emit filler events too (space accounting)
   bool keepAnchors = false;   // emit buffer-anchor events
+  bool salvage = false;       // fromFiles: tolerate torn/corrupt records and
+                              // unreadable files instead of stopping at them
 };
 
 /// Structural validity of a header at `offset` within a buffer of

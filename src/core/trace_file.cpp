@@ -1,8 +1,12 @@
 #include "core/trace_file.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "util/crc32.hpp"
 #include "util/table.hpp"
 
 namespace ktrace {
@@ -10,9 +14,14 @@ namespace ktrace {
 namespace {
 
 constexpr char kMagic[8] = {'K', '4', '2', 'T', 'R', 'C', 'F', '1'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;  // no per-record magic/CRC
+constexpr uint32_t kVersionCrc = 2;     // current: checksummed records
 constexpr uint64_t kHeaderBytes = 128;
 constexpr uint64_t kRecordHeaderBytes = 32;
+// "KREC" little-endian; the resynchronization point a salvage scan hunts for.
+constexpr uint32_t kRecordMagic = 0x4345524Bu;
+// A corrupt file header must not make the reader allocate absurd buffers.
+constexpr uint32_t kMaxBufferWords = 1u << 28;
 
 struct DiskFileHeader {
   char magic[8];
@@ -29,29 +38,62 @@ struct DiskFileHeader {
 };
 static_assert(sizeof(DiskFileHeader) == kHeaderBytes);
 
-struct DiskRecordHeader {
+struct DiskRecordHeaderV1 {
   uint64_t seq;
   uint64_t committedDelta;
   uint32_t processor;
   uint32_t flags;  // bit 0: commit mismatch
   uint64_t reserved;
 };
-static_assert(sizeof(DiskRecordHeader) == kRecordHeaderBytes);
+static_assert(sizeof(DiskRecordHeaderV1) == kRecordHeaderBytes);
+
+struct DiskRecordHeaderV2 {
+  uint32_t magic;  // kRecordMagic
+  uint32_t crc;    // CRC-32 over this header (crc = 0) then the payload
+  uint64_t seq;
+  uint64_t committedDelta;
+  uint32_t processor;
+  uint32_t flags;  // bit 0: commit mismatch
+};
+static_assert(sizeof(DiskRecordHeaderV2) == kRecordHeaderBytes);
+
+util::FileSystem& resolveFs(util::FileSystem* fs) {
+  return fs != nullptr ? *fs : util::FileSystem::stdio();
+}
+
+bool isTransientErrno(int e) noexcept {
+  return e == EINTR || e == EAGAIN || e == EWOULDBLOCK;
+}
 
 }  // namespace
 
-TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& meta)
-    : meta_(meta) {
+TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& meta,
+                                 util::FileSystem* fs)
+    : path_(path), meta_(meta) {
   if (meta_.bufferWords == 0) {
     throw std::invalid_argument("TraceFileWriter: bufferWords must be set");
   }
-  file_ = std::fopen(path.c_str(), "wb");
+  file_ = resolveFs(fs).open(path, "wb");
   if (file_ == nullptr) {
     throw std::runtime_error("TraceFileWriter: cannot open " + path);
   }
+}
+
+TraceFileWriter::~TraceFileWriter() {
+  if (file_ != nullptr) ensureHeader();  // best effort: an empty trace is still a valid file
+}
+
+void TraceFileWriter::recordError(const char* what) {
+  errno_ = file_->error() != 0 ? file_->error() : EIO;
+  errorMessage_ = util::strprintf("TraceFileWriter: %s (%s): %s", what, path_.c_str(),
+                                  std::strerror(errno_));
+}
+
+bool TraceFileWriter::ensureHeader() {
+  if (headerWritten_) return true;
   DiskFileHeader h{};
   std::memcpy(h.magic, kMagic, sizeof(kMagic));
-  h.version = kVersion;
+  h.version = kVersionCrc;
   h.processorId = meta_.processorId;
   h.numProcessors = meta_.numProcessors;
   h.bufferWords = meta_.bufferWords;
@@ -59,46 +101,68 @@ TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& m
   std::memcpy(&h.ticksPerSecondBits, &meta_.ticksPerSecond, sizeof(double));
   h.startWallNs = meta_.startWallNs;
   h.startTicks = meta_.startTicks;
-  if (std::fwrite(&h, sizeof(h), 1, file_) != 1) {
-    throw std::runtime_error("TraceFileWriter: header write failed");
+  if (file_->write(&h, sizeof(h)) != sizeof(h)) {
+    recordError("header write failed");
+    file_->seek(0, SEEK_SET);  // retry rewrites from the start
+    return false;
   }
+  headerWritten_ = true;
+  return true;
 }
 
-TraceFileWriter::~TraceFileWriter() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-void TraceFileWriter::writeBuffer(const BufferRecord& record) {
+bool TraceFileWriter::writeBuffer(const BufferRecord& record) {
   if (record.words.size() != meta_.bufferWords) {
     throw std::invalid_argument("TraceFileWriter: buffer size mismatch");
   }
-  DiskRecordHeader rh{};
+  if (!ensureHeader()) return false;
+  const int64_t start = file_->tell();
+  if (start < 0) {
+    recordError("tell failed");
+    return false;
+  }
+  DiskRecordHeaderV2 rh{};
+  rh.magic = kRecordMagic;
   rh.seq = record.seq;
   rh.committedDelta = record.committedDelta;
   rh.processor = record.processor;
   rh.flags = record.commitMismatch ? 1u : 0u;
-  if (std::fwrite(&rh, sizeof(rh), 1, file_) != 1 ||
-      std::fwrite(record.words.data(), sizeof(uint64_t), record.words.size(), file_) !=
-          record.words.size()) {
-    throw std::runtime_error("TraceFileWriter: record write failed");
+  const size_t payloadBytes = record.words.size() * sizeof(uint64_t);
+  uint32_t crc = util::crc32(&rh, sizeof(rh));  // rh.crc is still 0 here
+  crc = util::crc32(record.words.data(), payloadBytes, crc);
+  rh.crc = crc;
+  if (file_->write(&rh, sizeof(rh)) != sizeof(rh) ||
+      file_->write(record.words.data(), payloadBytes) != payloadBytes) {
+    recordError("record write failed");
+    // Rewind to the record boundary: a successful retry overwrites the
+    // torn bytes instead of leaving them mid-stream.
+    file_->seek(start, SEEK_SET);
+    return false;
   }
   ++buffersWritten_;
+  return true;
 }
 
-void TraceFileWriter::flush() {
-  if (file_ != nullptr) std::fflush(file_);
+bool TraceFileWriter::flush() {
+  bool ok = ensureHeader();
+  if (!file_->flush()) {
+    recordError("flush failed");
+    ok = false;
+  }
+  return ok;
 }
 
-TraceFileReader::TraceFileReader(const std::string& path) {
-  file_ = std::fopen(path.c_str(), "rb");
+TraceFileReader::TraceFileReader(const std::string& path,
+                                 const TraceReaderOptions& options)
+    : salvage_(options.salvage) {
+  file_ = resolveFs(options.fs).open(path, "rb");
   if (file_ == nullptr) {
     throw std::runtime_error("TraceFileReader: cannot open " + path);
   }
   DiskFileHeader h{};
-  if (std::fread(&h, sizeof(h), 1, file_) != 1 ||
-      std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 || h.version != kVersion) {
-    std::fclose(file_);
-    file_ = nullptr;
+  if (file_->read(&h, sizeof(h)) != sizeof(h) ||
+      std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 ||
+      (h.version != kVersionLegacy && h.version != kVersionCrc) ||
+      h.bufferWords == 0 || h.bufferWords > kMaxBufferWords) {
     throw std::runtime_error("TraceFileReader: bad header in " + path);
   }
   meta_.processorId = h.processorId;
@@ -109,57 +173,200 @@ TraceFileReader::TraceFileReader(const std::string& path) {
   meta_.startWallNs = h.startWallNs;
   meta_.startTicks = h.startTicks;
 
+  version_ = h.version;
+  report_.formatVersion = version_;
   headerBytes_ = kHeaderBytes;
   recordBytes_ = kRecordHeaderBytes + static_cast<uint64_t>(meta_.bufferWords) * 8;
-  std::fseek(file_, 0, SEEK_END);
-  const long size = std::ftell(file_);
-  bufferCount_ = (static_cast<uint64_t>(size) - headerBytes_) / recordBytes_;
+  const int64_t size = file_->size();
+  if (size < static_cast<int64_t>(headerBytes_)) {
+    bufferCount_ = 0;  // shorter than the header: nothing to index
+  } else if (salvage_) {
+    scanSalvage(size);
+  } else {
+    const uint64_t body = static_cast<uint64_t>(size) - headerBytes_;
+    if (body % recordBytes_ != 0) {
+      // A partial trailing record means a crash or truncation; strict mode
+      // refuses rather than silently reading the intact prefix.
+      throw std::runtime_error(util::strprintf(
+          "TraceFileReader: %s truncated mid-record (%llu trailing byte(s))",
+          path.c_str(), static_cast<unsigned long long>(body % recordBytes_)));
+    }
+    bufferCount_ = body / recordBytes_;
+  }
 }
 
-TraceFileReader::~TraceFileReader() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+TraceFileReader::~TraceFileReader() = default;
 
-bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
-  if (k >= bufferCount_) return false;
-  const uint64_t offset = headerBytes_ + k * recordBytes_;
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) return false;
-  DiskRecordHeader rh{};
-  if (std::fread(&rh, sizeof(rh), 1, file_) != 1) return false;
+bool TraceFileReader::readRecordAt(int64_t offset, BufferRecord& out, bool verify) {
+  if (!file_->seek(offset, SEEK_SET)) return false;
+  const size_t payloadBytes = static_cast<size_t>(meta_.bufferWords) * sizeof(uint64_t);
+  if (version_ == kVersionLegacy) {
+    DiskRecordHeaderV1 rh{};
+    if (file_->read(&rh, sizeof(rh)) != sizeof(rh)) return false;
+    out.seq = rh.seq;
+    out.committedDelta = rh.committedDelta;
+    out.processor = rh.processor;
+    out.commitMismatch = (rh.flags & 1u) != 0;
+    out.words.resize(meta_.bufferWords);
+    return file_->read(out.words.data(), payloadBytes) == payloadBytes;
+  }
+  DiskRecordHeaderV2 rh{};
+  if (file_->read(&rh, sizeof(rh)) != sizeof(rh)) return false;
+  if (rh.magic != kRecordMagic) return false;
   out.seq = rh.seq;
   out.committedDelta = rh.committedDelta;
   out.processor = rh.processor;
   out.commitMismatch = (rh.flags & 1u) != 0;
   out.words.resize(meta_.bufferWords);
-  return std::fread(out.words.data(), sizeof(uint64_t), out.words.size(), file_) ==
-         out.words.size();
+  if (file_->read(out.words.data(), payloadBytes) != payloadBytes) return false;
+  if (verify) {
+    DiskRecordHeaderV2 clean = rh;
+    clean.crc = 0;
+    uint32_t crc = util::crc32(&clean, sizeof(clean));
+    crc = util::crc32(out.words.data(), payloadBytes, crc);
+    if (crc != rh.crc) return false;
+  }
+  return true;
+}
+
+void TraceFileReader::scanSalvage(int64_t fileSize) {
+  const int64_t rb = static_cast<int64_t>(recordBytes_);
+  int64_t offset = static_cast<int64_t>(headerBytes_);
+
+  if (version_ == kVersionLegacy) {
+    // No per-record magic/CRC: records sit at fixed offsets, and the only
+    // detectable damage is a tail cut mid-record.
+    while (offset + rb <= fileSize) {
+      index_.push_back(offset);
+      ++report_.goodRecords;
+      offset += rb;
+    }
+    if (offset < fileSize) ++report_.tornRecords;
+    bufferCount_ = index_.size();
+    return;
+  }
+
+  // Scan forward, resynchronizing at the next valid record magic after
+  // damage. A candidate only counts if its whole record checks out, so a
+  // stray "KREC" inside payload bytes cannot fool the scan.
+  constexpr size_t kChunk = 64 * 1024;
+  const unsigned char kMagicBytes[4] = {'K', 'R', 'E', 'C'};
+  std::vector<unsigned char> chunk;
+  BufferRecord scratch;
+  while (offset < fileSize) {
+    if (offset + rb > fileSize) {
+      ++report_.tornRecords;  // crash mid-write: partial tail record
+      break;
+    }
+    if (readRecordAt(offset, scratch, /*verify=*/true)) {
+      index_.push_back(offset);
+      ++report_.goodRecords;
+      offset += rb;
+      continue;
+    }
+    ++report_.corruptRecords;
+    // Hunt for the next record that validates, starting one byte in.
+    int64_t next = -1;
+    int64_t searchPos = offset + 1;
+    while (next < 0 && searchPos + 4 <= fileSize) {
+      const size_t want =
+          std::min<size_t>(kChunk, static_cast<size_t>(fileSize - searchPos));
+      chunk.resize(want);
+      if (!file_->seek(searchPos, SEEK_SET)) break;
+      const size_t got = file_->read(chunk.data(), want);
+      if (got < 4) break;
+      for (size_t i = 0; i + 4 <= got; ++i) {
+        if (std::memcmp(chunk.data() + i, kMagicBytes, 4) != 0) continue;
+        const int64_t candidate = searchPos + static_cast<int64_t>(i);
+        if (candidate + rb > fileSize) continue;
+        if (readRecordAt(candidate, scratch, /*verify=*/true)) {
+          next = candidate;
+          break;
+        }
+      }
+      if (got < want) break;
+      searchPos += static_cast<int64_t>(got) - 3;  // overlap a split magic
+    }
+    if (next < 0) {
+      report_.skippedBytes += static_cast<uint64_t>(fileSize - offset);
+      break;
+    }
+    report_.skippedBytes += static_cast<uint64_t>(next - offset);
+    offset = next;
+  }
+  bufferCount_ = index_.size();
+}
+
+bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
+  if (k >= bufferCount_) return false;
+  if (salvage_) {
+    // Offsets were validated during the scan; skip the redundant CRC pass.
+    return readRecordAt(index_[k], out, /*verify=*/false);
+  }
+  const int64_t offset = static_cast<int64_t>(headerBytes_ + k * recordBytes_);
+  return readRecordAt(offset, out, /*verify=*/version_ == kVersionCrc);
 }
 
 FileSink::FileSink(std::string directory, std::string baseName,
-                   const TraceFileMeta& commonMeta)
+                   const TraceFileMeta& commonMeta, util::FileSystem* fs)
     : directory_(std::move(directory)), baseName_(std::move(baseName)),
-      commonMeta_(commonMeta), writers_(commonMeta.numProcessors) {}
+      commonMeta_(commonMeta), fs_(fs), writers_(commonMeta.numProcessors) {}
 
 std::string FileSink::pathFor(uint32_t processor) const {
   return util::strprintf("%s/%s.cpu%u.ktrc", directory_.c_str(), baseName_.c_str(),
                          processor);
 }
 
+void FileSink::degrade(const std::string& message) {
+  degraded_ = true;
+  if (errorMessage_.empty()) errorMessage_ = message;
+}
+
 void FileSink::onBuffer(BufferRecord&& record) {
-  if (record.processor >= writers_.size()) return;
+  if (record.processor >= writers_.size()) {
+    ++droppedInvalidProcessor_;
+    return;
+  }
+  if (degraded_) {
+    ++droppedRecords_;
+    return;
+  }
   auto& writer = writers_[record.processor];
   if (writer == nullptr) {
     TraceFileMeta meta = commonMeta_;
     meta.processorId = record.processor;
-    writer = std::make_unique<TraceFileWriter>(pathFor(record.processor), meta);
+    try {
+      writer = std::make_unique<TraceFileWriter>(pathFor(record.processor), meta, fs_);
+    } catch (const std::exception& e) {
+      degrade(e.what());
+      ++droppedRecords_;
+      return;
+    }
   }
-  writer->writeBuffer(record);
+  // This runs on the consumer thread, fed by the lockless logging hot
+  // path — it must not throw. Retry transient errors with bounded
+  // backoff, then degrade to counting drops.
+  constexpr int kMaxAttempts = 4;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (writer->writeBuffer(record)) return;
+    if (!isTransientErrno(writer->error())) break;
+    if (attempt + 1 < kMaxAttempts) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
+    }
+  }
+  degrade(writer->errorMessage());
+  ++droppedRecords_;
 }
 
-void FileSink::flush() {
+bool FileSink::flush() {
+  bool ok = !degraded_;
   for (auto& writer : writers_) {
-    if (writer != nullptr) writer->flush();
+    if (writer != nullptr && !writer->flush()) {
+      ok = false;
+      if (errorMessage_.empty()) errorMessage_ = writer->errorMessage();
+    }
   }
+  return ok;
 }
 
 }  // namespace ktrace

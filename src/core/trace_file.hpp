@@ -10,15 +10,25 @@
 //   TraceFileHeader               (128 bytes)
 //   repeat: BufferRecordHeader    (32 bytes)
 //           bufferWords * 8 bytes of trace words
+//
+// Format v2 hardens the record stream for post-mortem use — the paper's
+// headline scenario is recovering trace buffers from a crashed system, so
+// a torn tail record or a corrupted run of bytes must cost at most the
+// records it touches, never the file:
+//   - every record header starts with a 4-byte magic ("KREC"), and
+//   - carries a CRC-32 over the header (crc field zeroed) and payload.
+// v1 files (no magic, no CRC) are still read; corruption in them is only
+// detectable structurally during decode.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/sink.hpp"
 #include "core/timestamp.hpp"
+#include "util/faultfs.hpp"
 
 namespace ktrace {
 
@@ -32,30 +42,74 @@ struct TraceFileMeta {
   uint64_t startTicks = 0;   // facility clock at the same instant
 };
 
+/// What a salvage scan found in one trace file. A clean file has only
+/// good records; everything else measures damage the reader worked around.
+struct SalvageReport {
+  uint32_t formatVersion = 0;
+  uint64_t goodRecords = 0;
+  uint64_t tornRecords = 0;     // tail record cut short (crash / disk full)
+  uint64_t corruptRecords = 0;  // failed magic/CRC check, skipped over
+  uint64_t skippedBytes = 0;    // bytes passed over while resynchronizing
+
+  bool clean() const noexcept {
+    return tornRecords == 0 && corruptRecords == 0 && skippedBytes == 0;
+  }
+};
+
+struct TraceReaderOptions {
+  /// Tolerate damage instead of stopping at it: a truncated tail record is
+  /// dropped, and after a record failing its magic/CRC the reader
+  /// resynchronizes at the next valid record magic. Damage is tallied in
+  /// salvageReport().
+  bool salvage = false;
+  /// File I/O goes through this (fault injection in tests); defaults to
+  /// util::FileSystem::stdio().
+  util::FileSystem* fs = nullptr;
+};
+
 class TraceFileWriter {
  public:
-  TraceFileWriter(const std::string& path, const TraceFileMeta& meta);
+  TraceFileWriter(const std::string& path, const TraceFileMeta& meta,
+                  util::FileSystem* fs = nullptr);
   ~TraceFileWriter();
 
   TraceFileWriter(const TraceFileWriter&) = delete;
   TraceFileWriter& operator=(const TraceFileWriter&) = delete;
 
   /// Appends one buffer record. record.words.size() must equal
-  /// meta.bufferWords.
-  void writeBuffer(const BufferRecord& record);
+  /// meta.bufferWords (std::invalid_argument otherwise — a programming
+  /// error). Returns false on I/O failure; the file position is rewound to
+  /// the record boundary so a retry overwrites the torn bytes instead of
+  /// compounding them. error()/errorMessage() describe the failure.
+  bool writeBuffer(const BufferRecord& record);
 
   uint64_t buffersWritten() const noexcept { return buffersWritten_; }
-  void flush();
+
+  /// Flushes buffered bytes (writing the file header first if no record
+  /// has been written yet). Returns false on failure; see errorMessage().
+  bool flush();
+
+  /// errno of the last failed write/flush (0 if none).
+  int error() const noexcept { return errno_; }
+  const std::string& errorMessage() const noexcept { return errorMessage_; }
 
  private:
-  std::FILE* file_ = nullptr;
+  bool ensureHeader();
+  void recordError(const char* what);
+
+  std::unique_ptr<util::File> file_;
+  std::string path_;
   TraceFileMeta meta_;
   uint64_t buffersWritten_ = 0;
+  bool headerWritten_ = false;
+  int errno_ = 0;
+  std::string errorMessage_;
 };
 
 class TraceFileReader {
  public:
-  explicit TraceFileReader(const std::string& path);
+  explicit TraceFileReader(const std::string& path,
+                           const TraceReaderOptions& options = {});
   ~TraceFileReader();
 
   TraceFileReader(const TraceFileReader&) = delete;
@@ -63,35 +117,73 @@ class TraceFileReader {
 
   const TraceFileMeta& meta() const noexcept { return meta_; }
   uint64_t bufferCount() const noexcept { return bufferCount_; }
+  uint32_t formatVersion() const noexcept { return version_; }
+
+  /// Damage tally. In salvage mode this reflects the construction-time
+  /// scan; in strict mode only formatVersion is meaningful.
+  const SalvageReport& salvageReport() const noexcept { return report_; }
 
   /// Random access: read the k-th buffer record without scanning. Returns
-  /// false past the end or on a short/corrupt record.
+  /// false past the end or on a short/corrupt record (v2: magic/CRC
+  /// verified). In salvage mode k indexes the validated records, so
+  /// corrupt and torn records are already excluded.
   bool readBuffer(uint64_t k, BufferRecord& out);
 
  private:
-  std::FILE* file_ = nullptr;
+  bool readRecordAt(int64_t offset, BufferRecord& out, bool verify);
+  void scanSalvage(int64_t fileSize);
+
+  std::unique_ptr<util::File> file_;
   TraceFileMeta meta_;
   uint64_t bufferCount_ = 0;
   uint64_t recordBytes_ = 0;
   uint64_t headerBytes_ = 0;
+  uint32_t version_ = 0;
+  bool salvage_ = false;
+  std::vector<int64_t> index_;  // salvage mode: offsets of validated records
+  SalvageReport report_;
 };
 
 /// A FileSink writes each processor's buffers to "<dir>/<base>.cpuN.ktrc".
+///
+/// onBuffer never throws into the consumer: transient write errors
+/// (EINTR/EAGAIN) are retried with bounded backoff; persistent failure
+/// flips the sink into a degraded state that counts dropped records
+/// instead of tearing the trace further. flush() surfaces the first error.
 class FileSink final : public Sink {
  public:
-  FileSink(std::string directory, std::string baseName, const TraceFileMeta& commonMeta);
+  FileSink(std::string directory, std::string baseName, const TraceFileMeta& commonMeta,
+           util::FileSystem* fs = nullptr);
 
   void onBuffer(BufferRecord&& record) override;
-  void flush();
+
+  /// Returns false if the sink is degraded or any writer failed to flush;
+  /// errorMessage() holds the first error observed.
+  bool flush();
 
   /// Path used for a given processor.
   std::string pathFor(uint32_t processor) const;
 
+  /// True once a write has permanently failed; subsequent records are
+  /// counted in droppedRecords() and discarded.
+  bool degraded() const noexcept { return degraded_; }
+  uint64_t droppedRecords() const noexcept { return droppedRecords_; }
+  /// Records whose processor id had no writer slot (>= numProcessors).
+  uint64_t droppedInvalidProcessor() const noexcept { return droppedInvalidProcessor_; }
+  const std::string& errorMessage() const noexcept { return errorMessage_; }
+
  private:
+  void degrade(const std::string& message);
+
   std::string directory_;
   std::string baseName_;
   TraceFileMeta commonMeta_;
+  util::FileSystem* fs_;
   std::vector<std::unique_ptr<TraceFileWriter>> writers_;
+  bool degraded_ = false;
+  uint64_t droppedRecords_ = 0;
+  uint64_t droppedInvalidProcessor_ = 0;
+  std::string errorMessage_;
 };
 
 }  // namespace ktrace

@@ -1,0 +1,34 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace ktrace::util {
+
+namespace {
+
+constexpr std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = makeCrcTable();
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t len, uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ktrace::util

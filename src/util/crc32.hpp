@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding
+// on-disk trace records (trace-file format v2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ktrace::util {
+
+/// CRC-32 of `len` bytes at `data`. `seed` chains incremental computation:
+/// crc32(b, n, crc32(a, m)) == crc32(concat(a, b), m + n).
+uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) noexcept;
+
+}  // namespace ktrace::util

@@ -1,0 +1,195 @@
+#include "util/faultfs.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace ktrace::util {
+
+namespace {
+
+class StdioFile final : public File {
+ public:
+  explicit StdioFile(std::FILE* f) : file_(f) {}
+  ~StdioFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  size_t read(void* buf, size_t bytes) override {
+    const size_t n = std::fread(buf, 1, bytes, file_);
+    if (n < bytes && std::ferror(file_)) errno_ = errno != 0 ? errno : EIO;
+    return n;
+  }
+
+  size_t write(const void* buf, size_t bytes) override {
+    const size_t n = std::fwrite(buf, 1, bytes, file_);
+    if (n < bytes) errno_ = errno != 0 ? errno : EIO;
+    return n;
+  }
+
+  bool seek(int64_t offset, int whence) override {
+    if (::fseeko(file_, static_cast<off_t>(offset), whence) != 0) {
+      errno_ = errno;
+      return false;
+    }
+    return true;
+  }
+
+  int64_t tell() override {
+    const off_t pos = ::ftello(file_);
+    if (pos < 0) errno_ = errno;
+    return static_cast<int64_t>(pos);
+  }
+
+  int64_t size() override {
+    const int64_t pos = tell();
+    if (pos < 0) return -1;
+    if (!seek(0, SEEK_END)) return -1;
+    const int64_t end = tell();
+    if (!seek(pos, SEEK_SET)) return -1;
+    return end;
+  }
+
+  bool flush() override {
+    if (std::fflush(file_) != 0) {
+      errno_ = errno;
+      return false;
+    }
+    return true;
+  }
+
+  int error() const noexcept override { return errno_; }
+
+ private:
+  std::FILE* file_;
+  int errno_ = 0;
+};
+
+class StdioFileSystem final : public FileSystem {
+ public:
+  std::unique_ptr<File> open(const std::string& path, const char* mode) override {
+    std::FILE* f = std::fopen(path.c_str(), mode);
+    if (f == nullptr) return nullptr;
+    return std::make_unique<StdioFile>(f);
+  }
+};
+
+class FaultFile final : public File {
+ public:
+  FaultFile(std::unique_ptr<File> base, const FaultPlan& plan)
+      : base_(std::move(base)), plan_(plan), transientLeft_(plan.transientErrors) {
+    if (plan_.randomFlips > 0 && plan_.randomFlipWindow > plan_.randomFlipStart) {
+      Rng rng(plan_.seed);
+      const uint64_t span =
+          static_cast<uint64_t>(plan_.randomFlipWindow - plan_.randomFlipStart);
+      for (int i = 0; i < plan_.randomFlips; ++i) {
+        flipOffsets_.push_back(static_cast<int64_t>(plan_.randomFlipStart +
+                                                    static_cast<int64_t>(rng.nextBelow(span))));
+        flipBits_.push_back(static_cast<int>(rng.nextBelow(8)));
+      }
+    }
+  }
+
+  size_t read(void* buf, size_t bytes) override {
+    size_t allowed = bytes;
+    if (plan_.truncateReadsAt >= 0) {
+      const int64_t pos = base_->tell();
+      if (pos < 0) return 0;
+      if (pos >= plan_.truncateReadsAt) return 0;
+      allowed = std::min<size_t>(bytes, static_cast<size_t>(plan_.truncateReadsAt - pos));
+    }
+    const size_t n = base_->read(buf, allowed);
+    errno_ = base_->error();
+    return n;
+  }
+
+  size_t write(const void* buf, size_t bytes) override {
+    if (transientLeft_ > 0) {
+      --transientLeft_;
+      errno_ = EAGAIN;
+      return 0;
+    }
+    const int64_t pos = base_->tell();
+    if (pos < 0) {
+      errno_ = base_->error();
+      return 0;
+    }
+    size_t allowed = bytes;
+    bool enospc = false;
+    if (plan_.enospcAtOffset >= 0 && pos + static_cast<int64_t>(bytes) > plan_.enospcAtOffset) {
+      allowed = pos >= plan_.enospcAtOffset
+                    ? 0
+                    : static_cast<size_t>(plan_.enospcAtOffset - pos);
+      enospc = true;
+    }
+    std::vector<unsigned char> tmp(static_cast<const unsigned char*>(buf),
+                                   static_cast<const unsigned char*>(buf) + allowed);
+    corrupt(tmp, pos);
+    const size_t n = allowed == 0 ? 0 : base_->write(tmp.data(), allowed);
+    if (n < bytes) errno_ = (n < allowed) ? base_->error() : (enospc ? ENOSPC : EIO);
+    return n;
+  }
+
+  bool seek(int64_t offset, int whence) override {
+    const bool ok = base_->seek(offset, whence);
+    if (!ok) errno_ = base_->error();
+    return ok;
+  }
+
+  int64_t tell() override { return base_->tell(); }
+
+  int64_t size() override {
+    const int64_t s = base_->size();
+    if (s < 0) return s;
+    return plan_.truncateReadsAt >= 0 ? std::min(s, plan_.truncateReadsAt) : s;
+  }
+
+  bool flush() override {
+    const bool ok = base_->flush();
+    if (!ok) errno_ = base_->error();
+    return ok;
+  }
+
+  int error() const noexcept override { return errno_; }
+
+ private:
+  void corrupt(std::vector<unsigned char>& bytes, int64_t pos) {
+    if (bytes.empty()) return;
+    const int64_t end = pos + static_cast<int64_t>(bytes.size());
+    if (plan_.flipBitAtOffset >= pos && plan_.flipBitAtOffset < end) {
+      bytes[static_cast<size_t>(plan_.flipBitAtOffset - pos)] ^=
+          static_cast<unsigned char>(1u << (plan_.flipBit & 7));
+    }
+    for (size_t i = 0; i < flipOffsets_.size(); ++i) {
+      if (flipOffsets_[i] >= pos && flipOffsets_[i] < end) {
+        bytes[static_cast<size_t>(flipOffsets_[i] - pos)] ^=
+            static_cast<unsigned char>(1u << flipBits_[i]);
+      }
+    }
+  }
+
+  std::unique_ptr<File> base_;
+  FaultPlan plan_;
+  int transientLeft_ = 0;
+  std::vector<int64_t> flipOffsets_;
+  std::vector<int> flipBits_;
+  int errno_ = 0;
+};
+
+}  // namespace
+
+FileSystem& FileSystem::stdio() {
+  static StdioFileSystem fs;
+  return fs;
+}
+
+std::unique_ptr<File> FaultInjectingFileSystem::open(const std::string& path,
+                                                     const char* mode) {
+  std::unique_ptr<File> base = base_->open(path, mode);
+  if (base == nullptr) return nullptr;
+  return std::make_unique<FaultFile>(std::move(base), plan_);
+}
+
+}  // namespace ktrace::util

@@ -1,0 +1,99 @@
+// Pluggable file I/O with deterministic fault injection.
+//
+// The trace file writer/reader talk to this narrow File interface instead
+// of calling stdio directly, so tests can interpose a
+// FaultInjectingFileSystem and prove the whole pipeline survives short
+// writes, ENOSPC, bit flips, and truncation — deterministically, from a
+// seed, with no real disk faults. Production code pays one virtual call
+// per (buffered) I/O operation, which is noise next to the syscall under
+// it; the default FileSystem::stdio() is a plain passthrough.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ktrace::util {
+
+/// A seekable byte stream. All operations record the errno of the last
+/// failure in error(); a short read is EOF, a short write is an error.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Returns bytes read (< bytes at EOF or on error).
+  virtual size_t read(void* buf, size_t bytes) = 0;
+  /// Returns bytes written (< bytes on error; error() says why).
+  virtual size_t write(const void* buf, size_t bytes) = 0;
+  /// whence is SEEK_SET / SEEK_CUR / SEEK_END. 64-bit clean.
+  virtual bool seek(int64_t offset, int whence) = 0;
+  virtual int64_t tell() = 0;
+  /// Total size in bytes (-1 on error). Restores the current position.
+  virtual int64_t size() = 0;
+  virtual bool flush() = 0;
+  /// errno of the last failed operation (0 if none has failed).
+  virtual int error() const noexcept = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+  /// nullptr on failure (errno holds the reason), like fopen.
+  virtual std::unique_ptr<File> open(const std::string& path, const char* mode) = 0;
+  /// Process-wide passthrough-to-stdio instance.
+  static FileSystem& stdio();
+};
+
+/// What a FaultInjectingFileSystem does to the files opened through it.
+/// All offsets are absolute byte positions within the file. Defaults are
+/// "inject nothing".
+struct FaultPlan {
+  /// Fail the first N write() calls outright (nothing written, EAGAIN) —
+  /// the transient-error class a sink is expected to retry through.
+  int transientErrors = 0;
+
+  /// The file cannot grow past this offset: a write crossing it is cut
+  /// short at the boundary (bytes that fit are written) and fails with
+  /// ENOSPC — a disk filling up mid-record.
+  int64_t enospcAtOffset = -1;
+
+  /// Flip bit `flipBit` of the byte written at exactly this offset — a
+  /// single-event corruption the record CRC must catch.
+  int64_t flipBitAtOffset = -1;
+  int flipBit = 0;
+
+  /// Reads behave as if the file ends at this offset — a tail truncated
+  /// by a crash, without touching the real file.
+  int64_t truncateReadsAt = -1;
+
+  /// Seeded random corruption: flip `randomFlips` bits at offsets drawn
+  /// deterministically from `seed`, uniform in
+  /// [randomFlipStart, randomFlipWindow). The same seed always corrupts
+  /// the same bits, so failures reproduce exactly.
+  uint64_t seed = 0;
+  int randomFlips = 0;
+  int64_t randomFlipStart = 0;
+  int64_t randomFlipWindow = 0;  // exclusive upper bound; must be > start when randomFlips > 0
+};
+
+/// Wraps another FileSystem (stdio by default) and applies a FaultPlan to
+/// every file opened through it. Per-file fault state (transient-error
+/// budget, random flip offsets) is reset at each open, so the injection
+/// sequence is a pure function of the plan.
+class FaultInjectingFileSystem final : public FileSystem {
+ public:
+  explicit FaultInjectingFileSystem(FaultPlan plan, FileSystem* base = nullptr)
+      : plan_(plan), base_(base != nullptr ? base : &FileSystem::stdio()) {}
+
+  std::unique_ptr<File> open(const std::string& path, const char* mode) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  FileSystem* base_;
+};
+
+}  // namespace ktrace::util

@@ -1,0 +1,206 @@
+// Deterministic fault injection against the trace-file write path: the
+// FileSink must survive transient errors, degrade gracefully on ENOSPC
+// instead of throwing into the consumer, and every injected corruption
+// must be caught by the record CRC on the way back in.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+
+#include "core/trace_file.hpp"
+#include "util/faultfs.hpp"
+
+namespace ktrace {
+namespace {
+
+constexpr uint64_t kHeaderBytes = 128;
+constexpr uint32_t kWords = 16;
+constexpr uint64_t kRecordBytes = 32 + kWords * 8;  // 160
+
+class FileSinkFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static BufferRecord makeRecord(uint32_t processor, uint64_t seq) {
+    BufferRecord r;
+    r.processor = processor;
+    r.seq = seq;
+    r.committedDelta = kWords;
+    r.words.resize(kWords);
+    for (uint32_t i = 0; i < kWords; ++i) r.words[i] = seq * 1000 + i;
+    return r;
+  }
+
+  static TraceFileMeta meta() {
+    TraceFileMeta m;
+    m.numProcessors = 1;
+    m.bufferWords = kWords;
+    return m;
+  }
+
+  static std::string readBytes(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileSinkFaultTest, TransientWriteErrorsAreRetried) {
+  util::FaultPlan plan;
+  plan.transientErrors = 2;  // first two write() calls fail with EAGAIN
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  for (uint64_t s = 0; s < 3; ++s) sink.onBuffer(makeRecord(0, s));
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_TRUE(sink.flush());
+
+  TraceFileReader reader(sink.pathFor(0));
+  EXPECT_EQ(reader.bufferCount(), 3u);
+  BufferRecord rec;
+  for (uint64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(reader.readBuffer(k, rec)) << "record " << k;  // CRC verified
+    EXPECT_EQ(rec.seq, k);
+  }
+}
+
+TEST_F(FileSinkFaultTest, EnospcDegradesAndCountsDrops) {
+  util::FaultPlan plan;
+  // Disk fills mid-way through the second record.
+  plan.enospcAtOffset = static_cast<int64_t>(kHeaderBytes + kRecordBytes + 80);
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  for (uint64_t s = 0; s < 4; ++s) sink.onBuffer(makeRecord(0, s));
+
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_EQ(sink.droppedRecords(), 3u);  // record 1 failed, 2 and 3 shed
+  EXPECT_FALSE(sink.flush());
+  EXPECT_NE(sink.errorMessage().find("record write failed"), std::string::npos);
+
+  // The file that made it to "disk" salvages to exactly the records that
+  // were fully written, plus one torn tail from the short write.
+  TraceReaderOptions options;
+  options.salvage = true;
+  TraceFileReader reader(sink.pathFor(0), options);
+  const SalvageReport& r = reader.salvageReport();
+  EXPECT_EQ(r.goodRecords, 1u);
+  EXPECT_EQ(r.tornRecords, 1u);
+  EXPECT_EQ(r.corruptRecords, 0u);
+  BufferRecord rec;
+  ASSERT_TRUE(reader.readBuffer(0, rec));
+  EXPECT_EQ(rec.seq, 0u);
+}
+
+TEST_F(FileSinkFaultTest, InvalidProcessorRecordsCounted) {
+  FileSink sink(dir_.string(), "t", meta());
+  sink.onBuffer(makeRecord(0, 0));
+  sink.onBuffer(makeRecord(7, 1));  // no writer slot for cpu 7
+  sink.onBuffer(makeRecord(9, 2));
+  EXPECT_EQ(sink.droppedInvalidProcessor(), 2u);
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_TRUE(sink.flush());
+}
+
+TEST_F(FileSinkFaultTest, DeterministicBitFlipCaughtByCrc) {
+  util::FaultPlan plan;
+  plan.flipBitAtOffset = static_cast<int64_t>(kHeaderBytes + 32 + 8);
+  plan.flipBit = 5;
+  util::FaultInjectingFileSystem ffs(plan);
+  {
+    TraceFileWriter writer(dir_.string() + "/flip.ktrc", meta(), &ffs);
+    for (uint64_t s = 0; s < 3; ++s) {
+      EXPECT_TRUE(writer.writeBuffer(makeRecord(0, s)));  // flip is silent
+    }
+  }
+  TraceReaderOptions options;
+  options.salvage = true;
+  TraceFileReader reader(dir_.string() + "/flip.ktrc", options);
+  const SalvageReport& r = reader.salvageReport();
+  EXPECT_EQ(r.goodRecords, 2u);
+  EXPECT_EQ(r.corruptRecords, 1u);
+  EXPECT_EQ(r.skippedBytes, kRecordBytes);
+}
+
+TEST_F(FileSinkFaultTest, SeededCorruptionIsDeterministic) {
+  const int64_t fileBytes = static_cast<int64_t>(kHeaderBytes + 5 * kRecordBytes);
+  util::FaultPlan plan;
+  plan.seed = 7;
+  plan.randomFlips = 4;
+  plan.randomFlipStart = static_cast<int64_t>(kHeaderBytes);
+  plan.randomFlipWindow = fileBytes;
+
+  auto writeThrough = [&](const std::string& p, uint64_t seed) {
+    util::FaultPlan local = plan;
+    local.seed = seed;
+    util::FaultInjectingFileSystem ffs(local);
+    TraceFileWriter writer(p, meta(), &ffs);
+    for (uint64_t s = 0; s < 5; ++s) EXPECT_TRUE(writer.writeBuffer(makeRecord(0, s)));
+    EXPECT_TRUE(writer.flush());
+  };
+  writeThrough(dir_.string() + "/a.ktrc", 7);
+  writeThrough(dir_.string() + "/b.ktrc", 7);
+  writeThrough(dir_.string() + "/c.ktrc", 8);
+
+  const std::string a = readBytes(dir_.string() + "/a.ktrc");
+  EXPECT_EQ(a, readBytes(dir_.string() + "/b.ktrc"));  // same seed, same damage
+  EXPECT_NE(a, readBytes(dir_.string() + "/c.ktrc"));  // different seed, different damage
+
+  // And the damage is real: the salvage scan flags it, deterministically.
+  TraceReaderOptions options;
+  options.salvage = true;
+  TraceFileReader ra(dir_.string() + "/a.ktrc", options);
+  TraceFileReader rb(dir_.string() + "/b.ktrc", options);
+  EXPECT_FALSE(ra.salvageReport().clean());
+  EXPECT_GE(ra.salvageReport().corruptRecords, 1u);
+  EXPECT_LT(ra.salvageReport().goodRecords, 5u);
+  EXPECT_EQ(ra.salvageReport().goodRecords, rb.salvageReport().goodRecords);
+  EXPECT_EQ(ra.salvageReport().corruptRecords, rb.salvageReport().corruptRecords);
+  EXPECT_EQ(ra.salvageReport().skippedBytes, rb.salvageReport().skippedBytes);
+}
+
+TEST_F(FileSinkFaultTest, InjectedReadTruncationDropsTornTail) {
+  {
+    TraceFileWriter writer(dir_.string() + "/t.ktrc", meta());
+    for (uint64_t s = 0; s < 5; ++s) ASSERT_TRUE(writer.writeBuffer(makeRecord(0, s)));
+  }
+  util::FaultPlan plan;
+  plan.truncateReadsAt = static_cast<int64_t>(kHeaderBytes + 4 * kRecordBytes + 50);
+  util::FaultInjectingFileSystem ffs(plan);
+  TraceReaderOptions options;
+  options.salvage = true;
+  options.fs = &ffs;
+  TraceFileReader reader(dir_.string() + "/t.ktrc", options);
+  const SalvageReport& r = reader.salvageReport();
+  EXPECT_EQ(r.goodRecords, 4u);
+  EXPECT_EQ(r.tornRecords, 1u);
+  BufferRecord rec;
+  ASSERT_TRUE(reader.readBuffer(3, rec));
+  EXPECT_EQ(rec.seq, 3u);
+}
+
+TEST_F(FileSinkFaultTest, DegradedSinkKeepsCountingWithoutThrowing) {
+  util::FaultPlan plan;
+  plan.enospcAtOffset = 0;  // nothing fits, not even the file header
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  for (uint64_t s = 0; s < 100; ++s) sink.onBuffer(makeRecord(0, s));
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_EQ(sink.droppedRecords(), 100u);
+  EXPECT_FALSE(sink.flush());
+  EXPECT_FALSE(sink.errorMessage().empty());
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -163,6 +163,53 @@ TEST_F(ToolCliTest, DeadlockExitCodeSignalsResult) {
   EXPECT_NE(out.find("no deadlock cycle"), std::string::npos);
 }
 
+TEST_F(ToolCliTest, FsckReportsCleanTrace) {
+  std::string out;
+  ASSERT_EQ(runTool("fsck " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("good record"), std::string::npos);
+  EXPECT_NE(out.find("format v2"), std::string::npos);
+  EXPECT_EQ(out.find("CORRUPT"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, FsckFlagsCorruptionAndSalvageRecovers) {
+  // Flip a payload byte in cpu0's first record: CRC must catch it.
+  {
+    std::fstream f(cpu0_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(128 + 32 + 40);
+    char c = 0;
+    f.get(c);
+    f.seekp(128 + 32 + 40);
+    f.put(static_cast<char>(c ^ 0x20));
+  }
+  std::string out;
+  EXPECT_EQ(runTool("fsck " + cpu0_ + " " + cpu1_, out), 4);
+  EXPECT_NE(out.find("CORRUPT"), std::string::npos);
+  EXPECT_NE(out.find("1 corrupt"), std::string::npos);
+
+  // Strict mode refuses loudly instead of silently dropping events.
+  EXPECT_EQ(runTool("list " + cpu0_ + " " + cpu1_ + " --max=10", out), 1);
+
+  // The rest of the trace is still analyzable with --salvage.
+  ASSERT_EQ(runTool("list " + cpu0_ + " " + cpu1_ + " --max=10 --salvage", out), 0);
+  EXPECT_NE(out.find("[cpu"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, CleanErrorOnUnreadableFile) {
+  const std::string junk = (dir_ / "junk.ktrc").string();
+  {
+    std::ofstream f(junk, std::ios::binary);
+    f << std::string(300, 'x');
+  }
+  std::string out;
+  // An unreadable file must produce a one-line error (exit 1), not an
+  // uncaught-exception abort.
+  EXPECT_EQ(runTool("list " + junk, out), 1);
+  // fsck itself reports it as unreadable instead of failing.
+  EXPECT_EQ(runTool("fsck " + junk, out), 4);
+  EXPECT_NE(out.find("unreadable"), std::string::npos);
+}
+
 TEST_F(ToolCliTest, CrashDumpReader) {
   std::string out;
   ASSERT_EQ(runTool("crashdump " + (dir_ / "crash.k42dump").string() +
