@@ -1,0 +1,205 @@
+// BENCH — parallel zero-copy trace decode throughput.
+//
+// The paper's analysis tools must chew through "gigabytes per processor"
+// of trace files; the one-file-per-processor layout makes decode
+// embarrassingly parallel. This bench writes a synthetic multi-processor
+// trace, decodes it under every (thread count, mmap on/off) combination,
+// verifies the outputs are bit-identical, and reports MB/s. Emits JSON
+// (stdout, and --out=FILE) for the BENCH trajectory.
+//
+//   bench_decode_scalability [--procs=8] [--buffers=48] [--buffer-words=16384]
+//                            [--reps=3] [--out=BENCH_decode.json]
+//
+// Note: thread-count speedup requires hardware cores; on a 1-core host
+// the curve is flat and the interesting column is mmap vs stdio.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ktrace;
+
+namespace {
+
+struct Config {
+  uint32_t procs = 8;
+  uint32_t buffers = 48;
+  uint32_t bufferWords = 1u << 14;
+  int reps = 3;
+  std::string out;
+};
+
+std::vector<std::string> writeTrace(const Config& cfg,
+                                    const std::filesystem::path& dir) {
+  FacilityConfig fcfg;
+  fcfg.numProcessors = cfg.procs;
+  fcfg.bufferWords = cfg.bufferWords;
+  fcfg.buffersPerProcessor = 8;
+  fcfg.mode = Mode::Stream;
+  FakeClock clock(1, 1);
+  fcfg.clockKind = ClockKind::Fake;
+  fcfg.clockOverride = clock.ref();
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+
+  TraceFileMeta meta;
+  meta.numProcessors = cfg.procs;
+  meta.bufferWords = cfg.bufferWords;
+  meta.clockKind = ClockKind::Fake;
+  FileSink sink(dir.string(), "bench", meta);
+  Consumer consumer(facility, sink, {});
+
+  // ~3 words per event fills `buffers` records per processor. Drain after
+  // every buffer's worth of events: in Stream mode a tight logging loop
+  // would otherwise overrun the ring and drop most of the trace.
+  const uint64_t eventsPerProcessor =
+      static_cast<uint64_t>(cfg.buffers) * cfg.bufferWords / 3;
+  const uint64_t eventsPerBuffer = cfg.bufferWords / 3;
+  for (uint32_t p = 0; p < cfg.procs; ++p) {
+    facility.bindCurrentThread(p);
+    for (uint64_t i = 0; i < eventsPerProcessor; ++i) {
+      facility.log(Major::Test, static_cast<uint16_t>(i & 0xff), i, uint64_t{p});
+      if ((i + 1) % eventsPerBuffer == 0) consumer.drainNow();
+    }
+  }
+  facility.flushAll();
+  consumer.drainNow();
+  if (!sink.flush()) {
+    std::fprintf(stderr, "trace write failed: %s\n", sink.errorMessage().c_str());
+    std::exit(1);
+  }
+  std::vector<std::string> paths;
+  for (uint32_t p = 0; p < cfg.procs; ++p) paths.push_back(sink.pathFor(p));
+  return paths;
+}
+
+/// Order-sensitive digest of every decoded event, for the bit-identical check.
+uint64_t digest(const analysis::TraceSet& trace) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      mix(e.header.encode());
+      mix(e.fullTimestamp);
+      mix(e.bufferSeq);
+      mix(e.offsetInBuffer);
+      for (const uint64_t w : e.data) mix(w);
+    }
+  }
+  mix(trace.totalEvents());
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  Config cfg;
+  cfg.procs = static_cast<uint32_t>(cli.getInt("procs", cfg.procs));
+  cfg.buffers = static_cast<uint32_t>(cli.getInt("buffers", cfg.buffers));
+  cfg.bufferWords =
+      static_cast<uint32_t>(cli.getInt("buffer-words", cfg.bufferWords));
+  cfg.reps = static_cast<int>(cli.getInt("reps", cfg.reps));
+  cfg.out = cli.getString("out", "");
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ktrace_decode_bench_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const auto paths = writeTrace(cfg, dir);
+  uint64_t totalBytes = 0;
+  for (const auto& p : paths) totalBytes += std::filesystem::file_size(p);
+
+  struct Row {
+    uint32_t threads;
+    bool mmapOn;
+    double seconds;
+    double mbPerS;
+    uint64_t digest;
+  };
+  std::vector<Row> rows;
+  uint64_t events = 0;
+  for (const bool mmapOn : {true, false}) {
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      DecodeOptions options;
+      options.threads = threads;
+      options.useMmap = mmapOn;
+      double best = 1e300;
+      uint64_t d = 0;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto trace = analysis::TraceSet::fromFiles(paths, options);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+        d = digest(trace);
+        events = trace.totalEvents();
+      }
+      rows.push_back({threads, mmapOn,
+                      best, static_cast<double>(totalBytes) / best / 1e6, d});
+    }
+  }
+  std::filesystem::remove_all(dir);
+
+  bool identical = true;
+  for (const Row& r : rows) identical = identical && r.digest == rows[0].digest;
+  auto findRow = [&rows](uint32_t threads, bool mmapOn) -> const Row& {
+    for (const Row& r : rows) {
+      if (r.threads == threads && r.mmapOn == mmapOn) return r;
+    }
+    return rows.front();
+  };
+  const double base1t = findRow(1, true).seconds;
+  const double speedup4t = base1t / findRow(4, true).seconds;
+  const double mmapGain =
+      findRow(1, false).seconds / base1t;  // stdio time / mmap time, 1 thread
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"decode_scalability\",\n";
+  json << "  \"host_threads\": " << util::ThreadPool::hardwareThreads() << ",\n";
+  json << "  \"files\": " << paths.size() << ",\n";
+  json << "  \"bytes\": " << totalBytes << ",\n";
+  json << "  \"events\": " << events << ",\n";
+  json << "  \"identical_across_configs\": " << (identical ? "true" : "false")
+       << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"threads\": %u, \"mmap\": %s, \"seconds\": %.6f, "
+                  "\"mb_per_s\": %.1f, \"speedup_vs_1t\": %.3f}%s\n",
+                  r.threads, r.mmapOn ? "true" : "false", r.seconds, r.mbPerS,
+                  findRow(1, r.mmapOn).seconds / r.seconds,
+                  i + 1 < rows.size() ? "," : "");
+    json << line;
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"speedup_4t_vs_1t_mmap\": %.3f,\n"
+                "  \"mmap_speedup_vs_stdio_1t\": %.3f\n}\n",
+                speedup4t, mmapGain);
+  json << tail;
+
+  std::fputs(json.str().c_str(), stdout);
+  if (!cfg.out.empty()) {
+    std::ofstream(cfg.out) << json.str();
+    std::fprintf(stderr, "wrote %s\n", cfg.out.c_str());
+  }
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: decode results differ across configurations\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Runs the decode-scalability benchmark and records BENCH_decode.json at
+# the repo root. Usage: bench/run_decode_bench.sh [build-dir] [extra flags...]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$build/bench/bench_decode_scalability" ]; then
+  cmake -B "$build" -S "$repo"
+  cmake --build "$build" -j "$(nproc)" --target bench_decode_scalability
+fi
+
+"$build/bench/bench_decode_scalability" --out="$repo/BENCH_decode.json" "$@"

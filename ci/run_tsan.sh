@@ -1,0 +1,15 @@
+#!/bin/sh
+# Builds with ThreadSanitizer and runs the concurrency-labelled tests —
+# the parallel trace decode must be data-race-free, not just
+# deterministic by luck. Usage: ci/run_tsan.sh [build-dir]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-tsan}"
+
+cmake -B "$build" -S "$repo" -DKTRACE_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)" --target \
+      analysis_parallel_decode_test core_concurrent_test util_test
+cd "$build"
+ctest -L concurrent --output-on-failure

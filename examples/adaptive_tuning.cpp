@@ -58,7 +58,8 @@ double runOnce(bool adaptive, analysis::SymbolTable& symbols, std::string* swapL
     swapLine->clear();
     Registry registry;
     ossim::registerOssimEvents(registry);
-    for (const DecodedEvent* e : trace.merged()) {
+    analysis::MergeCursor cursor(trace);
+    while (const DecodedEvent* e = cursor.next()) {
       if (e->header.major == Major::Lock &&
           e->header.minor == static_cast<uint16_t>(ossim::LockMinor::HotSwap)) {
         *swapLine = util::strprintf(

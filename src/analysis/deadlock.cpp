@@ -16,7 +16,8 @@ DeadlockDetector::DeadlockDetector(const TraceSet& trace) {
   };
   std::map<std::pair<uint64_t, uint64_t>, Wait> waiting;  // (lock,pid) -> wait
 
-  for (const DecodedEvent* e : trace.merged()) {
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
     if (e->header.major != Major::Lock || e->data.size() < 2) continue;
     const uint64_t lockId = e->data[0];
     const uint64_t pid = e->data[1];

@@ -10,7 +10,8 @@ std::string listEvents(const TraceSet& trace, const Registry& registry,
                        double ticksPerSecond, const ListerOptions& options) {
   std::ostringstream out;
   size_t emitted = 0;
-  for (const DecodedEvent* e : trace.merged()) {
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
     if ((options.majorMask & (1ull << static_cast<uint32_t>(e->header.major))) == 0) {
       continue;
     }

@@ -53,7 +53,8 @@ LockAnalysis::LockAnalysis(const TraceSet& trace) {
     return rows_.back();
   };
 
-  for (const DecodedEvent* e : trace.merged()) {
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
     if (e->header.major != Major::Lock) continue;
     const auto minor = static_cast<ossim::LockMinor>(e->header.minor);
     if (e->data.size() < 2) continue;

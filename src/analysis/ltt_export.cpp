@@ -32,7 +32,8 @@ std::string exportLttText(const TraceSet& trace, const Registry& registry,
   std::ostringstream out;
   size_t emitted = 0;
   std::vector<FieldValue> values;
-  for (const DecodedEvent* e : trace.merged()) {
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
     if (maxEvents != 0 && emitted++ >= maxEvents) break;
     out << util::strprintf("cpu %u  %.9f  %s.%s  { ", e->processor,
                            static_cast<double>(e->fullTimestamp) / ticksPerSecond,
@@ -70,7 +71,8 @@ std::string exportCsv(const TraceSet& trace, const Registry& registry,
   std::ostringstream out;
   out << "time_ticks,cpu,major,minor,name,payload\n";
   size_t emitted = 0;
-  for (const DecodedEvent* e : trace.merged()) {
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
     if (maxEvents != 0 && emitted++ >= maxEvents) break;
     out << util::strprintf("%llu,%u,%u,%u,%s,",
                            static_cast<unsigned long long>(e->fullTimestamp),

@@ -1,13 +1,15 @@
 #include "analysis/reader.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <map>
 #include <memory>
-#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "core/trace_file.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ktrace::analysis {
 
@@ -28,9 +30,15 @@ TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
                        return a->seq < b->seq;
                      });
     uint64_t tsBase = 0;
-    for (const BufferRecord* r : recs) {
-      set.stats_.merge(decodeBuffer(r->words, r->seq, processor, tsBase,
-                                    set.perProcessor_[processor], options));
+    std::vector<DecodedEvent>& out = set.perProcessor_[processor];
+    for (size_t k = 0; k < recs.size(); ++k) {
+      set.stats_.merge(decodeBuffer(recs[k]->words, recs[k]->seq, processor,
+                                    tsBase, out, options));
+      if (k == 0 && recs.size() > 1) {
+        // The first buffer's event density sizes the whole stream: one
+        // reservation instead of log2(N) geometric reallocations.
+        out.reserve(out.size() * recs.size() + 16);
+      }
     }
   }
   return set;
@@ -39,76 +47,175 @@ TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
 TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
                              const DecodeOptions& options) {
   TraceSet set;
-  for (const std::string& path : paths) {
+  const size_t numFiles = paths.size();
+  if (numFiles == 0) return set;
+
+  // Each file decodes into its own result slot; nothing is shared between
+  // tasks, so the fan-out needs no locking and the merge below (done in
+  // path order, on one thread) makes the output independent of task
+  // completion order — bit-identical to a serial decode.
+  struct FileResult {
+    bool readable = false;
+    uint32_t processor = 0;
+    double ticksPerSecond = 1e9;
+    ClockKind clockKind = ClockKind::Tsc;
+    std::vector<DecodedEvent> events;
+    DecodeStats stats;
+    std::exception_ptr error;  // strict mode: open/validation failure
+  };
+  std::vector<FileResult> results(numFiles);
+
+  auto decodeOne = [&](size_t i) {
+    FileResult& r = results[i];
     TraceReaderOptions readerOptions;
     readerOptions.salvage = options.salvage;
+    readerOptions.useMmap = options.useMmap;
     std::unique_ptr<TraceFileReader> reader;
-    if (options.salvage) {
-      // Post-mortem mode: a file whose header is gone is tallied, not
-      // fatal — the other processors' files are still worth decoding.
-      try {
-        reader = std::make_unique<TraceFileReader>(path, readerOptions);
-      } catch (const std::exception&) {
-        ++set.stats_.unreadableFiles;
-        continue;
+    try {
+      reader = std::make_unique<TraceFileReader>(paths[i], readerOptions);
+    } catch (...) {
+      if (options.salvage) {
+        // Post-mortem mode: a file whose header is gone is tallied, not
+        // fatal — the other processors' files are still worth decoding.
+        ++r.stats.unreadableFiles;
+      } else {
+        r.error = std::current_exception();
       }
-    } else {
-      reader = std::make_unique<TraceFileReader>(path, readerOptions);
+      return;
     }
-    const uint32_t processor = reader->meta().processorId;
-    if (set.perProcessor_.size() <= processor) {
-      set.perProcessor_.resize(processor + 1);
-    }
-    set.ticksPerSecond_ = reader->meta().ticksPerSecond;
+    r.readable = true;
+    r.processor = reader->meta().processorId;
+    r.ticksPerSecond = reader->meta().ticksPerSecond;
+    r.clockKind = reader->meta().clockKind;
+    const uint64_t count = reader->bufferCount();
     uint64_t tsBase = 0;
-    BufferRecord record;
-    for (uint64_t k = 0; k < reader->bufferCount(); ++k) {
-      if (!reader->readBuffer(k, record)) {
+    BufferView view;
+    for (uint64_t k = 0; k < count; ++k) {
+      if (!reader->readBufferView(k, view)) {
         // Salvage offsets were validated during the scan; a failure here
         // means the file changed underneath us — tolerate it.
         if (options.salvage) break;
         // Strict mode must not silently drop the rest of the file: a record
         // inside bufferCount() only fails validation when it is damaged.
-        throw std::runtime_error(util::strprintf(
+        r.error = std::make_exception_ptr(std::runtime_error(util::strprintf(
             "%s: record %llu failed validation (damaged or CRC mismatch)",
-            path.c_str(), static_cast<unsigned long long>(k)));
+            paths[i].c_str(), static_cast<unsigned long long>(k))));
+        return;
       }
-      set.stats_.merge(decodeBuffer(record.words, record.seq, processor, tsBase,
-                                    set.perProcessor_[processor], options));
+      r.stats.merge(decodeBuffer(view.words, view.seq, r.processor, tsBase,
+                                 r.events, options));
+      if (k == 0 && count > 1) {
+        // As in fromRecords: size the vector off the first buffer's
+        // event density to kill reallocation churn.
+        r.events.reserve(r.events.size() * count + 16);
+      }
     }
     const SalvageReport& report = reader->salvageReport();
-    set.stats_.tornRecords += report.tornRecords;
-    set.stats_.corruptRecords += report.corruptRecords;
-    set.stats_.skippedBytes += report.skippedBytes;
+    r.stats.tornRecords += report.tornRecords;
+    r.stats.corruptRecords += report.corruptRecords;
+    r.stats.skippedBytes += report.skippedBytes;
+  };
+
+  const unsigned requested = options.threads == 0
+                                 ? util::ThreadPool::hardwareThreads()
+                                 : options.threads;
+  const unsigned threads =
+      static_cast<unsigned>(std::min<size_t>(requested, numFiles));
+  if (threads <= 1) {
+    for (size_t i = 0; i < numFiles; ++i) decodeOne(i);
+  } else {
+    util::ThreadPool pool(threads);
+    for (size_t i = 0; i < numFiles; ++i) {
+      pool.submit([&decodeOne, i] { decodeOne(i); });
+    }
+    pool.wait();
+  }
+
+  // Merge in path order. Clock metadata comes from the first readable
+  // file; later files that disagree are counted, not silently adopted
+  // (previously the last file won, hiding clock-kind mismatches).
+  bool haveMeta = false;
+  ClockKind refClock = ClockKind::Tsc;
+  for (size_t i = 0; i < numFiles; ++i) {
+    FileResult& r = results[i];
+    if (r.error != nullptr) std::rethrow_exception(r.error);
+    if (r.readable) {
+      if (!haveMeta) {
+        set.ticksPerSecond_ = r.ticksPerSecond;
+        refClock = r.clockKind;
+        haveMeta = true;
+      } else if (r.ticksPerSecond != set.ticksPerSecond_ ||
+                 r.clockKind != refClock) {
+        ++r.stats.metadataMismatchFiles;
+      }
+      if (set.perProcessor_.size() <= r.processor) {
+        set.perProcessor_.resize(r.processor + 1);
+      }
+      std::vector<DecodedEvent>& slot = set.perProcessor_[r.processor];
+      if (slot.empty()) {
+        slot = std::move(r.events);
+      } else {
+        // Two files claiming the same processor: preserve path order, as
+        // the serial decode did.
+        slot.insert(slot.end(), std::make_move_iterator(r.events.begin()),
+                    std::make_move_iterator(r.events.end()));
+      }
+    }
+    set.stats_.merge(r.stats);
   }
   return set;
 }
 
-std::vector<const DecodedEvent*> TraceSet::merged() const {
-  // K-way merge: each per-processor stream is already time-ordered.
-  struct Cursor {
-    const std::vector<DecodedEvent>* events;
-    size_t pos;
-    uint32_t processor;
-  };
-  auto later = [](const Cursor& a, const Cursor& b) {
-    const uint64_t ta = (*a.events)[a.pos].fullTimestamp;
-    const uint64_t tb = (*b.events)[b.pos].fullTimestamp;
-    if (ta != tb) return ta > tb;
-    return a.processor > b.processor;
-  };
-  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(later);
-  for (uint32_t p = 0; p < perProcessor_.size(); ++p) {
-    if (!perProcessor_[p].empty()) heap.push({&perProcessor_[p], 0, p});
+MergeCursor::MergeCursor(const TraceSet& trace) {
+  heap_.reserve(trace.numProcessors());
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    const std::vector<DecodedEvent>& events = trace.processorEvents(p);
+    if (!events.empty()) heap_.push_back({&events, 0, p});
   }
+  for (size_t i = heap_.size() / 2; i-- > 0;) siftDown(i);
+}
+
+bool MergeCursor::later(const Cursor& a, const Cursor& b) const noexcept {
+  const uint64_t ta = (*a.events)[a.pos].fullTimestamp;
+  const uint64_t tb = (*b.events)[b.pos].fullTimestamp;
+  if (ta != tb) return ta > tb;
+  return a.processor > b.processor;
+}
+
+void MergeCursor::siftDown(size_t i) {
+  const size_t n = heap_.size();
+  for (;;) {
+    size_t first = i;
+    const size_t left = 2 * i + 1;
+    const size_t right = left + 1;
+    if (left < n && later(heap_[first], heap_[left])) first = left;
+    if (right < n && later(heap_[first], heap_[right])) first = right;
+    if (first == i) return;
+    std::swap(heap_[i], heap_[first]);
+    i = first;
+  }
+}
+
+const DecodedEvent* MergeCursor::next() {
+  if (heap_.empty()) return nullptr;
+  Cursor& top = heap_.front();
+  const DecodedEvent* event = &(*top.events)[top.pos];
+  if (++top.pos < top.events->size()) {
+    // Replace-top: one sift instead of a pop + push pair.
+    siftDown(0);
+  } else {
+    top = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
+  }
+  return event;
+}
+
+std::vector<const DecodedEvent*> TraceSet::merged() const {
   std::vector<const DecodedEvent*> out;
   out.reserve(totalEvents());
-  while (!heap.empty()) {
-    Cursor c = heap.top();
-    heap.pop();
-    out.push_back(&(*c.events)[c.pos]);
-    if (++c.pos < c.events->size()) heap.push(c);
-  }
+  MergeCursor cursor(*this);
+  while (const DecodedEvent* e = cursor.next()) out.push_back(e);
   return out;
 }
 

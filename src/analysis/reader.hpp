@@ -2,6 +2,13 @@
 // into one time-ordered stream (paper §2 goal 3: unified buffer with
 // monotonically increasing timestamps per processor; tools merge across
 // processors by timestamp).
+//
+// Ingestion is parallel and zero-copy: fromFiles decodes one file per
+// thread-pool task (per-processor event vectors are disjoint, so the
+// result is identical to serial decode regardless of thread count) and
+// serves record payloads straight from an mmap of each file. Tools
+// stream the cross-processor merge through a MergeCursor instead of
+// materializing an O(N) pointer vector up front.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +27,12 @@ class TraceSet {
   static TraceSet fromRecords(const std::vector<BufferRecord>& records,
                               const DecodeOptions& options = {});
 
-  /// Decode per-processor trace files written by FileSink.
+  /// Decode per-processor trace files written by FileSink. Files are
+  /// decoded concurrently (options.threads) and the result is
+  /// bit-identical to a serial decode: per-file results are merged in
+  /// path order, and clock metadata is taken from the first readable
+  /// file (files that disagree are counted in
+  /// stats().metadataMismatchFiles).
   static TraceSet fromFiles(const std::vector<std::string>& paths,
                             const DecodeOptions& options = {});
 
@@ -35,7 +47,9 @@ class TraceSet {
 
   /// All events across processors, merged by full timestamp (stable for
   /// equal stamps: lower processor first). Pointers reference the
-  /// TraceSet's own storage.
+  /// TraceSet's own storage. Compatibility wrapper over MergeCursor —
+  /// it materializes the whole O(N) vector, so hot paths should stream
+  /// with a MergeCursor instead.
   std::vector<const DecodedEvent*> merged() const;
 
   size_t totalEvents() const noexcept;
@@ -48,6 +62,33 @@ class TraceSet {
   std::vector<std::vector<DecodedEvent>> perProcessor_;
   DecodeStats stats_;
   double ticksPerSecond_ = 1e9;
+};
+
+/// Streaming k-way merge over a TraceSet's per-processor streams: yields
+/// every event in full-timestamp order (stable for equal stamps: lower
+/// processor first) one at a time, holding only a k-entry heap instead
+/// of an O(N) pointer vector. The TraceSet must outlive the cursor, and
+/// must not be mutated while one is live.
+class MergeCursor {
+ public:
+  explicit MergeCursor(const TraceSet& trace);
+
+  /// The next event in global time order, or nullptr when exhausted.
+  const DecodedEvent* next();
+
+  bool done() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Cursor {
+    const std::vector<DecodedEvent>* events;
+    size_t pos;
+    uint32_t processor;
+  };
+
+  bool later(const Cursor& a, const Cursor& b) const noexcept;
+  void siftDown(size_t i);
+
+  std::vector<Cursor> heap_;  // min-heap on (fullTimestamp, processor)
 };
 
 }  // namespace ktrace::analysis

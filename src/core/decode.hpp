@@ -50,6 +50,8 @@ struct DecodeStats {
   uint64_t corruptRecords = 0;  // records failing their magic/CRC, skipped
   uint64_t skippedBytes = 0;    // file bytes passed over while resynchronizing
   uint64_t unreadableFiles = 0; // files whose header could not be read at all
+  uint64_t metadataMismatchFiles = 0;  // files whose clock metadata disagrees
+                                       // with the first readable file's
 
   void merge(const DecodeStats& other) noexcept {
     events += other.events;
@@ -61,7 +63,10 @@ struct DecodeStats {
     corruptRecords += other.corruptRecords;
     skippedBytes += other.skippedBytes;
     unreadableFiles += other.unreadableFiles;
+    metadataMismatchFiles += other.metadataMismatchFiles;
   }
+
+  bool operator==(const DecodeStats&) const noexcept = default;
 };
 
 struct DecodeOptions {
@@ -69,6 +74,11 @@ struct DecodeOptions {
   bool keepAnchors = false;   // emit buffer-anchor events
   bool salvage = false;       // fromFiles: tolerate torn/corrupt records and
                               // unreadable files instead of stopping at them
+  uint32_t threads = 0;       // fromFiles: decode tasks run on this many
+                              // threads (0 = hardware concurrency, 1 = serial);
+                              // results are identical regardless of the count
+  bool useMmap = true;        // fromFiles: serve records from an mmap'd view
+                              // when the platform allows (falls back to stdio)
 };
 
 /// Structural validity of a header at `offset` within a buffer of

@@ -154,12 +154,19 @@ bool TraceFileWriter::flush() {
 TraceFileReader::TraceFileReader(const std::string& path,
                                  const TraceReaderOptions& options)
     : salvage_(options.salvage) {
-  file_ = resolveFs(options.fs).open(path, "rb");
-  if (file_ == nullptr) {
-    throw std::runtime_error("TraceFileReader: cannot open " + path);
+  // A custom filesystem (fault injection) must intercept every read, so
+  // mmap is only attempted on the plain stdio path.
+  if (options.useMmap && options.fs == nullptr) {
+    map_ = util::MappedFile::open(path);
+  }
+  if (map_ == nullptr) {
+    file_ = resolveFs(options.fs).open(path, "rb");
+    if (file_ == nullptr) {
+      throw std::runtime_error("TraceFileReader: cannot open " + path);
+    }
   }
   DiskFileHeader h{};
-  if (file_->read(&h, sizeof(h)) != sizeof(h) ||
+  if (!readBytesAt(0, &h, sizeof(h)) ||
       std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 ||
       (h.version != kVersionLegacy && h.version != kVersionCrc) ||
       h.bufferWords == 0 || h.bufferWords > kMaxBufferWords) {
@@ -177,7 +184,7 @@ TraceFileReader::TraceFileReader(const std::string& path,
   report_.formatVersion = version_;
   headerBytes_ = kHeaderBytes;
   recordBytes_ = kRecordHeaderBytes + static_cast<uint64_t>(meta_.bufferWords) * 8;
-  const int64_t size = file_->size();
+  const int64_t size = map_ != nullptr ? map_->size() : file_->size();
   if (size < static_cast<int64_t>(headerBytes_)) {
     bufferCount_ = 0;  // shorter than the header: nothing to index
   } else if (salvage_) {
@@ -197,32 +204,61 @@ TraceFileReader::TraceFileReader(const std::string& path,
 
 TraceFileReader::~TraceFileReader() = default;
 
-bool TraceFileReader::readRecordAt(int64_t offset, BufferRecord& out, bool verify) {
-  if (!file_->seek(offset, SEEK_SET)) return false;
+bool TraceFileReader::readBytesAt(int64_t offset, void* dst, size_t bytes) {
+  if (map_ != nullptr) {
+    if (offset < 0 || offset + static_cast<int64_t>(bytes) > map_->size()) return false;
+    std::memcpy(dst, map_->data() + offset, bytes);
+    return true;
+  }
+  return file_->seek(offset, SEEK_SET) && file_->read(dst, bytes) == bytes;
+}
+
+bool TraceFileReader::fillPayload(int64_t offset, BufferView& out) {
+  const size_t payloadBytes = static_cast<size_t>(meta_.bufferWords) * sizeof(uint64_t);
+  if (map_ != nullptr) {
+    if (offset < 0 || offset + static_cast<int64_t>(payloadBytes) > map_->size()) {
+      return false;
+    }
+    const unsigned char* p = map_->data() + offset;
+    // Records written by TraceFileWriter sit at 8-aligned offsets, so
+    // this is the common case; only a salvage resync at an odd byte
+    // offset forces the copy below.
+    if (reinterpret_cast<uintptr_t>(p) % alignof(uint64_t) == 0) {
+      out.words = {reinterpret_cast<const uint64_t*>(p), meta_.bufferWords};
+      return true;
+    }
+  }
+  scratch_.resize(meta_.bufferWords);
+  if (!readBytesAt(offset, scratch_.data(), payloadBytes)) return false;
+  out.words = {scratch_.data(), scratch_.size()};
+  return true;
+}
+
+bool TraceFileReader::readRecordViewAt(int64_t offset, BufferView& out, bool verify) {
   const size_t payloadBytes = static_cast<size_t>(meta_.bufferWords) * sizeof(uint64_t);
   if (version_ == kVersionLegacy) {
     DiskRecordHeaderV1 rh{};
-    if (file_->read(&rh, sizeof(rh)) != sizeof(rh)) return false;
+    if (!readBytesAt(offset, &rh, sizeof(rh))) return false;
     out.seq = rh.seq;
     out.committedDelta = rh.committedDelta;
     out.processor = rh.processor;
     out.commitMismatch = (rh.flags & 1u) != 0;
-    out.words.resize(meta_.bufferWords);
-    return file_->read(out.words.data(), payloadBytes) == payloadBytes;
+    return fillPayload(offset + static_cast<int64_t>(kRecordHeaderBytes), out);
   }
   DiskRecordHeaderV2 rh{};
-  if (file_->read(&rh, sizeof(rh)) != sizeof(rh)) return false;
+  if (!readBytesAt(offset, &rh, sizeof(rh))) return false;
   if (rh.magic != kRecordMagic) return false;
   out.seq = rh.seq;
   out.committedDelta = rh.committedDelta;
   out.processor = rh.processor;
   out.commitMismatch = (rh.flags & 1u) != 0;
-  out.words.resize(meta_.bufferWords);
-  if (file_->read(out.words.data(), payloadBytes) != payloadBytes) return false;
+  if (!fillPayload(offset + static_cast<int64_t>(kRecordHeaderBytes), out)) return false;
   if (verify) {
     DiskRecordHeaderV2 clean = rh;
     clean.crc = 0;
     uint32_t crc = util::crc32(&clean, sizeof(clean));
+    // On the mapped path out.words aliases the mapping, so the CRC pass
+    // is the only traversal of the payload bytes — no copy was made.
     crc = util::crc32(out.words.data(), payloadBytes, crc);
     if (crc != rh.crc) return false;
   }
@@ -252,41 +288,59 @@ void TraceFileReader::scanSalvage(int64_t fileSize) {
   constexpr size_t kChunk = 64 * 1024;
   const unsigned char kMagicBytes[4] = {'K', 'R', 'E', 'C'};
   std::vector<unsigned char> chunk;
-  BufferRecord scratch;
+  BufferView scratch;
+  // Hunts for the next record that validates, starting one byte past the
+  // damage. The mapped path walks the file bytes in place with memchr;
+  // the stdio fallback reads overlapping chunks.
+  auto findResyncPoint = [&](int64_t damagedAt) -> int64_t {
+    if (map_ != nullptr) {
+      const unsigned char* base = map_->data();
+      int64_t pos = damagedAt + 1;
+      while (pos + 4 <= fileSize) {
+        const void* hit =
+            std::memchr(base + pos, 'K', static_cast<size_t>(fileSize - pos - 3));
+        if (hit == nullptr) return -1;
+        const int64_t candidate =
+            static_cast<const unsigned char*>(hit) - base;
+        pos = candidate + 1;
+        if (std::memcmp(base + candidate, kMagicBytes, 4) != 0) continue;
+        if (candidate + rb > fileSize) continue;
+        if (readRecordViewAt(candidate, scratch, /*verify=*/true)) return candidate;
+      }
+      return -1;
+    }
+    int64_t searchPos = damagedAt + 1;
+    while (searchPos + 4 <= fileSize) {
+      const size_t want =
+          std::min<size_t>(kChunk, static_cast<size_t>(fileSize - searchPos));
+      chunk.resize(want);
+      if (!file_->seek(searchPos, SEEK_SET)) return -1;
+      const size_t got = file_->read(chunk.data(), want);
+      if (got < 4) return -1;
+      for (size_t i = 0; i + 4 <= got; ++i) {
+        if (std::memcmp(chunk.data() + i, kMagicBytes, 4) != 0) continue;
+        const int64_t candidate = searchPos + static_cast<int64_t>(i);
+        if (candidate + rb > fileSize) continue;
+        if (readRecordViewAt(candidate, scratch, /*verify=*/true)) return candidate;
+      }
+      if (got < want) return -1;
+      searchPos += static_cast<int64_t>(got) - 3;  // overlap a split magic
+    }
+    return -1;
+  };
   while (offset < fileSize) {
     if (offset + rb > fileSize) {
       ++report_.tornRecords;  // crash mid-write: partial tail record
       break;
     }
-    if (readRecordAt(offset, scratch, /*verify=*/true)) {
+    if (readRecordViewAt(offset, scratch, /*verify=*/true)) {
       index_.push_back(offset);
       ++report_.goodRecords;
       offset += rb;
       continue;
     }
     ++report_.corruptRecords;
-    // Hunt for the next record that validates, starting one byte in.
-    int64_t next = -1;
-    int64_t searchPos = offset + 1;
-    while (next < 0 && searchPos + 4 <= fileSize) {
-      const size_t want =
-          std::min<size_t>(kChunk, static_cast<size_t>(fileSize - searchPos));
-      chunk.resize(want);
-      if (!file_->seek(searchPos, SEEK_SET)) break;
-      const size_t got = file_->read(chunk.data(), want);
-      if (got < 4) break;
-      for (size_t i = 0; i + 4 <= got; ++i) {
-        if (std::memcmp(chunk.data() + i, kMagicBytes, 4) != 0) continue;
-        const int64_t candidate = searchPos + static_cast<int64_t>(i);
-        if (candidate + rb > fileSize) continue;
-        if (readRecordAt(candidate, scratch, /*verify=*/true)) {
-          next = candidate;
-          break;
-        }
-      }
-      if (got < want) break;
-      searchPos += static_cast<int64_t>(got) - 3;  // overlap a split magic
-    }
+    const int64_t next = findResyncPoint(offset);
     if (next < 0) {
       report_.skippedBytes += static_cast<uint64_t>(fileSize - offset);
       break;
@@ -297,14 +351,25 @@ void TraceFileReader::scanSalvage(int64_t fileSize) {
   bufferCount_ = index_.size();
 }
 
-bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
+bool TraceFileReader::readBufferView(uint64_t k, BufferView& out) {
   if (k >= bufferCount_) return false;
   if (salvage_) {
     // Offsets were validated during the scan; skip the redundant CRC pass.
-    return readRecordAt(index_[k], out, /*verify=*/false);
+    return readRecordViewAt(index_[k], out, /*verify=*/false);
   }
   const int64_t offset = static_cast<int64_t>(headerBytes_ + k * recordBytes_);
-  return readRecordAt(offset, out, /*verify=*/version_ == kVersionCrc);
+  return readRecordViewAt(offset, out, /*verify=*/version_ == kVersionCrc);
+}
+
+bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
+  BufferView view;
+  if (!readBufferView(k, view)) return false;
+  out.seq = view.seq;
+  out.committedDelta = view.committedDelta;
+  out.processor = view.processor;
+  out.commitMismatch = view.commitMismatch;
+  out.words.assign(view.words.begin(), view.words.end());
+  return true;
 }
 
 FileSink::FileSink(std::string directory, std::string baseName,

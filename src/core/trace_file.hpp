@@ -23,12 +23,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/sink.hpp"
 #include "core/timestamp.hpp"
 #include "util/faultfs.hpp"
+#include "util/mapped_file.hpp"
 
 namespace ktrace {
 
@@ -65,6 +67,25 @@ struct TraceReaderOptions {
   /// File I/O goes through this (fault injection in tests); defaults to
   /// util::FileSystem::stdio().
   util::FileSystem* fs = nullptr;
+  /// Serve records from a read-only mmap of the file: no per-record
+  /// seek/read syscalls, and the payload words are handed to the decoder
+  /// in place (readBufferView). Silently falls back to the buffered
+  /// util::File path when the mapping fails or `fs` is set — a custom
+  /// filesystem must see every read, or fault injection would be bypassed.
+  bool useMmap = true;
+};
+
+/// One buffer record served zero-copy: `words` aliases the reader's mmap
+/// view (or its internal scratch buffer on the stdio fallback and for
+/// salvage records at unaligned resync offsets). The span stays valid
+/// until the next readBuffer/readBufferView call on the same reader, or
+/// the reader's destruction — copy it to keep it longer.
+struct BufferView {
+  uint64_t seq = 0;
+  uint64_t committedDelta = 0;
+  uint32_t processor = 0;
+  bool commitMismatch = false;
+  std::span<const uint64_t> words;
 };
 
 class TraceFileWriter {
@@ -126,13 +147,25 @@ class TraceFileReader {
   /// Random access: read the k-th buffer record without scanning. Returns
   /// false past the end or on a short/corrupt record (v2: magic/CRC
   /// verified). In salvage mode k indexes the validated records, so
-  /// corrupt and torn records are already excluded.
+  /// corrupt and torn records are already excluded. Copies the payload;
+  /// use readBufferView on the hot decode path.
   bool readBuffer(uint64_t k, BufferRecord& out);
 
+  /// Zero-copy variant of readBuffer: out.words points into the mmap (or
+  /// scratch on the fallback path) — see BufferView for lifetime rules.
+  bool readBufferView(uint64_t k, BufferView& out);
+
+  /// True when records are served from a memory mapping rather than
+  /// buffered stdio reads.
+  bool mapped() const noexcept { return map_ != nullptr; }
+
  private:
-  bool readRecordAt(int64_t offset, BufferRecord& out, bool verify);
+  bool readBytesAt(int64_t offset, void* dst, size_t bytes);
+  bool fillPayload(int64_t offset, BufferView& out);
+  bool readRecordViewAt(int64_t offset, BufferView& out, bool verify);
   void scanSalvage(int64_t fileSize);
 
+  std::unique_ptr<util::MappedFile> map_;  // null: use file_
   std::unique_ptr<util::File> file_;
   TraceFileMeta meta_;
   uint64_t bufferCount_ = 0;
@@ -141,6 +174,7 @@ class TraceFileReader {
   uint32_t version_ = 0;
   bool salvage_ = false;
   std::vector<int64_t> index_;  // salvage mode: offsets of validated records
+  std::vector<uint64_t> scratch_;  // payload copy when a view can't alias the map
   SalvageReport report_;
 };
 

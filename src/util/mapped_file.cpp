@@ -1,0 +1,42 @@
+#include "util/mapped_file.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define KTRACE_HAVE_MMAP 1
+#endif
+
+namespace ktrace::util {
+
+std::unique_ptr<MappedFile> MappedFile::open(const std::string& path) {
+#ifdef KTRACE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return nullptr;
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  void* base = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  // The mapping keeps its own reference; the descriptor is not needed
+  // once mmap succeeds (or fails).
+  ::close(fd);
+  if (base == MAP_FAILED) return nullptr;
+  return std::unique_ptr<MappedFile>(new MappedFile(
+      static_cast<unsigned char*>(base), static_cast<int64_t>(st.st_size)));
+#else
+  (void)path;
+  return nullptr;
+#endif
+}
+
+MappedFile::~MappedFile() {
+#ifdef KTRACE_HAVE_MMAP
+  if (data_ != nullptr) ::munmap(data_, static_cast<size_t>(size_));
+#endif
+}
+
+}  // namespace ktrace::util

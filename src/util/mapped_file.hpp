@@ -1,0 +1,43 @@
+// Read-only memory-mapped file.
+//
+// The trace-file format was designed for random access (paper §3.2):
+// every record sits at a known offset and "gigabytes per processor is
+// common". Serving reads from a mapping lets the decoder touch record
+// bytes in place — no per-record seek/read syscalls, and no payload
+// memcpy until something actually needs a copy (CRC verification reads
+// the mapped bytes directly).
+//
+// open() returns nullptr on any failure (missing file, empty file,
+// platform without mmap), so callers always keep a graceful fallback to
+// the buffered util::File path — which is also what fault-injection
+// tests use, since a mapping would bypass their interposed reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ktrace::util {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns nullptr if the file cannot be
+  /// opened, is empty, or the platform cannot map it.
+  static std::unique_ptr<MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const noexcept { return data_; }
+  int64_t size() const noexcept { return size_; }
+
+ private:
+  MappedFile(unsigned char* data, int64_t size) : data_(data), size_(size) {}
+
+  unsigned char* data_ = nullptr;
+  int64_t size_ = 0;
+};
+
+}  // namespace ktrace::util

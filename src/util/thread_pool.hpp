@@ -1,0 +1,53 @@
+// A small fixed-size worker pool for embarrassingly parallel analysis
+// work (one decode task per trace file — the files are per-processor, so
+// the tasks share nothing but their result slots).
+//
+// Deliberately minimal: submit() enqueues a task, wait() blocks until
+// every submitted task has finished. Tasks must not throw — capture
+// errors into the task's own result instead, so a failure in one file
+// cannot tear down the others mid-decode.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ktrace::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardwareThreads()).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed. The pool is
+  /// reusable afterwards.
+  void wait();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency(), but never 0.
+  static unsigned hardwareThreads() noexcept;
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  size_t inFlight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+};
+
+}  // namespace ktrace::util

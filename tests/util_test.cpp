@@ -1,12 +1,20 @@
 // Utility layer: bit helpers, the deterministic RNG, statistics, table
-// rendering, and CLI parsing.
+// rendering, CLI parsing, memory-mapped files, and the thread pool.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+#include <string>
 
 #include "util/bits.hpp"
 #include "util/cli.hpp"
+#include "util/mapped_file.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ktrace::util {
 namespace {
@@ -191,6 +199,60 @@ TEST(Cli, BoolSpellings) {
   EXPECT_TRUE(cli.getBool("x", false));
   EXPECT_FALSE(cli.getBool("y", true));
   EXPECT_TRUE(cli.getBool("z", false));
+}
+
+TEST(MappedFile, MapsWholeFileReadOnly) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ktrace_map_" + std::to_string(::getpid()) + ".bin");
+  const std::string payload = "mapped bytes 0123456789";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f), payload.size());
+    std::fclose(f);
+  }
+  auto map = MappedFile::open(path.string());
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->size(), static_cast<int64_t>(payload.size()));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(map->data()), payload.size()),
+            payload);
+  std::filesystem::remove(path);
+}
+
+TEST(MappedFile, OpenFailuresReturnNull) {
+  EXPECT_EQ(MappedFile::open("/nonexistent/definitely/missing"), nullptr);
+  const auto empty = std::filesystem::temp_directory_path() /
+                     ("ktrace_empty_" + std::to_string(::getpid()) + ".bin");
+  { std::fclose(std::fopen(empty.c_str(), "wb")); }
+  // An empty file has nothing to map; callers must fall back to stdio.
+  EXPECT_EQ(MappedFile::open(empty.string()), nullptr);
+  std::filesystem::remove(empty);
+}
+
+TEST(ThreadPool, RunsEveryTaskAndWaitBlocksUntilDone) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  constexpr int kTasks = 200;
+  std::vector<int> slot(kTasks, 0);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&slot, &ran, i] {
+      slot[static_cast<size_t>(i)] = i + 1;
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(ran.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(slot[static_cast<size_t>(i)], i + 1);
+  // The pool is reusable after wait().
+  std::atomic<int> again{0};
+  pool.submit([&again] { again = 7; });
+  pool.wait();
+  EXPECT_EQ(again.load(), 7);
+}
+
+TEST(ThreadPool, HardwareThreadsIsNeverZero) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
 }
 
 }  // namespace

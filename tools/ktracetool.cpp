@@ -20,6 +20,9 @@
 //
 // Every trace-reading subcommand accepts --salvage: tolerate torn and
 // corrupt records (counting them) instead of stopping at the damage.
+// Decode is parallel (one task per file) and zero-copy (mmap) by
+// default: --threads=N caps the fan-out (0 = hardware concurrency) and
+// --no-mmap forces the buffered stdio read path.
 #include <cstdio>
 #include <fstream>
 
@@ -49,7 +52,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: ktracetool <list|locks|profile|attrib|stats|timeline|svg|"
                "ltt|csv|deadlock|intervals|hotspots|crashdump|fsck> "
-               "<trace files...> [flags] [--salvage]\n");
+               "<trace files...> [flags] [--salvage] [--threads=N] [--no-mmap]\n");
   return 2;
 }
 
@@ -118,11 +121,19 @@ int run(const util::Cli& cli) {
 
   DecodeOptions decodeOptions;
   decodeOptions.salvage = cli.getBool("salvage", false);
+  decodeOptions.threads = static_cast<uint32_t>(cli.getInt("threads", 0));
+  decodeOptions.useMmap = !cli.getBool("no-mmap", false);
   const auto trace = analysis::TraceSet::fromFiles(files, decodeOptions);
   const double tps = trace.ticksPerSecond();
   std::fprintf(stderr, "loaded %zu events from %zu file(s), %llu garbled buffer(s)\n",
                trace.totalEvents(), files.size(),
                static_cast<unsigned long long>(trace.stats().garbledBuffers));
+  if (trace.stats().metadataMismatchFiles != 0) {
+    std::fprintf(stderr,
+                 "warning: %llu file(s) disagree with the first file's clock "
+                 "metadata; timestamps use the first file's ticks/second\n",
+                 static_cast<unsigned long long>(trace.stats().metadataMismatchFiles));
+  }
   if (decodeOptions.salvage) {
     const DecodeStats& s = trace.stats();
     std::fprintf(stderr,
