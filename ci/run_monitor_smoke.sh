@@ -1,0 +1,29 @@
+#!/bin/sh
+# Self-monitoring smoke test: generate a heartbeat-carrying trace with the
+# simulated OS, run `ktracetool monitor --json` on it, and validate the
+# JSON with python3. Proves the whole trace-the-tracer pipeline — counters
+# -> heartbeats -> file -> decode -> completeness verdict — end to end.
+# Usage: ci/run_monitor_smoke.sh [build-dir]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j "$(nproc)" --target ktracetool monitor_smoke_gen
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$build/tools/monitor_smoke_gen" "$workdir" smoke >/dev/null
+
+json="$workdir/monitor.json"
+"$build/tools/ktracetool" monitor "$workdir"/smoke.cpu*.ktrc --json > "$json"
+python3 -m json.tool "$json" >/dev/null
+echo "monitor smoke: JSON valid"
+
+grep -q '"complete": true' "$json" || {
+  echo "monitor smoke: trace reported incomplete" >&2
+  exit 1
+}
+echo "monitor smoke: completeness verified"

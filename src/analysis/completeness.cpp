@@ -1,0 +1,332 @@
+#include "analysis/completeness.hpp"
+
+#include <sstream>
+
+#include "core/monitor.hpp"
+#include "util/table.hpp"
+
+namespace ktrace::analysis {
+
+namespace {
+
+// Fillers and anchors are written by the reservation machinery itself, not
+// through a logger entry point, so they are excluded from both sides of
+// the heartbeat identity (they are not counted in eventsLogged and must
+// not be counted as observed).
+bool isInfrastructure(const DecodedEvent& e) noexcept {
+  return e.header.major == Major::Control &&
+         (e.header.minor == static_cast<uint16_t>(ControlMinor::Filler) ||
+          e.header.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor));
+}
+
+struct HeartbeatMark {
+  size_t index = 0;        // position of the heartbeat event in the stream
+  uint64_t cumBefore = 0;  // logger events decoded strictly before it
+  uint64_t tick = 0;
+  Heartbeat hb;
+};
+
+const char* kindName(CompletenessGap::Kind kind) noexcept {
+  switch (kind) {
+    case CompletenessGap::Kind::Head: return "head";
+    case CompletenessGap::Kind::Middle: return "middle";
+    case CompletenessGap::Kind::Tail: return "tail";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CompletenessReport CompletenessReport::analyze(const TraceSet& trace) {
+  CompletenessReport report;
+  report.decodeStats_ = trace.stats();
+
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    const std::vector<DecodedEvent>& events = trace.processorEvents(p);
+    if (events.empty()) continue;
+
+    ProcessorCompleteness summary;
+    summary.processor = p;
+
+    // One pass: running logger-event count, heartbeat marks, and
+    // buffer-sequence discontinuities (each remembered with the index of
+    // the first event after it, so it can be assigned to the heartbeat
+    // interval whose expected-count delta covers it).
+    std::vector<HeartbeatMark> beats;
+    struct RawGap {
+      size_t afterIndex;
+      CompletenessGap gap;
+    };
+    std::vector<RawGap> raw;
+
+    if (events.front().bufferSeq > 0) {
+      CompletenessGap g;
+      g.processor = p;
+      g.kind = CompletenessGap::Kind::Head;
+      g.afterSeq = events.front().bufferSeq;
+      g.lostBuffers = events.front().bufferSeq;
+      g.endTick = events.front().fullTimestamp;
+      raw.push_back({0, g});
+    }
+
+    uint64_t cum = 0;
+    for (size_t j = 0; j < events.size(); ++j) {
+      const DecodedEvent& e = events[j];
+      if (j > 0 && e.bufferSeq > events[j - 1].bufferSeq + 1) {
+        CompletenessGap g;
+        g.processor = p;
+        g.beforeSeq = events[j - 1].bufferSeq;
+        g.afterSeq = e.bufferSeq;
+        g.lostBuffers = e.bufferSeq - events[j - 1].bufferSeq - 1;
+        g.startTick = events[j - 1].fullTimestamp;
+        g.endTick = e.fullTimestamp;
+        raw.push_back({j, g});
+      }
+      if (isInfrastructure(e)) continue;
+      Heartbeat hb;
+      if (parseHeartbeat(e, hb)) {
+        beats.push_back({j, cum, e.fullTimestamp, hb});
+      }
+      ++cum;  // heartbeats are logger events too; counted after marking
+    }
+    summary.observedEvents = cum;
+    summary.heartbeats = beats.size();
+
+    if (!beats.empty()) {
+      report.hasHeartbeats_ = true;
+      const HeartbeatMark& last = beats.back();
+      // Compare like with like: the last heartbeat's counter covers events
+      // strictly before it in the stream, so clamp "observed" to the same
+      // window (events after the last heartbeat are tail-unverified).
+      summary.observedEvents = last.cumBefore;
+      summary.expectedEvents = last.hb.eventsLogged;
+      summary.droppedAtSource = last.hb.eventsDropped;
+      summary.consumerLost = last.hb.consumerLost;
+
+      // Walk the heartbeat intervals. Interval k spans stream positions
+      // (beats[k-1], beats[k]]; k == 0 is the head interval [start,
+      // beats[0]]. A gap belongs to the interval containing the first
+      // event after it.
+      size_t nextRaw = 0;
+      for (size_t k = 0; k < beats.size(); ++k) {
+        const uint64_t expected =
+            k == 0 ? beats[0].hb.eventsLogged
+                   : beats[k].hb.eventsLogged - beats[k - 1].hb.eventsLogged;
+        const uint64_t observed =
+            k == 0 ? beats[0].cumBefore
+                   : beats[k].cumBefore - beats[k - 1].cumBefore;
+        const uint64_t lost = expected > observed ? expected - observed : 0;
+        summary.lostEvents += lost;
+
+        const size_t firstRaw = nextRaw;
+        while (nextRaw < raw.size() && raw[nextRaw].afterIndex <= beats[k].index) {
+          ++nextRaw;
+        }
+        const size_t gapsHere = nextRaw - firstRaw;
+        if (gapsHere == 1) {
+          raw[firstRaw].gap.bounded = true;
+          raw[firstRaw].gap.lostEvents = lost;
+        } else if (gapsHere > 1) {
+          // Several drop windows share one counter delta: the total is
+          // exact but cannot be split between them.
+          for (size_t g = firstRaw; g < nextRaw; ++g) {
+            raw[g].gap.bounded = false;
+            ++summary.unboundedGaps;
+          }
+        } else if (lost > 0) {
+          // Loss with no sequence discontinuity: a buffer decoded short
+          // (garbled tail) or was partially committed. Synthesize a
+          // zero-buffer gap spanning the interval so the loss is still
+          // localized in time.
+          CompletenessGap g;
+          g.processor = p;
+          const size_t prevIdx = k == 0 ? 0 : beats[k - 1].index;
+          g.beforeSeq = events[prevIdx].bufferSeq;
+          g.afterSeq = events[beats[k].index].bufferSeq;
+          g.startTick = k == 0 ? events.front().fullTimestamp
+                               : beats[k - 1].tick;
+          g.endTick = beats[k].tick;
+          g.bounded = true;
+          g.lostEvents = lost;
+          raw.insert(raw.begin() + static_cast<ptrdiff_t>(firstRaw),
+                     {beats[k].index, g});
+          ++nextRaw;
+        }
+      }
+      // Gaps after the last heartbeat: no closing delta, unbounded.
+      for (size_t g = nextRaw; g < raw.size(); ++g) {
+        raw[g].gap.bounded = false;
+        raw[g].gap.kind = CompletenessGap::Kind::Tail;
+        ++summary.unboundedGaps;
+        summary.tailUnverified = true;
+      }
+    } else {
+      for (RawGap& g : raw) {
+        g.gap.bounded = false;
+        ++summary.unboundedGaps;
+      }
+    }
+
+    for (RawGap& g : raw) {
+      // A missing buffer whose loss the heartbeat identity bounds at
+      // exactly zero events held nothing but fillers and anchors (e.g.
+      // the anchor-only buffer ossim flushes at startup to rebase the
+      // clock into virtual time). Nothing observable was lost, so it is
+      // not a completeness defect.
+      if (g.gap.bounded && g.gap.lostEvents == 0) continue;
+      report.gaps_.push_back(g.gap);
+    }
+    report.processors_.push_back(summary);
+  }
+  return report;
+}
+
+bool CompletenessReport::complete() const noexcept {
+  if (!gaps_.empty()) return false;
+  for (const ProcessorCompleteness& s : processors_) {
+    if (s.lostEvents != 0 || s.droppedAtSource != 0) return false;
+  }
+  return decodeStats_.garbledBuffers == 0 && decodeStats_.tornRecords == 0 &&
+         decodeStats_.corruptRecords == 0 && decodeStats_.unreadableFiles == 0;
+}
+
+uint64_t CompletenessReport::totalLostEvents() const noexcept {
+  uint64_t n = 0;
+  for (const ProcessorCompleteness& s : processors_) n += s.lostEvents;
+  return n;
+}
+
+uint64_t CompletenessReport::totalLostBuffers() const noexcept {
+  uint64_t n = 0;
+  for (const CompletenessGap& g : gaps_) n += g.lostBuffers;
+  return n;
+}
+
+uint64_t CompletenessReport::totalDroppedAtSource() const noexcept {
+  uint64_t n = 0;
+  for (const ProcessorCompleteness& s : processors_) n += s.droppedAtSource;
+  return n;
+}
+
+std::string CompletenessReport::report(double ticksPerSecond) const {
+  std::ostringstream out;
+  const bool ok = complete();
+  out << "completeness: " << (ok ? "COMPLETE" : "INCOMPLETE");
+  if (!hasHeartbeats_) out << " (no heartbeats: loss cannot be bounded)";
+  out << util::strprintf(
+      " — %zu gap(s), %llu buffer(s) lost, %llu event(s) lost, "
+      "%llu dropped at source\n",
+      gaps_.size(), static_cast<unsigned long long>(totalLostBuffers()),
+      static_cast<unsigned long long>(totalLostEvents()),
+      static_cast<unsigned long long>(totalDroppedAtSource()));
+  if (decodeStats_.tornRecords != 0 || decodeStats_.corruptRecords != 0 ||
+      decodeStats_.garbledBuffers != 0 || decodeStats_.unreadableFiles != 0) {
+    out << util::strprintf(
+        "  file damage: %llu torn, %llu corrupt record(s), "
+        "%llu garbled buffer(s), %llu unreadable file(s)\n",
+        static_cast<unsigned long long>(decodeStats_.tornRecords),
+        static_cast<unsigned long long>(decodeStats_.corruptRecords),
+        static_cast<unsigned long long>(decodeStats_.garbledBuffers),
+        static_cast<unsigned long long>(decodeStats_.unreadableFiles));
+  }
+  for (const ProcessorCompleteness& s : processors_) {
+    out << util::strprintf(
+        "  cpu %u: %llu heartbeat(s), %llu observed, %llu expected, "
+        "%llu lost",
+        s.processor, static_cast<unsigned long long>(s.heartbeats),
+        static_cast<unsigned long long>(s.observedEvents),
+        static_cast<unsigned long long>(s.expectedEvents),
+        static_cast<unsigned long long>(s.lostEvents));
+    if (s.droppedAtSource != 0) {
+      out << util::strprintf(", %llu dropped at source",
+                             static_cast<unsigned long long>(s.droppedAtSource));
+    }
+    if (s.tailUnverified) out << ", tail unverified";
+    out << "\n";
+  }
+  for (const CompletenessGap& g : gaps_) {
+    out << util::strprintf("  gap cpu %u [%s]: ", g.processor, kindName(g.kind));
+    if (g.lostBuffers != 0) {
+      out << util::strprintf(
+          "buffers %llu..%llu missing (%llu)",
+          static_cast<unsigned long long>(g.kind == CompletenessGap::Kind::Head
+                                              ? 0
+                                              : g.beforeSeq + 1),
+          static_cast<unsigned long long>(g.afterSeq - 1),
+          static_cast<unsigned long long>(g.lostBuffers));
+    } else {
+      out << "short buffer";
+    }
+    out << util::strprintf(" in ticks [%llu, %llu]",
+                           static_cast<unsigned long long>(g.startTick),
+                           static_cast<unsigned long long>(g.endTick));
+    if (ticksPerSecond > 0.0) {
+      out << util::strprintf(" (%.6fs..%.6fs)",
+                             static_cast<double>(g.startTick) / ticksPerSecond,
+                             static_cast<double>(g.endTick) / ticksPerSecond);
+    }
+    if (g.bounded) {
+      out << util::strprintf(" — exactly %llu event(s) lost",
+                             static_cast<unsigned long long>(g.lostEvents));
+    } else {
+      out << " — loss unbounded";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string CompletenessReport::toJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << util::strprintf("  \"complete\": %s,\n", complete() ? "true" : "false");
+  out << util::strprintf("  \"verified\": %s,\n",
+                         hasHeartbeats_ ? "true" : "false");
+  out << util::strprintf("  \"total_lost_events\": %llu,\n",
+                         static_cast<unsigned long long>(totalLostEvents()));
+  out << util::strprintf("  \"total_lost_buffers\": %llu,\n",
+                         static_cast<unsigned long long>(totalLostBuffers()));
+  out << util::strprintf("  \"dropped_at_source\": %llu,\n",
+                         static_cast<unsigned long long>(totalDroppedAtSource()));
+  out << "  \"processors\": [";
+  for (size_t i = 0; i < processors_.size(); ++i) {
+    const ProcessorCompleteness& s = processors_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << util::strprintf(
+        "    {\"cpu\": %u, \"heartbeats\": %llu, \"observed_events\": %llu, "
+        "\"expected_events\": %llu, \"lost_events\": %llu, "
+        "\"unbounded_gaps\": %llu, \"dropped_at_source\": %llu, "
+        "\"consumer_lost_buffers\": %llu, \"tail_unverified\": %s}",
+        s.processor, static_cast<unsigned long long>(s.heartbeats),
+        static_cast<unsigned long long>(s.observedEvents),
+        static_cast<unsigned long long>(s.expectedEvents),
+        static_cast<unsigned long long>(s.lostEvents),
+        static_cast<unsigned long long>(s.unboundedGaps),
+        static_cast<unsigned long long>(s.droppedAtSource),
+        static_cast<unsigned long long>(s.consumerLost),
+        s.tailUnverified ? "true" : "false");
+  }
+  out << (processors_.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"gaps\": [";
+  for (size_t i = 0; i < gaps_.size(); ++i) {
+    const CompletenessGap& g = gaps_[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << util::strprintf(
+        "    {\"cpu\": %u, \"kind\": \"%s\", \"before_seq\": %llu, "
+        "\"after_seq\": %llu, \"lost_buffers\": %llu, \"start_tick\": %llu, "
+        "\"end_tick\": %llu, \"bounded\": %s, \"lost_events\": %llu}",
+        g.processor, kindName(g.kind),
+        static_cast<unsigned long long>(g.beforeSeq),
+        static_cast<unsigned long long>(g.afterSeq),
+        static_cast<unsigned long long>(g.lostBuffers),
+        static_cast<unsigned long long>(g.startTick),
+        static_cast<unsigned long long>(g.endTick),
+        g.bounded ? "true" : "false",
+        static_cast<unsigned long long>(g.lostEvents));
+  }
+  out << (gaps_.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,98 @@
+// Trace-completeness verification from in-stream heartbeats (DESIGN.md §8).
+//
+// A trace that merely decodes cleanly can still be missing whole buffers:
+// the consumer may have been lapped, a crash may have torn the file tail,
+// or salvage may have skipped a corrupt record. TRACE_MONITOR heartbeats
+// (core/monitor.hpp) make such loss *quantifiable*: each heartbeat carries
+// the processor's cumulative eventsLogged counter, read before the
+// heartbeat's own event is logged, so for consecutive heartbeats h1, h2 on
+// one processor
+//
+//   h2.eventsLogged - h1.eventsLogged
+//     == number of logger events at stream positions [h1, h2)
+//
+// Comparing that expected count against the events actually decoded in the
+// interval bounds the loss exactly — and buffer-sequence discontinuities
+// localize it to specific drop windows in time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+
+namespace ktrace::analysis {
+
+/// One localized drop window on one processor.
+struct CompletenessGap {
+  enum class Kind : uint8_t {
+    Head,    // buffers before the first observed one (flight-recorder lap)
+    Middle,  // buffer-sequence discontinuity between observed events
+    Tail,    // after the last heartbeat — loss there is invisible
+  };
+
+  uint32_t processor = 0;
+  uint64_t beforeSeq = 0;    // last buffer seq before the gap (Head: unused)
+  uint64_t afterSeq = 0;     // first buffer seq after the gap (Tail: unused)
+  uint64_t lostBuffers = 0;  // whole buffers missing from the stream
+  uint64_t startTick = 0;    // timestamp of the last event before the gap
+  uint64_t endTick = 0;      // timestamp of the first event after the gap
+  bool bounded = false;      // lostEvents is exact (heartbeats bracket it)
+  uint64_t lostEvents = 0;   // exact when bounded, else unknown (0)
+  Kind kind = Kind::Middle;
+};
+
+/// Per-processor completeness summary.
+struct ProcessorCompleteness {
+  uint32_t processor = 0;
+  uint64_t heartbeats = 0;      // heartbeat events observed
+  uint64_t observedEvents = 0;  // logger events decoded (fillers/anchors not)
+  uint64_t expectedEvents = 0;  // last heartbeat's cumulative eventsLogged
+  uint64_t lostEvents = 0;      // exact loss over [stream start, last heartbeat)
+  uint64_t unboundedGaps = 0;   // gaps no heartbeat pair brackets
+  uint64_t droppedAtSource = 0; // reservations rejected (last heartbeat)
+  uint64_t consumerLost = 0;    // buffers lost to lapping (last heartbeat)
+  bool tailUnverified = false;  // a gap lies after the last heartbeat
+};
+
+/// Replays a decoded trace's heartbeats and buffer sequence numbers into a
+/// verdict: is this trace complete, and if not, exactly how much is
+/// missing and where?
+class CompletenessReport {
+ public:
+  /// Analyze `trace`. Works with any DecodeOptions (fillers and anchors
+  /// are ignored whether or not they were kept).
+  static CompletenessReport analyze(const TraceSet& trace);
+
+  /// True when at least one heartbeat was seen (without heartbeats gaps
+  /// are still detected but loss cannot be bounded).
+  bool hasHeartbeats() const noexcept { return hasHeartbeats_; }
+
+  /// No gaps, no bounded loss, no source drops, and no file-level damage.
+  bool complete() const noexcept;
+
+  const std::vector<CompletenessGap>& gaps() const noexcept { return gaps_; }
+  const std::vector<ProcessorCompleteness>& processors() const noexcept {
+    return processors_;
+  }
+
+  uint64_t totalLostEvents() const noexcept;
+  uint64_t totalLostBuffers() const noexcept;
+  uint64_t totalDroppedAtSource() const noexcept;
+
+  /// Human-readable report. `ticksPerSecond` (when nonzero) adds seconds
+  /// alongside raw tick values.
+  std::string report(double ticksPerSecond = 0.0) const;
+
+  /// Machine-readable report (stable key order, valid JSON).
+  std::string toJson() const;
+
+ private:
+  std::vector<CompletenessGap> gaps_;
+  std::vector<ProcessorCompleteness> processors_;
+  DecodeStats decodeStats_{};
+  bool hasHeartbeats_ = false;
+};
+
+}  // namespace ktrace::analysis

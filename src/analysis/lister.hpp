@@ -22,6 +22,10 @@ struct ListerOptions {
   size_t maxEvents = 0;
   /// Prefix each line with the source processor.
   bool showProcessor = false;
+  /// Run the completeness verifier and interleave "!!! gap" warning lines
+  /// where the stream is missing buffers (heartbeat-bounded loss counts
+  /// included). Warning lines do not count against maxEvents.
+  bool annotateGaps = false;
 };
 
 /// Renders the merged event stream as one line per event:

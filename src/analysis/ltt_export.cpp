@@ -22,6 +22,7 @@ const char* lttFacilityName(Major major) noexcept {
     case Major::Linux: return "syscall";
     case Major::Prof: return "profile";
     case Major::HwPerf: return "hwperf";
+    case Major::Monitor: return "monitor";
     case Major::MajorCount: break;
   }
   return "unknown";

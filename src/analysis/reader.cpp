@@ -32,6 +32,7 @@ TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
     uint64_t tsBase = 0;
     std::vector<DecodedEvent>& out = set.perProcessor_[processor];
     for (size_t k = 0; k < recs.size(); ++k) {
+      if (recs[k]->commitMismatch) ++set.stats_.commitMismatchBuffers;
       set.stats_.merge(decodeBuffer(recs[k]->words, recs[k]->seq, processor,
                                     tsBase, out, options));
       if (k == 0 && recs.size() > 1) {
@@ -70,6 +71,7 @@ TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
     TraceReaderOptions readerOptions;
     readerOptions.salvage = options.salvage;
     readerOptions.useMmap = options.useMmap;
+    readerOptions.fs = options.fs;
     std::unique_ptr<TraceFileReader> reader;
     try {
       reader = std::make_unique<TraceFileReader>(paths[i], readerOptions);
@@ -102,6 +104,7 @@ TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
             paths[i].c_str(), static_cast<unsigned long long>(k))));
         return;
       }
+      if (view.commitMismatch) ++r.stats.commitMismatchBuffers;
       r.stats.merge(decodeBuffer(view.words, view.seq, r.processor, tsBase,
                                  r.events, options));
       if (k == 0 && count > 1) {

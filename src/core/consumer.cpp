@@ -41,9 +41,12 @@ void Consumer::drainNow() {
   }
 }
 
-Consumer::Stats Consumer::stats() const {
-  std::lock_guard lock(consumeMutex_);
-  return stats_;
+Consumer::Stats Consumer::stats() const noexcept {
+  Stats s;
+  s.buffersConsumed = buffersConsumed_.load(std::memory_order_relaxed);
+  s.commitMismatches = commitMismatches_.load(std::memory_order_relaxed);
+  s.buffersLost = buffersLost_.load(std::memory_order_relaxed);
+  return s;
 }
 
 bool Consumer::consumePass() {
@@ -67,7 +70,7 @@ bool Consumer::consumeOne(uint32_t p) {
   // still be intact (the current lap occupies one slot).
   if (currentSeq - seq >= numBuffers) {
     const uint64_t oldestSafe = currentSeq - numBuffers + 1;
-    stats_.buffersLost += oldestSafe - seq;
+    buffersLost_.fetch_add(oldestSafe - seq, std::memory_order_relaxed);
     seq = oldestSafe;
     nextSeq_[p] = seq;
   }
@@ -76,7 +79,7 @@ bool Consumer::consumeOne(uint32_t p) {
   auto& state = control.bufferState(slot);
   if (state.lapSeq.load(std::memory_order_acquire) != seq) {
     // The slot was already recycled for a newer lap: this buffer is gone.
-    stats_.buffersLost += 1;
+    buffersLost_.fetch_add(1, std::memory_order_relaxed);
     nextSeq_[p] = seq + 1;
     return true;
   }
@@ -105,13 +108,13 @@ bool Consumer::consumeOne(uint32_t p) {
 
   // Seqlock-style validation: if the lap changed under us, the copy is torn.
   if (state.lapSeq.load(std::memory_order_acquire) != seq) {
-    stats_.buffersLost += 1;
+    buffersLost_.fetch_add(1, std::memory_order_relaxed);
     nextSeq_[p] = seq + 1;
     return true;
   }
 
-  if (record.commitMismatch) stats_.commitMismatches += 1;
-  stats_.buffersConsumed += 1;
+  if (record.commitMismatch) commitMismatches_.fetch_add(1, std::memory_order_relaxed);
+  buffersConsumed_.fetch_add(1, std::memory_order_relaxed);
   nextSeq_[p] = seq + 1;
   sink_.onBuffer(std::move(record));
   return true;

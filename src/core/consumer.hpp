@@ -52,7 +52,10 @@ class Consumer {
     uint64_t commitMismatches = 0;  // partially written buffers (§3.1)
     uint64_t buffersLost = 0;       // producer lapped the consumer
   };
-  Stats stats() const;
+  /// Lock-free snapshot of the counters (relaxed loads): callable from any
+  /// thread — including Monitor::snapshot() — without touching the consume
+  /// mutex or blocking the consumer's poll loop.
+  Stats stats() const noexcept;
 
  private:
   /// One consumption pass over all processors; returns true if any buffer
@@ -66,9 +69,13 @@ class Consumer {
   Sink& sink_;
   ConsumerConfig config_;
 
-  mutable std::mutex consumeMutex_;    // guards nextSeq_ and stats_
+  mutable std::mutex consumeMutex_;    // guards nextSeq_; counters are atomic
   std::vector<uint64_t> nextSeq_;      // per processor
-  Stats stats_;
+
+  // Written only under consumeMutex_, read lock-free by stats().
+  std::atomic<uint64_t> buffersConsumed_{0};
+  std::atomic<uint64_t> commitMismatches_{0};
+  std::atomic<uint64_t> buffersLost_{0};
 
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -12,6 +12,7 @@ TraceControl::TraceControl(const TraceControlConfig& config)
       numBuffers_(config.numBuffers),
       commitCounts_(config.commitCounts),
       timestampPerAttempt_(config.timestampPerAttempt),
+      selfMonitoring_(config.selfMonitoring),
       clock_(config.clock) {
   if (!util::isPowerOfTwo(bufferWords_) || !util::isPowerOfTwo(numBuffers_)) {
     throw std::invalid_argument("bufferWords and numBuffers must be powers of two");

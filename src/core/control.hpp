@@ -59,6 +59,11 @@ struct TraceControlConfig {
   /// another process [that] gets the next slot in the buffer, but obtains
   /// an earlier timestamp").
   bool timestampPerAttempt = true;
+  /// Self-monitoring counters on the log hot path (DESIGN.md §8): per-major
+  /// event counts and reserved words, read by core::MonitorSnapshot and
+  /// embedded in TRACE_MONITOR heartbeats. Costs ~1 ns/event
+  /// (bench_selfmon); disable for the absolute minimum hot path.
+  bool selfMonitoring = true;
 };
 
 class TraceControl {
@@ -133,6 +138,34 @@ class TraceControl {
   ClockRef clock() const noexcept { return clock_; }
   void setClock(ClockRef clock) noexcept { clock_ = clock; }
   bool commitCountsEnabled() const noexcept { return commitCounts_; }
+  bool selfMonitoringEnabled() const noexcept { return selfMonitoring_; }
+
+  // --- self-monitoring counters (DESIGN.md §8) --------------------------
+  /// Called by the logger entry points after a successful commit. The
+  /// updates are relaxed load/add/store rather than fetch_add: under the
+  /// one-writer-per-processor binding model they are exact, and when
+  /// threads share a control they are statistically accurate — the same
+  /// trade K42 makes for per-processor counters, keeping the hot-path cost
+  /// to ~1 ns instead of two locked RMWs.
+  void noteLogged(Major major, uint32_t lengthWords) noexcept {
+    if (!selfMonitoring_) return;
+    auto& slot = perMajorLogged_[static_cast<uint32_t>(major)];
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    wordsReserved_.store(
+        wordsReserved_.load(std::memory_order_relaxed) + lengthWords,
+        std::memory_order_relaxed);
+  }
+
+  /// Events logged through the logger entry points for one major class.
+  uint64_t eventsLoggedFor(Major major) const noexcept {
+    return perMajorLogged_[static_cast<uint32_t>(major)].load(
+        std::memory_order_relaxed);
+  }
+  /// Total words reserved by logger entry points (headers included).
+  uint64_t wordsReservedCount() const noexcept {
+    return wordsReserved_.load(std::memory_order_relaxed);
+  }
 
   /// Writes a 64-bit word into the trace array. Relaxed atomic store so
   /// concurrent readers of in-flight buffers are race-free; publication
@@ -165,6 +198,7 @@ class TraceControl {
   uint32_t maxEventWords_;
   bool commitCounts_;
   bool timestampPerAttempt_;
+  bool selfMonitoring_;
   ClockRef clock_;
   std::unique_ptr<uint64_t[]> region_;
   std::unique_ptr<BufferSlotState[]> slots_;
@@ -177,6 +211,12 @@ class TraceControl {
   std::atomic<uint64_t> rejectedEvents_{0};
   std::atomic<uint64_t> fillerWords_{0};
   std::atomic<uint64_t> exactFitCrossings_{0};
+
+  // Self-monitoring counters, written only by this processor's logging
+  // threads: their own cache lines so the hot path never shares a line
+  // with another processor's counters or the contended index.
+  alignas(64) std::atomic<uint64_t> wordsReserved_{0};
+  std::atomic<uint64_t> perMajorLogged_[kMaxMajors] = {};
 };
 
 }  // namespace ktrace

@@ -15,6 +15,10 @@
 
 #include "core/event.hpp"
 
+namespace ktrace::util {
+class FileSystem;  // util/faultfs.hpp
+}
+
 namespace ktrace {
 
 /// An event copied out of a trace buffer.
@@ -43,6 +47,8 @@ struct DecodeStats {
   uint64_t fillerWords = 0;   // words of filler skipped
   uint64_t garbledBuffers = 0;  // buffers abandoned at a bad header
   uint64_t garbledWords = 0;    // words skipped due to garbling
+  uint64_t commitMismatchBuffers = 0;  // buffers flagged partially written
+                                       // at consume time (§3.1 anomaly)
 
   // File-level damage tolerated by salvage mode (TraceSet::fromFiles with
   // DecodeOptions::salvage); mirrors the per-file SalvageReport totals.
@@ -59,6 +65,7 @@ struct DecodeStats {
     fillerWords += other.fillerWords;
     garbledBuffers += other.garbledBuffers;
     garbledWords += other.garbledWords;
+    commitMismatchBuffers += other.commitMismatchBuffers;
     tornRecords += other.tornRecords;
     corruptRecords += other.corruptRecords;
     skippedBytes += other.skippedBytes;
@@ -79,6 +86,9 @@ struct DecodeOptions {
                               // results are identical regardless of the count
   bool useMmap = true;        // fromFiles: serve records from an mmap'd view
                               // when the platform allows (falls back to stdio)
+  util::FileSystem* fs = nullptr;  // fromFiles: file I/O goes through this
+                                   // (fault injection in tests; forces the
+                                   // stdio path); nullptr = FileSystem::stdio()
 };
 
 /// Structural validity of a header at `offset` within a buffer of

@@ -37,7 +37,8 @@ enum class Major : uint8_t {
   Linux = 11,   // Linux-emulation-layer transitions
   Prof = 12,    // statistical PC samples
   HwPerf = 13,  // hardware-counter samples logged as events (paper §2)
-  MajorCount = 14,
+  Monitor = 14, // the tracer monitoring itself: heartbeats with counters
+  MajorCount = 15,
 };
 
 constexpr uint32_t kMaxMajors = 64;
@@ -46,6 +47,13 @@ constexpr uint32_t kMaxMajors = 64;
 enum class ControlMinor : uint16_t {
   Filler = 0,        // header-only event padding to the buffer boundary
   BufferAnchor = 1,  // full 64-bit timestamp + global buffer sequence
+};
+
+/// Minor IDs of Major::Monitor — the tracer's self-monitoring stream
+/// (DESIGN.md §8). Heartbeats embed per-processor counter snapshots into
+/// the trace so a decoded trace is self-describing about its own health.
+enum class MonitorMinor : uint16_t {
+  Heartbeat = 0,  // periodic counter snapshot (core/monitor.hpp layout)
 };
 
 /// Field geometry of the header word.

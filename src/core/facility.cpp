@@ -35,6 +35,7 @@ Facility::Facility(const FacilityConfig& config) : config_(config), mask_(config
     cc.clock = clock;
     cc.commitCounts = config_.commitCounts;
     cc.timestampPerAttempt = config_.timestampPerAttempt;
+    cc.selfMonitoring = config_.selfMonitoring;
     controls_.push_back(std::make_unique<TraceControl>(cc));
   }
 }

@@ -40,6 +40,8 @@ struct FacilityConfig {
   bool commitCounts = true;
   /// Ablation switch, see TraceControlConfig::timestampPerAttempt.
   bool timestampPerAttempt = true;
+  /// Hot-path self-monitoring counters, see TraceControlConfig::selfMonitoring.
+  bool selfMonitoring = true;
   Mode mode = Mode::FlightRecorder;
   uint64_t initialMask = 0;  // tracing starts disabled, ready to enable
 };

@@ -20,6 +20,7 @@
 #include "core/flight_recorder.hpp"
 #include "core/logger.hpp"
 #include "core/mask.hpp"
+#include "core/monitor.hpp"
 #include "core/packing.hpp"
 #include "core/registry.hpp"
 #include "core/sink.hpp"

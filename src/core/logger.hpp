@@ -34,6 +34,7 @@ inline bool logEvent(TraceControl& control, Major major, uint16_t minor,
   uint64_t at = r.index + 1;
   ((control.storeWord(at++, static_cast<uint64_t>(words))), ...);
   control.commit(r.index, length);
+  control.noteLogged(major, length);
   return true;
 }
 
@@ -47,6 +48,7 @@ inline bool logEventData(TraceControl& control, Major major, uint16_t minor,
   uint64_t at = r.index + 1;
   for (const uint64_t w : data) control.storeWord(at++, w);
   control.commit(r.index, length);
+  control.noteLogged(major, length);
   return true;
 }
 
@@ -70,6 +72,7 @@ inline bool logEventString(TraceControl& control, Major major, uint16_t minor,
     control.storeWord(at++, w);
   }
   control.commit(r.index, length);
+  control.noteLogged(major, length);
   return true;
 }
 

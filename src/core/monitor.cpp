@@ -1,0 +1,138 @@
+#include "core/monitor.hpp"
+
+#include "core/logger.hpp"
+
+namespace ktrace {
+
+ProcessorCounters readProcessorCounters(const TraceControl& control) {
+  ProcessorCounters pc;
+  pc.processorId = control.processorId();
+  uint64_t events = 0;
+  for (uint32_t m = 0; m < kMaxMajors; ++m) {
+    const uint64_t n = control.eventsLoggedFor(static_cast<Major>(m));
+    pc.perMajor[m] = n;
+    events += n;
+  }
+  pc.eventsLogged = events;
+  pc.wordsReserved = control.wordsReservedCount();
+  pc.reserveRetries = control.reserveRetries();
+  pc.bufferWraps = control.currentBufferSeq();
+  pc.slowPathEntries = control.slowPathEntries();
+  pc.eventsDropped = control.rejectedEvents();
+  pc.fillerWords = control.fillerWordsWritten();
+  pc.exactFitCrossings = control.exactFitCrossings();
+  return pc;
+}
+
+ProcessorCounters MonitorSnapshot::totals() const {
+  ProcessorCounters t;
+  for (const ProcessorCounters& pc : processors) {
+    t.eventsLogged += pc.eventsLogged;
+    t.wordsReserved += pc.wordsReserved;
+    t.reserveRetries += pc.reserveRetries;
+    t.bufferWraps += pc.bufferWraps;
+    t.slowPathEntries += pc.slowPathEntries;
+    t.eventsDropped += pc.eventsDropped;
+    t.fillerWords += pc.fillerWords;
+    t.exactFitCrossings += pc.exactFitCrossings;
+    for (uint32_t m = 0; m < kMaxMajors; ++m) t.perMajor[m] += pc.perMajor[m];
+  }
+  return t;
+}
+
+bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
+  if (event.header.major != Major::Monitor ||
+      event.header.minor != static_cast<uint16_t>(MonitorMinor::Heartbeat) ||
+      event.data.size() < kHeartbeatPayloadWords) {
+    return false;
+  }
+  out.heartbeatSeq = event.data[0];
+  out.bufferSeq = event.data[1];
+  out.eventsLogged = event.data[2];
+  out.wordsReserved = event.data[3];
+  out.reserveRetries = event.data[4];
+  out.slowPathEntries = event.data[5];
+  out.eventsDropped = event.data[6];
+  out.fillerWords = event.data[7];
+  out.consumerBuffers = event.data[8];
+  out.consumerLost = event.data[9];
+  out.consumerMismatches = event.data[10];
+  return true;
+}
+
+bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
+                         const Consumer::Stats* consumer) noexcept {
+  if (!control.selfMonitoringEnabled()) return false;
+  // Counters first: the heartbeat's own event must not be included in the
+  // payload it carries (the [h1, h2) interval identity).
+  const ProcessorCounters pc = readProcessorCounters(control);
+  const uint64_t payload[kHeartbeatPayloadWords] = {
+      heartbeatSeq,
+      control.currentBufferSeq(),
+      pc.eventsLogged,
+      pc.wordsReserved,
+      pc.reserveRetries,
+      pc.slowPathEntries,
+      pc.eventsDropped,
+      pc.fillerWords,
+      consumer != nullptr ? consumer->buffersConsumed : 0,
+      consumer != nullptr ? consumer->buffersLost : 0,
+      consumer != nullptr ? consumer->commitMismatches : 0,
+  };
+  return logEventData(control, Major::Monitor,
+                      static_cast<uint16_t>(MonitorMinor::Heartbeat), payload);
+}
+
+Monitor::Monitor(Facility& facility, Consumer* consumer)
+    : Monitor(facility, consumer, Config()) {}
+
+Monitor::Monitor(Facility& facility, Consumer* consumer, Config config)
+    : facility_(facility), consumer_(consumer), config_(config) {}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::start() {
+  if (!config_.emitHeartbeats) return;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void Monitor::stop() {
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void Monitor::run() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(config_.heartbeatInterval);
+    if (!running_.load(std::memory_order_acquire)) break;
+    beatNow();
+  }
+}
+
+void Monitor::beatNow() {
+  if (!facility_.mask().isEnabled(Major::Monitor)) return;
+  const uint64_t seq = heartbeatSeq_.fetch_add(1, std::memory_order_relaxed);
+  Consumer::Stats stats;
+  if (consumer_ != nullptr) stats = consumer_->stats();
+  for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
+    logMonitorHeartbeat(facility_.control(p), seq,
+                        consumer_ != nullptr ? &stats : nullptr);
+  }
+}
+
+MonitorSnapshot Monitor::snapshot() const {
+  MonitorSnapshot snap;
+  snap.processors.reserve(facility_.numProcessors());
+  for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
+    snap.processors.push_back(readProcessorCounters(facility_.control(p)));
+  }
+  if (consumer_ != nullptr) {
+    snap.consumer = consumer_->stats();
+    snap.hasConsumer = true;
+  }
+  return snap;
+}
+
+}  // namespace ktrace

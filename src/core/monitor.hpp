@@ -1,0 +1,158 @@
+// Trace-the-tracer: self-monitoring of the tracing infrastructure itself
+// (DESIGN.md §8).
+//
+// The paper's claim is that tracing is cheap and lossless enough to leave
+// on in production; this layer makes the running system able to *show*
+// that. Three pieces:
+//
+//   1. MonitorSnapshot / Monitor::snapshot(): a lock-free aggregation of
+//      every per-processor TraceControl counter (events per major class,
+//      words reserved, CAS retries, buffer wraps, drops) plus the
+//      consumer's lock-free Stats — live observability with zero effect on
+//      the logging fast path.
+//   2. TRACE_MONITOR heartbeats: logMonitorHeartbeat() embeds a counter
+//      snapshot and the processor's current buffer sequence number into
+//      the trace stream itself, so a decoded trace carries evidence of its
+//      own completeness (analysis::CompletenessReport replays them).
+//   3. Monitor: a background thread emitting heartbeats at a fixed cadence
+//      and serving snapshots; ossim::Machine emits the same heartbeats on
+//      virtual time.
+//
+// The heartbeat reads its counters BEFORE logging its own event, so for
+// two consecutive heartbeats h1, h2 on one processor the counter delta
+// h2.eventsLogged - h1.eventsLogged equals the number of logger events in
+// stream positions [h1, h2) — the identity the completeness verifier uses
+// to bound lost events exactly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/consumer.hpp"
+#include "core/decode.hpp"
+#include "core/facility.hpp"
+
+namespace ktrace {
+
+/// Plain snapshot of one processor's self-monitoring counters.
+struct ProcessorCounters {
+  uint32_t processorId = 0;
+  uint64_t eventsLogged = 0;    // sum of perMajor (logger entry points)
+  uint64_t wordsReserved = 0;   // words reserved by logger events (hdr incl.)
+  uint64_t reserveRetries = 0;  // lost CAS attempts in traceReserve
+  uint64_t bufferWraps = 0;     // buffer-boundary crossings (= buffer seq)
+  uint64_t slowPathEntries = 0; // traceReserveSlow entries (incl. races)
+  uint64_t eventsDropped = 0;   // reservations rejected (zero/oversized)
+  uint64_t fillerWords = 0;     // words burned padding buffer tails
+  uint64_t exactFitCrossings = 0;
+  std::array<uint64_t, kMaxMajors> perMajor{};  // events per major class
+
+  uint64_t bytesReserved() const noexcept { return wordsReserved * 8; }
+};
+
+/// One read of the whole facility's health: per-processor counters plus
+/// the consumer's loss/anomaly totals. All fields are plain values; the
+/// snapshot is internally consistent only as far as relaxed reads of live
+/// counters can be (each counter is exact, cross-counter skew is bounded
+/// by in-flight events).
+struct MonitorSnapshot {
+  std::vector<ProcessorCounters> processors;
+  Consumer::Stats consumer{};   // zeros when no consumer is attached
+  bool hasConsumer = false;
+
+  /// Sums over all processors (perMajor included).
+  ProcessorCounters totals() const;
+};
+
+/// Lock-free read of one control's counters (relaxed loads only).
+ProcessorCounters readProcessorCounters(const TraceControl& control);
+
+// --- TRACE_MONITOR heartbeat event ------------------------------------
+//
+// Payload layout (11 data words after the header):
+//   w0  heartbeatSeq       emitter's heartbeat sequence number
+//   w1  bufferSeq          processor's current buffer sequence at emit
+//   w2  eventsLogged       cumulative logger events on this processor
+//   w3  wordsReserved      cumulative words reserved by those events
+//   w4  reserveRetries     cumulative lost CAS attempts
+//   w5  slowPathEntries    cumulative slow-path (buffer-crossing) entries
+//   w6  eventsDropped      cumulative rejected reservations
+//   w7  fillerWords        cumulative filler padding words
+//   w8  consumerBuffers    buffers consumed (0 when no consumer known)
+//   w9  consumerLost       buffers lost to lapping (ditto)
+//   w10 consumerMismatches partially-written buffers seen (ditto)
+inline constexpr uint32_t kHeartbeatPayloadWords = 11;
+
+struct Heartbeat {
+  uint64_t heartbeatSeq = 0;
+  uint64_t bufferSeq = 0;
+  uint64_t eventsLogged = 0;
+  uint64_t wordsReserved = 0;
+  uint64_t reserveRetries = 0;
+  uint64_t slowPathEntries = 0;
+  uint64_t eventsDropped = 0;
+  uint64_t fillerWords = 0;
+  uint64_t consumerBuffers = 0;
+  uint64_t consumerLost = 0;
+  uint64_t consumerMismatches = 0;
+};
+
+/// True (and fills `out`) when `event` is a well-formed heartbeat.
+bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept;
+
+/// Reads `control`'s counters, then logs one TRACE_MONITOR heartbeat event
+/// on it (counters first, so the heartbeat's own event is *not* included
+/// in its eventsLogged — see the interval identity above). `consumer` may
+/// be null (fields w8-w10 log as zero). Returns false if the reservation
+/// failed or self-monitoring is disabled on the control.
+bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
+                         const Consumer::Stats* consumer) noexcept;
+
+/// Background self-monitoring: periodic heartbeats on every processor and
+/// lock-free snapshots on demand. Works in both facility modes; in Stream
+/// mode pass the Consumer so heartbeats carry loss totals.
+class Monitor {
+ public:
+  struct Config {
+    std::chrono::microseconds heartbeatInterval{100'000};  // 10 Hz
+    bool emitHeartbeats = true;  // false: snapshot service only
+  };
+
+  explicit Monitor(Facility& facility, Consumer* consumer = nullptr);
+  Monitor(Facility& facility, Consumer* consumer, Config config);
+  ~Monitor();
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Start / stop the heartbeat thread (no-ops when emitHeartbeats=false).
+  void start();
+  void stop();
+
+  /// Emit one heartbeat on every processor right now (any thread; also
+  /// used by tests for deterministic cadence).
+  void beatNow();
+
+  /// Lock-free facility-wide counter snapshot.
+  MonitorSnapshot snapshot() const;
+
+  uint64_t heartbeatsEmitted() const noexcept {
+    return heartbeatSeq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  Facility& facility_;
+  Consumer* consumer_;
+  Config config_;
+  std::atomic<uint64_t> heartbeatSeq_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace ktrace

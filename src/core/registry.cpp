@@ -15,6 +15,10 @@ Registry::Registry() {
   add({Major::Control, static_cast<uint16_t>(ControlMinor::BufferAnchor),
        KT_TR(TRACE_CONTROL_BUFFER_ANCHOR), "64 64",
        "buffer anchor ts %0[%llu] seq %1[%llu]"});
+  add({Major::Monitor, static_cast<uint16_t>(MonitorMinor::Heartbeat),
+       KT_TR(TRACE_MONITOR_HEARTBEAT), "64 64 64 64 64 64 64 64 64 64 64",
+       "heartbeat #%0[%llu] bufseq %1[%llu] events %2[%llu] words %3[%llu] "
+       "retries %4[%llu] dropped %6[%llu] consumed %8[%llu] lost %9[%llu]"});
 }
 
 Registry& Registry::global() {

@@ -188,6 +188,7 @@ bool ShmTraceControl::logEventData(Major major, uint16_t minor,
   uint64_t at = r.index + 1;
   for (const uint64_t w : data) storeWord(at++, w);
   commit(r.index, length);
+  noteLogged(length);
   return true;
 }
 

@@ -53,9 +53,14 @@ struct ShmControlState {
   alignas(64) std::atomic<uint64_t> rejected;
   std::atomic<uint64_t> slowPathEntries;
   std::atomic<uint64_t> fillerWords;
+  // v2: self-monitoring counters (DESIGN.md §8), updated by the mapped
+  // loggers with relaxed load/add/store — exact under one writer per
+  // processor, statistically accurate when processes share a block.
+  std::atomic<uint64_t> eventsLogged;
+  std::atomic<uint64_t> wordsReserved;
 
   static constexpr uint32_t kMagic = 0x4B54524Bu;  // "KTRK"
-  static constexpr uint32_t kVersion = 1;
+  static constexpr uint32_t kVersion = 2;
 };
 
 static_assert(std::is_trivially_destructible_v<ShmControlState>);
@@ -95,6 +100,7 @@ class ShmTraceControl {
     uint64_t at = r.index + 1;
     ((storeWord(at++, static_cast<uint64_t>(words))), ...);
     commit(r.index, length);
+    noteLogged(length);
     return true;
   }
 
@@ -118,6 +124,12 @@ class ShmTraceControl {
   uint64_t fillerWordsWritten() const noexcept {
     return state_->fillerWords.load(std::memory_order_relaxed);
   }
+  uint64_t eventsLogged() const noexcept {
+    return state_->eventsLogged.load(std::memory_order_relaxed);
+  }
+  uint64_t wordsReservedCount() const noexcept {
+    return state_->wordsReserved.load(std::memory_order_relaxed);
+  }
   const ShmSlotState& slot(uint32_t i) const noexcept { return slots_[i]; }
 
   /// Copies and decodes the most recent events (flight-recorder style).
@@ -133,6 +145,15 @@ class ShmTraceControl {
 
  private:
   ShmTraceControl(ShmControlState* state, ClockRef clock);
+  /// Self-monitoring update; same relaxed load/add/store trade as
+  /// TraceControl::noteLogged.
+  void noteLogged(uint32_t lengthWords) noexcept {
+    auto& e = state_->eventsLogged;
+    e.store(e.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    auto& w = state_->wordsReserved;
+    w.store(w.load(std::memory_order_relaxed) + lengthWords,
+            std::memory_order_relaxed);
+  }
   bool reserveSlow(uint32_t lengthWords, Reservation& out) noexcept;
   void writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept;
   void writeAnchor(uint64_t index, uint64_t fullTs, uint64_t seq) noexcept;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/logger.hpp"
+#include "core/monitor.hpp"
 
 namespace ossim {
 
@@ -575,6 +576,20 @@ void Machine::consume(Cpu& cpu, SimThread& thread, Tick ns, bool spinning) {
       ++stats_.hwCounterSamples;
       logv(cpu, Major::HwPerf, static_cast<uint16_t>(HwPerfMinor::CounterSample),
            thread.pid, uint64_t{0}, delta, thread.currentFuncId);
+    }
+  }
+  if (config_.monitorHeartbeatIntervalNs > 0 && facility_ != nullptr) {
+    cpu.sinceHeartbeat += ns;
+    while (cpu.sinceHeartbeat >= config_.monitorHeartbeatIntervalNs) {
+      cpu.sinceHeartbeat -= config_.monitorHeartbeatIntervalNs;
+      chargeTraceStatement(cpu, Major::Monitor);
+      if (!facility_->mask().isEnabled(Major::Monitor)) continue;
+      cpu.clock.set(cpu.now);
+      if (ktrace::logMonitorHeartbeat(facility_->control(cpu.id),
+                                      cpu.heartbeatSeq, nullptr)) {
+        ++cpu.heartbeatSeq;
+        ++stats_.monitorHeartbeats;
+      }
     }
   }
 }

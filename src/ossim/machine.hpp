@@ -42,6 +42,10 @@ struct MachineConfig {
   /// log a HwPerf/CounterSample event with the cache-miss delta since the
   /// previous sample. 0 = off.
   Tick hwCounterSampleIntervalNs = 0;
+  /// Self-monitoring heartbeats (DESIGN.md §8): every interval of CPU
+  /// time, log a TRACE_MONITOR heartbeat carrying this processor's tracer
+  /// counters, so the trace can verify its own completeness. 0 = off.
+  Tick monitorHeartbeatIntervalNs = 0;
   double cacheMissesPerUs = 30.0;     // baseline simulated miss rate
   double spinMissMultiplier = 12.0;   // lock-line bouncing while spinning
   Tick minorFaultNs = 2'000;
@@ -96,6 +100,7 @@ struct MachineStats {
   uint64_t traceStatements = 0;
   uint64_t pcSamples = 0;
   uint64_t hwCounterSamples = 0;
+  uint64_t monitorHeartbeats = 0;
   uint64_t migrations = 0;
   uint64_t sleeps = 0;
   uint64_t locksHotSwapped = 0;
@@ -169,6 +174,8 @@ class Machine {
     CpuStats stats;
     Tick sinceSample = 0;    // cpu time since last pc sample
     Tick sinceHwSample = 0;  // cpu time since last hw-counter sample
+    Tick sinceHeartbeat = 0; // cpu time since last monitor heartbeat
+    uint64_t heartbeatSeq = 0;
     double missAccum = 0;    // simulated cache misses since last sample
     bool idleLogged = false;
   };

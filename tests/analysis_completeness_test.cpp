@@ -1,0 +1,266 @@
+// Completeness verification end to end: an ossim-generated trace with
+// TRACE_MONITOR heartbeats is damaged through the fault-injecting
+// filesystem (bit flips and read truncation), and the CompletenessReport
+// must find the exact gap windows and bound the lost-event counts to the
+// injected loss — identically under serial and 8-way parallel decode
+// (hence the `concurrent` label: the decode fan-out runs under TSan).
+#include "analysis/completeness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "util/faultfs.hpp"
+#include "analysis/lister.hpp"
+#include "workload/sdet.hpp"
+
+namespace ktrace {
+namespace {
+
+constexpr uint32_t kBufferWords = 1u << 10;
+constexpr uint64_t kHeaderBytes = 128;
+constexpr uint64_t kRecordBytes = 32 + kBufferWords * 8;
+
+class CompletenessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_completeness_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+    generateTrace();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void generateTrace() {
+    FacilityConfig fcfg;
+    fcfg.numProcessors = 2;
+    fcfg.bufferWords = kBufferWords;
+    fcfg.buffersPerProcessor = 64;
+    fcfg.mode = Mode::Stream;
+    Facility facility(fcfg);
+    facility.mask().enableAll();
+
+    TraceFileMeta meta;
+    meta.numProcessors = 2;
+    meta.bufferWords = kBufferWords;
+    meta.clockKind = ClockKind::Virtual;
+    meta.ticksPerSecond = 1e9;
+    FileSink files(dir_.string(), "t", meta);
+    Consumer consumer(facility, files, {});
+
+    ossim::MachineConfig mcfg;
+    mcfg.numProcessors = 2;
+    mcfg.monitorHeartbeatIntervalNs = 10'000;  // dense heartbeat cover
+    ossim::Machine machine(mcfg, &facility);
+    analysis::SymbolTable symbols;
+    workload::SdetConfig scfg;
+    scfg.numScripts = 4;
+    scfg.commandsPerScript = 3;
+    workload::SdetWorkload sdet(scfg, machine, symbols);
+    sdet.spawnAll();
+    machine.run();
+    ASSERT_GT(machine.stats().monitorHeartbeats, 0u);
+
+    facility.flushAll();
+    consumer.drainNow();
+    files.flush();
+    paths_ = {files.pathFor(0), files.pathFor(1)};
+  }
+
+  /// Events per buffer seq for one cpu, from the undamaged trace (default
+  /// decode: fillers and anchors excluded, exactly the logger events).
+  std::map<uint64_t, uint64_t> cleanEventsPerSeq(uint32_t cpu) {
+    const auto trace = analysis::TraceSet::fromFiles(paths_);
+    std::map<uint64_t, uint64_t> perSeq;
+    for (const DecodedEvent& e : trace.processorEvents(cpu)) {
+      ++perSeq[e.bufferSeq];
+    }
+    return perSeq;
+  }
+
+  /// Copies every trace file byte-for-byte through the fault-injecting
+  /// filesystem, whose write path applies the plan's corruption (bit
+  /// flips are write-side faults). Returns the damaged copies' paths.
+  std::vector<std::string> damagedCopies(const util::FaultPlan& plan) {
+    util::FaultInjectingFileSystem ffs(plan);
+    std::vector<std::string> damaged;
+    for (const std::string& path : paths_) {
+      std::FILE* src = std::fopen(path.c_str(), "rb");
+      EXPECT_NE(src, nullptr);
+      const std::string out = path + ".bad";
+      auto dst = ffs.open(out, "wb");
+      EXPECT_NE(dst, nullptr);
+      char buf[4096];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof buf, src)) > 0) {
+        EXPECT_EQ(dst->write(buf, n), n);
+      }
+      std::fclose(src);
+      EXPECT_TRUE(dst->flush());
+      damaged.push_back(out);
+    }
+    return damaged;
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::string> paths_;
+};
+
+TEST_F(CompletenessTest, CleanTraceIsComplete) {
+  const auto trace = analysis::TraceSet::fromFiles(paths_);
+  const auto report = analysis::CompletenessReport::analyze(trace);
+  EXPECT_TRUE(report.hasHeartbeats());
+  EXPECT_TRUE(report.complete()) << report.report();
+  EXPECT_TRUE(report.gaps().empty());
+  EXPECT_EQ(report.totalLostEvents(), 0u);
+  ASSERT_EQ(report.processors().size(), 2u);
+  for (const analysis::ProcessorCompleteness& s : report.processors()) {
+    EXPECT_GT(s.heartbeats, 1u);
+    EXPECT_GE(s.observedEvents, s.expectedEvents);
+    EXPECT_EQ(s.lostEvents, 0u);
+  }
+  EXPECT_NE(report.report().find("COMPLETE"), std::string::npos);
+}
+
+TEST_F(CompletenessTest, BitFlipGapIsFoundAndBoundedExactly) {
+  // Pick a middle record; the fault plan applies per open, so BOTH cpu
+  // files lose record k — two independent gaps, each exactly bounded.
+  const auto clean0 = cleanEventsPerSeq(0);
+  const auto clean1 = cleanEventsPerSeq(1);
+  ASSERT_GE(clean0.size(), 3u);
+  ASSERT_GE(clean1.size(), 3u);
+  const uint64_t k = std::min(clean0.rbegin()->first, clean1.rbegin()->first) / 2;
+  ASSERT_GE(k, 1u);
+
+  util::FaultPlan plan;
+  plan.flipBitAtOffset = static_cast<int64_t>(kHeaderBytes + k * kRecordBytes + 32 + 48);
+  plan.flipBit = 3;
+  const std::vector<std::string> damaged = damagedCopies(plan);
+
+  for (const uint32_t threads : {1u, 8u}) {
+    DecodeOptions options;
+    options.salvage = true;  // the CRC failure skips record k
+    options.threads = threads;
+    const auto trace = analysis::TraceSet::fromFiles(damaged, options);
+    const auto report = analysis::CompletenessReport::analyze(trace);
+
+    EXPECT_FALSE(report.complete());
+    EXPECT_EQ(trace.stats().corruptRecords, 2u) << "threads=" << threads;
+    ASSERT_EQ(report.gaps().size(), 2u) << "threads=" << threads;
+    EXPECT_EQ(report.totalLostBuffers(), 2u);
+
+    for (const analysis::CompletenessGap& gap : report.gaps()) {
+      const auto& clean = gap.processor == 0 ? clean0 : clean1;
+      EXPECT_EQ(gap.kind, analysis::CompletenessGap::Kind::Middle);
+      EXPECT_EQ(gap.beforeSeq, k - 1);
+      EXPECT_EQ(gap.afterSeq, k + 1);
+      EXPECT_EQ(gap.lostBuffers, 1u);
+      EXPECT_LT(gap.startTick, gap.endTick);
+      // The injected loss, exactly: every logger event of buffer k.
+      ASSERT_TRUE(gap.bounded) << "cpu " << gap.processor;
+      EXPECT_EQ(gap.lostEvents, clean.at(k)) << "cpu " << gap.processor
+                                             << " threads=" << threads;
+    }
+    EXPECT_EQ(report.totalLostEvents(), clean0.at(k) + clean1.at(k));
+    EXPECT_NE(report.report().find("INCOMPLETE"), std::string::npos);
+  }
+}
+
+TEST_F(CompletenessTest, SerialAndParallelDecodeAgreeBitForBit) {
+  util::FaultPlan plan;
+  plan.flipBitAtOffset = static_cast<int64_t>(kHeaderBytes + kRecordBytes + 32 + 8);
+  plan.flipBit = 7;
+  const std::vector<std::string> damaged = damagedCopies(plan);
+
+  auto analyzeWith = [&](uint32_t threads) {
+    DecodeOptions options;
+    options.salvage = true;
+    options.threads = threads;
+    const auto trace = analysis::TraceSet::fromFiles(damaged, options);
+    return analysis::CompletenessReport::analyze(trace).toJson();
+  };
+  const std::string serial = analyzeWith(1);
+  const std::string parallel = analyzeWith(8);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"complete\": false"), std::string::npos);
+}
+
+TEST_F(CompletenessTest, ListerAnnotatesGapsInline) {
+  const auto clean0 = cleanEventsPerSeq(0);
+  const uint64_t k = clean0.rbegin()->first / 2;
+  ASSERT_GE(k, 1u);
+  util::FaultPlan plan;
+  plan.flipBitAtOffset = static_cast<int64_t>(kHeaderBytes + k * kRecordBytes + 32 + 48);
+  plan.flipBit = 3;
+  const std::vector<std::string> damaged = damagedCopies(plan);
+
+  DecodeOptions options;
+  options.salvage = true;
+  const auto trace = analysis::TraceSet::fromFiles(damaged, options);
+  analysis::ListerOptions lo;
+  lo.annotateGaps = true;
+  const std::string listing =
+      analysis::listEvents(trace, Registry::global(), 1e9, lo);
+  EXPECT_NE(listing.find("!!! gap cpu0:"), std::string::npos);
+  EXPECT_NE(listing.find("event(s) lost"), std::string::npos);
+}
+
+TEST_F(CompletenessTest, TruncatedTailIsIncomplete) {
+  // The "disk" loses the end of every file: the last record is torn.
+  const uint64_t fileBytes = std::filesystem::file_size(paths_[0]);
+  util::FaultPlan plan;
+  plan.truncateReadsAt = static_cast<int64_t>(fileBytes - kRecordBytes / 2);
+  util::FaultInjectingFileSystem ffs(plan);
+
+  DecodeOptions options;
+  options.salvage = true;
+  options.fs = &ffs;
+  const auto trace = analysis::TraceSet::fromFiles(paths_, options);
+  const auto report = analysis::CompletenessReport::analyze(trace);
+  EXPECT_GE(trace.stats().tornRecords, 1u);
+  EXPECT_FALSE(report.complete());
+  EXPECT_NE(report.report().find("torn"), std::string::npos);
+}
+
+TEST_F(CompletenessTest, NoHeartbeatsMeansUnboundedGaps) {
+  // A trace logged without self-monitoring: buffer loss is still detected
+  // through the sequence numbers, but the loss cannot be bounded.
+  FacilityConfig fcfg;
+  fcfg.numProcessors = 1;
+  fcfg.bufferWords = 64;
+  fcfg.buffersPerProcessor = 16;
+  fcfg.mode = Mode::Stream;
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+  facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(facility.log(Major::Test, 1, i, i));
+  }
+  facility.flushAll();
+  consumer.drainNow();
+
+  std::vector<BufferRecord> records = sink.records();
+  ASSERT_GE(records.size(), 3u);
+  records.erase(records.begin() + 1);  // drop buffer seq 1 outright
+
+  const auto trace = analysis::TraceSet::fromRecords(records);
+  const auto report = analysis::CompletenessReport::analyze(trace);
+  EXPECT_FALSE(report.hasHeartbeats());
+  EXPECT_FALSE(report.complete());
+  ASSERT_EQ(report.gaps().size(), 1u);
+  EXPECT_EQ(report.gaps()[0].lostBuffers, 1u);
+  EXPECT_FALSE(report.gaps()[0].bounded);
+  EXPECT_NE(report.report().find("no heartbeats"), std::string::npos);
+  EXPECT_NE(report.toJson().find("\"verified\": false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ktrace

@@ -55,6 +55,7 @@ class ToolCliTest : public ::testing::Test {
     mcfg.numProcessors = 2;
     mcfg.pcSampleIntervalNs = 50'000;
     mcfg.hwCounterSampleIntervalNs = 50'000;
+    mcfg.monitorHeartbeatIntervalNs = 50'000;
     ossim::Machine machine(mcfg, &facility);
     analysis::SymbolTable symbols;
     workload::SdetConfig scfg;
@@ -93,6 +94,64 @@ class ToolCliTest : public ::testing::Test {
 TEST_F(ToolCliTest, NoArgsShowsUsage) {
   std::string out;
   EXPECT_EQ(runTool("", out), 2);
+}
+
+TEST_F(ToolCliTest, UsageEnumeratesEverySubcommandAndFlag) {
+  std::string out, err;
+  const std::string errPath = (dir_ / "err.txt").string();
+  const std::string cmd = std::string(KTRACETOOL_PATH) + " 2> " + errPath;
+  EXPECT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 2);
+  std::ifstream in(errPath);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  err = ss.str();
+  for (const char* cmdName :
+       {"list", "locks", "profile", "attrib", "stats", "timeline", "svg", "ltt",
+        "csv", "deadlock", "intervals", "hotspots", "crashdump", "fsck",
+        "monitor"}) {
+    EXPECT_NE(err.find(cmdName), std::string::npos) << cmdName;
+  }
+  for (const char* flag : {"--salvage", "--threads=N", "--no-mmap", "--json"}) {
+    EXPECT_NE(err.find(flag), std::string::npos) << flag;
+  }
+  // Bad usage (unknown command) exits 2; runtime failures exit 1.
+  EXPECT_EQ(runTool("frobnicate " + cpu0_, out), 2);
+  EXPECT_EQ(runTool("list " + (dir_ / "missing.ktrc").string(), out), 1);
+}
+
+TEST_F(ToolCliTest, MonitorShowsCountersAndCompleteness) {
+  std::string out;
+  ASSERT_EQ(runTool("monitor " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("beats"), std::string::npos);
+  EXPECT_NE(out.find("events/s"), std::string::npos);
+  EXPECT_NE(out.find("completeness: COMPLETE"), std::string::npos);
+  // One row per cpu plus the consumer and completeness lines.
+  EXPECT_NE(out.find("\n0 "), std::string::npos);
+  EXPECT_NE(out.find("\n1 "), std::string::npos);
+}
+
+TEST_F(ToolCliTest, MonitorJsonIsWellFormed) {
+  std::string out;
+  ASSERT_EQ(runTool("monitor " + cpu0_ + " " + cpu1_ + " --json", out), 0);
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_NE(out.find("\"processors\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"events_logged\":"), std::string::npos);
+  EXPECT_NE(out.find("\"completeness\": {"), std::string::npos);
+  EXPECT_NE(out.find("\"complete\": true"), std::string::npos);
+  // Structural sanity: braces and brackets balance.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '{'),
+            std::count(out.begin(), out.end(), '}'));
+  EXPECT_EQ(std::count(out.begin(), out.end(), '['),
+            std::count(out.begin(), out.end(), ']'));
+}
+
+TEST_F(ToolCliTest, StatsReportsTracerHealth) {
+  std::string out;
+  ASSERT_EQ(runTool("stats " + cpu0_ + " " + cpu1_, out), 0);
+  EXPECT_NE(out.find("tracer:"), std::string::npos);
+  EXPECT_NE(out.find("garbled buffer"), std::string::npos);
+  EXPECT_NE(out.find("dropped at source"), std::string::npos);
+  EXPECT_NE(out.find("consumer"), std::string::npos);
 }
 
 TEST_F(ToolCliTest, ListPrintsEvents) {

@@ -17,17 +17,22 @@
 //   ktracetool hotspots ... [--counter=0] [--top=N]
 //   ktracetool crashdump <dump.k42dump> [--cpu=N] [--max=N]
 //   ktracetool fsck     a.cpu0.ktrc ...              (validate / salvage report)
+//   ktracetool monitor  ... [--json]                 (self-monitoring counters)
 //
 // Every trace-reading subcommand accepts --salvage: tolerate torn and
 // corrupt records (counting them) instead of stopping at the damage.
 // Decode is parallel (one task per file) and zero-copy (mmap) by
 // default: --threads=N caps the fan-out (0 = hardware concurrency) and
 // --no-mmap forces the buffered stdio read path.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 bad usage, 3 deadlock
+// found (deadlock), 4 damage found (fsck).
 #include <cstdio>
 #include <fstream>
 
 #include "core/trace_file.hpp"
 
+#include "analysis/completeness.hpp"
 #include "analysis/deadlock.hpp"
 #include "analysis/event_stats.hpp"
 #include "analysis/hwcounters.hpp"
@@ -49,11 +54,152 @@ using namespace ktrace;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ktracetool <list|locks|profile|attrib|stats|timeline|svg|"
-               "ltt|csv|deadlock|intervals|hotspots|crashdump|fsck> "
-               "<trace files...> [flags] [--salvage] [--threads=N] [--no-mmap]\n");
+  std::fprintf(
+      stderr,
+      "usage: ktracetool <command> <trace files...> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  list       one line per event           [--max=N] [--start=s] [--end=s] [--gaps]\n"
+      "  locks      contended-lock report        [--top=N] [--sort=time|count|spin|max]\n"
+      "  profile    PC-sample profile            [--pid=P] [--top=N]\n"
+      "  attrib     per-process time attribution [--pid=P]\n"
+      "  stats      event counts + tracer stats  [--top=N]\n"
+      "  timeline   ASCII per-cpu lanes          [--width=N]\n"
+      "  svg        SVG timeline                 [--out=timeline.svg]\n"
+      "  ltt        LTT-style text dump          [--max=N]\n"
+      "  csv        CSV export                   [--max=N]\n"
+      "  deadlock   lock-cycle detection         (exit 3 when a cycle is found)\n"
+      "  intervals  latency distributions\n"
+      "  hotspots   hw-counter hotspots          [--counter=0] [--top=N]\n"
+      "  crashdump  flight-recorder dump         <dump.k42dump> [--cpu=N] [--max=N]\n"
+      "  fsck       validate / salvage report    (exit 4 when damage is found)\n"
+      "  monitor    self-monitoring counters     [--json]\n"
+      "\n"
+      "global flags (trace-reading commands):\n"
+      "  --salvage    tolerate torn/corrupt records instead of stopping\n"
+      "  --threads=N  decode fan-out (0 = hardware concurrency)\n"
+      "  --no-mmap    force the buffered stdio read path\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime failure, 2 bad usage, 3 deadlock, 4 damage\n");
   return 2;
+}
+
+/// Replays TRACE_MONITOR heartbeats into a per-processor health table (or
+/// machine-readable JSON with --json), plus the completeness verdict.
+int runMonitor(const analysis::TraceSet& trace, bool json) {
+  const double tps = trace.ticksPerSecond();
+
+  struct CpuMonitor {
+    uint64_t heartbeats = 0;
+    uint64_t firstTick = 0;
+    uint64_t lastTick = 0;
+    Heartbeat first;
+    Heartbeat last;
+  };
+  std::vector<CpuMonitor> cpus(trace.numProcessors());
+  Heartbeat consumer;  // newest heartbeat's consumer totals, any cpu
+  uint64_t consumerTick = 0;
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    CpuMonitor& cm = cpus[p];
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      Heartbeat hb;
+      if (!parseHeartbeat(e, hb)) continue;
+      if (cm.heartbeats == 0) {
+        cm.first = hb;
+        cm.firstTick = e.fullTimestamp;
+      }
+      cm.last = hb;
+      cm.lastTick = e.fullTimestamp;
+      ++cm.heartbeats;
+      if (e.fullTimestamp >= consumerTick) {
+        consumerTick = e.fullTimestamp;
+        consumer = hb;
+      }
+    }
+  }
+
+  const analysis::CompletenessReport report =
+      analysis::CompletenessReport::analyze(trace);
+
+  auto rate = [&](const CpuMonitor& cm) -> double {
+    if (cm.heartbeats < 2 || cm.lastTick <= cm.firstTick) return 0.0;
+    const double seconds =
+        static_cast<double>(cm.lastTick - cm.firstTick) / tps;
+    return static_cast<double>(cm.last.eventsLogged - cm.first.eventsLogged) /
+           seconds;
+  };
+
+  if (json) {
+    std::string completeness = report.toJson();
+    while (!completeness.empty() &&
+           (completeness.back() == '\n' || completeness.back() == ' ')) {
+      completeness.pop_back();
+    }
+    std::printf("{\n");
+    std::printf("  \"ticks_per_second\": %.1f,\n", tps);
+    std::printf("  \"processors\": [");
+    bool firstCpu = true;
+    for (uint32_t p = 0; p < cpus.size(); ++p) {
+      const CpuMonitor& cm = cpus[p];
+      if (cm.heartbeats == 0) continue;
+      std::printf("%s\n    {\"cpu\": %u, \"heartbeats\": %llu, "
+                  "\"events_logged\": %llu, \"bytes_reserved\": %llu, "
+                  "\"reserve_retries\": %llu, \"slow_path_entries\": %llu, "
+                  "\"events_dropped\": %llu, \"filler_words\": %llu, "
+                  "\"buffer_seq\": %llu, \"events_per_second\": %.1f}",
+                  firstCpu ? "" : ",", p,
+                  static_cast<unsigned long long>(cm.heartbeats),
+                  static_cast<unsigned long long>(cm.last.eventsLogged),
+                  static_cast<unsigned long long>(cm.last.wordsReserved * 8),
+                  static_cast<unsigned long long>(cm.last.reserveRetries),
+                  static_cast<unsigned long long>(cm.last.slowPathEntries),
+                  static_cast<unsigned long long>(cm.last.eventsDropped),
+                  static_cast<unsigned long long>(cm.last.fillerWords),
+                  static_cast<unsigned long long>(cm.last.bufferSeq),
+                  rate(cm));
+      firstCpu = false;
+    }
+    std::printf("%s,\n", firstCpu ? "]" : "\n  ]");
+    std::printf("  \"consumer\": {\"buffers_consumed\": %llu, "
+                "\"buffers_lost\": %llu, \"commit_mismatches\": %llu},\n",
+                static_cast<unsigned long long>(consumer.consumerBuffers),
+                static_cast<unsigned long long>(consumer.consumerLost),
+                static_cast<unsigned long long>(consumer.consumerMismatches));
+    std::printf("  \"completeness\": %s\n", completeness.c_str());
+    std::printf("}\n");
+    return 0;
+  }
+
+  bool any = false;
+  std::printf("%-4s %10s %12s %14s %9s %9s %9s %12s %8s %12s\n", "cpu",
+              "beats", "events", "bytes", "retries", "slowpath", "dropped",
+              "filler", "bufseq", "events/s");
+  for (uint32_t p = 0; p < cpus.size(); ++p) {
+    const CpuMonitor& cm = cpus[p];
+    if (cm.heartbeats == 0) continue;
+    any = true;
+    std::printf("%-4u %10llu %12llu %14llu %9llu %9llu %9llu %12llu %8llu %12.1f\n",
+                p, static_cast<unsigned long long>(cm.heartbeats),
+                static_cast<unsigned long long>(cm.last.eventsLogged),
+                static_cast<unsigned long long>(cm.last.wordsReserved * 8),
+                static_cast<unsigned long long>(cm.last.reserveRetries),
+                static_cast<unsigned long long>(cm.last.slowPathEntries),
+                static_cast<unsigned long long>(cm.last.eventsDropped),
+                static_cast<unsigned long long>(cm.last.fillerWords),
+                static_cast<unsigned long long>(cm.last.bufferSeq), rate(cm));
+  }
+  if (!any) {
+    std::printf("no TRACE_MONITOR heartbeats in this trace "
+                "(self-monitoring off or Monitor class not running)\n");
+  } else {
+    std::printf("consumer: %llu buffer(s) consumed, %llu lost, "
+                "%llu commit mismatch(es)\n",
+                static_cast<unsigned long long>(consumer.consumerBuffers),
+                static_cast<unsigned long long>(consumer.consumerLost),
+                static_cast<unsigned long long>(consumer.consumerMismatches));
+  }
+  std::fputs(report.report(tps).c_str(), stdout);
+  return 0;
 }
 
 /// Validates (and reports salvageable damage in) each trace file. Exit 0
@@ -84,6 +230,23 @@ int runFsck(const std::vector<std::string>& files) {
     std::fprintf(stderr,
                  "fsck: damage detected; intact records are recoverable with "
                  "--salvage\n");
+  }
+  // Beyond per-record integrity: replay TRACE_MONITOR heartbeats to check
+  // the *stream* is complete (no lapped or skipped buffers). Warnings
+  // only — exit 4 stays reserved for file-level damage.
+  try {
+    DecodeOptions decodeOptions;
+    decodeOptions.salvage = true;
+    const auto trace = analysis::TraceSet::fromFiles(files, decodeOptions);
+    const analysis::CompletenessReport report =
+        analysis::CompletenessReport::analyze(trace);
+    if (!report.complete()) {
+      std::fprintf(stderr, "fsck: %s", report.report(trace.ticksPerSecond()).c_str());
+    } else if (report.hasHeartbeats()) {
+      std::printf("completeness: COMPLETE (heartbeat-verified, no gaps)\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fsck: completeness check skipped: %s\n", e.what());
   }
   return rc;
 }
@@ -144,11 +307,29 @@ int run(const util::Cli& cli) {
                  static_cast<unsigned long long>(s.skippedBytes),
                  static_cast<unsigned long long>(s.unreadableFiles));
   }
+  if (command != "monitor") {
+    // Heartbeat-verified completeness warning for every analysis command:
+    // numbers computed from an incomplete stream deserve a caveat.
+    const analysis::CompletenessReport completeness =
+        analysis::CompletenessReport::analyze(trace);
+    if (completeness.hasHeartbeats() && !completeness.complete()) {
+      std::fprintf(stderr,
+                   "warning: trace is incomplete (%llu buffer(s), %llu event(s) "
+                   "lost); run 'ktracetool monitor' for details\n",
+                   static_cast<unsigned long long>(completeness.totalLostBuffers()),
+                   static_cast<unsigned long long>(completeness.totalLostEvents()));
+    }
+  }
+
+  if (command == "monitor") {
+    return runMonitor(trace, cli.getBool("json", false));
+  }
 
   if (command == "list") {
     analysis::ListerOptions opts;
     opts.maxEvents = static_cast<size_t>(cli.getInt("max", 0));
     opts.showProcessor = true;
+    opts.annotateGaps = cli.getBool("gaps", false);
     if (cli.has("start")) opts.startTick = static_cast<uint64_t>(cli.getDouble("start", 0) * tps);
     if (cli.has("end")) opts.endTick = static_cast<uint64_t>(cli.getDouble("end", 0) * tps);
     std::fputs(analysis::listEvents(trace, registry, tps, opts).c_str(), stdout);
@@ -196,6 +377,40 @@ int run(const util::Cli& cli) {
     std::fputs(
         stats.report(registry, tps, static_cast<size_t>(cli.getInt("top", 20))).c_str(),
         stdout);
+    // Tracer health: decode anomalies plus the self-monitoring counters
+    // carried by the newest heartbeat (drops at source, consumer losses).
+    const DecodeStats& ds = trace.stats();
+    std::printf("\ntracer: %llu garbled buffer(s), %llu commit mismatch(es), "
+                "%llu metadata mismatch file(s)\n",
+                static_cast<unsigned long long>(ds.garbledBuffers),
+                static_cast<unsigned long long>(ds.commitMismatchBuffers),
+                static_cast<unsigned long long>(ds.metadataMismatchFiles));
+    Heartbeat newest;
+    uint64_t newestTick = 0;
+    bool haveHeartbeat = false;
+    uint64_t droppedAtSource = 0;
+    for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+      uint64_t cpuDropped = 0;
+      for (const DecodedEvent& e : trace.processorEvents(p)) {
+        Heartbeat hb;
+        if (!parseHeartbeat(e, hb)) continue;
+        cpuDropped = hb.eventsDropped;
+        if (e.fullTimestamp >= newestTick) {
+          newestTick = e.fullTimestamp;
+          newest = hb;
+          haveHeartbeat = true;
+        }
+      }
+      droppedAtSource += cpuDropped;
+    }
+    if (haveHeartbeat) {
+      std::printf("tracer: %llu event(s) dropped at source; consumer "
+                  "%llu buffer(s), %llu lost, %llu commit mismatch(es)\n",
+                  static_cast<unsigned long long>(droppedAtSource),
+                  static_cast<unsigned long long>(newest.consumerBuffers),
+                  static_cast<unsigned long long>(newest.consumerLost),
+                  static_cast<unsigned long long>(newest.consumerMismatches));
+    }
   } else if (command == "timeline") {
     analysis::Timeline timeline(trace);
     std::fputs(

@@ -1,0 +1,63 @@
+// Tiny trace generator for ci/run_monitor_smoke.sh: runs an SDET workload
+// on the simulated 2-way machine with in-stream heartbeats enabled and
+// writes the trace to <dir>/<prefix>.cpuN.ktrc, ready for
+// `ktracetool monitor --json`.
+//
+// Usage: monitor_smoke_gen <dir> [prefix]
+#include <cstdio>
+#include <string>
+
+#include "analysis/symbols.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: monitor_smoke_gen <dir> [prefix]\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  const std::string prefix = argc > 2 ? argv[2] : "smoke";
+
+  FacilityConfig fcfg;
+  fcfg.numProcessors = 2;
+  fcfg.bufferWords = 1u << 10;
+  fcfg.buffersPerProcessor = 64;
+  fcfg.mode = Mode::Stream;
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+
+  TraceFileMeta meta;
+  meta.numProcessors = 2;
+  meta.bufferWords = fcfg.bufferWords;
+  meta.clockKind = ClockKind::Virtual;
+  meta.ticksPerSecond = 1e9;
+  FileSink files(dir, prefix, meta);
+  Consumer consumer(facility, files, {});
+
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = 2;
+  mcfg.monitorHeartbeatIntervalNs = 50'000;
+  ossim::Machine machine(mcfg, &facility);
+  analysis::SymbolTable symbols;
+  workload::SdetConfig scfg;
+  scfg.numScripts = 4;
+  scfg.commandsPerScript = 3;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+
+  facility.flushAll();
+  consumer.drainNow();
+  files.flush();
+
+  if (machine.stats().monitorHeartbeats == 0) {
+    std::fprintf(stderr, "monitor_smoke_gen: no heartbeats emitted\n");
+    return 1;
+  }
+  std::printf("%s\n%s\n", files.pathFor(0).c_str(), files.pathFor(1).c_str());
+  return 0;
+}
