@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs the consumer-pipeline sweep (shards x batch size) and records
+# BENCH_consumer.json at the repo root.
+# Usage: bench/run_consumer_bench.sh [build-dir] [extra flags...]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$build/bench/bench_consumer_throughput" ]; then
+  cmake -B "$build" -S "$repo"
+  cmake --build "$build" -j "$(nproc)" --target bench_consumer_throughput
+fi
+
+"$build/bench/bench_consumer_throughput" --out="$repo/BENCH_consumer.json" "$@"

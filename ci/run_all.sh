@@ -1,0 +1,32 @@
+#!/bin/sh
+# The whole verification gauntlet in one command:
+#   1. tier-1 build + full ctest suite (plain toolchain)
+#   2. ASan+UBSan build + full ctest suite
+#   3. TSan build + `concurrent`-labelled tests (ci/run_tsan.sh)
+#   4. monitor smoke: heartbeat trace -> ktracetool monitor --json
+# Usage: ci/run_all.sh [build-dir-prefix]
+# Build trees land at <prefix>, <prefix>-asan, <prefix>-tsan
+# (default: build, build-asan, build-tsan at the repo root).
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-$repo/build}"
+
+echo "==> [1/4] tier-1: plain build + ctest"
+cmake -B "$prefix" -S "$repo"
+cmake --build "$prefix" -j "$(nproc)"
+(cd "$prefix" && ctest --output-on-failure)
+
+echo "==> [2/4] ASan+UBSan build + ctest"
+cmake -B "$prefix-asan" -S "$repo" -DKTRACE_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$prefix-asan" -j "$(nproc)"
+(cd "$prefix-asan" && ctest --output-on-failure)
+
+echo "==> [3/4] TSan: concurrent-labelled tests"
+"$repo/ci/run_tsan.sh" "$prefix-tsan"
+
+echo "==> [4/4] monitor smoke"
+"$repo/ci/run_monitor_smoke.sh" "$prefix"
+
+echo "run_all: all four stages passed"

@@ -1,0 +1,121 @@
+#include "core/batching_sink.hpp"
+
+#include <algorithm>
+
+namespace ktrace {
+
+BatchingSink::BatchingSink(Sink& downstream, BatchingConfig config)
+    : downstream_(downstream), config_(config) {
+  config_.batchRecords = std::max<size_t>(config_.batchRecords, 1);
+  config_.maxQueuedRecords =
+      std::max(config_.maxQueuedRecords, config_.batchRecords);
+  thread_ = std::thread([this] { run(); });
+}
+
+BatchingSink::~BatchingSink() { stop(); }
+
+void BatchingSink::stop() {
+  std::lock_guard lifecycle(lifecycleMutex_);
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  workCv_.notify_all();
+  spaceCv_.notify_all();
+  if (thread_.joinable()) thread_.join();  // writer drains before exiting
+}
+
+bool BatchingSink::enqueue(BufferRecord&& record) {
+  std::unique_lock lock(mutex_);
+  if (queue_.size() >= config_.maxQueuedRecords) {
+    if (!config_.blockWhenFull || stopping_) {
+      recordsDropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    backpressureWaits_.fetch_add(1, std::memory_order_relaxed);
+    spaceCv_.wait(lock, [&] {
+      return queue_.size() < config_.maxQueuedRecords || stopping_;
+    });
+    if (queue_.size() >= config_.maxQueuedRecords) {
+      recordsDropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // woken by stop with the queue still full
+    }
+  }
+  queue_.push_back(std::move(record));
+  const bool batchReady = queue_.size() >= config_.batchRecords;
+  lock.unlock();
+  if (batchReady) workCv_.notify_one();
+  return true;
+}
+
+void BatchingSink::onBuffer(BufferRecord&& record) {
+  enqueue(std::move(record));
+}
+
+void BatchingSink::onBufferBatch(std::vector<BufferRecord>&& records) {
+  for (BufferRecord& record : records) enqueue(std::move(record));
+}
+
+std::vector<BufferRecord> BatchingSink::takeBatchLocked() {
+  std::vector<BufferRecord> batch;
+  const size_t n = std::min(queue_.size(), config_.batchRecords);
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+void BatchingSink::deliver(std::vector<BufferRecord>&& batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard lock(downstreamMutex_);
+    downstream_.onBufferBatch(std::move(batch));
+  }
+  batchesFlushed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BatchingSink::run() {
+  for (;;) {
+    std::unique_lock lock(mutex_);
+    workCv_.wait_for(lock, config_.maxLinger, [&] {
+      return stopping_ || queue_.size() >= config_.batchRecords;
+    });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;  // linger expired with nothing queued
+    }
+    std::vector<BufferRecord> batch = takeBatchLocked();
+    lock.unlock();
+    spaceCv_.notify_all();
+    deliver(std::move(batch));
+  }
+}
+
+void BatchingSink::flushNow() {
+  for (;;) {
+    std::vector<BufferRecord> batch;
+    {
+      std::lock_guard lock(mutex_);
+      if (queue_.empty()) return;
+      batch = takeBatchLocked();
+    }
+    spaceCv_.notify_all();
+    deliver(std::move(batch));
+  }
+}
+
+SinkCounters BatchingSink::counters() const {
+  SinkCounters c = downstream_.counters();
+  c.recordsDropped += recordsDropped_.load(std::memory_order_relaxed);
+  c.batchesFlushed += batchesFlushed_.load(std::memory_order_relaxed);
+  c.backpressureWaits += backpressureWaits_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mutex_);
+    c.queuedRecords += queue_.size();
+  }
+  return c;
+}
+
+}  // namespace ktrace

@@ -1,0 +1,110 @@
+// BatchingSink: a decorator that coalesces completed buffers into batches
+// before handing them downstream (DESIGN.md §9).
+//
+// Consumer shards enqueue records into a bounded in-flight queue; a single
+// writer thread drains the queue in batches of up to `batchRecords` and
+// delivers each batch through Sink::onBufferBatch — for a FileSink that is
+// one coalesced write() per processor-run instead of one per buffer. The
+// writer thread also serializes the downstream sink, so anything (even a
+// single-threaded sink) can sit behind a BatchingSink under a sharded
+// consumer.
+//
+// The queue is bounded because an unbounded one just moves buffer loss
+// into the heap: when full, either the caller blocks until space frees
+// (blockWhenFull — backpressure, counted in backpressureWaits) or the
+// record is shed and counted in recordsDropped. Both are surfaced through
+// counters() → core::Monitor → ktracetool monitor.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/sink.hpp"
+
+namespace ktrace {
+
+struct BatchingConfig {
+  /// Records per downstream flush (K). The writer flushes earlier when the
+  /// queue drains or the linger expires.
+  size_t batchRecords = 8;
+  /// Queue capacity. When reached: block (blockWhenFull) or shed.
+  size_t maxQueuedRecords = 64;
+  /// Longest a queued record waits for company before the writer flushes a
+  /// short batch anyway.
+  std::chrono::microseconds maxLinger{500};
+  /// true: a full queue blocks the caller until the writer frees space
+  /// (lossless, but the consumer shard stalls — never the logging path).
+  /// false: shed the incoming record and count it.
+  bool blockWhenFull = false;
+};
+
+class BatchingSink final : public Sink {
+ public:
+  /// Starts the writer thread. `downstream` must outlive this sink.
+  explicit BatchingSink(Sink& downstream, BatchingConfig config = {});
+  /// Drains the queue downstream, then joins the writer.
+  ~BatchingSink() override;
+
+  BatchingSink(const BatchingSink&) = delete;
+  BatchingSink& operator=(const BatchingSink&) = delete;
+
+  void onBuffer(BufferRecord&& record) override;
+  void onBufferBatch(std::vector<BufferRecord>&& records) override;
+
+  /// Stops the writer thread after it drains everything queued (idempotent,
+  /// concurrent-safe). The sink still works afterwards: records enqueue
+  /// and flushNow() delivers them, there is just no background writer.
+  void stop();
+
+  /// Synchronously pushes everything queued downstream from the calling
+  /// thread (serialized against the writer).
+  void flushNow();
+
+  /// Queue + drop accounting merged with the downstream sink's counters.
+  SinkCounters counters() const override;
+
+  uint64_t batchesFlushed() const noexcept {
+    return batchesFlushed_.load(std::memory_order_relaxed);
+  }
+  uint64_t recordsDropped() const noexcept {
+    return recordsDropped_.load(std::memory_order_relaxed);
+  }
+  uint64_t backpressureWaits() const noexcept {
+    return backpressureWaits_.load(std::memory_order_relaxed);
+  }
+  size_t queuedNow() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  void run();
+  bool enqueue(BufferRecord&& record);  // false: shed
+  /// Pops up to batchRecords records. Caller holds mutex_.
+  std::vector<BufferRecord> takeBatchLocked();
+  void deliver(std::vector<BufferRecord>&& batch);
+
+  Sink& downstream_;
+  BatchingConfig config_;
+
+  mutable std::mutex mutex_;           // guards queue_ and stopping_
+  std::condition_variable workCv_;     // writer waits for records / stop
+  std::condition_variable spaceCv_;    // blocked producers wait for space
+  std::deque<BufferRecord> queue_;
+  bool stopping_ = false;
+
+  std::mutex downstreamMutex_;  // writer thread vs flushNow()
+  std::mutex lifecycleMutex_;   // stop-once (same pattern as Consumer::stop)
+  std::thread thread_;
+
+  std::atomic<uint64_t> batchesFlushed_{0};
+  std::atomic<uint64_t> recordsDropped_{0};
+  std::atomic<uint64_t> backpressureWaits_{0};
+};
+
+}  // namespace ktrace

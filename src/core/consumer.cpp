@@ -1,86 +1,163 @@
 #include "core/consumer.hpp"
 
+#include <algorithm>
+
 namespace ktrace {
 
 Consumer::Consumer(Facility& facility, Sink& sink, ConsumerConfig config)
-    : facility_(facility), sink_(sink), config_(config),
-      nextSeq_(facility.numProcessors(), 0) {}
+    : facility_(facility), sink_(sink), config_(config) {
+  const uint32_t procs = facility.numProcessors();
+  uint32_t n = config_.shards == 0 ? procs : config_.shards;
+  n = std::clamp<uint32_t>(n, 1, procs);
+  shards_.reserve(n);
+  uint32_t begin = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    // Contiguous slices, remainder spread over the first shards.
+    const uint32_t count = procs / n + (s < procs % n ? 1 : 0);
+    auto shard = std::make_unique<Shard>();
+    shard->firstProcessor = begin;
+    shard->endProcessor = begin + count;
+    shard->nextSeq.assign(count, 0);
+    begin += count;
+    shards_.push_back(std::move(shard));
+  }
+}
 
 Consumer::~Consumer() { stop(); }
 
 void Consumer::start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
-  thread_ = std::thread([this] { run(); });
+  std::lock_guard lifecycle(lifecycleMutex_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, s = shard.get()] { shardRun(*s); });
+  }
 }
 
 void Consumer::stop() {
+  // The whole transition happens under the lifecycle mutex: concurrent
+  // stops serialize (only the first finds joinable threads), and a stop
+  // racing a start cannot observe half-spawned workers.
+  std::lock_guard lifecycle(lifecycleMutex_);
   running_.store(false, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
+  notify();  // wake sleeping workers so they see running_ == false now
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
 }
 
-void Consumer::run() {
-  while (running_.load(std::memory_order_acquire)) {
-    bool progressed;
+void Consumer::notify() noexcept {
+  for (auto& shard : shards_) {
     {
-      std::lock_guard lock(consumeMutex_);
-      progressed = consumePass();
+      std::lock_guard lock(shard->cvMutex);
+      ++shard->doorbell;
     }
-    if (!progressed) std::this_thread::sleep_for(config_.pollInterval);
-  }
-  // Final sweep so a stop() right after producer quiescence loses nothing
-  // that was already complete.
-  std::lock_guard lock(consumeMutex_);
-  while (consumePass()) {
+    shard->cv.notify_all();
   }
 }
 
 void Consumer::drainNow() {
-  std::lock_guard lock(consumeMutex_);
-  while (consumePass()) {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->passMutex);
+    while (shardPass(*shard)) {
+    }
   }
 }
 
 Consumer::Stats Consumer::stats() const noexcept {
   Stats s;
-  s.buffersConsumed = buffersConsumed_.load(std::memory_order_relaxed);
-  s.commitMismatches = commitMismatches_.load(std::memory_order_relaxed);
-  s.buffersLost = buffersLost_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    s.buffersConsumed += shard->buffersConsumed.load(std::memory_order_relaxed);
+    s.commitMismatches += shard->commitMismatches.load(std::memory_order_relaxed);
+    s.buffersLost += shard->buffersLost.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
-bool Consumer::consumePass() {
+uint64_t Consumer::completedSeqSum(const Shard& shard) const noexcept {
+  uint64_t sum = 0;
+  for (uint32_t p = shard.firstProcessor; p < shard.endProcessor; ++p) {
+    sum += facility_.control(p).currentBufferSeq();
+  }
+  return sum;
+}
+
+void Consumer::shardRun(Shard& shard) {
+  const auto minBackoff = std::max(config_.minBackoff,
+                                   std::chrono::microseconds(1));
+  const auto maxBackoff = std::max(config_.pollInterval, minBackoff);
+  auto backoff = minBackoff;
+  uint64_t lastSignal = completedSeqSum(shard);
+
+  while (running_.load(std::memory_order_acquire)) {
+    bool progressed;
+    {
+      std::lock_guard lock(shard.passMutex);
+      progressed = shardPass(shard);
+    }
+    if (progressed) {
+      backoff = minBackoff;
+      continue;
+    }
+    // Idle: nothing complete right now. Sleep on the doorbell with the
+    // current backoff, but wake early if a buffer completes (the relaxed
+    // signal moved) or someone rings the doorbell. Each quiet wait doubles
+    // the backoff up to pollInterval — poll→sleep escalation.
+    const uint64_t signal = completedSeqSum(shard);
+    if (signal != lastSignal) {
+      lastSignal = signal;
+      backoff = minBackoff;
+      continue;  // a buffer completed since the pass: re-scan immediately
+    }
+    std::unique_lock lock(shard.cvMutex);
+    const uint64_t rung = shard.doorbell;
+    shard.cv.wait_for(lock, backoff, [&] {
+      return shard.doorbell != rung ||
+             !running_.load(std::memory_order_acquire);
+    });
+    lock.unlock();
+    backoff = std::min(backoff * 2, maxBackoff);
+  }
+  // Final sweep so a stop() right after producer quiescence loses nothing
+  // that was already complete.
+  std::lock_guard lock(shard.passMutex);
+  while (shardPass(shard)) {
+  }
+}
+
+bool Consumer::shardPass(Shard& shard) {
   bool any = false;
-  for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
-    while (consumeOne(p)) any = true;
+  for (uint32_t p = shard.firstProcessor; p < shard.endProcessor; ++p) {
+    while (consumeOne(shard, p)) any = true;
   }
   return any;
 }
 
-bool Consumer::consumeOne(uint32_t p) {
+bool Consumer::consumeOne(Shard& shard, uint32_t p) {
   TraceControl& control = facility_.control(p);
   const uint32_t numBuffers = control.numBuffers();
   const uint32_t bufferWords = control.bufferWords();
 
   const uint64_t currentSeq = control.currentBufferSeq();
-  uint64_t seq = nextSeq_[p];
+  uint64_t& next = shard.nextSeq[p - shard.firstProcessor];
+  uint64_t seq = next;
   if (seq >= currentSeq) return false;  // that lap is still being filled
 
   // Lap detection: only the most recent numBuffers-1 completed laps can
   // still be intact (the current lap occupies one slot).
   if (currentSeq - seq >= numBuffers) {
     const uint64_t oldestSafe = currentSeq - numBuffers + 1;
-    buffersLost_.fetch_add(oldestSafe - seq, std::memory_order_relaxed);
+    shard.buffersLost.fetch_add(oldestSafe - seq, std::memory_order_relaxed);
     seq = oldestSafe;
-    nextSeq_[p] = seq;
+    next = seq;
   }
 
   const uint32_t slot = static_cast<uint32_t>(seq & (numBuffers - 1));
   auto& state = control.bufferState(slot);
   if (state.lapSeq.load(std::memory_order_acquire) != seq) {
     // The slot was already recycled for a newer lap: this buffer is gone.
-    buffersLost_.fetch_add(1, std::memory_order_relaxed);
-    nextSeq_[p] = seq + 1;
+    shard.buffersLost.fetch_add(1, std::memory_order_relaxed);
+    next = seq + 1;
     return true;
   }
 
@@ -108,14 +185,20 @@ bool Consumer::consumeOne(uint32_t p) {
 
   // Seqlock-style validation: if the lap changed under us, the copy is torn.
   if (state.lapSeq.load(std::memory_order_acquire) != seq) {
-    buffersLost_.fetch_add(1, std::memory_order_relaxed);
-    nextSeq_[p] = seq + 1;
+    shard.buffersLost.fetch_add(1, std::memory_order_relaxed);
+    next = seq + 1;
     return true;
   }
 
-  if (record.commitMismatch) commitMismatches_.fetch_add(1, std::memory_order_relaxed);
-  buffersConsumed_.fetch_add(1, std::memory_order_relaxed);
-  nextSeq_[p] = seq + 1;
+  // Advance past this lap unconditionally before handing the record off:
+  // once written out (even with a mismatch flagged), the buffer is never
+  // re-examined, so a straggler committing the tail just after write-out
+  // cannot make it be consumed — and counted — twice.
+  if (record.commitMismatch) {
+    shard.commitMismatches.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.buffersConsumed.fetch_add(1, std::memory_order_relaxed);
+  next = seq + 1;
   sink_.onBuffer(std::move(record));
   return true;
 }

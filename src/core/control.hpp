@@ -82,10 +82,27 @@ class TraceControl {
 
   /// traceCommit (Fig. 2): publish lengthWords at the buffer slot covering
   /// `index`. Release ordering pairs with the consumer's acquire.
+  ///
+  /// Stale-lap guard: a writer that reserved words, then stalled long
+  /// enough for the ring to lap its buffer, commits into a lap that no
+  /// longer exists. Its slot has been recycled (lapSeq moved past the
+  /// reservation's seq), so adding the words to `committed` would bleed
+  /// into the *current* lap's delta — enough of them and a torn buffer
+  /// reads as complete, with no mismatch flagged. Strictly `>` matters:
+  /// lapSeq < seq means the crosser entering this reservation's lap has
+  /// not stamped lapSeq yet, and the commit legitimately belongs to the
+  /// new lap (the crosser's committed-snapshot was taken before its CAS,
+  /// so the delta arithmetic still works out). Such commits are dropped
+  /// and tallied in staleCommits().
   void commit(uint64_t index, uint32_t lengthWords) noexcept {
     if (!commitCounts_) return;
-    bufferState(bufferSeq(index) & (numBuffers_ - 1))
-        .committed.fetch_add(lengthWords, std::memory_order_release);
+    const uint64_t seq = bufferSeq(index);
+    BufferSlotState& state = bufferState(seq & (numBuffers_ - 1));
+    if (state.lapSeq.load(std::memory_order_relaxed) > seq) {
+      staleCommits_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    state.committed.fetch_add(lengthWords, std::memory_order_release);
   }
 
   /// Forces the current buffer to complete by reserving its remainder as
@@ -121,6 +138,9 @@ class TraceControl {
   /// Buffer crossings where the previous event ended exactly on the
   /// boundary, needing no filler (the paper reports 30-40% of events).
   uint64_t exactFitCrossings() const noexcept { return exactFitCrossings_.load(std::memory_order_relaxed); }
+  /// Commits discarded because their reservation's lap had already been
+  /// recycled (see commit()).
+  uint64_t staleCommits() const noexcept { return staleCommits_.load(std::memory_order_relaxed); }
 
   /// Per-buffer-slot completion metadata consumed by the Consumer.
   struct BufferSlotState {
@@ -211,6 +231,7 @@ class TraceControl {
   std::atomic<uint64_t> rejectedEvents_{0};
   std::atomic<uint64_t> fillerWords_{0};
   std::atomic<uint64_t> exactFitCrossings_{0};
+  std::atomic<uint64_t> staleCommits_{0};
 
   // Self-monitoring counters, written only by this processor's logging
   // threads: their own cache lines so the hot path never shares a line

@@ -21,6 +21,7 @@ ProcessorCounters readProcessorCounters(const TraceControl& control) {
   pc.eventsDropped = control.rejectedEvents();
   pc.fillerWords = control.fillerWordsWritten();
   pc.exactFitCrossings = control.exactFitCrossings();
+  pc.staleCommits = control.staleCommits();
   return pc;
 }
 
@@ -35,17 +36,21 @@ ProcessorCounters MonitorSnapshot::totals() const {
     t.eventsDropped += pc.eventsDropped;
     t.fillerWords += pc.fillerWords;
     t.exactFitCrossings += pc.exactFitCrossings;
+    t.staleCommits += pc.staleCommits;
     for (uint32_t m = 0; m < kMaxMajors; ++m) t.perMajor[m] += pc.perMajor[m];
   }
   return t;
 }
 
 bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
+  // Accept the 11-word layout written before the sink/stale words existed
+  // (those fields stay zero) as well as the current 14-word one.
   if (event.header.major != Major::Monitor ||
       event.header.minor != static_cast<uint16_t>(MonitorMinor::Heartbeat) ||
-      event.data.size() < kHeartbeatPayloadWords) {
+      event.data.size() < kHeartbeatPayloadWordsV1) {
     return false;
   }
+  out = Heartbeat{};
   out.heartbeatSeq = event.data[0];
   out.bufferSeq = event.data[1];
   out.eventsLogged = event.data[2];
@@ -57,11 +62,17 @@ bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
   out.consumerBuffers = event.data[8];
   out.consumerLost = event.data[9];
   out.consumerMismatches = event.data[10];
+  if (event.data.size() >= kHeartbeatPayloadWords) {
+    out.sinkDropped = event.data[11];
+    out.sinkBackpressure = event.data[12];
+    out.staleCommits = event.data[13];
+  }
   return true;
 }
 
 bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
-                         const Consumer::Stats* consumer) noexcept {
+                         const Consumer::Stats* consumer,
+                         const SinkCounters* sink) noexcept {
   if (!control.selfMonitoringEnabled()) return false;
   // Counters first: the heartbeat's own event must not be included in the
   // payload it carries (the [h1, h2) interval identity).
@@ -78,6 +89,9 @@ bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
       consumer != nullptr ? consumer->buffersConsumed : 0,
       consumer != nullptr ? consumer->buffersLost : 0,
       consumer != nullptr ? consumer->commitMismatches : 0,
+      sink != nullptr ? sink->recordsDropped : 0,
+      sink != nullptr ? sink->backpressureWaits : 0,
+      pc.staleCommits,
   };
   return logEventData(control, Major::Monitor,
                       static_cast<uint16_t>(MonitorMinor::Heartbeat), payload);
@@ -93,12 +107,16 @@ Monitor::~Monitor() { stop(); }
 
 void Monitor::start() {
   if (!config_.emitHeartbeats) return;
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard lifecycle(lifecycleMutex_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { run(); });
 }
 
 void Monitor::stop() {
+  // Stop-once under the lifecycle mutex: concurrent stops must not both
+  // reach join() (same race as Consumer::stop).
+  std::lock_guard lifecycle(lifecycleMutex_);
   running_.store(false, std::memory_order_release);
   if (thread_.joinable()) thread_.join();
 }
@@ -116,9 +134,12 @@ void Monitor::beatNow() {
   const uint64_t seq = heartbeatSeq_.fetch_add(1, std::memory_order_relaxed);
   Consumer::Stats stats;
   if (consumer_ != nullptr) stats = consumer_->stats();
+  SinkCounters sinkCounters;
+  if (sink_ != nullptr) sinkCounters = sink_->counters();
   for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
     logMonitorHeartbeat(facility_.control(p), seq,
-                        consumer_ != nullptr ? &stats : nullptr);
+                        consumer_ != nullptr ? &stats : nullptr,
+                        sink_ != nullptr ? &sinkCounters : nullptr);
   }
 }
 
@@ -131,6 +152,10 @@ MonitorSnapshot Monitor::snapshot() const {
   if (consumer_ != nullptr) {
     snap.consumer = consumer_->stats();
     snap.hasConsumer = true;
+  }
+  if (sink_ != nullptr) {
+    snap.sink = sink_->counters();
+    snap.hasSink = true;
   }
   return snap;
 }

@@ -29,6 +29,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,7 @@ struct ProcessorCounters {
   uint64_t eventsDropped = 0;   // reservations rejected (zero/oversized)
   uint64_t fillerWords = 0;     // words burned padding buffer tails
   uint64_t exactFitCrossings = 0;
+  uint64_t staleCommits = 0;    // commits dropped by the stale-lap guard
   std::array<uint64_t, kMaxMajors> perMajor{};  // events per major class
 
   uint64_t bytesReserved() const noexcept { return wordsReserved * 8; }
@@ -63,6 +65,8 @@ struct MonitorSnapshot {
   std::vector<ProcessorCounters> processors;
   Consumer::Stats consumer{};   // zeros when no consumer is attached
   bool hasConsumer = false;
+  SinkCounters sink{};          // zeros when no sink is watched
+  bool hasSink = false;
 
   /// Sums over all processors (perMajor included).
   ProcessorCounters totals() const;
@@ -73,7 +77,7 @@ ProcessorCounters readProcessorCounters(const TraceControl& control);
 
 // --- TRACE_MONITOR heartbeat event ------------------------------------
 //
-// Payload layout (11 data words after the header):
+// Payload layout (14 data words after the header):
 //   w0  heartbeatSeq       emitter's heartbeat sequence number
 //   w1  bufferSeq          processor's current buffer sequence at emit
 //   w2  eventsLogged       cumulative logger events on this processor
@@ -85,7 +89,13 @@ ProcessorCounters readProcessorCounters(const TraceControl& control);
 //   w8  consumerBuffers    buffers consumed (0 when no consumer known)
 //   w9  consumerLost       buffers lost to lapping (ditto)
 //   w10 consumerMismatches partially-written buffers seen (ditto)
-inline constexpr uint32_t kHeartbeatPayloadWords = 11;
+//   w11 sinkDropped        records the sink shed (0 when no sink known)
+//   w12 sinkBackpressure   sink enqueues that blocked on a full queue (ditto)
+//   w13 staleCommits       commits dropped by the stale-lap guard
+// Traces written before w11-w13 existed carry 11 words; parseHeartbeat
+// accepts those and zero-fills the missing fields.
+inline constexpr uint32_t kHeartbeatPayloadWordsV1 = 11;
+inline constexpr uint32_t kHeartbeatPayloadWords = 14;
 
 struct Heartbeat {
   uint64_t heartbeatSeq = 0;
@@ -99,6 +109,9 @@ struct Heartbeat {
   uint64_t consumerBuffers = 0;
   uint64_t consumerLost = 0;
   uint64_t consumerMismatches = 0;
+  uint64_t sinkDropped = 0;
+  uint64_t sinkBackpressure = 0;
+  uint64_t staleCommits = 0;
 };
 
 /// True (and fills `out`) when `event` is a well-formed heartbeat.
@@ -106,11 +119,12 @@ bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept;
 
 /// Reads `control`'s counters, then logs one TRACE_MONITOR heartbeat event
 /// on it (counters first, so the heartbeat's own event is *not* included
-/// in its eventsLogged — see the interval identity above). `consumer` may
-/// be null (fields w8-w10 log as zero). Returns false if the reservation
-/// failed or self-monitoring is disabled on the control.
+/// in its eventsLogged — see the interval identity above). `consumer` and
+/// `sink` may be null (the corresponding words log as zero). Returns false
+/// if the reservation failed or self-monitoring is disabled on the control.
 bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
-                         const Consumer::Stats* consumer) noexcept;
+                         const Consumer::Stats* consumer,
+                         const SinkCounters* sink = nullptr) noexcept;
 
 /// Background self-monitoring: periodic heartbeats on every processor and
 /// lock-free snapshots on demand. Works in both facility modes; in Stream
@@ -125,6 +139,11 @@ class Monitor {
   explicit Monitor(Facility& facility, Consumer* consumer = nullptr);
   Monitor(Facility& facility, Consumer* consumer, Config config);
   ~Monitor();
+
+  /// Watch a sink's accounting too: heartbeats carry its drop/backpressure
+  /// words and snapshots report it. Call before start(); the sink must
+  /// outlive the monitor.
+  void watchSink(const Sink* sink) noexcept { sink_ = sink; }
 
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
@@ -149,9 +168,12 @@ class Monitor {
 
   Facility& facility_;
   Consumer* consumer_;
+  const Sink* sink_ = nullptr;
   Config config_;
   std::atomic<uint64_t> heartbeatSeq_{0};
   std::thread thread_;
+  /// Guards start/stop transitions (same stop-once pattern as Consumer).
+  std::mutex lifecycleMutex_;
   std::atomic<bool> running_{false};
 };
 

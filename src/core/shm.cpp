@@ -86,9 +86,16 @@ uint64_t ShmTraceControl::loadWord(uint64_t index) const noexcept {
 }
 
 void ShmTraceControl::commit(uint64_t index, uint32_t lengthWords) noexcept {
+  // Stale-lap guard, identical to TraceControl::commit: a commit from a
+  // reservation the ring has already lapped must not count toward the
+  // slot's new lap (lapSeq is monotonic per slot).
   const uint64_t seq = index / state_->bufferWords;
-  slots_[seq & (state_->numBuffers - 1)].committed.fetch_add(
-      lengthWords, std::memory_order_release);
+  ShmSlotState& slot = slots_[seq & (state_->numBuffers - 1)];
+  if (slot.lapSeq.load(std::memory_order_relaxed) > seq) {
+    state_->staleCommits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.committed.fetch_add(lengthWords, std::memory_order_release);
 }
 
 void ShmTraceControl::writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept {
@@ -233,12 +240,15 @@ uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink) con
   const uint32_t numBuffers = state_->numBuffers;
   const uint64_t currentSeq = currentBufferSeq();
   if (currentSeq > nextSeq && currentSeq - nextSeq >= numBuffers) {
-    nextSeq = currentSeq - numBuffers + 1;  // lapped: oldest intact lap
+    const uint64_t oldestSafe = currentSeq - numBuffers + 1;  // lapped
+    state_->buffersLost.fetch_add(oldestSafe - nextSeq, std::memory_order_relaxed);
+    nextSeq = oldestSafe;
   }
   while (nextSeq < currentSeq) {
     const uint32_t slotIdx = static_cast<uint32_t>(nextSeq & (numBuffers - 1));
     const ShmSlotState& s = slots_[slotIdx];
     if (s.lapSeq.load(std::memory_order_acquire) != nextSeq) {
+      state_->buffersLost.fetch_add(1, std::memory_order_relaxed);
       ++nextSeq;
       continue;
     }
@@ -252,7 +262,13 @@ uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink) con
     const uint64_t base = static_cast<uint64_t>(slotIdx) * bufferWords;
     for (uint32_t i = 0; i < bufferWords; ++i) record.words[i] = loadWord(base + i);
     if (s.lapSeq.load(std::memory_order_acquire) == nextSeq) {
+      if (record.commitMismatch) {
+        state_->commitMismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+      state_->buffersConsumed.fetch_add(1, std::memory_order_relaxed);
       sink.onBuffer(std::move(record));
+    } else {
+      state_->buffersLost.fetch_add(1, std::memory_order_relaxed);
     }
     ++nextSeq;
   }

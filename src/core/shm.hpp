@@ -58,9 +58,16 @@ struct ShmControlState {
   // processor, statistically accurate when processes share a block.
   std::atomic<uint64_t> eventsLogged;
   std::atomic<uint64_t> wordsReserved;
+  // v3: commits dropped by the stale-lap guard, plus drain-side accounting
+  // (drainCompleteBuffers), so any process mapping the block sees how much
+  // of the stream reached a sink and how much was lost to lapping.
+  std::atomic<uint64_t> staleCommits;
+  std::atomic<uint64_t> buffersConsumed;
+  std::atomic<uint64_t> buffersLost;
+  std::atomic<uint64_t> commitMismatches;
 
   static constexpr uint32_t kMagic = 0x4B54524Bu;  // "KTRK"
-  static constexpr uint32_t kVersion = 2;
+  static constexpr uint32_t kVersion = 3;
 };
 
 static_assert(std::is_trivially_destructible_v<ShmControlState>);
@@ -129,6 +136,18 @@ class ShmTraceControl {
   }
   uint64_t wordsReservedCount() const noexcept {
     return state_->wordsReserved.load(std::memory_order_relaxed);
+  }
+  uint64_t staleCommits() const noexcept {
+    return state_->staleCommits.load(std::memory_order_relaxed);
+  }
+  uint64_t buffersConsumed() const noexcept {
+    return state_->buffersConsumed.load(std::memory_order_relaxed);
+  }
+  uint64_t buffersLost() const noexcept {
+    return state_->buffersLost.load(std::memory_order_relaxed);
+  }
+  uint64_t commitMismatches() const noexcept {
+    return state_->commitMismatches.load(std::memory_order_relaxed);
   }
   const ShmSlotState& slot(uint32_t i) const noexcept { return slots_[i]; }
 

@@ -3,8 +3,17 @@
 // The paper separates collection from analysis (§2 goal 5): the logging
 // side only fills buffers; a consumer hands each completed buffer to a
 // sink, which may keep it in memory, write it to disk, or drop it.
+//
+// Thread-safety contract: a sharded Consumer (DESIGN.md §9) calls
+// onBuffer/onBufferBatch concurrently from its shard workers. Shards own
+// disjoint processor slices, so records for one processor always arrive
+// from a single thread and in seq order — but calls for *different*
+// processors overlap. Every sink in this header is safe under that
+// contract; a custom sink must either tolerate it or sit behind a
+// BatchingSink, whose single writer thread serializes the downstream.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -20,12 +29,34 @@ struct BufferRecord {
   std::vector<uint64_t> words;    // bufferWords words
 };
 
+/// Write-out accounting every sink can report (zeros where a field does
+/// not apply). Surfaced through core::Monitor and ktracetool monitor so a
+/// running system can see drops and backpressure, not just consume counts.
+struct SinkCounters {
+  uint64_t recordsAccepted = 0;    // records the sink took ownership of
+  uint64_t recordsDropped = 0;     // shed: degraded writer, full queue, bad record
+  uint64_t bytesWritten = 0;       // durable bytes (file-backed sinks)
+  uint64_t batchesFlushed = 0;     // downstream flushes (batching sinks)
+  uint64_t backpressureWaits = 0;  // producer calls that blocked on a full queue
+  uint64_t queuedRecords = 0;      // in flight right now (batching sinks)
+};
+
 class Sink {
  public:
   virtual ~Sink() = default;
-  /// Called by the consumer thread with each completed buffer, in
-  /// per-processor seq order (interleaving across processors is arbitrary).
+  /// Called by a consumer shard with each completed buffer, in
+  /// per-processor seq order (interleaving across processors is
+  /// arbitrary; see the thread-safety contract above).
   virtual void onBuffer(BufferRecord&& record) = 0;
+  /// Batched delivery: the default unrolls into onBuffer calls; sinks
+  /// with a cheaper bulk path (FileSink's single coalesced write)
+  /// override it.
+  virtual void onBufferBatch(std::vector<BufferRecord>&& records) {
+    for (BufferRecord& record : records) onBuffer(std::move(record));
+  }
+  /// Lock-free-ish snapshot of the sink's accounting; the default reports
+  /// nothing.
+  virtual SinkCounters counters() const { return {}; }
 };
 
 /// Keeps every buffer in memory; the unit tests' and analysis tools' view
@@ -35,6 +66,12 @@ class MemorySink final : public Sink {
   void onBuffer(BufferRecord&& record) override {
     std::lock_guard lock(mutex_);
     records_.push_back(std::move(record));
+  }
+
+  SinkCounters counters() const override {
+    SinkCounters c;
+    c.recordsAccepted = count();
+    return c;
   }
 
   /// Snapshot of the records received so far.
@@ -59,14 +96,26 @@ class MemorySink final : public Sink {
 };
 
 /// Drops buffers but counts them (benchmarking the producer side without
-/// sink cost).
+/// sink cost). The count is atomic so concurrent shards can share one.
 class NullSink final : public Sink {
  public:
-  void onBuffer(BufferRecord&&) override { ++count_; }
-  uint64_t count() const noexcept { return count_; }
+  void onBuffer(BufferRecord&&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void onBufferBatch(std::vector<BufferRecord>&& records) override {
+    count_.fetch_add(records.size(), std::memory_order_relaxed);
+  }
+  uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  SinkCounters counters() const override {
+    SinkCounters c;
+    c.recordsAccepted = count();
+    return c;
+  }
 
  private:
-  uint64_t count_ = 0;  // consumer thread only
+  std::atomic<uint64_t> count_{0};
 };
 
 }  // namespace ktrace

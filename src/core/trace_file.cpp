@@ -1,5 +1,6 @@
 #include "core/trace_file.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -107,6 +108,7 @@ bool TraceFileWriter::ensureHeader() {
     return false;
   }
   headerWritten_ = true;
+  bytesWritten_ += sizeof(h);
   return true;
 }
 
@@ -139,7 +141,61 @@ bool TraceFileWriter::writeBuffer(const BufferRecord& record) {
     return false;
   }
   ++buffersWritten_;
+  bytesWritten_ += sizeof(rh) + payloadBytes;
   return true;
+}
+
+size_t TraceFileWriter::writeBufferBatch(const BufferRecord* const* records,
+                                         size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (records[i]->words.size() != meta_.bufferWords) {
+      throw std::invalid_argument("TraceFileWriter: buffer size mismatch");
+    }
+  }
+  if (count == 0) return 0;
+  if (count == 1) return writeBuffer(*records[0]) ? 1 : 0;
+  if (!ensureHeader()) return 0;
+  const int64_t start = file_->tell();
+  if (start < 0) {
+    recordError("tell failed");
+    return 0;
+  }
+  const size_t payloadBytes = static_cast<size_t>(meta_.bufferWords) * sizeof(uint64_t);
+  const size_t recordBytes = sizeof(DiskRecordHeaderV2) + payloadBytes;
+  staging_.resize(recordBytes * count);
+  unsigned char* out = staging_.data();
+  for (size_t i = 0; i < count; ++i) {
+    const BufferRecord& record = *records[i];
+    DiskRecordHeaderV2 rh{};
+    rh.magic = kRecordMagic;
+    rh.seq = record.seq;
+    rh.committedDelta = record.committedDelta;
+    rh.processor = record.processor;
+    rh.flags = record.commitMismatch ? 1u : 0u;
+    uint32_t crc = util::crc32(&rh, sizeof(rh));  // rh.crc is still 0 here
+    crc = util::crc32(record.words.data(), payloadBytes, crc);
+    rh.crc = crc;
+    std::memcpy(out, &rh, sizeof(rh));
+    std::memcpy(out + sizeof(rh), record.words.data(), payloadBytes);
+    out += recordBytes;
+  }
+  if (file_->write(staging_.data(), staging_.size()) == staging_.size()) {
+    buffersWritten_ += count;
+    bytesWritten_ += staging_.size();
+    return count;
+  }
+  recordError("batch write failed");
+  // The bulk write failed or landed short mid-batch. Rewind to the batch
+  // start and replay record-by-record: every record that lands again does
+  // so at its exact boundary, so buffersWritten_/bytesWritten_ count only
+  // durable records — never the attempted batch.
+  if (!file_->seek(start, SEEK_SET)) {
+    recordError("seek failed");
+    return 0;
+  }
+  size_t done = 0;
+  while (done < count && writeBuffer(*records[done])) ++done;
+  return done;
 }
 
 bool TraceFileWriter::flush() {
@@ -383,51 +439,131 @@ std::string FileSink::pathFor(uint32_t processor) const {
 }
 
 void FileSink::degrade(const std::string& message) {
-  degraded_ = true;
+  degraded_.store(true, std::memory_order_relaxed);
+  std::lock_guard lock(errorMutex_);
   if (errorMessage_.empty()) errorMessage_ = message;
 }
 
-void FileSink::onBuffer(BufferRecord&& record) {
-  if (record.processor >= writers_.size()) {
-    ++droppedInvalidProcessor_;
-    return;
-  }
-  if (degraded_) {
-    ++droppedRecords_;
-    return;
-  }
-  auto& writer = writers_[record.processor];
-  if (writer == nullptr) {
-    TraceFileMeta meta = commonMeta_;
-    meta.processorId = record.processor;
-    try {
-      writer = std::make_unique<TraceFileWriter>(pathFor(record.processor), meta, fs_);
-    } catch (const std::exception& e) {
-      degrade(e.what());
-      ++droppedRecords_;
-      return;
+void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
+  if (n == 0) return;
+  const uint32_t p = records[0]->processor;
+  TraceFileWriter* writer = nullptr;
+  {
+    std::lock_guard lock(writersMutex_);
+    auto& slot = writers_[p];
+    if (slot == nullptr) {
+      TraceFileMeta meta = commonMeta_;
+      meta.processorId = p;
+      try {
+        slot = std::make_unique<TraceFileWriter>(pathFor(p), meta, fs_);
+      } catch (const std::exception& e) {
+        degrade(e.what());
+        droppedRecords_.fetch_add(n, std::memory_order_relaxed);
+        return;
+      }
     }
+    writer = slot.get();
   }
-  // This runs on the consumer thread, fed by the lockless logging hot
-  // path — it must not throw. Retry transient errors with bounded
-  // backoff, then degrade to counting drops.
+  // This runs on a consumer shard, fed by the lockless logging hot path —
+  // it must not throw (records were size-validated by the caller). Retry
+  // transient errors with bounded backoff, then degrade to counting
+  // drops. writeBufferBatch reports durable records exactly, so a retried
+  // partial write never double-counts bytes or under-counts drops.
+  const uint64_t bytesBefore = writer->bytesWritten();
   constexpr int kMaxAttempts = 4;
+  size_t done = 0;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    if (writer->writeBuffer(record)) return;
+    done += writer->writeBufferBatch(records + done, n - done);
+    if (done == n) break;
     if (!isTransientErrno(writer->error())) break;
     if (attempt + 1 < kMaxAttempts) {
       std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
     }
   }
-  degrade(writer->errorMessage());
-  ++droppedRecords_;
+  recordsWritten_.fetch_add(done, std::memory_order_relaxed);
+  bytesWritten_.fetch_add(writer->bytesWritten() - bytesBefore,
+                          std::memory_order_relaxed);
+  if (done < n) {
+    degrade(writer->errorMessage());
+    droppedRecords_.fetch_add(n - done, std::memory_order_relaxed);
+  }
+}
+
+void FileSink::onBuffer(BufferRecord&& record) {
+  if (record.processor >= writers_.size()) {
+    droppedInvalidProcessor_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (record.words.size() != commonMeta_.bufferWords) {
+    droppedMalformed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (degraded()) {
+    droppedRecords_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const BufferRecord* r = &record;
+  writeRun(&r, 1);
+}
+
+void FileSink::onBufferBatch(std::vector<BufferRecord>&& records) {
+  std::vector<const BufferRecord*> valid;
+  valid.reserve(records.size());
+  for (const BufferRecord& record : records) {
+    if (record.processor >= writers_.size()) {
+      droppedInvalidProcessor_.fetch_add(1, std::memory_order_relaxed);
+    } else if (record.words.size() != commonMeta_.bufferWords) {
+      droppedMalformed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      valid.push_back(&record);
+    }
+  }
+  // Group by processor; stable, so per-processor seq order is preserved.
+  std::stable_sort(valid.begin(), valid.end(),
+                   [](const BufferRecord* a, const BufferRecord* b) {
+                     return a->processor < b->processor;
+                   });
+  size_t i = 0;
+  while (i < valid.size()) {
+    size_t j = i + 1;
+    while (j < valid.size() && valid[j]->processor == valid[i]->processor) ++j;
+    if (degraded()) {
+      droppedRecords_.fetch_add(valid.size() - i, std::memory_order_relaxed);
+      return;
+    }
+    writeRun(valid.data() + i, j - i);
+    i = j;
+  }
+}
+
+uint64_t FileSink::recordsWritten() const {
+  return recordsWritten_.load(std::memory_order_relaxed);
+}
+
+uint64_t FileSink::bytesWritten() const {
+  return bytesWritten_.load(std::memory_order_relaxed);
+}
+
+std::string FileSink::errorMessage() const {
+  std::lock_guard lock(errorMutex_);
+  return errorMessage_;
+}
+
+SinkCounters FileSink::counters() const {
+  SinkCounters c;
+  c.recordsAccepted = recordsWritten();
+  c.recordsDropped = droppedRecords() + droppedInvalidProcessor() + droppedMalformed();
+  c.bytesWritten = bytesWritten();
+  return c;
 }
 
 bool FileSink::flush() {
-  bool ok = !degraded_;
+  bool ok = !degraded();
+  std::lock_guard lock(writersMutex_);
   for (auto& writer : writers_) {
     if (writer != nullptr && !writer->flush()) {
       ok = false;
+      std::lock_guard errLock(errorMutex_);
       if (errorMessage_.empty()) errorMessage_ = writer->errorMessage();
     }
   }

@@ -21,8 +21,10 @@
 // detectable structurally during decode.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -104,7 +106,19 @@ class TraceFileWriter {
   /// compounding them. error()/errorMessage() describe the failure.
   bool writeBuffer(const BufferRecord& record);
 
+  /// Coalesced append: serializes `count` records into one staging buffer
+  /// and issues a single write() (the writev-style bulk path behind
+  /// BatchingSink). Returns how many records are durably in the file; on a
+  /// short/failed bulk write it rewinds to the batch start and replays
+  /// record-by-record so the return value — and bytesWritten() — count
+  /// exactly the records that landed, never the attempted batch size.
+  /// Records must all match meta.bufferWords (std::invalid_argument).
+  size_t writeBufferBatch(const BufferRecord* const* records, size_t count);
+
   uint64_t buffersWritten() const noexcept { return buffersWritten_; }
+  /// Bytes durably written (file header included). A failed or replayed
+  /// write contributes only what actually landed at a record boundary.
+  uint64_t bytesWritten() const noexcept { return bytesWritten_; }
 
   /// Flushes buffered bytes (writing the file header first if no record
   /// has been written yet). Returns false on failure; see errorMessage().
@@ -122,9 +136,11 @@ class TraceFileWriter {
   std::string path_;
   TraceFileMeta meta_;
   uint64_t buffersWritten_ = 0;
+  uint64_t bytesWritten_ = 0;
   bool headerWritten_ = false;
   int errno_ = 0;
   std::string errorMessage_;
+  std::vector<unsigned char> staging_;  // batch serialization scratch
 };
 
 class TraceFileReader {
@@ -183,13 +199,22 @@ class TraceFileReader {
 /// onBuffer never throws into the consumer: transient write errors
 /// (EINTR/EAGAIN) are retried with bounded backoff; persistent failure
 /// flips the sink into a degraded state that counts dropped records
-/// instead of tearing the trace further. flush() surfaces the first error.
+/// instead of tearing the trace further; a malformed record (wrong word
+/// count) is dropped and counted rather than letting TraceFileWriter's
+/// std::invalid_argument escape. flush() surfaces the first error.
+///
+/// Safe under a sharded Consumer: each processor's writer is only ever
+/// touched by the shard owning that processor, and the cross-writer
+/// accounting is atomic. onBufferBatch groups a batch by processor and
+/// hands each run to TraceFileWriter::writeBufferBatch as one coalesced
+/// write.
 class FileSink final : public Sink {
  public:
   FileSink(std::string directory, std::string baseName, const TraceFileMeta& commonMeta,
            util::FileSystem* fs = nullptr);
 
   void onBuffer(BufferRecord&& record) override;
+  void onBufferBatch(std::vector<BufferRecord>&& records) override;
 
   /// Returns false if the sink is degraded or any writer failed to flush;
   /// errorMessage() holds the first error observed.
@@ -200,23 +225,52 @@ class FileSink final : public Sink {
 
   /// True once a write has permanently failed; subsequent records are
   /// counted in droppedRecords() and discarded.
-  bool degraded() const noexcept { return degraded_; }
-  uint64_t droppedRecords() const noexcept { return droppedRecords_; }
+  bool degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  uint64_t droppedRecords() const noexcept {
+    return droppedRecords_.load(std::memory_order_relaxed);
+  }
   /// Records whose processor id had no writer slot (>= numProcessors).
-  uint64_t droppedInvalidProcessor() const noexcept { return droppedInvalidProcessor_; }
-  const std::string& errorMessage() const noexcept { return errorMessage_; }
+  uint64_t droppedInvalidProcessor() const noexcept {
+    return droppedInvalidProcessor_.load(std::memory_order_relaxed);
+  }
+  /// Records dropped because words.size() != bufferWords.
+  uint64_t droppedMalformed() const noexcept {
+    return droppedMalformed_.load(std::memory_order_relaxed);
+  }
+  /// Records durably on disk, summed over all processor writers.
+  uint64_t recordsWritten() const;
+  /// Durable bytes (headers included), summed over all processor writers.
+  uint64_t bytesWritten() const;
+  std::string errorMessage() const;
+
+  SinkCounters counters() const override;
 
  private:
   void degrade(const std::string& message);
+  /// Writes a run of same-processor records (retry/degrade policy lives
+  /// here). `n` == 1 uses the single-record path, > 1 the coalesced one.
+  void writeRun(const BufferRecord* const* records, size_t n);
 
   std::string directory_;
   std::string baseName_;
   TraceFileMeta commonMeta_;
   util::FileSystem* fs_;
+  /// Slot assignment (lazy writer creation) and flush() hold writersMutex_;
+  /// writes into an existing writer do not — the disjoint-processor
+  /// contract already makes each writer single-threaded.
+  mutable std::mutex writersMutex_;
   std::vector<std::unique_ptr<TraceFileWriter>> writers_;
-  bool degraded_ = false;
-  uint64_t droppedRecords_ = 0;
-  uint64_t droppedInvalidProcessor_ = 0;
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> droppedRecords_{0};
+  std::atomic<uint64_t> droppedInvalidProcessor_{0};
+  std::atomic<uint64_t> droppedMalformed_{0};
+  // Aggregates mirrored out of the (thread-confined) writers after every
+  // run, so counters() reads atomics instead of racing writer internals.
+  std::atomic<uint64_t> recordsWritten_{0};
+  std::atomic<uint64_t> bytesWritten_{0};
+  mutable std::mutex errorMutex_;  // errorMessage_ only
   std::string errorMessage_;
 };
 

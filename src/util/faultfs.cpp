@@ -79,7 +79,8 @@ class StdioFileSystem final : public FileSystem {
 class FaultFile final : public File {
  public:
   FaultFile(std::unique_ptr<File> base, const FaultPlan& plan)
-      : base_(std::move(base)), plan_(plan), transientLeft_(plan.transientErrors) {
+      : base_(std::move(base)), plan_(plan), transientLeft_(plan.transientErrors),
+        shortLeft_(plan.transientShortWrites) {
     if (plan_.randomFlips > 0 && plan_.randomFlipWindow > plan_.randomFlipStart) {
       Rng rng(plan_.seed);
       const uint64_t span =
@@ -111,12 +112,17 @@ class FaultFile final : public File {
       errno_ = EAGAIN;
       return 0;
     }
+    bool shortWrite = false;
+    if (shortLeft_ > 0 && bytes > 1) {
+      --shortLeft_;
+      shortWrite = true;  // half the bytes land, then EINTR
+    }
     const int64_t pos = base_->tell();
     if (pos < 0) {
       errno_ = base_->error();
       return 0;
     }
-    size_t allowed = bytes;
+    size_t allowed = shortWrite ? bytes / 2 : bytes;
     bool enospc = false;
     if (plan_.enospcAtOffset >= 0 && pos + static_cast<int64_t>(bytes) > plan_.enospcAtOffset) {
       allowed = pos >= plan_.enospcAtOffset
@@ -128,7 +134,10 @@ class FaultFile final : public File {
                                    static_cast<const unsigned char*>(buf) + allowed);
     corrupt(tmp, pos);
     const size_t n = allowed == 0 ? 0 : base_->write(tmp.data(), allowed);
-    if (n < bytes) errno_ = (n < allowed) ? base_->error() : (enospc ? ENOSPC : EIO);
+    if (n < bytes) {
+      errno_ = (n < allowed) ? base_->error()
+                             : (enospc ? ENOSPC : (shortWrite ? EINTR : EIO));
+    }
     return n;
   }
 
@@ -173,6 +182,7 @@ class FaultFile final : public File {
   std::unique_ptr<File> base_;
   FaultPlan plan_;
   int transientLeft_ = 0;
+  int shortLeft_ = 0;
   std::vector<int64_t> flipOffsets_;
   std::vector<int> flipBits_;
   int errno_ = 0;

@@ -54,6 +54,12 @@ struct FaultPlan {
   /// the transient-error class a sink is expected to retry through.
   int transientErrors = 0;
 
+  /// Cut the first N write() calls short: half the requested bytes land,
+  /// then the call fails with EINTR — an interrupted write that made
+  /// partial progress, the nastiest transient case for byte accounting
+  /// (a retry that recounts the landed half double-counts).
+  int transientShortWrites = 0;
+
   /// The file cannot grow past this offset: a write crossing it is cut
   /// short at the boundary (bytes that fit are written) and fails with
   /// ENOSPC — a disk filling up mid-record.

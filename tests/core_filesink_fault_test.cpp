@@ -190,6 +190,116 @@ TEST_F(FileSinkFaultTest, InjectedReadTruncationDropsTornTail) {
   EXPECT_EQ(rec.seq, 3u);
 }
 
+TEST_F(FileSinkFaultTest, ShortWriteRetryDoesNotDoubleCountBytes) {
+  // The nastiest transient: a write lands half its bytes, then fails with
+  // EINTR (here it hits the file header, the file's first two write
+  // calls). The retry must rewrite from the rewound position, and the
+  // byte/record counters must reflect exactly what is durable — never
+  // bytes-attempted. (BatchWriteEnospcAccountsExactly covers the short
+  // write landing mid-record.)
+  util::FaultPlan plan;
+  plan.transientShortWrites = 2;
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  for (uint64_t s = 0; s < 3; ++s) sink.onBuffer(makeRecord(0, s));
+
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.recordsWritten(), 3u);
+  EXPECT_EQ(sink.bytesWritten(), kHeaderBytes + 3 * kRecordBytes);
+  EXPECT_TRUE(sink.flush());
+
+  // Every record is durable exactly once and CRC-clean.
+  TraceFileReader reader(sink.pathFor(0));
+  EXPECT_EQ(reader.bufferCount(), 3u);
+  BufferRecord rec;
+  for (uint64_t k = 0; k < 3; ++k) {
+    ASSERT_TRUE(reader.readBuffer(k, rec)) << "record " << k;
+    EXPECT_EQ(rec.seq, k);
+  }
+}
+
+TEST_F(FileSinkFaultTest, BatchWriteEnospcAccountsExactly) {
+  // Disk fills mid-way through the third record of a 5-record batch. The
+  // coalesced write fails; the record-by-record replay must land records
+  // 0 and 1, tear record 2, and count exactly: 2 written, 3 dropped,
+  // bytesWritten = header + two full records.
+  util::FaultPlan plan;
+  plan.enospcAtOffset =
+      static_cast<int64_t>(kHeaderBytes + 2 * kRecordBytes + 40);
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+
+  std::vector<BufferRecord> batch;
+  for (uint64_t s = 0; s < 5; ++s) batch.push_back(makeRecord(0, s));
+  sink.onBufferBatch(std::move(batch));
+
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_EQ(sink.recordsWritten(), 2u);
+  EXPECT_EQ(sink.droppedRecords(), 3u);
+  EXPECT_EQ(sink.bytesWritten(), kHeaderBytes + 2 * kRecordBytes);
+  const SinkCounters c = sink.counters();
+  EXPECT_EQ(c.recordsAccepted, 2u);
+  EXPECT_EQ(c.recordsDropped, 3u);
+  EXPECT_EQ(c.bytesWritten, kHeaderBytes + 2 * kRecordBytes);
+
+  // Salvage agrees with the counters: two whole records plus a torn tail.
+  TraceReaderOptions options;
+  options.salvage = true;
+  TraceFileReader reader(sink.pathFor(0), options);
+  const SalvageReport& r = reader.salvageReport();
+  EXPECT_EQ(r.goodRecords, 2u);
+  EXPECT_EQ(r.tornRecords, 1u);
+  EXPECT_EQ(r.corruptRecords, 0u);
+}
+
+TEST_F(FileSinkFaultTest, BatchWriteTransientFailureReplaysWithoutLoss) {
+  // The bulk write hits a transient error; the rewind-and-replay path
+  // must deliver every record exactly once with exact byte accounting.
+  util::FaultPlan plan;
+  plan.transientErrors = 1;
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+
+  std::vector<BufferRecord> batch;
+  for (uint64_t s = 0; s < 4; ++s) batch.push_back(makeRecord(0, s));
+  sink.onBufferBatch(std::move(batch));
+
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.recordsWritten(), 4u);
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.bytesWritten(), kHeaderBytes + 4 * kRecordBytes);
+  EXPECT_TRUE(sink.flush());
+
+  TraceFileReader reader(sink.pathFor(0));
+  EXPECT_EQ(reader.bufferCount(), 4u);
+  BufferRecord rec;
+  for (uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(reader.readBuffer(k, rec)) << "record " << k;
+    EXPECT_EQ(rec.seq, k);
+  }
+}
+
+TEST_F(FileSinkFaultTest, MalformedAndInvalidRecordsInBatchAreFiltered) {
+  FileSink sink(dir_.string(), "t", meta());
+  std::vector<BufferRecord> batch;
+  batch.push_back(makeRecord(0, 0));
+  BufferRecord wrongSize = makeRecord(0, 1);
+  wrongSize.words.resize(kWords / 2);  // does not match bufferWords
+  batch.push_back(std::move(wrongSize));
+  batch.push_back(makeRecord(7, 2));  // no writer slot for cpu 7
+  batch.push_back(makeRecord(0, 3));
+  sink.onBufferBatch(std::move(batch));
+
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.recordsWritten(), 2u);
+  EXPECT_EQ(sink.droppedMalformed(), 1u);
+  EXPECT_EQ(sink.droppedInvalidProcessor(), 1u);
+  EXPECT_TRUE(sink.flush());
+  TraceFileReader reader(sink.pathFor(0));
+  EXPECT_EQ(reader.bufferCount(), 2u);
+}
+
 TEST_F(FileSinkFaultTest, DegradedSinkKeepsCountingWithoutThrowing) {
   util::FaultPlan plan;
   plan.enospcAtOffset = 0;  // nothing fits, not even the file header

@@ -10,6 +10,7 @@
 
 #include <thread>
 
+#include "core/batching_sink.hpp"
 #include "core/shm.hpp"
 #include "test_support.hpp"
 
@@ -158,6 +159,66 @@ TEST(MonitorClass, SnapshotAggregatesAllProcessors) {
   EXPECT_EQ(totals.eventsLogged, 5u);
   EXPECT_EQ(totals.perMajor[static_cast<uint32_t>(Major::Test)], 4u);
   EXPECT_EQ(totals.perMajor[static_cast<uint32_t>(Major::Io)], 1u);
+}
+
+// watchSink + the w11-w13 heartbeat words (DESIGN.md §9): a watched
+// sink's shed/backpressure counters and the control's stale-commit count
+// must survive the trip through the trace stream, so `ktracetool monitor`
+// can report write-out loss from the trace alone.
+TEST(MonitorClass, WatchedSinkAndStaleCommitsRoundTripThroughHeartbeat) {
+  FakeFacility fx(1, 64, 2);
+  fx.facility.bindCurrentThread(0);
+  TraceControl& control = fx.facility.control(0);
+
+  // A reservation whose buffer gets lapped before the commit arrives: the
+  // stale-lap guard discards it and counts it.
+  ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t{1}));
+  Reservation dead;
+  ASSERT_TRUE(control.reserve(4, dead));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t(i)));
+  }
+  control.commit(dead.index, 4);
+  ASSERT_EQ(control.staleCommits(), 1u);
+
+  // A batching sink with a parked writer and a 1-record queue: 3 enqueues
+  // leave 1 queued and shed 2.
+  MemorySink shedTarget;
+  BatchingConfig bcfg;
+  bcfg.batchRecords = 1;
+  bcfg.maxQueuedRecords = 1;
+  BatchingSink batcher(shedTarget, bcfg);
+  batcher.stop();
+  for (uint64_t s = 0; s < 3; ++s) {
+    BufferRecord r;
+    r.processor = 0;
+    r.seq = s;
+    r.words.assign(64, s);
+    batcher.onBuffer(std::move(r));
+  }
+  ASSERT_EQ(batcher.recordsDropped(), 2u);
+
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  Monitor monitor(fx.facility, &consumer);
+  monitor.watchSink(&batcher);
+  monitor.beatNow();
+
+  const MonitorSnapshot snap = monitor.snapshot();
+  EXPECT_TRUE(snap.hasSink);
+  EXPECT_EQ(snap.sink.recordsDropped, 2u);
+  EXPECT_EQ(snap.totals().staleCommits, 1u);
+
+  const auto events = drainAndDecode(fx.facility, consumer, sink);
+  Heartbeat hb;
+  bool found = false;
+  for (const DecodedEvent& e : events) {
+    if (parseHeartbeat(e, hb)) found = true;
+  }
+  ASSERT_TRUE(found);
+  EXPECT_EQ(hb.sinkDropped, 2u);
+  EXPECT_EQ(hb.sinkBackpressure, 0u);
+  EXPECT_EQ(hb.staleCommits, 1u);
 }
 
 TEST(MonitorClass, MaskGatesHeartbeats) {

@@ -146,7 +146,8 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                   "\"events_logged\": %llu, \"bytes_reserved\": %llu, "
                   "\"reserve_retries\": %llu, \"slow_path_entries\": %llu, "
                   "\"events_dropped\": %llu, \"filler_words\": %llu, "
-                  "\"buffer_seq\": %llu, \"events_per_second\": %.1f}",
+                  "\"stale_commits\": %llu, \"buffer_seq\": %llu, "
+                  "\"events_per_second\": %.1f}",
                   firstCpu ? "" : ",", p,
                   static_cast<unsigned long long>(cm.heartbeats),
                   static_cast<unsigned long long>(cm.last.eventsLogged),
@@ -155,6 +156,7 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                   static_cast<unsigned long long>(cm.last.slowPathEntries),
                   static_cast<unsigned long long>(cm.last.eventsDropped),
                   static_cast<unsigned long long>(cm.last.fillerWords),
+                  static_cast<unsigned long long>(cm.last.staleCommits),
                   static_cast<unsigned long long>(cm.last.bufferSeq),
                   rate(cm));
       firstCpu = false;
@@ -165,6 +167,10 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                 static_cast<unsigned long long>(consumer.consumerBuffers),
                 static_cast<unsigned long long>(consumer.consumerLost),
                 static_cast<unsigned long long>(consumer.consumerMismatches));
+    std::printf("  \"sink\": {\"records_dropped\": %llu, "
+                "\"backpressure_waits\": %llu},\n",
+                static_cast<unsigned long long>(consumer.sinkDropped),
+                static_cast<unsigned long long>(consumer.sinkBackpressure));
     std::printf("  \"completeness\": %s\n", completeness.c_str());
     std::printf("}\n");
     return 0;
@@ -197,6 +203,14 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                 static_cast<unsigned long long>(consumer.consumerBuffers),
                 static_cast<unsigned long long>(consumer.consumerLost),
                 static_cast<unsigned long long>(consumer.consumerMismatches));
+    if (consumer.sinkDropped != 0 || consumer.sinkBackpressure != 0 ||
+        consumer.staleCommits != 0) {
+      std::printf("sink: %llu record(s) dropped, %llu backpressure wait(s); "
+                  "%llu stale commit(s) discarded\n",
+                  static_cast<unsigned long long>(consumer.sinkDropped),
+                  static_cast<unsigned long long>(consumer.sinkBackpressure),
+                  static_cast<unsigned long long>(consumer.staleCommits));
+    }
   }
   std::fputs(report.report(tps).c_str(), stdout);
   return 0;

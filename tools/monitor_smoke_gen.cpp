@@ -8,6 +8,7 @@
 #include <string>
 
 #include "analysis/symbols.hpp"
+#include "core/batching_sink.hpp"
 #include "core/ktrace.hpp"
 #include "ossim/machine.hpp"
 #include "workload/sdet.hpp"
@@ -36,7 +37,14 @@ int main(int argc, char** argv) {
   meta.clockKind = ClockKind::Virtual;
   meta.ticksPerSecond = 1e9;
   FileSink files(dir, prefix, meta);
-  Consumer consumer(facility, files, {});
+  // The full write-out pipeline under test: 2 consumer shards feeding a
+  // batching decorator that coalesces buffers into bulk FileSink writes.
+  BatchingConfig bcfg;
+  bcfg.batchRecords = 4;
+  BatchingSink batcher(files, bcfg);
+  ConsumerConfig ccfg;
+  ccfg.shards = 2;
+  Consumer consumer(facility, batcher, ccfg);
 
   ossim::MachineConfig mcfg;
   mcfg.numProcessors = 2;
@@ -52,6 +60,7 @@ int main(int argc, char** argv) {
 
   facility.flushAll();
   consumer.drainNow();
+  batcher.flushNow();
   files.flush();
 
   if (machine.stats().monitorHeartbeats == 0) {
