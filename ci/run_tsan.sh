@@ -12,6 +12,7 @@ cmake -B "$build" -S "$repo" -DKTRACE_SANITIZE=thread \
 cmake --build "$build" -j "$(nproc)" --target \
       analysis_parallel_decode_test core_concurrent_test util_test \
       core_monitor_test analysis_completeness_test \
-      core_consumer_shard_test core_batching_sink_test
+      core_consumer_shard_test core_batching_sink_test \
+      core_shm_crash_test
 cd "$build"
 ctest -L concurrent --output-on-failure

@@ -21,6 +21,10 @@ Consumer::Consumer(Facility& facility, Sink& sink, ConsumerConfig config)
     begin += count;
     shards_.push_back(std::move(shard));
   }
+  quiesced_ = std::make_unique<std::atomic<bool>[]>(procs);
+  for (uint32_t p = 0; p < procs; ++p) {
+    quiesced_[p].store(false, std::memory_order_relaxed);
+  }
 }
 
 Consumer::~Consumer() { stop(); }
@@ -62,6 +66,25 @@ void Consumer::drainNow() {
     while (shardPass(*shard)) {
     }
   }
+}
+
+void Consumer::setQuiesced(uint32_t processor, bool quiesced) noexcept {
+  if (processor >= facility_.numProcessors()) return;
+  quiesced_[processor].store(quiesced, std::memory_order_release);
+  if (quiesced) notify();  // wake the owner: ship the partial buffer now
+}
+
+bool Consumer::quiesced(uint32_t processor) const noexcept {
+  return processor < facility_.numProcessors() &&
+         quiesced_[processor].load(std::memory_order_acquire);
+}
+
+uint64_t Consumer::totalPasses() const noexcept {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->passes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 Consumer::Stats Consumer::stats() const noexcept {
@@ -126,6 +149,7 @@ void Consumer::shardRun(Shard& shard) {
 }
 
 bool Consumer::shardPass(Shard& shard) {
+  shard.passes.fetch_add(1, std::memory_order_relaxed);
   bool any = false;
   for (uint32_t p = shard.firstProcessor; p < shard.endProcessor; ++p) {
     while (consumeOne(shard, p)) any = true;
@@ -162,14 +186,20 @@ bool Consumer::consumeOne(Shard& shard, uint32_t p) {
   }
 
   // Wait (bounded) for stragglers to commit; pairs with commit()'s release.
+  // A quiesced-for-recovery processor gets no grace: its producer is dead
+  // or fenced, so no straggler can ever arrive — spinning commitWait per
+  // pass against it would be a busy-wait with no exit condition.
   const uint64_t lapStart = state.lapStartCommitted.load(std::memory_order_relaxed);
-  const auto deadline = std::chrono::steady_clock::now() + config_.commitWait;
-  uint64_t delta;
-  for (;;) {
-    delta = state.committed.load(std::memory_order_acquire) - lapStart;
-    if (delta >= bufferWords) break;
-    if (std::chrono::steady_clock::now() >= deadline) break;
-    std::this_thread::yield();
+  uint64_t delta = state.committed.load(std::memory_order_acquire) - lapStart;
+  if (delta < bufferWords &&
+      !quiesced_[p].load(std::memory_order_acquire)) {
+    const auto deadline = std::chrono::steady_clock::now() + config_.commitWait;
+    for (;;) {
+      delta = state.committed.load(std::memory_order_acquire) - lapStart;
+      if (delta >= bufferWords) break;
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::yield();
+    }
   }
 
   BufferRecord record;

@@ -73,6 +73,20 @@ class Consumer {
   /// processors immediately instead of waiting out their backoff.
   void notify() noexcept;
 
+  /// Marks a processor quiesced-for-recovery: its producer is dead or
+  /// fenced, so no straggler will ever complete a partial commit count.
+  /// The owning shard stops burning commitWait on that processor — a
+  /// partial buffer is written out immediately with the mismatch flagged
+  /// instead of being yield-spun on every pass. Clearing the flag restores
+  /// normal straggler grace.
+  void setQuiesced(uint32_t processor, bool quiesced) noexcept;
+  bool quiesced(uint32_t processor) const noexcept;
+
+  /// Total consumption passes across all shards (monotonic). Lets tests
+  /// verify the idle backoff really sleeps — a worker busy-waiting against
+  /// a permanently dead producer shows up as an unbounded pass rate.
+  uint64_t totalPasses() const noexcept;
+
   /// Number of worker shards (after clamping).
   uint32_t shardCount() const noexcept {
     return static_cast<uint32_t>(shards_.size());
@@ -111,6 +125,9 @@ class Consumer {
     std::atomic<uint64_t> buffersConsumed{0};
     std::atomic<uint64_t> commitMismatches{0};
     std::atomic<uint64_t> buffersLost{0};
+    /// Passes taken (worker loop iterations + drain passes); see
+    /// totalPasses().
+    std::atomic<uint64_t> passes{0};
 
     std::thread thread;
   };
@@ -131,6 +148,8 @@ class Consumer {
   Sink& sink_;
   ConsumerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-processor quiesced-for-recovery flags (see setQuiesced).
+  std::unique_ptr<std::atomic<bool>[]> quiesced_;
 
   /// Guards start/stop transitions only (never held during consumption).
   std::mutex lifecycleMutex_;

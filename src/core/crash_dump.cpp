@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "core/shm_session.hpp"
 #include "util/table.hpp"
 
 namespace ktrace {
@@ -97,11 +98,23 @@ CrashDumpReader::CrashDumpReader(const std::string& path) {
   }
   std::memcpy(&ticksPerSecond_, &header.ticksPerSecondBits, sizeof(double));
 
+  // Hostile-header bounds: the per-processor geometry below drives vector
+  // sizes and a division, so reject implausible values (same ceilings as
+  // ShmControlState) instead of resizing to gigabytes or dividing by zero.
+  if (header.numProcessors == 0 ||
+      header.numProcessors > ShmSessionHeader::kMaxProcessors) {
+    throw std::runtime_error("CrashDumpReader: implausible processor count");
+  }
+
   processors_.resize(header.numProcessors);
   for (auto& image : processors_) {
     DumpControlHeader ch{};
     if (std::fread(&ch, sizeof(ch), 1, file.get()) != 1) {
       throw std::runtime_error("CrashDumpReader: truncated control header");
+    }
+    if (ch.bufferWords == 0 || ch.bufferWords > ShmControlState::kMaxBufferWords ||
+        ch.numBuffers == 0 || ch.numBuffers > ShmControlState::kMaxNumBuffers) {
+      throw std::runtime_error("CrashDumpReader: implausible control geometry");
     }
     image.processorId = ch.processorId;
     image.bufferWords = ch.bufferWords;

@@ -1,6 +1,7 @@
 #include "core/monitor.hpp"
 
 #include "core/logger.hpp"
+#include "core/shm_session.hpp"
 
 namespace ktrace {
 
@@ -44,7 +45,8 @@ ProcessorCounters MonitorSnapshot::totals() const {
 
 bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
   // Accept the 11-word layout written before the sink/stale words existed
-  // (those fields stay zero) as well as the current 14-word one.
+  // and the 14-word one written before the recovery words (the missing
+  // fields stay zero), as well as the current 16-word layout.
   if (event.header.major != Major::Monitor ||
       event.header.minor != static_cast<uint16_t>(MonitorMinor::Heartbeat) ||
       event.data.size() < kHeartbeatPayloadWordsV1) {
@@ -62,17 +64,22 @@ bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
   out.consumerBuffers = event.data[8];
   out.consumerLost = event.data[9];
   out.consumerMismatches = event.data[10];
-  if (event.data.size() >= kHeartbeatPayloadWords) {
+  if (event.data.size() >= kHeartbeatPayloadWordsV2) {
     out.sinkDropped = event.data[11];
     out.sinkBackpressure = event.data[12];
     out.staleCommits = event.data[13];
+  }
+  if (event.data.size() >= kHeartbeatPayloadWords) {
+    out.reclaimedWords = event.data[14];
+    out.tornBuffers = event.data[15];
   }
   return true;
 }
 
 bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
                          const Consumer::Stats* consumer,
-                         const SinkCounters* sink) noexcept {
+                         const SinkCounters* sink,
+                         const RecoveryStats* recovery) noexcept {
   if (!control.selfMonitoringEnabled()) return false;
   // Counters first: the heartbeat's own event must not be included in the
   // payload it carries (the [h1, h2) interval identity).
@@ -92,6 +99,8 @@ bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
       sink != nullptr ? sink->recordsDropped : 0,
       sink != nullptr ? sink->backpressureWaits : 0,
       pc.staleCommits,
+      recovery != nullptr ? recovery->reclaimedWords : 0,
+      recovery != nullptr ? recovery->tornBuffers : 0,
   };
   return logEventData(control, Major::Monitor,
                       static_cast<uint16_t>(MonitorMinor::Heartbeat), payload);
@@ -136,10 +145,13 @@ void Monitor::beatNow() {
   if (consumer_ != nullptr) stats = consumer_->stats();
   SinkCounters sinkCounters;
   if (sink_ != nullptr) sinkCounters = sink_->counters();
+  RecoveryStats recovery;
+  if (watchdog_ != nullptr) recovery = watchdog_->stats();
   for (uint32_t p = 0; p < facility_.numProcessors(); ++p) {
     logMonitorHeartbeat(facility_.control(p), seq,
                         consumer_ != nullptr ? &stats : nullptr,
-                        sink_ != nullptr ? &sinkCounters : nullptr);
+                        sink_ != nullptr ? &sinkCounters : nullptr,
+                        watchdog_ != nullptr ? &recovery : nullptr);
   }
 }
 
@@ -156,6 +168,10 @@ MonitorSnapshot Monitor::snapshot() const {
   if (sink_ != nullptr) {
     snap.sink = sink_->counters();
     snap.hasSink = true;
+  }
+  if (watchdog_ != nullptr) {
+    snap.recovery = watchdog_->stats();
+    snap.hasRecovery = true;
   }
   return snap;
 }

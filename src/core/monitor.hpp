@@ -39,6 +39,28 @@
 
 namespace ktrace {
 
+class SessionWatchdog;  // core/shm_session.hpp
+
+/// What crash recovery has done so far: the SessionWatchdog's counters
+/// (DESIGN.md §10), aggregated here so live snapshots and in-stream
+/// heartbeats carry recovery evidence the same way they carry consumer
+/// losses. All-zero outside a crash scenario.
+struct RecoveryStats {
+  uint64_t tornBuffers = 0;       // buffers flagged by the §3.1 commit-count
+                                  // anomaly while reclaiming
+  uint64_t reclaimedWords = 0;    // filler words stamped over dead producers'
+                                  // unwritten tails
+  uint64_t abandonedBuffers = 0;  // buffers lost to lapping before recovery
+  uint64_t buffersRecovered = 0;  // buffers drained to the sink by the watchdog
+  uint64_t deadProducers = 0;     // leases whose pid no longer exists
+  uint64_t fencedProducers = 0;   // live-but-expired leases fenced by epoch bump
+
+  bool any() const noexcept {
+    return tornBuffers != 0 || reclaimedWords != 0 || abandonedBuffers != 0 ||
+           buffersRecovered != 0 || deadProducers != 0 || fencedProducers != 0;
+  }
+};
+
 /// Plain snapshot of one processor's self-monitoring counters.
 struct ProcessorCounters {
   uint32_t processorId = 0;
@@ -67,6 +89,8 @@ struct MonitorSnapshot {
   bool hasConsumer = false;
   SinkCounters sink{};          // zeros when no sink is watched
   bool hasSink = false;
+  RecoveryStats recovery{};     // zeros when no watchdog is watched
+  bool hasRecovery = false;
 
   /// Sums over all processors (perMajor included).
   ProcessorCounters totals() const;
@@ -92,10 +116,14 @@ ProcessorCounters readProcessorCounters(const TraceControl& control);
 //   w11 sinkDropped        records the sink shed (0 when no sink known)
 //   w12 sinkBackpressure   sink enqueues that blocked on a full queue (ditto)
 //   w13 staleCommits       commits dropped by the stale-lap guard
-// Traces written before w11-w13 existed carry 11 words; parseHeartbeat
-// accepts those and zero-fills the missing fields.
+//   w14 reclaimedWords     filler words stamped by crash recovery (0 when no
+//                          watchdog known)
+//   w15 tornBuffers        buffers the watchdog flagged torn (ditto)
+// Older traces carry 11 words (pre-sink) or 14 (pre-recovery);
+// parseHeartbeat accepts both and zero-fills the missing fields.
 inline constexpr uint32_t kHeartbeatPayloadWordsV1 = 11;
-inline constexpr uint32_t kHeartbeatPayloadWords = 14;
+inline constexpr uint32_t kHeartbeatPayloadWordsV2 = 14;
+inline constexpr uint32_t kHeartbeatPayloadWords = 16;
 
 struct Heartbeat {
   uint64_t heartbeatSeq = 0;
@@ -112,6 +140,8 @@ struct Heartbeat {
   uint64_t sinkDropped = 0;
   uint64_t sinkBackpressure = 0;
   uint64_t staleCommits = 0;
+  uint64_t reclaimedWords = 0;
+  uint64_t tornBuffers = 0;
 };
 
 /// True (and fills `out`) when `event` is a well-formed heartbeat.
@@ -119,12 +149,14 @@ bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept;
 
 /// Reads `control`'s counters, then logs one TRACE_MONITOR heartbeat event
 /// on it (counters first, so the heartbeat's own event is *not* included
-/// in its eventsLogged — see the interval identity above). `consumer` and
-/// `sink` may be null (the corresponding words log as zero). Returns false
-/// if the reservation failed or self-monitoring is disabled on the control.
+/// in its eventsLogged — see the interval identity above). `consumer`,
+/// `sink`, and `recovery` may be null (the corresponding words log as
+/// zero). Returns false if the reservation failed or self-monitoring is
+/// disabled on the control.
 bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
                          const Consumer::Stats* consumer,
-                         const SinkCounters* sink = nullptr) noexcept;
+                         const SinkCounters* sink = nullptr,
+                         const RecoveryStats* recovery = nullptr) noexcept;
 
 /// Background self-monitoring: periodic heartbeats on every processor and
 /// lock-free snapshots on demand. Works in both facility modes; in Stream
@@ -144,6 +176,13 @@ class Monitor {
   /// words and snapshots report it. Call before start(); the sink must
   /// outlive the monitor.
   void watchSink(const Sink* sink) noexcept { sink_ = sink; }
+
+  /// Watch a crash-recovery watchdog: heartbeats carry its reclaimed-word
+  /// and torn-buffer totals and snapshots report its RecoveryStats. Call
+  /// before start(); the watchdog must outlive the monitor.
+  void watchRecovery(const SessionWatchdog* watchdog) noexcept {
+    watchdog_ = watchdog;
+  }
 
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
@@ -169,6 +208,7 @@ class Monitor {
   Facility& facility_;
   Consumer* consumer_;
   const Sink* sink_ = nullptr;
+  const SessionWatchdog* watchdog_ = nullptr;
   Config config_;
   std::atomic<uint64_t> heartbeatSeq_{0};
   std::thread thread_;

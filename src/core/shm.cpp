@@ -33,6 +33,7 @@ ShmTraceControl::ShmTraceControl(ShmControlState* state, ClockRef clock)
   maxEventWords_ = std::min<uint32_t>(EventHeader::kMaxWords,
                                       state_->bufferWords - kAnchorWords);
   regionMask_ = static_cast<uint64_t>(state_->bufferWords) * state_->numBuffers - 1;
+  localEpoch_ = state_->writerEpoch.load(std::memory_order_acquire);
 }
 
 ShmTraceControl ShmTraceControl::create(void* memory, uint32_t processorId,
@@ -63,13 +64,31 @@ ShmTraceControl ShmTraceControl::create(void* memory, uint32_t processorId,
   return control;
 }
 
-ShmTraceControl ShmTraceControl::attach(void* memory, ClockRef clock) {
+ShmTraceControl ShmTraceControl::attach(void* memory, ClockRef clock,
+                                        size_t availableBytes) {
+  if (availableBytes != 0 && availableBytes < sizeof(ShmControlState)) {
+    throw std::runtime_error("ShmTraceControl: block too small for a header");
+  }
   auto* state = static_cast<ShmControlState*>(memory);
   if (state->magic != ShmControlState::kMagic ||
-      state->version != ShmControlState::kVersion ||
-      !util::isPowerOfTwo(state->bufferWords) ||
-      !util::isPowerOfTwo(state->numBuffers)) {
+      state->version != ShmControlState::kVersion) {
     throw std::runtime_error("ShmTraceControl: not an initialized trace block");
+  }
+  // Geometry checks mirror create()'s, plus the ceilings: a bit-flipped
+  // header must produce an error here, never an out-of-bounds region walk.
+  if (!util::isPowerOfTwo(state->bufferWords) ||
+      !util::isPowerOfTwo(state->numBuffers) ||
+      state->bufferWords < 2 * kAnchorWords ||
+      state->bufferWords > ShmControlState::kMaxBufferWords ||
+      state->numBuffers < 2 ||
+      state->numBuffers > ShmControlState::kMaxNumBuffers) {
+    throw std::runtime_error("ShmTraceControl: implausible trace-block geometry");
+  }
+  if (availableBytes != 0 &&
+      bytesFor(state->bufferWords, state->numBuffers) > availableBytes) {
+    throw std::runtime_error(
+        "ShmTraceControl: declared geometry exceeds the mapped block "
+        "(truncated or corrupt segment)");
   }
   if (!clock.valid()) throw std::invalid_argument("ShmTraceControl: clock required");
   return ShmTraceControl(state, clock);
@@ -86,6 +105,14 @@ uint64_t ShmTraceControl::loadWord(uint64_t index) const noexcept {
 }
 
 void ShmTraceControl::commit(uint64_t index, uint32_t lengthWords) noexcept {
+  // Cross-process fence: a commit arriving after this processor was
+  // reclaimed belongs to a producer the watchdog already gave up on; its
+  // words may sit under freshly stamped filler, so counting them would
+  // make a torn buffer read as complete.
+  if (state_->writerEpoch.load(std::memory_order_relaxed) != localEpoch_) {
+    state_->staleCommits.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   // Stale-lap guard, identical to TraceControl::commit: a commit from a
   // reservation the ring has already lapped must not count toward the
   // slot's new lap (lapSeq is monotonic per slot).
@@ -138,6 +165,13 @@ bool ShmTraceControl::crossInto(uint64_t oldIndex, uint64_t offsetInBuffer,
   }
   slots_[newSlot].lapStartCommitted.store(committedSnapshot, std::memory_order_relaxed);
   slots_[newSlot].lapSeq.store(newSeq, std::memory_order_release);
+  if (leaseHeartbeat_ != nullptr) {
+    // Lease liveness: one relaxed store per buffer crossing (single writer
+    // per lease), the whole fast-path cost of the session watchdog.
+    leaseHeartbeat_->store(
+        leaseHeartbeat_->load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+  }
   if (remainder > 0) {
     writeFillers(oldIndex, remainder, static_cast<uint32_t>(ts));
     commit(oldIndex, static_cast<uint32_t>(remainder));
@@ -163,6 +197,14 @@ bool ShmTraceControl::reserveSlow(uint32_t lengthWords, Reservation& out) noexce
 
 bool ShmTraceControl::reserve(uint32_t lengthWords, Reservation& out) noexcept {
   if (lengthWords == 0 || lengthWords > maxEventWords_) {
+    state_->rejected.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Fenced accessor: the watchdog reclaimed this processor out from under
+  // us. Refusing the reservation (rather than racing the reclamation CAS)
+  // is what lets reclamation terminate — a fenced producer stops moving
+  // the index, so the watchdog's flushCurrentBuffer converges.
+  if (state_->writerEpoch.load(std::memory_order_relaxed) != localEpoch_) {
     state_->rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -235,7 +277,8 @@ std::vector<DecodedEvent> ShmTraceControl::snapshot(size_t maxEvents) const {
   return events;
 }
 
-uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink) const {
+uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink,
+                                               bool stopAtIncomplete) const {
   const uint32_t bufferWords = state_->bufferWords;
   const uint32_t numBuffers = state_->numBuffers;
   const uint64_t currentSeq = currentBufferSeq();
@@ -258,6 +301,7 @@ uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink) con
     const uint64_t lapStart = s.lapStartCommitted.load(std::memory_order_relaxed);
     record.committedDelta = s.committed.load(std::memory_order_acquire) - lapStart;
     record.commitMismatch = record.committedDelta != bufferWords;
+    if (stopAtIncomplete && record.commitMismatch) return nextSeq;
     record.words.resize(bufferWords);
     const uint64_t base = static_cast<uint64_t>(slotIdx) * bufferWords;
     for (uint32_t i = 0; i < bufferWords; ++i) record.words[i] = loadWord(base + i);

@@ -65,9 +65,22 @@ struct ShmControlState {
   std::atomic<uint64_t> buffersConsumed;
   std::atomic<uint64_t> buffersLost;
   std::atomic<uint64_t> commitMismatches;
+  // v4: the cross-process writer fence (DESIGN.md §10). A watchdog
+  // reclaiming this processor bumps writerEpoch; accessors cache the epoch
+  // they attached under, so a producer stalled past its lease deadline —
+  // but still alive — has its late reservations rejected and late commits
+  // discarded as stale instead of corrupting the reclaimed lap. The
+  // cross-process analogue of the per-slot lapSeq guard.
+  std::atomic<uint64_t> writerEpoch;
 
   static constexpr uint32_t kMagic = 0x4B54524Bu;  // "KTRK"
-  static constexpr uint32_t kVersion = 3;
+  static constexpr uint32_t kVersion = 4;
+  /// Geometry ceilings enforced on attach: large enough for any real
+  /// configuration (a max-size region is 512 GiB), small enough that a
+  /// corrupted header cannot drive bytesFor into overflow or make
+  /// validation walk gigabytes of garbage.
+  static constexpr uint32_t kMaxBufferWords = 1u << 26;
+  static constexpr uint32_t kMaxNumBuffers = 1u << 20;
 };
 
 static_assert(std::is_trivially_destructible_v<ShmControlState>);
@@ -87,9 +100,13 @@ class ShmTraceControl {
                                 ClockRef clock);
 
   /// Attaches to an already-initialized block (e.g. in another process's
-  /// creation order). Validates magic/version/geometry; throws
-  /// std::runtime_error on mismatch.
-  static ShmTraceControl attach(void* memory, ClockRef clock);
+  /// creation order). Validates magic/version/geometry — including the
+  /// kMaxBufferWords/kMaxNumBuffers ceilings — and, when `availableBytes`
+  /// is nonzero, that the declared geometry fits inside the mapping: a
+  /// truncated or header-corrupted segment is rejected with
+  /// std::runtime_error instead of reading past the end of the block.
+  static ShmTraceControl attach(void* memory, ClockRef clock,
+                                size_t availableBytes = 0);
 
   // --- the lockless algorithm, cross-process ---------------------------
   bool reserve(uint32_t lengthWords, Reservation& out) noexcept;
@@ -151,13 +168,49 @@ class ShmTraceControl {
   }
   const ShmSlotState& slot(uint32_t i) const noexcept { return slots_[i]; }
 
+  // --- producer leases & the cross-process writer fence ----------------
+  /// Binds this accessor to a lease heartbeat word (normally a ShmLease's,
+  /// living in the same shared segment): every buffer crossing performs
+  /// one relaxed store refreshing it, so a consumer-side watchdog can tell
+  /// a logging producer from a stalled or dead one without touching the
+  /// fast path otherwise.
+  void bindHeartbeat(std::atomic<uint64_t>* heartbeat) noexcept {
+    leaseHeartbeat_ = heartbeat;
+  }
+
+  /// Invalidates every accessor attached under the current epoch: their
+  /// subsequent reserves fail (counted rejected) and their in-flight
+  /// commits are discarded as stale. Used by SessionWatchdog to quiesce a
+  /// dead or expired producer's processor before reclaiming its buffers.
+  void fenceWriters() noexcept {
+    state_->writerEpoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+  /// Re-reads the fence so *this* accessor logs under the current epoch
+  /// (the watchdog calls it after fenceWriters, before reclaiming).
+  void refreshEpoch() noexcept {
+    localEpoch_ = state_->writerEpoch.load(std::memory_order_acquire);
+  }
+  /// True when fenceWriters has been called since this accessor attached
+  /// (or last refreshed): its writes no longer count.
+  bool fenced() const noexcept {
+    return state_->writerEpoch.load(std::memory_order_relaxed) != localEpoch_;
+  }
+  uint64_t writerEpoch() const noexcept {
+    return state_->writerEpoch.load(std::memory_order_relaxed);
+  }
+
   /// Copies and decodes the most recent events (flight-recorder style).
   std::vector<DecodedEvent> snapshot(size_t maxEvents = 0) const;
 
   /// Consumes every complete buffer after `nextSeq` into `sink`; returns
   /// the new nextSeq. Call with producers quiesced or accept best-effort
-  /// (same contract as Consumer).
-  uint64_t drainCompleteBuffers(uint64_t nextSeq, Sink& sink) const;
+  /// (same contract as Consumer). With `stopAtIncomplete`, draining halts
+  /// at the first buffer whose commit count disagrees with its size (§3.1
+  /// anomaly) instead of shipping its garbage tail — the SessionWatchdog
+  /// uses this so torn buffers are stamped with filler before the sink
+  /// ever sees them.
+  uint64_t drainCompleteBuffers(uint64_t nextSeq, Sink& sink,
+                                bool stopAtIncomplete = false) const;
 
   /// Pads the current buffer to its boundary (Facility::flush analogue).
   void flushCurrentBuffer() noexcept;
@@ -185,6 +238,10 @@ class ShmTraceControl {
   ClockRef clock_{};
   uint32_t maxEventWords_ = 0;
   uint64_t regionMask_ = 0;
+  /// The writer epoch this accessor attached under (see fenceWriters).
+  uint64_t localEpoch_ = 0;
+  /// Optional lease heartbeat refreshed at buffer crossings.
+  std::atomic<uint64_t>* leaseHeartbeat_ = nullptr;
 };
 
 }  // namespace ktrace

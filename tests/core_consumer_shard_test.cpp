@@ -128,5 +128,60 @@ TEST(ConsumerShards, StopNotifyStatsAreSafeFromAnyThread) {
   EXPECT_EQ(stats.buffersConsumed + stats.buffersLost, totalLaps);
 }
 
+TEST(ConsumerShards, QuiescedProcessorShipsTornBufferWithoutGraceSpin) {
+  // A producer "dies" mid-event: a 4-word reservation is taken but never
+  // committed, and the lap completes around it. The buffer's commit count
+  // can then never reach its size — with the processor marked
+  // quiesced-for-recovery the consumer must ship it immediately with the
+  // mismatch flagged instead of burning commitWait's straggler grace.
+  FakeFacility fx(1, 64, 4);
+  fx.facility.bindCurrentThread(0);
+  TraceControl& control = fx.facility.control(0);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t(i)));
+  }
+  Reservation torn;
+  ASSERT_TRUE(control.reserve(4, torn));
+  while (control.currentBufferSeq() == 0) {
+    ASSERT_TRUE(fx.facility.log(Major::Test, 1, uint64_t{7}));
+  }
+
+  MemorySink sink;
+  ConsumerConfig cc;
+  cc.commitWait = std::chrono::seconds(2);  // ruinous if actually waited
+  cc.pollInterval = std::chrono::microseconds(1000);
+  Consumer consumer(fx.facility, sink, cc);
+
+  // Out-of-range processors are ignored, not UB.
+  consumer.setQuiesced(99, true);
+  EXPECT_FALSE(consumer.quiesced(99));
+
+  EXPECT_FALSE(consumer.quiesced(0));
+  consumer.setQuiesced(0, true);
+  EXPECT_TRUE(consumer.quiesced(0));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  consumer.drainNow();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 500) << "quiesced drain still waited for stragglers";
+  EXPECT_EQ(consumer.stats().commitMismatches, 1u);
+  ASSERT_GE(sink.count(), 1u);
+  EXPECT_TRUE(sink.records()[0].commitMismatch);
+
+  // And the idle loop must SLEEP on the dead producer, not spin: with the
+  // doorbell quiet and nothing left to consume, the backoff escalates to
+  // pollInterval, so passes over a 200 ms window stay in the hundreds. A
+  // busy-wait (or per-pass commitWait spin) would be orders of magnitude
+  // off in either direction.
+  consumer.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const uint64_t passes0 = consumer.totalPasses();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const uint64_t idlePasses = consumer.totalPasses() - passes0;
+  consumer.stop();
+  EXPECT_LT(idlePasses, 2000u) << "idle worker is busy-waiting";
+}
+
 }  // namespace
 }  // namespace ktrace

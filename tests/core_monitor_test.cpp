@@ -86,6 +86,32 @@ TEST(MonitorHeartbeat, RoundTripsThroughTheTrace) {
   EXPECT_EQ(hb.eventsLogged, 7u);
   EXPECT_EQ(hb.wordsReserved, 14u);
   EXPECT_EQ(hb.eventsDropped, 0u);
+  // No recovery source was wired up: the v3 words log as zero.
+  EXPECT_EQ(hb.reclaimedWords, 0u);
+  EXPECT_EQ(hb.tornBuffers, 0u);
+}
+
+TEST(MonitorHeartbeat, CarriesRecoveryCountersWhenProvided) {
+  FakeFacility fx(1, 256, 4);
+  fx.facility.bindCurrentThread(0);
+  MemorySink sink;
+  Consumer consumer(fx.facility, sink, {});
+  RecoveryStats recovery;
+  recovery.tornBuffers = 3;
+  recovery.reclaimedWords = 77;
+  ASSERT_TRUE(logMonitorHeartbeat(fx.facility.control(0), 5, nullptr, nullptr,
+                                  &recovery));
+
+  const auto events = drainAndDecode(fx.facility, consumer, sink);
+  Heartbeat hb;
+  bool found = false;
+  for (const DecodedEvent& e : events) {
+    if (parseHeartbeat(e, hb)) found = true;
+  }
+  ASSERT_TRUE(found);
+  EXPECT_EQ(hb.heartbeatSeq, 5u);
+  EXPECT_EQ(hb.reclaimedWords, 77u);
+  EXPECT_EQ(hb.tornBuffers, 3u);
 }
 
 TEST(MonitorHeartbeat, IntervalIdentityHolds) {

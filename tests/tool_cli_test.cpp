@@ -108,7 +108,7 @@ TEST_F(ToolCliTest, UsageEnumeratesEverySubcommandAndFlag) {
   for (const char* cmdName :
        {"list", "locks", "profile", "attrib", "stats", "timeline", "svg", "ltt",
         "csv", "deadlock", "intervals", "hotspots", "crashdump", "fsck",
-        "monitor"}) {
+        "monitor", "recover"}) {
     EXPECT_NE(err.find(cmdName), std::string::npos) << cmdName;
   }
   for (const char* flag : {"--salvage", "--threads=N", "--no-mmap", "--json"}) {
@@ -267,6 +267,126 @@ TEST_F(ToolCliTest, CleanErrorOnUnreadableFile) {
   // fsck itself reports it as unreadable instead of failing.
   EXPECT_EQ(runTool("fsck " + junk, out), 4);
   EXPECT_NE(out.find("unreadable"), std::string::npos);
+}
+
+TEST_F(ToolCliTest, RecoverCleanSessionExitsZero) {
+  // An orderly run: events logged, buffers flushed, lease released. The
+  // salvage drains leftover complete buffers — that is not damage.
+  const std::string seg = (dir_ / "clean.kses").string();
+  {
+    ShmSession::Config cfg;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = 16;
+    ShmSession session = ShmSession::create(seg, cfg, TscClock::ref());
+    const int lease = session.acquireLease(::getpid(), 0, 1);
+    ASSERT_GE(lease, 0);
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(lease));
+    for (uint64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(producer.logEvent(Major::Test, 1, i));
+    }
+    producer.flushCurrentBuffer();
+    session.releaseLease(static_cast<uint32_t>(lease));
+  }
+  std::string out;
+  const std::string rec = (dir_ / "clean_rec.ktrc").string();
+  ASSERT_EQ(runTool("recover " + seg + " --out=" + rec, out), 0);
+  EXPECT_NE(out.find("0 dead"), std::string::npos);
+  EXPECT_NE(out.find("0 torn"), std::string::npos);
+  // The salvaged output is a valid v2 trace: fsck-clean and listable.
+  EXPECT_EQ(runTool("fsck " + rec, out), 0);
+  EXPECT_EQ(runTool("list " + rec + " --max=10", out), 0);
+}
+
+TEST_F(ToolCliTest, RecoverTornSessionExitsFourAndSalvagesEvents) {
+  // A crashed run: the lease is still Active and a reservation was taken
+  // but never committed — the producer died mid-event.
+  const std::string seg = (dir_ / "torn.kses").string();
+  {
+    ShmSession::Config cfg;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = 16;
+    ShmSession session = ShmSession::create(seg, cfg, TscClock::ref());
+    const int lease = session.acquireLease(12345, 0, 1);
+    ASSERT_GE(lease, 0);
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(lease));
+    for (uint64_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(producer.logEvent(Major::Test, 1, i));
+    }
+    Reservation r;
+    ASSERT_TRUE(producer.reserve(4, r));
+  }
+  std::string out;
+  const std::string rec = (dir_ / "torn_rec.ktrc").string();
+  EXPECT_EQ(runTool("recover " + seg + " --out=" + rec, out), 4);
+  EXPECT_NE(out.find("1 dead"), std::string::npos);
+  EXPECT_NE(out.find("1 torn"), std::string::npos);
+  // Damage is reported, but what was committed is salvaged into a valid
+  // trace (exit 4 mirrors fsck's damage boundary, not a tool failure).
+  EXPECT_EQ(runTool("fsck " + rec, out), 0);
+  ASSERT_EQ(runTool("list " + rec, out), 0);
+  EXPECT_NE(out.find("[cpu"), std::string::npos);
+  // Recovery never mutates the evidence: a second pass sees the same state.
+  EXPECT_EQ(runTool("recover " + seg + " --out=" + rec, out), 4);
+}
+
+TEST_F(ToolCliTest, RecoverMultiProcessorSessionSplitsPerCpu) {
+  const std::string seg = (dir_ / "multi.kses").string();
+  {
+    ShmSession::Config cfg;
+    cfg.numProcessors = 2;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = 16;
+    ShmSession session = ShmSession::create(seg, cfg, TscClock::ref());
+    const int lease = session.acquireLease(12345, 0, 2);
+    ASSERT_GE(lease, 0);
+    for (uint32_t p = 0; p < 2; ++p) {
+      ShmTraceControl producer =
+          session.producerControl(p, static_cast<uint32_t>(lease));
+      for (uint64_t i = 0; i < 10; ++i) {
+        ASSERT_TRUE(producer.logEvent(Major::Test, 1, i));
+      }
+    }
+  }
+  std::string out;
+  const std::string rec = (dir_ / "multi.ktrc").string();
+  EXPECT_EQ(runTool("recover " + seg + " --out=" + rec, out), 4);  // dead lease
+  const std::string cpu0 = (dir_ / "multi.cpu0.ktrc").string();
+  const std::string cpu1 = (dir_ / "multi.cpu1.ktrc").string();
+  EXPECT_TRUE(std::filesystem::exists(cpu0));
+  EXPECT_TRUE(std::filesystem::exists(cpu1));
+  EXPECT_EQ(runTool("fsck " + cpu0 + " " + cpu1, out), 0);
+}
+
+TEST_F(ToolCliTest, RecoverRejectsCorruptSegmentWithExitFour) {
+  const std::string seg = (dir_ / "corrupt.kses").string();
+  {
+    ShmSession::Config cfg;
+    ShmSession session = ShmSession::create(seg, cfg, TscClock::ref());
+  }
+  {
+    std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(2);  // a bit of the session magic
+    f.put(static_cast<char>(0x00));
+  }
+  std::string out;
+  const std::string rec = (dir_ / "corrupt_rec.ktrc").string();
+  EXPECT_EQ(runTool("recover " + seg + " --out=" + rec, out), 4);
+  EXPECT_FALSE(std::filesystem::exists(rec));  // refused before writing
+
+  // Not-a-segment inputs get the same clean boundary, never a crash.
+  const std::string junk = (dir_ / "junk.kses").string();
+  {
+    std::ofstream f(junk, std::ios::binary);
+    f << std::string(300, 'x');
+  }
+  EXPECT_EQ(runTool("recover " + junk + " --out=" + rec, out), 4);
+  EXPECT_EQ(runTool("recover " + (dir_ / "missing.kses").string() +
+                        " --out=" + rec,
+                    out),
+            4);
 }
 
 TEST_F(ToolCliTest, CrashDumpReader) {

@@ -18,6 +18,8 @@
 //   ktracetool crashdump <dump.k42dump> [--cpu=N] [--max=N]
 //   ktracetool fsck     a.cpu0.ktrc ...              (validate / salvage report)
 //   ktracetool monitor  ... [--json]                 (self-monitoring counters)
+//   ktracetool recover  <segment.kses> [--out=out.ktrace]  (salvage a dead
+//                       shared-memory session into v2 trace files)
 //
 // Every trace-reading subcommand accepts --salvage: tolerate torn and
 // corrupt records (counting them) instead of stopping at the damage.
@@ -26,7 +28,7 @@
 // --no-mmap forces the buffered stdio read path.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 bad usage, 3 deadlock
-// found (deadlock), 4 damage found (fsck).
+// found (deadlock), 4 damage found (fsck, recover).
 #include <cstdio>
 #include <fstream>
 
@@ -46,6 +48,7 @@
 #include "analysis/timeline.hpp"
 #include "core/crash_dump.hpp"
 #include "core/ktrace.hpp"
+#include "core/shm_session.hpp"
 #include "ossim/events.hpp"
 #include "util/cli.hpp"
 
@@ -74,6 +77,8 @@ int usage() {
       "  crashdump  flight-recorder dump         <dump.k42dump> [--cpu=N] [--max=N]\n"
       "  fsck       validate / salvage report    (exit 4 when damage is found)\n"
       "  monitor    self-monitoring counters     [--json]\n"
+      "  recover    salvage a dead shm session   <segment> [--out=out.ktrace]\n"
+      "             (exit 4 when the segment is damaged or held torn buffers)\n"
       "\n"
       "global flags (trace-reading commands):\n"
       "  --salvage    tolerate torn/corrupt records instead of stopping\n"
@@ -171,6 +176,10 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                 "\"backpressure_waits\": %llu},\n",
                 static_cast<unsigned long long>(consumer.sinkDropped),
                 static_cast<unsigned long long>(consumer.sinkBackpressure));
+    std::printf("  \"recovery\": {\"reclaimed_words\": %llu, "
+                "\"torn_buffers\": %llu},\n",
+                static_cast<unsigned long long>(consumer.reclaimedWords),
+                static_cast<unsigned long long>(consumer.tornBuffers));
     std::printf("  \"completeness\": %s\n", completeness.c_str());
     std::printf("}\n");
     return 0;
@@ -210,6 +219,12 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                   static_cast<unsigned long long>(consumer.sinkDropped),
                   static_cast<unsigned long long>(consumer.sinkBackpressure),
                   static_cast<unsigned long long>(consumer.staleCommits));
+    }
+    if (consumer.tornBuffers != 0 || consumer.reclaimedWords != 0) {
+      std::printf("recovery: %llu torn buffer(s) reclaimed, %llu filler "
+                  "word(s) stamped\n",
+                  static_cast<unsigned long long>(consumer.tornBuffers),
+                  static_cast<unsigned long long>(consumer.reclaimedWords));
     }
   }
   std::fputs(report.report(tps).c_str(), stdout);
@@ -265,6 +280,95 @@ int runFsck(const std::vector<std::string>& files) {
   return rc;
 }
 
+/// Salvages a dead shared-memory session segment into valid v2 trace
+/// files. The segment is mapped copy-on-write (the on-disk evidence is
+/// never mutated); torn reservations are stamped with filler so every
+/// event committed before the crash decodes cleanly.
+///
+/// Exit-code boundary, consistent with fsck: 0 when the segment was clean
+/// (nothing dead, nothing torn), 4 when it was unreadable/corrupt or
+/// recovery found damage, 1 when writing the output failed.
+int runRecover(const std::string& segment, const std::string& outPath) {
+  std::unique_ptr<ShmSession> session;
+  try {
+    session = std::make_unique<ShmSession>(
+        ShmSession::attachForRecovery(segment, TscClock::ref()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "recover: %s: %s\n", segment.c_str(), e.what());
+    return 4;
+  }
+  const uint32_t numProcessors = session->numProcessors();
+
+  // One output file per processor: exactly --out for a single-processor
+  // session, FileSink-style ".cpuN" insertion otherwise.
+  auto pathFor = [&](uint32_t p) {
+    if (numProcessors == 1) return outPath;
+    const size_t dot = outPath.rfind('.');
+    const std::string stem =
+        dot == std::string::npos ? outPath : outPath.substr(0, dot);
+    const std::string ext =
+        dot == std::string::npos ? std::string(".ktrc") : outPath.substr(dot);
+    return stem + ".cpu" + std::to_string(p) + ext;
+  };
+
+  struct WriterSink final : Sink {
+    std::vector<std::unique_ptr<TraceFileWriter>> writers;
+    bool failed = false;
+    std::string error;
+    void onBuffer(BufferRecord&& record) override {
+      if (record.processor >= writers.size()) return;
+      TraceFileWriter& w = *writers[record.processor];
+      if (!w.writeBuffer(record) && !failed) {
+        failed = true;
+        error = w.errorMessage();
+      }
+    }
+  } sink;
+  sink.writers.reserve(numProcessors);
+  for (uint32_t p = 0; p < numProcessors; ++p) {
+    sink.writers.push_back(
+        std::make_unique<TraceFileWriter>(pathFor(p), session->fileMeta(p)));
+  }
+
+  SessionWatchdog::Config config;
+  // Offline: the segment's producers belong to a finished (possibly
+  // crashed) run, and their pids may since have been recycled — a live
+  // process with a recycled pid must not make the dead segment look alive.
+  config.checkPids = false;
+  SessionWatchdog watchdog(*session, sink, config);
+  watchdog.recoverNow();
+
+  for (uint32_t p = 0; p < numProcessors; ++p) {
+    if (!sink.writers[p]->flush() && !sink.failed) {
+      sink.failed = true;
+      sink.error = sink.writers[p]->errorMessage();
+    }
+  }
+
+  const RecoveryStats stats = watchdog.stats();
+  for (uint32_t p = 0; p < numProcessors; ++p) {
+    std::printf("%s: cpu %u, %llu buffer(s) recovered\n", pathFor(p).c_str(), p,
+                static_cast<unsigned long long>(sink.writers[p]->buffersWritten()));
+  }
+  std::printf("recover: %llu dead, %llu fenced producer(s); %llu torn "
+              "buffer(s), %llu word(s) reclaimed, %llu buffer(s) abandoned\n",
+              static_cast<unsigned long long>(stats.deadProducers),
+              static_cast<unsigned long long>(stats.fencedProducers),
+              static_cast<unsigned long long>(stats.tornBuffers),
+              static_cast<unsigned long long>(stats.reclaimedWords),
+              static_cast<unsigned long long>(stats.abandonedBuffers));
+  if (sink.failed) {
+    std::fprintf(stderr, "recover: write failed: %s\n", sink.error.c_str());
+    return 1;
+  }
+  // Draining leftover complete buffers (buffersRecovered) is not damage;
+  // dead/fenced producers, torn laps, or lapped buffers are.
+  const bool damage = stats.deadProducers != 0 || stats.fencedProducers != 0 ||
+                      stats.tornBuffers != 0 || stats.reclaimedWords != 0 ||
+                      stats.abandonedBuffers != 0;
+  return damage ? 4 : 0;
+}
+
 Registry& toolRegistry() {
   Registry& registry = Registry::global();
   ossim::registerOssimEvents(registry);
@@ -282,6 +386,11 @@ int run(const util::Cli& cli) {
   analysis::SymbolTable symbols;  // ids print as funcN unless a map is loaded
 
   if (command == "fsck") return runFsck(files);
+
+  if (command == "recover") {
+    return runRecover(files[0],
+                      cli.getString("out", files[0] + ".recovered.ktrc"));
+  }
 
   if (command == "crashdump") {
     CrashDumpReader dump(files[0]);
