@@ -122,7 +122,19 @@ void ShmTraceControl::commit(uint64_t index, uint32_t lengthWords) noexcept {
     state_->staleCommits.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  slot.committed.fetch_add(lengthWords, std::memory_order_release);
+  slot.committed.fetch_add(lengthWords, std::memory_order_seq_cst);
+  // The epoch check above is check-then-act: fenceWriters can land between
+  // it and the fetch_add while this producer sits preempted. Re-read the
+  // epoch AFTER the add and withdraw the commit if the fence won. seq_cst
+  // on the add, this re-read, and the fence's bump rules out the
+  // store-buffering outcome where the watchdog's post-fence scan misses
+  // the add AND this producer misses the fence: either the words are part
+  // of the committed prefix the watchdog preserves, or they are withdrawn
+  // here and the stamped filler stays authoritative.
+  if (state_->writerEpoch.load(std::memory_order_seq_cst) != localEpoch_) {
+    slot.committed.fetch_sub(lengthWords, std::memory_order_seq_cst);
+    state_->staleCommits.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ShmTraceControl::writeFillers(uint64_t from, uint64_t words, uint32_t ts32) noexcept {
@@ -166,11 +178,12 @@ bool ShmTraceControl::crossInto(uint64_t oldIndex, uint64_t offsetInBuffer,
   slots_[newSlot].lapStartCommitted.store(committedSnapshot, std::memory_order_relaxed);
   slots_[newSlot].lapSeq.store(newSeq, std::memory_order_release);
   if (leaseHeartbeat_ != nullptr) {
-    // Lease liveness: one relaxed store per buffer crossing (single writer
-    // per lease), the whole fast-path cost of the session watchdog.
-    leaseHeartbeat_->store(
-        leaseHeartbeat_->load(std::memory_order_relaxed) + 1,
-        std::memory_order_relaxed);
+    // Lease liveness: one relaxed fetch_add per buffer crossing, the whole
+    // fast-path cost of the session watchdog. An RMW, not load+store: one
+    // lease may have several writers (forked children, one per processor)
+    // crossing concurrently, and a lost increment could rewind the word to
+    // a value the watchdog already recorded.
+    leaseHeartbeat_->fetch_add(1, std::memory_order_relaxed);
   }
   if (remainder > 0) {
     writeFillers(oldIndex, remainder, static_cast<uint32_t>(ts));
@@ -200,15 +213,19 @@ bool ShmTraceControl::reserve(uint32_t lengthWords, Reservation& out) noexcept {
     state_->rejected.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  // Fenced accessor: the watchdog reclaimed this processor out from under
-  // us. Refusing the reservation (rather than racing the reclamation CAS)
-  // is what lets reclamation terminate — a fenced producer stops moving
-  // the index, so the watchdog's flushCurrentBuffer converges.
-  if (state_->writerEpoch.load(std::memory_order_relaxed) != localEpoch_) {
-    state_->rejected.fetch_add(1, std::memory_order_relaxed);
-    return false;
-  }
   for (;;) {
+    // Fenced accessor: the watchdog reclaimed this processor out from
+    // under us. Refusing the reservation (rather than racing the
+    // reclamation CAS) is what lets reclamation terminate — a fenced
+    // producer stops moving the index, so the watchdog's
+    // flushCurrentBuffer converges. Checked per attempt so a producer
+    // preempted inside this loop cannot keep CASing the index after the
+    // fence (the narrow remainder — a CAS already in flight — is absorbed
+    // by the watchdog's per-poll re-reclaim).
+    if (state_->writerEpoch.load(std::memory_order_relaxed) != localEpoch_) {
+      state_->rejected.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
     uint64_t oldIndex = state_->index.load(std::memory_order_relaxed);
     const uint64_t offsetInBuffer = oldIndex & (state_->bufferWords - 1);
     if (offsetInBuffer == 0 || offsetInBuffer + lengthWords > state_->bufferWords) {
@@ -249,6 +266,20 @@ void ShmTraceControl::flushCurrentBuffer() noexcept {
     Reservation unused;
     if (crossInto(oldIndex, offsetInBuffer, 0, unused)) return;
   }
+}
+
+uint64_t ShmTraceControl::withdrawOvercommit(uint64_t seq,
+                                             uint64_t expectedLapWords) noexcept {
+  ShmSlotState& slot = slots_[seq & (state_->numBuffers - 1)];
+  if (slot.lapSeq.load(std::memory_order_acquire) != seq) return 0;
+  const uint64_t lapStart = slot.lapStartCommitted.load(std::memory_order_relaxed);
+  const uint64_t lapCommitted =
+      slot.committed.load(std::memory_order_seq_cst) - lapStart;
+  if (lapCommitted <= expectedLapWords) return 0;
+  const uint64_t excess = lapCommitted - expectedLapWords;
+  slot.committed.fetch_sub(excess, std::memory_order_seq_cst);
+  state_->staleCommits.fetch_add(1, std::memory_order_relaxed);
+  return excess;
 }
 
 std::vector<DecodedEvent> ShmTraceControl::snapshot(size_t maxEvents) const {

@@ -171,9 +171,10 @@ class ShmTraceControl {
   // --- producer leases & the cross-process writer fence ----------------
   /// Binds this accessor to a lease heartbeat word (normally a ShmLease's,
   /// living in the same shared segment): every buffer crossing performs
-  /// one relaxed store refreshing it, so a consumer-side watchdog can tell
-  /// a logging producer from a stalled or dead one without touching the
-  /// fast path otherwise.
+  /// one relaxed fetch_add refreshing it, so a consumer-side watchdog can
+  /// tell a logging producer from a stalled or dead one without touching
+  /// the fast path otherwise. An RMW because one lease may have several
+  /// writers (forked children across the leased processors).
   void bindHeartbeat(std::atomic<uint64_t>* heartbeat) noexcept {
     leaseHeartbeat_ = heartbeat;
   }
@@ -182,8 +183,11 @@ class ShmTraceControl {
   /// subsequent reserves fail (counted rejected) and their in-flight
   /// commits are discarded as stale. Used by SessionWatchdog to quiesce a
   /// dead or expired producer's processor before reclaiming its buffers.
+  /// seq_cst pairs with commit()'s post-add epoch re-read: a commit racing
+  /// this bump is either visible to the fencer's subsequent scan or
+  /// withdraws itself — never neither.
   void fenceWriters() noexcept {
-    state_->writerEpoch.fetch_add(1, std::memory_order_acq_rel);
+    state_->writerEpoch.fetch_add(1, std::memory_order_seq_cst);
   }
   /// Re-reads the fence so *this* accessor logs under the current epoch
   /// (the watchdog calls it after fenceWriters, before reclaiming).
@@ -214,6 +218,14 @@ class ShmTraceControl {
 
   /// Pads the current buffer to its boundary (Facility::flush analogue).
   void flushCurrentBuffer() noexcept;
+
+  /// Recovery-side clamp (call only with writers fenced): if slot `seq`'s
+  /// lap commit count exceeds `expectedLapWords` — only possible when a
+  /// stale commit raced the fence and its withdrawal was lost to SIGKILL
+  /// or is still pending — subtract the excess and count it stale.
+  /// Returns the words withdrawn. If a pending withdrawal lands later,
+  /// the watchdog's next reclaim pass re-closes the resulting gap.
+  uint64_t withdrawOvercommit(uint64_t seq, uint64_t expectedLapWords) noexcept;
 
  private:
   ShmTraceControl(ShmControlState* state, ClockRef clock);

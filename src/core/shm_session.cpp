@@ -8,9 +8,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <new>
 #include <stdexcept>
+#include <utility>
 
 #include "util/bits.hpp"
 
@@ -81,6 +83,11 @@ ShmSession ShmSession::create(const std::string& path, const Config& config,
   validateGeometry(config.numProcessors, config.maxProducers, config.bufferWords,
                    config.numBuffers, /*attaching=*/false);
   if (!clock.valid()) throw std::invalid_argument("ShmSession: clock required");
+  // Refuse to mint a header that attach would reject.
+  if (!std::isfinite(config.ticksPerSecond) || config.ticksPerSecond <= 0.0) {
+    throw std::invalid_argument(
+        "ShmSession: ticksPerSecond must be positive and finite");
+  }
   const Layout layout = layoutFor(config.numProcessors, config.maxProducers,
                                   config.bufferWords, config.numBuffers);
 
@@ -175,6 +182,17 @@ ShmSession ShmSession::mapAndValidate(const std::string& path, ClockRef clock,
         "ShmSession: declared geometry exceeds the segment file "
         "(truncated or corrupt)");
   }
+  // Clock metadata feeds fileMeta() and, through it, every recovered
+  // .ktrc file's timestamp math: a corrupt ticksPerSecond (0, negative,
+  // NaN from a bit flip) or unknown clockKind must fail here, not surface
+  // as divide-by-zero/NaN timestamps downstream.
+  if (!std::isfinite(header->ticksPerSecond) || header->ticksPerSecond <= 0.0) {
+    throw std::runtime_error(
+        "ShmSession: implausible ticksPerSecond (corrupt clock metadata)");
+  }
+  if (header->clockKind > static_cast<uint32_t>(ClockKind::Fake)) {
+    throw std::runtime_error("ShmSession: unknown clockKind");
+  }
   session.header_ = header;
   session.leases_ = reinterpret_cast<ShmLease*>(static_cast<char*>(base) +
                                                 layout.leaseOffset);
@@ -204,19 +222,19 @@ ShmSession::ShmSession(ShmSession&& other) noexcept { *this = std::move(other); 
 
 ShmSession& ShmSession::operator=(ShmSession&& other) noexcept {
   if (this == &other) return *this;
-  this->~ShmSession();
-  base_ = other.base_;
-  mappedBytes_ = other.mappedBytes_;
-  fd_ = other.fd_;
+  // Release the held resources in place. An explicit destructor call here
+  // would end the lifetime of every member (path_ included), making the
+  // assignments below UB — and the object would be destroyed again at end
+  // of scope.
+  if (base_ != nullptr) ::munmap(base_, mappedBytes_);
+  if (fd_ >= 0) ::close(fd_);
+  base_ = std::exchange(other.base_, nullptr);
+  mappedBytes_ = std::exchange(other.mappedBytes_, size_t{0});
+  fd_ = std::exchange(other.fd_, -1);
   path_ = std::move(other.path_);
   clock_ = other.clock_;
-  header_ = other.header_;
-  leases_ = other.leases_;
-  other.base_ = nullptr;
-  other.mappedBytes_ = 0;
-  other.fd_ = -1;
-  other.header_ = nullptr;
-  other.leases_ = nullptr;
+  header_ = std::exchange(other.header_, nullptr);
+  leases_ = std::exchange(other.leases_, nullptr);
   return *this;
 }
 
@@ -313,6 +331,7 @@ SessionWatchdog::SessionWatchdog(ShmSession& session, Sink& sink, Config config)
   }
   nextSeq_.assign(session_.numProcessors(), 0);
   tracks_.assign(session_.maxProducers(), LeaseTrack{});
+  recovering_.assign(session_.numProcessors(), 0);
 }
 
 SessionWatchdog::~SessionWatchdog() { stop(); }
@@ -369,6 +388,7 @@ void SessionWatchdog::drainProcessor(uint32_t p) {
 
 void SessionWatchdog::reclaimProcessor(uint32_t p) {
   ShmTraceControl& c = controls_[p];
+  recovering_[p] = 1;
   // Quiesce first: after the fence every accessor the (possibly live)
   // producer still holds fails its reserves and has its commits discarded
   // as stale, so the index stops moving and the scan below is against a
@@ -391,10 +411,20 @@ void SessionWatchdog::reclaimProcessor(uint32_t p) {
     if (slot.lapSeq.load(std::memory_order_acquire) != seq) continue;
     const uint64_t expected =
         seq == currentSeq ? (index & (bufferWords - 1)) : bufferWords;
+    // seq_cst: pairs with the seq_cst epoch bump above and the producer's
+    // commit-side epoch re-check — a racing commit is either visible here
+    // (counted into the preserved prefix) or withdraws itself.
     const uint64_t lapCommitted =
-        slot.committed.load(std::memory_order_acquire) -
+        slot.committed.load(std::memory_order_seq_cst) -
         slot.lapStartCommitted.load(std::memory_order_relaxed);
-    if (lapCommitted >= expected) continue;
+    if (lapCommitted >= expected) {
+      // Past the reserved bound the surplus can only be a stale
+      // double-count whose withdrawal was lost (SIGKILL between the add
+      // and its epoch re-check) or is still pending; clamp it so the lap
+      // cannot wedge the stop-at-incomplete drain forever.
+      if (lapCommitted > expected) c.withdrawOvercommit(seq, expected);
+      continue;
+    }
     // §3.1 commit-count anomaly: [lapCommitted, expected) was reserved but
     // never committed — the producer died (or was fenced) mid-event. With
     // one producer per processor commits land in order, so the committed
@@ -424,7 +454,31 @@ void SessionWatchdog::reclaimProcessor(uint32_t p) {
 void SessionWatchdog::pollLocked() {
   polls_.fetch_add(1, std::memory_order_relaxed);
   const uint32_t numProcessors = session_.numProcessors();
-  for (uint32_t p = 0; p < numProcessors; ++p) drainProcessor(p);
+  // A processor covered by an Active lease belongs to its producer again
+  // (a fresh lease re-used it after reclamation): stop re-running recovery
+  // there, or the retry below would fence the newcomer.
+  for (uint32_t i = 0; i < session_.maxProducers(); ++i) {
+    const ShmLease& lease = session_.lease(i);
+    if (lease.state.load(std::memory_order_acquire) != ShmLease::kActive) continue;
+    const uint32_t first = lease.firstProcessor;
+    const uint32_t end = lease.endProcessor;
+    if (first >= end || end > numProcessors) continue;
+    for (uint32_t p = first; p < end; ++p) recovering_[p] = 0;
+  }
+  for (uint32_t p = 0; p < numProcessors; ++p) {
+    // Re-run the idempotent reclaim on recovered processors until they
+    // drain dry: a reserve or commit that was already in flight when the
+    // fence landed can perturb the counts after a single pass, and the
+    // retry is what guarantees convergence (see recovering_).
+    if (recovering_[p] != 0) {
+      if (hasPending(p)) {
+        reclaimProcessor(p);
+      } else {
+        recovering_[p] = 0;
+      }
+    }
+    drainProcessor(p);
+  }
 
   for (uint32_t i = 0; i < session_.maxProducers(); ++i) {
     ShmLease& lease = session_.lease(i);

@@ -12,9 +12,9 @@
 //     by field on attach so a corrupt or truncated segment is an error,
 //     never undefined behaviour.
 //   - ShmLease: pid + acquisition epoch + a monotonic heartbeat word the
-//     log fast path refreshes at buffer crossings (one relaxed store; see
-//     ShmTraceControl::bindHeartbeat). A consumer-side watchdog reads it
-//     to tell a logging producer from a stalled or dead one.
+//     log fast path refreshes at buffer crossings (one relaxed fetch_add;
+//     see ShmTraceControl::bindHeartbeat). A consumer-side watchdog reads
+//     it to tell a logging producer from a stalled or dead one.
 //   - SessionWatchdog: drains complete buffers, detects dead pids and
 //     expired leases, fences the affected processors (writerEpoch bump —
 //     the cross-process analogue of the lapSeq stale-commit guard),
@@ -255,6 +255,14 @@ class SessionWatchdog {
   std::vector<ShmTraceControl> controls_;  // one accessor per processor
   std::vector<uint64_t> nextSeq_;
   std::vector<LeaseTrack> tracks_;
+  /// Processors whose producer was fenced for recovery. Reclamation is
+  /// check-then-act against a possibly-preempted producer (a reserve/commit
+  /// already in flight can land after a reclaim pass computed its bounds),
+  /// so each poll re-runs the idempotent reclaim on these until they drain
+  /// dry — accounting converges instead of wedging on a commit mismatch a
+  /// single pass missed. Cleared when an Active lease re-covers the
+  /// processor, so a new producer is never fenced by a stale flag.
+  std::vector<uint8_t> recovering_;
 
   std::atomic<uint64_t> tornBuffers_{0};
   std::atomic<uint64_t> reclaimedWords_{0};

@@ -6,15 +6,20 @@
 #include "core/shm_session.hpp"
 
 #include <gtest/gtest.h>
+#include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <set>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "core/decode.hpp"
 #include "util/faultfs.hpp"
@@ -182,6 +187,37 @@ TEST_F(ShmSessionTest, LeaseTableFillsReleasesAndRefreshesEpochs) {
   EXPECT_THROW(session.acquireLease(1, 0, 99), std::invalid_argument);
 }
 
+// Move-assigning over a live session (the re-attach pattern) must release
+// the old mapping/fd in place and adopt the source's. The old
+// implementation called this->~ShmSession() and then assigned to the
+// destroyed members — a use-after-free ASan catches for paths past the
+// small-string optimization.
+TEST_F(ShmSessionTest, MoveAssignOverLiveSessionReleasesTheOldMapping) {
+  ShmSession::Config cfg;
+  cfg.bufferWords = 64;
+  cfg.numBuffers = 8;
+  const std::string pathA = segPath(std::string(48, 'a') + ".kses");
+  const std::string pathB = segPath(std::string(48, 'b') + ".kses");
+  ShmSession a = ShmSession::create(pathA, cfg, TscClock::ref());
+  ASSERT_TRUE(a.control(0).logEvent(Major::Test, 1, uint64_t{7}));
+  {
+    ShmSession b = ShmSession::create(pathB, cfg, TscClock::ref());
+    b = std::move(a);
+    EXPECT_EQ(b.path(), pathA);
+    // Re-attach over the now-live session: the exact review scenario.
+    b = ShmSession::attach(pathA, TscClock::ref());
+    EXPECT_EQ(b.path(), pathA);
+    b.control(0).flushCurrentBuffer();
+    MemorySink sink;
+    b.control(0).drainCompleteBuffers(0, sink);
+    const auto events = decodeRecords(sink, 0);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].data[0], 7u);
+  }
+  // `a` was emptied by the move: its destruction must not unmap pathA's
+  // segment twice.
+}
+
 TEST_F(ShmSessionTest, AttachRejectsTruncatedSegment) {
   ShmSession::Config cfg;
   const std::string path = segPath("truncated.kses");
@@ -225,6 +261,54 @@ TEST_F(ShmSessionTest, HeaderFieldBitFlipsAlwaysRejected) {
                  std::runtime_error)
         << "seed " << seed;
   }
+}
+
+// Clock metadata flows through fileMeta() into recovered .ktrc files:
+// corrupt ticksPerSecond (zero, negative, NaN, inf) or an unknown
+// clockKind must be rejected at attach, never surface as divide-by-zero
+// or NaN timestamps downstream.
+TEST_F(ShmSessionTest, AttachRejectsCorruptClockMetadata) {
+  ShmSession::Config cfg;
+  const std::string path = segPath("clockmeta.kses");
+  { ShmSession session = ShmSession::create(path, cfg, TscClock::ref()); }
+
+  const auto patchHeader = [&](auto&& mutate) {
+    const int fd = ::open(path.c_str(), O_RDWR);
+    ASSERT_GE(fd, 0);
+    void* m = ::mmap(nullptr, sizeof(ShmSessionHeader), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+    ASSERT_NE(m, MAP_FAILED);
+    mutate(*static_cast<ShmSessionHeader*>(m));
+    ASSERT_EQ(::munmap(m, sizeof(ShmSessionHeader)), 0);
+    ::close(fd);
+  };
+
+  for (const double bad :
+       {0.0, -2.5e9, std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity()}) {
+    patchHeader([&](ShmSessionHeader& h) { h.ticksPerSecond = bad; });
+    EXPECT_THROW(ShmSession::attach(path, TscClock::ref()), std::runtime_error)
+        << "ticksPerSecond " << bad;
+    EXPECT_THROW(ShmSession::attachForRecovery(path, TscClock::ref()),
+                 std::runtime_error)
+        << "ticksPerSecond " << bad;
+  }
+  patchHeader([&](ShmSessionHeader& h) {
+    h.ticksPerSecond = 1e9;
+    h.clockKind = 0xABCDu;
+  });
+  EXPECT_THROW(ShmSession::attach(path, TscClock::ref()), std::runtime_error);
+  patchHeader([&](ShmSessionHeader& h) {
+    h.clockKind = static_cast<uint32_t>(ClockKind::Tsc);
+  });
+  EXPECT_NO_THROW(ShmSession::attach(path, TscClock::ref()));
+
+  // create() refuses to mint a header attach would reject.
+  ShmSession::Config badCfg;
+  badCfg.ticksPerSecond = 0.0;
+  EXPECT_THROW(
+      ShmSession::create(segPath("badtps.kses"), badCfg, TscClock::ref()),
+      std::invalid_argument);
 }
 
 // Flips anywhere in the segment (metadata, lease table, control headers,
@@ -443,6 +527,59 @@ TEST_F(ShmSessionTest, LateCommitAfterExpiryFenceIsDiscardedAsStale) {
   ShmTraceControl fresh = session.control(0);
   EXPECT_FALSE(fresh.fenced());
   EXPECT_TRUE(fresh.logEvent(Major::Test, 2, uint64_t{99}));
+}
+
+// The commit-side fence is check-then-act: without the post-add epoch
+// re-check in ShmTraceControl::commit, a producer preempted between its
+// epoch load and its committed.fetch_add double-counts words the watchdog
+// already stamped filler over, and a reclaimed lap's commit count
+// overshoots bufferWords. Race a hot producer against a fence+reclaim and
+// require the accounting to converge: every shipped record is complete,
+// and the drain reaches the flushed boundary.
+TEST_F(ShmSessionTest, CommitsRacingTheFenceNeverBreakAccounting) {
+  ShmSession::Config cfg;
+  cfg.bufferWords = 64;
+  cfg.numBuffers = 8;
+  const std::string path = segPath("fence_race.kses");
+  ShmSession session = ShmSession::create(path, cfg, TscClock::ref());
+  const int lease = session.acquireLease(::getpid(), 0, 1);
+  ASSERT_GE(lease, 0);
+
+  std::atomic<bool> sawFence{false};
+  std::thread writer([&] {
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(lease));
+    uint64_t i = 0;
+    while (producer.logEvent(Major::Test, 1, i)) ++i;  // until fenced
+    sawFence.store(true, std::memory_order_release);
+  });
+
+  MemorySink sink;
+  SessionWatchdog::Config wcfg;
+  wcfg.checkPids = false;
+  wcfg.expiryPolls = 1u << 30;  // fenced manually below, not by deadline
+  SessionWatchdog watchdog(session, sink, wcfg);
+
+  // Let the producer lap the ring a couple of times, then yank the
+  // session out from under it mid-log.
+  ShmTraceControl observer = session.control(0);
+  while (observer.currentIndex() < 16 * cfg.bufferWords) {}
+  watchdog.recoverNow();
+  writer.join();
+  EXPECT_TRUE(sawFence.load(std::memory_order_acquire));
+
+  // Per-poll re-reclaim is part of the watchdog contract: any reserve or
+  // commit that was in flight when the fence landed is absorbed within a
+  // few idempotent retries.
+  for (int i = 0; i < 8; ++i) watchdog.pollOnce();
+
+  for (const BufferRecord& r : sink.records()) {
+    EXPECT_FALSE(r.commitMismatch)
+        << "seq " << r.seq << " committedDelta " << r.committedDelta;
+  }
+  // Nothing wedged: the drain reached the flushed buffer boundary.
+  EXPECT_EQ(observer.currentIndex() % cfg.bufferWords,
+            TraceControl::kAnchorWords);
 }
 
 }  // namespace
