@@ -1,0 +1,14 @@
+#!/bin/sh
+# Runs the ktraced tenants x scheduler-threads drain sweep and drops
+# BENCH_daemon.json at the repo root. Usage: bench/run_daemon_bench.sh [build-dir]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+if [ ! -x "$build/bench/bench_daemon_tenants" ]; then
+  cmake -B "$build" -S "$repo"
+  cmake --build "$build" -j "$(nproc)" --target bench_daemon_tenants
+fi
+
+"$build/bench/bench_daemon_tenants" --out="$repo/BENCH_daemon.json" "$@"

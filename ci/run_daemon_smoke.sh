@@ -1,0 +1,139 @@
+#!/bin/sh
+# Daemon smoke: the ktraced acceptance bar end to end, with REAL binaries
+# and real processes (DESIGN.md §11).
+#
+#   1. In-process fleet sweep: daemon_crash_test across several seeds,
+#      then one big run with 100+ producer children — seeded kills, a
+#      corrupt segment and a hostile lease table injected mid-run, and a
+#      mid-drain stop + restart. Exactly-once is asserted inside.
+#   2. Real-binary run: a ktraced process watches a session directory
+#      while kses_smoke producers log into it; some are SIGKILLed. The
+#      daemon takes SIGTERM mid-stream, a second incarnation resumes from
+#      the manifest, and kses_smoke verify proves no event committed
+#      before a kill was lost or emitted twice across both generations.
+#      A corrupt segment dropped next to the fleet must quarantine, and
+#      `ktraced --check` must exit with the shared damage code (4).
+#
+# A failing seed replays deterministically:
+#   KTRACE_DAEMON_SEED=<n> <build>/tests/daemon_crash_test
+# Usage: ci/run_daemon_smoke.sh [build-dir] [num-seeds]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+seeds="${2:-6}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" \
+      --target daemon_crash_test ktraced kses_smoke ktracetool >/dev/null
+
+harness="$build/tests/daemon_crash_test"
+failed=0
+s=1
+while [ "$s" -le "$seeds" ]; do
+  if KTRACE_DAEMON_SEED="$s" "$harness" --gtest_brief=1 >/dev/null 2>&1; then
+    printf 'daemon_smoke: seed %s ok\n' "$s"
+  else
+    printf 'daemon_smoke: seed %s FAILED (replay: KTRACE_DAEMON_SEED=%s %s)\n' \
+           "$s" "$s" "$harness" >&2
+    failed=$((failed + 1))
+  fi
+  s=$((s + 1))
+done
+[ "$failed" -eq 0 ] || { printf 'daemon_smoke: %s seeds failed\n' "$failed" >&2; exit 1; }
+
+printf 'daemon_smoke: fleet run with 128 producers\n'
+KTRACE_DAEMON_SEED=99 KTRACE_DAEMON_TENANTS=4 KTRACE_DAEMON_PROCS=32 \
+  "$harness" --gtest_brief=1 >/dev/null
+
+# --- Real-binary end-to-end -------------------------------------------------
+work="$(mktemp -d "${TMPDIR:-/tmp}/ktraced_smoke.XXXXXX")"
+trap 'rm -rf "$work"' EXIT INT TERM
+mkdir -p "$work/sessions" "$work/out"
+cd "$work"
+
+ktraced="$build/tools/ktraced"
+smoke="$build/tools/kses_smoke"
+tool="$build/tools/ktracetool"
+
+procs=8
+events=4000
+"$smoke" create sessions/fleet.kses --procs=$procs --buffer-words=64 \
+         --buffers=512 >/dev/null
+
+"$ktraced" --dir=sessions --out=out --socket=ctl.sock \
+           --scan-ms=20 --poll-us=500 --expiry-ms=2000 2>daemon1.log &
+daemon_pid=$!
+
+# 8 producers; the first three are kill targets (parked, then SIGKILLed
+# at staggered offsets), the rest exit cleanly.
+pids=""
+p=0
+while [ "$p" -lt "$procs" ]; do
+  if [ "$p" -lt 3 ]; then park="--park"; else park=""; fi
+  "$smoke" produce sessions/fleet.kses --proc=$p --events=$events \
+           --count-file=fleet.p$p --throttle-every=16 $park &
+  pids="$pids $p:$!"
+  p=$((p + 1))
+done
+
+sleep 1
+for entry in $pids; do
+  p="${entry%%:*}"; pid="${entry#*:}"
+  if [ "$p" -lt 3 ]; then
+    kill -KILL "$pid" 2>/dev/null || true
+    sleep 0.05
+  fi
+done
+for entry in $pids; do
+  wait "${entry#*:}" 2>/dev/null || true
+done
+
+# The control plane answers while the daemon digests the kills.
+"$tool" tenants --socket=ctl.sock | grep -q '"name":"fleet"' \
+  || { echo 'daemon_smoke: control plane did not list the tenant' >&2; exit 1; }
+
+# A corrupt segment dropped mid-run must quarantine, not kill the daemon.
+head -c 4096 /dev/urandom > sessions/junk.kses
+tries=0
+until [ -e sessions/junk.kses.quarantined ]; do
+  tries=$((tries + 1))
+  [ "$tries" -lt 100 ] || { echo 'daemon_smoke: no quarantine marker' >&2; exit 1; }
+  sleep 0.1
+done
+kill -0 "$daemon_pid" || { echo 'daemon_smoke: daemon died on corrupt segment' >&2; exit 1; }
+
+# SIGTERM mid-stream: graceful drain + manifest.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo 'daemon_smoke: daemon exited non-zero' >&2; exit 1; }
+[ -e out/ktraced.manifest ] || { echo 'daemon_smoke: no manifest' >&2; exit 1; }
+
+# More data lands between incarnations (disjoint id range).
+"$smoke" produce sessions/fleet.kses --proc=7 --events=1000 --start=$events \
+         --count-file=fleet.p7 --throttle-every=0 >/dev/null
+
+# Incarnation 2 resumes from the manifest and drains the remainder.
+"$ktraced" --dir=sessions --out=out --socket=ctl.sock \
+           --scan-ms=20 --poll-us=500 --expiry-ms=2000 2>daemon2.log &
+daemon_pid=$!
+sleep 1.5
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo 'daemon_smoke: restart exited non-zero' >&2; exit 1; }
+grep -q 'resumed=1' daemon2.log \
+  || { echo 'daemon_smoke: restart did not resume from the manifest' >&2; exit 1; }
+
+# Exactly-once across kills, SIGTERM, and the restart: every committed
+# event present once in the union of both generations' files.
+"$smoke" verify --procs=$procs --count-prefix=fleet out/fleet.g*.ktrc \
+  || { echo 'daemon_smoke: exactly-once verification failed' >&2; exit 1; }
+
+# The offline audit shares the exit-code table: damage (the quarantined
+# segment) must surface as code 4 from ktraced --check.
+set +e
+"$ktraced" --dir=sessions --check >/dev/null
+check_rc=$?
+set -e
+[ "$check_rc" -eq 4 ] \
+  || { echo "daemon_smoke: --check exit $check_rc, want 4" >&2; exit 1; }
+
+printf 'daemon_smoke: all stages passed\n'

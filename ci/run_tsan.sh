@@ -13,6 +13,7 @@ cmake --build "$build" -j "$(nproc)" --target \
       analysis_parallel_decode_test core_concurrent_test util_test \
       core_monitor_test analysis_completeness_test \
       core_consumer_shard_test core_batching_sink_test \
-      core_shm_crash_test core_shm_session_test
+      core_shm_crash_test core_shm_session_test \
+      daemon_test daemon_crash_test
 cd "$build"
 ctest -L concurrent --output-on-failure

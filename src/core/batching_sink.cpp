@@ -9,6 +9,13 @@ BatchingSink::BatchingSink(Sink& downstream, BatchingConfig config)
   config_.batchRecords = std::max<size_t>(config_.batchRecords, 1);
   config_.maxQueuedRecords =
       std::max(config_.maxQueuedRecords, config_.batchRecords);
+  if (config_.quotaBytesPerSecond != 0) {
+    if (config_.quotaBurstBytes == 0) {
+      config_.quotaBurstBytes = config_.quotaBytesPerSecond;
+    }
+    quotaTokens_ = static_cast<double>(config_.quotaBurstBytes);
+    quotaRefillAt_ = std::chrono::steady_clock::now();
+  }
   thread_ = std::thread([this] { run(); });
 }
 
@@ -25,8 +32,32 @@ void BatchingSink::stop() {
   if (thread_.joinable()) thread_.join();  // writer drains before exiting
 }
 
+bool BatchingSink::admitQuotaLocked(const BufferRecord& record) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - quotaRefillAt_).count();
+  quotaRefillAt_ = now;
+  quotaTokens_ =
+      std::min(static_cast<double>(config_.quotaBurstBytes),
+               quotaTokens_ +
+                   elapsed * static_cast<double>(config_.quotaBytesPerSecond));
+  if (quotaTokens_ <= 0.0) return false;
+  // A positive balance admits even a record bigger than what's left — the
+  // balance goes negative and the tenant pays it back in refill time.
+  // Without this, a record larger than the burst could never be admitted.
+  quotaTokens_ -= static_cast<double>(record.words.size()) * sizeof(uint64_t);
+  return true;
+}
+
 bool BatchingSink::enqueue(BufferRecord&& record) {
   std::unique_lock lock(mutex_);
+  // Quota is checked before capacity so an over-budget tenant sheds
+  // instead of blocking, regardless of blockWhenFull.
+  if (config_.quotaBytesPerSecond != 0 && !admitQuotaLocked(record)) {
+    quotaSheds_.fetch_add(1, std::memory_order_relaxed);
+    recordsDropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   if (queue_.size() >= config_.maxQueuedRecords) {
     if (!config_.blockWhenFull || stopping_) {
       recordsDropped_.fetch_add(1, std::memory_order_relaxed);
@@ -111,6 +142,7 @@ SinkCounters BatchingSink::counters() const {
   c.recordsDropped += recordsDropped_.load(std::memory_order_relaxed);
   c.batchesFlushed += batchesFlushed_.load(std::memory_order_relaxed);
   c.backpressureWaits += backpressureWaits_.load(std::memory_order_relaxed);
+  c.quotaSheds += quotaSheds_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     c.queuedRecords += queue_.size();

@@ -41,6 +41,16 @@ struct BatchingConfig {
   /// (lossless, but the consumer shard stalls — never the logging path).
   /// false: shed the incoming record and count it.
   bool blockWhenFull = false;
+  /// Per-tenant byte budget (0 = unlimited). When set, records are
+  /// admitted against a token bucket refilled at this rate (steady clock;
+  /// cost = payload words x 8). A record arriving with the bucket empty is
+  /// shed and counted (quotaSheds, also folded into recordsDropped) —
+  /// never blocked, even with blockWhenFull: a tenant over its budget must
+  /// degrade alone, not backpressure the shared drain.
+  uint64_t quotaBytesPerSecond = 0;
+  /// Bucket capacity in bytes (0 = one second's worth of refill). Also
+  /// the initial balance.
+  uint64_t quotaBurstBytes = 0;
 };
 
 class BatchingSink final : public Sink {
@@ -77,6 +87,9 @@ class BatchingSink final : public Sink {
   uint64_t backpressureWaits() const noexcept {
     return backpressureWaits_.load(std::memory_order_relaxed);
   }
+  uint64_t quotaSheds() const noexcept {
+    return quotaSheds_.load(std::memory_order_relaxed);
+  }
   size_t queuedNow() const {
     std::lock_guard lock(mutex_);
     return queue_.size();
@@ -85,6 +98,8 @@ class BatchingSink final : public Sink {
  private:
   void run();
   bool enqueue(BufferRecord&& record);  // false: shed
+  /// Token-bucket admission. Caller holds mutex_; false = over quota.
+  bool admitQuotaLocked(const BufferRecord& record);
   /// Pops up to batchRecords records. Caller holds mutex_.
   std::vector<BufferRecord> takeBatchLocked();
   void deliver(std::vector<BufferRecord>&& batch);
@@ -97,6 +112,8 @@ class BatchingSink final : public Sink {
   std::condition_variable spaceCv_;    // blocked producers wait for space
   std::deque<BufferRecord> queue_;
   bool stopping_ = false;
+  double quotaTokens_ = 0;  // bytes; may go negative after a large record
+  std::chrono::steady_clock::time_point quotaRefillAt_{};
 
   std::mutex downstreamMutex_;  // writer thread vs flushNow()
   std::mutex lifecycleMutex_;   // stop-once (same pattern as Consumer::stop)
@@ -105,6 +122,7 @@ class BatchingSink final : public Sink {
   std::atomic<uint64_t> batchesFlushed_{0};
   std::atomic<uint64_t> recordsDropped_{0};
   std::atomic<uint64_t> backpressureWaits_{0};
+  std::atomic<uint64_t> quotaSheds_{0};
 };
 
 }  // namespace ktrace

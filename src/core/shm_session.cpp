@@ -325,6 +325,9 @@ SessionWatchdog::SessionWatchdog(ShmSession& session, Sink& sink)
 
 SessionWatchdog::SessionWatchdog(ShmSession& session, Sink& sink, Config config)
     : session_(session), sink_(sink), config_(config) {
+  expiryTimeout_ = config_.expiryTimeout.count() >= 0
+                       ? config_.expiryTimeout
+                       : config_.checkInterval * config_.expiryPolls;
   controls_.reserve(session_.numProcessors());
   for (uint32_t p = 0; p < session_.numProcessors(); ++p) {
     controls_.push_back(session_.control(p));
@@ -505,6 +508,8 @@ void SessionWatchdog::pollLocked() {
       track.stalePolls = 0;
       continue;
     }
+    const auto now = std::chrono::steady_clock::now();
+    if (track.stalePolls == 0) track.staleSince = now;
     ++track.stalePolls;
 
     bool pending = false;
@@ -513,8 +518,13 @@ void SessionWatchdog::pollLocked() {
                       pidDead(lease.pid.load(std::memory_order_relaxed));
     // A dead pid is reclaimed immediately; a live-but-stalled producer only
     // once it has both exceeded the deadline and left data stranded (an
-    // idle producer with everything drained is left alone).
-    if (!dead && !(track.stalePolls >= config_.expiryPolls && pending)) continue;
+    // idle producer with everything drained is left alone). The deadline is
+    // poll count AND steady elapsed time: a burst of rapid polls (external
+    // driver, doorbell) or a wall-clock step must not shrink the grace
+    // window a slow producer was promised.
+    const bool expired = track.stalePolls >= config_.expiryPolls &&
+                         now - track.staleSince >= expiryTimeout_;
+    if (!dead && !(expired && pending)) continue;
 
     (dead ? deadProducers_ : fencedProducers_).fetch_add(1,
                                                          std::memory_order_relaxed);
@@ -544,6 +554,33 @@ void SessionWatchdog::recoverNow() {
     if (hasPending(p)) reclaimProcessor(p);
     drainProcessor(p);
   }
+}
+
+void SessionWatchdog::seedDrained(const std::vector<uint64_t>& nextSeq) {
+  std::lock_guard lock(pollMutex_);
+  const size_t n = std::min(nextSeq.size(), nextSeq_.size());
+  for (size_t p = 0; p < n; ++p) {
+    // A manifest cursor ahead of the live sequence can only mean the
+    // segment was recreated after the manifest was written (the reserve
+    // index is monotonic for a segment's lifetime): start that processor
+    // from scratch rather than silently skipping the new segment's data.
+    const uint64_t liveSeq =
+        controls_[p].currentIndex() / controls_[p].bufferWords();
+    nextSeq_[p] = nextSeq[p] <= liveSeq ? nextSeq[p] : 0;
+  }
+}
+
+std::vector<uint64_t> SessionWatchdog::drainedSeqs() {
+  std::lock_guard lock(pollMutex_);
+  return nextSeq_;
+}
+
+bool SessionWatchdog::pendingData() {
+  std::lock_guard lock(pollMutex_);
+  for (uint32_t p = 0; p < session_.numProcessors(); ++p) {
+    if (recovering_[p] != 0 || hasPending(p)) return true;
+  }
+  return false;
 }
 
 RecoveryStats SessionWatchdog::stats() const noexcept {

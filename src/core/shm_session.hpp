@@ -193,11 +193,21 @@ class SessionWatchdog {
   struct Config {
     /// Background poll cadence.
     std::chrono::microseconds checkInterval{2'000};
-    /// Consecutive polls with no heartbeat AND no index movement before a
-    /// lease with pending data is declared expired and fenced. The fence
-    /// makes an aggressive deadline safe: a slow-but-alive producer's late
-    /// commits are discarded as stale, never miscounted.
+    /// Minimum consecutive polls with no heartbeat AND no index movement
+    /// before a lease with pending data can be declared expired and
+    /// fenced. The fence makes an aggressive deadline safe: a
+    /// slow-but-alive producer's late commits are discarded as stale,
+    /// never miscounted.
     uint32_t expiryPolls = 5;
+    /// Monotonic (steady-clock) time a lease must stay stale before it is
+    /// fenced, measured from the first stale observation. Poll counting
+    /// alone is not a deadline: an external driver (the daemon's
+    /// WatchdogScheduler, tests, a doorbell burst) may call pollOnce() at
+    /// an arbitrary cadence, and a wall-clock step must not shrink the
+    /// grace window either — so expiry requires BOTH expiryPolls stale
+    /// observations AND this much steady time elapsed. Negative (the
+    /// default) derives expiryPolls * checkInterval.
+    std::chrono::microseconds expiryTimeout{-1};
     /// Probe lease pids with kill(pid, 0): ESRCH short-circuits the
     /// expiry deadline. Off for offline recovery, where a recycled pid
     /// could make a dead segment's producer look alive.
@@ -229,12 +239,33 @@ class SessionWatchdog {
     return polls_.load(std::memory_order_relaxed);
   }
 
+  /// Seeds the per-processor drained-up-to cursors from a recovery
+  /// manifest, so a restarted daemon resumes where the previous
+  /// incarnation's drain stopped instead of re-emitting buffers it
+  /// already wrote (exactly-once across daemon restarts). A seed ahead of
+  /// the segment's live sequence means the segment was recreated since
+  /// the manifest was written — that cursor resets to 0 and the new
+  /// segment drains from the start. Call before start()/pollOnce().
+  void seedDrained(const std::vector<uint64_t>& nextSeq);
+
+  /// Snapshot of the per-processor drained-up-to cursors (manifest
+  /// writes). Safe against a concurrent pollOnce().
+  std::vector<uint64_t> drainedSeqs();
+
+  /// True when any processor still holds data a plain drain can reach or
+  /// a reclaim is in flight — i.e. stopping now would leave events
+  /// behind.
+  bool pendingData();
+
  private:
   struct LeaseTrack {
     uint64_t epoch = 0;          // lease epoch this track belongs to
     uint64_t lastHeartbeat = 0;
     uint64_t lastIndexSum = 0;   // sum of owned processors' indexes
     uint32_t stalePolls = 0;
+    /// First poll that observed the current stale streak, on the steady
+    /// clock: expiry needs real elapsed time, not just poll count.
+    std::chrono::steady_clock::time_point staleSince{};
   };
 
   void run();
@@ -252,6 +283,7 @@ class SessionWatchdog {
   ShmSession& session_;
   Sink& sink_;
   Config config_;
+  std::chrono::microseconds expiryTimeout_{0};  // resolved from config
   std::vector<ShmTraceControl> controls_;  // one accessor per processor
   std::vector<uint64_t> nextSeq_;
   std::vector<LeaseTrack> tracks_;

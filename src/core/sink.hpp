@@ -39,6 +39,8 @@ struct SinkCounters {
   uint64_t batchesFlushed = 0;     // downstream flushes (batching sinks)
   uint64_t backpressureWaits = 0;  // producer calls that blocked on a full queue
   uint64_t queuedRecords = 0;      // in flight right now (batching sinks)
+  uint64_t quotaSheds = 0;         // records shed by a per-tenant quota
+                                   // (also counted in recordsDropped)
 };
 
 class Sink {

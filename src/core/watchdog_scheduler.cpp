@@ -1,0 +1,124 @@
+#include "core/watchdog_scheduler.hpp"
+
+#include "core/shm_session.hpp"
+
+namespace ktrace {
+
+WatchdogScheduler::WatchdogScheduler(Config config) : config_(config) {
+  if (config_.threads < 1) config_.threads = 1;
+}
+
+WatchdogScheduler::~WatchdogScheduler() { stop(); }
+
+void WatchdogScheduler::start() {
+  std::lock_guard lifecycle(lifecycleMutex_);
+  if (!threads_.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    running_ = true;
+  }
+  threads_.reserve(config_.threads);
+  for (uint32_t i = 0; i < config_.threads; ++i) {
+    threads_.emplace_back([this] { run(); });
+  }
+}
+
+void WatchdogScheduler::stop() {
+  std::lock_guard lifecycle(lifecycleMutex_);
+  {
+    std::lock_guard lock(mutex_);
+    running_ = false;
+  }
+  workCv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+uint64_t WatchdogScheduler::add(SessionWatchdog& watchdog,
+                                std::chrono::microseconds interval) {
+  std::lock_guard lock(mutex_);
+  const uint64_t id = nextId_++;
+  Entry entry;
+  entry.watchdog = &watchdog;
+  entry.interval = interval;
+  entry.next = std::chrono::steady_clock::now();
+  entries_.emplace(id, entry);
+  workCv_.notify_one();
+  return id;
+}
+
+void WatchdogScheduler::remove(uint64_t id) {
+  std::unique_lock lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  // Push the deadline out so no new dispatch starts, then wait out any
+  // poll already running on a worker before erasing — the caller is about
+  // to destroy the watchdog.
+  it->second.next = std::chrono::steady_clock::time_point::max();
+  idleCv_.wait(lock, [&] { return !it->second.inFlight; });
+  entries_.erase(it);
+}
+
+void WatchdogScheduler::requestPoll(uint64_t id) {
+  {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;
+    if (it->second.next == std::chrono::steady_clock::time_point::max()) {
+      return;  // being removed
+    }
+    it->second.next = std::chrono::steady_clock::now();
+  }
+  workCv_.notify_one();
+}
+
+std::map<uint64_t, WatchdogScheduler::Entry>::iterator
+WatchdogScheduler::dueEntryLocked(std::chrono::steady_clock::time_point now) {
+  auto best = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.inFlight || it->second.next > now) continue;
+    if (best == entries_.end() || it->second.next < best->second.next) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+void WatchdogScheduler::run() {
+  std::unique_lock lock(mutex_);
+  while (running_) {
+    const auto now = std::chrono::steady_clock::now();
+    auto it = dueEntryLocked(now);
+    if (it == entries_.end()) {
+      // Sleep until the earliest idle deadline (or indefinitely when
+      // everything is in flight / the table is empty).
+      auto wakeAt = std::chrono::steady_clock::time_point::max();
+      for (const auto& [id, entry] : entries_) {
+        if (!entry.inFlight && entry.next < wakeAt) wakeAt = entry.next;
+      }
+      if (wakeAt == std::chrono::steady_clock::time_point::max()) {
+        workCv_.wait(lock);
+      } else {
+        workCv_.wait_until(lock, wakeAt);
+      }
+      continue;
+    }
+    it->second.inFlight = true;
+    SessionWatchdog* watchdog = it->second.watchdog;
+    lock.unlock();
+    watchdog->pollOnce();
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    it->second.inFlight = false;
+    // remove() may have parked the deadline at max() while we were out of
+    // the lock; don't overwrite that with a near-term reschedule.
+    if (it->second.next != std::chrono::steady_clock::time_point::max()) {
+      it->second.next = std::chrono::steady_clock::now() + it->second.interval;
+    }
+    idleCv_.notify_all();
+  }
+}
+
+}  // namespace ktrace

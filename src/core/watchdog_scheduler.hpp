@@ -1,0 +1,92 @@
+// WatchdogScheduler: drives many SessionWatchdogs from a small worker
+// pool (DESIGN.md §11).
+//
+// One background thread per SessionWatchdog does not scale to a daemon
+// supervising hundreds of tenants, so the daemon registers each tenant's
+// watchdog here with a poll interval and a fixed pool of workers runs the
+// due pollOnce() calls. Deadlines are steady-clock (a wall-clock step
+// must not starve or stampede the polls), an entry is never dispatched on
+// two workers at once (pollOnce serializes internally anyway, but a
+// second worker would just block), and remove() blocks until the entry's
+// in-flight poll — if any — has returned, so the caller can destroy the
+// watchdog the moment remove() does.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ktrace {
+
+class SessionWatchdog;
+
+class WatchdogScheduler {
+ public:
+  struct Config {
+    uint32_t threads = 1;
+  };
+
+  // Delegating default instead of a default argument: a default argument
+  // would need Config complete (its member initializer parsed) at this
+  // point, which GCC rejects inside the enclosing class.
+  WatchdogScheduler() : WatchdogScheduler(Config()) {}
+  explicit WatchdogScheduler(Config config);
+  ~WatchdogScheduler();
+
+  WatchdogScheduler(const WatchdogScheduler&) = delete;
+  WatchdogScheduler& operator=(const WatchdogScheduler&) = delete;
+
+  void start();
+  /// Stops the workers. Registered entries stay registered (start()
+  /// resumes them); no poll is in flight once stop() returns.
+  void stop();
+
+  /// Registers a watchdog to be polled every `interval` (first poll is
+  /// immediate). The watchdog must stay alive until remove(id) returns.
+  uint64_t add(SessionWatchdog& watchdog, std::chrono::microseconds interval);
+
+  /// Deregisters and blocks until any in-flight poll of this entry has
+  /// returned. Safe to call for an unknown id (no-op).
+  void remove(uint64_t id);
+
+  /// Pulls the entry's next deadline to now (doorbell: e.g. a drain
+  /// request from the control plane).
+  void requestPoll(uint64_t id);
+
+  uint64_t dispatched() const noexcept {
+    return dispatched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    SessionWatchdog* watchdog = nullptr;
+    std::chrono::microseconds interval{0};
+    std::chrono::steady_clock::time_point next{};
+    bool inFlight = false;
+  };
+
+  void run();
+  /// Picks the due entry with the earliest deadline. Caller holds mutex_.
+  /// Returns entries_.end() when nothing is due.
+  std::map<uint64_t, Entry>::iterator dueEntryLocked(
+      std::chrono::steady_clock::time_point now);
+
+  Config config_;
+  std::mutex mutex_;
+  std::condition_variable workCv_;   // workers: new entry / doorbell / stop
+  std::condition_variable idleCv_;   // remove(): waits out an in-flight poll
+  std::map<uint64_t, Entry> entries_;
+  uint64_t nextId_ = 1;
+  bool running_ = false;
+
+  std::mutex lifecycleMutex_;  // start/stop-once
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> dispatched_{0};
+};
+
+}  // namespace ktrace

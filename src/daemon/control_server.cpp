@@ -1,0 +1,151 @@
+#include "daemon/control_server.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "daemon/daemon.hpp"
+
+namespace ktrace::daemon {
+
+namespace {
+// A command line longer than this is hostile or garbage; drop the client.
+constexpr size_t kMaxLineBytes = 4096;
+// Writes to a follower that stay blocked longer than this drop it.
+constexpr int kWriteTimeoutMs = 250;
+}  // namespace
+
+ControlServer::ControlServer(TraceDaemon& daemon, std::string socketPath,
+                             std::chrono::milliseconds followInterval)
+    : daemon_(daemon),
+      socketPath_(std::move(socketPath)),
+      followInterval_(followInterval) {}
+
+ControlServer::~ControlServer() { stop(); }
+
+bool ControlServer::start(std::string* error) {
+  if (::pipe(stopPipe_) != 0) {
+    if (error != nullptr) *error = "pipe failed";
+    return false;
+  }
+  listener_ = util::UnixListener::listen(socketPath_, 16, error);
+  if (!listener_.valid()) {
+    ::close(stopPipe_[0]);
+    ::close(stopPipe_[1]);
+    stopPipe_[0] = stopPipe_[1] = -1;
+    return false;
+  }
+  thread_ = std::thread([this] { run(); });
+  return true;
+}
+
+void ControlServer::stop() {
+  if (stopPipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stopPipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  clients_.clear();
+  listener_.close();
+  if (stopPipe_[0] >= 0) ::close(stopPipe_[0]);
+  if (stopPipe_[1] >= 0) ::close(stopPipe_[1]);
+  stopPipe_[0] = stopPipe_[1] = -1;
+}
+
+bool ControlServer::serviceClient(Client& client) {
+  for (;;) {
+    const size_t nl = client.inbuf.find('\n');
+    if (nl == std::string::npos) {
+      return client.inbuf.size() <= kMaxLineBytes;
+    }
+    std::string line = client.inbuf.substr(0, nl);
+    client.inbuf.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line == "follow") {
+      client.following = true;
+      if (!client.stream.writeAll("{\"type\":\"following\",\"ok\":true}\n",
+                                  kWriteTimeoutMs)) {
+        return false;
+      }
+      continue;
+    }
+    const std::string reply = daemon_.handleCommand(line);
+    if (!client.stream.writeAll(reply, kWriteTimeoutMs)) return false;
+  }
+}
+
+void ControlServer::run() {
+  auto nextFollow = std::chrono::steady_clock::now() + followInterval_;
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({stopPipe_[0], POLLIN, 0});
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const Client& client : clients_) {
+      fds.push_back({client.stream.fd(), POLLIN, 0});
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const bool anyFollower =
+        std::any_of(clients_.begin(), clients_.end(),
+                    [](const Client& c) { return c.following; });
+    int timeoutMs = -1;
+    if (anyFollower) {
+      const auto left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(nextFollow -
+                                                                now);
+      timeoutMs = static_cast<int>(std::max<int64_t>(left.count(), 0));
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (fds[0].revents != 0) return;  // stop byte (or pipe error)
+
+    if (ready > 0 && (fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        util::UnixStream accepted = listener_.accept();
+        if (!accepted.valid()) break;
+        Client client;
+        client.stream = std::move(accepted);
+        clients_.push_back(std::move(client));
+      }
+    }
+
+    // Read + service clients; drop the dead and the hopeless.
+    for (size_t i = 0; i < clients_.size();) {
+      Client& client = clients_[i];
+      bool alive = true;
+      char buf[1024];
+      for (;;) {
+        const long n = client.stream.readSome(buf, sizeof(buf));
+        if (n > 0) {
+          client.inbuf.append(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == -1) break;     // drained
+        alive = false;          // EOF or error
+        break;
+      }
+      if (alive) alive = serviceClient(client);
+      if (alive) {
+        ++i;
+      } else {
+        clients_.erase(clients_.begin() + static_cast<long>(i));
+      }
+    }
+
+    if (anyFollower && std::chrono::steady_clock::now() >= nextFollow) {
+      // Compose the periodic frame once and fan it out.
+      const std::string update = daemon_.followFrame();
+      for (size_t i = 0; i < clients_.size();) {
+        Client& client = clients_[i];
+        if (!client.following ||
+            client.stream.writeAll(update, kWriteTimeoutMs)) {
+          ++i;
+        } else {
+          clients_.erase(clients_.begin() + static_cast<long>(i));
+        }
+      }
+      nextFollow = std::chrono::steady_clock::now() + followInterval_;
+    }
+  }
+}
+
+}  // namespace ktrace::daemon

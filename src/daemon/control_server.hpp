@@ -1,0 +1,63 @@
+// ControlServer: ktraced's Unix-socket control plane (DESIGN.md §11).
+//
+// One thread, one poll() loop, newline-delimited JSON out. Clients send
+// one-line text commands ("status", "tenants", "evict NAME", "follow");
+// every reply is a sequence of JSON lines terminated by a
+// {"type":"end",...} line, except "follow", which acknowledges and then
+// streams periodic status + tenant lines until the client disconnects.
+//
+// Robustness posture matches the daemon's: accepted sockets are
+// nonblocking, writes go out with a short timeout, and a client that
+// cannot keep up (or disappears) is dropped — a slow `monitor --follow`
+// must never wedge the control thread, let alone the drain.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/net.hpp"
+
+namespace ktrace::daemon {
+
+class TraceDaemon;
+
+class ControlServer {
+ public:
+  ControlServer(TraceDaemon& daemon, std::string socketPath,
+                std::chrono::milliseconds followInterval);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Binds the socket and starts the serving thread. False (with `error`
+  /// set) when the bind fails.
+  bool start(std::string* error);
+  void stop();
+
+  const std::string& path() const noexcept { return socketPath_; }
+
+ private:
+  struct Client {
+    util::UnixStream stream;
+    std::string inbuf;
+    bool following = false;
+  };
+
+  void run();
+  /// Handles every complete line buffered for `client`. False = drop the
+  /// client (write failure / oversized line).
+  bool serviceClient(Client& client);
+
+  TraceDaemon& daemon_;
+  std::string socketPath_;
+  std::chrono::milliseconds followInterval_;
+  util::UnixListener listener_;
+  std::vector<Client> clients_;
+  int stopPipe_[2] = {-1, -1};
+  std::thread thread_;
+};
+
+}  // namespace ktrace::daemon

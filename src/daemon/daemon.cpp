@@ -1,0 +1,366 @@
+#include "daemon/daemon.hpp"
+
+#include <sys/stat.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "daemon/control_server.hpp"
+
+namespace ktrace::daemon {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string tenantJson(const TenantStatus& t) {
+  std::ostringstream os;
+  os << "{\"type\":\"tenant\",\"name\":\"" << jsonEscape(t.name)
+     << "\",\"state\":\"" << tenantStateName(t.state)
+     << "\",\"generation\":" << t.generation
+     << ",\"processors\":" << t.numProcessors
+     << ",\"attach_attempts\":" << t.attachAttempts
+     << ",\"pending\":" << (t.pendingData ? "true" : "false")
+     << ",\"sink_degraded\":" << (t.sinkDegraded ? "true" : "false")
+     << ",\"buffers_recovered\":" << t.recovery.buffersRecovered
+     << ",\"torn_buffers\":" << t.recovery.tornBuffers
+     << ",\"dead_producers\":" << t.recovery.deadProducers
+     << ",\"fenced_producers\":" << t.recovery.fencedProducers
+     << ",\"records_dropped\":" << t.sink.recordsDropped
+     << ",\"quota_sheds\":" << t.sink.quotaSheds
+     << ",\"queued\":" << t.sink.queuedRecords
+     << ",\"bytes_written\":" << t.sink.bytesWritten
+     << ",\"last_error\":\"" << jsonEscape(t.lastError) << "\"}";
+  return os.str();
+}
+
+bool hasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+TraceDaemon::TraceDaemon(DaemonConfig config)
+    : config_(std::move(config)),
+      scheduler_(WatchdogScheduler::Config{config_.schedulerThreads}) {
+  if (config_.manifestPath.empty()) {
+    config_.manifestPath = config_.outputDir + "/ktraced.manifest";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(config_.outputDir, ec);
+  loadManifest();
+}
+
+TraceDaemon::~TraceDaemon() { stop(); }
+
+void TraceDaemon::loadManifest() {
+  std::ifstream in(config_.manifestPath);
+  if (!in) return;  // first incarnation
+  std::string line;
+  if (!std::getline(in, line)) return;
+  uint64_t fileGeneration = 0;
+  if (std::sscanf(line.c_str(), "ktraced-manifest v1 generation=%" SCNu64,
+                  &fileGeneration) != 1) {
+    return;  // unrecognized manifest: start fresh rather than guess
+  }
+  generation_ = fileGeneration + 1;
+  // Per-tenant lines: "tenant next=<a,b,c> segment=<path to end of line>".
+  // The segment path is last and read verbatim so it may contain spaces.
+  while (std::getline(in, line)) {
+    const std::string nextKey = "tenant next=";
+    const std::string segKey = " segment=";
+    if (line.rfind(nextKey, 0) != 0) continue;
+    const size_t segAt = line.find(segKey);
+    if (segAt == std::string::npos) continue;
+    const std::string cursors =
+        line.substr(nextKey.size(), segAt - nextKey.size());
+    const std::string segment = line.substr(segAt + segKey.size());
+    if (segment.empty()) continue;
+    ManifestSeed seed;
+    uint64_t value = 0;
+    bool inNumber = false;
+    for (const char c : cursors) {
+      if (c >= '0' && c <= '9') {
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        inNumber = true;
+      } else if (c == ',' && inNumber) {
+        seed.nextSeq.push_back(value);
+        value = 0;
+        inNumber = false;
+      }
+    }
+    if (inNumber) seed.nextSeq.push_back(value);
+    seeds_[segment] = std::move(seed);
+  }
+}
+
+void TraceDaemon::writeManifestLocked() {
+  const std::string tmp = config_.manifestPath + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    out << "ktraced-manifest v1 generation=" << generation_ << "\n";
+    for (const auto& [name, slot] : tenants_) {
+      const Tenant& tenant = *slot.tenant;
+      const TenantState s = tenant.state();
+      if (s != TenantState::Active && s != TenantState::Degraded &&
+          s != TenantState::Evicted) {
+        continue;  // never attached: nothing drained, nothing to resume
+      }
+      const std::vector<uint64_t> seqs = slot.tenant->drainedSeqs();
+      std::vector<uint64_t> cursors = seqs;
+      if (cursors.empty()) {
+        // Evicted tenants tore their pipeline down; fall back to the
+        // cursors captured at detach time via seeds_ (if any).
+        const auto it = seeds_.find(tenant.segmentPath());
+        if (it == seeds_.end()) continue;
+        cursors = it->second.nextSeq;
+      }
+      out << "tenant next=";
+      for (size_t p = 0; p < cursors.size(); ++p) {
+        if (p != 0) out << ',';
+        out << cursors[p];
+      }
+      out << " segment=" << tenant.segmentPath() << "\n";
+    }
+  }
+  // rename() is atomic: a crash mid-write leaves the old manifest intact,
+  // so the next incarnation either resumes from the previous consistent
+  // cursors or from this one's — never from a torn file.
+  std::rename(tmp.c_str(), config_.manifestPath.c_str());
+}
+
+void TraceDaemon::start() {
+  std::lock_guard lifecycle(lifecycleMutex_);
+  if (running_.load(std::memory_order_relaxed)) return;
+  if (!config_.socketPath.empty()) {
+    control_ = std::make_unique<ControlServer>(*this, config_.socketPath,
+                                               config_.followInterval);
+    std::string error;
+    if (!control_->start(&error)) {
+      control_.reset();
+      throw std::runtime_error("ktraced: control socket: " + error);
+    }
+  }
+  scheduler_.start();
+  running_.store(true, std::memory_order_release);
+  scanThread_ = std::thread([this] { scanLoop(); });
+}
+
+void TraceDaemon::stop() {
+  std::lock_guard lifecycle(lifecycleMutex_);
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  scanCv_.notify_all();
+  if (scanThread_.joinable()) scanThread_.join();
+  if (control_) {
+    control_->stop();
+    control_.reset();
+  }
+  // No poll may be in flight while tenants drain and tear down.
+  scheduler_.stop();
+  std::lock_guard lock(mutex_);
+  for (auto& [name, slot] : tenants_) {
+    const TenantState s = slot.tenant->state();
+    if (s == TenantState::Active || s == TenantState::Degraded) {
+      slot.tenant->drainAndFlush();
+    }
+  }
+  writeManifestLocked();
+}
+
+void TraceDaemon::scanLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    scanOnce();
+    std::unique_lock sleep(scanSleepMutex_);
+    scanCv_.wait_for(sleep, config_.scanInterval, [&] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+void TraceDaemon::admitLocked(const std::string& path) {
+  // Tenant name = segment file stem; within one session directory stems
+  // are unique by construction.
+  std::string name = std::filesystem::path(path).stem().string();
+  if (name.empty()) return;
+  if (tenants_.count(name) != 0) return;
+  TenantConfig cfg;
+  cfg.name = name;
+  cfg.segmentPath = path;
+  cfg.outputDir = config_.outputDir;
+  cfg.generation = generation_;
+  cfg.batching = config_.batching;
+  cfg.watchdog = config_.watchdog;
+  cfg.attachRetries = config_.attachRetries;
+  cfg.attachBackoffStart = config_.attachBackoffStart;
+  cfg.attachBackoffMax = config_.attachBackoffMax;
+  const auto seed = seeds_.find(path);
+  if (seed != seeds_.end()) cfg.seedNextSeq = seed->second.nextSeq;
+  Slot slot;
+  slot.tenant = std::make_unique<Tenant>(std::move(cfg));
+  tenants_.emplace(std::move(name), std::move(slot));
+}
+
+void TraceDaemon::scanOnce() {
+  std::lock_guard lock(mutex_);
+  ++stats_.scans;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.sessionDir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string path = entry.path().string();
+    if (!hasSuffix(path, ".kses")) continue;
+    // A marker from this or a previous incarnation keeps the segment out.
+    std::error_code markerEc;
+    if (std::filesystem::exists(path + ".quarantined", markerEc)) continue;
+    admitLocked(path);
+  }
+  for (auto& [name, slot] : tenants_) {
+    Tenant& tenant = *slot.tenant;
+    if (tenant.state() == TenantState::Attaching) {
+      if (tenant.tryAttach()) {
+        slot.schedulerId =
+            scheduler_.add(*tenant.watchdog(), config_.pollInterval);
+        ++stats_.tenantsAdmitted;
+        if (seeds_.count(tenant.segmentPath()) != 0) ++stats_.tenantsResumed;
+      } else if (tenant.state() == TenantState::Quarantined) {
+        ++stats_.tenantsQuarantined;
+      }
+    }
+    tenant.refreshHealth();
+  }
+}
+
+bool TraceDaemon::evict(const std::string& name) {
+  std::unique_lock lock(mutex_);
+  const auto it = tenants_.find(name);
+  if (it == tenants_.end()) return false;
+  Slot& slot = it->second;
+  const TenantState s = slot.tenant->state();
+  if (s != TenantState::Active && s != TenantState::Degraded) return false;
+  const uint64_t schedulerId = slot.schedulerId;
+  slot.schedulerId = 0;
+  // remove() blocks until any in-flight poll returns; scheduler workers
+  // never take mutex_, so holding it here cannot deadlock.
+  if (schedulerId != 0) scheduler_.remove(schedulerId);
+  slot.tenant->detach("evicted by operator");
+  // Capture the cursors AFTER detach: its final drain is what the files
+  // actually contain, and a manifest written later (shutdown) must match
+  // the files, not an earlier snapshot.
+  seeds_[slot.tenant->segmentPath()] =
+      ManifestSeed{slot.tenant->drainedSeqs()};
+  ++stats_.tenantsEvicted;
+  return true;
+}
+
+std::vector<TenantStatus> TraceDaemon::tenantStatuses() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TenantStatus> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, slot] : tenants_) out.push_back(slot.tenant->status());
+  return out;
+}
+
+DaemonStats TraceDaemon::stats() const {
+  std::lock_guard lock(mutex_);
+  DaemonStats s = stats_;
+  s.generation = generation_;
+  return s;
+}
+
+std::string TraceDaemon::statusJson() const {
+  const DaemonStats s = stats();
+  uint64_t active = 0, degraded = 0, quarantined = 0, attaching = 0,
+           evicted = 0;
+  for (const TenantStatus& t : tenantStatuses()) {
+    switch (t.state) {
+      case TenantState::Active: ++active; break;
+      case TenantState::Degraded: ++degraded; break;
+      case TenantState::Quarantined: ++quarantined; break;
+      case TenantState::Attaching: ++attaching; break;
+      case TenantState::Evicted: ++evicted; break;
+    }
+  }
+  std::ostringstream os;
+  os << "{\"type\":\"status\",\"generation\":" << s.generation
+     << ",\"scans\":" << s.scans << ",\"admitted\":" << s.tenantsAdmitted
+     << ",\"resumed\":" << s.tenantsResumed
+     << ",\"quarantined\":" << s.tenantsQuarantined
+     << ",\"evicted\":" << s.tenantsEvicted << ",\"tenants\":{\"active\":"
+     << active << ",\"degraded\":" << degraded << ",\"attaching\":" << attaching
+     << ",\"quarantined\":" << quarantined << ",\"evicted\":" << evicted
+     << "}}";
+  return os.str();
+}
+
+std::string TraceDaemon::followFrame() const {
+  std::string frame = statusJson() + "\n";
+  for (const TenantStatus& t : tenantStatuses()) {
+    frame += tenantJson(t);
+    frame += "\n";
+  }
+  return frame;
+}
+
+std::string TraceDaemon::handleCommand(const std::string& command) {
+  std::istringstream in(command);
+  std::string verb;
+  in >> verb;
+  std::ostringstream out;
+  if (verb == "status") {
+    out << statusJson() << "\n";
+    out << "{\"type\":\"end\",\"ok\":true}\n";
+  } else if (verb == "tenants") {
+    const std::vector<TenantStatus> statuses = tenantStatuses();
+    for (const TenantStatus& t : statuses) out << tenantJson(t) << "\n";
+    out << "{\"type\":\"end\",\"ok\":true,\"count\":" << statuses.size()
+        << "}\n";
+  } else if (verb == "evict") {
+    std::string name;
+    in >> name;
+    if (name.empty()) {
+      out << "{\"type\":\"end\",\"ok\":false,\"error\":\"usage: evict "
+             "<tenant>\"}\n";
+    } else if (evict(name)) {
+      out << "{\"type\":\"end\",\"ok\":true,\"evicted\":\"" << jsonEscape(name)
+          << "\"}\n";
+    } else {
+      out << "{\"type\":\"end\",\"ok\":false,\"error\":\"no attached tenant "
+             "named "
+          << jsonEscape(name) << "\"}\n";
+    }
+  } else {
+    out << "{\"type\":\"end\",\"ok\":false,\"error\":\"unknown command: "
+        << jsonEscape(verb) << "\"}\n";
+  }
+  return out.str();
+}
+
+}  // namespace ktrace::daemon

@@ -1,0 +1,142 @@
+// TraceDaemon: discovery, supervision, and whole-fleet recovery
+// (DESIGN.md §11).
+//
+// The daemon periodically scans a session directory for `*.kses`
+// segments, admits each through Tenant's hardened attach path, registers
+// the tenant's watchdog with a shared WatchdogScheduler, and keeps a
+// recovery manifest so a SIGTERM + restart cycle resumes every tenant's
+// drain exactly where it stopped — never re-emitting a buffer the
+// previous incarnation already wrote (output files carry the incarnation
+// generation, so the two incarnations' files are disjoint and their
+// concatenation is the exactly-once stream).
+//
+// Failure domains, by design:
+//   - a corrupt/hostile segment fails admission and is quarantined;
+//   - a dead or stalled producer is fenced and recovered by its own
+//     tenant's watchdog;
+//   - an over-quota or slow-sink tenant sheds in its own BatchingSink;
+// none of these escapes the tenant that owns it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/watchdog_scheduler.hpp"
+#include "daemon/tenant.hpp"
+
+namespace ktrace::daemon {
+
+class ControlServer;
+
+struct DaemonConfig {
+  std::string sessionDir;   // scanned for *.kses
+  std::string outputDir;    // per-tenant .ktrc files + manifest
+  std::string socketPath;   // control plane; empty = disabled
+  std::string manifestPath; // empty = outputDir + "/ktraced.manifest"
+  std::chrono::milliseconds scanInterval{100};
+  std::chrono::microseconds pollInterval{2'000};  // per-tenant drain cadence
+  std::chrono::milliseconds followInterval{500};  // monitor --follow cadence
+  uint32_t schedulerThreads = 2;
+  SessionWatchdog::Config watchdog{};
+  /// Per-tenant sink config (quota fields included). blockWhenFull
+  /// defaults to true here, unlike BatchingConfig's own default: a
+  /// healthy in-quota tenant must never lose records to a transient
+  /// writer stall (exactly-once), while a hog is isolated by the quota
+  /// check, which sheds BEFORE the queue and therefore never blocks.
+  BatchingConfig batching{.blockWhenFull = true};
+  uint32_t attachRetries = 5;
+  std::chrono::milliseconds attachBackoffStart{10};
+  std::chrono::milliseconds attachBackoffMax{1000};
+};
+
+struct DaemonStats {
+  uint64_t scans = 0;
+  uint64_t tenantsAdmitted = 0;
+  uint64_t tenantsQuarantined = 0;
+  uint64_t tenantsEvicted = 0;
+  uint64_t tenantsResumed = 0;  // seeded from the manifest
+  uint64_t generation = 0;
+};
+
+class TraceDaemon {
+ public:
+  explicit TraceDaemon(DaemonConfig config);
+  ~TraceDaemon();
+
+  TraceDaemon(const TraceDaemon&) = delete;
+  TraceDaemon& operator=(const TraceDaemon&) = delete;
+
+  /// Loads the previous incarnation's manifest, starts the scheduler, the
+  /// scan thread, and (when configured) the control server. Throws
+  /// std::runtime_error if the control socket cannot be bound.
+  void start();
+
+  /// Graceful drain: stop scanning, final-drain and flush every tenant
+  /// WITHOUT fencing live producers, write the recovery manifest, stop
+  /// the control plane. Idempotent.
+  void stop();
+
+  /// One synchronous discovery/admission/health pass (the scan thread
+  /// calls this; tests drive it directly).
+  void scanOnce();
+
+  /// Control-plane entry: one newline-less command in, newline-delimited
+  /// JSON out (every reply ends with a {"type":"end"...} line).
+  std::string handleCommand(const std::string& command);
+
+  /// Detaches a tenant after a final drain (operator request). False when
+  /// the name is unknown or not attached.
+  bool evict(const std::string& name);
+
+  std::vector<TenantStatus> tenantStatuses() const;
+  DaemonStats stats() const;
+  /// This incarnation's generation (previous manifest's + 1).
+  uint64_t generation() const noexcept { return generation_; }
+  /// One JSON line summarizing the daemon (the follow stream's heartbeat).
+  std::string statusJson() const;
+  /// One follow-stream frame: the status line plus one line per tenant.
+  std::string followFrame() const;
+  const DaemonConfig& config() const noexcept { return config_; }
+
+ private:
+  struct ManifestSeed {
+    std::vector<uint64_t> nextSeq;
+  };
+
+  void scanLoop();
+  void loadManifest();
+  void writeManifestLocked();
+  void admitLocked(const std::string& path);
+
+  DaemonConfig config_;
+  uint64_t generation_ = 1;
+  std::map<std::string, ManifestSeed> seeds_;  // segment path -> cursors
+
+  WatchdogScheduler scheduler_;
+  std::unique_ptr<ControlServer> control_;
+
+  /// Guards tenants_ and stats_ (scan thread vs control plane vs stop).
+  mutable std::mutex mutex_;
+  struct Slot {
+    std::unique_ptr<Tenant> tenant;
+    uint64_t schedulerId = 0;  // 0 = not registered
+  };
+  std::map<std::string, Slot> tenants_;  // keyed by tenant name
+  DaemonStats stats_{};
+
+  std::mutex lifecycleMutex_;
+  std::atomic<bool> running_{false};
+  std::mutex scanSleepMutex_;        // only for the scan thread's sleep
+  std::condition_variable scanCv_;
+  std::thread scanThread_;
+};
+
+}  // namespace ktrace::daemon

@@ -1,0 +1,168 @@
+#include "daemon/tenant.hpp"
+
+#include <exception>
+#include <fstream>
+
+namespace ktrace::daemon {
+
+const char* tenantStateName(TenantState state) noexcept {
+  switch (state) {
+    case TenantState::Attaching: return "attaching";
+    case TenantState::Active: return "active";
+    case TenantState::Degraded: return "degraded";
+    case TenantState::Quarantined: return "quarantined";
+    case TenantState::Evicted: return "evicted";
+  }
+  return "unknown";
+}
+
+Tenant::Tenant(TenantConfig config) : config_(std::move(config)) {
+  if (config_.attachRetries < 1) config_.attachRetries = 1;
+  nextAttachAt_ = std::chrono::steady_clock::now();
+}
+
+Tenant::~Tenant() {
+  // The daemon detaches tenants explicitly (after pulling the watchdog
+  // off the scheduler); this is the fallback for error paths.
+  if (watchdog_) detach("tenant destroyed");
+}
+
+bool Tenant::tryAttach() {
+  if (state() != TenantState::Attaching) return state() == TenantState::Active;
+  if (std::chrono::steady_clock::now() < nextAttachAt_) return false;
+  const uint32_t attempt =
+      attachAttempts_.fetch_add(1, std::memory_order_relaxed) + 1;
+  try {
+    // TscClock only stamps filler events during reclamation; decode
+    // metadata comes from the segment header, not this ref.
+    auto session = std::make_unique<ShmSession>(
+        ShmSession::attach(config_.segmentPath, TscClock::ref()));
+    // Build the pipeline bottom-up; the watchdog drains into the batcher,
+    // the batcher's writer thread feeds the files.
+    TraceFileMeta meta = session->fileMeta(0);
+    auto fileSink = std::make_unique<FileSink>(
+        config_.outputDir,
+        config_.name + ".g" + std::to_string(config_.generation), meta);
+    auto batching =
+        std::make_unique<BatchingSink>(*fileSink, config_.batching);
+    auto watchdog = std::make_unique<SessionWatchdog>(*session, *batching,
+                                                      config_.watchdog);
+    if (!config_.seedNextSeq.empty()) {
+      watchdog->seedDrained(config_.seedNextSeq);
+    }
+    std::lock_guard lock(mutex_);
+    session_ = std::move(session);
+    fileSink_ = std::move(fileSink);
+    batching_ = std::move(batching);
+    watchdog_ = std::move(watchdog);
+    lastError_.clear();
+    state_.store(TenantState::Active, std::memory_order_release);
+    return true;
+  } catch (const std::exception& e) {
+    setError(e.what());
+    if (attempt >= config_.attachRetries) {
+      quarantine(e.what());
+      return false;
+    }
+    // Exponential backoff: a scan can race segment creation (the file
+    // exists before its header does), so transient failures get another
+    // look; persistent corruption exhausts the budget and quarantines.
+    auto backoff = config_.attachBackoffStart;
+    for (uint32_t i = 1; i < attempt && backoff < config_.attachBackoffMax; ++i) {
+      backoff *= 2;
+    }
+    if (backoff > config_.attachBackoffMax) backoff = config_.attachBackoffMax;
+    nextAttachAt_ = std::chrono::steady_clock::now() + backoff;
+    return false;
+  }
+}
+
+void Tenant::quarantine(const std::string& reason) {
+  state_.store(TenantState::Quarantined, std::memory_order_release);
+  // The marker keeps every future scan (this incarnation's and the
+  // next's) away from the segment until an operator removes it.
+  std::ofstream marker(quarantinePath(), std::ios::trunc);
+  marker << "quarantined by ktraced after "
+         << attachAttempts_.load(std::memory_order_relaxed)
+         << " attach attempts: " << reason << "\n";
+}
+
+void Tenant::setError(const std::string& message) {
+  std::lock_guard lock(mutex_);
+  lastError_ = message;
+}
+
+void Tenant::refreshHealth() {
+  const TenantState s = state();
+  if (s != TenantState::Active && s != TenantState::Degraded) return;
+  std::lock_guard lock(mutex_);
+  if (!batching_) return;
+  const SinkCounters c = batching_->counters();
+  const bool sinkBad = fileSink_ && fileSink_->degraded();
+  if (c.recordsDropped > dropsBaseline_ || sinkBad) {
+    dropsBaseline_ = c.recordsDropped;
+    healthyRefreshes_ = 0;
+    if (sinkBad && lastError_.empty()) lastError_ = fileSink_->errorMessage();
+    state_.store(TenantState::Degraded, std::memory_order_release);
+  } else if (s == TenantState::Degraded && ++healthyRefreshes_ >= 5) {
+    // Sticky for a few clean scans so the flag is observable, then heal.
+    state_.store(TenantState::Active, std::memory_order_release);
+  }
+}
+
+void Tenant::drainAndFlush() {
+  std::lock_guard lock(mutex_);
+  if (!watchdog_ || drainedDown_) return;
+  drainedDown_ = true;
+  // Final drain without fencing: a graceful daemon shutdown must leave
+  // live producers logging into the segment (fencing would reject their
+  // reserves forever). Whatever is committed-but-incomplete stays in the
+  // segment for the next incarnation.
+  watchdog_->pollOnce();
+  // Freeze the cursors at this exact drain: producers may keep committing
+  // buffers afterwards, and emitting any of those into this generation's
+  // files would put them beyond what the manifest records — the next
+  // incarnation would then re-drain them.
+  finalSeqs_ = watchdog_->drainedSeqs();
+  batching_->stop();
+  batching_->flushNow();
+  fileSink_->flush();
+}
+
+void Tenant::detach(const std::string& reason) {
+  drainAndFlush();
+  std::lock_guard lock(mutex_);
+  watchdog_.reset();
+  batching_.reset();
+  fileSink_.reset();
+  session_.reset();
+  lastError_ = reason;
+  state_.store(TenantState::Evicted, std::memory_order_release);
+}
+
+TenantStatus Tenant::status() const {
+  TenantStatus out;
+  out.name = config_.name;
+  out.generation = config_.generation;
+  out.state = state();
+  out.attachAttempts = attachAttempts_.load(std::memory_order_relaxed);
+  std::lock_guard lock(mutex_);
+  out.lastError = lastError_;
+  if (session_) out.numProcessors = session_->numProcessors();
+  if (watchdog_) {
+    out.recovery = watchdog_->stats();
+    out.pendingData = watchdog_->pendingData();
+  }
+  if (batching_) out.sink = batching_->counters();
+  if (fileSink_) out.sinkDegraded = fileSink_->degraded();
+  return out;
+}
+
+std::vector<uint64_t> Tenant::drainedSeqs() const {
+  std::lock_guard lock(mutex_);
+  if (drainedDown_) return finalSeqs_;  // frozen at the final drain
+  if (!watchdog_) return {};
+  return watchdog_->drainedSeqs();
+}
+
+}  // namespace ktrace::daemon

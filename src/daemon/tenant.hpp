@@ -1,0 +1,156 @@
+// One supervised tenant: a discovered session segment and the pipeline
+// draining it (DESIGN.md §11).
+//
+// A tenant owns the whole per-segment stack — ShmSession, FileSink,
+// BatchingSink, SessionWatchdog — and the admission/health state machine
+// around it:
+//
+//   Attaching --ok--> Active <--> Degraded --evict--> Evicted
+//       |
+//       +--retries exhausted / invalid header--> Quarantined
+//
+// Admission is the fault boundary: ShmSession::attach validates the
+// header field by field, so a corrupt, truncated, or hostile segment
+// throws here and the tenant is quarantined (a marker file next to the
+// segment records why) instead of taking the daemon down. Transient races
+// (a scan observing a segment mid-create) get bounded exponential retry
+// before quarantine. After admission, faults are contained per tenant by
+// construction: the watchdog fences/recovers only this segment's
+// processors, and the quota in this tenant's BatchingSink sheds instead
+// of backpressuring the shared scheduler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/batching_sink.hpp"
+#include "core/shm_session.hpp"
+#include "core/trace_file.hpp"
+
+namespace ktrace::daemon {
+
+enum class TenantState : uint32_t {
+  Attaching,    // discovered; admission (with retry/backoff) in progress
+  Active,       // attached and draining
+  Degraded,     // attached but shedding (quota/queue) or sink-impaired
+  Quarantined,  // admission failed hard; segment marked, never retried
+  Evicted,      // drained and detached (operator request or shutdown)
+};
+
+const char* tenantStateName(TenantState state) noexcept;
+
+struct TenantConfig {
+  std::string name;         // output/display name (segment file stem)
+  std::string segmentPath;  // the .kses file
+  std::string outputDir;
+  /// Daemon incarnation; output files are "<name>.g<generation>.cpuN.ktrc"
+  /// so a restarted daemon never appends to (or clobbers) files whose
+  /// tail state it does not know.
+  uint64_t generation = 1;
+  BatchingConfig batching{};
+  SessionWatchdog::Config watchdog{};
+  /// Admission retry budget: attach attempts before quarantine, first
+  /// backoff, and the cap the backoff doubles toward.
+  uint32_t attachRetries = 5;
+  std::chrono::milliseconds attachBackoffStart{10};
+  std::chrono::milliseconds attachBackoffMax{1000};
+  /// Recovery-manifest cursors from the previous incarnation (empty =
+  /// drain from the start). Clamped by SessionWatchdog::seedDrained.
+  std::vector<uint64_t> seedNextSeq{};
+};
+
+/// Control-plane snapshot of one tenant.
+struct TenantStatus {
+  std::string name;
+  TenantState state = TenantState::Attaching;
+  uint64_t generation = 0;
+  uint32_t numProcessors = 0;
+  uint32_t attachAttempts = 0;
+  std::string lastError;
+  bool sinkDegraded = false;
+  bool pendingData = false;
+  RecoveryStats recovery{};
+  SinkCounters sink{};
+};
+
+class Tenant {
+ public:
+  explicit Tenant(TenantConfig config);
+  ~Tenant();
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  /// One admission attempt. Returns true when the tenant is attached
+  /// (state Active); false while still backing off (state Attaching) or
+  /// after giving up (state Quarantined — a marker file was written).
+  /// Call only from the daemon's scan thread.
+  bool tryAttach();
+
+  /// Earliest steady-clock time the next tryAttach may run (backoff).
+  std::chrono::steady_clock::time_point nextAttachAt() const noexcept {
+    return nextAttachAt_;
+  }
+
+  /// The watchdog to register with the scheduler; null until attached.
+  SessionWatchdog* watchdog() noexcept { return watchdog_.get(); }
+
+  /// Re-derives Active/Degraded from drop deltas and sink health. Scan
+  /// thread only.
+  void refreshHealth();
+
+  /// Final drain + flush without fencing live producers (graceful
+  /// shutdown). The watchdog must already be off the scheduler. Runs at
+  /// most once per attach: the cursors captured here are what the
+  /// recovery manifest records, so any later poll would emit buffers the
+  /// manifest does not cover and the next incarnation would re-drain
+  /// them (a double-drain) — repeat calls are no-ops.
+  void drainAndFlush();
+
+  /// drainAndFlush + teardown of the whole stack; state -> Evicted.
+  void detach(const std::string& reason);
+
+  TenantStatus status() const;
+  /// Per-processor next-undrained cursors: live from the watchdog while
+  /// attached, frozen at the final drain after drainAndFlush/detach.
+  std::vector<uint64_t> drainedSeqs() const;
+
+  TenantState state() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+  const std::string& name() const noexcept { return config_.name; }
+  const std::string& segmentPath() const noexcept {
+    return config_.segmentPath;
+  }
+  std::string quarantinePath() const { return config_.segmentPath + ".quarantined"; }
+
+ private:
+  void quarantine(const std::string& reason);
+  void setError(const std::string& message);
+
+  TenantConfig config_;
+  std::atomic<TenantState> state_{TenantState::Attaching};
+  std::atomic<uint32_t> attachAttempts_{0};  // atomic: status() races the scan
+  std::chrono::steady_clock::time_point nextAttachAt_{};
+  uint64_t dropsBaseline_ = 0;
+  uint32_t healthyRefreshes_ = 0;
+
+  /// Guards the pipeline pointers and lastError_ against the control
+  /// plane's status() racing detach(); the scan thread is the only
+  /// mutator.
+  mutable std::mutex mutex_;
+  bool drainedDown_ = false;            // drainAndFlush ran for this attach
+  std::vector<uint64_t> finalSeqs_;     // cursors frozen at the final drain
+  std::string lastError_;
+  std::unique_ptr<ShmSession> session_;
+  std::unique_ptr<FileSink> fileSink_;
+  std::unique_ptr<BatchingSink> batching_;
+  std::unique_ptr<SessionWatchdog> watchdog_;
+};
+
+}  // namespace ktrace::daemon

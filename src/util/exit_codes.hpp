@@ -1,0 +1,54 @@
+// Process exit codes shared by every ktrace front end.
+//
+// `ktracetool fsck`, `ktracetool recover`, `ktracetool deadlock`, and
+// `ktraced --check` all draw the same damage/usage boundary; this header
+// is the single source of truth so the binaries, the usage text, and the
+// README table cannot drift apart (they all print exitCodeTable()).
+#pragma once
+
+#include <cstddef>
+
+namespace ktrace::util {
+
+enum ExitCode : int {
+  /// Success — and for fsck/recover/--check, "no damage found".
+  kExitOk = 0,
+  /// Runtime failure: unreadable input, failed write, uncaught I/O error.
+  kExitFailure = 1,
+  /// Bad usage: unknown command, missing arguments.
+  kExitUsage = 2,
+  /// `deadlock` found a lock cycle.
+  kExitDeadlock = 3,
+  /// Damage found (and, where possible, salvaged): torn/corrupt records,
+  /// dead or fenced producers, torn buffers, invalid session segments.
+  kExitDamage = 4,
+};
+
+struct ExitCodeRow {
+  int code;
+  const char* meaning;
+};
+
+/// Every defined exit code with its one-line meaning, in code order.
+/// Terminated by a {-1, nullptr} sentinel.
+inline const ExitCodeRow* exitCodeTable() noexcept {
+  static constexpr ExitCodeRow kRows[] = {
+      {kExitOk, "ok (fsck/recover/--check: no damage found)"},
+      {kExitFailure, "runtime failure (unreadable input, failed write)"},
+      {kExitUsage, "bad usage"},
+      {kExitDeadlock, "deadlock found (ktracetool deadlock)"},
+      {kExitDamage, "damage found and salvaged (fsck, recover, ktraced --check)"},
+      {-1, nullptr},
+  };
+  return kRows;
+}
+
+/// One-line meaning for a code, or nullptr for codes outside the table.
+inline const char* exitCodeMeaning(int code) noexcept {
+  for (const ExitCodeRow* row = exitCodeTable(); row->meaning != nullptr; ++row) {
+    if (row->code == code) return row->meaning;
+  }
+  return nullptr;
+}
+
+}  // namespace ktrace::util

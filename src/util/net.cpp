@@ -1,0 +1,265 @@
+#include "util/net.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ktrace::util {
+
+namespace {
+
+void setError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+bool fillAddress(const std::string& path, sockaddr_un& addr,
+                 std::string* error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path empty or longer than sun_path: " + path;
+    }
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool makeNonBlocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// --- UnixStream ---------------------------------------------------------
+
+UnixStream::UnixStream(UnixStream&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UnixStream::~UnixStream() { close(); }
+
+void UnixStream::close() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+UnixStream UnixStream::connect(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (!fillAddress(path, addr, error)) return {};
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, "socket");
+    return {};
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    setError(error, "connect " + path);
+    ::close(fd);
+    return {};
+  }
+  return UnixStream(fd);
+}
+
+bool UnixStream::setNonBlocking(bool nonBlocking) noexcept {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int next = nonBlocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd_, F_SETFL, next) == 0;
+}
+
+bool UnixStream::writeAll(const void* data, size_t bytes,
+                          int timeoutMs) noexcept {
+  const char* p = static_cast<const char*>(data);
+  size_t left = bytes;
+  while (left > 0) {
+    // MSG_NOSIGNAL: a disappeared peer must surface as EPIPE, never kill
+    // the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) && timeoutMs > 0) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, timeoutMs) > 0) continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+long UnixStream::readSome(void* buf, size_t bytes) noexcept {
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, bytes);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    return -2;
+  }
+}
+
+bool UnixStream::readLine(std::string& line, int timeoutMs) {
+  for (;;) {
+    char c = 0;
+    const long n = readSome(&c, 1);
+    if (n == 1) {
+      if (c == '\n') return true;
+      line.push_back(c);
+      continue;
+    }
+    if (n == 0 || n == -2) return false;  // EOF or hard error
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, timeoutMs) <= 0) return false;
+  }
+}
+
+// --- UnixListener -------------------------------------------------------
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+UnixListener::~UnixListener() { close(); }
+
+void UnixListener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+  fd_ = -1;
+}
+
+UnixListener UnixListener::listen(const std::string& path, int backlog,
+                                  std::string* error) {
+  sockaddr_un addr{};
+  if (!fillAddress(path, addr, error)) return {};
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    setError(error, "socket");
+    return {};
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0 || !makeNonBlocking(fd)) {
+    setError(error, "bind/listen " + path);
+    ::close(fd);
+    return {};
+  }
+  UnixListener listener;
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+UnixStream UnixListener::accept() noexcept {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return {};
+  if (!makeNonBlocking(fd)) {
+    ::close(fd);
+    return {};
+  }
+  return UnixStream(fd);
+}
+
+// --- SignalPipe ---------------------------------------------------------
+
+namespace {
+// The handler can only touch process globals; one live SignalPipe owns
+// them (enforced in the constructor).
+std::atomic<int> gSignalPipeWriteFd{-1};
+std::atomic<bool> gSignalPipeLive{false};
+
+extern "C" void signalPipeHandler(int) {
+  const int fd = gSignalPipeWriteFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+}  // namespace
+
+SignalPipe::SignalPipe(std::initializer_list<int> signals) {
+  bool expected = false;
+  if (!gSignalPipeLive.compare_exchange_strong(expected, true)) {
+    throw std::runtime_error("SignalPipe: another instance is installed");
+  }
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    gSignalPipeLive.store(false);
+    throw std::runtime_error(std::string("SignalPipe: pipe: ") +
+                             std::strerror(errno));
+  }
+  readFd_ = fds[0];
+  writeFd_ = fds[1];
+  makeNonBlocking(readFd_);
+  makeNonBlocking(writeFd_);
+  gSignalPipeWriteFd.store(writeFd_, std::memory_order_relaxed);
+
+  for (const int sig : signals) {
+    if (installedCount_ >= static_cast<int>(sizeof(installed_) / sizeof(int))) {
+      break;
+    }
+    struct sigaction action {};
+    action.sa_handler = &signalPipeHandler;
+    ::sigemptyset(&action.sa_mask);
+    if (::sigaction(sig, &action, nullptr) == 0) {
+      installed_[installedCount_++] = sig;
+    }
+  }
+}
+
+SignalPipe::~SignalPipe() {
+  for (int i = 0; i < installedCount_; ++i) {
+    ::signal(installed_[i], SIG_DFL);
+  }
+  gSignalPipeWriteFd.store(-1, std::memory_order_relaxed);
+  if (readFd_ >= 0) ::close(readFd_);
+  if (writeFd_ >= 0) ::close(writeFd_);
+  gSignalPipeLive.store(false);
+}
+
+bool SignalPipe::signaled() noexcept {
+  char buf[64];
+  while (::read(readFd_, buf, sizeof(buf)) > 0) signaled_ = true;
+  return signaled_;
+}
+
+bool SignalPipe::wait(int timeoutMs) noexcept {
+  if (signaled()) return true;
+  pollfd pfd{readFd_, POLLIN, 0};
+  ::poll(&pfd, 1, timeoutMs);
+  return signaled();
+}
+
+}  // namespace ktrace::util

@@ -1,0 +1,129 @@
+// Unix-domain socket and signal plumbing for the trace daemon.
+//
+// Thin RAII wrappers over the POSIX calls the control plane needs —
+// nothing here knows about tracing. Three pieces:
+//
+//   - UnixListener / UnixStream: SOCK_STREAM over a filesystem path, the
+//     transport for ktraced's newline-delimited-JSON control protocol.
+//     Accepted and connected streams are nonblocking by default so one
+//     poll() loop can serve many clients without a slow reader wedging
+//     the daemon.
+//   - SignalPipe: the classic self-pipe trick. A signal handler writes
+//     one byte to a nonblocking pipe; the daemon's poll loop watches the
+//     read end and performs the real shutdown outside signal context,
+//     where locks and allocation are safe again.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace ktrace::util {
+
+/// A connected byte stream (client side or an accepted peer). Move-only;
+/// owns the fd.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  explicit UnixStream(int fd) noexcept : fd_(fd) {}
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+  ~UnixStream();
+
+  /// Connects to a listening Unix socket. Returns an invalid stream (and
+  /// sets `error` when non-null) on failure.
+  static UnixStream connect(const std::string& path,
+                            std::string* error = nullptr);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  bool setNonBlocking(bool nonBlocking) noexcept;
+
+  /// write(2) the whole buffer, retrying EINTR and waiting out EAGAIN up
+  /// to `timeoutMs` (0 = single attempt). Returns false when the peer is
+  /// gone or the timeout expires with bytes still unsent.
+  bool writeAll(const void* data, size_t bytes, int timeoutMs = 1000) noexcept;
+  bool writeAll(const std::string& data, int timeoutMs = 1000) noexcept {
+    return writeAll(data.data(), data.size(), timeoutMs);
+  }
+
+  /// read(2) once. >0 bytes read, 0 clean EOF, -1 would-block, -2 error.
+  long readSome(void* buf, size_t bytes) noexcept;
+
+  /// Blocking convenience for clients: appends to `line` until '\n' or
+  /// EOF. Returns false on EOF-before-newline or error/timeout.
+  bool readLine(std::string& line, int timeoutMs = 5000);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening Unix socket bound to a filesystem path. Unlinks any stale
+/// socket file on bind and removes its own on destruction.
+class UnixListener {
+ public:
+  UnixListener() = default;
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+  ~UnixListener();
+
+  /// Binds and listens. Returns an invalid listener (and sets `error`
+  /// when non-null) on failure — e.g. a path longer than sun_path.
+  static UnixListener listen(const std::string& path, int backlog = 16,
+                             std::string* error = nullptr);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Accepts one pending connection (nonblocking: invalid stream when
+  /// none is waiting). The accepted stream is nonblocking.
+  UnixStream accept() noexcept;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Self-pipe signal latch. At most one instance may be installed at a
+/// time (the handler needs a process-global write end).
+class SignalPipe {
+ public:
+  /// Installs a handler for each signal in `signals` that writes a byte
+  /// to the pipe. Throws std::runtime_error if another SignalPipe is live
+  /// or pipe/sigaction fails.
+  explicit SignalPipe(std::initializer_list<int> signals);
+  ~SignalPipe();
+
+  SignalPipe(const SignalPipe&) = delete;
+  SignalPipe& operator=(const SignalPipe&) = delete;
+
+  /// poll()-able read end.
+  int fd() const noexcept { return readFd_; }
+
+  /// True once any installed signal has fired (sticky; also drains the
+  /// pipe). Never blocks.
+  bool signaled() noexcept;
+
+  /// Blocks up to timeoutMs for a signal (-1 = forever). Returns
+  /// signaled().
+  bool wait(int timeoutMs) noexcept;
+
+ private:
+  int readFd_ = -1;
+  int writeFd_ = -1;
+  bool signaled_ = false;
+  int installed_[8] = {};
+  int installedCount_ = 0;
+};
+
+}  // namespace ktrace::util

@@ -490,6 +490,9 @@ TEST_F(ShmSessionTest, LateCommitAfterExpiryFenceIsDiscardedAsStale) {
   MemorySink sink;
   SessionWatchdog::Config wcfg;
   wcfg.expiryPolls = 1;
+  // This test drives expiry with back-to-back polls, so collapse the
+  // monotonic grace window the deadline also requires.
+  wcfg.expiryTimeout = std::chrono::microseconds{0};
   SessionWatchdog watchdog(session, sink, wcfg);
   watchdog.pollOnce();  // sees first movement: progress, not a stall
   watchdog.pollOnce();  // no heartbeat, no index motion, data pending: fence
@@ -527,6 +530,56 @@ TEST_F(ShmSessionTest, LateCommitAfterExpiryFenceIsDiscardedAsStale) {
   ShmTraceControl fresh = session.control(0);
   EXPECT_FALSE(fresh.fenced());
   EXPECT_TRUE(fresh.logEvent(Major::Test, 2, uint64_t{99}));
+}
+
+// Lease expiry is a monotonic-clock deadline, not a bare poll count. A
+// burst of rapid polls (a control-plane doorbell storm, or a scheduler
+// catching up after a stall of its own) crosses expiryPolls in
+// microseconds; without the steady-clock gate that would fence a producer
+// that never had wall time to make progress. A stepped heartbeat must
+// restart the deadline; only genuine elapsed staleness fences.
+TEST_F(ShmSessionTest, MonotonicDeadlineSurvivesRapidPolls) {
+  ShmSession::Config cfg;
+  cfg.bufferWords = 64;
+  cfg.numBuffers = 8;
+  const std::string path = segPath("deadline.kses");
+  ShmSession session = ShmSession::create(path, cfg, TscClock::ref());
+  const int lease = session.acquireLease(::getpid(), 0, 1);
+  ASSERT_GE(lease, 0);
+  ShmTraceControl producer =
+      session.producerControl(0, static_cast<uint32_t>(lease));
+  ASSERT_TRUE(producer.logEvent(Major::Test, 1, uint64_t{0}));
+  Reservation r;
+  ASSERT_TRUE(producer.reserve(4, r));  // mid-event stall, data pending
+
+  MemorySink sink;
+  SessionWatchdog::Config wcfg;
+  wcfg.expiryPolls = 1;
+  wcfg.expiryTimeout = std::chrono::milliseconds{200};
+  SessionWatchdog watchdog(session, sink, wcfg);
+
+  // Rapid polls: stalePolls crosses expiryPolls on the second poll, but
+  // essentially no wall time has passed — the deadline holds the fence.
+  for (int i = 0; i < 50; ++i) watchdog.pollOnce();
+  EXPECT_EQ(watchdog.stats().fencedProducers, 0u);
+  EXPECT_FALSE(producer.fenced());
+
+  // A stepped heartbeat (producer alive between buffer crossings) counts
+  // as progress and restarts the deadline.
+  session.lease(static_cast<uint32_t>(lease))
+      .heartbeat.fetch_add(1, std::memory_order_relaxed);
+  watchdog.pollOnce();  // observes the heartbeat: stall tracking resets
+  std::this_thread::sleep_for(std::chrono::milliseconds{50});
+  watchdog.pollOnce();  // 50ms into a 200ms window: still alive
+  EXPECT_EQ(watchdog.stats().fencedProducers, 0u);
+
+  // Genuine staleness: no heartbeat, no index motion, deadline elapsed.
+  std::this_thread::sleep_for(std::chrono::milliseconds{250});
+  watchdog.pollOnce();
+  EXPECT_EQ(watchdog.stats().fencedProducers, 1u);
+  EXPECT_EQ(watchdog.stats().deadProducers, 0u);
+  EXPECT_EQ(watchdog.stats().tornBuffers, 1u);
+  EXPECT_FALSE(producer.reserve(2, r));  // fenced for good
 }
 
 // The commit-side fence is check-then-act: without the post-add epoch

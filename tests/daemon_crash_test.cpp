@@ -1,0 +1,333 @@
+// The daemon crash harness (DESIGN.md §11): a fleet of child producers
+// logs into several session segments while ktraced's in-process core
+// (TraceDaemon) supervises them. Children are SIGKILLed on a seeded
+// schedule, a corrupt segment and a hostile lease table are injected
+// mid-run, and the daemon is stopped MID-DRAIN and restarted — the
+// acceptance bar in one test:
+//
+//   - every event committed before death is recovered exactly once
+//     across BOTH incarnations' output files (no loss, no double-drain),
+//   - the corrupt segment quarantines without taking the daemon down,
+//   - the hostile lease table is reclaimed inside its own tenant,
+//   - nothing cascades: healthy tenants end the run Active and drained.
+//
+// Scale and schedule come from the environment so ci/run_daemon_smoke.sh
+// can sweep seeds and push the fleet past 100 producers:
+//   KTRACE_DAEMON_SEED     kill-schedule seed            (default 1)
+//   KTRACE_DAEMON_TENANTS  session segments              (default 2, max 8)
+//   KTRACE_DAEMON_PROCS    producer children per tenant  (default 4, max 32)
+#include <gtest/gtest.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/shm_session.hpp"
+#include "core/trace_file.hpp"
+#include "daemon/daemon.hpp"
+#include "util/rng.hpp"
+
+namespace ktrace {
+namespace {
+
+using namespace std::chrono_literals;
+
+uint64_t envU64(const char* name, uint64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 10);
+}
+
+constexpr uint32_t kMaxTenants = 8;
+constexpr uint32_t kMaxProcs = 32;
+
+/// One slot per (tenant, processor) in a MAP_SHARED page: the id count the
+/// child has durably committed. Stored AFTER logEvent returns, so it is a
+/// safe lower bound for the exactly-once check even under SIGKILL.
+struct Scratch {
+  std::atomic<uint64_t> committed[kMaxTenants][kMaxProcs];
+};
+
+uint64_t eventId(uint32_t p, uint64_t i) {
+  return (static_cast<uint64_t>(p + 1) << 32) | i;
+}
+
+TEST(DaemonCrashTest, FleetSurvivesKillsCorruptionAndMidDrainRestart) {
+  const uint64_t seed = envU64("KTRACE_DAEMON_SEED", 1);
+  const uint32_t tenants = static_cast<uint32_t>(
+      std::min<uint64_t>(envU64("KTRACE_DAEMON_TENANTS", 2), kMaxTenants));
+  const uint32_t procs = static_cast<uint32_t>(
+      std::min<uint64_t>(envU64("KTRACE_DAEMON_PROCS", 4), kMaxProcs));
+  const uint64_t eventsPerChild = envU64("KTRACE_DAEMON_EVENTS", 20'000);
+
+  // The ring must never wrap: "committed before death" must imply "still
+  // in the ring when some incarnation drains it".
+  const uint32_t bufferWords = 256;
+  const uint32_t numBuffers = 256;
+  const uint64_t regionWords = static_cast<uint64_t>(bufferWords) * numBuffers;
+  const uint64_t worstCaseWords =
+      eventsPerChild * 2 + numBuffers * (TraceControl::kAnchorWords + 2);
+  ASSERT_LT(worstCaseWords, regionWords) << "harness geometry would wrap";
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ktrace_daemon_crash_" + std::to_string(::getpid()) + "_" +
+                    std::to_string(seed));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir / "sessions");
+  std::filesystem::create_directories(dir / "out");
+
+  std::vector<ShmSession> sessions;
+  std::vector<std::string> segPaths;
+  for (uint32_t t = 0; t < tenants; ++t) {
+    ShmSession::Config cfg;
+    cfg.numProcessors = procs;
+    cfg.bufferWords = bufferWords;
+    cfg.numBuffers = numBuffers;
+    cfg.maxProducers = procs;
+    const std::string path =
+        (dir / "sessions" / ("fleet" + std::to_string(t) + ".kses")).string();
+    sessions.push_back(ShmSession::create(path, cfg, TscClock::ref()));
+    segPaths.push_back(path);
+  }
+
+  auto* scratch = static_cast<Scratch*>(
+      ::mmap(nullptr, sizeof(Scratch), PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_ANONYMOUS, -1, 0));
+  ASSERT_NE(scratch, MAP_FAILED);
+  new (scratch) Scratch{};
+
+  // Roles are drawn BEFORE forking: kill targets park after logging (so a
+  // late kill still finds them), everyone else flushes, releases, and
+  // exits cleanly. Every fork happens before any daemon thread exists.
+  util::Rng rng(seed);
+  struct Child {
+    pid_t pid = -1;
+    uint32_t tenant = 0;
+    uint32_t proc = 0;
+    bool killTarget = false;
+  };
+  std::vector<Child> children;
+  for (uint32_t t = 0; t < tenants; ++t) {
+    for (uint32_t p = 0; p < procs; ++p) {
+      Child c;
+      c.tenant = t;
+      c.proc = p;
+      c.killTarget = rng.nextBelow(3) == 0;  // ~1/3 of the fleet dies
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        // Child producer: allocation-free after attach; SIGKILL can land
+        // anywhere — mid-event, mid-crossing, or parked.
+        ShmSession& session = sessions[t];
+        const int lease =
+            session.acquireLease(static_cast<uint64_t>(::getpid()), p, p + 1);
+        if (lease < 0) ::_exit(2);
+        ShmTraceControl producer =
+            session.producerControl(p, static_cast<uint32_t>(lease));
+        for (uint64_t i = 0; i < eventsPerChild; ++i) {
+          if (!producer.logEvent(Major::App, 0, eventId(p, i))) ::_exit(3);
+          scratch->committed[t][p].store(i + 1, std::memory_order_release);
+          if (i % 64 == 0) ::usleep(10);
+        }
+        if (c.killTarget) {
+          for (;;) ::pause();  // unflushed tail: a torn buffer for recovery
+        }
+        producer.flushCurrentBuffer();
+        session.releaseLease(static_cast<uint32_t>(lease));
+        ::_exit(0);
+      }
+      c.pid = pid;
+      children.push_back(c);
+    }
+  }
+
+  daemon::DaemonConfig dcfg;
+  dcfg.sessionDir = (dir / "sessions").string();
+  dcfg.outputDir = (dir / "out").string();
+  dcfg.scanInterval = 10ms;
+  dcfg.pollInterval = std::chrono::microseconds{500};
+  dcfg.schedulerThreads = 3;
+  dcfg.attachRetries = 2;
+  dcfg.attachBackoffStart = 1ms;
+  dcfg.attachBackoffMax = 4ms;
+  // A live child briefly descheduled must never be fenced as stalled —
+  // only the genuinely dead are reclaimed in this run.
+  dcfg.watchdog.expiryTimeout = 2s;
+
+  // Incarnation 1: admitted mid-fleet, stopped MID-DRAIN while children
+  // are still logging.
+  auto daemon1 = std::make_unique<daemon::TraceDaemon>(dcfg);
+  daemon1->start();
+
+  // Fault injection while the daemon is live: a segment that is pure
+  // garbage, and a segment whose lease table is claimed by dead pids.
+  const std::string corruptPath = (dir / "sessions" / "corrupt.kses").string();
+  {
+    std::ofstream out(corruptPath, std::ios::binary);
+    for (int i = 0; i < 8192; ++i) out.put(static_cast<char>(i * 7));
+  }
+  const std::string hostilePath = (dir / "sessions" / "hostile.kses").string();
+  {
+    ShmSession::Config cfg;
+    cfg.numProcessors = 1;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = 8;
+    ShmSession hostile = ShmSession::create(hostilePath, cfg, TscClock::ref());
+    ASSERT_GE(hostile.acquireLease(999'999'999, 0, 1), 0);
+    ASSERT_GE(hostile.acquireLease(999'999'998, 0, 1), 0);
+  }
+
+  std::this_thread::sleep_for(30ms);  // partial drain into generation 1
+  daemon1->stop();
+  const uint64_t g1 = daemon1->generation();
+  EXPECT_EQ(g1, 1u);
+  daemon1.reset();
+  ASSERT_TRUE(std::filesystem::exists(dir / "out" / "ktraced.manifest"));
+
+  // The seeded kill schedule runs while no daemon is up; survivors keep
+  // logging into the segments and finish on their own.
+  for (const Child& c : children) {
+    if (!c.killTarget) continue;
+    ::usleep(static_cast<useconds_t>(rng.nextBelow(10'000)));
+    ASSERT_EQ(::kill(c.pid, SIGKILL), 0);
+  }
+  // Reap before probing liveness: a zombie still looks alive to
+  // kill(pid, 0), and the watchdog's fast path is the ESRCH probe.
+  for (const Child& c : children) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(c.pid, &status, 0), c.pid);
+    if (c.killTarget) {
+      ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+    } else {
+      ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+          << "clean child t" << c.tenant << " p" << c.proc
+          << " exited with status " << status;
+    }
+  }
+
+  // Incarnation 2: resumes from the manifest, reclaims the dead, drains
+  // the rest, and quarantines the garbage if incarnation 1 did not.
+  daemon::TraceDaemon daemon2(dcfg);
+  EXPECT_EQ(daemon2.generation(), 2u);
+  daemon2.start();
+
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  const auto fleetSettled = [&] {
+    uint32_t settled = 0;
+    for (const daemon::TenantStatus& t : daemon2.tenantStatuses()) {
+      if (t.name.rfind("fleet", 0) != 0) continue;
+      if ((t.state == daemon::TenantState::Active ||
+           t.state == daemon::TenantState::Degraded) &&
+          !t.pendingData) {
+        ++settled;
+      }
+    }
+    return settled == tenants;
+  };
+  while (!fleetSettled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(fleetSettled()) << "fleet did not drain within the deadline";
+
+  // The hostile tenant's dead leases are reclaimed by whichever
+  // incarnation got there first; the durable evidence is the lease table
+  // itself — no slot may still claim kActive under a dead pid.
+  const auto hostileReclaimed = [&] {
+    ShmSession probe = ShmSession::attachForRecovery(hostilePath, TscClock::ref());
+    for (uint32_t i = 0; i < probe.maxProducers(); ++i) {
+      if (probe.lease(i).state.load(std::memory_order_acquire) ==
+          ShmLease::kActive) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!hostileReclaimed() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(hostileReclaimed()) << "hostile lease table was not reclaimed";
+
+  // Quarantine happened in one of the two incarnations; the marker is the
+  // durable evidence either way.
+  const auto quarantined = [&] {
+    return std::filesystem::exists(corruptPath + ".quarantined");
+  };
+  while (!quarantined() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_TRUE(quarantined()) << "corrupt segment was never quarantined";
+
+  daemon2.stop();
+
+  // Exactly-once across the whole run: for every tenant, the union of both
+  // incarnations' files has no duplicate ids and contains every event the
+  // scratch page proves was committed.
+  for (uint32_t t = 0; t < tenants; ++t) {
+    std::vector<BufferRecord> records;
+    for (const uint64_t g : {uint64_t{1}, uint64_t{2}}) {
+      for (uint32_t p = 0; p < procs; ++p) {
+        const std::string file =
+            (dir / "out" /
+             ("fleet" + std::to_string(t) + ".g" + std::to_string(g) + ".cpu" +
+              std::to_string(p) + ".ktrc"))
+                .string();
+        if (!std::filesystem::exists(file)) continue;
+        TraceFileReader reader(file);
+        for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
+          BufferRecord r;
+          ASSERT_TRUE(reader.readBuffer(k, r)) << file << " record " << k;
+          records.push_back(std::move(r));
+        }
+      }
+    }
+    for (uint32_t p = 0; p < procs; ++p) {
+      std::vector<const BufferRecord*> mine;
+      for (const BufferRecord& r : records) {
+        if (r.processor == p) mine.push_back(&r);
+      }
+      std::sort(mine.begin(), mine.end(),
+                [](const BufferRecord* a, const BufferRecord* b) {
+                  return a->seq < b->seq;
+                });
+      std::vector<DecodedEvent> events;
+      uint64_t tsBase = 0;
+      for (const BufferRecord* r : mine) {
+        decodeBuffer(r->words, r->seq, p, tsBase, events);
+      }
+      std::set<uint64_t> ids;
+      for (const DecodedEvent& e : events) {
+        if (e.header.major != Major::App) continue;
+        EXPECT_TRUE(ids.insert(e.data[0]).second)
+            << "tenant " << t << " proc " << p << " duplicate id "
+            << e.data[0] << " (double-drain)";
+      }
+      const uint64_t committed =
+          scratch->committed[t][p].load(std::memory_order_acquire);
+      uint64_t missing = 0;
+      for (uint64_t i = 0; i < committed; ++i) {
+        if (ids.count(eventId(p, i)) == 0) ++missing;
+      }
+      EXPECT_EQ(missing, 0u)
+          << "tenant " << t << " proc " << p << " lost " << missing << " of "
+          << committed << " committed events";
+    }
+  }
+
+  ::munmap(scratch, sizeof(Scratch));
+  // KTRACE_DAEMON_KEEP=1 preserves the run directory for post-mortems.
+  if (envU64("KTRACE_DAEMON_KEEP", 0) == 0) std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ktrace

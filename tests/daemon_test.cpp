@@ -1,0 +1,427 @@
+// TraceDaemon unit tests: admission hardening, quota isolation, manifest
+// resume, eviction, and the control plane (DESIGN.md §11).
+//
+// The multi-process kill-schedule stress lives in daemon_crash_test.cpp;
+// these tests drive the daemon in-process where every producer is a
+// deterministic FakeClock writer, so outputs can be compared byte for
+// byte.
+#include "daemon/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/shm_session.hpp"
+#include "core/trace_file.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+using namespace ktrace;
+using namespace ktrace::daemon;
+using namespace std::chrono_literals;
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_daemon_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_ / "sessions");
+    std::filesystem::create_directories(dir_ / "out");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string sessionsDir() const { return (dir_ / "sessions").string(); }
+  std::string outDir() const { return (dir_ / "out").string(); }
+  std::string segPath(const std::string& name) const {
+    return (dir_ / "sessions" / name).string();
+  }
+
+  DaemonConfig baseConfig() const {
+    DaemonConfig cfg;
+    cfg.sessionDir = sessionsDir();
+    cfg.outputDir = outDir();
+    cfg.scanInterval = 10ms;
+    cfg.pollInterval = std::chrono::microseconds{500};
+    cfg.schedulerThreads = 2;
+    return cfg;
+  }
+
+  /// One deterministic burst: `events` Test events with ids start..start+n-1
+  /// into processor 0, partial buffer flushed, lease released. The FakeClock
+  /// makes repeated identical bursts produce identical buffer words.
+  static void produceBurst(const std::string& path, uint64_t start,
+                           uint64_t events) {
+    FakeClock clock(1'000, 3);
+    ShmSession session = ShmSession::attach(path, clock.ref());
+    const int lease = session.acquireLease(::getpid(), 0, 1);
+    ASSERT_GE(lease, 0);
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(lease));
+    for (uint64_t i = 0; i < events; ++i) {
+      ASSERT_TRUE(producer.logEvent(Major::Test, 1, start + i));
+    }
+    producer.flushCurrentBuffer();
+    session.releaseLease(static_cast<uint32_t>(lease));
+  }
+
+  static void createSegment(const std::string& path, uint32_t buffers = 64) {
+    ShmSession::Config cfg;
+    cfg.numProcessors = 1;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = buffers;
+    FakeClock clock(1, 1);
+    ShmSession::create(path, cfg, clock.ref());
+  }
+
+  static TenantStatus statusOf(const TraceDaemon& daemon,
+                               const std::string& name) {
+    for (const TenantStatus& t : daemon.tenantStatuses()) {
+      if (t.name == name) return t;
+    }
+    return {};
+  }
+
+  /// Spins until `pred(status)` holds for the named tenant or the deadline
+  /// passes; returns the last status either way.
+  template <typename Pred>
+  static TenantStatus waitFor(const TraceDaemon& daemon,
+                              const std::string& name, Pred pred,
+                              std::chrono::milliseconds deadline = 5'000ms) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    TenantStatus last;
+    while (std::chrono::steady_clock::now() < until) {
+      last = statusOf(daemon, name);
+      if (pred(last)) return last;
+      std::this_thread::sleep_for(2ms);
+    }
+    return last;
+  }
+
+  static std::vector<char> slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in), {});
+  }
+
+  /// Decodes processor 0 of every given .ktrc file (all generations
+  /// together) and returns the Test-event ids in drain order.
+  static std::vector<uint64_t> decodedIds(
+      const std::vector<std::string>& files) {
+    std::vector<BufferRecord> records;
+    for (const std::string& file : files) {
+      if (!std::filesystem::exists(file)) continue;
+      TraceFileReader reader(file);
+      for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
+        BufferRecord r;
+        EXPECT_TRUE(reader.readBuffer(k, r)) << file << " record " << k;
+        records.push_back(std::move(r));
+      }
+    }
+    std::sort(records.begin(), records.end(),
+              [](const BufferRecord& a, const BufferRecord& b) {
+                return a.seq < b.seq;
+              });
+    std::vector<DecodedEvent> events;
+    uint64_t tsBase = 0;
+    for (const BufferRecord& r : records) {
+      decodeBuffer(r.words, r.seq, 0, tsBase, events);
+    }
+    std::vector<uint64_t> ids;
+    for (const DecodedEvent& e : events) {
+      if (e.header.major == Major::Test) ids.push_back(e.data[0]);
+    }
+    return ids;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// A segment whose header never validates must quarantine — marker file on
+// disk, daemon alive and still serving, and no future incarnation touches
+// the file again.
+TEST_F(DaemonTest, CorruptSegmentQuarantinesWithoutTakingTheDaemonDown) {
+  // 4 KiB of a repeating byte: wrong magic, wrong everything.
+  {
+    std::ofstream out(segPath("garbage.kses"), std::ios::binary);
+    for (int i = 0; i < 4096; ++i) out.put('\x5a');
+  }
+  createSegment(segPath("good.kses"));
+  produceBurst(segPath("good.kses"), 0, 100);
+
+  DaemonConfig cfg = baseConfig();
+  cfg.attachRetries = 2;
+  cfg.attachBackoffStart = 1ms;
+  cfg.attachBackoffMax = 2ms;
+  TraceDaemon daemon(cfg);
+  daemon.start();
+
+  const TenantStatus bad = waitFor(daemon, "garbage", [](const TenantStatus& t) {
+    return t.state == TenantState::Quarantined;
+  });
+  EXPECT_EQ(bad.state, TenantState::Quarantined);
+  EXPECT_GE(bad.attachAttempts, 2u);
+  EXPECT_FALSE(bad.lastError.empty());
+  EXPECT_TRUE(std::filesystem::exists(segPath("garbage.kses") + ".quarantined"));
+
+  // The healthy tenant is unaffected by its neighbor's corruption.
+  const TenantStatus good = waitFor(daemon, "good", [](const TenantStatus& t) {
+    return t.state == TenantState::Active && !t.pendingData;
+  });
+  EXPECT_EQ(good.state, TenantState::Active);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().tenantsQuarantined, 1u);
+  EXPECT_EQ(daemon.stats().tenantsAdmitted, 1u);
+
+  // Next incarnation: the marker keeps the segment out entirely — no
+  // tenant, no attach attempts, no second quarantine.
+  TraceDaemon next(cfg);
+  next.scanOnce();
+  EXPECT_EQ(statusOf(next, "garbage").name, "");
+  EXPECT_EQ(next.stats().tenantsQuarantined, 0u);
+}
+
+// Satellite 3: a tenant over its byte quota sheds in its own sink (counted
+// in quotaSheds, flagged Degraded) while a within-quota tenant's output is
+// byte-identical to a run where the hog never existed.
+TEST_F(DaemonTest, QuotaShedIsolatesTheHogFromTheQuietTenant) {
+  DaemonConfig cfg = baseConfig();
+  cfg.batching.quotaBytesPerSecond = 4'096;  // 8 buffers/sec at 512 B each
+  cfg.batching.quotaBurstBytes = 4'096;
+
+  // Loaded run: quiet tenant (4 buffers' worth) next to a hog that drains
+  // ~190 buffers into the same-configured pipeline.
+  createSegment(segPath("quiet.kses"));
+  produceBurst(segPath("quiet.kses"), 0, 120);
+  createSegment(segPath("hog.kses"), 256);
+  produceBurst(segPath("hog.kses"), 0, 6'000);
+  {
+    TraceDaemon daemon(cfg);
+    daemon.start();
+    const TenantStatus hog = waitFor(daemon, "hog", [](const TenantStatus& t) {
+      return t.sink.quotaSheds > 0 && t.state == TenantState::Degraded;
+    });
+    EXPECT_GT(hog.sink.quotaSheds, 0u);
+    EXPECT_EQ(hog.state, TenantState::Degraded);
+    const TenantStatus quiet =
+        waitFor(daemon, "quiet", [](const TenantStatus& t) {
+          return t.state == TenantState::Active && !t.pendingData;
+        });
+    EXPECT_EQ(quiet.sink.quotaSheds, 0u);
+    EXPECT_EQ(quiet.sink.recordsDropped, 0u);
+    EXPECT_EQ(quiet.state, TenantState::Active);
+    daemon.stop();
+  }
+
+  // Unloaded run: identical config and identical quiet workload, no hog.
+  std::filesystem::path alone = dir_ / "alone";
+  std::filesystem::create_directories(alone / "sessions");
+  std::filesystem::create_directories(alone / "out");
+  createSegment((alone / "sessions" / "quiet.kses").string());
+  produceBurst((alone / "sessions" / "quiet.kses").string(), 0, 120);
+  DaemonConfig aloneCfg = cfg;
+  aloneCfg.sessionDir = (alone / "sessions").string();
+  aloneCfg.outputDir = (alone / "out").string();
+  {
+    TraceDaemon daemon(aloneCfg);
+    daemon.start();
+    waitFor(daemon, "quiet", [](const TenantStatus& t) {
+      return t.state == TenantState::Active && !t.pendingData;
+    });
+    daemon.stop();
+  }
+
+  const std::vector<char> loaded =
+      slurp(outDir() + "/quiet.g1.cpu0.ktrc");
+  const std::vector<char> unloaded =
+      slurp((alone / "out" / "quiet.g1.cpu0.ktrc").string());
+  ASSERT_FALSE(loaded.empty());
+  EXPECT_EQ(loaded, unloaded)
+      << "the hog's load leaked into the quiet tenant's output";
+}
+
+// SIGTERM-equivalent stop writes a manifest; the next incarnation resumes
+// from it and re-emits nothing — the union of both generations' files is
+// the exactly-once stream.
+TEST_F(DaemonTest, ManifestResumeNeverDoubleDrains) {
+  createSegment(segPath("app.kses"), 256);
+  produceBurst(segPath("app.kses"), 0, 1'000);
+
+  DaemonConfig cfg = baseConfig();
+  {
+    TraceDaemon daemon(cfg);
+    EXPECT_EQ(daemon.generation(), 1u);
+    daemon.start();
+    waitFor(daemon, "app", [](const TenantStatus& t) {
+      return t.state == TenantState::Active && !t.pendingData;
+    });
+    daemon.stop();  // graceful: drains, writes the manifest
+  }
+  ASSERT_TRUE(std::filesystem::exists(outDir() + "/ktraced.manifest"));
+
+  // More data lands between incarnations.
+  produceBurst(segPath("app.kses"), 1'000, 1'000);
+
+  {
+    TraceDaemon daemon(cfg);
+    EXPECT_EQ(daemon.generation(), 2u);
+    daemon.start();
+    waitFor(daemon, "app", [](const TenantStatus& t) {
+      return t.state == TenantState::Active && !t.pendingData;
+    });
+    daemon.stop();
+    EXPECT_EQ(daemon.stats().tenantsResumed, 1u);
+  }
+
+  const std::vector<uint64_t> ids = decodedIds(
+      {outDir() + "/app.g1.cpu0.ktrc", outDir() + "/app.g2.cpu0.ktrc"});
+  std::set<uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(ids.size(), unique.size()) << "double-drained across restart";
+  EXPECT_EQ(unique.size(), 2'000u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 1'999u);
+}
+
+// Operator eviction drains what is pending, detaches, and the manifest
+// written at shutdown still carries the evicted tenant's cursors.
+TEST_F(DaemonTest, EvictDrainsAndSurvivesInTheManifest) {
+  createSegment(segPath("app.kses"));
+  produceBurst(segPath("app.kses"), 0, 200);
+
+  DaemonConfig cfg = baseConfig();
+  TraceDaemon daemon(cfg);
+  daemon.start();
+  waitFor(daemon, "app", [](const TenantStatus& t) {
+    return t.state == TenantState::Active;
+  });
+  EXPECT_FALSE(daemon.evict("nope"));
+  EXPECT_TRUE(daemon.evict("app"));
+  EXPECT_FALSE(daemon.evict("app"));  // already evicted
+  EXPECT_EQ(statusOf(daemon, "app").state, TenantState::Evicted);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().tenantsEvicted, 1u);
+
+  // Everything committed before the evict made it out.
+  const std::vector<uint64_t> ids = decodedIds({outDir() + "/app.g1.cpu0.ktrc"});
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()).size(), 200u);
+
+  // The shutdown manifest still knows the evicted tenant's cursors.
+  std::ifstream manifest(outDir() + "/ktraced.manifest");
+  std::string all((std::istreambuf_iterator<char>(manifest)), {});
+  EXPECT_NE(all.find("segment=" + segPath("app.kses")), std::string::npos);
+}
+
+// The control plane speaks newline-delimited JSON over a unix socket and
+// every reply terminates with an end line.
+TEST_F(DaemonTest, ControlSocketServesStatusTenantsAndEvict) {
+  createSegment(segPath("app.kses"));
+  produceBurst(segPath("app.kses"), 0, 50);
+
+  DaemonConfig cfg = baseConfig();
+  cfg.socketPath = (dir_ / "ctl.sock").string();
+  TraceDaemon daemon(cfg);
+  daemon.start();
+  waitFor(daemon, "app", [](const TenantStatus& t) {
+    return t.state == TenantState::Active && !t.pendingData;
+  });
+
+  const auto roundTrip = [&](const std::string& command) {
+    util::UnixStream stream = util::UnixStream::connect(cfg.socketPath);
+    EXPECT_TRUE(stream.valid());
+    EXPECT_TRUE(stream.writeAll(command + "\n"));
+    std::vector<std::string> lines;
+    std::string line;
+    while (stream.readLine(line, 2'000)) {
+      lines.push_back(line);
+      if (line.find("\"type\":\"end\"") != std::string::npos) break;
+      line.clear();
+    }
+    return lines;
+  };
+
+  std::vector<std::string> reply = roundTrip("status");
+  ASSERT_EQ(reply.size(), 2u);
+  EXPECT_NE(reply[0].find("\"type\":\"status\""), std::string::npos);
+  EXPECT_NE(reply[1].find("\"ok\":true"), std::string::npos);
+
+  reply = roundTrip("tenants");
+  ASSERT_EQ(reply.size(), 2u);
+  EXPECT_NE(reply[0].find("\"name\":\"app\""), std::string::npos);
+  EXPECT_NE(reply[0].find("\"state\":\"active\""), std::string::npos);
+  EXPECT_NE(reply[1].find("\"count\":1"), std::string::npos);
+
+  reply = roundTrip("evict ghost");
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_NE(reply[0].find("\"ok\":false"), std::string::npos);
+
+  reply = roundTrip("evict app");
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_NE(reply[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_EQ(statusOf(daemon, "app").state, TenantState::Evicted);
+
+  reply = roundTrip("bogus");
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_NE(reply[0].find("unknown command"), std::string::npos);
+
+  daemon.stop();
+  // The daemon unlinks its socket on the way down.
+  EXPECT_FALSE(std::filesystem::exists(cfg.socketPath));
+}
+
+// A hostile lease table — active leases owned by long-dead pids — is
+// reclaimed by the tenant's own watchdog without quarantine or cascade.
+TEST_F(DaemonTest, HostileLeaseTableIsReclaimedNotFatal) {
+  createSegment(segPath("hostile.kses"));
+  {
+    FakeClock clock(1'000, 3);
+    ShmSession session = ShmSession::attach(segPath("hostile.kses"), clock.ref());
+    // Real data first, then leases claimed by pids that cannot exist.
+    const int mine = session.acquireLease(::getpid(), 0, 1);
+    ASSERT_GE(mine, 0);
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(mine));
+    for (uint64_t i = 0; i < 40; ++i) {
+      ASSERT_TRUE(producer.logEvent(Major::Test, 1, i));
+    }
+    producer.flushCurrentBuffer();
+    session.releaseLease(static_cast<uint32_t>(mine));
+    ASSERT_GE(session.acquireLease(999'999'999, 0, 1), 0);
+    ASSERT_GE(session.acquireLease(999'999'998, 0, 1), 0);
+  }
+
+  createSegment(segPath("bystander.kses"));
+  produceBurst(segPath("bystander.kses"), 0, 80);
+
+  TraceDaemon daemon(baseConfig());
+  daemon.start();
+  const TenantStatus hostile =
+      waitFor(daemon, "hostile", [](const TenantStatus& t) {
+        return t.recovery.deadProducers >= 2 && !t.pendingData;
+      });
+  EXPECT_EQ(hostile.state, TenantState::Active);
+  EXPECT_GE(hostile.recovery.deadProducers, 2u);
+  const TenantStatus bystander =
+      waitFor(daemon, "bystander", [](const TenantStatus& t) {
+        return t.state == TenantState::Active && !t.pendingData;
+      });
+  EXPECT_EQ(bystander.state, TenantState::Active);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().tenantsQuarantined, 0u);
+
+  const std::vector<uint64_t> ids =
+      decodedIds({outDir() + "/hostile.g1.cpu0.ktrc"});
+  EXPECT_EQ(std::set<uint64_t>(ids.begin(), ids.end()).size(), 40u);
+}
+
+}  // namespace

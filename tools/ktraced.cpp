@@ -1,0 +1,164 @@
+// ktraced: the multi-tenant trace aggregation daemon (DESIGN.md §11).
+//
+//   ktraced --dir=<session-dir> [--out=<dir>] [--socket=<path>] ...
+//   ktraced --dir=<session-dir> --check
+//
+// The daemon scans --dir for *.kses segments, supervises each as a
+// tenant (attach -> drain -> recover -> flush), and serves the control
+// plane on --socket (`ktracetool monitor|tenants|evict --socket=...`).
+// SIGTERM/SIGINT trigger a graceful drain: every tenant is flushed
+// without fencing live producers and a recovery manifest is written so
+// the next incarnation resumes exactly once.
+//
+// --check is the offline admission audit: validate every segment the way
+// attach would (read-only), report, and exit with the shared damage code
+// when anything fails — without touching the segments.
+#include <signal.h>
+
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <string>
+
+#include "core/shm_session.hpp"
+#include "daemon/daemon.hpp"
+#include "util/cli.hpp"
+#include "util/exit_codes.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+using namespace ktrace;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ktraced --dir=SESSION_DIR [options]\n"
+               "       ktraced --dir=SESSION_DIR --check\n"
+               "\n"
+               "options:\n"
+               "  --out=DIR        output directory (default: ktraced-out)\n"
+               "  --socket=PATH    control socket for ktracetool monitor/tenants/evict\n"
+               "  --manifest=PATH  recovery manifest (default: OUT/ktraced.manifest)\n"
+               "  --scan-ms=N      session-directory scan interval (default 100)\n"
+               "  --poll-us=N      per-tenant drain cadence (default 2000)\n"
+               "  --threads=N      watchdog scheduler threads (default 2)\n"
+               "  --expiry-ms=N    lease expiry grace window (default 1000)\n"
+               "  --quota-bps=N    per-tenant sink quota, bytes/sec (0 = unlimited)\n"
+               "  --quota-burst=N  quota burst bytes (0 = one second's worth)\n"
+               "  --batch=N        records per downstream flush (default 8)\n"
+               "  --queue=N        per-tenant queue capacity (default 64)\n"
+               "  --check          validate segments read-only and exit\n"
+               "\n"
+               "exit codes:\n");
+  for (const util::ExitCodeRow* row = util::exitCodeTable();
+       row->meaning != nullptr; ++row) {
+    std::fprintf(stderr, "  %d  %s\n", row->code, row->meaning);
+  }
+  return util::kExitUsage;
+}
+
+/// Read-only admission audit over every segment in the directory.
+int runCheck(const std::string& dir) {
+  bool sawDamage = false;
+  bool sawAny = false;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string path = entry.path().string();
+    if (path.size() < 5 || path.compare(path.size() - 5, 5, ".kses") != 0) {
+      continue;
+    }
+    sawAny = true;
+    std::error_code markerEc;
+    const bool quarantined =
+        std::filesystem::exists(path + ".quarantined", markerEc);
+    try {
+      // MAP_PRIVATE + read-only fd: the audit never mutates evidence.
+      ShmSession session = ShmSession::attachForRecovery(path, TscClock::ref());
+      uint32_t activeLeases = 0;
+      for (uint32_t i = 0; i < session.maxProducers(); ++i) {
+        if (session.lease(i).state.load(std::memory_order_acquire) ==
+            ShmLease::kActive) {
+          ++activeLeases;
+        }
+      }
+      std::printf("%s: ok (%u processors, %u active leases)%s\n", path.c_str(),
+                  session.numProcessors(), activeLeases,
+                  quarantined ? " [quarantined]" : "");
+      if (quarantined) sawDamage = true;
+    } catch (const std::exception& e) {
+      std::printf("%s: INVALID: %s\n", path.c_str(), e.what());
+      sawDamage = true;
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "ktraced: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return util::kExitFailure;
+  }
+  if (!sawAny) std::printf("no session segments in %s\n", dir.c_str());
+  return sawDamage ? util::kExitDamage : util::kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::string dir = cli.getString("dir", "");
+  if (dir.empty() || !cli.positional().empty() || !cli.unknownFlags().empty()) {
+    return usage();
+  }
+  if (cli.getBool("check", false)) return runCheck(dir);
+
+  daemon::DaemonConfig config;
+  config.sessionDir = dir;
+  config.outputDir = cli.getString("out", "ktraced-out");
+  config.socketPath = cli.getString("socket", "");
+  config.manifestPath = cli.getString("manifest", "");
+  config.scanInterval = std::chrono::milliseconds(cli.getInt("scan-ms", 100));
+  config.pollInterval = std::chrono::microseconds(cli.getInt("poll-us", 2000));
+  config.schedulerThreads = static_cast<uint32_t>(cli.getInt("threads", 2));
+  // 1 s default grace: a fenced producer can never log again, so the
+  // daemon should only expire leases a real process could not be
+  // holding across an ordinary scheduling stall. Tight deadlines are a
+  // per-deployment opt-in.
+  config.watchdog.expiryTimeout =
+      std::chrono::milliseconds(cli.getInt("expiry-ms", 1000));
+  config.batching.quotaBytesPerSecond =
+      static_cast<uint64_t>(cli.getInt("quota-bps", 0));
+  config.batching.quotaBurstBytes =
+      static_cast<uint64_t>(cli.getInt("quota-burst", 0));
+  config.batching.batchRecords =
+      static_cast<size_t>(cli.getInt("batch", 8));
+  config.batching.maxQueuedRecords =
+      static_cast<size_t>(cli.getInt("queue", 64));
+
+  try {
+    // The pipe must exist before any tenant work so a SIGTERM during
+    // startup still drains gracefully.
+    util::SignalPipe signals{SIGTERM, SIGINT};
+    daemon::TraceDaemon daemon(std::move(config));
+    daemon.start();
+    std::fprintf(stderr, "ktraced: generation %llu watching %s -> %s%s%s\n",
+                 static_cast<unsigned long long>(daemon.generation()),
+                 dir.c_str(), daemon.config().outputDir.c_str(),
+                 daemon.config().socketPath.empty() ? "" : ", control on ",
+                 daemon.config().socketPath.c_str());
+    while (!signals.wait(500)) {
+    }
+    std::fprintf(stderr, "ktraced: signal received, draining tenants\n");
+    daemon.stop();
+    const daemon::DaemonStats stats = daemon.stats();
+    std::fprintf(stderr,
+                 "ktraced: drained; admitted=%llu resumed=%llu "
+                 "quarantined=%llu evicted=%llu\n",
+                 static_cast<unsigned long long>(stats.tenantsAdmitted),
+                 static_cast<unsigned long long>(stats.tenantsResumed),
+                 static_cast<unsigned long long>(stats.tenantsQuarantined),
+                 static_cast<unsigned long long>(stats.tenantsEvicted));
+    return util::kExitOk;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ktraced: %s\n", e.what());
+    return util::kExitFailure;
+  }
+}

@@ -21,14 +21,20 @@
 //   ktracetool recover  <segment.kses> [--out=out.ktrace]  (salvage a dead
 //                       shared-memory session into v2 trace files)
 //
+// With --socket=PATH, monitor / tenants / evict talk to a running ktraced
+// instead of reading files:
+//   ktracetool monitor --socket=PATH [--follow [--max-updates=N]]
+//   ktracetool tenants --socket=PATH
+//   ktracetool evict NAME --socket=PATH
+//
 // Every trace-reading subcommand accepts --salvage: tolerate torn and
 // corrupt records (counting them) instead of stopping at the damage.
 // Decode is parallel (one task per file) and zero-copy (mmap) by
 // default: --threads=N caps the fan-out (0 = hardware concurrency) and
 // --no-mmap forces the buffered stdio read path.
 //
-// Exit codes: 0 success, 1 runtime failure, 2 bad usage, 3 deadlock
-// found (deadlock), 4 damage found (fsck, recover).
+// Exit codes come from util/exit_codes.hpp, the single source of truth
+// shared with ktraced (usage() prints the table from it).
 #include <cstdio>
 #include <fstream>
 
@@ -51,6 +57,8 @@
 #include "core/shm_session.hpp"
 #include "ossim/events.hpp"
 #include "util/cli.hpp"
+#include "util/exit_codes.hpp"
+#include "util/net.hpp"
 
 using namespace ktrace;
 
@@ -80,13 +88,85 @@ int usage() {
       "  recover    salvage a dead shm session   <segment> [--out=out.ktrace]\n"
       "             (exit 4 when the segment is damaged or held torn buffers)\n"
       "\n"
+      "daemon control (against a running ktraced):\n"
+      "  monitor --socket=PATH [--follow [--max-updates=N]]\n"
+      "  tenants --socket=PATH\n"
+      "  evict NAME --socket=PATH\n"
+      "\n"
       "global flags (trace-reading commands):\n"
       "  --salvage    tolerate torn/corrupt records instead of stopping\n"
       "  --threads=N  decode fan-out (0 = hardware concurrency)\n"
       "  --no-mmap    force the buffered stdio read path\n"
       "\n"
-      "exit codes: 0 ok, 1 runtime failure, 2 bad usage, 3 deadlock, 4 damage\n");
-  return 2;
+      "exit codes:\n");
+  for (const util::ExitCodeRow* row = util::exitCodeTable();
+       row->meaning != nullptr; ++row) {
+    std::fprintf(stderr, "  %d  %s\n", row->code, row->meaning);
+  }
+  return util::kExitUsage;
+}
+
+/// Daemon control client: sends one-line commands over the Unix socket
+/// and relays ktraced's newline-delimited JSON. A reply ends at its
+/// {"type":"end",...} line; `follow` streams until the daemon goes away
+/// (or --max-updates lines, for scripts).
+int runDaemonClient(const std::string& command, const std::string& socketPath,
+                    const util::Cli& cli,
+                    const std::vector<std::string>& args) {
+  std::string error;
+  util::UnixStream stream = util::UnixStream::connect(socketPath, &error);
+  if (!stream.valid()) {
+    std::fprintf(stderr, "ktracetool: %s\n", error.c_str());
+    return util::kExitFailure;
+  }
+  auto sendLine = [&](const std::string& line) {
+    return stream.writeAll(line + "\n");
+  };
+  auto printUntilEnd = [&]() -> int {
+    std::string line;
+    while (stream.readLine(line)) {
+      std::printf("%s\n", line.c_str());
+      if (line.find("\"type\":\"end\"") != std::string::npos) {
+        return line.find("\"ok\":true") != std::string::npos
+                   ? util::kExitOk
+                   : util::kExitFailure;
+      }
+      line.clear();
+    }
+    std::fprintf(stderr, "ktracetool: daemon closed the connection\n");
+    return util::kExitFailure;
+  };
+  if (command == "monitor") {
+    if (!sendLine("status")) return util::kExitFailure;
+    const int rc = printUntilEnd();
+    if (rc != util::kExitOk || !cli.getBool("follow", false)) return rc;
+    if (!sendLine("follow")) return util::kExitFailure;
+    const int64_t maxUpdates = cli.getInt("max-updates", 0);
+    int64_t lines = 0;
+    std::string line;
+    while (stream.readLine(line, 60'000)) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+      line.clear();
+      if (maxUpdates > 0 && ++lines >= maxUpdates) return util::kExitOk;
+    }
+    return util::kExitOk;  // daemon exited; the stream just ends
+  }
+  if (command == "tenants") {
+    if (!sendLine("tenants")) return util::kExitFailure;
+    return printUntilEnd();
+  }
+  if (command == "evict") {
+    if (args.empty()) {
+      std::fprintf(stderr, "usage: ktracetool evict NAME --socket=PATH\n");
+      return util::kExitUsage;
+    }
+    if (!sendLine("evict " + args[0])) return util::kExitFailure;
+    return printUntilEnd();
+  }
+  std::fprintf(stderr,
+               "ktracetool: --socket only applies to monitor/tenants/evict\n");
+  return util::kExitUsage;
 }
 
 /// Replays TRACE_MONITOR heartbeats into a per-processor health table (or
@@ -234,7 +314,7 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
 /// Validates (and reports salvageable damage in) each trace file. Exit 0
 /// when every file is clean, 4 when any is damaged or unreadable.
 int runFsck(const std::vector<std::string>& files) {
-  int rc = 0;
+  int rc = util::kExitOk;
   for (const std::string& file : files) {
     try {
       TraceReaderOptions options;
@@ -249,10 +329,10 @@ int runFsck(const std::vector<std::string>& files) {
                   static_cast<unsigned long long>(r.corruptRecords),
                   static_cast<unsigned long long>(r.skippedBytes),
                   r.clean() ? "" : "  [CORRUPT]");
-      if (!r.clean()) rc = 4;
+      if (!r.clean()) rc = util::kExitDamage;
     } catch (const std::exception& e) {
       std::printf("%s: unreadable: %s\n", file.c_str(), e.what());
-      rc = 4;
+      rc = util::kExitDamage;
     }
   }
   if (rc != 0) {
@@ -295,7 +375,7 @@ int runRecover(const std::string& segment, const std::string& outPath) {
         ShmSession::attachForRecovery(segment, TscClock::ref()));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "recover: %s: %s\n", segment.c_str(), e.what());
-    return 4;
+    return util::kExitDamage;
   }
   const uint32_t numProcessors = session->numProcessors();
 
@@ -359,14 +439,14 @@ int runRecover(const std::string& segment, const std::string& outPath) {
               static_cast<unsigned long long>(stats.abandonedBuffers));
   if (sink.failed) {
     std::fprintf(stderr, "recover: write failed: %s\n", sink.error.c_str());
-    return 1;
+    return util::kExitFailure;
   }
   // Draining leftover complete buffers (buffersRecovered) is not damage;
   // dead/fenced producers, torn laps, or lapped buffers are.
   const bool damage = stats.deadProducers != 0 || stats.fencedProducers != 0 ||
                       stats.tornBuffers != 0 || stats.reclaimedWords != 0 ||
                       stats.abandonedBuffers != 0;
-  return damage ? 4 : 0;
+  return damage ? util::kExitDamage : util::kExitOk;
 }
 
 Registry& toolRegistry() {
@@ -380,6 +460,9 @@ int run(const util::Cli& cli) {
   if (positional.empty()) return usage();
   const std::string command = positional[0];
   std::vector<std::string> files(positional.begin() + 1, positional.end());
+  // Socket-mode commands talk to a live ktraced and take no trace files.
+  const std::string socketPath = cli.getString("socket", "");
+  if (!socketPath.empty()) return runDaemonClient(command, socketPath, cli, files);
   if (files.empty()) return usage();
 
   Registry& registry = toolRegistry();
@@ -557,7 +640,7 @@ int run(const util::Cli& cli) {
   } else if (command == "deadlock") {
     analysis::DeadlockDetector detector(trace);
     std::fputs(detector.report(symbols, tps).c_str(), stdout);
-    return detector.hasDeadlock() ? 3 : 0;
+    return detector.hasDeadlock() ? util::kExitDeadlock : 0;
   } else if (command == "intervals") {
     analysis::IntervalAnalysis ia(trace, analysis::defaultOssimIntervals());
     std::fputs(ia.report(tps).c_str(), stdout);
@@ -586,6 +669,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "hint: run 'ktracetool fsck <files>' to diagnose, or retry "
                  "with --salvage to recover intact records\n");
-    return 1;
+    return util::kExitFailure;
   }
 }
