@@ -4,6 +4,7 @@
 #include <exception>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -12,6 +13,59 @@
 #include "util/thread_pool.hpp"
 
 namespace ktrace::analysis {
+
+namespace {
+
+/// Recycles the large per-processor event vectors between decodes. A
+/// gigabyte-scale decode's dominant cost on a warm machine is not the
+/// decode loop but first-touch page faults on the fresh output vectors
+/// (tens of ns per event); handing back a vector whose pages are already
+/// faulted in removes that cost for every decode after the first.
+/// Bounded, so one-shot callers only strand a fixed amount of memory.
+class EventVectorArena {
+ public:
+  static EventVectorArena& instance() {
+    static EventVectorArena arena;
+    return arena;
+  }
+
+  std::vector<DecodedEvent> acquire() {
+    std::lock_guard lock(mutex_);
+    if (pool_.empty()) return {};
+    std::vector<DecodedEvent> v = std::move(pool_.back());
+    pool_.pop_back();
+    pooledBytes_ -= v.capacity() * sizeof(DecodedEvent);
+    return v;
+  }
+
+  void release(std::vector<DecodedEvent>&& v) {
+    const size_t bytes = v.capacity() * sizeof(DecodedEvent);
+    if (bytes < kMinVectorBytes) return;
+    v.clear();  // run element destructors now, not under the lock's owner
+    std::lock_guard lock(mutex_);
+    if (pooledBytes_ + bytes > kMaxPooledBytes) return;  // drop: frees on return
+    pooledBytes_ += bytes;
+    pool_.push_back(std::move(v));
+  }
+
+ private:
+  // Only vectors big enough for faults to matter are worth keeping, and
+  // the arena never holds more than a typical decode's working set.
+  static constexpr size_t kMinVectorBytes = 1u << 20;
+  static constexpr size_t kMaxPooledBytes = 256u << 20;
+
+  std::mutex mutex_;
+  std::vector<std::vector<DecodedEvent>> pool_;
+  size_t pooledBytes_ = 0;
+};
+
+}  // namespace
+
+TraceSet::~TraceSet() {
+  for (std::vector<DecodedEvent>& events : perProcessor_) {
+    EventVectorArena::instance().release(std::move(events));
+  }
+}
 
 TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
                                const DecodeOptions& options) {
@@ -31,6 +85,7 @@ TraceSet TraceSet::fromRecords(const std::vector<BufferRecord>& records,
                      });
     uint64_t tsBase = 0;
     std::vector<DecodedEvent>& out = set.perProcessor_[processor];
+    out = EventVectorArena::instance().acquire();
     for (size_t k = 0; k < recs.size(); ++k) {
       if (recs[k]->commitMismatch) ++set.stats_.commitMismatchBuffers;
       set.stats_.merge(decodeBuffer(recs[k]->words, recs[k]->seq, processor,
@@ -51,48 +106,123 @@ TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
   const size_t numFiles = paths.size();
   if (numFiles == 0) return set;
 
-  // Each file decodes into its own result slot; nothing is shared between
-  // tasks, so the fan-out needs no locking and the merge below (done in
-  // path order, on one thread) makes the output independent of task
-  // completion order — bit-identical to a serial decode.
-  struct FileResult {
+  TraceReaderOptions readerOptions;
+  readerOptions.salvage = options.salvage;
+  readerOptions.useMmap = options.useMmap;
+  readerOptions.fs = options.fs;
+
+  // Decode work is split into units: a contiguous record range of one
+  // file. A v1/v2 (or salvage-mode) file is always one unit; a strict v3
+  // file can split at footer-block boundaries whose first record opens
+  // with a buffer anchor, so a single huge per-processor file no longer
+  // serializes the decode. Units decode into their own slots with nothing
+  // shared, and the merge below concatenates them in (file, unit) order —
+  // bit-identical to a serial decode regardless of thread count.
+  struct FileState {
     bool readable = false;
     uint32_t processor = 0;
     double ticksPerSecond = 1e9;
     ClockKind clockKind = ClockKind::Tsc;
+    uint64_t count = 0;
+    std::unique_ptr<TraceFileReader> reader;  // planning reader; reused by
+                                              // the decode task when the
+                                              // file is a single unit
+    std::vector<uint64_t> splits;             // unit start ordinals ({0}...)
+    DecodeStats stats;                        // salvage tallies from the scan
+    std::exception_ptr error;                 // strict mode: open failure
+  };
+  struct Unit {
+    size_t file = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+  struct UnitResult {
     std::vector<DecodedEvent> events;
     DecodeStats stats;
-    std::exception_ptr error;  // strict mode: open/validation failure
+    std::exception_ptr error;  // strict mode: validation failure
   };
-  std::vector<FileResult> results(numFiles);
 
-  auto decodeOne = [&](size_t i) {
-    FileResult& r = results[i];
-    TraceReaderOptions readerOptions;
-    readerOptions.salvage = options.salvage;
-    readerOptions.useMmap = options.useMmap;
-    readerOptions.fs = options.fs;
-    std::unique_ptr<TraceFileReader> reader;
+  // hardware_concurrency is the useful ceiling: decode is CPU-bound, and
+  // oversubscribing only adds scheduling noise (a requested count above it
+  // used to regress below the serial path).
+  const unsigned hw = util::ThreadPool::hardwareThreads();
+  const unsigned requested =
+      options.threads == 0 ? hw : std::min(options.threads, hw);
+
+  // Planning pass: open every file once (header + footer parse; the
+  // salvage scan also happens here, exactly once per file).
+  std::vector<FileState> files(numFiles);
+  const uint32_t unitsPerFile = static_cast<uint32_t>(std::min<size_t>(
+      requested, (requested + numFiles - 1) / numFiles));
+  for (size_t i = 0; i < numFiles; ++i) {
+    FileState& fs = files[i];
     try {
-      reader = std::make_unique<TraceFileReader>(paths[i], readerOptions);
+      fs.reader = std::make_unique<TraceFileReader>(paths[i], readerOptions);
     } catch (...) {
       if (options.salvage) {
         // Post-mortem mode: a file whose header is gone is tallied, not
         // fatal — the other processors' files are still worth decoding.
-        ++r.stats.unreadableFiles;
+        ++fs.stats.unreadableFiles;
       } else {
-        r.error = std::current_exception();
+        fs.error = std::current_exception();
       }
-      return;
+      continue;
     }
-    r.readable = true;
-    r.processor = reader->meta().processorId;
-    r.ticksPerSecond = reader->meta().ticksPerSecond;
-    r.clockKind = reader->meta().clockKind;
-    const uint64_t count = reader->bufferCount();
-    uint64_t tsBase = 0;
+    fs.readable = true;
+    fs.processor = fs.reader->meta().processorId;
+    fs.ticksPerSecond = fs.reader->meta().ticksPerSecond;
+    fs.clockKind = fs.reader->meta().clockKind;
+    fs.count = fs.reader->bufferCount();
+    const SalvageReport& report = fs.reader->salvageReport();
+    fs.stats.tornRecords += report.tornRecords;
+    fs.stats.corruptRecords += report.corruptRecords;
+    fs.stats.skippedBytes += report.skippedBytes;
+    fs.stats.damagedFooters += report.footerDamaged ? 1 : 0;
+    fs.stats.corruptBlocks += report.corruptBlocks;
+    fs.splits = {0};
+    if (!options.salvage && options.fs == nullptr && unitsPerFile > 1) {
+      // parallelSplitPoints returns {0} for formats that cannot split.
+      fs.splits = fs.reader->parallelSplitPoints(unitsPerFile);
+    }
+  }
+
+  std::vector<Unit> units;
+  std::vector<size_t> firstUnitOf(numFiles, 0);  // index into units
+  for (size_t i = 0; i < numFiles; ++i) {
+    FileState& fs = files[i];
+    firstUnitOf[i] = units.size();
+    if (!fs.readable || fs.count == 0) continue;
+    for (size_t j = 0; j < fs.splits.size(); ++j) {
+      const uint64_t end =
+          j + 1 < fs.splits.size() ? fs.splits[j + 1] : fs.count;
+      units.push_back({i, fs.splits[j], end});
+    }
+  }
+  std::vector<UnitResult> results(units.size());
+
+  auto decodeUnit = [&](size_t u) {
+    const Unit& unit = units[u];
+    FileState& fs = files[unit.file];
+    UnitResult& r = results[u];
+    r.events = EventVectorArena::instance().acquire();
+    // A single-unit file reuses the planning reader (only this task
+    // touches it); a split file gives each unit its own reader, since a
+    // reader's scratch/caches are not shareable across threads.
+    std::unique_ptr<TraceFileReader> local;
+    TraceFileReader* reader = fs.reader.get();
+    if (fs.splits.size() > 1) {
+      try {
+        local = std::make_unique<TraceFileReader>(paths[unit.file], readerOptions);
+        reader = local.get();
+      } catch (...) {
+        r.error = std::current_exception();  // file vanished after planning
+        return;
+      }
+    }
+    uint64_t tsBase = 0;  // unit 0 matches serial; later units start at a
+                          // buffer anchor, which re-bases exactly
     BufferView view;
-    for (uint64_t k = 0; k < count; ++k) {
+    for (uint64_t k = unit.begin; k < unit.end; ++k) {
       if (!reader->readBufferView(k, view)) {
         // Salvage offsets were validated during the scan; a failure here
         // means the file changed underneath us — tolerate it.
@@ -101,70 +231,82 @@ TraceSet TraceSet::fromFiles(const std::vector<std::string>& paths,
         // inside bufferCount() only fails validation when it is damaged.
         r.error = std::make_exception_ptr(std::runtime_error(util::strprintf(
             "%s: record %llu failed validation (damaged or CRC mismatch)",
-            paths[i].c_str(), static_cast<unsigned long long>(k))));
+            paths[unit.file].c_str(), static_cast<unsigned long long>(k))));
         return;
       }
       if (view.commitMismatch) ++r.stats.commitMismatchBuffers;
-      r.stats.merge(decodeBuffer(view.words, view.seq, r.processor, tsBase,
+      r.stats.merge(decodeBuffer(view.words, view.seq, fs.processor, tsBase,
                                  r.events, options));
-      if (k == 0 && count > 1) {
+      if (k == unit.begin && unit.end - unit.begin > 1) {
         // As in fromRecords: size the vector off the first buffer's
         // event density to kill reallocation churn.
-        r.events.reserve(r.events.size() * count + 16);
+        r.events.reserve(r.events.size() * (unit.end - unit.begin) + 16);
       }
     }
-    const SalvageReport& report = reader->salvageReport();
-    r.stats.tornRecords += report.tornRecords;
-    r.stats.corruptRecords += report.corruptRecords;
-    r.stats.skippedBytes += report.skippedBytes;
   };
 
-  const unsigned requested = options.threads == 0
-                                 ? util::ThreadPool::hardwareThreads()
-                                 : options.threads;
   const unsigned threads =
-      static_cast<unsigned>(std::min<size_t>(requested, numFiles));
+      static_cast<unsigned>(std::min<size_t>(requested, units.size()));
   if (threads <= 1) {
-    for (size_t i = 0; i < numFiles; ++i) decodeOne(i);
+    // One work unit (or one thread): the pool would only add dispatch
+    // latency and a cold thread spawn — decode inline.
+    for (size_t u = 0; u < units.size(); ++u) decodeUnit(u);
   } else {
     util::ThreadPool pool(threads);
-    for (size_t i = 0; i < numFiles; ++i) {
-      pool.submit([&decodeOne, i] { decodeOne(i); });
+    for (size_t u = 0; u < units.size(); ++u) {
+      pool.submit([&decodeUnit, u] { decodeUnit(u); });
     }
     pool.wait();
   }
 
-  // Merge in path order. Clock metadata comes from the first readable
-  // file; later files that disagree are counted, not silently adopted
-  // (previously the last file won, hiding clock-kind mismatches).
+  // Merge in path order (units in file order within each file). Clock
+  // metadata comes from the first readable file; later files that
+  // disagree are counted, not silently adopted (previously the last file
+  // won, hiding clock-kind mismatches).
   bool haveMeta = false;
   ClockKind refClock = ClockKind::Tsc;
   for (size_t i = 0; i < numFiles; ++i) {
-    FileResult& r = results[i];
-    if (r.error != nullptr) std::rethrow_exception(r.error);
-    if (r.readable) {
+    FileState& fs = files[i];
+    if (fs.error != nullptr) std::rethrow_exception(fs.error);
+    const size_t unitBegin = firstUnitOf[i];
+    const size_t unitEnd =
+        i + 1 < numFiles ? firstUnitOf[i + 1] : units.size();
+    for (size_t u = unitBegin; u < unitEnd; ++u) {
+      if (results[u].error != nullptr) std::rethrow_exception(results[u].error);
+    }
+    if (fs.readable) {
       if (!haveMeta) {
-        set.ticksPerSecond_ = r.ticksPerSecond;
-        refClock = r.clockKind;
+        set.ticksPerSecond_ = fs.ticksPerSecond;
+        refClock = fs.clockKind;
         haveMeta = true;
-      } else if (r.ticksPerSecond != set.ticksPerSecond_ ||
-                 r.clockKind != refClock) {
-        ++r.stats.metadataMismatchFiles;
+      } else if (fs.ticksPerSecond != set.ticksPerSecond_ ||
+                 fs.clockKind != refClock) {
+        ++fs.stats.metadataMismatchFiles;
       }
-      if (set.perProcessor_.size() <= r.processor) {
-        set.perProcessor_.resize(r.processor + 1);
+      if (set.perProcessor_.size() <= fs.processor) {
+        set.perProcessor_.resize(fs.processor + 1);
       }
-      std::vector<DecodedEvent>& slot = set.perProcessor_[r.processor];
-      if (slot.empty()) {
-        slot = std::move(r.events);
-      } else {
-        // Two files claiming the same processor: preserve path order, as
-        // the serial decode did.
-        slot.insert(slot.end(), std::make_move_iterator(r.events.begin()),
-                    std::make_move_iterator(r.events.end()));
+      std::vector<DecodedEvent>& slot = set.perProcessor_[fs.processor];
+      for (size_t u = unitBegin; u < unitEnd; ++u) {
+        std::vector<DecodedEvent>& events = results[u].events;
+        if (slot.empty()) {
+          slot = std::move(events);
+        } else {
+          // Later units of this file — or a second file claiming the same
+          // processor — append in order, as the serial decode did.
+          slot.insert(slot.end(), std::make_move_iterator(events.begin()),
+                      std::make_move_iterator(events.end()));
+        }
+        set.stats_.merge(results[u].stats);
       }
     }
-    set.stats_.merge(r.stats);
+    set.stats_.merge(fs.stats);
+  }
+  // Units whose vectors were appended (not moved) into a slot still hold
+  // their capacity — recycle it. Moved-from vectors are empty and are
+  // dropped by the arena's size floor.
+  for (UnitResult& r : results) {
+    EventVectorArena::instance().release(std::move(r.events));
   }
   return set;
 }

@@ -22,6 +22,18 @@ namespace ktrace::analysis {
 
 class TraceSet {
  public:
+  TraceSet() = default;
+  /// Event storage is recycled through a process-wide arena: the
+  /// destructor returns large per-processor vectors so the next decode
+  /// reuses their (already faulted-in) pages instead of paying
+  /// first-touch cost on hundreds of MB again. Purely an optimization —
+  /// observable behavior is unchanged.
+  ~TraceSet();
+  TraceSet(const TraceSet&) = default;
+  TraceSet(TraceSet&&) noexcept = default;
+  TraceSet& operator=(const TraceSet&) = default;
+  TraceSet& operator=(TraceSet&&) noexcept = default;
+
   /// Decode completed buffers (e.g. a MemorySink's records). Records are
   /// grouped by processor and decoded in seq order.
   static TraceSet fromRecords(const std::vector<BufferRecord>& records,

@@ -20,26 +20,55 @@ DecodeStats decodeBuffer(std::span<const uint64_t> words, uint64_t bufferSeq,
                          std::vector<DecodedEvent>& out,
                          const DecodeOptions& options, uint32_t limitWords) {
   DecodeStats stats;
+  const uint64_t* const w = words.data();
   const uint32_t bufferWords = static_cast<uint32_t>(words.size());
   const uint32_t end = (limitWords != 0 && limitWords < bufferWords) ? limitWords : bufferWords;
+  // An event whose payload sits at least kInlineWords words before the
+  // buffer end can take the branch-free padded copy.
+  const uint32_t paddedEnd =
+      bufferWords > EventPayload::kInlineWords ? bufferWords - EventPayload::kInlineWords : 0;
+  uint64_t base = tsBase;
   uint32_t pos = 0;
   while (pos < end) {
-    const uint64_t headerWord = words[pos];
-    if (!headerLooksValid(headerWord, pos, bufferWords)) {
+    // One decode of the header word serves both the validity checks and
+    // the event emit (headerLooksValid would decode it a second time).
+    const EventHeader h = EventHeader::decode(w[pos]);
+    const bool valid =
+        h.lengthWords != 0 && pos + h.lengthWords <= bufferWords &&
+        static_cast<uint32_t>(h.major) <
+            static_cast<uint32_t>(Major::MajorCount) &&
+        !(h.major == Major::Control &&
+          h.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor) &&
+          h.lengthWords != 3);
+    if (!valid) {
       // Abandon this buffer; the caller resynchronizes at the next one.
       stats.garbledBuffers += 1;
       stats.garbledWords += bufferWords - pos;
       break;
     }
-    const EventHeader h = EventHeader::decode(headerWord);
     if (pos + h.lengthWords > end) break;  // event extends past the snapshot limit
+
+    // The hot path: an ordinary (non-Control) event, emitted with a
+    // branch-free padded payload copy and a single-pass constructor.
+    // Everything rare — fillers, anchors, events whose payload brushes the
+    // buffer end — drops to the slow arm.
+    if (h.major != Major::Control &&
+        h.lengthWords <= EventPayload::kInlineWords + 1 &&
+        pos + 1 <= paddedEnd) [[likely]] {
+      stats.events += 1;
+      base = unwrapTimestamp(base, h.timestamp);
+      out.emplace_back(h, EventPayload::PaddedTag{}, w + pos + 1,
+                       h.lengthWords - 1, base, bufferSeq, pos, processor);
+      pos += h.lengthWords;
+      continue;
+    }
 
     const bool isFiller = h.isFiller();
     const bool isAnchor = h.major == Major::Control &&
                           h.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor);
     if (isAnchor) {
       // The anchor carries the full 64-bit timestamp: exact re-basing.
-      tsBase = words[pos + 1];
+      base = w[pos + 1];
     }
 
     if (isFiller) {
@@ -53,21 +82,22 @@ DecodeStats decodeBuffer(std::span<const uint64_t> words, uint64_t bufferSeq,
                     : isAnchor ? options.keepAnchors
                                : true;
     if (emit) {
-      DecodedEvent e;
+      out.emplace_back();
+      DecodedEvent& e = out.back();
       e.header = h;
-      e.data.assign(words.begin() + pos + 1, words.begin() + pos + h.lengthWords);
-      e.fullTimestamp = isAnchor ? tsBase : unwrapTimestamp(tsBase, h.timestamp);
+      e.data.assign(w + pos + 1, h.lengthWords - 1);
+      e.fullTimestamp = isAnchor ? base : unwrapTimestamp(base, h.timestamp);
       e.bufferSeq = bufferSeq;
       e.offsetInBuffer = pos;
       e.processor = processor;
-      out.push_back(std::move(e));
     }
     if (!isAnchor && !isFiller) {
       // Keep the base advancing so long gaps between anchors still unwrap.
-      tsBase = unwrapTimestamp(tsBase, h.timestamp);
+      base = unwrapTimestamp(base, h.timestamp);
     }
     pos += h.lengthWords;
   }
+  tsBase = base;
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -21,14 +22,119 @@ class FileSystem;  // util/faultfs.hpp
 
 namespace ktrace {
 
+/// A decoded event's payload words. Almost every trace event carries at
+/// most a few words (the paper's events are "typically 2-4 words"), so the
+/// payload lives inline in the event with no allocation; only the rare
+/// long event (monitor heartbeats, app blobs) spills to the heap. This is
+/// what lets the batched decoder emit events at memcpy speed instead of
+/// one vector allocation each.
+class EventPayload {
+ public:
+  static constexpr uint32_t kInlineWords = 4;
+
+  /// Tag for the branch-free inline-copy constructor below.
+  struct PaddedTag {};
+
+  EventPayload() noexcept = default;
+  EventPayload(const uint64_t* words, uint32_t n) { assign(words, n); }
+  /// Hot-path constructor: copies kInlineWords words unconditionally and
+  /// keeps n of them (n <= kInlineWords; the caller must guarantee
+  /// kInlineWords words are readable at `words`). Unlike assign, nothing
+  /// is zeroed first — one store pass per event in the decode loop.
+  EventPayload(PaddedTag, const uint64_t* words, uint32_t n) noexcept
+      : size_(n) {
+    std::memcpy(inline_, words, kInlineWords * sizeof(uint64_t));
+  }
+  ~EventPayload() { delete[] heap_; }
+
+  EventPayload(const EventPayload& o) { assign(o.data(), o.size_); }
+  EventPayload& operator=(const EventPayload& o) {
+    if (this != &o) assign(o.data(), o.size_);
+    return *this;
+  }
+  EventPayload(EventPayload&& o) noexcept : heap_(o.heap_), size_(o.size_) {
+    std::memcpy(inline_, o.inline_, sizeof(inline_));
+    o.heap_ = nullptr;
+    o.size_ = 0;
+  }
+  EventPayload& operator=(EventPayload&& o) noexcept {
+    if (this != &o) {
+      delete[] heap_;
+      heap_ = o.heap_;
+      size_ = o.size_;
+      std::memcpy(inline_, o.inline_, sizeof(inline_));
+      o.heap_ = nullptr;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  void assign(const uint64_t* words, uint32_t n) {
+    if (n > kInlineWords) {
+      uint64_t* spill = new uint64_t[n];
+      std::memcpy(spill, words, n * sizeof(uint64_t));
+      delete[] heap_;
+      heap_ = spill;
+    } else {
+      delete[] heap_;
+      heap_ = nullptr;
+      std::memcpy(inline_, words, n * sizeof(uint64_t));
+    }
+    size_ = n;
+  }
+
+  /// Hot-path variant: copies kInlineWords words unconditionally (branch
+  /// free) and keeps n of them. The caller must guarantee kInlineWords
+  /// words are readable at `words`.
+  void assignInlinePadded(const uint64_t* words, uint32_t n) noexcept {
+    delete[] heap_;
+    heap_ = nullptr;
+    std::memcpy(inline_, words, kInlineWords * sizeof(uint64_t));
+    size_ = n;
+  }
+
+  uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  const uint64_t* data() const noexcept { return heap_ != nullptr ? heap_ : inline_; }
+  const uint64_t* begin() const noexcept { return data(); }
+  const uint64_t* end() const noexcept { return data() + size_; }
+  uint64_t operator[](size_t i) const noexcept { return data()[i]; }
+
+  bool operator==(const EventPayload& o) const noexcept {
+    return size_ == o.size_ &&
+           std::memcmp(data(), o.data(), size_ * sizeof(uint64_t)) == 0;
+  }
+  /// Lets payloads compare against vectors/arrays of words directly.
+  bool operator==(std::span<const uint64_t> o) const noexcept {
+    return size_ == o.size() &&
+           std::memcmp(data(), o.data(), size_ * sizeof(uint64_t)) == 0;
+  }
+
+ private:
+  uint64_t* heap_ = nullptr;  // nullptr: payload lives in inline_
+  uint32_t size_ = 0;         // payload words
+  uint64_t inline_[kInlineWords];
+};
+
 /// An event copied out of a trace buffer.
 struct DecodedEvent {
   EventHeader header;
-  std::vector<uint64_t> data;   // header.lengthWords - 1 payload words
+  EventPayload data;            // header.lengthWords - 1 payload words
   uint64_t fullTimestamp = 0;   // 32-bit timestamp unwrapped via anchors
   uint64_t bufferSeq = 0;       // which buffer lap the event came from
   uint32_t offsetInBuffer = 0;  // word offset of the header in its buffer
   uint32_t processor = 0;
+
+  DecodedEvent() = default;
+  /// Decode-loop constructor: initializes every field directly so
+  /// emplace_back does a single store pass (no default-construct-then-
+  /// overwrite).
+  DecodedEvent(const EventHeader& h, EventPayload::PaddedTag tag,
+               const uint64_t* payloadWords, uint32_t payloadCount,
+               uint64_t ts, uint64_t seq, uint32_t offset,
+               uint32_t proc) noexcept
+      : header(h), data(tag, payloadWords, payloadCount), fullTimestamp(ts),
+        bufferSeq(seq), offsetInBuffer(offset), processor(proc) {}
 
   /// View of the payload for Registry::formatEvent.
   Event asEvent() const noexcept {
@@ -58,6 +164,9 @@ struct DecodeStats {
   uint64_t unreadableFiles = 0; // files whose header could not be read at all
   uint64_t metadataMismatchFiles = 0;  // files whose clock metadata disagrees
                                        // with the first readable file's
+  uint64_t damagedFooters = 0;  // v3 files whose footer directory was missing
+                                // or corrupt (salvage fell back to scanning)
+  uint64_t corruptBlocks = 0;   // v3 compressed blocks dropped whole (CRC)
 
   void merge(const DecodeStats& other) noexcept {
     events += other.events;
@@ -71,6 +180,8 @@ struct DecodeStats {
     skippedBytes += other.skippedBytes;
     unreadableFiles += other.unreadableFiles;
     metadataMismatchFiles += other.metadataMismatchFiles;
+    damagedFooters += other.damagedFooters;
+    corruptBlocks += other.corruptBlocks;
   }
 
   bool operator==(const DecodeStats&) const noexcept = default;
@@ -82,8 +193,9 @@ struct DecodeOptions {
   bool salvage = false;       // fromFiles: tolerate torn/corrupt records and
                               // unreadable files instead of stopping at them
   uint32_t threads = 0;       // fromFiles: decode tasks run on this many
-                              // threads (0 = hardware concurrency, 1 = serial);
-                              // results are identical regardless of the count
+                              // threads (0 = hardware concurrency; capped at
+                              // hardware concurrency either way); results are
+                              // identical regardless of the count
   bool useMmap = true;        // fromFiles: serve records from an mmap'd view
                               // when the platform allows (falls back to stdio)
   util::FileSystem* fs = nullptr;  // fromFiles: file I/O goes through this

@@ -44,9 +44,10 @@ ProcessorCounters MonitorSnapshot::totals() const {
 }
 
 bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
-  // Accept the 11-word layout written before the sink/stale words existed
-  // and the 14-word one written before the recovery words (the missing
-  // fields stay zero), as well as the current 16-word layout.
+  // Accept the 11-word layout written before the sink/stale words existed,
+  // the 14-word one written before the recovery words, and the 16-word one
+  // written before the compression accounting (the missing fields stay
+  // zero), as well as the current 18-word layout.
   if (event.header.major != Major::Monitor ||
       event.header.minor != static_cast<uint16_t>(MonitorMinor::Heartbeat) ||
       event.data.size() < kHeartbeatPayloadWordsV1) {
@@ -69,9 +70,13 @@ bool parseHeartbeat(const DecodedEvent& event, Heartbeat& out) noexcept {
     out.sinkBackpressure = event.data[12];
     out.staleCommits = event.data[13];
   }
-  if (event.data.size() >= kHeartbeatPayloadWords) {
+  if (event.data.size() >= kHeartbeatPayloadWordsV3) {
     out.reclaimedWords = event.data[14];
     out.tornBuffers = event.data[15];
+  }
+  if (event.data.size() >= kHeartbeatPayloadWords) {
+    out.sinkBytesWritten = event.data[16];
+    out.sinkRawBytes = event.data[17];
   }
   return true;
 }
@@ -101,6 +106,8 @@ bool logMonitorHeartbeat(TraceControl& control, uint64_t heartbeatSeq,
       pc.staleCommits,
       recovery != nullptr ? recovery->reclaimedWords : 0,
       recovery != nullptr ? recovery->tornBuffers : 0,
+      sink != nullptr ? sink->bytesWritten : 0,
+      sink != nullptr ? sink->rawBytes : 0,
   };
   return logEventData(control, Major::Monitor,
                       static_cast<uint16_t>(MonitorMinor::Heartbeat), payload);

@@ -119,11 +119,16 @@ ProcessorCounters readProcessorCounters(const TraceControl& control);
 //   w14 reclaimedWords     filler words stamped by crash recovery (0 when no
 //                          watchdog known)
 //   w15 tornBuffers        buffers the watchdog flagged torn (ditto)
-// Older traces carry 11 words (pre-sink) or 14 (pre-recovery);
-// parseHeartbeat accepts both and zero-fills the missing fields.
+//   w16 sinkBytesWritten   durable bytes the sink wrote (0 when no sink known)
+//   w17 sinkRawBytes       pre-compression bytes of the same records (ditto;
+//                          == w16 when the sink does not compress)
+// Older traces carry 11 words (pre-sink), 14 (pre-recovery), or 16
+// (pre-compression); parseHeartbeat accepts all of them and zero-fills
+// the missing fields.
 inline constexpr uint32_t kHeartbeatPayloadWordsV1 = 11;
 inline constexpr uint32_t kHeartbeatPayloadWordsV2 = 14;
-inline constexpr uint32_t kHeartbeatPayloadWords = 16;
+inline constexpr uint32_t kHeartbeatPayloadWordsV3 = 16;
+inline constexpr uint32_t kHeartbeatPayloadWords = 18;
 
 struct Heartbeat {
   uint64_t heartbeatSeq = 0;
@@ -142,6 +147,8 @@ struct Heartbeat {
   uint64_t staleCommits = 0;
   uint64_t reclaimedWords = 0;
   uint64_t tornBuffers = 0;
+  uint64_t sinkBytesWritten = 0;
+  uint64_t sinkRawBytes = 0;
 };
 
 /// True (and fills `out`) when `event` is a well-formed heartbeat.

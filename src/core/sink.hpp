@@ -36,6 +36,8 @@ struct SinkCounters {
   uint64_t recordsAccepted = 0;    // records the sink took ownership of
   uint64_t recordsDropped = 0;     // shed: degraded writer, full queue, bad record
   uint64_t bytesWritten = 0;       // durable bytes (file-backed sinks)
+  uint64_t rawBytes = 0;           // pre-compression bytes of the same records
+                                   // (== bytesWritten when compression is off)
   uint64_t batchesFlushed = 0;     // downstream flushes (batching sinks)
   uint64_t backpressureWaits = 0;  // producer calls that blocked on a full queue
   uint64_t queuedRecords = 0;      // in flight right now (batching sinks)

@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/decode.hpp"
 #include "util/crc32.hpp"
+#include "util/lz.hpp"
 #include "util/table.hpp"
 
 namespace ktrace {
@@ -16,11 +18,17 @@ namespace {
 
 constexpr char kMagic[8] = {'K', '4', '2', 'T', 'R', 'C', 'F', '1'};
 constexpr uint32_t kVersionLegacy = 1;  // no per-record magic/CRC
-constexpr uint32_t kVersionCrc = 2;     // current: checksummed records
+constexpr uint32_t kVersionCrc = 2;     // checksummed records
+constexpr uint32_t kVersionFooter = 3;  // v2 records + footer index + trailer
 constexpr uint64_t kHeaderBytes = 128;
 constexpr uint64_t kRecordHeaderBytes = 32;
 // "KREC" little-endian; the resynchronization point a salvage scan hunts for.
 constexpr uint32_t kRecordMagic = 0x4345524Bu;
+// "KCMZ" little-endian; starts a compressed block of whole records.
+constexpr uint32_t kBlockMagic = 0x5A4D434Bu;
+constexpr char kTrailerMagic[8] = {'K', 'T', 'R', 'C', 'E', 'N', 'D', '3'};
+constexpr uint64_t kFooterEntryBytes = 32;
+constexpr uint64_t kTrailerBytes = 64;
 // A corrupt file header must not make the reader allocate absurd buffers.
 constexpr uint32_t kMaxBufferWords = 1u << 28;
 
@@ -58,6 +66,50 @@ struct DiskRecordHeaderV2 {
 };
 static_assert(sizeof(DiskRecordHeaderV2) == kRecordHeaderBytes);
 
+/// Frames a compressed run of whole records in the v3 body. The stored
+/// stream follows, padded with zero bytes to the next 8-byte boundary so
+/// every frame in the file stays word-aligned.
+struct DiskBlockHeader {
+  uint32_t magic;  // kBlockMagic
+  uint32_t crc;    // CRC-32 over the compressed stream (compressedBytes)
+  uint32_t recordCount;
+  uint32_t flags;
+  uint32_t rawBytes;         // recordCount * recordBytes
+  uint32_t compressedBytes;  // exact stream length, before padding
+  uint64_t firstSeq;         // seq of the first record (debugging aid)
+};
+static_assert(sizeof(DiskBlockHeader) == kRecordHeaderBytes);
+
+/// One v3 footer index entry: a contiguous span of records (uncompressed
+/// group or one compressed block) covered by a single CRC.
+struct DiskFooterEntry {
+  uint64_t fileOffset;
+  uint32_t recordCount;
+  uint32_t flags;        // bit 0: compressed block
+  uint32_t storedBytes;  // on-disk span (block header included)
+  uint32_t rawBytes;     // storedBytes when uncompressed
+  uint32_t crc;          // CRC-32 over the on-disk span
+  uint32_t reserved;
+};
+static_assert(sizeof(DiskFooterEntry) == kFooterEntryBytes);
+
+/// Fixed-size trailer at EOF: how a reader finds the footer without
+/// scanning. Self-checksummed so a torn footer is detected, not trusted.
+struct DiskFooterTrailer {
+  char magic[8];  // kTrailerMagic
+  uint64_t footerOffset;
+  uint64_t entryCount;
+  uint64_t totalRecords;
+  uint32_t footerCrc;   // CRC-32 over the entry array
+  uint32_t trailerCrc;  // CRC-32 over this struct with trailerCrc zeroed
+  uint8_t reserved[24];
+};
+static_assert(sizeof(DiskFooterTrailer) == kTrailerBytes);
+
+constexpr uint32_t kEntryFlagCompressed = 1u;
+
+constexpr uint64_t pad8(uint64_t n) noexcept { return (n + 7) & ~uint64_t{7}; }
+
 util::FileSystem& resolveFs(util::FileSystem* fs) {
   return fs != nullptr ? *fs : util::FileSystem::stdio();
 }
@@ -66,14 +118,41 @@ bool isTransientErrno(int e) noexcept {
   return e == EINTR || e == EAGAIN || e == EWOULDBLOCK;
 }
 
+/// Serializes one record (v2 wire format) into `out`, CRC filled in.
+void serializeRecord(const BufferRecord& record, size_t payloadBytes,
+                     unsigned char* out) {
+  DiskRecordHeaderV2 rh{};
+  rh.magic = kRecordMagic;
+  rh.seq = record.seq;
+  rh.committedDelta = record.committedDelta;
+  rh.processor = record.processor;
+  rh.flags = record.commitMismatch ? 1u : 0u;
+  uint32_t crc = util::crc32(&rh, sizeof(rh));  // rh.crc is still 0 here
+  crc = util::crc32(record.words.data(), payloadBytes, crc);
+  rh.crc = crc;
+  std::memcpy(out, &rh, sizeof(rh));
+  std::memcpy(out + sizeof(rh), record.words.data(), payloadBytes);
+}
+
 }  // namespace
 
 TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& meta,
-                                 util::FileSystem* fs)
-    : path_(path), meta_(meta) {
+                                 util::FileSystem* fs,
+                                 const TraceWriterOptions& options)
+    : path_(path), meta_(meta), options_(options) {
   if (meta_.bufferWords == 0) {
     throw std::invalid_argument("TraceFileWriter: bufferWords must be set");
   }
+  if (options_.formatVersion != kVersionCrc && options_.formatVersion != kVersionFooter) {
+    throw std::invalid_argument("TraceFileWriter: unsupported format version");
+  }
+  // Footer entries hold byte counts in 32 bits; clamp the grouping so a
+  // sealed group can never overflow one.
+  const uint64_t recordBytes =
+      kRecordHeaderBytes + static_cast<uint64_t>(meta_.bufferWords) * 8;
+  uint64_t g = options_.indexRecordsPerEntry == 0 ? 1 : options_.indexRecordsPerEntry;
+  g = std::min<uint64_t>(g, 0xFFFFFFFFu / recordBytes);
+  groupLimit_ = static_cast<uint32_t>(std::max<uint64_t>(1, g));
   file_ = resolveFs(fs).open(path, "wb");
   if (file_ == nullptr) {
     throw std::runtime_error("TraceFileWriter: cannot open " + path);
@@ -81,7 +160,12 @@ TraceFileWriter::TraceFileWriter(const std::string& path, const TraceFileMeta& m
 }
 
 TraceFileWriter::~TraceFileWriter() {
-  if (file_ != nullptr) ensureHeader();  // best effort: an empty trace is still a valid file
+  // Best effort: an empty trace is still a valid file, and a v3 file owes
+  // its footer. Errors are already recorded; nothing can throw here.
+  if (file_ != nullptr && ensureHeader() &&
+      options_.formatVersion >= kVersionFooter) {
+    writeFooter();
+  }
 }
 
 void TraceFileWriter::recordError(const char* what) {
@@ -94,7 +178,7 @@ bool TraceFileWriter::ensureHeader() {
   if (headerWritten_) return true;
   DiskFileHeader h{};
   std::memcpy(h.magic, kMagic, sizeof(kMagic));
-  h.version = kVersionCrc;
+  h.version = options_.formatVersion;
   h.processorId = meta_.processorId;
   h.numProcessors = meta_.numProcessors;
   h.bufferWords = meta_.bufferWords;
@@ -109,7 +193,45 @@ bool TraceFileWriter::ensureHeader() {
   }
   headerWritten_ = true;
   bytesWritten_ += sizeof(h);
+  rawBytes_ += sizeof(h);
+  bodyEnd_ = static_cast<int64_t>(kHeaderBytes);
+  needSeekToBody_ = false;
   return true;
+}
+
+bool TraceFileWriter::seekToBody() {
+  if (!needSeekToBody_) return true;
+  if (!file_->seek(bodyEnd_, SEEK_SET)) {
+    recordError("seek failed");
+    return false;
+  }
+  needSeekToBody_ = false;
+  return true;
+}
+
+void TraceFileWriter::sealGroup() {
+  if (groupCount_ == 0) return;
+  entries_.push_back({groupStart_, groupCount_, 0, groupBytes_, groupBytes_, groupCrc_});
+  groupCount_ = 0;
+  groupBytes_ = 0;
+  groupCrc_ = 0;
+}
+
+void TraceFileWriter::noteRecordWritten(const void* diskBytes, size_t diskLen) {
+  ++buffersWritten_;
+  bytesWritten_ += diskLen;
+  rawBytes_ += diskLen;
+  if (options_.formatVersion >= kVersionFooter) {
+    if (groupCount_ == 0) groupStart_ = bodyEnd_;
+    // Seed-chaining keeps the group CRC equal to one CRC over the whole
+    // span, however the records arrived (serial writes, batches, replays)
+    // — the byte-identity invariant across sink configurations depends
+    // on the footer being a pure function of the record sequence.
+    groupCrc_ = util::crc32(diskBytes, diskLen, groupCrc_);
+    groupBytes_ += static_cast<uint32_t>(diskLen);
+    if (++groupCount_ == groupLimit_) sealGroup();
+  }
+  bodyEnd_ += static_cast<int64_t>(diskLen);
 }
 
 bool TraceFileWriter::writeBuffer(const BufferRecord& record) {
@@ -117,31 +239,19 @@ bool TraceFileWriter::writeBuffer(const BufferRecord& record) {
     throw std::invalid_argument("TraceFileWriter: buffer size mismatch");
   }
   if (!ensureHeader()) return false;
-  const int64_t start = file_->tell();
-  if (start < 0) {
-    recordError("tell failed");
-    return false;
-  }
-  DiskRecordHeaderV2 rh{};
-  rh.magic = kRecordMagic;
-  rh.seq = record.seq;
-  rh.committedDelta = record.committedDelta;
-  rh.processor = record.processor;
-  rh.flags = record.commitMismatch ? 1u : 0u;
+  if (!seekToBody()) return false;
   const size_t payloadBytes = record.words.size() * sizeof(uint64_t);
-  uint32_t crc = util::crc32(&rh, sizeof(rh));  // rh.crc is still 0 here
-  crc = util::crc32(record.words.data(), payloadBytes, crc);
-  rh.crc = crc;
-  if (file_->write(&rh, sizeof(rh)) != sizeof(rh) ||
-      file_->write(record.words.data(), payloadBytes) != payloadBytes) {
+  const size_t recordBytes = sizeof(DiskRecordHeaderV2) + payloadBytes;
+  staging_.resize(recordBytes);
+  serializeRecord(record, payloadBytes, staging_.data());
+  if (file_->write(staging_.data(), recordBytes) != recordBytes) {
     recordError("record write failed");
-    // Rewind to the record boundary: a successful retry overwrites the
-    // torn bytes instead of leaving them mid-stream.
-    file_->seek(start, SEEK_SET);
+    // The next write re-seeks to the record boundary, so a successful
+    // retry overwrites the torn bytes instead of leaving them mid-stream.
+    needSeekToBody_ = true;
     return false;
   }
-  ++buffersWritten_;
-  bytesWritten_ += sizeof(rh) + payloadBytes;
+  noteRecordWritten(staging_.data(), recordBytes);
   return true;
 }
 
@@ -155,33 +265,71 @@ size_t TraceFileWriter::writeBufferBatch(const BufferRecord* const* records,
   if (count == 0) return 0;
   if (count == 1) return writeBuffer(*records[0]) ? 1 : 0;
   if (!ensureHeader()) return 0;
-  const int64_t start = file_->tell();
-  if (start < 0) {
-    recordError("tell failed");
-    return 0;
-  }
+  if (!seekToBody()) return 0;
   const size_t payloadBytes = static_cast<size_t>(meta_.bufferWords) * sizeof(uint64_t);
   const size_t recordBytes = sizeof(DiskRecordHeaderV2) + payloadBytes;
   staging_.resize(recordBytes * count);
   unsigned char* out = staging_.data();
   for (size_t i = 0; i < count; ++i) {
-    const BufferRecord& record = *records[i];
-    DiskRecordHeaderV2 rh{};
-    rh.magic = kRecordMagic;
-    rh.seq = record.seq;
-    rh.committedDelta = record.committedDelta;
-    rh.processor = record.processor;
-    rh.flags = record.commitMismatch ? 1u : 0u;
-    uint32_t crc = util::crc32(&rh, sizeof(rh));  // rh.crc is still 0 here
-    crc = util::crc32(record.words.data(), payloadBytes, crc);
-    rh.crc = crc;
-    std::memcpy(out, &rh, sizeof(rh));
-    std::memcpy(out + sizeof(rh), record.words.data(), payloadBytes);
+    serializeRecord(*records[i], payloadBytes, out);
     out += recordBytes;
   }
-  if (file_->write(staging_.data(), staging_.size()) == staging_.size()) {
-    buffersWritten_ += count;
-    bytesWritten_ += staging_.size();
+  const size_t rawTotal = staging_.size();
+
+  if (options_.compress && options_.formatVersion >= kVersionFooter &&
+      rawTotal <= 0xFFFFFFFFu - kTrailerBytes) {
+    // Worth compressing only if the framed block undercuts the raw bytes;
+    // giving the compressor exactly that much room makes "not worth it"
+    // fall out as a failed fit (lzCompress returns 0).
+    const size_t cap = rawTotal > sizeof(DiskBlockHeader) + 16
+                           ? rawTotal - sizeof(DiskBlockHeader) - 16
+                           : 0;
+    size_t csize = 0;
+    if (cap > 0) {
+      compress_.resize(sizeof(DiskBlockHeader) + cap + 8);
+      csize = util::lzCompress(staging_.data(), rawTotal,
+                               compress_.data() + sizeof(DiskBlockHeader), cap);
+    }
+    if (csize != 0) {
+      const size_t span = sizeof(DiskBlockHeader) + pad8(csize);
+      std::memset(compress_.data() + sizeof(DiskBlockHeader) + csize, 0,
+                  pad8(csize) - csize);
+      DiskBlockHeader bh{};
+      bh.magic = kBlockMagic;
+      bh.crc = util::crc32(compress_.data() + sizeof(DiskBlockHeader), csize);
+      bh.recordCount = static_cast<uint32_t>(count);
+      bh.rawBytes = static_cast<uint32_t>(rawTotal);
+      bh.compressedBytes = static_cast<uint32_t>(csize);
+      bh.firstSeq = records[0]->seq;
+      std::memcpy(compress_.data(), &bh, sizeof(bh));
+      if (file_->write(compress_.data(), span) == span) {
+        sealGroup();  // a block entry cannot extend an open record group
+        entries_.push_back({bodyEnd_, static_cast<uint32_t>(count),
+                            kEntryFlagCompressed, static_cast<uint32_t>(span),
+                            static_cast<uint32_t>(rawTotal),
+                            util::crc32(compress_.data(), span)});
+        buffersWritten_ += count;
+        bytesWritten_ += span;
+        rawBytes_ += rawTotal;
+        bodyEnd_ += static_cast<int64_t>(span);
+        return count;
+      }
+      recordError("batch write failed");
+      // Replay uncompressed: simpler to reason about under disk-full, and
+      // the per-record path accounts durable records exactly.
+      needSeekToBody_ = true;
+      size_t done = 0;
+      while (done < count && writeBuffer(*records[done])) ++done;
+      return done;
+    }
+  }
+
+  if (file_->write(staging_.data(), rawTotal) == rawTotal) {
+    const unsigned char* rec = staging_.data();
+    for (size_t i = 0; i < count; ++i) {
+      noteRecordWritten(rec, recordBytes);
+      rec += recordBytes;
+    }
     return count;
   }
   recordError("batch write failed");
@@ -189,17 +337,61 @@ size_t TraceFileWriter::writeBufferBatch(const BufferRecord* const* records,
   // start and replay record-by-record: every record that lands again does
   // so at its exact boundary, so buffersWritten_/bytesWritten_ count only
   // durable records — never the attempted batch.
-  if (!file_->seek(start, SEEK_SET)) {
-    recordError("seek failed");
-    return 0;
-  }
+  needSeekToBody_ = true;
   size_t done = 0;
   while (done < count && writeBuffer(*records[done])) ++done;
   return done;
 }
 
+bool TraceFileWriter::writeFooter() {
+  if (!file_->seek(bodyEnd_, SEEK_SET)) {
+    recordError("seek failed");
+    needSeekToBody_ = true;
+    return false;
+  }
+  // Whatever happens next, the file position is past the body.
+  needSeekToBody_ = true;
+  const size_t nEntries = entries_.size() + (groupCount_ > 0 ? 1 : 0);
+  staging_.resize(nEntries * kFooterEntryBytes + kTrailerBytes);
+  unsigned char* out = staging_.data();
+  auto put = [&out](const FooterEntry& e) {
+    DiskFooterEntry d{};
+    d.fileOffset = static_cast<uint64_t>(e.offset);
+    d.recordCount = e.records;
+    d.flags = e.flags;
+    d.storedBytes = e.storedBytes;
+    d.rawBytes = e.rawBytes;
+    d.crc = e.crc;
+    std::memcpy(out, &d, sizeof(d));
+    out += sizeof(d);
+  };
+  for (const FooterEntry& e : entries_) put(e);
+  if (groupCount_ > 0) {
+    // The open group is written but not sealed: later records extend it,
+    // and the next flush re-emits the grown entry in its place.
+    put({groupStart_, groupCount_, 0, groupBytes_, groupBytes_, groupCrc_});
+  }
+  DiskFooterTrailer t{};
+  std::memcpy(t.magic, kTrailerMagic, sizeof(t.magic));
+  t.footerOffset = static_cast<uint64_t>(bodyEnd_);
+  t.entryCount = nEntries;
+  t.totalRecords = buffersWritten_;
+  t.footerCrc = util::crc32(staging_.data(), nEntries * kFooterEntryBytes);
+  t.trailerCrc = 0;
+  t.trailerCrc = util::crc32(&t, sizeof(t));
+  std::memcpy(out, &t, sizeof(t));
+  if (file_->write(staging_.data(), staging_.size()) != staging_.size()) {
+    recordError("footer write failed");
+    return false;
+  }
+  return true;
+}
+
 bool TraceFileWriter::flush() {
   bool ok = ensureHeader();
+  if (ok && options_.formatVersion >= kVersionFooter) {
+    ok = writeFooter() && ok;
+  }
   if (!file_->flush()) {
     recordError("flush failed");
     ok = false;
@@ -224,7 +416,8 @@ TraceFileReader::TraceFileReader(const std::string& path,
   DiskFileHeader h{};
   if (!readBytesAt(0, &h, sizeof(h)) ||
       std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0 ||
-      (h.version != kVersionLegacy && h.version != kVersionCrc) ||
+      (h.version != kVersionLegacy && h.version != kVersionCrc &&
+       h.version != kVersionFooter) ||
       h.bufferWords == 0 || h.bufferWords > kMaxBufferWords) {
     throw std::runtime_error("TraceFileReader: bad header in " + path);
   }
@@ -241,10 +434,19 @@ TraceFileReader::TraceFileReader(const std::string& path,
   headerBytes_ = kHeaderBytes;
   recordBytes_ = kRecordHeaderBytes + static_cast<uint64_t>(meta_.bufferWords) * 8;
   const int64_t size = map_ != nullptr ? map_->size() : file_->size();
-  if (size < static_cast<int64_t>(headerBytes_)) {
-    bufferCount_ = 0;  // shorter than the header: nothing to index
+  if (size <= static_cast<int64_t>(headerBytes_)) {
+    bufferCount_ = 0;  // header only (or shorter): nothing to index
   } else if (salvage_) {
     scanSalvage(size);
+  } else if (version_ >= kVersionFooter) {
+    if (!parseFooter(size)) {
+      // Records but no intact footer directory: the file was cut off
+      // before a flush, or the footer region itself is damaged. Strict
+      // mode refuses rather than guessing where records end.
+      throw std::runtime_error(util::strprintf(
+          "TraceFileReader: %s has no valid v3 footer (truncated or damaged; "
+          "use salvage mode)", path.c_str()));
+    }
   } else {
     const uint64_t body = static_cast<uint64_t>(size) - headerBytes_;
     if (body % recordBytes_ != 0) {
@@ -267,6 +469,27 @@ bool TraceFileReader::readBytesAt(int64_t offset, void* dst, size_t bytes) {
     return true;
   }
   return file_->seek(offset, SEEK_SET) && file_->read(dst, bytes) == bytes;
+}
+
+bool TraceFileReader::crcRange(int64_t offset, size_t bytes, uint32_t& out) {
+  if (map_ != nullptr) {
+    if (offset < 0 || offset + static_cast<int64_t>(bytes) > map_->size()) return false;
+    out = util::crc32(map_->data() + offset, bytes);
+    return true;
+  }
+  constexpr size_t kChunk = 256 * 1024;
+  blockScratch_.resize(std::min(bytes, kChunk));
+  if (!file_->seek(offset, SEEK_SET)) return false;
+  uint32_t crc = 0;
+  size_t left = bytes;
+  while (left > 0) {
+    const size_t want = std::min(left, kChunk);
+    if (file_->read(blockScratch_.data(), want) != want) return false;
+    crc = util::crc32(blockScratch_.data(), want, crc);
+    left -= want;
+  }
+  out = crc;
+  return true;
 }
 
 bool TraceFileReader::fillPayload(int64_t offset, BufferView& out) {
@@ -321,6 +544,287 @@ bool TraceFileReader::readRecordViewAt(int64_t offset, BufferView& out, bool ver
   return true;
 }
 
+bool TraceFileReader::parseFooter(int64_t fileSize) {
+  blocks_.clear();
+  if (fileSize < static_cast<int64_t>(headerBytes_ + kTrailerBytes)) return false;
+  DiskFooterTrailer t{};
+  if (!readBytesAt(fileSize - static_cast<int64_t>(kTrailerBytes), &t, sizeof(t))) {
+    return false;
+  }
+  if (std::memcmp(t.magic, kTrailerMagic, sizeof(t.magic)) != 0) return false;
+  DiskFooterTrailer clean = t;
+  clean.trailerCrc = 0;
+  if (util::crc32(&clean, sizeof(clean)) != t.trailerCrc) return false;
+  if (t.footerOffset < headerBytes_ ||
+      t.entryCount > static_cast<uint64_t>(fileSize) / kFooterEntryBytes) {
+    return false;
+  }
+  if (static_cast<int64_t>(t.footerOffset + t.entryCount * kFooterEntryBytes +
+                           kTrailerBytes) != fileSize) {
+    return false;
+  }
+  if (t.entryCount == 0) {
+    if (t.footerCrc != 0 || t.totalRecords != 0) return false;
+    bufferCount_ = 0;
+    return true;
+  }
+  std::vector<unsigned char> raw(t.entryCount * kFooterEntryBytes);
+  if (!readBytesAt(static_cast<int64_t>(t.footerOffset), raw.data(), raw.size())) {
+    return false;
+  }
+  if (util::crc32(raw.data(), raw.size()) != t.footerCrc) return false;
+  blocks_.reserve(t.entryCount);
+  uint64_t firstRecord = 0;
+  int64_t expect = static_cast<int64_t>(headerBytes_);
+  for (uint64_t i = 0; i < t.entryCount; ++i) {
+    DiskFooterEntry e{};
+    std::memcpy(&e, raw.data() + i * kFooterEntryBytes, sizeof(e));
+    if (static_cast<int64_t>(e.fileOffset) != expect || e.recordCount == 0) {
+      blocks_.clear();
+      return false;
+    }
+    const uint64_t rawSpan = static_cast<uint64_t>(e.recordCount) * recordBytes_;
+    const bool compressed = (e.flags & kEntryFlagCompressed) != 0;
+    const bool geometryOk =
+        compressed ? (e.rawBytes == rawSpan && e.storedBytes % 8 == 0 &&
+                      e.storedBytes > kRecordHeaderBytes &&
+                      e.storedBytes < e.rawBytes)
+                   : (e.storedBytes == rawSpan && e.rawBytes == rawSpan);
+    if (!geometryOk ||
+        expect + static_cast<int64_t>(e.storedBytes) >
+            static_cast<int64_t>(t.footerOffset)) {
+      blocks_.clear();
+      return false;
+    }
+    blocks_.push_back({expect, firstRecord, e.recordCount, e.storedBytes,
+                       e.rawBytes, e.crc, compressed, false});
+    firstRecord += e.recordCount;
+    expect += static_cast<int64_t>(e.storedBytes);
+  }
+  if (expect != static_cast<int64_t>(t.footerOffset) ||
+      firstRecord != t.totalRecords) {
+    blocks_.clear();
+    return false;
+  }
+  bufferCount_ = firstRecord;
+  return true;
+}
+
+bool TraceFileReader::verifyBlock(size_t b) {
+  const BlockInfo& blk = blocks_[b];
+  uint32_t crc = 0;
+  return crcRange(blk.offset, blk.storedBytes, crc) && crc == blk.crc;
+}
+
+bool TraceFileReader::loadCompressedBlock(size_t b) {
+  if (cachedBlock_ == static_cast<int64_t>(b)) return true;
+  const BlockInfo& blk = blocks_[b];
+  DiskBlockHeader bh{};
+  if (!readBytesAt(blk.offset, &bh, sizeof(bh))) return false;
+  if (bh.magic != kBlockMagic || bh.rawBytes != blk.rawBytes ||
+      bh.compressedBytes == 0 ||
+      kRecordHeaderBytes + pad8(bh.compressedBytes) != blk.storedBytes) {
+    return false;
+  }
+  blockWords_.resize(blk.rawBytes / sizeof(uint64_t));
+  const unsigned char* src = nullptr;
+  if (map_ != nullptr) {
+    const int64_t streamAt = blk.offset + static_cast<int64_t>(kRecordHeaderBytes);
+    if (streamAt + static_cast<int64_t>(bh.compressedBytes) > map_->size()) return false;
+    src = map_->data() + streamAt;
+  } else {
+    blockScratch_.resize(bh.compressedBytes);
+    if (!readBytesAt(blk.offset + static_cast<int64_t>(kRecordHeaderBytes),
+                     blockScratch_.data(), bh.compressedBytes)) {
+      return false;
+    }
+    src = blockScratch_.data();
+  }
+  const ptrdiff_t n = util::lzDecompress(src, bh.compressedBytes, blockWords_.data(),
+                                         blockWords_.size() * sizeof(uint64_t));
+  if (n != static_cast<ptrdiff_t>(blk.rawBytes)) return false;
+  cachedBlock_ = static_cast<int64_t>(b);
+  return true;
+}
+
+bool TraceFileReader::readBlockRecordView(size_t b, uint64_t slot, BufferView& out) {
+  if (!loadCompressedBlock(b)) return false;
+  const size_t wordsPerRecord = recordBytes_ / sizeof(uint64_t);
+  const uint64_t* rec = blockWords_.data() + slot * wordsPerRecord;
+  DiskRecordHeaderV2 rh{};
+  std::memcpy(&rh, rec, sizeof(rh));
+  if (rh.magic != kRecordMagic) return false;
+  out.seq = rh.seq;
+  out.committedDelta = rh.committedDelta;
+  out.processor = rh.processor;
+  out.commitMismatch = (rh.flags & 1u) != 0;
+  out.words = {rec + kRecordHeaderBytes / sizeof(uint64_t), meta_.bufferWords};
+  return true;
+}
+
+size_t TraceFileReader::blockForRecord(uint64_t k) {
+  auto holds = [this, k](size_t i) {
+    return k >= blocks_[i].firstRecord &&
+           k - blocks_[i].firstRecord < blocks_[i].records;
+  };
+  size_t b = blockHint_ < blocks_.size() ? blockHint_ : 0;
+  if (!holds(b)) {
+    if (b + 1 < blocks_.size() && holds(b + 1)) {
+      b = b + 1;  // the sequential-read case: fell off the end of a block
+    } else {
+      size_t lo = 0, hi = blocks_.size() - 1;
+      while (lo < hi) {
+        const size_t mid = lo + (hi - lo + 1) / 2;
+        if (blocks_[mid].firstRecord <= k) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      b = lo;
+    }
+  }
+  blockHint_ = b;
+  return b;
+}
+
+bool TraceFileReader::validateCompressedBlockAt(int64_t offset, int64_t fileSize,
+                                                uint32_t& recordCount,
+                                                uint32_t& storedBytes) {
+  DiskBlockHeader bh{};
+  if (offset + static_cast<int64_t>(sizeof(bh)) > fileSize) return false;
+  if (!readBytesAt(offset, &bh, sizeof(bh))) return false;
+  if (bh.magic != kBlockMagic || bh.recordCount == 0 || bh.compressedBytes == 0 ||
+      bh.compressedBytes >= bh.rawBytes) {
+    return false;
+  }
+  if (static_cast<uint64_t>(bh.recordCount) * recordBytes_ != bh.rawBytes) return false;
+  const uint64_t span = kRecordHeaderBytes + pad8(bh.compressedBytes);
+  if (offset + static_cast<int64_t>(span) > fileSize) return false;
+  uint32_t crc = 0;
+  if (!crcRange(offset + static_cast<int64_t>(kRecordHeaderBytes),
+                bh.compressedBytes, crc) ||
+      crc != bh.crc) {
+    return false;
+  }
+  recordCount = bh.recordCount;
+  storedBytes = static_cast<uint32_t>(span);
+  return true;
+}
+
+int64_t TraceFileReader::findResync(int64_t damagedAt, int64_t end, bool allowBlocks) {
+  BufferView scratchView;
+  // A candidate only counts if its whole record (or block) checks out, so
+  // a stray magic inside payload bytes cannot fool the scan.
+  auto validAt = [&](int64_t candidate) {
+    if (allowBlocks) {
+      uint32_t nrec = 0, span = 0;
+      if (validateCompressedBlockAt(candidate, end, nrec, span)) return true;
+    }
+    if (candidate + static_cast<int64_t>(recordBytes_) > end) return false;
+    return readRecordViewAt(candidate, scratchView, /*verify=*/true);
+  };
+  if (map_ != nullptr) {
+    const unsigned char* base = map_->data();
+    int64_t pos = damagedAt + 1;
+    while (pos + 4 <= end) {
+      const void* hit =
+          std::memchr(base + pos, 'K', static_cast<size_t>(end - pos - 3));
+      if (hit == nullptr) return -1;
+      const int64_t candidate = static_cast<const unsigned char*>(hit) - base;
+      pos = candidate + 1;
+      uint32_t magic = 0;
+      std::memcpy(&magic, base + candidate, 4);
+      if (magic != kRecordMagic && !(allowBlocks && magic == kBlockMagic)) continue;
+      if (validAt(candidate)) return candidate;
+    }
+    return -1;
+  }
+  constexpr size_t kChunk = 64 * 1024;
+  std::vector<unsigned char> chunk;
+  int64_t searchPos = damagedAt + 1;
+  while (searchPos + 4 <= end) {
+    const size_t want = std::min<size_t>(kChunk, static_cast<size_t>(end - searchPos));
+    chunk.resize(want);
+    if (!file_->seek(searchPos, SEEK_SET)) return -1;
+    const size_t got = file_->read(chunk.data(), want);
+    if (got < 4) return -1;
+    for (size_t i = 0; i + 4 <= got; ++i) {
+      uint32_t magic = 0;
+      std::memcpy(&magic, chunk.data() + i, 4);
+      if (magic != kRecordMagic && !(allowBlocks && magic == kBlockMagic)) continue;
+      if (validAt(searchPos + static_cast<int64_t>(i))) {
+        return searchPos + static_cast<int64_t>(i);
+      }
+    }
+    if (got < want) return -1;
+    searchPos += static_cast<int64_t>(got) - 3;  // overlap a split magic
+  }
+  return -1;
+}
+
+void TraceFileReader::scanSalvageRange(int64_t begin, int64_t end, bool tornTail,
+                                       bool allowBlocks) {
+  const int64_t rb = static_cast<int64_t>(recordBytes_);
+  BufferView scratchView;
+  int64_t offset = begin;
+  while (offset < end) {
+    if (allowBlocks) {
+      uint32_t nrec = 0, span = 0;
+      if (validateCompressedBlockAt(offset, end, nrec, span)) {
+        // A self-consistent compressed block found mid-scan (no footer to
+        // vouch for it): its payload CRC already checked out, so index its
+        // records through a synthetic block entry.
+        const size_t b = blocks_.size();
+        blocks_.push_back({offset, 0, nrec, span,
+                           static_cast<uint32_t>(nrec * recordBytes_), 0, true,
+                           true});
+        if (loadCompressedBlock(b)) {
+          const size_t wordsPerRecord = recordBytes_ / sizeof(uint64_t);
+          for (uint32_t j = 0; j < nrec; ++j) {
+            uint32_t magic = 0;
+            std::memcpy(&magic, blockWords_.data() + j * wordsPerRecord, 4);
+            if (magic == kRecordMagic) {
+              index_.push_back({0, static_cast<int32_t>(b), j});
+              ++report_.goodRecords;
+            } else {
+              ++report_.corruptRecords;
+            }
+          }
+        } else {
+          ++report_.corruptBlocks;
+          report_.corruptRecords += nrec;
+          report_.skippedBytes += span;
+        }
+        offset += span;
+        continue;
+      }
+    }
+    if (offset + rb > end) {
+      if (tornTail) {
+        ++report_.tornRecords;  // crash mid-write: partial tail record
+      } else {
+        report_.skippedBytes += static_cast<uint64_t>(end - offset);
+      }
+      break;
+    }
+    if (readRecordViewAt(offset, scratchView, /*verify=*/true)) {
+      index_.push_back({offset, -1, 0});
+      ++report_.goodRecords;
+      offset += rb;
+      continue;
+    }
+    ++report_.corruptRecords;
+    const int64_t next = findResync(offset, end, allowBlocks);
+    if (next < 0) {
+      report_.skippedBytes += static_cast<uint64_t>(end - offset);
+      break;
+    }
+    report_.skippedBytes += static_cast<uint64_t>(next - offset);
+    offset = next;
+  }
+}
+
 void TraceFileReader::scanSalvage(int64_t fileSize) {
   const int64_t rb = static_cast<int64_t>(recordBytes_);
   int64_t offset = static_cast<int64_t>(headerBytes_);
@@ -329,7 +833,7 @@ void TraceFileReader::scanSalvage(int64_t fileSize) {
     // No per-record magic/CRC: records sit at fixed offsets, and the only
     // detectable damage is a tail cut mid-record.
     while (offset + rb <= fileSize) {
-      index_.push_back(offset);
+      index_.push_back({offset, -1, 0});
       ++report_.goodRecords;
       offset += rb;
     }
@@ -338,80 +842,160 @@ void TraceFileReader::scanSalvage(int64_t fileSize) {
     return;
   }
 
-  // Scan forward, resynchronizing at the next valid record magic after
-  // damage. A candidate only counts if its whole record checks out, so a
-  // stray "KREC" inside payload bytes cannot fool the scan.
-  constexpr size_t kChunk = 64 * 1024;
-  const unsigned char kMagicBytes[4] = {'K', 'R', 'E', 'C'};
-  std::vector<unsigned char> chunk;
-  BufferView scratch;
-  // Hunts for the next record that validates, starting one byte past the
-  // damage. The mapped path walks the file bytes in place with memchr;
-  // the stdio fallback reads overlapping chunks.
-  auto findResyncPoint = [&](int64_t damagedAt) -> int64_t {
-    if (map_ != nullptr) {
-      const unsigned char* base = map_->data();
-      int64_t pos = damagedAt + 1;
-      while (pos + 4 <= fileSize) {
-        const void* hit =
-            std::memchr(base + pos, 'K', static_cast<size_t>(fileSize - pos - 3));
-        if (hit == nullptr) return -1;
-        const int64_t candidate =
-            static_cast<const unsigned char*>(hit) - base;
-        pos = candidate + 1;
-        if (std::memcmp(base + candidate, kMagicBytes, 4) != 0) continue;
-        if (candidate + rb > fileSize) continue;
-        if (readRecordViewAt(candidate, scratch, /*verify=*/true)) return candidate;
+  if (version_ >= kVersionFooter && parseFooter(fileSize)) {
+    // The footer directory survived: verify one CRC per block and only
+    // fall back to the per-record scan inside the spans that fail it.
+    const size_t footerBlocks = blocks_.size();
+    for (size_t b = 0; b < footerBlocks; ++b) {
+      // blocks_ may grow synthetic entries during a rescan; re-index, the
+      // vector can reallocate.
+      const BlockInfo blk = blocks_[b];
+      uint32_t crc = 0;
+      const bool intact = crcRange(blk.offset, blk.storedBytes, crc) && crc == blk.crc;
+      if (intact && !blk.compressed) {
+        blocks_[b].verified = true;
+        for (uint32_t j = 0; j < blk.records; ++j) {
+          index_.push_back({blk.offset + static_cast<int64_t>(j) * rb, -1, 0});
+        }
+        report_.goodRecords += blk.records;
+      } else if (intact) {
+        blocks_[b].verified = true;
+        if (loadCompressedBlock(b)) {
+          const size_t wordsPerRecord = recordBytes_ / sizeof(uint64_t);
+          for (uint32_t j = 0; j < blk.records; ++j) {
+            uint32_t magic = 0;
+            std::memcpy(&magic, blockWords_.data() + j * wordsPerRecord, 4);
+            if (magic == kRecordMagic) {
+              index_.push_back({0, static_cast<int32_t>(b), j});
+              ++report_.goodRecords;
+            } else {
+              ++report_.corruptRecords;
+            }
+          }
+        } else {
+          ++report_.corruptBlocks;
+          report_.corruptRecords += blk.records;
+          report_.skippedBytes += blk.storedBytes;
+        }
+      } else if (blk.compressed) {
+        // A damaged compressed block is lost whole — there is no record
+        // structure inside the stream to resynchronize on.
+        ++report_.corruptBlocks;
+        report_.corruptRecords += blk.records;
+        report_.skippedBytes += blk.storedBytes;
+      } else {
+        scanSalvageRange(blk.offset, blk.offset + blk.storedBytes,
+                         /*tornTail=*/false, /*allowBlocks=*/false);
       }
-      return -1;
     }
-    int64_t searchPos = damagedAt + 1;
-    while (searchPos + 4 <= fileSize) {
-      const size_t want =
-          std::min<size_t>(kChunk, static_cast<size_t>(fileSize - searchPos));
-      chunk.resize(want);
-      if (!file_->seek(searchPos, SEEK_SET)) return -1;
-      const size_t got = file_->read(chunk.data(), want);
-      if (got < 4) return -1;
-      for (size_t i = 0; i + 4 <= got; ++i) {
-        if (std::memcmp(chunk.data() + i, kMagicBytes, 4) != 0) continue;
-        const int64_t candidate = searchPos + static_cast<int64_t>(i);
-        if (candidate + rb > fileSize) continue;
-        if (readRecordViewAt(candidate, scratch, /*verify=*/true)) return candidate;
-      }
-      if (got < want) return -1;
-      searchPos += static_cast<int64_t>(got) - 3;  // overlap a split magic
-    }
-    return -1;
-  };
-  while (offset < fileSize) {
-    if (offset + rb > fileSize) {
-      ++report_.tornRecords;  // crash mid-write: partial tail record
-      break;
-    }
-    if (readRecordViewAt(offset, scratch, /*verify=*/true)) {
-      index_.push_back(offset);
-      ++report_.goodRecords;
-      offset += rb;
-      continue;
-    }
-    ++report_.corruptRecords;
-    const int64_t next = findResyncPoint(offset);
-    if (next < 0) {
-      report_.skippedBytes += static_cast<uint64_t>(fileSize - offset);
-      break;
-    }
-    report_.skippedBytes += static_cast<uint64_t>(next - offset);
-    offset = next;
+    bufferCount_ = index_.size();
+    return;
   }
+  if (version_ >= kVersionFooter) {
+    // No usable footer: fall back to the full-body scan, recognizing both
+    // record and compressed-block framing.
+    report_.footerDamaged = true;
+    scanSalvageRange(offset, fileSize, /*tornTail=*/true, /*allowBlocks=*/true);
+    bufferCount_ = index_.size();
+    return;
+  }
+
+  // v2: scan forward, resynchronizing at the next valid record magic after
+  // damage.
+  scanSalvageRange(offset, fileSize, /*tornTail=*/true, /*allowBlocks=*/false);
   bufferCount_ = index_.size();
+}
+
+bool TraceFileReader::blockStartsWithAnchor(size_t b) {
+  const BlockInfo& blk = blocks_[b];
+  uint64_t headerWord = 0;
+  if (blk.compressed) {
+    DiskBlockHeader bh{};
+    if (!readBytesAt(blk.offset, &bh, sizeof(bh))) return false;
+    if (bh.magic != kBlockMagic || bh.rawBytes != blk.rawBytes ||
+        bh.compressedBytes == 0 ||
+        kRecordHeaderBytes + pad8(bh.compressedBytes) != blk.storedBytes) {
+      return false;
+    }
+    const unsigned char* src = nullptr;
+    if (map_ != nullptr) {
+      src = map_->data() + blk.offset + static_cast<int64_t>(kRecordHeaderBytes);
+    } else {
+      blockScratch_.resize(bh.compressedBytes);
+      if (!readBytesAt(blk.offset + static_cast<int64_t>(kRecordHeaderBytes),
+                       blockScratch_.data(), bh.compressedBytes)) {
+        return false;
+      }
+      src = blockScratch_.data();
+    }
+    // Decompress just past the first record's header + first payload word;
+    // the output buffer must still hold a whole sequence's overshoot, so
+    // give it the full raw size.
+    std::vector<uint64_t> head(blk.rawBytes / sizeof(uint64_t));
+    const ptrdiff_t n =
+        util::lzDecompress(src, bh.compressedBytes, head.data(),
+                           head.size() * sizeof(uint64_t),
+                           /*stopAfter=*/kRecordHeaderBytes + sizeof(uint64_t));
+    if (n < static_cast<ptrdiff_t>(kRecordHeaderBytes + sizeof(uint64_t))) return false;
+    headerWord = head[kRecordHeaderBytes / sizeof(uint64_t)];
+  } else {
+    uint64_t head[5];
+    if (!readBytesAt(blk.offset, head, sizeof(head))) return false;
+    headerWord = head[4];
+  }
+  if (!headerLooksValid(headerWord, 0, meta_.bufferWords)) return false;
+  const EventHeader h = EventHeader::decode(headerWord);
+  return h.major == Major::Control &&
+         h.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor);
+}
+
+std::vector<uint64_t> TraceFileReader::parallelSplitPoints(uint32_t targetUnits) {
+  std::vector<uint64_t> points{0};
+  if (salvage_ || version_ < kVersionFooter || targetUnits < 2 ||
+      blocks_.size() < 2 || bufferCount_ == 0) {
+    return points;
+  }
+  uint64_t totalStored = 0;
+  for (const BlockInfo& b : blocks_) totalStored += b.storedBytes;
+  const uint64_t chunk = std::max<uint64_t>(1, totalStored / targetUnits);
+  uint64_t acc = blocks_[0].storedBytes;
+  for (size_t b = 1; b < blocks_.size() && points.size() < targetUnits; ++b) {
+    // Only split where the first record of the block opens with a buffer
+    // anchor: the decoder restarts its timestamp base exactly there, so
+    // the unit's output is independent of everything before it.
+    if (acc >= chunk && blockStartsWithAnchor(b)) {
+      points.push_back(blocks_[b].firstRecord);
+      acc = 0;
+    }
+    acc += blocks_[b].storedBytes;
+  }
+  return points;
 }
 
 bool TraceFileReader::readBufferView(uint64_t k, BufferView& out) {
   if (k >= bufferCount_) return false;
   if (salvage_) {
-    // Offsets were validated during the scan; skip the redundant CRC pass.
-    return readRecordViewAt(index_[k], out, /*verify=*/false);
+    // Records were validated during the scan; skip the redundant CRC pass.
+    const RecordLoc& loc = index_[k];
+    if (loc.block >= 0) {
+      return readBlockRecordView(static_cast<size_t>(loc.block), loc.slot, out);
+    }
+    return readRecordViewAt(loc.offset, out, /*verify=*/false);
+  }
+  if (version_ >= kVersionFooter) {
+    const size_t b = blockForRecord(k);
+    BlockInfo& blk = blocks_[b];
+    if (!blk.verified) {
+      // One CRC pass covers the whole block; per-record verification is
+      // redundant with it, which is what buys the batched decode rate.
+      if (!verifyBlock(b)) return false;
+      blk.verified = true;
+    }
+    if (blk.compressed) return readBlockRecordView(b, k - blk.firstRecord, out);
+    const int64_t offset =
+        blk.offset + static_cast<int64_t>(k - blk.firstRecord) *
+                         static_cast<int64_t>(recordBytes_);
+    return readRecordViewAt(offset, out, /*verify=*/false);
   }
   const int64_t offset = static_cast<int64_t>(headerBytes_ + k * recordBytes_);
   return readRecordViewAt(offset, out, /*verify=*/version_ == kVersionCrc);
@@ -429,9 +1013,11 @@ bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
 }
 
 FileSink::FileSink(std::string directory, std::string baseName,
-                   const TraceFileMeta& commonMeta, util::FileSystem* fs)
+                   const TraceFileMeta& commonMeta, util::FileSystem* fs,
+                   const TraceWriterOptions& writerOptions)
     : directory_(std::move(directory)), baseName_(std::move(baseName)),
-      commonMeta_(commonMeta), fs_(fs), writers_(commonMeta.numProcessors) {}
+      commonMeta_(commonMeta), fs_(fs), writerOptions_(writerOptions),
+      writers_(commonMeta.numProcessors) {}
 
 std::string FileSink::pathFor(uint32_t processor) const {
   return util::strprintf("%s/%s.cpu%u.ktrc", directory_.c_str(), baseName_.c_str(),
@@ -455,7 +1041,7 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
       TraceFileMeta meta = commonMeta_;
       meta.processorId = p;
       try {
-        slot = std::make_unique<TraceFileWriter>(pathFor(p), meta, fs_);
+        slot = std::make_unique<TraceFileWriter>(pathFor(p), meta, fs_, writerOptions_);
       } catch (const std::exception& e) {
         degrade(e.what());
         droppedRecords_.fetch_add(n, std::memory_order_relaxed);
@@ -470,6 +1056,7 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
   // drops. writeBufferBatch reports durable records exactly, so a retried
   // partial write never double-counts bytes or under-counts drops.
   const uint64_t bytesBefore = writer->bytesWritten();
+  const uint64_t rawBefore = writer->rawBytes();
   constexpr int kMaxAttempts = 4;
   size_t done = 0;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
@@ -483,6 +1070,7 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
   recordsWritten_.fetch_add(done, std::memory_order_relaxed);
   bytesWritten_.fetch_add(writer->bytesWritten() - bytesBefore,
                           std::memory_order_relaxed);
+  rawBytes_.fetch_add(writer->rawBytes() - rawBefore, std::memory_order_relaxed);
   if (done < n) {
     degrade(writer->errorMessage());
     droppedRecords_.fetch_add(n - done, std::memory_order_relaxed);
@@ -544,6 +1132,10 @@ uint64_t FileSink::bytesWritten() const {
   return bytesWritten_.load(std::memory_order_relaxed);
 }
 
+uint64_t FileSink::rawBytes() const {
+  return rawBytes_.load(std::memory_order_relaxed);
+}
+
 std::string FileSink::errorMessage() const {
   std::lock_guard lock(errorMutex_);
   return errorMessage_;
@@ -554,6 +1146,7 @@ SinkCounters FileSink::counters() const {
   c.recordsAccepted = recordsWritten();
   c.recordsDropped = droppedRecords() + droppedInvalidProcessor() + droppedMalformed();
   c.bytesWritten = bytesWritten();
+  c.rawBytes = rawBytes();
   return c;
 }
 

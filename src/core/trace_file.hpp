@@ -19,6 +19,20 @@
 //   - carries a CRC-32 over the header (crc field zeroed) and payload.
 // v1 files (no magic, no CRC) are still read; corruption in them is only
 // detectable structurally during decode.
+//
+// Format v3 (DESIGN.md §12) keeps the v2 record stream byte-for-byte but
+// appends a footer index after the last record:
+//   [body]   v2-format records, optionally interleaved with compressed
+//            blocks ("KCMZ" header + LZ stream of whole records)
+//   [footer] one 32-byte entry per block of records: file offset, record
+//            count, stored/raw byte counts, and ONE CRC-32 over the
+//            block's on-disk bytes
+//   [trailer] 64 bytes at EOF: footer offset, block/record totals, CRCs
+// Readers verify one CRC per block instead of one per record, seek
+// without scanning, and can split decode work *within* a file at block
+// boundaries. The footer is rewritten in place on every flush (records
+// written later simply overwrite it), so a crash costs at most the
+// footer — salvage then falls back to the v2 per-record scan.
 #pragma once
 
 #include <atomic>
@@ -46,6 +60,20 @@ struct TraceFileMeta {
   uint64_t startTicks = 0;   // facility clock at the same instant
 };
 
+/// Writer-side format knobs. The default writes v3; v2 exists for
+/// compatibility tests and for producing files older tools can read.
+struct TraceWriterOptions {
+  uint32_t formatVersion = 3;  // 2 or 3
+  /// v3 only: compress each coalesced batch (writeBufferBatch) into one
+  /// LZ block. Single-record writes and batches that do not shrink stay
+  /// uncompressed — the two framings mix freely within a file.
+  bool compress = false;
+  /// v3 only: records per footer entry for uncompressed spans. The
+  /// grouping is by record ordinal — independent of how writes were
+  /// batched — so serial and batched writers emit identical files.
+  uint32_t indexRecordsPerEntry = 16;
+};
+
 /// What a salvage scan found in one trace file. A clean file has only
 /// good records; everything else measures damage the reader worked around.
 struct SalvageReport {
@@ -54,9 +82,13 @@ struct SalvageReport {
   uint64_t tornRecords = 0;     // tail record cut short (crash / disk full)
   uint64_t corruptRecords = 0;  // failed magic/CRC check, skipped over
   uint64_t skippedBytes = 0;    // bytes passed over while resynchronizing
+  bool footerDamaged = false;   // v3: footer/trailer missing or corrupt —
+                                // the scan fell back to the per-record path
+  uint64_t corruptBlocks = 0;   // v3: compressed blocks dropped whole (CRC)
 
   bool clean() const noexcept {
-    return tornRecords == 0 && corruptRecords == 0 && skippedBytes == 0;
+    return tornRecords == 0 && corruptRecords == 0 && skippedBytes == 0 &&
+           !footerDamaged && corruptBlocks == 0;
   }
 };
 
@@ -78,10 +110,11 @@ struct TraceReaderOptions {
 };
 
 /// One buffer record served zero-copy: `words` aliases the reader's mmap
-/// view (or its internal scratch buffer on the stdio fallback and for
-/// salvage records at unaligned resync offsets). The span stays valid
-/// until the next readBuffer/readBufferView call on the same reader, or
-/// the reader's destruction — copy it to keep it longer.
+/// view (or its internal scratch buffer on the stdio fallback, for
+/// salvage records at unaligned resync offsets, and for decompressed
+/// blocks). The span stays valid until the next readBuffer/readBufferView
+/// call on the same reader, or the reader's destruction — copy it to keep
+/// it longer.
 struct BufferView {
   uint64_t seq = 0;
   uint64_t committedDelta = 0;
@@ -93,7 +126,8 @@ struct BufferView {
 class TraceFileWriter {
  public:
   TraceFileWriter(const std::string& path, const TraceFileMeta& meta,
-                  util::FileSystem* fs = nullptr);
+                  util::FileSystem* fs = nullptr,
+                  const TraceWriterOptions& options = {});
   ~TraceFileWriter();
 
   TraceFileWriter(const TraceFileWriter&) = delete;
@@ -108,20 +142,28 @@ class TraceFileWriter {
 
   /// Coalesced append: serializes `count` records into one staging buffer
   /// and issues a single write() (the writev-style bulk path behind
-  /// BatchingSink). Returns how many records are durably in the file; on a
-  /// short/failed bulk write it rewinds to the batch start and replays
-  /// record-by-record so the return value — and bytesWritten() — count
+  /// BatchingSink); with compression on, the batch becomes one LZ block.
+  /// Returns how many records are durably in the file; on a short/failed
+  /// bulk write it rewinds to the batch start and replays record-by-record
+  /// (uncompressed) so the return value — and bytesWritten() — count
   /// exactly the records that landed, never the attempted batch size.
   /// Records must all match meta.bufferWords (std::invalid_argument).
   size_t writeBufferBatch(const BufferRecord* const* records, size_t count);
 
   uint64_t buffersWritten() const noexcept { return buffersWritten_; }
-  /// Bytes durably written (file header included). A failed or replayed
-  /// write contributes only what actually landed at a record boundary.
+  /// Bytes durably written (file header included, v3 footer excluded — the
+  /// footer is transient: every flush rewrites it and every record write
+  /// reclaims its space). A failed or replayed write contributes only what
+  /// actually landed at a record boundary.
   uint64_t bytesWritten() const noexcept { return bytesWritten_; }
+  /// What bytesWritten() would be with compression off: header plus the
+  /// raw serialized size of every durable record. rawBytes() -
+  /// bytesWritten() is the I/O volume compression saved.
+  uint64_t rawBytes() const noexcept { return rawBytes_; }
 
-  /// Flushes buffered bytes (writing the file header first if no record
-  /// has been written yet). Returns false on failure; see errorMessage().
+  /// Flushes buffered bytes, writing the file header first if no record
+  /// has been written yet and (v3) rewriting the footer index + trailer
+  /// after the last record. Returns false on failure; see errorMessage().
   bool flush();
 
   /// errno of the last failed write/flush (0 if none).
@@ -129,18 +171,46 @@ class TraceFileWriter {
   const std::string& errorMessage() const noexcept { return errorMessage_; }
 
  private:
+  /// In-memory image of one footer index entry (see DiskFooterEntry).
+  struct FooterEntry {
+    int64_t offset = 0;
+    uint32_t records = 0;
+    uint32_t flags = 0;  // bit 0: compressed block
+    uint32_t storedBytes = 0;
+    uint32_t rawBytes = 0;
+    uint32_t crc = 0;
+  };
+
   bool ensureHeader();
+  bool seekToBody();
   void recordError(const char* what);
+  /// Folds one durable record's on-disk bytes into the open footer group,
+  /// sealing the group entry every indexRecordsPerEntry records.
+  void noteRecordWritten(const void* diskBytes, size_t diskLen);
+  void sealGroup();
+  bool writeFooter();
 
   std::unique_ptr<util::File> file_;
   std::string path_;
   TraceFileMeta meta_;
+  TraceWriterOptions options_;
   uint64_t buffersWritten_ = 0;
   uint64_t bytesWritten_ = 0;
+  uint64_t rawBytes_ = 0;
+  int64_t bodyEnd_ = 0;  // file offset just past the last durable record
   bool headerWritten_ = false;
+  bool needSeekToBody_ = false;  // a footer write moved the file position
   int errno_ = 0;
   std::string errorMessage_;
-  std::vector<unsigned char> staging_;  // batch serialization scratch
+  std::vector<unsigned char> staging_;   // batch serialization scratch
+  std::vector<unsigned char> compress_;  // LZ output scratch
+  // v3 footer state: sealed entries plus the open (partial) record group.
+  std::vector<FooterEntry> entries_;
+  int64_t groupStart_ = 0;
+  uint32_t groupCount_ = 0;
+  uint32_t groupBytes_ = 0;
+  uint32_t groupCrc_ = 0;
+  uint32_t groupLimit_ = 16;  // indexRecordsPerEntry, clamped to u32 spans
 };
 
 class TraceFileReader {
@@ -161,25 +231,68 @@ class TraceFileReader {
   const SalvageReport& salvageReport() const noexcept { return report_; }
 
   /// Random access: read the k-th buffer record without scanning. Returns
-  /// false past the end or on a short/corrupt record (v2: magic/CRC
-  /// verified). In salvage mode k indexes the validated records, so
+  /// false past the end or on a short/corrupt record (v2: per-record
+  /// magic/CRC verified; v3: the containing block's CRC verified once, on
+  /// first touch). In salvage mode k indexes the validated records, so
   /// corrupt and torn records are already excluded. Copies the payload;
   /// use readBufferView on the hot decode path.
   bool readBuffer(uint64_t k, BufferRecord& out);
 
   /// Zero-copy variant of readBuffer: out.words points into the mmap (or
-  /// scratch on the fallback path) — see BufferView for lifetime rules.
+  /// scratch on the fallback/decompression paths) — see BufferView for
+  /// lifetime rules.
   bool readBufferView(uint64_t k, BufferView& out);
 
   /// True when records are served from a memory mapping rather than
   /// buffered stdio reads.
   bool mapped() const noexcept { return map_ != nullptr; }
 
+  /// Record ordinals where an independent decode unit may start: each
+  /// sits on a v3 block boundary whose first record opens with a buffer
+  /// anchor (so the timestamp chain restarts exactly). Always includes 0;
+  /// returns just {0} when the file cannot be split (v1/v2, salvage mode,
+  /// or no anchor-aligned boundary found). `targetUnits` bounds how many
+  /// ranges the caller wants.
+  std::vector<uint64_t> parallelSplitPoints(uint32_t targetUnits);
+
  private:
+  struct BlockInfo {
+    int64_t offset = 0;        // on-disk offset of the block's first byte
+    uint64_t firstRecord = 0;  // ordinal of its first record
+    uint32_t records = 0;
+    uint32_t storedBytes = 0;  // on-disk span (KCMZ header included)
+    uint32_t rawBytes = 0;     // decompressed record bytes
+    uint32_t crc = 0;          // CRC-32 over the on-disk span
+    bool compressed = false;
+    bool verified = false;     // strict mode: CRC checked on first touch
+  };
+  /// Where a salvage-validated record lives: at a raw file offset
+  /// (block < 0) or inside a compressed block (block, slot).
+  struct RecordLoc {
+    int64_t offset = 0;
+    int32_t block = -1;
+    uint32_t slot = 0;
+  };
+
   bool readBytesAt(int64_t offset, void* dst, size_t bytes);
+  bool crcRange(int64_t offset, size_t bytes, uint32_t& out);
   bool fillPayload(int64_t offset, BufferView& out);
   bool readRecordViewAt(int64_t offset, BufferView& out, bool verify);
+  bool parseFooter(int64_t fileSize);
+  bool verifyBlock(size_t b);
+  bool loadCompressedBlock(size_t b);
+  bool readBlockRecordView(size_t b, uint64_t slot, BufferView& out);
+  size_t blockForRecord(uint64_t k);
+  bool blockStartsWithAnchor(size_t b);
+  bool validateCompressedBlockAt(int64_t offset, int64_t fileSize,
+                                 uint32_t& recordCount, uint32_t& storedBytes);
   void scanSalvage(int64_t fileSize);
+  /// v2-style per-record scan over [begin, end); `tornTail` counts a short
+  /// remainder as a torn record (whole-file scans) instead of skipped
+  /// bytes (rescans of a damaged footer span). `allowBlocks` lets the
+  /// resync hunt accept compressed blocks too.
+  void scanSalvageRange(int64_t begin, int64_t end, bool tornTail, bool allowBlocks);
+  int64_t findResync(int64_t damagedAt, int64_t end, bool allowBlocks);
 
   std::unique_ptr<util::MappedFile> map_;  // null: use file_
   std::unique_ptr<util::File> file_;
@@ -189,8 +302,13 @@ class TraceFileReader {
   uint64_t headerBytes_ = 0;
   uint32_t version_ = 0;
   bool salvage_ = false;
-  std::vector<int64_t> index_;  // salvage mode: offsets of validated records
-  std::vector<uint64_t> scratch_;  // payload copy when a view can't alias the map
+  std::vector<BlockInfo> blocks_;   // v3: footer index (strict + salvage)
+  std::vector<RecordLoc> index_;    // salvage mode: validated records
+  std::vector<uint64_t> scratch_;   // payload copy when a view can't alias the map
+  std::vector<unsigned char> blockScratch_;  // stdio read of a block's stored bytes
+  std::vector<uint64_t> blockWords_;         // decompressed block cache
+  int64_t cachedBlock_ = -1;                 // index into blocks_ for blockWords_
+  size_t blockHint_ = 0;                     // last block touched (sequential reads)
   SalvageReport report_;
 };
 
@@ -207,11 +325,12 @@ class TraceFileReader {
 /// touched by the shard owning that processor, and the cross-writer
 /// accounting is atomic. onBufferBatch groups a batch by processor and
 /// hands each run to TraceFileWriter::writeBufferBatch as one coalesced
-/// write.
+/// write (one compressed block per run when writerOptions.compress).
 class FileSink final : public Sink {
  public:
   FileSink(std::string directory, std::string baseName, const TraceFileMeta& commonMeta,
-           util::FileSystem* fs = nullptr);
+           util::FileSystem* fs = nullptr,
+           const TraceWriterOptions& writerOptions = {});
 
   void onBuffer(BufferRecord&& record) override;
   void onBufferBatch(std::vector<BufferRecord>&& records) override;
@@ -243,6 +362,9 @@ class FileSink final : public Sink {
   uint64_t recordsWritten() const;
   /// Durable bytes (headers included), summed over all processor writers.
   uint64_t bytesWritten() const;
+  /// Pre-compression byte volume of the same records (== bytesWritten()
+  /// when compression is off).
+  uint64_t rawBytes() const;
   std::string errorMessage() const;
 
   SinkCounters counters() const override;
@@ -257,6 +379,7 @@ class FileSink final : public Sink {
   std::string baseName_;
   TraceFileMeta commonMeta_;
   util::FileSystem* fs_;
+  TraceWriterOptions writerOptions_;
   /// Slot assignment (lazy writer creation) and flush() hold writersMutex_;
   /// writes into an existing writer do not — the disjoint-processor
   /// contract already makes each writer single-threaded.
@@ -270,6 +393,7 @@ class FileSink final : public Sink {
   // run, so counters() reads atomics instead of racing writer internals.
   std::atomic<uint64_t> recordsWritten_{0};
   std::atomic<uint64_t> bytesWritten_{0};
+  std::atomic<uint64_t> rawBytes_{0};
   mutable std::mutex errorMutex_;  // errorMessage_ only
   std::string errorMessage_;
 };

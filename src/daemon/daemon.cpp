@@ -215,6 +215,7 @@ void TraceDaemon::admitLocked(const std::string& path) {
   cfg.segmentPath = path;
   cfg.outputDir = config_.outputDir;
   cfg.generation = generation_;
+  cfg.compressOutput = config_.compressOutput;
   cfg.batching = config_.batching;
   cfg.watchdog = config_.watchdog;
   cfg.attachRetries = config_.attachRetries;

@@ -52,6 +52,9 @@ struct DaemonConfig {
   /// writer stall (exactly-once), while a hog is isolated by the quota
   /// check, which sheds BEFORE the queue and therefore never blocks.
   BatchingConfig batching{.blockWhenFull = true};
+  /// Write tenants' trace files with v3 block compression (one LZ block
+  /// per flushed batch); decode stays parallel via the footer index.
+  bool compressOutput = false;
   uint32_t attachRetries = 5;
   std::chrono::milliseconds attachBackoffStart{10};
   std::chrono::milliseconds attachBackoffMax{1000};

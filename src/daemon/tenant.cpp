@@ -40,9 +40,12 @@ bool Tenant::tryAttach() {
     // Build the pipeline bottom-up; the watchdog drains into the batcher,
     // the batcher's writer thread feeds the files.
     TraceFileMeta meta = session->fileMeta(0);
+    TraceWriterOptions writerOptions;
+    writerOptions.compress = config_.compressOutput;
     auto fileSink = std::make_unique<FileSink>(
         config_.outputDir,
-        config_.name + ".g" + std::to_string(config_.generation), meta);
+        config_.name + ".g" + std::to_string(config_.generation), meta,
+        nullptr, writerOptions);
     auto batching =
         std::make_unique<BatchingSink>(*fileSink, config_.batching);
     auto watchdog = std::make_unique<SessionWatchdog>(*session, *batching,

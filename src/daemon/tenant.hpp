@@ -52,6 +52,10 @@ struct TenantConfig {
   /// so a restarted daemon never appends to (or clobbers) files whose
   /// tail state it does not know.
   uint64_t generation = 1;
+  /// Write v3 compressed blocks: batches the BatchingSink hands the
+  /// FileSink land as one LZ block each (ratio shows up in the sink's
+  /// rawBytes vs bytesWritten counters).
+  bool compressOutput = false;
   BatchingConfig batching{};
   SessionWatchdog::Config watchdog{};
   /// Admission retry budget: attach attempts before quarantine, first

@@ -1,34 +1,158 @@
 #include "util/crc32.hpp"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define KTRACE_CRC32_PCLMUL 1
+#endif
 
 namespace ktrace::util {
 
 namespace {
 
-constexpr std::array<uint32_t, 256> makeCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 tables: table[0] is the classic byte-at-a-time table, and
+// table[k][b] is the CRC of byte b followed by k zero bytes, so eight
+// bytes fold in parallel with no serial dependency between table lookups.
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+struct CrcTables {
+  uint32_t t[8][256];
+};
+
+constexpr CrcTables makeCrcTables() {
+  CrcTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int bit = 0; bit < 8; ++bit) {
-      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables.t[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables.t[0][c & 0xFFu] ^ (c >> 8);
+      tables.t[k][i] = c;
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<uint32_t, 256> kCrcTable = makeCrcTable();
+constexpr CrcTables kTables = makeCrcTables();
+
+/// Core loop over the running (pre-inverted) CRC register.
+uint32_t crcBytes(uint32_t crc, const unsigned char* p, size_t len) noexcept {
+  // Align to 8 so the sliced loads below are aligned.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: the CRC folds into the low 4 bytes
+    crc = kTables.t[7][word & 0xFFu] ^ kTables.t[6][(word >> 8) & 0xFFu] ^
+          kTables.t[5][(word >> 16) & 0xFFu] ^ kTables.t[4][(word >> 24) & 0xFFu] ^
+          kTables.t[3][(word >> 32) & 0xFFu] ^ kTables.t[2][(word >> 40) & 0xFFu] ^
+          kTables.t[1][(word >> 48) & 0xFFu] ^ kTables.t[0][(word >> 56) & 0xFFu];
+    p += 8;
+    len -= 8;
+  }
+  while (len--) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#ifdef KTRACE_CRC32_PCLMUL
+
+// Carry-less-multiply folding (the Intel "Fast CRC Computation Using
+// PCLMULQDQ" construction, reflected form as in the Linux kernel's
+// crc32-pclmul): fold 64 bytes per iteration through four 128-bit
+// registers, reduce to 32 bits with Barrett reduction, finish the
+// sub-16-byte tail with the table loop.
+__attribute__((target("pclmul,sse4.1")))
+uint32_t crcPclmul(uint32_t crc, const unsigned char* p, size_t len) noexcept {
+  const __m128i k1k2 = _mm_set_epi64x(0x00000001c6e41596, 0x0000000154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00000000ccaa009e, 0x00000001751997d0);
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 0));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  p += 64;
+  len -= 64;
+  while (len >= 64) {
+    __m128i t1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    __m128i t2 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(t1, t2),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    t1 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    t2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x2 = _mm_xor_si128(_mm_xor_si128(t1, t2),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 16)));
+    t1 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    t2 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x3 = _mm_xor_si128(_mm_xor_si128(t1, t2),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 32)));
+    t1 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    t2 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x4 = _mm_xor_si128(_mm_xor_si128(t1, t2),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + 48)));
+    p += 64;
+    len -= 64;
+  }
+  __m128i t1 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  __m128i t2 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(t1, t2), x2);
+  t1 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  t2 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(t1, t2), x3);
+  t1 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  t2 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(t1, t2), x4);
+  while (len >= 16) {
+    t1 = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+    t2 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(t1, t2),
+                       _mm_loadu_si128(reinterpret_cast<const __m128i*>(p)));
+    p += 16;
+    len -= 16;
+  }
+  // 128 -> 64 fold, then Barrett reduction 64 -> 32.
+  const __m128i k5 = _mm_set_epi64x(0, 0x0000000163cd6124);
+  const __m128i low32 = _mm_set_epi32(0, 0, 0, -1);
+  x1 = _mm_xor_si128(_mm_clmulepi64_si128(x1, k3k4, 0x10), _mm_srli_si128(x1, 8));
+  __m128i t = _mm_clmulepi64_si128(_mm_and_si128(x1, low32), k5, 0x00);
+  x1 = _mm_xor_si128(_mm_srli_si128(x1, 4), t);
+  const __m128i ru = _mm_set_epi64x(0x00000001F7011641, 0x00000001DB710641);
+  t = _mm_clmulepi64_si128(_mm_and_si128(x1, low32), ru, 0x10);
+  t = _mm_and_si128(t, low32);
+  t = _mm_clmulepi64_si128(t, ru, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  crc = static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+  return crcBytes(crc, p, len);
+}
+
+bool cpuHasPclmul() noexcept {
+  return __builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1");
+}
+
+const bool kUsePclmul = cpuHasPclmul();
+
+#endif  // KTRACE_CRC32_PCLMUL
 
 }  // namespace
 
 uint32_t crc32(const void* data, size_t len, uint32_t seed) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < len; ++i) {
-    crc = kCrcTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
+  const uint32_t crc = ~seed;
+#ifdef KTRACE_CRC32_PCLMUL
+  if (len >= 64 && kUsePclmul) return ~crcPclmul(crc, p, len);
+#endif
+  return ~crcBytes(crc, p, len);
 }
 
 }  // namespace ktrace::util

@@ -42,13 +42,17 @@ class TraceFileSalvageTest : public ::testing::Test {
     return r;
   }
 
-  /// Writes a v2 file with `count` records of `words` words each.
+  /// Writes a v2 file with `count` records of `words` words each. Explicitly
+  /// v2: these tests do exact offset math over the bare record stream, which
+  /// a v3 footer would sit on top of.
   void writeFile(const std::string& p, uint32_t words, uint64_t count,
                  uint32_t processor = 0) {
     TraceFileMeta meta;
     meta.processorId = processor;
     meta.bufferWords = words;
-    TraceFileWriter writer(p, meta);
+    TraceWriterOptions options;
+    options.formatVersion = 2;
+    TraceFileWriter writer(p, meta, nullptr, options);
     for (uint64_t s = 0; s < count; ++s) {
       ASSERT_TRUE(writer.writeBuffer(makeRecord(processor, s, words)));
     }

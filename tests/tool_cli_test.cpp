@@ -226,7 +226,7 @@ TEST_F(ToolCliTest, FsckReportsCleanTrace) {
   std::string out;
   ASSERT_EQ(runTool("fsck " + cpu0_ + " " + cpu1_, out), 0);
   EXPECT_NE(out.find("good record"), std::string::npos);
-  EXPECT_NE(out.find("format v2"), std::string::npos);
+  EXPECT_NE(out.find("format v3"), std::string::npos);
   EXPECT_EQ(out.find("CORRUPT"), std::string::npos);
 }
 

@@ -48,6 +48,7 @@ int usage() {
                "  --quota-burst=N  quota burst bytes (0 = one second's worth)\n"
                "  --batch=N        records per downstream flush (default 8)\n"
                "  --queue=N        per-tenant queue capacity (default 64)\n"
+               "  --compress       write v3 block-compressed trace files\n"
                "  --check          validate segments read-only and exit\n"
                "\n"
                "exit codes:\n");
@@ -132,6 +133,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(cli.getInt("batch", 8));
   config.batching.maxQueuedRecords =
       static_cast<size_t>(cli.getInt("queue", 64));
+  config.compressOutput = cli.getBool("compress", false);
 
   try {
     // The pipe must exist before any tenant work so a SIGTERM during

@@ -253,9 +253,12 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                 static_cast<unsigned long long>(consumer.consumerLost),
                 static_cast<unsigned long long>(consumer.consumerMismatches));
     std::printf("  \"sink\": {\"records_dropped\": %llu, "
-                "\"backpressure_waits\": %llu},\n",
+                "\"backpressure_waits\": %llu, \"bytes_written\": %llu, "
+                "\"raw_bytes\": %llu},\n",
                 static_cast<unsigned long long>(consumer.sinkDropped),
-                static_cast<unsigned long long>(consumer.sinkBackpressure));
+                static_cast<unsigned long long>(consumer.sinkBackpressure),
+                static_cast<unsigned long long>(consumer.sinkBytesWritten),
+                static_cast<unsigned long long>(consumer.sinkRawBytes));
     std::printf("  \"recovery\": {\"reclaimed_words\": %llu, "
                 "\"torn_buffers\": %llu},\n",
                 static_cast<unsigned long long>(consumer.reclaimedWords),
@@ -300,6 +303,16 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                   static_cast<unsigned long long>(consumer.sinkBackpressure),
                   static_cast<unsigned long long>(consumer.staleCommits));
     }
+    if (consumer.sinkRawBytes > consumer.sinkBytesWritten &&
+        consumer.sinkBytesWritten != 0) {
+      // rawBytes > bytesWritten only when the sink compresses.
+      std::printf("sink: %llu byte(s) written for %llu raw "
+                  "(compression ratio %.2fx)\n",
+                  static_cast<unsigned long long>(consumer.sinkBytesWritten),
+                  static_cast<unsigned long long>(consumer.sinkRawBytes),
+                  static_cast<double>(consumer.sinkRawBytes) /
+                      static_cast<double>(consumer.sinkBytesWritten));
+    }
     if (consumer.tornBuffers != 0 || consumer.reclaimedWords != 0) {
       std::printf("recovery: %llu torn buffer(s) reclaimed, %llu filler "
                   "word(s) stamped\n",
@@ -322,13 +335,23 @@ int runFsck(const std::vector<std::string>& files) {
       TraceFileReader reader(file, options);
       const SalvageReport& r = reader.salvageReport();
       std::printf("%s: format v%u, cpu %u, %llu good record(s), %llu torn, "
-                  "%llu corrupt, %llu byte(s) skipped%s\n",
+                  "%llu corrupt, %llu byte(s) skipped%s%s%s\n",
                   file.c_str(), r.formatVersion, reader.meta().processorId,
                   static_cast<unsigned long long>(r.goodRecords),
                   static_cast<unsigned long long>(r.tornRecords),
                   static_cast<unsigned long long>(r.corruptRecords),
                   static_cast<unsigned long long>(r.skippedBytes),
+                  r.footerDamaged ? "  [FOOTER DAMAGED: fell back to scan]"
+                                  : "",
+                  r.corruptBlocks != 0 ? "  [COMPRESSED BLOCK(S) DROPPED]"
+                                       : "",
                   r.clean() ? "" : "  [CORRUPT]");
+      if (r.corruptBlocks != 0) {
+        std::printf("%s: %llu compressed block(s) failed their CRC and were "
+                    "dropped whole\n",
+                    file.c_str(),
+                    static_cast<unsigned long long>(r.corruptBlocks));
+      }
       if (!r.clean()) rc = util::kExitDamage;
     } catch (const std::exception& e) {
       std::printf("%s: unreadable: %s\n", file.c_str(), e.what());
@@ -360,7 +383,7 @@ int runFsck(const std::vector<std::string>& files) {
   return rc;
 }
 
-/// Salvages a dead shared-memory session segment into valid v2 trace
+/// Salvages a dead shared-memory session segment into valid trace
 /// files. The segment is mapped copy-on-write (the on-disk evidence is
 /// never mutated); torn reservations are stamped with filler so every
 /// event committed before the crash decodes cleanly.
@@ -507,11 +530,14 @@ int run(const util::Cli& cli) {
     const DecodeStats& s = trace.stats();
     std::fprintf(stderr,
                  "salvage: %llu torn, %llu corrupt record(s), %llu byte(s) skipped, "
-                 "%llu unreadable file(s)\n",
+                 "%llu unreadable file(s), %llu damaged footer(s), "
+                 "%llu corrupt block(s)\n",
                  static_cast<unsigned long long>(s.tornRecords),
                  static_cast<unsigned long long>(s.corruptRecords),
                  static_cast<unsigned long long>(s.skippedBytes),
-                 static_cast<unsigned long long>(s.unreadableFiles));
+                 static_cast<unsigned long long>(s.unreadableFiles),
+                 static_cast<unsigned long long>(s.damagedFooters),
+                 static_cast<unsigned long long>(s.corruptBlocks));
   }
   if (command != "monitor") {
     // Heartbeat-verified completeness warning for every analysis command:
