@@ -1,0 +1,225 @@
+// BENCH_streaming — streaming analysis throughput (DESIGN.md §13).
+//
+// The live tap sits on the daemon's drain path, so its cost per event is
+// the budget that decides how much traffic a tenant can push before the
+// analyzer, not the sink, becomes the bottleneck. This bench measures:
+//
+//   cursor      StreamCursor poll+merge+drain over closed v3 files —
+//               decode included, the replay/tail ingest rate;
+//   engine 0/1/8  the full StreamEngine (both planes + the four shipped
+//               folds) over an in-memory merged stream, with 0, 1 and 8
+//               derived monitors and a snapshot every 64 Ki events — the
+//               live-pipeline rate as a function of monitor count.
+//
+// Monitor evaluation is lazy (snapshot-time), so the 0->8 delta isolates
+// exactly what a user's config costs. Emits BENCH_streaming.json.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/streaming/engine.hpp"
+#include "analysis/streaming/folds.hpp"
+#include "analysis/streaming/monitors.hpp"
+#include "analysis/streaming/stream_cursor.hpp"
+#include "analysis/symbols.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "util/table.hpp"
+#include "workload/sdet.hpp"
+
+using namespace ktrace;
+namespace streaming = analysis::streaming;
+
+namespace {
+
+double nowNs() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Eight monitors spanning every variable class (heartbeat per-processor
+// sums, session-global words, window aggregates).
+const char* kEightMonitors =
+    "loss_ratio = lost / (logged + lost)\n"
+    "bytes_per_event = bytes_written / events\n"
+    "compression_ratio = raw_bytes / bytes_written\n"
+    "drop_ratio = dropped / (logged + dropped)\n"
+    "retry_rate = retries / window_seconds\n"
+    "event_rate = window_events / window_seconds\n"
+    "filler_share = filler_words / words_reserved\n"
+    "backpressure_per_cpu = backpressure / processors\n";
+
+struct EngineRun {
+  size_t monitors = 0;
+  double eventsPerSec = 0;
+};
+
+EngineRun runEngine(std::vector<DecodedEvent>& events, uint64_t span,
+                    uint32_t numProcessors, size_t replicas,
+                    std::vector<streaming::DerivedMonitor> monitors) {
+  EngineRun run;
+  run.monitors = monitors.size();
+  streaming::StreamEngineConfig cfg;
+  cfg.ticksPerSecond = 1e9;
+  cfg.windowTicks = streaming::windowTicksForMs(0.05, 1e9);
+  streaming::StreamEngine engine(cfg, std::move(monitors));
+  engine.addFold(std::make_unique<streaming::LockContentionFold>());
+  engine.addFold(std::make_unique<streaming::EventRateFold>(numProcessors));
+  engine.addFold(std::make_unique<streaming::ProfileFold>());
+  engine.addFold(std::make_unique<streaming::CompletenessFold>());
+
+  constexpr uint64_t kSnapshotEvery = 64 * 1024;
+  uint64_t sinceSnapshot = 0;
+  size_t snapshotBytes = 0;
+  const double start = nowNs();
+  for (size_t r = 0; r < replicas; ++r) {
+    for (DecodedEvent& e : events) {
+      // Each pass shifts the replica forward by the stream's span, so the
+      // engine sees one long monotonically advancing session.
+      e.fullTimestamp += span;
+      engine.observe(e);
+      engine.onOrdered(e);
+      if (++sinceSnapshot == kSnapshotEvery) {
+        sinceSnapshot = 0;
+        snapshotBytes += engine.snapshotJson("bench").size();
+      }
+    }
+  }
+  engine.finish();
+  snapshotBytes += engine.snapshotJson("bench").size();
+  const double elapsed = nowNs() - start;
+  const double total = static_cast<double>(events.size() * replicas);
+  run.eventsPerSec = total * 1e9 / elapsed;
+  std::printf(
+      "engine, %zu monitor(s): %.2f M events/s (%llu windows, %zu KiB of "
+      "snapshots)\n",
+      run.monitors, run.eventsPerSec / 1e6,
+      static_cast<unsigned long long>(engine.windowsCompleted()),
+      snapshotBytes / 1024);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") quick = true;
+  }
+
+  // One SDET run gives the realistic event mix (locks, syscalls, pc
+  // samples, heartbeats); replicas stretch it to benchmark length.
+  const std::string dir =
+      util::strprintf("/tmp/ktrace_bench_streaming_%d", getpid());
+  std::filesystem::create_directories(dir);
+  FacilityConfig fcfg;
+  fcfg.numProcessors = 2;
+  fcfg.bufferWords = 1u << 12;
+  fcfg.buffersPerProcessor = 256;
+  fcfg.mode = Mode::Stream;
+  Facility facility(fcfg);
+  facility.mask().enableAll();
+  TraceFileMeta meta;
+  meta.numProcessors = 2;
+  meta.bufferWords = fcfg.bufferWords;
+  meta.clockKind = ClockKind::Virtual;
+  meta.ticksPerSecond = 1e9;
+  FileSink files(dir, "bench", meta);
+  Consumer consumer(facility, files, {});
+  ossim::MachineConfig mcfg;
+  mcfg.numProcessors = 2;
+  mcfg.monitorHeartbeatIntervalNs = 10'000;
+  ossim::Machine machine(mcfg, &facility);
+  analysis::SymbolTable symbols;
+  workload::SdetConfig scfg;
+  scfg.numScripts = 16;
+  scfg.commandsPerScript = 6;
+  workload::SdetWorkload sdet(scfg, machine, symbols);
+  sdet.spawnAll();
+  machine.run();
+  facility.flushAll();
+  consumer.drainNow();
+  files.flush();
+  const std::vector<std::string> paths = {files.pathFor(0), files.pathFor(1)};
+
+  // Baseline: full replay ingest (open + decode + ordered merge).
+  double cursorEventsPerSec = 0;
+  uint64_t baseEvents = 0;
+  {
+    const double start = nowNs();
+    streaming::StreamCursor cursor(paths);
+    cursor.finish();
+    while (cursor.next() != nullptr) ++baseEvents;
+    const double elapsed = nowNs() - start;
+    cursorEventsPerSec = static_cast<double>(baseEvents) * 1e9 / elapsed;
+    std::printf("cursor: %.2f M events/s (%llu events decoded + merged)\n",
+                cursorEventsPerSec / 1e6,
+                static_cast<unsigned long long>(baseEvents));
+  }
+
+  // Materialize the merged stream once; engine passes replay it.
+  std::vector<DecodedEvent> events;
+  events.reserve(baseEvents);
+  uint64_t span = 0;
+  {
+    streaming::StreamCursor cursor(paths);
+    cursor.finish();
+    while (const DecodedEvent* e = cursor.next()) {
+      span = std::max(span, e->fullTimestamp + 1);
+      events.push_back(*e);
+    }
+  }
+  const uint64_t target = quick ? 200'000 : 2'000'000;
+  const size_t replicas =
+      events.empty() ? 0
+                     : static_cast<size_t>((target + events.size() - 1) /
+                                           events.size());
+  std::printf("stream: %zu events x %zu replicas (window %.2f us)\n\n",
+              events.size(), replicas,
+              static_cast<double>(streaming::windowTicksForMs(0.05, 1e9)) /
+                  1e3);
+
+  std::vector<EngineRun> runs;
+  runs.push_back(runEngine(events, span, 2, replicas, {}));
+  runs.push_back(runEngine(events, span, 2, replicas,
+                           streaming::parseMonitorConfig("loss_ratio = lost / "
+                                                         "(logged + lost)\n")));
+  runs.push_back(runEngine(events, span, 2, replicas,
+                           streaming::parseMonitorConfig(kEightMonitors)));
+
+  util::TextTable table;
+  table.addColumn("configuration");
+  table.addColumn("M events/s", util::Align::Right);
+  table.addRow({"cursor (decode+merge)",
+                util::strprintf("%.2f", cursorEventsPerSec / 1e6)});
+  for (const EngineRun& run : runs) {
+    table.addRow({util::strprintf("engine + folds, %zu monitors", run.monitors),
+                  util::strprintf("%.2f", run.eventsPerSec / 1e6)});
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  std::ofstream json("BENCH_streaming.json");
+  json << util::strprintf(
+      "{\n"
+      "  \"base_events\": %llu,\n"
+      "  \"replicas\": %zu,\n"
+      "  \"window_ms\": 0.05,\n"
+      "  \"snapshot_every_events\": 65536,\n"
+      "  \"cursor_events_per_sec\": %.0f,\n"
+      "  \"engine_events_per_sec_monitors_0\": %.0f,\n"
+      "  \"engine_events_per_sec_monitors_1\": %.0f,\n"
+      "  \"engine_events_per_sec_monitors_8\": %.0f\n"
+      "}\n",
+      static_cast<unsigned long long>(baseEvents), replicas,
+      cursorEventsPerSec, runs[0].eventsPerSec, runs[1].eventsPerSec,
+      runs[2].eventsPerSec);
+  std::printf("wrote BENCH_streaming.json\n");
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -9,6 +9,8 @@
 #      SIGTERM mid-drain + restart, exactly-once verified end to end
 #   7. decode-bench smoke: bench/run_decode_bench.sh --quick (small
 #      workload, throughput floor, bit-identical configs)
+#   8. streaming smoke: live ktraced dashboard vs offline replay — every
+#      completed live window line reproduced byte-identically
 # Usage: ci/run_all.sh [build-dir-prefix]
 # Build trees land at <prefix>, <prefix>-asan, <prefix>-tsan
 # (default: build, build-asan, build-tsan at the repo root).
@@ -17,30 +19,33 @@ set -eu
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 prefix="${1:-$repo/build}"
 
-echo "==> [1/7] tier-1: plain build + ctest"
+echo "==> [1/8] tier-1: plain build + ctest"
 cmake -B "$prefix" -S "$repo"
 cmake --build "$prefix" -j "$(nproc)"
 (cd "$prefix" && ctest --output-on-failure)
 
-echo "==> [2/7] ASan+UBSan build + ctest"
+echo "==> [2/8] ASan+UBSan build + ctest"
 cmake -B "$prefix-asan" -S "$repo" -DKTRACE_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$prefix-asan" -j "$(nproc)"
 (cd "$prefix-asan" && ctest --output-on-failure)
 
-echo "==> [3/7] TSan: concurrent-labelled tests"
+echo "==> [3/8] TSan: concurrent-labelled tests"
 "$repo/ci/run_tsan.sh" "$prefix-tsan"
 
-echo "==> [4/7] monitor smoke"
+echo "==> [4/8] monitor smoke"
 "$repo/ci/run_monitor_smoke.sh" "$prefix"
 
-echo "==> [5/7] crash-recovery smoke (20 seeds)"
+echo "==> [5/8] crash-recovery smoke (20 seeds)"
 "$repo/ci/run_crash_smoke.sh" "$prefix" 20
 
-echo "==> [6/7] daemon smoke (ktraced fleet, kills + restart)"
+echo "==> [6/8] daemon smoke (ktraced fleet, kills + restart)"
 "$repo/ci/run_daemon_smoke.sh" "$prefix"
 
-echo "==> [7/7] decode-bench smoke (--quick, throughput floor)"
+echo "==> [7/8] decode-bench smoke (--quick, throughput floor)"
 "$repo/bench/run_decode_bench.sh" "$prefix" --quick
 
-echo "run_all: all seven stages passed"
+echo "==> [8/8] streaming smoke (live vs offline window parity)"
+"$repo/ci/run_streaming_smoke.sh" "$prefix"
+
+echo "run_all: all eight stages passed"

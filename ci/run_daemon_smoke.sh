@@ -90,7 +90,7 @@ for entry in $pids; do
 done
 
 # The control plane answers while the daemon digests the kills.
-"$tool" tenants --socket=ctl.sock | grep -q '"name":"fleet"' \
+"$tool" tenants --socket=ctl.sock --json | grep -q '"name":"fleet"' \
   || { echo 'daemon_smoke: control plane did not list the tenant' >&2; exit 1; }
 
 # A corrupt segment dropped mid-run must quarantine, not kill the daemon.

@@ -2,29 +2,13 @@
 
 #include <sstream>
 
+#include "analysis/streaming/folds.hpp"
 #include "core/monitor.hpp"
 #include "util/table.hpp"
 
 namespace ktrace::analysis {
 
 namespace {
-
-// Fillers and anchors are written by the reservation machinery itself, not
-// through a logger entry point, so they are excluded from both sides of
-// the heartbeat identity (they are not counted in eventsLogged and must
-// not be counted as observed).
-bool isInfrastructure(const DecodedEvent& e) noexcept {
-  return e.header.major == Major::Control &&
-         (e.header.minor == static_cast<uint16_t>(ControlMinor::Filler) ||
-          e.header.minor == static_cast<uint16_t>(ControlMinor::BufferAnchor));
-}
-
-struct HeartbeatMark {
-  size_t index = 0;        // position of the heartbeat event in the stream
-  uint64_t cumBefore = 0;  // logger events decoded strictly before it
-  uint64_t tick = 0;
-  Heartbeat hb;
-};
 
 const char* kindName(CompletenessGap::Kind kind) noexcept {
   switch (kind) {
@@ -38,146 +22,25 @@ const char* kindName(CompletenessGap::Kind kind) noexcept {
 }  // namespace
 
 CompletenessReport CompletenessReport::analyze(const TraceSet& trace) {
-  CompletenessReport report;
-  report.decodeStats_ = trace.stats();
-
+  // The post-hoc tool is the streaming fold run to EOF (DESIGN.md §13):
+  // one implementation, identical results live and offline. The fold only
+  // needs per-processor relative order, which the per-processor vectors
+  // trivially provide.
+  streaming::CompletenessFold fold;
   for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
-    const std::vector<DecodedEvent>& events = trace.processorEvents(p);
-    if (events.empty()) continue;
-
-    ProcessorCompleteness summary;
-    summary.processor = p;
-
-    // One pass: running logger-event count, heartbeat marks, and
-    // buffer-sequence discontinuities (each remembered with the index of
-    // the first event after it, so it can be assigned to the heartbeat
-    // interval whose expected-count delta covers it).
-    std::vector<HeartbeatMark> beats;
-    struct RawGap {
-      size_t afterIndex;
-      CompletenessGap gap;
-    };
-    std::vector<RawGap> raw;
-
-    if (events.front().bufferSeq > 0) {
-      CompletenessGap g;
-      g.processor = p;
-      g.kind = CompletenessGap::Kind::Head;
-      g.afterSeq = events.front().bufferSeq;
-      g.lostBuffers = events.front().bufferSeq;
-      g.endTick = events.front().fullTimestamp;
-      raw.push_back({0, g});
-    }
-
-    uint64_t cum = 0;
-    for (size_t j = 0; j < events.size(); ++j) {
-      const DecodedEvent& e = events[j];
-      if (j > 0 && e.bufferSeq > events[j - 1].bufferSeq + 1) {
-        CompletenessGap g;
-        g.processor = p;
-        g.beforeSeq = events[j - 1].bufferSeq;
-        g.afterSeq = e.bufferSeq;
-        g.lostBuffers = e.bufferSeq - events[j - 1].bufferSeq - 1;
-        g.startTick = events[j - 1].fullTimestamp;
-        g.endTick = e.fullTimestamp;
-        raw.push_back({j, g});
-      }
-      if (isInfrastructure(e)) continue;
-      Heartbeat hb;
-      if (parseHeartbeat(e, hb)) {
-        beats.push_back({j, cum, e.fullTimestamp, hb});
-      }
-      ++cum;  // heartbeats are logger events too; counted after marking
-    }
-    summary.observedEvents = cum;
-    summary.heartbeats = beats.size();
-
-    if (!beats.empty()) {
-      report.hasHeartbeats_ = true;
-      const HeartbeatMark& last = beats.back();
-      // Compare like with like: the last heartbeat's counter covers events
-      // strictly before it in the stream, so clamp "observed" to the same
-      // window (events after the last heartbeat are tail-unverified).
-      summary.observedEvents = last.cumBefore;
-      summary.expectedEvents = last.hb.eventsLogged;
-      summary.droppedAtSource = last.hb.eventsDropped;
-      summary.consumerLost = last.hb.consumerLost;
-
-      // Walk the heartbeat intervals. Interval k spans stream positions
-      // (beats[k-1], beats[k]]; k == 0 is the head interval [start,
-      // beats[0]]. A gap belongs to the interval containing the first
-      // event after it.
-      size_t nextRaw = 0;
-      for (size_t k = 0; k < beats.size(); ++k) {
-        const uint64_t expected =
-            k == 0 ? beats[0].hb.eventsLogged
-                   : beats[k].hb.eventsLogged - beats[k - 1].hb.eventsLogged;
-        const uint64_t observed =
-            k == 0 ? beats[0].cumBefore
-                   : beats[k].cumBefore - beats[k - 1].cumBefore;
-        const uint64_t lost = expected > observed ? expected - observed : 0;
-        summary.lostEvents += lost;
-
-        const size_t firstRaw = nextRaw;
-        while (nextRaw < raw.size() && raw[nextRaw].afterIndex <= beats[k].index) {
-          ++nextRaw;
-        }
-        const size_t gapsHere = nextRaw - firstRaw;
-        if (gapsHere == 1) {
-          raw[firstRaw].gap.bounded = true;
-          raw[firstRaw].gap.lostEvents = lost;
-        } else if (gapsHere > 1) {
-          // Several drop windows share one counter delta: the total is
-          // exact but cannot be split between them.
-          for (size_t g = firstRaw; g < nextRaw; ++g) {
-            raw[g].gap.bounded = false;
-            ++summary.unboundedGaps;
-          }
-        } else if (lost > 0) {
-          // Loss with no sequence discontinuity: a buffer decoded short
-          // (garbled tail) or was partially committed. Synthesize a
-          // zero-buffer gap spanning the interval so the loss is still
-          // localized in time.
-          CompletenessGap g;
-          g.processor = p;
-          const size_t prevIdx = k == 0 ? 0 : beats[k - 1].index;
-          g.beforeSeq = events[prevIdx].bufferSeq;
-          g.afterSeq = events[beats[k].index].bufferSeq;
-          g.startTick = k == 0 ? events.front().fullTimestamp
-                               : beats[k - 1].tick;
-          g.endTick = beats[k].tick;
-          g.bounded = true;
-          g.lostEvents = lost;
-          raw.insert(raw.begin() + static_cast<ptrdiff_t>(firstRaw),
-                     {beats[k].index, g});
-          ++nextRaw;
-        }
-      }
-      // Gaps after the last heartbeat: no closing delta, unbounded.
-      for (size_t g = nextRaw; g < raw.size(); ++g) {
-        raw[g].gap.bounded = false;
-        raw[g].gap.kind = CompletenessGap::Kind::Tail;
-        ++summary.unboundedGaps;
-        summary.tailUnverified = true;
-      }
-    } else {
-      for (RawGap& g : raw) {
-        g.gap.bounded = false;
-        ++summary.unboundedGaps;
-      }
-    }
-
-    for (RawGap& g : raw) {
-      // A missing buffer whose loss the heartbeat identity bounds at
-      // exactly zero events held nothing but fillers and anchors (e.g.
-      // the anchor-only buffer ossim flushes at startup to rebase the
-      // clock into virtual time). Nothing observable was lost, so it is
-      // not a completeness defect.
-      if (g.gap.bounded && g.gap.lostEvents == 0) continue;
-      report.gaps_.push_back(g.gap);
-    }
-    report.processors_.push_back(summary);
+    for (const DecodedEvent& e : trace.processorEvents(p)) fold.onEvent(e);
   }
+  fold.finish();
+  return fromFold(std::move(fold), trace.stats());
+}
+
+CompletenessReport CompletenessReport::fromFold(
+    streaming::CompletenessFold&& fold, const DecodeStats& stats) {
+  CompletenessReport report;
+  report.hasHeartbeats_ = fold.hasHeartbeats();
+  report.gaps_ = fold.takeGaps();
+  report.processors_ = fold.takeProcessors();
+  report.decodeStats_ = stats;
   return report;
 }
 

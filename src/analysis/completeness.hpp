@@ -24,6 +24,10 @@
 
 namespace ktrace::analysis {
 
+namespace streaming {
+class CompletenessFold;  // analysis/streaming/folds.hpp
+}
+
 /// One localized drop window on one processor.
 struct CompletenessGap {
   enum class Kind : uint8_t {
@@ -62,8 +66,14 @@ struct ProcessorCompleteness {
 class CompletenessReport {
  public:
   /// Analyze `trace`. Works with any DecodeOptions (fillers and anchors
-  /// are ignored whether or not they were kept).
+  /// are ignored whether or not they were kept). Delegates to the
+  /// streaming CompletenessFold run to EOF.
   static CompletenessReport analyze(const TraceSet& trace);
+
+  /// Adopts a finish()ed fold's results. `stats` supplies the file-level
+  /// damage counters folded into complete().
+  static CompletenessReport fromFold(streaming::CompletenessFold&& fold,
+                                     const DecodeStats& stats);
 
   /// True when at least one heartbeat was seen (without heartbeats gaps
   /// are still detected but loss cannot be bounded).

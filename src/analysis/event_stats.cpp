@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "analysis/streaming/folds.hpp"
 #include "util/table.hpp"
 
 namespace ktrace::analysis {
@@ -14,26 +15,21 @@ uint32_t key(Major major, uint16_t minor) noexcept {
 }  // namespace
 
 EventStats::EventStats(const TraceSet& trace) {
-  numProcessors_ = trace.numProcessors();
-  for (uint32_t p = 0; p < numProcessors_; ++p) {
-    for (const DecodedEvent& e : trace.processorEvents(p)) {
-      EventTypeStats& s = stats_[key(e.header.major, e.header.minor)];
-      if (s.count == 0) {
-        s.major = e.header.major;
-        s.minor = e.header.minor;
-        s.firstTick = e.fullTimestamp;
-        s.perProcessor.assign(numProcessors_, 0);
-      }
-      s.count += 1;
-      s.totalWords += e.header.lengthWords;
-      s.firstTick = std::min(s.firstTick, e.fullTimestamp);
-      s.lastTick = std::max(s.lastTick, e.fullTimestamp);
-      s.perProcessor[p] += 1;
-      totalEvents_ += 1;
-      totalWords_ += e.header.lengthWords;
-    }
+  // The post-hoc tool is the streaming fold run to EOF (DESIGN.md §13):
+  // one implementation, identical results live and offline.
+  streaming::EventRateFold fold(trace.numProcessors());
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) fold.onEvent(e);
   }
+  fold.finish();
+  *this = EventStats(std::move(fold));
 }
+
+EventStats::EventStats(streaming::EventRateFold&& fold)
+    : stats_(fold.takeStats()),
+      totalEvents_(fold.totalEvents()),
+      totalWords_(fold.totalWords()),
+      numProcessors_(fold.numProcessors()) {}
 
 std::vector<EventTypeStats> EventStats::byCount() const {
   std::vector<EventTypeStats> out;

@@ -18,6 +18,10 @@
 
 namespace ktrace::analysis {
 
+namespace streaming {
+class EventRateFold;  // analysis/streaming/folds.hpp
+}
+
 struct EventTypeStats {
   Major major = Major::Control;
   uint16_t minor = 0;
@@ -37,6 +41,10 @@ struct EventTypeStats {
 class EventStats {
  public:
   explicit EventStats(const TraceSet& trace);
+
+  /// Adopts a streaming EventRateFold's aggregation (same numbers the
+  /// TraceSet constructor computes — it delegates to the same fold).
+  explicit EventStats(streaming::EventRateFold&& fold);
 
   /// All event types, sorted by descending count.
   std::vector<EventTypeStats> byCount() const;

@@ -3,119 +3,23 @@
 #include <algorithm>
 #include <sstream>
 
-#include "ossim/events.hpp"
+#include "analysis/streaming/folds.hpp"
 #include "util/table.hpp"
 
 namespace ktrace::analysis {
 
-namespace {
-
-struct PendingContend {
-  uint64_t startTs = 0;
-  std::vector<uint64_t> chain;
-};
-
-struct PendingHold {
-  uint64_t acquireTs = 0;
-};
-
-uint64_t chainHash(const std::vector<uint64_t>& chain) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  for (const uint64_t v : chain) {
-    h ^= v;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
-
-}  // namespace
-
 LockAnalysis::LockAnalysis(const TraceSet& trace) {
-  // (lockId, pid) -> in-flight contention / hold. A thread contends on at
-  // most one lock at a time, and ossim lock ids are unique per lock
-  // instance, so this key resolves interleavings across processors.
-  std::map<std::pair<uint64_t, uint64_t>, PendingContend> contending;
-  std::map<std::pair<uint64_t, uint64_t>, PendingHold> holding;
-  // (lockId, pid, chainHash) -> row index.
-  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, size_t> rowIndex;
-
-  auto rowFor = [&](uint64_t lockId, uint64_t pid,
-                    const std::vector<uint64_t>& chain) -> LockStats& {
-    const auto key = std::make_tuple(lockId, pid, chainHash(chain));
-    const auto it = rowIndex.find(key);
-    if (it != rowIndex.end()) return rows_[it->second];
-    rowIndex.emplace(key, rows_.size());
-    LockStats row;
-    row.lockId = lockId;
-    row.pid = pid;
-    row.chain = chain;
-    rows_.push_back(std::move(row));
-    return rows_.back();
-  };
-
+  // The post-hoc tool is the streaming fold run to EOF (DESIGN.md §13):
+  // one implementation, identical results live and offline.
+  streaming::LockContentionFold fold;
   MergeCursor cursor(trace);
-  while (const DecodedEvent* e = cursor.next()) {
-    if (e->header.major != Major::Lock) continue;
-    const auto minor = static_cast<ossim::LockMinor>(e->header.minor);
-    if (e->data.size() < 2) continue;
-    const uint64_t lockId = e->data[0];
-    const uint64_t pid = e->data[1];
-    const auto key = std::make_pair(lockId, pid);
-
-    switch (minor) {
-      case ossim::LockMinor::ContendStart: {
-        PendingContend pending;
-        pending.startTs = e->fullTimestamp;
-        if (e->data.size() >= 3) {
-          const uint64_t chainLen = std::min<uint64_t>(e->data[2], e->data.size() - 3);
-          pending.chain.assign(e->data.begin() + 3,
-                               e->data.begin() + 3 + static_cast<ptrdiff_t>(chainLen));
-        }
-        if (contending.count(key) != 0) ++unmatchedContends_;
-        contending[key] = std::move(pending);
-        break;
-      }
-      case ossim::LockMinor::Acquired: {
-        const uint64_t spins = e->data.size() > 2 ? e->data[2] : 0;
-        const auto it = contending.find(key);
-        if (it != contending.end()) {
-          LockStats& row = rowFor(lockId, pid, it->second.chain);
-          const uint64_t wait = e->fullTimestamp - it->second.startTs;
-          row.totalWaitTicks += wait;
-          row.maxWaitTicks = std::max(row.maxWaitTicks, wait);
-          row.contendedCount += 1;
-          row.totalSpins += spins;
-          contending.erase(it);
-        }
-        holding[key] = PendingHold{e->fullTimestamp};
-        break;
-      }
-      case ossim::LockMinor::Release: {
-        const auto it = holding.find(key);
-        if (it != holding.end()) {
-          // Attribute hold time to every row of this (lock, pid); the
-          // canonical row is the one matching the releasing chain, but the
-          // release event does not carry a chain, so fold it into the row
-          // with the most contention (display-only detail).
-          LockStats* best = nullptr;
-          for (auto& row : rows_) {
-            if (row.lockId == lockId && row.pid == pid &&
-                (best == nullptr || row.contendedCount > best->contendedCount)) {
-              best = &row;
-            }
-          }
-          if (best != nullptr) {
-            best->totalHoldTicks += e->fullTimestamp - it->second.acquireTs;
-            best->releaseCount += 1;
-          }
-          holding.erase(it);
-        }
-        break;
-      }
-    }
-  }
-  unmatchedContends_ += contending.size();
+  while (const DecodedEvent* e = cursor.next()) fold.onEvent(*e);
+  fold.finish();
+  *this = LockAnalysis(std::move(fold));
 }
+
+LockAnalysis::LockAnalysis(streaming::LockContentionFold&& fold)
+    : rows_(fold.takeRows()), unmatchedContends_(fold.unmatchedContends()) {}
 
 std::vector<LockStats> LockAnalysis::sorted(LockSortKey key) const {
   std::vector<LockStats> out = rows_;

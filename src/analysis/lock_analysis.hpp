@@ -23,6 +23,10 @@
 
 namespace ktrace::analysis {
 
+namespace streaming {
+class LockContentionFold;  // analysis/streaming/folds.hpp
+}
+
 struct LockStats {
   uint64_t lockId = 0;
   uint64_t pid = 0;
@@ -39,8 +43,14 @@ enum class LockSortKey { Time, Count, Spin, MaxTime };
 
 class LockAnalysis {
  public:
-  /// Scans the trace and builds per-(lock, chain) statistics.
+  /// Scans the trace and builds per-(lock, chain) statistics — by running
+  /// the streaming LockContentionFold over the merged cursor to EOF.
   explicit LockAnalysis(const TraceSet& trace);
+
+  /// Adopts a fold's results directly (the fold must have consumed the
+  /// full merged stream and been finish()ed — e.g. a live session that
+  /// drained, or a StreamCursor replay).
+  explicit LockAnalysis(streaming::LockContentionFold&& fold);
 
   /// Aggregated rows, sorted descending by the given key.
   std::vector<LockStats> sorted(LockSortKey key = LockSortKey::Time) const;

@@ -3,23 +3,23 @@
 #include <algorithm>
 #include <sstream>
 
-#include "ossim/events.hpp"
+#include "analysis/streaming/folds.hpp"
 #include "util/table.hpp"
 
 namespace ktrace::analysis {
 
 Profile::Profile(const TraceSet& trace) {
+  // The post-hoc tool is the streaming fold run to EOF (DESIGN.md §13):
+  // one implementation, identical results live and offline.
+  streaming::ProfileFold fold;
   for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
-    for (const DecodedEvent& e : trace.processorEvents(p)) {
-      if (e.header.major != Major::Prof ||
-          e.header.minor != static_cast<uint16_t>(ossim::ProfMinor::PcSample)) {
-        continue;
-      }
-      if (e.data.size() < 2) continue;
-      samples_[e.data[0]][e.data[1]] += 1;
-    }
+    for (const DecodedEvent& e : trace.processorEvents(p)) fold.onEvent(e);
   }
+  fold.finish();
+  *this = Profile(std::move(fold));
 }
+
+Profile::Profile(streaming::ProfileFold&& fold) : samples_(fold.takeSamples()) {}
 
 std::vector<ProfileRow> Profile::histogram(uint64_t pid) const {
   std::vector<ProfileRow> rows;

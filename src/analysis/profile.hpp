@@ -16,6 +16,10 @@
 
 namespace ktrace::analysis {
 
+namespace streaming {
+class ProfileFold;  // analysis/streaming/folds.hpp
+}
+
 struct ProfileRow {
   uint64_t funcId = 0;
   uint64_t count = 0;
@@ -25,6 +29,10 @@ class Profile {
  public:
   /// Builds per-pid histograms from Prof/PcSample events.
   explicit Profile(const TraceSet& trace);
+
+  /// Adopts a streaming ProfileFold's histograms (the TraceSet constructor
+  /// delegates to the same fold).
+  explicit Profile(streaming::ProfileFold&& fold);
 
   /// Sorted (descending by count) histogram for one pid.
   std::vector<ProfileRow> histogram(uint64_t pid) const;

@@ -1,0 +1,260 @@
+#include "analysis/streaming/monitors.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+namespace ktrace::analysis::streaming {
+
+struct MonitorExpr::Node {
+  enum class Kind : uint8_t { Constant, Variable, Add, Sub, Mul, Div, Neg };
+  Kind kind = Kind::Constant;
+  double value = 0.0;
+  std::string name;
+  std::shared_ptr<const Node> lhs;
+  std::shared_ptr<const Node> rhs;
+
+  double eval(const MonitorVars& vars) const noexcept {
+    switch (kind) {
+      case Kind::Constant: return value;
+      case Kind::Variable: {
+        const auto it = vars.find(name);
+        return it == vars.end() ? 0.0 : it->second;
+      }
+      case Kind::Add: return lhs->eval(vars) + rhs->eval(vars);
+      case Kind::Sub: return lhs->eval(vars) - rhs->eval(vars);
+      case Kind::Mul: return lhs->eval(vars) * rhs->eval(vars);
+      case Kind::Div: {
+        const double denom = rhs->eval(vars);
+        if (denom == 0.0) return std::nan("");
+        return lhs->eval(vars) / denom;
+      }
+      case Kind::Neg: return -lhs->eval(vars);
+    }
+    return std::nan("");
+  }
+};
+
+namespace {
+
+using Node = MonitorExpr::Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+const std::set<std::string>& knownVariableSet() {
+  static const std::set<std::string> names(knownMonitorVariables().begin(),
+                                           knownMonitorVariables().end());
+  return names;
+}
+
+/// Recursive-descent parser over the grammar
+///   expr   := term (('+' | '-') term)*
+///   term   := factor (('*' | '/') factor)*
+///   factor := number | identifier | '(' expr ')' | '-' factor
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  NodePtr run() {
+    NodePtr root = parseExpr();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      throw std::runtime_error("monitor expression: trailing garbage at '" +
+                               text_.substr(pos_) + "'");
+    }
+    return root;
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  NodePtr parseExpr() {
+    NodePtr lhs = parseTerm();
+    for (;;) {
+      if (consume('+')) {
+        lhs = binary(Node::Kind::Add, lhs, parseTerm());
+      } else if (consume('-')) {
+        lhs = binary(Node::Kind::Sub, lhs, parseTerm());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseTerm() {
+    NodePtr lhs = parseFactor();
+    for (;;) {
+      if (consume('*')) {
+        lhs = binary(Node::Kind::Mul, lhs, parseFactor());
+      } else if (consume('/')) {
+        lhs = binary(Node::Kind::Div, lhs, parseFactor());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  NodePtr parseFactor() {
+    skipSpace();
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("monitor expression: unexpected end of input");
+    }
+    const char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      NodePtr inner = parseExpr();
+      if (!consume(')')) {
+        throw std::runtime_error("monitor expression: missing ')'");
+      }
+      return inner;
+    }
+    if (c == '-') {
+      ++pos_;
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Neg;
+      node->lhs = parseFactor();
+      return node;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      char* end = nullptr;
+      const double value = std::strtod(text_.c_str() + pos_, &end);
+      if (end == text_.c_str() + pos_) {
+        throw std::runtime_error("monitor expression: bad number");
+      }
+      pos_ = static_cast<size_t>(end - text_.c_str());
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Constant;
+      node->value = value;
+      return node;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) != 0 ||
+              text_[end] == '_')) {
+        ++end;
+      }
+      std::string name = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (knownVariableSet().count(name) == 0) {
+        throw std::runtime_error("monitor expression: unknown variable '" +
+                                 name + "'");
+      }
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::Variable;
+      node->name = std::move(name);
+      return node;
+    }
+    throw std::runtime_error(std::string("monitor expression: unexpected '") +
+                             c + "'");
+  }
+
+  static NodePtr binary(Node::Kind kind, NodePtr lhs, NodePtr rhs) {
+    auto node = std::make_shared<Node>();
+    node->kind = kind;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+MonitorExpr MonitorExpr::parse(const std::string& text) {
+  MonitorExpr expr;
+  expr.root_ = Parser(text).run();
+  return expr;
+}
+
+double MonitorExpr::eval(const MonitorVars& vars) const noexcept {
+  if (root_ == nullptr) return std::nan("");
+  const double v = root_->eval(vars);
+  return std::isfinite(v) ? v : std::nan("");
+}
+
+const std::vector<std::string>& knownMonitorVariables() {
+  static const std::vector<std::string> names = {
+      // per-processor heartbeat words (summed over processors)
+      "logged", "dropped", "retries", "slowpath", "filler_words",
+      "words_reserved", "stale_commits",
+      // session-global words (newest heartbeat overall)
+      "consumed", "lost", "mismatches", "sink_dropped", "backpressure",
+      "bytes_written", "raw_bytes", "reclaimed_words", "torn_buffers",
+      // window aggregates
+      "window_index", "window_events", "window_seconds", "events",
+      "processors"};
+  return names;
+}
+
+std::vector<DerivedMonitor> parseMonitorConfig(const std::string& text) {
+  std::vector<DerivedMonitor> monitors;
+  size_t lineNo = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++lineNo;
+
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const size_t last = line.find_last_not_of(" \t\r");
+    line = line.substr(first, last - first + 1);
+
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("monitors config line " +
+                               std::to_string(lineNo) + ": expected name = expr");
+    }
+    DerivedMonitor m;
+    m.name = line.substr(0, eq);
+    const size_t nameEnd = m.name.find_last_not_of(" \t");
+    if (nameEnd == std::string::npos) {
+      throw std::runtime_error("monitors config line " +
+                               std::to_string(lineNo) + ": empty name");
+    }
+    m.name.erase(nameEnd + 1);
+    m.source = line.substr(eq + 1);
+    const size_t srcBegin = m.source.find_first_not_of(" \t");
+    m.source = srcBegin == std::string::npos ? "" : m.source.substr(srcBegin);
+    try {
+      m.expr = MonitorExpr::parse(m.source);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("monitors config line " +
+                               std::to_string(lineNo) + " (" + m.name +
+                               "): " + e.what());
+    }
+    monitors.push_back(std::move(m));
+  }
+  return monitors;
+}
+
+std::vector<DerivedMonitor> defaultMonitors() {
+  return parseMonitorConfig(
+      "loss_ratio = lost / (logged + lost)\n"
+      "bytes_per_event = bytes_written / events\n"
+      "compression_ratio = raw_bytes / bytes_written\n");
+}
+
+}  // namespace ktrace::analysis::streaming

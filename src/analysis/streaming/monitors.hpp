@@ -1,0 +1,74 @@
+// User-definable derived monitors (DESIGN.md §13).
+//
+// In the style of dynamic_lstopo's `monitors`: small arithmetic
+// expressions over raw self-monitoring counters — heartbeat words, sink
+// accounting, window aggregates — evaluated once per completed window and
+// replayable bit-for-bit from any recorded stream. A config file holds one
+// monitor per line:
+//
+//   # comment
+//   loss_ratio = lost / (logged + lost)
+//   bytes_per_event = bytes_written / events
+//
+// Grammar: + - * / unary-minus, parentheses, decimal literals, and
+// identifiers from knownMonitorVariables(). Unknown identifiers are a
+// parse-time error (a daemon with a typo'd config must fail at startup,
+// not emit silent zeros). Division by zero and other non-finite results
+// evaluate to NaN, rendered as null/"--" downstream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ktrace::analysis::streaming {
+
+/// Values a monitor expression can reference for one window. Fixed name
+/// set — see knownMonitorVariables() for the catalogue and semantics.
+using MonitorVars = std::map<std::string, double>;
+
+class MonitorExpr {
+ public:
+  /// Parses `text`; throws std::runtime_error on a syntax error or an
+  /// unknown identifier.
+  static MonitorExpr parse(const std::string& text);
+
+  /// Evaluates against `vars` (missing names read as 0, which parse-time
+  /// validation already precludes). NaN on any non-finite intermediate.
+  double eval(const MonitorVars& vars) const noexcept;
+
+  struct Node;  // AST; defined in monitors.cpp
+
+ private:
+  std::shared_ptr<const Node> root_;
+};
+
+struct DerivedMonitor {
+  std::string name;
+  std::string source;  // original expression text, for display/replay
+  MonitorExpr expr;
+};
+
+/// Variable names an expression may reference, with their sources:
+///   per-processor heartbeat words, summed over each processor's newest
+///   heartbeat at or before the window end:
+///     logged dropped retries slowpath filler_words words_reserved
+///     stale_commits
+///   session-global words from the newest such heartbeat overall:
+///     consumed lost mismatches sink_dropped backpressure bytes_written
+///     raw_bytes reclaimed_words torn_buffers
+///   window aggregates:
+///     window_index window_events window_seconds events processors
+const std::vector<std::string>& knownMonitorVariables();
+
+/// Parses a whole config ("name = expr" lines; '#' comments and blank
+/// lines ignored). Throws std::runtime_error naming the offending line.
+std::vector<DerivedMonitor> parseMonitorConfig(const std::string& text);
+
+/// The monitors a daemon runs when no config file is given: loss_ratio,
+/// bytes_per_event, compression_ratio.
+std::vector<DerivedMonitor> defaultMonitors();
+
+}  // namespace ktrace::analysis::streaming

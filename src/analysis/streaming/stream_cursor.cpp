@@ -1,0 +1,130 @@
+#include "analysis/streaming/stream_cursor.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/trace_file.hpp"
+
+namespace ktrace::analysis::streaming {
+
+// --- OrderedMerger -----------------------------------------------------
+
+void OrderedMerger::push(uint32_t lane, DecodedEvent event) {
+  if (lane >= lanes_.size()) lanes_.resize(lane + 1);
+  Lane& l = lanes_[lane];
+  l.seen = true;
+  l.processor = event.processor;
+  if (event.fullTimestamp > l.lastTick) l.lastTick = event.fullTimestamp;
+  l.queue.push_back(std::move(event));
+  ++buffered_;
+}
+
+const DecodedEvent* OrderedMerger::next() {
+  // Candidate: the smallest (fullTimestamp, processor) among lane fronts —
+  // exactly MergeCursor's heap order.
+  Lane* best = nullptr;
+  for (Lane& l : lanes_) {
+    if (l.queue.empty()) continue;
+    if (best == nullptr) {
+      best = &l;
+      continue;
+    }
+    const DecodedEvent& a = l.queue.front();
+    const DecodedEvent& b = best->queue.front();
+    if (a.fullTimestamp < b.fullTimestamp ||
+        (a.fullTimestamp == b.fullTimestamp && a.processor < b.processor)) {
+      best = &l;
+    }
+  }
+  if (best == nullptr) return nullptr;
+
+  if (!finished_) {
+    // Release only when no other seen lane could still produce an event
+    // that sorts before the candidate. A lane with queued data is covered
+    // by candidate selection (per-lane timestamps are nondecreasing); an
+    // empty lane is safe only once its last pushed timestamp is past the
+    // candidate (or tied with a higher processor id).
+    const DecodedEvent& c = best->queue.front();
+    for (const Lane& l : lanes_) {
+      if (&l == best || !l.seen || !l.queue.empty()) continue;
+      if (l.lastTick > c.fullTimestamp) continue;
+      if (l.lastTick == c.fullTimestamp && l.processor > c.processor) continue;
+      return nullptr;  // l might still produce an earlier event
+    }
+  }
+
+  current_ = std::move(best->queue.front());
+  best->queue.pop_front();
+  --buffered_;
+  return &current_;
+}
+
+// --- StreamCursor ------------------------------------------------------
+
+StreamCursor::StreamCursor(std::vector<std::string> paths,
+                           StreamCursorOptions options)
+    : paths_(std::move(paths)), cursors_(paths_.size()), options_(options),
+      merger_(static_cast<uint32_t>(paths_.size())) {
+  if (options_.decode.salvage) {
+    throw std::invalid_argument(
+        "StreamCursor: salvage decoding is not supported while tailing; "
+        "run post-hoc salvage on the closed files");
+  }
+}
+
+void StreamCursor::resume(const std::vector<FileCursor>& cursors) {
+  if (cursors.size() != cursors_.size()) {
+    throw std::invalid_argument(
+        "StreamCursor::resume: cursor count does not match file count");
+  }
+  cursors_ = cursors;
+}
+
+size_t StreamCursor::poll() {
+  size_t ingested = 0;
+  TraceReaderOptions readerOptions;
+  readerOptions.fs = options_.decode.fs;
+  readerOptions.useMmap = options_.decode.useMmap;
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    FileCursor& cursor = cursors_[i];
+    // A growing file is strictly readable only at flush boundaries: the
+    // footer + trailer must sit exactly at EOF. Mid-append the open
+    // throws and the file waits for the next poll.
+    std::unique_ptr<TraceFileReader> reader;
+    try {
+      reader = std::make_unique<TraceFileReader>(paths_[i], readerOptions);
+    } catch (const std::exception&) {
+      continue;
+    }
+    if (!metadataKnown_) {
+      ticksPerSecond_ = reader->meta().ticksPerSecond;
+      metadataKnown_ = true;
+    }
+    const uint32_t processor = reader->meta().processorId;
+    const uint64_t count = reader->bufferCount();
+    for (uint64_t k = cursor.recordsDecoded; k < count; ++k) {
+      BufferView view;
+      if (!reader->readBufferView(k, view)) break;
+      scratch_.clear();
+      stats_.merge(decodeBuffer(view.words, view.seq, processor,
+                                cursor.tsBase, scratch_, options_.decode));
+      for (DecodedEvent& e : scratch_) {
+        merger_.push(static_cast<uint32_t>(i), std::move(e));
+        ++ingested;
+      }
+      cursor.recordsDecoded = k + 1;
+    }
+  }
+  return ingested;
+}
+
+const DecodedEvent* StreamCursor::next() { return merger_.next(); }
+
+void StreamCursor::finish() {
+  if (finished_) return;
+  poll();
+  finished_ = true;
+  merger_.finish();
+}
+
+}  // namespace ktrace::analysis::streaming

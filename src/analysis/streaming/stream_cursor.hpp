@@ -1,0 +1,129 @@
+// Tailing live trace output (DESIGN.md §13).
+//
+// StreamCursor extends MergeCursor's semantics to files that are still
+// growing: the v3 writer rewrites its footer directory + EOF trailer in
+// place on every flush, so at any flush boundary a growing file is a
+// valid v3 file. poll() re-opens each file, decodes only the records past
+// the saved per-file cursor (no re-decoding of what was already seen),
+// and feeds them into an OrderedMerger that releases events in exactly
+// MergeCursor's (fullTimestamp, processor) order once it is safe to do so.
+// Between flushes — appended records but a stale footer — the strict open
+// fails and the file is simply skipped until the next poll; nothing is
+// ever decoded twice and nothing torn is ever decoded at all.
+//
+// The per-file cursor (record index + timestamp base) is exposed so a
+// restarted reader resumes where it left off instead of re-decoding the
+// prefix — the live analogue of the daemon's recovery manifest.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/decode.hpp"
+
+namespace ktrace::analysis::streaming {
+
+/// Resume point for one growing file.
+struct FileCursor {
+  uint64_t recordsDecoded = 0;  // records already decoded and emitted
+  uint64_t tsBase = 0;          // running 64-bit timestamp base at that point
+};
+
+/// K-way ordering buffer with a watermark: push events per lane (one lane
+/// per processor / per file; per-lane timestamps nondecreasing), pop them
+/// in global (fullTimestamp, processor) order — MergeCursor's order.
+///
+/// Before finish(), an event is released only when every *other* lane
+/// that has ever produced data has advanced past it (its last pushed
+/// timestamp is beyond the candidate), so a lane that is merely draining
+/// slower cannot cause misordering. A lane that produces its very first
+/// event late (behind the released watermark) is the one hazard this
+/// cannot defend against; the daemon registers every processor's lane up
+/// front only once data exists, so live feeds are best-effort ordered
+/// until finish(), and exactly ordered for any finish()-terminated run
+/// whose lanes all appeared before their data was due.
+class OrderedMerger {
+ public:
+  /// Lane index space is dense [0, lanes); grows on demand.
+  explicit OrderedMerger(uint32_t lanes = 0) { lanes_.resize(lanes); }
+
+  void push(uint32_t lane, DecodedEvent event);
+  void finish() noexcept { finished_ = true; }
+
+  /// Next safely-ordered event, or nullptr when none can be released yet
+  /// (after finish(): nullptr means fully drained). The pointer is valid
+  /// until the next call.
+  const DecodedEvent* next();
+
+  size_t buffered() const noexcept { return buffered_; }
+  bool drained() const noexcept { return buffered_ == 0; }
+
+ private:
+  struct Lane {
+    std::deque<DecodedEvent> queue;
+    uint64_t lastTick = 0;
+    uint32_t processor = 0;
+    bool seen = false;
+  };
+  std::vector<Lane> lanes_;
+  DecodedEvent current_;
+  size_t buffered_ = 0;
+  bool finished_ = false;
+};
+
+struct StreamCursorOptions {
+  /// Decode knobs (keepFillers/keepAnchors honored; salvage is not — a
+  /// growing file is read strictly via its footer, which is what makes
+  /// incremental re-open safe. Run post-hoc salvage on closed files).
+  DecodeOptions decode{};
+};
+
+/// Tail a set of growing (or closed) v3 trace files as one merged stream.
+/// Usage: poll() whenever the files may have grown, then drain next()
+/// until it returns nullptr; finish() when the writer is done, after
+/// which next() drains everything remaining. Over closed files,
+/// poll()+finish() yields exactly TraceSet::fromFiles + MergeCursor.
+class StreamCursor {
+ public:
+  explicit StreamCursor(std::vector<std::string> paths,
+                        StreamCursorOptions options = {});
+
+  /// Restores per-file resume points (parallel to the constructor's
+  /// paths). Call before the first poll().
+  void resume(const std::vector<FileCursor>& cursors);
+
+  /// Decodes newly flushed records from every file; returns how many
+  /// events were ingested. Files that cannot be opened (absent, or
+  /// mid-write with a stale footer) are skipped until the next poll.
+  size_t poll();
+
+  /// Next event in merged order, or nullptr (need more polls / drained).
+  const DecodedEvent* next();
+
+  /// The writers are done: performs a final poll and unblocks the merge
+  /// so next() drains every buffered event.
+  void finish();
+
+  bool done() const noexcept { return finished_ && merger_.drained(); }
+
+  const std::vector<FileCursor>& cursors() const noexcept { return cursors_; }
+  const DecodeStats& stats() const noexcept { return stats_; }
+  /// From the first readable file's metadata; 0 until one opens.
+  double ticksPerSecond() const noexcept { return ticksPerSecond_; }
+  bool metadataKnown() const noexcept { return metadataKnown_; }
+
+ private:
+  std::vector<std::string> paths_;
+  std::vector<FileCursor> cursors_;
+  StreamCursorOptions options_;
+  OrderedMerger merger_;
+  DecodeStats stats_{};
+  std::vector<DecodedEvent> scratch_;
+  double ticksPerSecond_ = 0.0;
+  bool metadataKnown_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ktrace::analysis::streaming

@@ -221,6 +221,8 @@ void TraceDaemon::admitLocked(const std::string& path) {
   cfg.attachRetries = config_.attachRetries;
   cfg.attachBackoffStart = config_.attachBackoffStart;
   cfg.attachBackoffMax = config_.attachBackoffMax;
+  cfg.analysisWindow = config_.analysisWindow;
+  cfg.monitors = config_.monitors;
   const auto seed = seeds_.find(path);
   if (seed != seeds_.end()) cfg.seedNextSeq = seed->second.nextSeq;
   Slot slot;
@@ -343,6 +345,20 @@ std::string TraceDaemon::handleCommand(const std::string& command) {
     for (const TenantStatus& t : statuses) out << tenantJson(t) << "\n";
     out << "{\"type\":\"end\",\"ok\":true,\"count\":" << statuses.size()
         << "}\n";
+  } else if (verb == "top") {
+    // One snapshot per tenant with a live analyzer (NDJSON: "top",
+    // "window", and "monitor" lines per tenant, see StreamEngine).
+    size_t withAnalysis = 0;
+    {
+      std::lock_guard lock(mutex_);
+      for (const auto& [name, slot] : tenants_) {
+        const std::string snapshot = slot.tenant->topJson();
+        if (snapshot.empty()) continue;
+        ++withAnalysis;
+        out << snapshot;
+      }
+    }
+    out << "{\"type\":\"end\",\"ok\":true,\"count\":" << withAnalysis << "}\n";
   } else if (verb == "evict") {
     std::string name;
     in >> name;

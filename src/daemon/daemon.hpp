@@ -58,6 +58,11 @@ struct DaemonConfig {
   uint32_t attachRetries = 5;
   std::chrono::milliseconds attachBackoffStart{10};
   std::chrono::milliseconds attachBackoffMax{1000};
+  /// Live streaming analysis (DESIGN.md §13): per-tenant tumbling-window
+  /// size. Zero disables the analysis tap for every tenant.
+  std::chrono::milliseconds analysisWindow{0};
+  /// Derived monitors evaluated per window for every tenant.
+  std::vector<analysis::streaming::DerivedMonitor> monitors{};
 };
 
 struct DaemonStats {

@@ -46,8 +46,24 @@ bool Tenant::tryAttach() {
         config_.outputDir,
         config_.name + ".g" + std::to_string(config_.generation), meta,
         nullptr, writerOptions);
+    // Optional live-analysis tap between the batcher and the files: it
+    // sees exactly the records that become durable, so offline replay of
+    // the files reproduces its snapshots (DESIGN.md §13).
+    std::unique_ptr<analysis::streaming::LiveAnalyzer> analyzer;
+    Sink* downstream = fileSink.get();
+    if (config_.analysisWindow.count() > 0) {
+      analysis::streaming::StreamEngineConfig engineConfig;
+      engineConfig.ticksPerSecond = meta.ticksPerSecond;
+      engineConfig.windowTicks = analysis::streaming::windowTicksForMs(
+          static_cast<uint64_t>(config_.analysisWindow.count()),
+          meta.ticksPerSecond);
+      analyzer = std::make_unique<analysis::streaming::LiveAnalyzer>(
+          *fileSink, session->numProcessors(), engineConfig,
+          config_.monitors);
+      downstream = analyzer.get();
+    }
     auto batching =
-        std::make_unique<BatchingSink>(*fileSink, config_.batching);
+        std::make_unique<BatchingSink>(*downstream, config_.batching);
     auto watchdog = std::make_unique<SessionWatchdog>(*session, *batching,
                                                       config_.watchdog);
     if (!config_.seedNextSeq.empty()) {
@@ -56,6 +72,7 @@ bool Tenant::tryAttach() {
     std::lock_guard lock(mutex_);
     session_ = std::move(session);
     fileSink_ = std::move(fileSink);
+    analyzer_ = std::move(analyzer);
     batching_ = std::move(batching);
     watchdog_ = std::move(watchdog);
     lastError_.clear();
@@ -129,6 +146,9 @@ void Tenant::drainAndFlush() {
   finalSeqs_ = watchdog_->drainedSeqs();
   batching_->stop();
   batching_->flushNow();
+  // The batcher has drained: unblock the ordered merge so the final
+  // windows complete and the folds settle (live == offline replay).
+  if (analyzer_) analyzer_->finish();
   fileSink_->flush();
 }
 
@@ -137,10 +157,17 @@ void Tenant::detach(const std::string& reason) {
   std::lock_guard lock(mutex_);
   watchdog_.reset();
   batching_.reset();
+  analyzer_.reset();
   fileSink_.reset();
   session_.reset();
   lastError_ = reason;
   state_.store(TenantState::Evicted, std::memory_order_release);
+}
+
+std::string Tenant::topJson() const {
+  std::lock_guard lock(mutex_);
+  if (!analyzer_) return "";
+  return analyzer_->snapshotJson(config_.name);
 }
 
 TenantStatus Tenant::status() const {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/streaming/live_analyzer.hpp"
 #include "core/batching_sink.hpp"
 #include "core/shm_session.hpp"
 #include "core/trace_file.hpp"
@@ -66,6 +67,12 @@ struct TenantConfig {
   /// Recovery-manifest cursors from the previous incarnation (empty =
   /// drain from the start). Clamped by SessionWatchdog::seedDrained.
   std::vector<uint64_t> seedNextSeq{};
+  /// Live streaming analysis (DESIGN.md §13): tumbling-window size for
+  /// the tenant's StreamEngine. Zero disables the tap entirely (no
+  /// LiveAnalyzer in the pipeline).
+  std::chrono::milliseconds analysisWindow{0};
+  /// Derived monitors evaluated per window (empty = none).
+  std::vector<analysis::streaming::DerivedMonitor> monitors{};
 };
 
 /// Control-plane snapshot of one tenant.
@@ -119,6 +126,11 @@ class Tenant {
   /// drainAndFlush + teardown of the whole stack; state -> Evicted.
   void detach(const std::string& reason);
 
+  /// The tenant's live-analysis snapshot (NDJSON, see
+  /// StreamEngine::snapshotJson), or "" when streaming analysis is off or
+  /// the tenant is not attached. Safe from the control plane.
+  std::string topJson() const;
+
   TenantStatus status() const;
   /// Per-processor next-undrained cursors: live from the watchdog while
   /// attached, frozen at the final drain after drainAndFlush/detach.
@@ -153,6 +165,9 @@ class Tenant {
   std::string lastError_;
   std::unique_ptr<ShmSession> session_;
   std::unique_ptr<FileSink> fileSink_;
+  // Declared between the sinks it sits between: destroyed before the
+  // FileSink it references, after the BatchingSink that feeds it.
+  std::unique_ptr<analysis::streaming::LiveAnalyzer> analyzer_;
   std::unique_ptr<BatchingSink> batching_;
   std::unique_ptr<SessionWatchdog> watchdog_;
 };

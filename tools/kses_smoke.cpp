@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/decode.hpp"
+#include "core/monitor.hpp"
 #include "core/shm_session.hpp"
 #include "core/trace_file.hpp"
 #include "util/cli.hpp"
@@ -61,6 +62,39 @@ uint64_t readCount(const std::string& path) {
   return count;
 }
 
+/// Logs one TRACE_MONITOR heartbeat from the producer side of a shared
+/// segment. ShmTraceControl is not a TraceControl, so logMonitorHeartbeat
+/// does not apply; this builds the same 18-word payload from the shm
+/// counters (retry/slowpath/dropped/sink/recovery words have no shm-side
+/// accessors and stay zero). Counters are read BEFORE the heartbeat's own
+/// event is logged — the [h1, h2) interval identity the completeness
+/// analysis replays.
+bool logShmHeartbeat(ShmTraceControl& producer, uint64_t seq) {
+  const uint64_t payload[kHeartbeatPayloadWords] = {
+      seq,
+      producer.currentBufferSeq(),
+      producer.eventsLogged(),
+      producer.wordsReservedCount(),
+      0,  // reserveRetries
+      0,  // slowPathEntries
+      0,  // eventsDropped
+      producer.fillerWordsWritten(),
+      producer.buffersConsumed(),
+      producer.buffersLost(),
+      producer.commitMismatches(),
+      0,  // sinkDropped
+      0,  // sinkBackpressure
+      producer.staleCommits(),
+      0,  // reclaimedWords
+      0,  // tornBuffers
+      0,  // sinkBytesWritten
+      0,  // sinkRawBytes
+  };
+  return producer.logEventData(Major::Monitor,
+                               static_cast<uint16_t>(MonitorMinor::Heartbeat),
+                               payload);
+}
+
 int runCreate(const util::Cli& cli) {
   const std::string path = cli.positional()[1];
   ShmSession::Config cfg;
@@ -85,6 +119,8 @@ int runProduce(const util::Cli& cli) {
   const uint64_t start = static_cast<uint64_t>(cli.getInt("start", 0));
   const uint64_t throttleEvery =
       static_cast<uint64_t>(cli.getInt("throttle-every", 64));
+  const uint64_t heartbeatEvery =
+      static_cast<uint64_t>(cli.getInt("heartbeat-every", 0));
   const std::string countFile = cli.getString("count-file", "");
   const bool park = cli.getBool("park", false);
 
@@ -98,6 +134,7 @@ int runProduce(const util::Cli& cli) {
   ShmTraceControl producer =
       session.producerControl(proc, static_cast<uint32_t>(lease));
   uint64_t committed = start;
+  uint64_t heartbeatSeq = 0;
   for (uint64_t i = 0; i < events; ++i) {
     if (!producer.logEvent(Major::App, 0, eventId(proc, start + i))) {
       // Fenced (the daemon reclaimed us as stalled) — stop logging; the
@@ -105,6 +142,9 @@ int runProduce(const util::Cli& cli) {
       break;
     }
     committed = start + i + 1;
+    if (heartbeatEvery != 0 && committed % heartbeatEvery == 0) {
+      logShmHeartbeat(producer, heartbeatSeq++);
+    }
     if (!countFile.empty() && (committed % 256 == 0 || i + 1 == events)) {
       writeCount(countFile, committed);
     }
@@ -194,7 +234,7 @@ int usage() {
       "usage: kses_smoke create SEGMENT --procs=P [--buffer-words=N] "
       "[--buffers=N]\n"
       "       kses_smoke produce SEGMENT --proc=P --events=N "
-      "[--start=N] [--count-file=F] [--park]\n"
+      "[--start=N] [--count-file=F] [--heartbeat-every=N] [--park]\n"
       "       kses_smoke verify --procs=P [--count-prefix=PREFIX] FILES...\n");
   return util::kExitUsage;
 }

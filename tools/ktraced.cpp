@@ -19,8 +19,11 @@
 #include <cstdio>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "analysis/streaming/monitors.hpp"
 #include "core/shm_session.hpp"
 #include "daemon/daemon.hpp"
 #include "util/cli.hpp"
@@ -49,6 +52,11 @@ int usage() {
                "  --batch=N        records per downstream flush (default 8)\n"
                "  --queue=N        per-tenant queue capacity (default 64)\n"
                "  --compress       write v3 block-compressed trace files\n"
+               "  --window-ms=N    live-analysis window size (default 100)\n"
+               "  --no-streaming   disable the live streaming analysis tap\n"
+               "  --monitors=FILE  derived-monitor config (NAME = EXPR per line;\n"
+               "                   default: loss_ratio, bytes_per_event,\n"
+               "                   compression_ratio)\n"
                "  --check          validate segments read-only and exit\n"
                "\n"
                "exit codes:\n");
@@ -134,6 +142,33 @@ int main(int argc, char** argv) {
   config.batching.maxQueuedRecords =
       static_cast<size_t>(cli.getInt("queue", 64));
   config.compressOutput = cli.getBool("compress", false);
+  if (cli.getBool("no-streaming", false)) {
+    config.analysisWindow = std::chrono::milliseconds(0);
+  } else {
+    config.analysisWindow =
+        std::chrono::milliseconds(cli.getInt("window-ms", 100));
+    const std::string monitorsPath = cli.getString("monitors", "");
+    if (monitorsPath.empty()) {
+      config.monitors = analysis::streaming::defaultMonitors();
+    } else {
+      std::ifstream in(monitorsPath);
+      if (!in) {
+        std::fprintf(stderr, "ktraced: cannot read --monitors file %s\n",
+                     monitorsPath.c_str());
+        return util::kExitUsage;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        // Fail at startup, not at the first window: a bad expression is a
+        // config error, never a runtime surprise.
+        config.monitors = analysis::streaming::parseMonitorConfig(text.str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ktraced: %s\n", e.what());
+        return util::kExitUsage;
+      }
+    }
+  }
 
   try {
     // The pipe must exist before any tenant work so a SIGTERM during

@@ -36,7 +36,12 @@
 // Exit codes come from util/exit_codes.hpp, the single source of truth
 // shared with ktraced (usage() prints the table from it).
 #include <cstdio>
+#include <cstdlib>
+#include <chrono>
 #include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
 
 #include "core/trace_file.hpp"
 
@@ -50,6 +55,9 @@
 #include "analysis/ltt_export.hpp"
 #include "analysis/profile.hpp"
 #include "analysis/reader.hpp"
+#include "analysis/streaming/engine.hpp"
+#include "analysis/streaming/folds.hpp"
+#include "analysis/streaming/monitors.hpp"
 #include "analysis/time_attribution.hpp"
 #include "analysis/timeline.hpp"
 #include "core/crash_dump.hpp"
@@ -85,12 +93,15 @@ int usage() {
       "  crashdump  flight-recorder dump         <dump.k42dump> [--cpu=N] [--max=N]\n"
       "  fsck       validate / salvage report    (exit 4 when damage is found)\n"
       "  monitor    self-monitoring counters     [--json]\n"
+      "  top        streaming-window replay      [--window-ms=N] [--monitors=FILE]\n"
+      "             [--tenant=NAME] [--json] [--rows=N]\n"
       "  recover    salvage a dead shm session   <segment> [--out=out.ktrace]\n"
       "             (exit 4 when the segment is damaged or held torn buffers)\n"
       "\n"
       "daemon control (against a running ktraced):\n"
       "  monitor --socket=PATH [--follow [--max-updates=N]]\n"
-      "  tenants --socket=PATH\n"
+      "  tenants --socket=PATH [--json]\n"
+      "  top     --socket=PATH [--once] [--json] [--interval-ms=N] [--rows=N]\n"
       "  evict NAME --socket=PATH\n"
       "\n"
       "global flags (trace-reading commands):\n"
@@ -104,6 +115,154 @@ int usage() {
     std::fprintf(stderr, "  %d  %s\n", row->code, row->meaning);
   }
   return util::kExitUsage;
+}
+
+/// Extracts one top-level field from a flat NDJSON line. Strings come
+/// back unquoted; numbers/null/arrays come back as the raw token (nested
+/// brackets balanced). Missing key -> "".
+std::string jsonRawField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  size_t i = at + needle.size();
+  if (i < line.size() && line[i] == '"') {
+    const size_t close = line.find('"', i + 1);
+    return close == std::string::npos ? "" : line.substr(i + 1, close - i - 1);
+  }
+  size_t end = i;
+  int depth = 0;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    } else if (c == ',' && depth == 0) {
+      break;
+    }
+    ++end;
+  }
+  return line.substr(i, end - i);
+}
+
+std::vector<std::string> splitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+/// Renders one `top` snapshot (the NDJSON lines between two "end" lines)
+/// as a per-tenant dashboard: header, the newest `windowRows` completed
+/// windows, and the derived-monitor summaries.
+void renderTopFrame(const std::vector<std::string>& lines, size_t windowRows) {
+  std::string tenant;
+  double tps = 0.0;
+  std::vector<const std::string*> windows;
+  std::vector<const std::string*> monitors;
+  bool sawTenant = false;
+
+  auto flushTenant = [&]() {
+    if (tenant.empty()) return;
+    const size_t first =
+        windows.size() > windowRows ? windows.size() - windowRows : 0;
+    if (windows.empty()) {
+      std::printf("  (no completed windows yet)\n");
+    } else {
+      std::printf("  %6s %10s %8s %10s  %s\n", "window", "start_s", "events",
+                  "cum", "per-cpu");
+      for (size_t i = first; i < windows.size(); ++i) {
+        const std::string& w = *windows[i];
+        const double startTick =
+            std::strtod(jsonRawField(w, "start_tick").c_str(), nullptr);
+        // Per-cpu counts: the "events" values inside the per_cpu array.
+        std::string perCpu;
+        const std::string cpuArray = jsonRawField(w, "per_cpu");
+        size_t pos = 0;
+        const std::string evKey = "\"events\":";
+        while ((pos = cpuArray.find(evKey, pos)) != std::string::npos) {
+          pos += evKey.size();
+          size_t end = pos;
+          while (end < cpuArray.size() && cpuArray[end] != ',' &&
+                 cpuArray[end] != '}') {
+            ++end;
+          }
+          if (!perCpu.empty()) perCpu += '/';
+          perCpu += cpuArray.substr(pos, end - pos);
+          pos = end;
+        }
+        std::printf("  %6s %10.4f %8s %10s  %s\n",
+                    jsonRawField(w, "index").c_str(),
+                    tps > 0.0 ? startTick / tps : 0.0,
+                    jsonRawField(w, "events").c_str(),
+                    jsonRawField(w, "cum_events").c_str(), perCpu.c_str());
+      }
+      if (first > 0) std::printf("  (%zu older window(s) not shown)\n", first);
+    }
+    for (const std::string* m : monitors) {
+      std::printf("  monitor %-20s last=%-12s min=%-12s max=%-12s over %s "
+                  "window(s)\n",
+                  jsonRawField(*m, "name").c_str(),
+                  jsonRawField(*m, "last").c_str(),
+                  jsonRawField(*m, "min").c_str(),
+                  jsonRawField(*m, "max").c_str(),
+                  jsonRawField(*m, "windows").c_str());
+    }
+    windows.clear();
+    monitors.clear();
+    tenant.clear();
+  };
+
+  for (const std::string& line : lines) {
+    const std::string type = jsonRawField(line, "type");
+    if (type == "top") {
+      flushTenant();
+      sawTenant = true;
+      tenant = jsonRawField(line, "tenant");
+      tps = std::strtod(jsonRawField(line, "ticks_per_second").c_str(), nullptr);
+      std::printf("tenant %s: %s cpu(s), %s event(s), %s window(s) completed, "
+                  "%s late, watermark tick %s\n",
+                  tenant.c_str(), jsonRawField(line, "processors").c_str(),
+                  jsonRawField(line, "events").c_str(),
+                  jsonRawField(line, "windows_completed").c_str(),
+                  jsonRawField(line, "late_events").c_str(),
+                  jsonRawField(line, "watermark_tick").c_str());
+    } else if (type == "window") {
+      windows.push_back(&line);
+    } else if (type == "monitor") {
+      monitors.push_back(&line);
+    }
+  }
+  flushTenant();
+  if (!sawTenant) {
+    std::printf("no live-analysis snapshots (daemon running with "
+                "--no-streaming, or no attached tenants)\n");
+  }
+}
+
+/// Renders the daemon's tenant NDJSON as a table (the default for
+/// `ktracetool tenants`; --json passes the raw lines through).
+void renderTenantsTable(const std::vector<std::string>& lines) {
+  std::printf("%-16s %-11s %4s %5s %8s %8s %8s %12s %s\n", "name", "state",
+              "gen", "cpus", "pending", "dropped", "queued", "bytes",
+              "last_error");
+  for (const std::string& line : lines) {
+    if (jsonRawField(line, "type") != "tenant") continue;
+    std::printf("%-16s %-11s %4s %5s %8s %8s %8s %12s %s\n",
+                jsonRawField(line, "name").c_str(),
+                jsonRawField(line, "state").c_str(),
+                jsonRawField(line, "generation").c_str(),
+                jsonRawField(line, "processors").c_str(),
+                jsonRawField(line, "pending").c_str(),
+                jsonRawField(line, "records_dropped").c_str(),
+                jsonRawField(line, "queued").c_str(),
+                jsonRawField(line, "bytes_written").c_str(),
+                jsonRawField(line, "last_error").c_str());
+  }
 }
 
 /// Daemon control client: sends one-line commands over the Unix socket
@@ -136,6 +295,21 @@ int runDaemonClient(const std::string& command, const std::string& socketPath,
     std::fprintf(stderr, "ktracetool: daemon closed the connection\n");
     return util::kExitFailure;
   };
+  // Like printUntilEnd but collects the reply body for local rendering.
+  auto collectUntilEnd = [&](std::vector<std::string>& lines) -> int {
+    std::string line;
+    while (stream.readLine(line)) {
+      if (line.find("\"type\":\"end\"") != std::string::npos) {
+        return line.find("\"ok\":true") != std::string::npos
+                   ? util::kExitOk
+                   : util::kExitFailure;
+      }
+      lines.push_back(line);
+      line.clear();
+    }
+    std::fprintf(stderr, "ktracetool: daemon closed the connection\n");
+    return util::kExitFailure;
+  };
   if (command == "monitor") {
     if (!sendLine("status")) return util::kExitFailure;
     const int rc = printUntilEnd();
@@ -154,7 +328,37 @@ int runDaemonClient(const std::string& command, const std::string& socketPath,
   }
   if (command == "tenants") {
     if (!sendLine("tenants")) return util::kExitFailure;
-    return printUntilEnd();
+    if (cli.getBool("json", false)) return printUntilEnd();
+    std::vector<std::string> lines;
+    const int rc = collectUntilEnd(lines);
+    if (rc != util::kExitOk) return rc;
+    renderTenantsTable(lines);
+    return util::kExitOk;
+  }
+  if (command == "top") {
+    // Self-refreshing dashboard over the daemon's per-tenant streaming
+    // snapshots; --once --json is the script/CI interface. One connection
+    // serves every refresh.
+    const bool once = cli.getBool("once", false);
+    const bool json = cli.getBool("json", false);
+    const auto interval =
+        std::chrono::milliseconds(cli.getInt("interval-ms", 1000));
+    const size_t rows = static_cast<size_t>(cli.getInt("rows", 8));
+    for (;;) {
+      if (!sendLine("top")) return util::kExitFailure;
+      std::vector<std::string> lines;
+      const int rc = collectUntilEnd(lines);
+      if (rc != util::kExitOk) return rc;
+      if (json) {
+        for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+      } else {
+        if (!once) std::printf("\033[2J\033[H");  // clear + home
+        renderTopFrame(lines, rows);
+      }
+      std::fflush(stdout);
+      if (once) return util::kExitOk;
+      std::this_thread::sleep_for(interval);
+    }
   }
   if (command == "evict") {
     if (args.empty()) {
@@ -165,7 +369,8 @@ int runDaemonClient(const std::string& command, const std::string& socketPath,
     return printUntilEnd();
   }
   std::fprintf(stderr,
-               "ktracetool: --socket only applies to monitor/tenants/evict\n");
+               "ktracetool: --socket only applies to monitor/tenants/top/"
+               "evict\n");
   return util::kExitUsage;
 }
 
@@ -303,15 +508,22 @@ int runMonitor(const analysis::TraceSet& trace, bool json) {
                   static_cast<unsigned long long>(consumer.sinkBackpressure),
                   static_cast<unsigned long long>(consumer.staleCommits));
     }
-    if (consumer.sinkRawBytes > consumer.sinkBytesWritten &&
-        consumer.sinkBytesWritten != 0) {
-      // rawBytes > bytesWritten only when the sink compresses.
-      std::printf("sink: %llu byte(s) written for %llu raw "
-                  "(compression ratio %.2fx)\n",
-                  static_cast<unsigned long long>(consumer.sinkBytesWritten),
-                  static_cast<unsigned long long>(consumer.sinkRawBytes),
-                  static_cast<double>(consumer.sinkRawBytes) /
-                      static_cast<double>(consumer.sinkBytesWritten));
+    if (consumer.sinkRawBytes > consumer.sinkBytesWritten) {
+      // rawBytes > bytesWritten only when the sink compresses. A sink
+      // that has accepted records but not yet flushed a block reports
+      // bytesWritten == 0 — show "--" rather than dividing by zero.
+      if (consumer.sinkBytesWritten != 0) {
+        std::printf("sink: %llu byte(s) written for %llu raw "
+                    "(compression ratio %.2fx)\n",
+                    static_cast<unsigned long long>(consumer.sinkBytesWritten),
+                    static_cast<unsigned long long>(consumer.sinkRawBytes),
+                    static_cast<double>(consumer.sinkRawBytes) /
+                        static_cast<double>(consumer.sinkBytesWritten));
+      } else {
+        std::printf("sink: 0 byte(s) written for %llu raw "
+                    "(compression ratio --, nothing flushed yet)\n",
+                    static_cast<unsigned long long>(consumer.sinkRawBytes));
+      }
     }
     if (consumer.tornBuffers != 0 || consumer.reclaimedWords != 0) {
       std::printf("recovery: %llu torn buffer(s) reclaimed, %llu filler "
@@ -555,6 +767,56 @@ int run(const util::Cli& cli) {
 
   if (command == "monitor") {
     return runMonitor(trace, cli.getBool("json", false));
+  }
+
+  if (command == "top") {
+    // Offline replay of the live streaming engine: same folds, same
+    // window geometry, same snapshot schema as ktraced's live tap — so a
+    // live snapshot's completed-window lines are a verbatim subset of
+    // this command's output over the same files.
+    const uint64_t windowMs = static_cast<uint64_t>(cli.getInt("window-ms", 100));
+    std::vector<analysis::streaming::DerivedMonitor> monitors;
+    const std::string monitorsPath = cli.getString("monitors", "");
+    if (monitorsPath.empty()) {
+      monitors = analysis::streaming::defaultMonitors();
+    } else {
+      std::ifstream in(monitorsPath);
+      if (!in) {
+        std::fprintf(stderr, "ktracetool: cannot read --monitors file %s\n",
+                     monitorsPath.c_str());
+        return util::kExitUsage;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      monitors = analysis::streaming::parseMonitorConfig(text.str());
+    }
+    analysis::streaming::StreamEngineConfig engineConfig;
+    engineConfig.ticksPerSecond = tps;
+    engineConfig.windowTicks =
+        analysis::streaming::windowTicksForMs(windowMs, tps);
+    analysis::streaming::StreamEngine engine(engineConfig, std::move(monitors));
+    engine.addFold(std::make_unique<analysis::streaming::LockContentionFold>());
+    engine.addFold(
+        std::make_unique<analysis::streaming::EventRateFold>(trace.numProcessors()));
+    engine.addFold(std::make_unique<analysis::streaming::ProfileFold>());
+    engine.addFold(std::make_unique<analysis::streaming::CompletenessFold>());
+    // The unordered plane is order-insensitive, so both planes can feed
+    // from the merged stream.
+    analysis::MergeCursor cursor(trace);
+    while (const DecodedEvent* e = cursor.next()) {
+      engine.observe(*e);
+      engine.onOrdered(*e);
+    }
+    engine.finish();
+    const std::string snapshot =
+        engine.snapshotJson(cli.getString("tenant", "trace"));
+    if (cli.getBool("json", false)) {
+      std::fputs(snapshot.c_str(), stdout);
+    } else {
+      renderTopFrame(splitLines(snapshot),
+                     static_cast<size_t>(cli.getInt("rows", 8)));
+    }
+    return util::kExitOk;
   }
 
   if (command == "list") {
