@@ -14,6 +14,7 @@ cmake --build "$build" -j "$(nproc)" --target \
       core_monitor_test analysis_completeness_test \
       core_consumer_shard_test core_batching_sink_test \
       core_shm_crash_test core_shm_session_test \
-      daemon_test daemon_crash_test trace_format_v3_test
+      daemon_test daemon_crash_test trace_format_v3_test \
+      replay_test
 cd "$build"
 ctest -L concurrent --output-on-failure

@@ -1,0 +1,66 @@
+#include "analysis/schedule_extract.hpp"
+
+#include "ossim/events.hpp"
+
+namespace ktrace::analysis {
+
+namespace {
+
+using ossim::LockMinor;
+using ossim::ProcMinor;
+using ossim::SchedMinor;
+
+bool is(const DecodedEvent& e, Major major, uint16_t minor) noexcept {
+  return e.header.major == major && e.header.minor == minor;
+}
+
+}  // namespace
+
+ExtractedSchedule extractSchedule(const TraceSet& trace) {
+  ExtractedSchedule schedule;
+  const uint32_t procs = trace.numProcessors();
+  schedule.stealsByThief.resize(procs);
+  schedule.dispatchOrder.resize(procs);
+
+  for (uint32_t p = 0; p < procs; ++p) {
+    for (const DecodedEvent& e : trace.processorEvents(p)) {
+      if (is(e, Major::Proc, static_cast<uint16_t>(ProcMinor::ThreadCreate))) {
+        // Logged on the processor the new thread was placed on.
+        if (e.data.size() >= 1) schedule.placements.emplace(e.data[0], p);
+      } else if (is(e, Major::Proc, static_cast<uint16_t>(ProcMinor::Fork))) {
+        // [parentPid, childPid, placedOnCpu]
+        if (e.data.size() >= 3) {
+          schedule.placements.emplace(e.data[1],
+                                      static_cast<uint32_t>(e.data[2]));
+        }
+      } else if (is(e, Major::Sched, static_cast<uint16_t>(SchedMinor::Migrate))) {
+        // [pid, tid, fromCpu, toCpu] — logged by the thief, so this
+        // processor's stream order is the thief's execution order.
+        if (e.data.size() >= 4) {
+          ExtractedSchedule::Steal steal;
+          steal.pid = e.data[0];
+          steal.tid = e.data[1];
+          steal.fromCpu = static_cast<uint32_t>(e.data[2]);
+          steal.toCpu = static_cast<uint32_t>(e.data[3]);
+          schedule.stealsByThief[p].push_back(steal);
+        }
+      } else if (is(e, Major::Sched, static_cast<uint16_t>(SchedMinor::Dispatch))) {
+        if (e.data.size() >= 2) {
+          schedule.dispatchOrder[p].emplace_back(e.data[0], e.data[1]);
+        }
+      }
+    }
+  }
+
+  // Lock hand-offs are a cross-processor order: walk the merged stream.
+  MergeCursor cursor(trace);
+  while (const DecodedEvent* e = cursor.next()) {
+    if (is(*e, Major::Lock, static_cast<uint16_t>(LockMinor::Acquired)) &&
+        e->data.size() >= 2) {
+      schedule.lockHandoffOrder[e->data[0]].push_back(e->data[1]);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace ktrace::analysis

@@ -1,0 +1,54 @@
+// Schedule extraction for deterministic replay (DESIGN.md §14).
+//
+// A recorded ossim trace pins the run's schedule completely: kAutoCpu
+// placements are carried by the events that announce a thread
+// (Proc/ThreadCreate is logged on the placement processor; Proc/Fork
+// carries the child's placement as its third word), and every steal is a
+// Sched/Migrate logged by the thief, so each processor's event stream
+// lists its steals in execution order. Dispatch order and lock hand-off
+// order need no dictation — they are derived state once placements and
+// steals are fixed — but they are extracted too, as the vocabulary for
+// divergence reporting (which processor first dispatched differently,
+// which lock changed hands in a different order).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/reader.hpp"
+
+namespace ktrace::analysis {
+
+struct ExtractedSchedule {
+  /// One recorded steal, as logged by the thief's Sched/Migrate.
+  struct Steal {
+    uint64_t pid = 0;
+    uint64_t tid = 0;
+    uint32_t fromCpu = 0;
+    uint32_t toCpu = 0;
+  };
+
+  /// pid -> processor the thread was originally placed on (spawn + fork).
+  std::map<uint64_t, uint32_t> placements;
+  /// Per-thief steal directives, each vector in that thief's execution
+  /// order (index = stealing processor).
+  std::vector<std::vector<Steal>> stealsByThief;
+  /// Per-processor dispatch order as (pid, tid) pairs.
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> dispatchOrder;
+  /// Contended lock hand-off order: lockId -> acquiring pids in merged
+  /// time order (Lock/Acquired is only logged for contended acquires).
+  std::map<uint64_t, std::vector<uint64_t>> lockHandoffOrder;
+
+  uint64_t totalSteals() const noexcept {
+    uint64_t n = 0;
+    for (const auto& v : stealsByThief) n += v.size();
+    return n;
+  }
+};
+
+/// Walks the decoded trace once (per-processor streams for execution
+/// order, merged order for lock hand-offs) and returns the schedule.
+ExtractedSchedule extractSchedule(const TraceSet& trace);
+
+}  // namespace ktrace::analysis

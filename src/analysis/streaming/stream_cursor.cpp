@@ -1,11 +1,50 @@
 #include "analysis/streaming/stream_cursor.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 
 #include "core/trace_file.hpp"
 
 namespace ktrace::analysis::streaming {
+
+namespace {
+
+/// Fingerprint of what a file *is* (vs. how far it has grown): the
+/// immutable header metadata plus the first record's seq and leading
+/// words. Append-only growth keeps it stable; rotation or rewrite in
+/// place changes it.
+uint64_t fileIdentity(TraceFileReader& reader) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  const TraceFileMeta& meta = reader.meta();
+  mix(meta.processorId);
+  mix(meta.numProcessors);
+  mix(meta.bufferWords);
+  mix(static_cast<uint64_t>(meta.clockKind));
+  uint64_t tpsBits = 0;
+  static_assert(sizeof(meta.ticksPerSecond) == sizeof(tpsBits));
+  std::memcpy(&tpsBits, &meta.ticksPerSecond, sizeof(tpsBits));
+  mix(tpsBits);
+  mix(meta.startWallNs);
+  mix(meta.startTicks);
+  BufferView first;
+  if (reader.bufferCount() > 0 && reader.readBufferView(0, first)) {
+    mix(first.seq);
+    const size_t n = std::min<size_t>(first.words.size(), 8);
+    for (size_t i = 0; i < n; ++i) mix(first.words[i]);
+  }
+  // Reserve 0 as "unknown" so legacy cursors stay accepted.
+  return h != 0 ? h : 1;
+}
+
+}  // namespace
 
 // --- OrderedMerger -----------------------------------------------------
 
@@ -102,6 +141,26 @@ size_t StreamCursor::poll() {
     }
     const uint32_t processor = reader->meta().processorId;
     const uint64_t count = reader->bufferCount();
+    // Validate the cursor against the file actually at this path before
+    // trusting its offset (a resumed cursor may predate a rotation). The
+    // fingerprint includes the first record, so it is only final once the
+    // file has one; an empty file stays at identity 0 (unknown).
+    const uint64_t identity = count > 0 ? fileIdentity(*reader) : 0;
+    if (cursor.identity != 0 && identity != 0 && cursor.identity != identity) {
+      throw std::runtime_error(
+          "StreamCursor: resumed cursor does not match the file at '" +
+          paths_[i] +
+          "' (rotated or rewritten since the cursor was saved); restart "
+          "from a fresh cursor");
+    }
+    if (cursor.recordsDecoded > count) {
+      throw std::runtime_error(
+          "StreamCursor: resumed cursor is past the end of '" + paths_[i] +
+          "' (" + std::to_string(cursor.recordsDecoded) +
+          " record(s) decoded, file now holds " + std::to_string(count) +
+          "); the file was truncated or replaced");
+    }
+    if (identity != 0) cursor.identity = identity;
     for (uint64_t k = cursor.recordsDecoded; k < count; ++k) {
       BufferView view;
       if (!reader->readBufferView(k, view)) break;

@@ -29,6 +29,13 @@ namespace ktrace::analysis::streaming {
 struct FileCursor {
   uint64_t recordsDecoded = 0;  // records already decoded and emitted
   uint64_t tsBase = 0;          // running 64-bit timestamp base at that point
+  /// Fingerprint of the file the cursor was taken against (header
+  /// metadata + first record), filled in by the first successful poll().
+  /// 0 = unknown (a cursor saved by an older reader). resume() with a
+  /// non-zero identity is validated on the next poll: a rotated or
+  /// rewritten file no longer matches and poll() throws instead of
+  /// silently replaying from a bogus offset.
+  uint64_t identity = 0;
 };
 
 /// K-way ordering buffer with a watermark: push events per lane (one lane
@@ -97,6 +104,11 @@ class StreamCursor {
   /// Decodes newly flushed records from every file; returns how many
   /// events were ingested. Files that cannot be opened (absent, or
   /// mid-write with a stale footer) are skipped until the next poll.
+  ///
+  /// Throws std::runtime_error when a resumed cursor does not belong to
+  /// the file now at its path: the fingerprint saved in the cursor no
+  /// longer matches (rotation / rewrite), or the file holds fewer records
+  /// than the cursor claims to have decoded (truncation).
   size_t poll();
 
   /// Next event in merged order, or nullptr (need more polls / drained).

@@ -49,8 +49,8 @@ void registerOssimEvents(ktrace::Registry& registry) {
        "thread exit pid %0[%llu] thread %1[%llx]"},
 
       {Major::Proc, static_cast<uint16_t>(ProcMinor::Fork),
-       KT_TR(TRACE_PROC_FORK), "64 64",
-       "fork parent %0[%llu] child %1[%llu]"},
+       KT_TR(TRACE_PROC_FORK), "64 64 64",
+       "fork parent %0[%llu] child %1[%llu] cpu %2[%llu]"},
       {Major::Proc, static_cast<uint16_t>(ProcMinor::Exec),
        KT_TR(TRACE_PROC_EXEC), "64 str", "exec pid %0[%llu] name %1[%s]"},
       {Major::Proc, static_cast<uint16_t>(ProcMinor::Exit),

@@ -15,7 +15,7 @@
 //   Sched/Idle          []
 //   Sched/Migrate       [pid, tid, fromCpu, toCpu]
 //   Sched/ThreadExit    [pid, tid]
-//   Proc/Fork           [parentPid, childPid]
+//   Proc/Fork           [parentPid, childPid, placedOnCpu]
 //   Proc/Exec           [pid, str name]
 //   Proc/Exit           [pid, status]
 //   Proc/ThreadCreate   [pid, tid, entryFuncId]

@@ -83,9 +83,6 @@ uint64_t Machine::spawnProcess(const std::string& name, uint64_t programId,
   if (programId >= programs_.size()) {
     throw std::invalid_argument("unknown program id");
   }
-  const uint32_t target = cpu == kAutoCpu ? leastLoadedCpu() : cpu;
-  if (target >= cpus_.size()) throw std::invalid_argument("bad cpu");
-
   auto thread = std::make_unique<SimThread>();
   thread->tid = nextTid_++;
   thread->pid = nextPid_++;
@@ -93,6 +90,10 @@ uint64_t Machine::spawnProcess(const std::string& name, uint64_t programId,
   thread->processName = name;
   thread->notBefore = startNotBefore;
   const uint64_t pid = thread->pid;
+
+  const uint32_t target =
+      cpu == kAutoCpu ? placeThread(pid, thread->tid) : cpu;
+  if (target >= cpus_.size()) throw std::invalid_argument("bad cpu");
 
   Cpu& c = *cpus_[target];
   logvString(c, Major::User, static_cast<uint16_t>(UserMinor::RunULoader),
@@ -108,6 +109,10 @@ uint64_t Machine::spawnProcess(const std::string& name, uint64_t programId,
 }
 
 uint32_t Machine::leastLoadedCpu() const {
+  // Determinism contract (replay depends on it, pinned by
+  // ossim_machine_test): ties on queue length break to the LOWEST
+  // processor id. The ascending scan with a strict `<` guarantees it —
+  // an equally loaded higher id never displaces the incumbent.
   uint32_t best = 0;
   size_t bestLoad = ~size_t{0};
   for (uint32_t p = 0; p < cpus_.size(); ++p) {
@@ -118,6 +123,13 @@ uint32_t Machine::leastLoadedCpu() const {
     }
   }
   return best;
+}
+
+uint32_t Machine::placeThread(uint64_t pid, uint64_t tid) {
+  const uint32_t policy = leastLoadedCpu();
+  if (oracle_ == nullptr) return policy;
+  const uint32_t dictated = oracle_->placeThread(pid, tid, policy);
+  return dictated < cpus_.size() ? dictated : policy;
 }
 
 Tick Machine::now() const noexcept {
@@ -145,7 +157,23 @@ uint32_t Machine::pickNextCpu() const {
   return best;
 }
 
+Tick Machine::nextStepBeginsAt(const Cpu& cpu) const noexcept {
+  if (cpu.runQueue.empty()) return ~Tick{0};
+  Tick minNotBefore = ~Tick{0};
+  for (const auto& t : cpu.runQueue) {
+    minNotBefore = std::min(minNotBefore, t->notBefore);
+  }
+  return std::max(cpu.now, minNotBefore);
+}
+
+void Machine::creditIdle(Cpu& cpu, Tick upTo) noexcept {
+  const Tick from = std::max(cpu.now, cpu.idleCreditedTo);
+  if (upTo > from) cpu.stats.idleNs += upTo - from;
+  cpu.idleCreditedTo = std::max(cpu.idleCreditedTo, upTo);
+}
+
 void Machine::run(Tick untilNs) {
+  bool exhausted = false;  // every thread exited (vs. horizon reached)
   for (;;) {
     if (config_.workStealing) {
       for (auto& c : cpus_) {
@@ -153,17 +181,36 @@ void Machine::run(Tick untilNs) {
       }
     }
     const uint32_t pick = pickNextCpu();
-    if (pick == ~0u) break;  // everything exited
-    if (untilNs != 0 && cpus_[pick]->now >= untilNs) break;
+    if (pick == ~0u) {
+      exhausted = true;
+      break;
+    }
+    // Horizon check (see run()'s contract in machine.hpp): stop before
+    // the first step that would *begin* at or past untilNs. pickNextCpu
+    // minimizes exactly nextStepBeginsAt, so when the picked processor is
+    // past the horizon every processor is — the stop condition cannot
+    // depend on pick order, and a resumed run continues from an
+    // unperturbed state.
+    if (untilNs != 0 && nextStepBeginsAt(*cpus_[pick]) >= untilNs) break;
     step(*cpus_[pick]);
   }
-  // Align idle processors with the makespan so utilization adds up.
-  const Tick horizon = untilNs != 0 ? std::max(untilNs, now()) : now();
-  for (auto& c : cpus_) {
-    if (c->runQueue.empty() && c->now < horizon) {
-      c->stats.idleNs += horizon - c->now;
-      c->now = horizon;
+  if (exhausted) {
+    // Run to completion: align idle processors with the makespan (or the
+    // explicit horizon, if it lies beyond) so utilization adds up. All
+    // queues are empty here, so moving clocks cannot perturb anything.
+    const Tick horizon = std::max(untilNs, now());
+    for (auto& c : cpus_) {
+      creditIdle(*c, horizon);
+      if (c->now < horizon) c->now = horizon;
     }
+  } else {
+    // Horizon reached with live threads: every processor's next step
+    // begins at or past untilNs, so each one is idle from its clock to
+    // the horizon. Credit that idle time through the watermark but leave
+    // the clocks alone — mutating them here is what used to make
+    // run(a); run(b) diverge from run(b) (idle timestamps and steal
+    // hand-offs picked up the aligned clocks).
+    for (auto& c : cpus_) creditIdle(*c, untilNs);
   }
 }
 
@@ -191,7 +238,7 @@ void Machine::step(Cpu& cpu) {
       logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Idle));
       cpu.idleLogged = true;
     }
-    cpu.stats.idleNs += wake - cpu.now;
+    creditIdle(cpu, wake);
     cpu.now = wake;
   }
   cpu.idleLogged = false;
@@ -240,7 +287,35 @@ void Machine::preempt(Cpu& cpu) {
 }
 
 bool Machine::trySteal(Cpu& cpu) {
-  // Find the donor with the most ready surplus.
+  if (oracle_ != nullptr) {
+    const StealChoice choice = oracle_->steal(cpu.id);
+    if (choice.kind == StealChoice::Kind::None) return false;
+    if (choice.kind == StealChoice::Kind::Directed) {
+      if (choice.fromCpu >= cpus_.size()) return false;
+      Cpu& donor = *cpus_[choice.fromCpu];
+      // A directed steal fires only under the same preconditions the
+      // policy steal would need (donor has a surplus; never the
+      // dispatched front). If the named thread is not stealable yet the
+      // directive stays pending and is retried at the thief's next
+      // opportunity.
+      if (&donor == &cpu || donor.runQueue.size() < 2) return false;
+      for (size_t i = 1; i < donor.runQueue.size(); ++i) {
+        if (donor.runQueue[i]->tid != choice.tid) continue;
+        auto thread = std::move(donor.runQueue[i]);
+        donor.runQueue.erase(donor.runQueue.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        stealInto(cpu, donor, std::move(thread));
+        oracle_->commitSteal(cpu.id);
+        return true;
+      }
+      return false;
+    }
+    // Kind::Policy falls through to the built-in pick.
+  }
+  // Find the donor with the most ready surplus. Determinism contract
+  // (replay depends on it, pinned by ossim_machine_test): ties on queue
+  // length break to the LOWEST donor id — the ascending scan with a
+  // strict `>` keeps the first (lowest-id) processor among equals.
   Cpu* donor = nullptr;
   for (auto& candidate : cpus_) {
     if (candidate.get() == &cpu || candidate->runQueue.size() < 2) continue;
@@ -253,15 +328,19 @@ bool Machine::trySteal(Cpu& cpu) {
   // never the currently dispatched front.
   auto thread = std::move(donor->runQueue.back());
   donor->runQueue.pop_back();
+  stealInto(cpu, *donor, std::move(thread));
+  return true;
+}
+
+void Machine::stealInto(Cpu& cpu, Cpu& donor, std::unique_ptr<SimThread> thread) {
   // The thread's events so far were logged at times <= donor->now; keep
   // its timeline causal on the new processor.
-  thread->notBefore = std::max(thread->notBefore, donor->now);
+  thread->notBefore = std::max(thread->notBefore, donor.now);
   ++stats_.migrations;
   logv(cpu, Major::Sched, static_cast<uint16_t>(SchedMinor::Migrate), thread->pid,
-       thread->tid, static_cast<uint64_t>(donor->id), static_cast<uint64_t>(cpu.id));
+       thread->tid, static_cast<uint64_t>(donor.id), static_cast<uint64_t>(cpu.id));
   cpu.runQueue.push_back(std::move(thread));
   cpu.idleLogged = false;
-  return true;
 }
 
 uint64_t Machine::resolveLockId(const Cpu& cpu, uint64_t lockId) {
@@ -501,11 +580,17 @@ void Machine::opFork(Cpu& cpu, SimThread& thread, const Op& op) {
   if (config_.lazyFork) child->pendingFaults = config_.forkLazyFaults;
   const uint64_t childPid = child->pid;
 
-  logv(cpu, Major::Proc, static_cast<uint16_t>(ProcMinor::Fork), thread.pid, childPid);
+  // Place before logging so the Fork event can carry the placement: the
+  // child's first own-cpu event may be a post-steal Dispatch, so without
+  // this word the original placement would be unrecoverable from the
+  // trace (replay's schedule extraction needs it).
+  Cpu& target = *cpus_[placeThread(childPid, child->tid)];
+
+  logv(cpu, Major::Proc, static_cast<uint16_t>(ProcMinor::Fork), thread.pid, childPid,
+       static_cast<uint64_t>(target.id));
   logvString(cpu, Major::User, static_cast<uint16_t>(UserMinor::RunULoader),
              child->processName, {thread.pid, childPid});
 
-  Cpu& target = *cpus_[leastLoadedCpu()];
   target.runQueue.push_back(std::move(child));
   target.idleLogged = false;
   ++liveThreads_;

@@ -28,6 +28,7 @@
 #include "ossim/events.hpp"
 #include "ossim/locks.hpp"
 #include "ossim/program.hpp"
+#include "ossim/schedule_oracle.hpp"
 #include "util/rng.hpp"
 
 namespace ossim {
@@ -132,9 +133,25 @@ class Machine {
                         uint32_t cpu = kAutoCpu, uint64_t parentPid = kKernelPid,
                         Tick startNotBefore = 0);
 
-  /// Runs until every thread has exited, or (if untilNs != 0) until every
-  /// processor clock reaches untilNs.
+  /// Runs the machine. Horizon semantics (pinned by ossim_machine_test):
+  ///
+  ///  - untilNs == 0: runs until every thread has exited, then advances
+  ///    idle processors' clocks to the makespan so utilization adds up.
+  ///  - untilNs != 0: executes exactly the steps that *begin* strictly
+  ///    before untilNs (a step's begin time is max(cpu clock, earliest
+  ///    queued notBefore) — the same quantity pickNextCpu minimizes, so
+  ///    the stop condition is independent of pick order). A step that
+  ///    begins before the horizon may finish past it; processor clocks
+  ///    are never mutated at the horizon. Idle time up to the horizon is
+  ///    credited to CpuStats::idleNs through a per-processor watermark,
+  ///    so run(a); run(b) is observably identical to run(b) — same event
+  ///    stream, same clocks, same stats.
   void run(Tick untilNs = 0);
+
+  /// Installs (or clears, with nullptr) the replay schedule oracle
+  /// consulted for kAutoCpu placements and work-stealing picks. Not
+  /// owned; must outlive the run. See schedule_oracle.hpp.
+  void setScheduleOracle(ScheduleOracle* oracle) noexcept { oracle_ = oracle; }
 
   /// Largest processor clock (the virtual makespan).
   Tick now() const noexcept;
@@ -178,17 +195,35 @@ class Machine {
     uint64_t heartbeatSeq = 0;
     double missAccum = 0;    // simulated cache misses since last sample
     bool idleLogged = false;
+    /// Idle time has been credited to stats.idleNs up to this virtual
+    /// time (horizon credits can run ahead of `now`); prevents double
+    /// counting when a bounded run() is resumed.
+    Tick idleCreditedTo = 0;
   };
 
   // --- execution ---
   uint32_t pickNextCpu() const;
+  /// Virtual time at which cpu's next step would begin: max(clock,
+  /// earliest queued notBefore); ~Tick{0} for an empty queue. This is the
+  /// quantity pickNextCpu minimizes and run()'s horizon check tests.
+  Tick nextStepBeginsAt(const Cpu& cpu) const noexcept;
+  /// Credit idle time up to `upTo` against the per-cpu watermark without
+  /// touching the clock. Never double counts across resumed runs.
+  void creditIdle(Cpu& cpu, Tick upTo) noexcept;
+  /// kAutoCpu placement for a new thread: least-loaded policy, overridden
+  /// by the schedule oracle when one is installed.
+  uint32_t placeThread(uint64_t pid, uint64_t tid);
   void step(Cpu& cpu);
   void dispatch(Cpu& cpu);
   void preempt(Cpu& cpu);
   bool executeOp(Cpu& cpu, SimThread& thread);  // true if thread exited
   void finishThread(Cpu& cpu);
-  /// Work stealing: pull a ready thread from the longest other queue.
+  /// Work stealing: pull a ready thread from the longest other queue
+  /// (lowest donor id on ties), or whatever the oracle dictates.
   bool trySteal(Cpu& cpu);
+  /// Common tail of a steal: re-anchor the thread's timeline, log the
+  /// Migrate, enqueue on the thief.
+  void stealInto(Cpu& cpu, Cpu& donor, std::unique_ptr<SimThread> thread);
   /// Resolve a lock id through the hot-swap remap (per-cpu split).
   uint64_t resolveLockId(const Cpu& cpu, uint64_t lockId);
 
@@ -219,6 +254,7 @@ class Machine {
 
   MachineConfig config_;
   ktrace::Facility* facility_;
+  ScheduleOracle* oracle_ = nullptr;  // not owned; null = built-in policy
   std::vector<Program> programs_;
   std::vector<std::unique_ptr<Cpu>> cpus_;  // Cpu holds atomics: not movable
   LockTable locks_;

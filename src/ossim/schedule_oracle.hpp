@@ -1,0 +1,64 @@
+// Schedule-injection seam for deterministic replay (DESIGN.md §14).
+//
+// The machine's placement and work-stealing decisions are pure functions
+// of simulator state, so a normal run needs no oracle at all (a null
+// oracle selects the built-in policy). Replay installs an oracle that
+// dictates those decisions from a recorded trace: placements are keyed by
+// the pid being placed (pids are assigned deterministically in creation
+// order, so recording and replay agree on them), and steals are dictated
+// per thief as a FIFO of (tid, fromCpu) directives extracted from the
+// recorded Sched/Migrate events.
+//
+// The oracle is consulted only at the two points where the scheduler
+// makes a *choice*: kAutoCpu placement (spawn and fork) and the
+// work-stealing donor/victim pick. Dispatch order itself needs no
+// dictation — it is fully determined by per-processor clocks and queue
+// contents once placements and steals are pinned.
+#pragma once
+
+#include <cstdint>
+
+namespace ossim {
+
+/// Answer to "should this idle processor steal, and what?".
+struct StealChoice {
+  enum class Kind : uint8_t {
+    Policy,    ///< fall through to the built-in longest-queue policy
+    None,      ///< do not steal at this opportunity
+    Directed,  ///< steal thread `tid` from processor `fromCpu`
+  };
+  Kind kind = Kind::Policy;
+  uint32_t fromCpu = 0;
+  uint64_t tid = 0;
+};
+
+class ScheduleOracle {
+ public:
+  virtual ~ScheduleOracle() = default;
+
+  /// Placement of a new thread created with cpu == kAutoCpu (spawnProcess
+  /// or fork). `policyCpu` is what the built-in least-loaded policy would
+  /// pick; return it unchanged to keep the default behaviour.
+  virtual uint32_t placeThread(uint64_t pid, uint64_t tid, uint32_t policyCpu) {
+    (void)pid;
+    (void)tid;
+    return policyCpu;
+  }
+
+  /// Consulted each time the idle processor `thiefCpu` has a stealing
+  /// opportunity (workStealing on, empty run queue). A Directed choice
+  /// that cannot currently be satisfied (the named thread is not a
+  /// stealable resident of fromCpu yet) is retried at the thief's next
+  /// opportunity; the machine never blocks on it.
+  virtual StealChoice steal(uint32_t thiefCpu) {
+    (void)thiefCpu;
+    return {};
+  }
+
+  /// Called after a Directed steal actually executed. steal() must be a
+  /// pure peek (the machine may decline an unsatisfiable directive and
+  /// ask again later); the oracle advances its directive queue here.
+  virtual void commitSteal(uint32_t thiefCpu) { (void)thiefCpu; }
+};
+
+}  // namespace ossim

@@ -1,0 +1,255 @@
+#include "replay/recording.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <span>
+
+#include "analysis/symbols.hpp"
+#include "core/monitor.hpp"
+#include "core/packing.hpp"
+
+namespace ktrace::replay {
+
+namespace {
+
+std::string u64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct SpecParser {
+  std::map<std::string, std::string> kv;
+  std::string missing;
+
+  bool u(const char* key, uint64_t& out) {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      if (!missing.empty()) missing += ", ";
+      missing += key;
+      return false;
+    }
+    out = std::strtoull(it->second.c_str(), nullptr, 10);
+    return true;
+  }
+  template <typename T>
+  bool num(const char* key, T& out) {
+    uint64_t v = 0;
+    if (!u(key, v)) return false;
+    out = static_cast<T>(v);
+    return true;
+  }
+  bool b(const char* key, bool& out) {
+    uint64_t v = 0;
+    if (!u(key, v)) return false;
+    out = v != 0;
+    return true;
+  }
+  bool d(const char* key, double& out) {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      if (!missing.empty()) missing += ", ";
+      missing += key;
+      return false;
+    }
+    out = std::strtod(it->second.c_str(), nullptr);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> encodeSpec(
+    const RecordingSpec& spec) {
+  const ossim::MachineConfig& m = spec.machine;
+  const workload::SdetConfig& s = spec.sdet;
+  std::vector<std::pair<std::string, std::string>> kv;
+  kv.emplace_back("manifest.version", "1");
+  kv.emplace_back("workload.kind", "sdet");
+  kv.emplace_back("machine.numProcessors", u64(m.numProcessors));
+  kv.emplace_back("machine.quantumNs", u64(m.quantumNs));
+  kv.emplace_back("machine.contextSwitchNs", u64(m.contextSwitchNs));
+  kv.emplace_back("machine.spinLoopNs", u64(m.spinLoopNs));
+  kv.emplace_back("machine.pcSampleIntervalNs", u64(m.pcSampleIntervalNs));
+  kv.emplace_back("machine.hwCounterSampleIntervalNs",
+                  u64(m.hwCounterSampleIntervalNs));
+  kv.emplace_back("machine.monitorHeartbeatIntervalNs",
+                  u64(m.monitorHeartbeatIntervalNs));
+  kv.emplace_back("machine.cacheMissesPerUs", f64(m.cacheMissesPerUs));
+  kv.emplace_back("machine.spinMissMultiplier", f64(m.spinMissMultiplier));
+  kv.emplace_back("machine.minorFaultNs", u64(m.minorFaultNs));
+  kv.emplace_back("machine.majorFaultNs", u64(m.majorFaultNs));
+  kv.emplace_back("machine.lazyFork", u64(m.lazyFork ? 1 : 0));
+  kv.emplace_back("machine.forkEagerCopyNs", u64(m.forkEagerCopyNs));
+  kv.emplace_back("machine.forkLazyBaseNs", u64(m.forkLazyBaseNs));
+  kv.emplace_back("machine.forkLazyFaults", u64(m.forkLazyFaults));
+  kv.emplace_back("machine.preemptInCriticalSection",
+                  u64(m.preemptInCriticalSection ? 1 : 0));
+  kv.emplace_back("machine.traceCostEnabledNs", u64(m.traceCostEnabledNs));
+  kv.emplace_back("machine.traceCostDisabledNs", u64(m.traceCostDisabledNs));
+  kv.emplace_back("machine.traceLockSerialization",
+                  u64(m.traceLockSerialization ? 1 : 0));
+  kv.emplace_back("machine.workStealing", u64(m.workStealing ? 1 : 0));
+  kv.emplace_back("machine.adaptiveLockSplitThresholdNs",
+                  u64(m.adaptiveLockSplitThresholdNs));
+  kv.emplace_back("machine.syscallBaseNs", u64(m.syscallBaseNs));
+  kv.emplace_back("machine.seed", u64(m.seed));
+  kv.emplace_back("sdet.numScripts", u64(s.numScripts));
+  kv.emplace_back("sdet.commandsPerScript", u64(s.commandsPerScript));
+  kv.emplace_back("sdet.seed", u64(s.seed));
+  kv.emplace_back("sdet.tunedAllocator", u64(s.tunedAllocator ? 1 : 0));
+  kv.emplace_back("sdet.staggeredStart", u64(s.staggeredStart ? 1 : 0));
+  kv.emplace_back("sdet.startSpreadNs", u64(s.startSpreadNs));
+  kv.emplace_back("sdet.workScale", f64(s.workScale));
+  kv.emplace_back("facility.bufferWords", u64(spec.bufferWords));
+  kv.emplace_back("facility.buffersPerProcessor",
+                  u64(spec.buffersPerProcessor));
+  kv.emplace_back("run.untilNs", u64(spec.runUntilNs));
+  return kv;
+}
+
+void logManifest(Facility& facility, const RecordingSpec& spec) {
+  const auto kv = encodeSpec(spec);
+  uint64_t index = 0;
+  const uint64_t total = kv.size();
+  for (const auto& [key, value] : kv) {
+    const uint64_t leading[2] = {index++, total};
+    logEventString(facility.control(0), Major::App, kManifestMinor,
+                   key + "=" + value, std::span<const uint64_t>(leading, 2));
+  }
+}
+
+bool parseManifest(const analysis::TraceSet& trace, RecordingSpec& out,
+                   std::string& error) {
+  if (trace.numProcessors() == 0) {
+    error = "empty trace";
+    return false;
+  }
+  SpecParser parser;
+  uint64_t expected = 0;
+  for (const DecodedEvent& e : trace.processorEvents(0)) {
+    if (e.header.major != Major::App || e.header.minor != kManifestMinor) {
+      continue;
+    }
+    if (e.data.size() < 3) continue;  // [index, total, len, packed...]
+    expected = e.data[1];
+    std::string text;
+    unpackString(e.data.data() + 2, e.data.size() - 2, text);
+    const size_t eq = text.find('=');
+    if (eq == std::string::npos) continue;
+    parser.kv[text.substr(0, eq)] = text.substr(eq + 1);
+  }
+  if (parser.kv.empty()) {
+    error = "no replay manifest in trace (was it recorded with "
+            "'ktracetool record'?)";
+    return false;
+  }
+  if (parser.kv.size() != expected) {
+    error = "incomplete replay manifest: " + u64(parser.kv.size()) + " of " +
+            u64(expected) + " entries decoded";
+    return false;
+  }
+  const auto kind = parser.kv.find("workload.kind");
+  if (kind == parser.kv.end() || kind->second != "sdet") {
+    error = "unsupported recorded workload kind";
+    return false;
+  }
+
+  RecordingSpec spec;
+  ossim::MachineConfig& m = spec.machine;
+  workload::SdetConfig& s = spec.sdet;
+  parser.num("machine.numProcessors", m.numProcessors);
+  parser.num("machine.quantumNs", m.quantumNs);
+  parser.num("machine.contextSwitchNs", m.contextSwitchNs);
+  parser.num("machine.spinLoopNs", m.spinLoopNs);
+  parser.num("machine.pcSampleIntervalNs", m.pcSampleIntervalNs);
+  parser.num("machine.hwCounterSampleIntervalNs", m.hwCounterSampleIntervalNs);
+  parser.num("machine.monitorHeartbeatIntervalNs",
+             m.monitorHeartbeatIntervalNs);
+  parser.d("machine.cacheMissesPerUs", m.cacheMissesPerUs);
+  parser.d("machine.spinMissMultiplier", m.spinMissMultiplier);
+  parser.num("machine.minorFaultNs", m.minorFaultNs);
+  parser.num("machine.majorFaultNs", m.majorFaultNs);
+  parser.b("machine.lazyFork", m.lazyFork);
+  parser.num("machine.forkEagerCopyNs", m.forkEagerCopyNs);
+  parser.num("machine.forkLazyBaseNs", m.forkLazyBaseNs);
+  parser.num("machine.forkLazyFaults", m.forkLazyFaults);
+  parser.b("machine.preemptInCriticalSection", m.preemptInCriticalSection);
+  parser.num("machine.traceCostEnabledNs", m.traceCostEnabledNs);
+  parser.num("machine.traceCostDisabledNs", m.traceCostDisabledNs);
+  parser.b("machine.traceLockSerialization", m.traceLockSerialization);
+  parser.b("machine.workStealing", m.workStealing);
+  parser.num("machine.adaptiveLockSplitThresholdNs",
+             m.adaptiveLockSplitThresholdNs);
+  parser.num("machine.syscallBaseNs", m.syscallBaseNs);
+  parser.num("machine.seed", m.seed);
+  parser.num("sdet.numScripts", s.numScripts);
+  parser.num("sdet.commandsPerScript", s.commandsPerScript);
+  parser.num("sdet.seed", s.seed);
+  parser.b("sdet.tunedAllocator", s.tunedAllocator);
+  parser.b("sdet.staggeredStart", s.staggeredStart);
+  parser.num("sdet.startSpreadNs", s.startSpreadNs);
+  parser.d("sdet.workScale", s.workScale);
+  parser.num("facility.bufferWords", spec.bufferWords);
+  parser.num("facility.buffersPerProcessor", spec.buffersPerProcessor);
+  parser.num("run.untilNs", spec.runUntilNs);
+  if (!parser.missing.empty()) {
+    error = "replay manifest missing keys: " + parser.missing;
+    return false;
+  }
+  out = spec;
+  return true;
+}
+
+RunArtifacts runRecording(const RecordingSpec& spec,
+                          ossim::ScheduleOracle* oracle) {
+  FakeClock boot{0, 0};  // constant 0 until the machine installs clocks
+  FacilityConfig cfg;
+  cfg.numProcessors = spec.machine.numProcessors;
+  cfg.bufferWords = spec.bufferWords;
+  cfg.buffersPerProcessor = spec.buffersPerProcessor;
+  cfg.clockKind = ClockKind::Virtual;
+  cfg.clockOverride = boot.ref();
+  cfg.mode = Mode::Stream;
+  Facility facility(cfg);
+  facility.mask().enableAll();
+
+  ossim::Machine machine(spec.machine, &facility);
+  logManifest(facility, spec);
+
+  analysis::SymbolTable symbols;
+  workload::SdetWorkload sdet(spec.sdet, machine, symbols);
+  machine.setScheduleOracle(oracle);
+  sdet.spawnAll();
+  machine.run(spec.runUntilNs);
+  machine.setScheduleOracle(nullptr);
+
+  // Synchronous drain: no consumer thread ever runs, so drain timing is
+  // not a source of nondeterminism (a live consumer racing the producers
+  // would turn ring-full drop patterns into wall-clock noise).
+  MemorySink sink;
+  Consumer consumer(facility, sink, {});
+  facility.flushAll();
+  consumer.drainNow();
+
+  RunArtifacts artifacts;
+  artifacts.records = sink.records();
+  artifacts.machineStats = machine.stats();
+  artifacts.makespanNs = machine.now();
+  artifacts.throughputScriptsPerHour = sdet.throughputScriptsPerHour();
+  Monitor::Config monitorConfig;
+  monitorConfig.emitHeartbeats = false;
+  Monitor monitor(facility, nullptr, monitorConfig);
+  artifacts.eventsDroppedAtSource = monitor.snapshot().totals().eventsDropped;
+  return artifacts;
+}
+
+}  // namespace ktrace::replay

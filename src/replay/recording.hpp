@@ -1,0 +1,77 @@
+// Self-describing recordings for deterministic replay (DESIGN.md §14).
+//
+// A recording is an ordinary ossim trace plus an embedded *manifest*: a
+// run of Major::App / kManifestMinor string events logged on processor 0
+// at virtual time zero, one "key=value" pair each, carrying everything
+// needed to rebuild the run — the full MachineConfig, the SDET workload
+// parameters, and the facility geometry. The manifest is written through
+// the normal logging path (so it replays bit-identically) but directly
+// via the facility rather than Machine::logv (so it charges no virtual
+// time and perturbs nothing).
+//
+// The same RunHarness drives both recording and replay: the two sides
+// must build the facility/machine/workload identically or "bit-identical
+// re-emission" would be comparing two different programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "core/ktrace.hpp"
+#include "ossim/machine.hpp"
+#include "ossim/schedule_oracle.hpp"
+#include "workload/sdet.hpp"
+
+namespace ktrace::replay {
+
+/// Minor (under Major::App) reserved for manifest key=value events. App
+/// minors otherwise come from interned symbol ids, which are small;
+/// 0xFFFE cannot collide with them.
+constexpr uint16_t kManifestMinor = 0xFFFE;
+
+/// Everything needed to re-run a recorded run from scratch.
+struct RecordingSpec {
+  ossim::MachineConfig machine;
+  workload::SdetConfig sdet;
+  /// Facility geometry. Drops are deterministic, so a geometry too small
+  /// for the run replays identically — but what was dropped is gone from
+  /// the recording, hence the generous defaults.
+  uint32_t bufferWords = 1u << 12;
+  uint32_t buffersPerProcessor = 256;
+  /// 0 = run to completion; otherwise Machine::run(runUntilNs).
+  ossim::Tick runUntilNs = 0;
+};
+
+/// The spec as ordered key=value pairs (the manifest wire format).
+std::vector<std::pair<std::string, std::string>> encodeSpec(
+    const RecordingSpec& spec);
+
+/// Logs the manifest into processor 0's stream. Call with all clocks at
+/// virtual time zero (i.e. right after constructing the Machine).
+void logManifest(Facility& facility, const RecordingSpec& spec);
+
+/// Reconstructs the spec from a decoded recording. Returns false (with a
+/// populated error) when no complete manifest is present.
+bool parseManifest(const analysis::TraceSet& trace, RecordingSpec& out,
+                   std::string& error);
+
+/// What one deterministic run produced.
+struct RunArtifacts {
+  std::vector<BufferRecord> records;  // every buffer, in drain order
+  ossim::MachineStats machineStats;
+  ossim::Tick makespanNs = 0;
+  double throughputScriptsPerHour = 0.0;
+  uint64_t eventsDroppedAtSource = 0;  // ring-full drops during the run
+};
+
+/// Builds facility + machine + SDET workload from the spec, runs it to
+/// its horizon, and drains every buffer synchronously (no consumer
+/// thread — drain timing must not be able to perturb the event stream).
+/// `oracle` may be null (built-in policy) or a replay oracle.
+RunArtifacts runRecording(const RecordingSpec& spec,
+                          ossim::ScheduleOracle* oracle);
+
+}  // namespace ktrace::replay

@@ -1,0 +1,441 @@
+#include "replay/replay_engine.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/trace_file.hpp"
+
+namespace ktrace::replay {
+
+namespace {
+
+const char* majorName(Major major) noexcept {
+  switch (major) {
+    case Major::Control: return "CONTROL";
+    case Major::Test: return "TEST";
+    case Major::Mem: return "MEM";
+    case Major::Proc: return "PROC";
+    case Major::Exception: return "EXC";
+    case Major::Io: return "IO";
+    case Major::Lock: return "LOCK";
+    case Major::Sched: return "SCHED";
+    case Major::Ipc: return "IPC";
+    case Major::User: return "USER";
+    case Major::App: return "APP";
+    case Major::Linux: return "LINUX";
+    case Major::Prof: return "PROF";
+    case Major::HwPerf: return "HWPERF";
+    case Major::Monitor: return "MONITOR";
+    case Major::MajorCount: break;
+  }
+  return "MAJOR?";
+}
+
+std::string u64s(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string describeEvent(const DecodedEvent& e) {
+  std::ostringstream out;
+  out << "t=" << e.fullTimestamp << " cpu=" << e.processor << " "
+      << majorName(e.header.major) << "/" << e.header.minor << " [";
+  for (uint32_t i = 0; i < e.data.size(); ++i) {
+    if (i != 0) out << " ";
+    out << e.data[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+bool isManifest(const DecodedEvent& e) noexcept {
+  return e.header.major == Major::App && e.header.minor == kManifestMinor;
+}
+
+/// Merged iteration that skips manifest events (the manifest legitimately
+/// differs under what-if replay — it encodes the spec).
+class ComparableStream {
+ public:
+  explicit ComparableStream(const analysis::TraceSet& trace)
+      : cursor_(trace) {}
+
+  const DecodedEvent* next() {
+    while (const DecodedEvent* e = cursor_.next()) {
+      if (!isManifest(*e)) return e;
+    }
+    return nullptr;
+  }
+
+ private:
+  analysis::MergeCursor cursor_;
+};
+
+bool sameEvent(const DecodedEvent& a, const DecodedEvent& b) noexcept {
+  return a.fullTimestamp == b.fullTimestamp && a.processor == b.processor &&
+         a.header.major == b.header.major && a.header.minor == b.header.minor &&
+         a.data == b.data;
+}
+
+/// Dictates the recorded schedule back into the machine: placements by
+/// pid, steals as a per-thief FIFO of directives. steal() peeks; the
+/// machine confirms execution through commitSteal().
+class RecordedScheduleOracle final : public ossim::ScheduleOracle {
+ public:
+  explicit RecordedScheduleOracle(const analysis::ExtractedSchedule& schedule)
+      : schedule_(schedule), nextSteal_(schedule.stealsByThief.size(), 0) {}
+
+  uint32_t placeThread(uint64_t pid, uint64_t /*tid*/,
+                       uint32_t policyCpu) override {
+    const auto it = schedule_.placements.find(pid);
+    return it != schedule_.placements.end() ? it->second : policyCpu;
+  }
+
+  ossim::StealChoice steal(uint32_t thiefCpu) override {
+    ossim::StealChoice choice;
+    if (thiefCpu >= nextSteal_.size() ||
+        nextSteal_[thiefCpu] >= schedule_.stealsByThief[thiefCpu].size()) {
+      choice.kind = ossim::StealChoice::Kind::None;
+      return choice;
+    }
+    const auto& steal =
+        schedule_.stealsByThief[thiefCpu][nextSteal_[thiefCpu]];
+    choice.kind = ossim::StealChoice::Kind::Directed;
+    choice.fromCpu = steal.fromCpu;
+    choice.tid = steal.tid;
+    return choice;
+  }
+
+  void commitSteal(uint32_t thiefCpu) override {
+    if (thiefCpu < nextSteal_.size()) ++nextSteal_[thiefCpu];
+  }
+
+  uint64_t unconsumedSteals() const noexcept {
+    uint64_t n = 0;
+    for (size_t p = 0; p < nextSteal_.size(); ++p) {
+      n += schedule_.stealsByThief[p].size() - nextSteal_[p];
+    }
+    return n;
+  }
+
+ private:
+  const analysis::ExtractedSchedule& schedule_;
+  std::vector<size_t> nextSteal_;
+};
+
+/// Deterministic write stage: replayed buffers pushed through a FileSink
+/// in fixed-size batches per consumer shard — the mechanism by which
+/// BENCH_consumer's batch-size ordering arises, minus the wall clock.
+void runWriteStage(const std::vector<BufferRecord>& records,
+                   const RecordingSpec& spec, const ReplayOptions& options,
+                   DivergenceReport& report) {
+  const uint32_t shards = options.whatIf.shards.value_or(1) != 0
+                              ? options.whatIf.shards.value_or(1)
+                              : 1;
+  const uint32_t batch = options.whatIf.batchRecords.value_or(1) != 0
+                             ? options.whatIf.batchRecords.value_or(1)
+                             : 1;
+  std::string base = options.scratchDir;
+  if (base.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    base = env != nullptr && env[0] != '\0' ? env : "/tmp";
+  }
+  std::string dirTemplate = base + "/ktrace-replay-XXXXXX";
+  if (mkdtemp(dirTemplate.data()) == nullptr) {
+    throw std::runtime_error("replay write stage: cannot create scratch "
+                             "directory under " + base);
+  }
+  const std::string dir = dirTemplate;
+
+  TraceFileMeta meta;
+  meta.numProcessors = spec.machine.numProcessors;
+  meta.bufferWords = spec.bufferWords;
+  meta.clockKind = ClockKind::Virtual;
+  meta.ticksPerSecond = 1e9;
+  meta.startWallNs = 0;
+  meta.startTicks = 0;
+  TraceWriterOptions writerOptions;
+  writerOptions.compress = options.whatIf.compress.value_or(false);
+  {
+    FileSink sink(dir, "replay", meta, nullptr, writerOptions);
+    const uint32_t procs = spec.machine.numProcessors;
+    // Shard i owns the contiguous processor slice [lo, hi) — the same
+    // partition a sharded Consumer uses.
+    for (uint32_t s = 0; s < shards; ++s) {
+      const uint32_t lo = procs * s / shards;
+      const uint32_t hi = procs * (s + 1) / shards;
+      std::vector<BufferRecord> pending;
+      for (const BufferRecord& record : records) {
+        if (record.processor < lo || record.processor >= hi) continue;
+        pending.push_back(record);
+        if (pending.size() == batch) {
+          sink.onBufferBatch(std::move(pending));
+          pending.clear();
+          ++report.writeBatches;
+        }
+      }
+      if (!pending.empty()) {
+        sink.onBufferBatch(std::move(pending));
+        ++report.writeBatches;
+      }
+    }
+    sink.flush();
+    report.writeRecords = sink.recordsWritten();
+    report.writeBytes = sink.bytesWritten();
+    report.writeRawBytes = sink.rawBytes();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // best effort; scratch only
+}
+
+void applyWhatIf(const WhatIf& whatIf, RecordingSpec& spec) {
+  if (whatIf.quantumNs) spec.machine.quantumNs = *whatIf.quantumNs;
+  if (whatIf.workStealing) spec.machine.workStealing = *whatIf.workStealing;
+  if (whatIf.tunedAllocator) spec.sdet.tunedAllocator = *whatIf.tunedAllocator;
+  if (whatIf.staggeredStart) spec.sdet.staggeredStart = *whatIf.staggeredStart;
+  if (whatIf.adaptiveLockSplitThresholdNs) {
+    spec.machine.adaptiveLockSplitThresholdNs =
+        *whatIf.adaptiveLockSplitThresholdNs;
+  }
+  if (whatIf.bufferWords) spec.bufferWords = *whatIf.bufferWords;
+  if (whatIf.buffersPerProcessor) {
+    spec.buffersPerProcessor = *whatIf.buffersPerProcessor;
+  }
+}
+
+}  // namespace
+
+WhatIf parseWhatIf(const std::string& spec) {
+  WhatIf result;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--what-if: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    const uint64_t number = std::strtoull(value.c_str(), nullptr, 10);
+    const bool truthy = value == "on" || value == "true" || number != 0;
+    if (key == "quantum-ns") {
+      result.quantumNs = number;
+    } else if (key == "work-stealing") {
+      result.workStealing = truthy;
+    } else if (key == "tuned-allocator") {
+      result.tunedAllocator = truthy;
+    } else if (key == "staggered-start") {
+      result.staggeredStart = truthy;
+    } else if (key == "lock-split-ns") {
+      result.adaptiveLockSplitThresholdNs = number;
+    } else if (key == "buffer-words") {
+      result.bufferWords = static_cast<uint32_t>(number);
+    } else if (key == "buffers-per-processor") {
+      result.buffersPerProcessor = static_cast<uint32_t>(number);
+    } else if (key == "batch-records") {
+      result.batchRecords = static_cast<uint32_t>(number);
+    } else if (key == "shards") {
+      result.shards = static_cast<uint32_t>(number);
+    } else if (key == "compress") {
+      result.compress = truthy;
+    } else {
+      throw std::invalid_argument("--what-if: unknown key '" + key + "'");
+    }
+  }
+  return result;
+}
+
+ReplayEngine::ReplayEngine(analysis::TraceSet trace, RecordingSpec spec)
+    : recorded_(std::move(trace)), spec_(spec),
+      schedule_(analysis::extractSchedule(recorded_)) {}
+
+ReplayEngine ReplayEngine::fromFiles(const std::vector<std::string>& paths,
+                                     const DecodeOptions& options) {
+  analysis::TraceSet trace = analysis::TraceSet::fromFiles(paths, options);
+  RecordingSpec spec;
+  std::string error;
+  if (!parseManifest(trace, spec, error)) throw std::runtime_error(error);
+  return ReplayEngine(std::move(trace), spec);
+}
+
+ReplayEngine ReplayEngine::fromRecords(const std::vector<BufferRecord>& records,
+                                       const DecodeOptions& options) {
+  analysis::TraceSet trace = analysis::TraceSet::fromRecords(records, options);
+  RecordingSpec spec;
+  std::string error;
+  if (!parseManifest(trace, spec, error)) throw std::runtime_error(error);
+  return ReplayEngine(std::move(trace), spec);
+}
+
+DivergenceReport ReplayEngine::replay(const ReplayOptions& options) const {
+  RecordingSpec spec = spec_;
+  applyWhatIf(options.whatIf, spec);
+
+  DivergenceReport report;
+  report.whatIf = options.whatIf.any();
+
+  const bool dictate = options.dictateSchedule && !options.whatIf.changesRun();
+  RecordedScheduleOracle oracle(schedule_);
+  const RunArtifacts replayed =
+      runRecording(spec, dictate ? &oracle : nullptr);
+  if (dictate) report.unconsumedSteals = oracle.unconsumedSteals();
+
+  const analysis::TraceSet replayedTrace =
+      analysis::TraceSet::fromRecords(replayed.records);
+
+  // --- event-by-event comparison (manifest skipped on both sides) ---
+  ComparableStream recordedStream(recorded_);
+  ComparableStream replayedStream(replayedTrace);
+  for (;;) {
+    const DecodedEvent* a = recordedStream.next();
+    const DecodedEvent* b = replayedStream.next();
+    if (a != nullptr) {
+      ++report.recordedEvents;
+      ++report.byCategory[majorName(a->header.major)].recorded;
+    }
+    if (b != nullptr) {
+      ++report.replayedEvents;
+      ++report.byCategory[majorName(b->header.major)].replayed;
+    }
+    if (a == nullptr && b == nullptr) break;
+    if (report.firstDivergenceIndex >= 0) continue;  // keep counting drift
+    if (a != nullptr && b != nullptr && sameEvent(*a, *b)) {
+      ++report.comparedEvents;
+      continue;
+    }
+    report.firstDivergenceIndex = static_cast<int64_t>(report.comparedEvents);
+    report.firstDivergenceRecorded = a != nullptr ? describeEvent(*a) : "<end>";
+    report.firstDivergenceReplayed = b != nullptr ? describeEvent(*b) : "<end>";
+  }
+  report.identical = report.firstDivergenceIndex < 0 &&
+                     report.recordedEvents == report.replayedEvents;
+
+  // --- schedule-level drift ---
+  const analysis::ExtractedSchedule replaySchedule =
+      analysis::extractSchedule(replayedTrace);
+  report.recordedSteals = schedule_.totalSteals();
+  report.replayedSteals = replaySchedule.totalSteals();
+  const uint32_t procs =
+      std::min<uint32_t>(static_cast<uint32_t>(schedule_.dispatchOrder.size()),
+                         static_cast<uint32_t>(replaySchedule.dispatchOrder.size()));
+  for (uint32_t p = 0; p < procs; ++p) {
+    if (schedule_.dispatchOrder[p] != replaySchedule.dispatchOrder[p]) {
+      report.firstDispatchDivergenceCpu = p;
+      break;
+    }
+  }
+  for (const auto& [lockId, order] : schedule_.lockHandoffOrder) {
+    const auto it = replaySchedule.lockHandoffOrder.find(lockId);
+    if (it == replaySchedule.lockHandoffOrder.end() || it->second != order) {
+      ++report.locksWithReorderedHandoff;
+    }
+  }
+  for (const auto& [lockId, order] : replaySchedule.lockHandoffOrder) {
+    (void)order;
+    if (schedule_.lockHandoffOrder.count(lockId) == 0) {
+      ++report.locksWithReorderedHandoff;
+    }
+  }
+
+  report.recordedMakespanNs = recorded_.lastTimestamp();
+  report.replayedMakespanNs = replayedTrace.lastTimestamp();
+
+  if (options.whatIf.wantsWriteStage()) {
+    runWriteStage(replayed.records, spec, options, report);
+  }
+  return report;
+}
+
+std::string DivergenceReport::toJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"identical\": " << (identical ? "true" : "false") << ",\n";
+  out << "  \"whatIf\": " << (whatIf ? "true" : "false") << ",\n";
+  out << "  \"recordedEvents\": " << recordedEvents << ",\n";
+  out << "  \"replayedEvents\": " << replayedEvents << ",\n";
+  out << "  \"comparedEvents\": " << comparedEvents << ",\n";
+  out << "  \"firstDivergenceIndex\": " << firstDivergenceIndex << ",\n";
+  out << "  \"firstDivergenceRecorded\": \"" << firstDivergenceRecorded
+      << "\",\n";
+  out << "  \"firstDivergenceReplayed\": \"" << firstDivergenceReplayed
+      << "\",\n";
+  out << "  \"recordedMakespanNs\": " << recordedMakespanNs << ",\n";
+  out << "  \"replayedMakespanNs\": " << replayedMakespanNs << ",\n";
+  out << "  \"makespanDeltaNs\": " << makespanDeltaNs() << ",\n";
+  out << "  \"recordedSteals\": " << recordedSteals << ",\n";
+  out << "  \"replayedSteals\": " << replayedSteals << ",\n";
+  out << "  \"firstDispatchDivergenceCpu\": " << firstDispatchDivergenceCpu
+      << ",\n";
+  out << "  \"locksWithReorderedHandoff\": " << locksWithReorderedHandoff
+      << ",\n";
+  out << "  \"unconsumedSteals\": " << unconsumedSteals << ",\n";
+  out << "  \"writeBatches\": " << writeBatches << ",\n";
+  out << "  \"writeRecords\": " << writeRecords << ",\n";
+  out << "  \"writeBytes\": " << writeBytes << ",\n";
+  out << "  \"writeRawBytes\": " << writeRawBytes << ",\n";
+  out << "  \"byCategory\": {";
+  bool first = true;
+  for (const auto& [name, drift] : byCategory) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    \"" << name << "\": {\"recorded\": " << drift.recorded
+        << ", \"replayed\": " << drift.replayed << "}";
+  }
+  out << "\n  }\n}\n";
+  return out.str();
+}
+
+std::string DivergenceReport::toText() const {
+  std::ostringstream out;
+  if (identical) {
+    out << "replay: IDENTICAL — " << u64s(comparedEvents)
+        << " events re-emitted bit-identically\n";
+  } else {
+    out << "replay: DIVERGED after " << u64s(comparedEvents)
+        << " identical events\n";
+    out << "  recorded:  " << firstDivergenceRecorded << "\n";
+    out << "  replayed:  " << firstDivergenceReplayed << "\n";
+  }
+  out << "events: recorded " << recordedEvents << ", replayed "
+      << replayedEvents << "\n";
+  out << "virtual makespan: recorded " << recordedMakespanNs << " ns, "
+      << "replayed " << replayedMakespanNs << " ns (delta "
+      << makespanDeltaNs() << " ns)\n";
+  out << "steals: recorded " << recordedSteals << ", replayed "
+      << replayedSteals;
+  if (unconsumedSteals != 0) {
+    out << " (" << unconsumedSteals << " directives unconsumed)";
+  }
+  out << "\n";
+  if (firstDispatchDivergenceCpu >= 0) {
+    out << "dispatch order first differs on cpu" << firstDispatchDivergenceCpu
+        << "\n";
+  }
+  if (locksWithReorderedHandoff != 0) {
+    out << "lock hand-off order changed for " << locksWithReorderedHandoff
+        << " lock(s)\n";
+  }
+  for (const auto& [name, drift] : byCategory) {
+    if (drift.recorded == drift.replayed) continue;
+    out << "  drift " << name << ": " << drift.recorded << " -> "
+        << drift.replayed << "\n";
+  }
+  if (writeBatches != 0) {
+    out << "write stage: " << writeRecords << " records in " << writeBatches
+        << " batches, " << writeBytes << " bytes on disk (" << writeRawBytes
+        << " raw)\n";
+  }
+  return out.str();
+}
+
+}  // namespace ktrace::replay

@@ -1,0 +1,157 @@
+// ReplayEngine: re-drive a recorded ossim run and compare the re-emitted
+// event stream against the recording, event by event (DESIGN.md §14).
+//
+// Two modes:
+//
+//  - Pure replay (no what-if): the recorded schedule — placements and
+//    steals extracted from the trace — is dictated back into the machine
+//    through its ScheduleOracle seam, and the re-emitted stream must be
+//    bit-identical to the recording. Any divergence is a determinism bug
+//    in the simulator or trace pipeline.
+//
+//  - What-if replay: the recorded workload re-runs under a changed
+//    configuration (scheduler quantum, buffer geometry, work stealing,
+//    allocator tuning) with the machine's own policies back in charge,
+//    and the DivergenceReport quantifies how far the run drifted. Write
+//    stage knobs (batch size, shards, compression) additionally push the
+//    replayed stream through a FileSink to measure write amplification.
+//
+// Every report field is a deterministic function of the recording and
+// the what-if knobs — no wall-clock quantities — so repeated invocations
+// produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/schedule_extract.hpp"
+#include "replay/recording.hpp"
+
+namespace ktrace::replay {
+
+/// Parsed `--what-if key=val[,key=val...]` overrides.
+struct WhatIf {
+  std::optional<uint64_t> quantumNs;
+  std::optional<bool> workStealing;
+  std::optional<bool> tunedAllocator;
+  std::optional<bool> staggeredStart;
+  std::optional<uint64_t> adaptiveLockSplitThresholdNs;
+  std::optional<uint32_t> bufferWords;
+  std::optional<uint32_t> buffersPerProcessor;
+  // Write-stage knobs (measured, not compared):
+  std::optional<uint32_t> batchRecords;
+  std::optional<uint32_t> shards;
+  std::optional<bool> compress;
+
+  /// Any knob that changes the re-driven run itself (write-stage knobs
+  /// do not — they only post-process the replayed stream).
+  bool changesRun() const noexcept {
+    return quantumNs || workStealing || tunedAllocator || staggeredStart ||
+           adaptiveLockSplitThresholdNs || bufferWords || buffersPerProcessor;
+  }
+  bool wantsWriteStage() const noexcept {
+    return batchRecords || shards || compress;
+  }
+  bool any() const noexcept { return changesRun() || wantsWriteStage(); }
+};
+
+/// Parses one comma-separated key=val list; throws std::invalid_argument
+/// on unknown keys or malformed values. Keys: quantum-ns, work-stealing,
+/// tuned-allocator, staggered-start, lock-split-ns, buffer-words,
+/// buffers-per-processor, batch-records, shards, compress.
+WhatIf parseWhatIf(const std::string& spec);
+
+struct DivergenceReport {
+  bool identical = false;
+  bool whatIf = false;  // report describes a what-if run, not verification
+
+  uint64_t recordedEvents = 0;
+  uint64_t replayedEvents = 0;
+  /// Events compared before the first divergence (== both totals when
+  /// identical). Manifest events are skipped on both sides.
+  uint64_t comparedEvents = 0;
+  /// Index (into the merged, manifest-skipped stream) of the first
+  /// differing event; -1 when none.
+  int64_t firstDivergenceIndex = -1;
+  std::string firstDivergenceRecorded;  // human-readable event, or "<end>"
+  std::string firstDivergenceReplayed;
+
+  struct CategoryDrift {
+    uint64_t recorded = 0;
+    uint64_t replayed = 0;
+  };
+  /// Per-major event-count drift, keyed by major name ("SCHED", ...).
+  std::map<std::string, CategoryDrift> byCategory;
+
+  /// Virtual makespans (last event timestamp, ns of virtual time).
+  uint64_t recordedMakespanNs = 0;
+  uint64_t replayedMakespanNs = 0;
+  int64_t makespanDeltaNs() const noexcept {
+    return static_cast<int64_t>(replayedMakespanNs) -
+           static_cast<int64_t>(recordedMakespanNs);
+  }
+
+  /// Schedule-level divergence (from extracted schedules).
+  uint64_t recordedSteals = 0;
+  uint64_t replayedSteals = 0;
+  /// First processor whose dispatch order differs; -1 when none.
+  int64_t firstDispatchDivergenceCpu = -1;
+  /// Lock ids whose contended hand-off order changed.
+  uint64_t locksWithReorderedHandoff = 0;
+
+  /// Dictation accounting (pure replay only): directives extracted from
+  /// the recording that the re-driven run never consumed.
+  uint64_t unconsumedSteals = 0;
+
+  /// Write stage (what-if batch/shards/compress only).
+  uint64_t writeBatches = 0;
+  uint64_t writeRecords = 0;
+  uint64_t writeBytes = 0;
+  uint64_t writeRawBytes = 0;
+
+  std::string toJson() const;
+  std::string toText() const;
+};
+
+struct ReplayOptions {
+  WhatIf whatIf;
+  /// Dictate the recorded schedule through the oracle seam. Defaults on;
+  /// forced off when whatIf.changesRun() (a what-if run must be free to
+  /// schedule differently — that drift is the measurement).
+  bool dictateSchedule = true;
+  /// Scratch directory for the write stage; a fresh subdirectory is
+  /// created and removed inside it. Empty = the TMPDIR/"/tmp" default.
+  std::string scratchDir;
+};
+
+class ReplayEngine {
+ public:
+  /// Decodes a recording and extracts its manifest + schedule. Throws
+  /// std::runtime_error when the files carry no complete manifest.
+  static ReplayEngine fromFiles(const std::vector<std::string>& paths,
+                                const DecodeOptions& options = {});
+  /// Same, over in-memory buffer records (tests).
+  static ReplayEngine fromRecords(const std::vector<BufferRecord>& records,
+                                  const DecodeOptions& options = {});
+
+  const RecordingSpec& spec() const noexcept { return spec_; }
+  const analysis::ExtractedSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+  const analysis::TraceSet& recorded() const noexcept { return recorded_; }
+
+  /// Re-drives the machine and compares. See DivergenceReport.
+  DivergenceReport replay(const ReplayOptions& options = {}) const;
+
+ private:
+  ReplayEngine(analysis::TraceSet trace, RecordingSpec spec);
+
+  analysis::TraceSet recorded_;
+  RecordingSpec spec_;
+  analysis::ExtractedSchedule schedule_;
+};
+
+}  // namespace ktrace::replay

@@ -22,6 +22,9 @@ enum ExitCode : int {
   /// Damage found (and, where possible, salvaged): torn/corrupt records,
   /// dead or fenced producers, torn buffers, invalid session segments.
   kExitDamage = 4,
+  /// `ktracetool replay` (pure replay, no --what-if): the re-driven run
+  /// did not re-emit the recorded event stream bit-identically.
+  kExitDivergence = 5,
 };
 
 struct ExitCodeRow {
@@ -38,6 +41,7 @@ inline const ExitCodeRow* exitCodeTable() noexcept {
       {kExitUsage, "bad usage"},
       {kExitDeadlock, "deadlock found (ktracetool deadlock)"},
       {kExitDamage, "damage found and salvaged (fsck, recover, ktraced --check)"},
+      {kExitDivergence, "replay diverged from its recording (ktracetool replay)"},
       {-1, nullptr},
   };
   return kRows;

@@ -491,5 +491,78 @@ TEST_F(StreamingTraceTest, StreamCursorTailsGrowingFileAndResumes) {
   EXPECT_THROW(resumed.resume({}), std::invalid_argument);
 }
 
+TEST_F(StreamingTraceTest, ResumeRejectsRotatedFile) {
+  // A cursor saved against one file must not be applied to a different
+  // file that later appears at the same path (log rotation): the saved
+  // record offset would be meaningless there.
+  TraceFileReader source(paths_[0]);
+  std::vector<BufferRecord> records;
+  for (uint64_t k = 0; k < source.bufferCount(); ++k) {
+    BufferRecord record;
+    ASSERT_TRUE(source.readBuffer(k, record));
+    records.push_back(std::move(record));
+  }
+  ASSERT_GE(records.size(), 2u);
+
+  const std::string path = (dir_ / "rotate.ktrc").string();
+  {
+    TraceFileWriter writer(path, source.meta());
+    ASSERT_TRUE(writer.writeBuffer(records[0]));
+    ASSERT_TRUE(writer.flush());
+  }
+  streaming::StreamCursor cursor({path});
+  cursor.poll();  // may ingest 0 events, but fingerprints the file
+  const std::vector<streaming::FileCursor> saved = cursor.cursors();
+  ASSERT_NE(saved[0].identity, 0u);
+  ASSERT_EQ(saved[0].recordsDecoded, 1u);
+
+  // "Rotate": a new file at the same path whose first record differs.
+  {
+    TraceFileWriter writer(path, source.meta());
+    ASSERT_TRUE(writer.writeBuffer(records[1]));
+    ASSERT_TRUE(writer.flush());
+  }
+  streaming::StreamCursor resumed({path});
+  resumed.resume(saved);
+  EXPECT_THROW(resumed.poll(), std::runtime_error);
+}
+
+TEST_F(StreamingTraceTest, ResumeRejectsTruncatedFile) {
+  // Same identity but fewer records than the cursor claims to have
+  // decoded: the file shrank (truncated or restored from backup) and the
+  // cursor's offset points past its end.
+  TraceFileReader source(paths_[0]);
+  std::vector<BufferRecord> records;
+  for (uint64_t k = 0; k < source.bufferCount(); ++k) {
+    BufferRecord record;
+    ASSERT_TRUE(source.readBuffer(k, record));
+    records.push_back(std::move(record));
+  }
+  ASSERT_GE(records.size(), 2u);
+
+  const std::string path = (dir_ / "trunc.ktrc").string();
+  {
+    TraceFileWriter writer(path, source.meta());
+    for (const BufferRecord& record : records) {
+      ASSERT_TRUE(writer.writeBuffer(record));
+    }
+    ASSERT_TRUE(writer.flush());
+  }
+  streaming::StreamCursor cursor({path});
+  ASSERT_GT(cursor.poll(), 0u);
+  const std::vector<streaming::FileCursor> saved = cursor.cursors();
+  ASSERT_EQ(saved[0].recordsDecoded, records.size());
+
+  // Rewrite with the same first record but fewer of them.
+  {
+    TraceFileWriter writer(path, source.meta());
+    ASSERT_TRUE(writer.writeBuffer(records[0]));
+    ASSERT_TRUE(writer.flush());
+  }
+  streaming::StreamCursor resumed({path});
+  resumed.resume(saved);
+  EXPECT_THROW(resumed.poll(), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ktrace

@@ -372,5 +372,190 @@ TEST(Machine, PreemptInCriticalSectionStretchesHold) {
   EXPECT_GT(maxWait(true), maxWait(false));
 }
 
+// --- Determinism pins: horizon semantics, tie-breaking, sliced runs ------
+//
+// Replay (DESIGN.md §14) re-drives a machine from a recorded trace, so
+// every scheduling decision below is part of the recording format: these
+// tests pin the contracts replay depends on. The sliced-run tests are the
+// regression pins for the horizon bugs — before the fix, run(a); run()
+// destructively aligned idle processors' clocks to `a`, shifting Idle and
+// Migrate timestamps relative to an unsliced run(), and the break test
+// used the picked cpu's clock instead of the step's begin time, executing
+// steps that begin past the horizon.
+
+/// One event stream, flattened per processor in decode order. Tuple
+/// equality compares timestamps, processors, kinds, and full payloads.
+using FlatStream =
+    std::vector<std::tuple<uint64_t, uint32_t, int, int, std::vector<uint64_t>>>;
+
+FlatStream flatten(const ktrace::analysis::TraceSet& trace) {
+  FlatStream flat;
+  for (uint32_t p = 0; p < trace.numProcessors(); ++p) {
+    for (const auto& e : trace.processorEvents(p)) {
+      std::vector<uint64_t> words(e.data.size());
+      for (size_t i = 0; i < e.data.size(); ++i) words[i] = e.data[i];
+      flat.emplace_back(e.fullTimestamp, e.processor,
+                        static_cast<int>(e.header.major), e.header.minor,
+                        std::move(words));
+    }
+  }
+  return flat;
+}
+
+size_t countFlat(const FlatStream& flat, Major major, uint16_t minor) {
+  size_t n = 0;
+  for (const auto& e : flat) {
+    if (std::get<2>(e) == static_cast<int>(major) &&
+        std::get<3>(e) == static_cast<int>(minor)) ++n;
+  }
+  return n;
+}
+
+TEST(Machine, SlicedRunMatchesOneShotAcrossForkPlacement) {
+  // cpu 1 goes empty early; the fork (after the slice points) auto-places
+  // its child there. Pre-fix, the slice bumped cpu 1's clock, shifting
+  // the child's ThreadCreate/Idle timestamps versus the unsliced run.
+  auto streamOf = [](const std::vector<Tick>& slices) {
+    SimHarness hx(2);
+    Machine machine(quickConfig(2), &hx.facility);
+    const uint64_t childProg =
+        machine.registerProgram(Program().cpu(120'000).exit());
+    Program parent;
+    parent.cpu(200'000).fork(childProg).cpu(50'000).exit();
+    machine.spawnProcess("parent", machine.registerProgram(std::move(parent)), 0);
+    machine.spawnProcess(
+        "early", machine.registerProgram(Program().cpu(20'000).exit()), 1);
+    for (const Tick t : slices) machine.run(t);
+    machine.run();
+    EXPECT_TRUE(machine.allExited());
+    return flatten(hx.collect());
+  };
+  const FlatStream oneShot = streamOf({});
+  EXPECT_GT(countFlat(oneShot, Major::Proc,
+                      static_cast<uint16_t>(ProcMinor::Fork)), 0u);
+  EXPECT_EQ(oneShot, streamOf({100'000}));
+  EXPECT_EQ(oneShot, streamOf({50'000, 100'000, 300'000}));
+}
+
+TEST(Machine, SlicedRunMatchesOneShotWithWorkStealing) {
+  // cpu 2 goes empty before the slice; the fork storm after it makes
+  // cpu 2 steal. Pre-fix, the bumped thief clock shifted Migrate
+  // timestamps versus the unsliced run.
+  auto streamOf = [](const std::vector<Tick>& slices) {
+    SimHarness hx(4);
+    MachineConfig cfg = quickConfig(4);
+    cfg.workStealing = true;
+    Machine machine(cfg, &hx.facility);
+    const uint64_t worker =
+        machine.registerProgram(Program().cpu(100'000).exit());
+    const uint64_t busy = machine.registerProgram(Program().cpu(250'000).exit());
+    Program parent;
+    parent.cpu(150'000);
+    for (int i = 0; i < 4; ++i) parent.fork(worker);
+    parent.cpu(50'000).exit();
+    machine.spawnProcess("parent", machine.registerProgram(std::move(parent)), 0);
+    // cpu 1 starts two deep; cpu 3 empties at 10us and steals the spare.
+    machine.spawnProcess("busy1", busy, 1);
+    machine.spawnProcess("busy2", busy, 1);
+    machine.spawnProcess(
+        "early", machine.registerProgram(Program().cpu(20'000).exit()), 2);
+    machine.spawnProcess(
+        "tiny", machine.registerProgram(Program().cpu(10'000).exit()), 3);
+    for (const Tick t : slices) machine.run(t);
+    machine.run();
+    EXPECT_TRUE(machine.allExited());
+    return flatten(hx.collect());
+  };
+  const FlatStream oneShot = streamOf({});
+  EXPECT_GT(countFlat(oneShot, Major::Sched,
+                      static_cast<uint16_t>(SchedMinor::Migrate)), 0u);
+  EXPECT_EQ(oneShot, streamOf({100'000}));
+  EXPECT_EQ(oneShot, streamOf({60'000, 180'000}));
+}
+
+TEST(Machine, HorizonSkipsStepsBeginningPastIt) {
+  // The horizon compares against the step's *begin* time. A thread whose
+  // sleep ends past untilNs must not run, even though its processor's
+  // clock is still early.
+  Machine machine(quickConfig(1), nullptr);
+  const uint64_t prog = machine.registerProgram(
+      Program().cpu(10'000).sleep(1'000'000).cpu(10'000).exit());
+  machine.spawnProcess("sleeper", prog, 0);
+  machine.run(500'000);
+  EXPECT_FALSE(machine.allExited());
+  EXPECT_LE(machine.now(), 500'000u);
+  EXPECT_LT(machine.cpuStats(0).busyNs, 100'000u);
+  // Idle up to the horizon is credited without touching the clock; the
+  // remainder of the run is unaffected by the slice.
+  EXPECT_GE(machine.cpuStats(0).idleNs + machine.cpuStats(0).busyNs, 500'000u);
+  machine.run();
+  EXPECT_TRUE(machine.allExited());
+  EXPECT_GT(machine.now(), 1'000'000u);
+}
+
+TEST(Machine, HorizonOnIdleMachineCreditsIdleExactlyOnce) {
+  Machine machine(quickConfig(2), nullptr);
+  machine.run(1'000);
+  EXPECT_EQ(machine.now(), 1'000u);
+  EXPECT_EQ(machine.cpuStats(0).idleNs, 1'000u);
+  EXPECT_EQ(machine.cpuStats(1).idleNs, 1'000u);
+  machine.run(1'000);  // re-running the same horizon must not double-credit
+  EXPECT_EQ(machine.cpuStats(0).idleNs, 1'000u);
+  EXPECT_EQ(machine.cpuStats(1).idleNs, 1'000u);
+}
+
+TEST(Machine, AutoPlacementBreaksTiesTowardLowestId) {
+  // kAutoCpu placement is documented (and replayed) as least-loaded with
+  // lowest-id tie-break: four spawns onto four equally idle cpus land on
+  // 0, 1, 2, 3 in spawn order.
+  SimHarness hx(4);
+  Machine machine(quickConfig(4), &hx.facility);
+  const uint64_t prog = machine.registerProgram(Program().cpu(10'000).exit());
+  for (int i = 0; i < 4; ++i) machine.spawnProcess("p", prog);
+  machine.run();
+  const auto trace = hx.collect();
+  for (uint32_t p = 0; p < 4; ++p) {
+    size_t creates = 0;
+    for (const auto& e : trace.processorEvents(p)) {
+      if (e.header.major == Major::Proc &&
+          e.header.minor == static_cast<uint16_t>(ProcMinor::ThreadCreate)) {
+        ++creates;
+      }
+    }
+    EXPECT_EQ(creates, 1u) << "cpu " << p;
+  }
+}
+
+TEST(Machine, StealPrefersLowestIdAmongLongestDonors) {
+  // Donor choice is documented as longest queue, lowest id on ties: with
+  // cpus 1 and 2 equally loaded, the idle cpu 0's first steal must come
+  // from cpu 1.
+  SimHarness hx(3);
+  MachineConfig cfg = quickConfig(3);
+  cfg.workStealing = true;
+  Machine machine(cfg, &hx.facility);
+  const uint64_t longProg =
+      machine.registerProgram(Program().cpu(300'000).exit());
+  const uint64_t shortProg =
+      machine.registerProgram(Program().cpu(5'000).exit());
+  machine.spawnProcess("a1", longProg, 1);
+  machine.spawnProcess("a2", longProg, 1);
+  machine.spawnProcess("b1", longProg, 2);
+  machine.spawnProcess("b2", longProg, 2);
+  machine.spawnProcess("tiny", shortProg, 0);
+  machine.run();
+  EXPECT_GT(machine.stats().migrations, 0u);
+  const auto trace = hx.collect();
+  for (const auto& e : trace.processorEvents(0)) {
+    if (e.header.major == Major::Sched &&
+        e.header.minor == static_cast<uint16_t>(SchedMinor::Migrate)) {
+      ASSERT_GE(e.data.size(), 4u);
+      EXPECT_EQ(e.data[2], 1u);  // fromCpu: the tied donor with lowest id
+      EXPECT_EQ(e.data[3], 0u);  // toCpu: the thief
+      break;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ossim

@@ -1,0 +1,260 @@
+// Deterministic record-and-replay (DESIGN.md §14): a recorded SDET run
+// must re-emit bit-identically under every decode configuration (thread
+// count, mmap vs stdio, raw vs compressed), and what-if replays must
+// produce deterministic divergence reports.
+#include "replay/replay_engine.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/trace_file.hpp"
+#include "replay/recording.hpp"
+
+namespace ktrace::replay {
+namespace {
+
+/// 8-cpu work-stealing SDET run: busy enough to fork, contend locks, and
+/// steal (the schedule dimensions replay has to dictate exactly).
+RecordingSpec stealSpec() {
+  RecordingSpec spec;
+  spec.machine.numProcessors = 8;
+  spec.machine.workStealing = true;
+  spec.sdet.numScripts = 20;
+  spec.sdet.commandsPerScript = 12;
+  return spec;
+}
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_replay_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Writes a recording's buffers to per-cpu files; batched writes when
+  /// compressing so the batches become LZ blocks.
+  std::vector<std::string> writeRecording(const RecordingSpec& spec,
+                                          const RunArtifacts& artifacts,
+                                          const std::string& base,
+                                          bool compress) {
+    TraceFileMeta meta;
+    meta.numProcessors = spec.machine.numProcessors;
+    meta.bufferWords = spec.bufferWords;
+    meta.clockKind = ClockKind::Virtual;
+    meta.ticksPerSecond = 1e9;
+    TraceWriterOptions writerOptions;
+    writerOptions.compress = compress;
+    FileSink sink(dir_.string(), base, meta, nullptr, writerOptions);
+    if (compress) {
+      constexpr size_t kBatch = 8;
+      for (size_t i = 0; i < artifacts.records.size(); i += kBatch) {
+        std::vector<BufferRecord> batch;
+        for (size_t k = i; k < std::min(i + kBatch, artifacts.records.size());
+             ++k) {
+          batch.push_back(BufferRecord(artifacts.records[k]));
+        }
+        sink.onBufferBatch(std::move(batch));
+      }
+    } else {
+      for (const BufferRecord& record : artifacts.records) {
+        sink.onBuffer(BufferRecord(record));
+      }
+    }
+    EXPECT_TRUE(sink.flush()) << sink.errorMessage();
+    std::vector<std::string> paths;
+    for (uint32_t p = 0; p < spec.machine.numProcessors; ++p) {
+      paths.push_back(sink.pathFor(p));
+    }
+    return paths;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// The headline guarantee: one recorded run, re-driven under the dictated
+// schedule, re-emits bit-identically — regardless of how the recording
+// was stored (raw vs compressed) or decoded ({1,8} threads, mmap/stdio).
+TEST_F(ReplayTest, BitIdenticalAcrossDecodeConfigs) {
+  const RecordingSpec spec = stealSpec();
+  const RunArtifacts artifacts = runRecording(spec, nullptr);
+  ASSERT_GT(artifacts.records.size(), 1u);
+  ASSERT_GT(artifacts.machineStats.migrations, 0u)
+      << "spec must exercise work stealing or the test is vacuous";
+
+  const auto rawPaths = writeRecording(spec, artifacts, "raw", false);
+  const auto lzPaths = writeRecording(spec, artifacts, "lz", true);
+
+  uint64_t expectEvents = 0;
+  for (const auto& paths : {rawPaths, lzPaths}) {
+    for (const uint32_t threads : {1u, 8u}) {
+      for (const bool mmapOn : {true, false}) {
+        DecodeOptions decode;
+        decode.threads = threads;
+        decode.useMmap = mmapOn;
+        ReplayEngine engine = ReplayEngine::fromFiles(paths, decode);
+        EXPECT_EQ(engine.schedule().totalSteals(),
+                  artifacts.machineStats.migrations);
+        const DivergenceReport report = engine.replay();
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " mmap=" + std::to_string(mmapOn) +
+                     " file=" + paths[0]);
+        EXPECT_TRUE(report.identical)
+            << report.firstDivergenceRecorded << " vs "
+            << report.firstDivergenceReplayed;
+        EXPECT_EQ(report.firstDivergenceIndex, -1);
+        EXPECT_EQ(report.recordedEvents, report.replayedEvents);
+        EXPECT_EQ(report.comparedEvents, report.recordedEvents);
+        EXPECT_GT(report.comparedEvents, 0u);
+        EXPECT_EQ(report.unconsumedSteals, 0u);
+        EXPECT_EQ(report.recordedSteals, report.replayedSteals);
+        EXPECT_EQ(report.recordedMakespanNs, report.replayedMakespanNs);
+        // Every storage/decode path sees the same logical stream.
+        if (expectEvents == 0) expectEvents = report.recordedEvents;
+        EXPECT_EQ(report.recordedEvents, expectEvents);
+      }
+    }
+  }
+}
+
+// The manifest embedded in the trace reconstructs the spec exactly.
+TEST_F(ReplayTest, ManifestRoundTrips) {
+  RecordingSpec spec = stealSpec();
+  spec.machine.quantumNs = 3'000'000;
+  spec.machine.seed = 42;
+  spec.sdet.seed = 99;
+  spec.sdet.tunedAllocator = true;
+  spec.bufferWords = 1u << 11;
+  spec.buffersPerProcessor = 128;
+  spec.runUntilNs = 0;
+  const RunArtifacts artifacts = runRecording(spec, nullptr);
+
+  const ReplayEngine engine = ReplayEngine::fromRecords(artifacts.records);
+  const RecordingSpec& got = engine.spec();
+  EXPECT_EQ(got.machine.numProcessors, spec.machine.numProcessors);
+  EXPECT_EQ(got.machine.quantumNs, spec.machine.quantumNs);
+  EXPECT_EQ(got.machine.workStealing, spec.machine.workStealing);
+  EXPECT_EQ(got.machine.seed, spec.machine.seed);
+  EXPECT_EQ(got.sdet.numScripts, spec.sdet.numScripts);
+  EXPECT_EQ(got.sdet.commandsPerScript, spec.sdet.commandsPerScript);
+  EXPECT_EQ(got.sdet.seed, spec.sdet.seed);
+  EXPECT_EQ(got.sdet.tunedAllocator, spec.sdet.tunedAllocator);
+  EXPECT_EQ(got.sdet.staggeredStart, spec.sdet.staggeredStart);
+  EXPECT_EQ(got.bufferWords, spec.bufferWords);
+  EXPECT_EQ(got.buffersPerProcessor, spec.buffersPerProcessor);
+  EXPECT_EQ(got.runUntilNs, spec.runUntilNs);
+}
+
+// A trace without the manifest (here: processor 0's buffers stripped) is
+// rejected with a clear error, not replayed against a guessed config.
+TEST_F(ReplayTest, MissingManifestIsACleanError) {
+  const RunArtifacts artifacts = runRecording(stealSpec(), nullptr);
+  std::vector<BufferRecord> stripped;
+  for (const BufferRecord& record : artifacts.records) {
+    if (record.processor != 0) stripped.push_back(BufferRecord(record));
+  }
+  ASSERT_FALSE(stripped.empty());
+
+  const auto trace = analysis::TraceSet::fromRecords(stripped);
+  RecordingSpec out;
+  std::string error;
+  EXPECT_FALSE(parseManifest(trace, out, error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_THROW(ReplayEngine::fromRecords(stripped), std::runtime_error);
+}
+
+// What-if with a changed quantum: the run drifts (that is the
+// measurement), and the report is byte-identical across invocations.
+TEST_F(ReplayTest, WhatIfQuantumIsDeterministicDrift) {
+  const RunArtifacts artifacts = runRecording(stealSpec(), nullptr);
+  const ReplayEngine engine = ReplayEngine::fromRecords(artifacts.records);
+
+  ReplayOptions options;
+  options.whatIf = parseWhatIf("quantum-ns=2000000");
+  const DivergenceReport a = engine.replay(options);
+  const DivergenceReport b = engine.replay(options);
+  EXPECT_EQ(a.toJson(), b.toJson());
+  EXPECT_EQ(a.toText(), b.toText());
+
+  EXPECT_TRUE(a.whatIf);
+  EXPECT_FALSE(a.identical);
+  EXPECT_GE(a.firstDivergenceIndex, 0);
+  EXPECT_FALSE(a.byCategory.empty());
+  EXPECT_GT(a.recordedMakespanNs, 0u);
+  EXPECT_GT(a.replayedMakespanNs, 0u);
+}
+
+// What-if write-stage: smaller batches mean more writes for the same
+// records — the BENCH_consumer throughput ordering — and compression
+// shrinks the bytes without touching the stream.
+TEST_F(ReplayTest, WhatIfBatchSizeReproducesConsumerOrdering) {
+  const RunArtifacts artifacts = runRecording(stealSpec(), nullptr);
+  const ReplayEngine engine = ReplayEngine::fromRecords(artifacts.records);
+
+  ReplayOptions one;
+  one.whatIf = parseWhatIf("batch-records=1");
+  one.scratchDir = dir_.string();
+  ReplayOptions big;
+  big.whatIf = parseWhatIf("batch-records=64");
+  big.scratchDir = dir_.string();
+  const DivergenceReport a = engine.replay(one);
+  const DivergenceReport b = engine.replay(big);
+
+  // Write-stage knobs do not change the run: both replays stay dictated
+  // and bit-identical.
+  EXPECT_TRUE(a.identical);
+  EXPECT_TRUE(b.identical);
+  EXPECT_EQ(a.writeRecords, b.writeRecords);
+  EXPECT_GT(a.writeRecords, 0u);
+  // batch=1 issues one write per record; batch=64 coalesces. Fewer,
+  // larger writes is the whole point of consumer batching.
+  EXPECT_GT(a.writeBatches, b.writeBatches);
+  EXPECT_EQ(a.writeBatches, a.writeRecords);
+
+  ReplayOptions lz;
+  lz.whatIf = parseWhatIf("batch-records=64,compress=on");
+  lz.scratchDir = dir_.string();
+  const DivergenceReport c = engine.replay(lz);
+  EXPECT_TRUE(c.identical);
+  EXPECT_LT(c.writeBytes, c.writeRawBytes);
+  EXPECT_EQ(c.writeRawBytes, b.writeRawBytes);
+}
+
+TEST_F(ReplayTest, ParseWhatIfValidatesKeys) {
+  EXPECT_FALSE(parseWhatIf("").any());
+  const WhatIf w = parseWhatIf("quantum-ns=500,work-stealing=on,shards=2");
+  EXPECT_EQ(w.quantumNs, 500u);
+  EXPECT_EQ(w.workStealing, true);
+  EXPECT_EQ(w.shards, 2u);
+  EXPECT_TRUE(w.changesRun());
+  EXPECT_TRUE(w.wantsWriteStage());
+  EXPECT_THROW(parseWhatIf("bogus-knob=1"), std::invalid_argument);
+  EXPECT_THROW(parseWhatIf("quantum-ns"), std::invalid_argument);
+}
+
+// The extracted schedule is complete: every machine migration appears as
+// a steal directive, and every process has a recorded placement.
+TEST_F(ReplayTest, ExtractedScheduleMatchesMachineStats) {
+  const RecordingSpec spec = stealSpec();
+  const RunArtifacts artifacts = runRecording(spec, nullptr);
+  const ReplayEngine engine = ReplayEngine::fromRecords(artifacts.records);
+  const analysis::ExtractedSchedule& schedule = engine.schedule();
+
+  EXPECT_EQ(schedule.totalSteals(), artifacts.machineStats.migrations);
+  EXPECT_GE(schedule.placements.size(),
+            artifacts.machineStats.processesCreated);
+  EXPECT_EQ(schedule.dispatchOrder.size(), spec.machine.numProcessors);
+  uint64_t dispatches = 0;
+  for (const auto& cpu : schedule.dispatchOrder) dispatches += cpu.size();
+  EXPECT_GT(dispatches, 0u);
+}
+
+}  // namespace
+}  // namespace ktrace::replay

@@ -64,6 +64,7 @@
 #include "core/ktrace.hpp"
 #include "core/shm_session.hpp"
 #include "ossim/events.hpp"
+#include "replay/replay_engine.hpp"
 #include "util/cli.hpp"
 #include "util/exit_codes.hpp"
 #include "util/net.hpp"
@@ -97,6 +98,16 @@ int usage() {
       "             [--tenant=NAME] [--json] [--rows=N]\n"
       "  recover    salvage a dead shm session   <segment> [--out=out.ktrace]\n"
       "             (exit 4 when the segment is damaged or held torn buffers)\n"
+      "  record     record a replayable SDET run <out-prefix> [--cpus=N] [--scripts=N]\n"
+      "             [--commands=N] [--seed=N] [--quantum-ns=N] [--work-stealing]\n"
+      "             [--tuned-allocator] [--staggered-start] [--heartbeat-ns=N]\n"
+      "             [--lock-split-ns=N] [--buffer-words=N] [--buffers-per-cpu=N]\n"
+      "             [--until-ns=N] [--compress]\n"
+      "  replay     re-drive a recorded run      [--what-if k=v[,k=v...]] [--json]\n"
+      "             (exit 5 when a pure replay diverges from its recording;\n"
+      "             what-if keys: quantum-ns work-stealing tuned-allocator\n"
+      "             staggered-start lock-split-ns buffer-words\n"
+      "             buffers-per-processor batch-records shards compress)\n"
       "\n"
       "daemon control (against a running ktraced):\n"
       "  monitor --socket=PATH [--follow [--max-updates=N]]\n"
@@ -690,6 +701,88 @@ Registry& toolRegistry() {
   return registry;
 }
 
+/// `ktracetool record OUT_PREFIX`: run a deterministic SDET workload and
+/// write it as per-processor v3 trace files (OUT_PREFIX.cpuN.ktrc) with
+/// an embedded replay manifest.
+int runRecord(const std::string& outPrefix, const util::Cli& cli) {
+  replay::RecordingSpec spec;
+  spec.machine.numProcessors = static_cast<uint32_t>(cli.getInt("cpus", 4));
+  spec.machine.quantumNs =
+      static_cast<ossim::Tick>(cli.getInt("quantum-ns", 10'000'000));
+  spec.machine.workStealing = cli.getBool("work-stealing", false);
+  spec.machine.monitorHeartbeatIntervalNs =
+      static_cast<ossim::Tick>(cli.getInt("heartbeat-ns", 0));
+  spec.machine.adaptiveLockSplitThresholdNs =
+      static_cast<ossim::Tick>(cli.getInt("lock-split-ns", 0));
+  spec.machine.seed = static_cast<uint64_t>(cli.getInt("seed", 1));
+  spec.sdet.numScripts = static_cast<uint32_t>(cli.getInt("scripts", 8));
+  spec.sdet.commandsPerScript =
+      static_cast<uint32_t>(cli.getInt("commands", 12));
+  spec.sdet.seed = static_cast<uint64_t>(cli.getInt("seed", 7));
+  spec.sdet.tunedAllocator = cli.getBool("tuned-allocator", false);
+  spec.sdet.staggeredStart = cli.getBool("staggered-start", false);
+  spec.bufferWords = static_cast<uint32_t>(cli.getInt("buffer-words", 1 << 12));
+  spec.buffersPerProcessor =
+      static_cast<uint32_t>(cli.getInt("buffers-per-cpu", 256));
+  spec.runUntilNs = static_cast<ossim::Tick>(cli.getInt("until-ns", 0));
+
+  const replay::RunArtifacts artifacts = replay::runRecording(spec, nullptr);
+
+  const size_t slash = outPrefix.find_last_of('/');
+  const std::string directory =
+      slash == std::string::npos ? "." : outPrefix.substr(0, slash);
+  const std::string baseName =
+      slash == std::string::npos ? outPrefix : outPrefix.substr(slash + 1);
+  TraceFileMeta meta;
+  meta.numProcessors = spec.machine.numProcessors;
+  meta.bufferWords = spec.bufferWords;
+  meta.clockKind = ClockKind::Virtual;
+  meta.ticksPerSecond = 1e9;
+  meta.startWallNs = 0;  // virtual-time recording: fully deterministic files
+  meta.startTicks = 0;
+  TraceWriterOptions writerOptions;
+  writerOptions.compress = cli.getBool("compress", false);
+  FileSink sink(directory, baseName, meta, nullptr, writerOptions);
+  for (const BufferRecord& record : artifacts.records) {
+    sink.onBuffer(BufferRecord(record));
+  }
+  if (!sink.flush()) {
+    std::fprintf(stderr, "record: write failed: %s\n",
+                 sink.errorMessage().c_str());
+    return util::kExitFailure;
+  }
+  std::fprintf(stderr,
+               "recorded %u-cpu SDET run: %zu buffer(s), makespan %llu ns, "
+               "%.1f scripts/hour, %llu event(s) dropped at source\n",
+               spec.machine.numProcessors, artifacts.records.size(),
+               static_cast<unsigned long long>(artifacts.makespanNs),
+               artifacts.throughputScriptsPerHour,
+               static_cast<unsigned long long>(artifacts.eventsDroppedAtSource));
+  for (uint32_t p = 0; p < spec.machine.numProcessors; ++p) {
+    std::fprintf(stdout, "%s\n", sink.pathFor(p).c_str());
+  }
+  return util::kExitOk;
+}
+
+/// `ktracetool replay FILES`: verify bit-identical re-emission, or run a
+/// what-if variant and report the drift.
+int runReplay(const std::vector<std::string>& files, const util::Cli& cli,
+              const DecodeOptions& decodeOptions) {
+  replay::ReplayEngine engine =
+      replay::ReplayEngine::fromFiles(files, decodeOptions);
+  replay::ReplayOptions options;
+  options.whatIf = replay::parseWhatIf(cli.getString("what-if", ""));
+  options.dictateSchedule = !cli.getBool("no-dictate", false);
+  const replay::DivergenceReport report = engine.replay(options);
+  if (cli.getBool("json", false)) {
+    std::fputs(report.toJson().c_str(), stdout);
+  } else {
+    std::fputs(report.toText().c_str(), stdout);
+  }
+  if (!report.whatIf && !report.identical) return util::kExitDivergence;
+  return util::kExitOk;
+}
+
 int run(const util::Cli& cli) {
   const auto& positional = cli.positional();
   if (positional.empty()) return usage();
@@ -704,6 +797,16 @@ int run(const util::Cli& cli) {
   analysis::SymbolTable symbols;  // ids print as funcN unless a map is loaded
 
   if (command == "fsck") return runFsck(files);
+
+  if (command == "record") return runRecord(files[0], cli);
+
+  if (command == "replay") {
+    DecodeOptions replayDecode;
+    replayDecode.salvage = cli.getBool("salvage", false);
+    replayDecode.threads = static_cast<uint32_t>(cli.getInt("threads", 0));
+    replayDecode.useMmap = !cli.getBool("no-mmap", false);
+    return runReplay(files, cli, replayDecode);
+  }
 
   if (command == "recover") {
     return runRecover(files[0],
