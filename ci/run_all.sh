@@ -13,6 +13,8 @@
 #      completed live window line reproduced byte-identically
 #   9. replay smoke: record an SDET run, replay it bit-identically, and
 #      check what-if divergence reports are deterministic
+#  10. storage smoke: rotation chain under load, then a full simulated
+#      disk — emergency, reclaim, recovery, exactly-once survival
 # Usage: ci/run_all.sh [build-dir-prefix]
 # Build trees land at <prefix>, <prefix>-asan, <prefix>-tsan
 # (default: build, build-asan, build-tsan at the repo root).
@@ -21,36 +23,39 @@ set -eu
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 prefix="${1:-$repo/build}"
 
-echo "==> [1/9] tier-1: plain build + ctest"
+echo "==> [1/10] tier-1: plain build + ctest"
 cmake -B "$prefix" -S "$repo"
 cmake --build "$prefix" -j "$(nproc)"
 (cd "$prefix" && ctest --output-on-failure)
 
-echo "==> [2/9] ASan+UBSan build + ctest"
+echo "==> [2/10] ASan+UBSan build + ctest"
 cmake -B "$prefix-asan" -S "$repo" -DKTRACE_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$prefix-asan" -j "$(nproc)"
 (cd "$prefix-asan" && ctest --output-on-failure)
 
-echo "==> [3/9] TSan: concurrent-labelled tests"
+echo "==> [3/10] TSan: concurrent-labelled tests"
 "$repo/ci/run_tsan.sh" "$prefix-tsan"
 
-echo "==> [4/9] monitor smoke"
+echo "==> [4/10] monitor smoke"
 "$repo/ci/run_monitor_smoke.sh" "$prefix"
 
-echo "==> [5/9] crash-recovery smoke (20 seeds)"
+echo "==> [5/10] crash-recovery smoke (20 seeds)"
 "$repo/ci/run_crash_smoke.sh" "$prefix" 20
 
-echo "==> [6/9] daemon smoke (ktraced fleet, kills + restart)"
+echo "==> [6/10] daemon smoke (ktraced fleet, kills + restart)"
 "$repo/ci/run_daemon_smoke.sh" "$prefix"
 
-echo "==> [7/9] decode-bench smoke (--quick, throughput floor)"
+echo "==> [7/10] decode-bench smoke (--quick, throughput floor)"
 "$repo/bench/run_decode_bench.sh" "$prefix" --quick
 
-echo "==> [8/9] streaming smoke (live vs offline window parity)"
+echo "==> [8/10] streaming smoke (live vs offline window parity)"
 "$repo/ci/run_streaming_smoke.sh" "$prefix"
 
-echo "==> [9/9] replay smoke (record -> bit-identical replay -> what-if)"
+echo "==> [9/10] replay smoke (record -> bit-identical replay -> what-if)"
 "$repo/ci/run_replay_smoke.sh" "$prefix"
 
-echo "run_all: all nine stages passed"
+echo "==> [10/10] storage smoke (rotation, ENOSPC emergency, reclaim)"
+"$repo/ci/run_storage_smoke.sh" "$prefix"
+
+echo "run_all: all ten stages passed"

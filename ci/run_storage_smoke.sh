@@ -1,0 +1,125 @@
+#!/bin/sh
+# Storage smoke: the disk-full survival story end to end, with a REAL
+# ktraced on a simulated disk (DESIGN.md §15).
+#
+#   1. Generation 1: ktraced with tight rotation thresholds drains a
+#      producer fleet; the output must be a multi-segment rotation chain,
+#      every segment fsck-clean, the union exactly-once.
+#   2. Generation 2 runs on a simulated disk (--disk-budget) sized so the
+#      parked second batch cannot fit: the daemon must enter storage
+#      emergency (suspending the tenant with its data parked in shm),
+#      reclaim generation 1's expired files to free simulated space,
+#      recover to Active, and drain the batch — exactly one emergency,
+#      exactly one recovery, reported on its final stderr line.
+#   3. Every surviving segment passes `ktracetool fsck` and decodes; the
+#      committed id set of the second batch verifies exactly-once.
+#   4. `ktraced --check` preflights the output directory (writability +
+#      free space) and exits 0 on the healthy tree.
+# Usage: ci/run_storage_smoke.sh [build-dir]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" \
+      --target ktraced kses_smoke ktracetool >/dev/null
+
+ktraced="$build/tools/ktraced"
+smoke="$build/tools/kses_smoke"
+tool="$build/tools/ktracetool"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/ktraced_storage.XXXXXX")"
+trap 'rm -rf "$work"' EXIT INT TERM
+mkdir -p "$work/sessions" "$work/out"
+cd "$work"
+
+procs=2
+events=2500
+"$smoke" create sessions/app.kses --procs=$procs --buffer-words=64 \
+         --buffers=512 >/dev/null
+
+# --- Generation 1: rotation under load --------------------------------------
+"$ktraced" --dir=sessions --out=out --scan-ms=20 --poll-us=500 \
+           --expiry-ms=2000 --rotate-bytes=8192 2>daemon1.log &
+daemon_pid=$!
+
+p=0
+while [ "$p" -lt "$procs" ]; do
+  "$smoke" produce sessions/app.kses --proc=$p --events=$events \
+           --count-file=app.p$p --throttle-every=16 &
+  p=$((p + 1))
+done
+wait_producers() { for j in $(jobs -p); do [ "$j" = "$daemon_pid" ] || wait "$j"; done; }
+wait_producers
+sleep 1
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo 'storage_smoke: gen1 daemon exited non-zero' >&2; exit 1; }
+
+rotated=$(ls out/app.g1.cpu*.r*.ktrc 2>/dev/null | wc -l)
+[ "$rotated" -gt 0 ] \
+  || { echo 'storage_smoke: gen1 never rotated' >&2; exit 1; }
+echo "storage_smoke: gen1 drained across $rotated rotated segments"
+
+gen1_files=$(ls out/app.g1.*.ktrc | wc -l)
+
+# --- Generation 2: fill -> emergency -> reclaim -> recover ------------------
+# Second batch, disjoint id range, parked in shm before the daemon starts.
+p=0
+while [ "$p" -lt "$procs" ]; do
+  "$smoke" produce sessions/app.kses --proc=$p --events=800 --start=$events \
+           --count-file=app2.p$p --throttle-every=0 &
+  p=$((p + 1))
+done
+wait_producers
+
+# The simulated disk: smaller than the parked batch needs, so gen2 MUST
+# fill it mid-drain; reclaiming gen1's expired files is the only way out.
+# The high watermark sits above the whole budget (reclaim is the only way
+# to clear it) and above the parked batch's size (one emergency cycle
+# frees enough for the entire remainder — exactly one emergency, one
+# recovery).
+budget=16384
+"$ktraced" --dir=sessions --out=out --scan-ms=20 --poll-us=500 \
+           --expiry-ms=2000 --disk-budget=$budget \
+           --free-low=4096 --free-high=49152 2>daemon2.log &
+daemon_pid=$!
+sleep 3
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo 'storage_smoke: gen2 daemon exited non-zero' >&2; exit 1; }
+
+grep -q 'emergencies=1 recoveries=1' daemon2.log || {
+  echo 'storage_smoke: gen2 did not report exactly one emergency+recovery:' >&2
+  tail -3 daemon2.log >&2
+  exit 1
+}
+echo 'storage_smoke: gen2 survived the full disk (1 emergency, 1 recovery)'
+
+# Retention reclaims expired-generation files oldest-first and stops at
+# the watermark: some of gen1 must be gone, and whatever survives must
+# still be readable (checked below).
+gen1_left=$(ls out/app.g1.*.ktrc 2>/dev/null | wc -l)
+[ "$gen1_left" -lt "$gen1_files" ] \
+  || { echo 'storage_smoke: emergency never reclaimed any gen1 file' >&2; exit 1; }
+echo "storage_smoke: reclaim freed $((gen1_files - gen1_left)) of $gen1_files gen1 segments"
+
+# --- Audit every surviving segment ------------------------------------------
+for f in out/app.g*.ktrc; do
+  "$tool" fsck "$f" >/dev/null \
+    || { echo "storage_smoke: fsck found damage in $f" >&2; exit 1; }
+  "$tool" stats "$f" >/dev/null \
+    || { echo "storage_smoke: $f does not decode" >&2; exit 1; }
+done
+
+# Exactly-once for the recovered batch: every id committed by the second
+# fleet appears exactly once in generation 2's chain (--start skips the
+# first batch, whose ids live in gen1's partially reclaimed files).
+"$smoke" verify --procs=$procs --count-prefix=app2 --start=$events \
+         out/app.g2.*.ktrc \
+  || { echo 'storage_smoke: exactly-once verification failed' >&2; exit 1; }
+
+# --- Preflight ---------------------------------------------------------------
+"$ktraced" --dir=sessions --out=out --check >/dev/null \
+  || { echo 'storage_smoke: --check rejected a healthy tree' >&2; exit 1; }
+
+echo 'storage_smoke: all stages passed'

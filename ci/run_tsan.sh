@@ -15,6 +15,6 @@ cmake --build "$build" -j "$(nproc)" --target \
       core_consumer_shard_test core_batching_sink_test \
       core_shm_crash_test core_shm_session_test \
       daemon_test daemon_crash_test trace_format_v3_test \
-      replay_test
+      replay_test daemon_storage_test
 cd "$build"
 ctest -L concurrent --output-on-failure

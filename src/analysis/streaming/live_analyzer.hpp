@@ -37,6 +37,7 @@ class LiveAnalyzer final : public Sink {
   void onBuffer(BufferRecord&& record) override;
   void onBufferBatch(std::vector<BufferRecord>&& records) override;
   SinkCounters counters() const override { return downstream_.counters(); }
+  bool exhausted() const override { return downstream_.exhausted(); }
 
   /// The pipeline has drained (tenant detach): unblocks the ordered merge
   /// and finalizes the folds. Idempotent.

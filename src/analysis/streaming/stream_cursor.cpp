@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -119,6 +120,14 @@ void StreamCursor::resume(const std::vector<FileCursor>& cursors) {
   cursors_ = cursors;
 }
 
+bool StreamCursor::segmentExists(const std::string& path) const {
+  if (options_.decode.fs != nullptr) {
+    return options_.decode.fs->open(path, "rb") != nullptr;
+  }
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
 size_t StreamCursor::poll() {
   size_t ingested = 0;
   TraceReaderOptions readerOptions;
@@ -126,52 +135,68 @@ size_t StreamCursor::poll() {
   readerOptions.useMmap = options_.decode.useMmap;
   for (size_t i = 0; i < paths_.size(); ++i) {
     FileCursor& cursor = cursors_[i];
-    // A growing file is strictly readable only at flush boundaries: the
-    // footer + trailer must sit exactly at EOF. Mid-append the open
-    // throws and the file waits for the next poll.
-    std::unique_ptr<TraceFileReader> reader;
-    try {
-      reader = std::make_unique<TraceFileReader>(paths_[i], readerOptions);
-    } catch (const std::exception&) {
-      continue;
-    }
-    if (!metadataKnown_) {
-      ticksPerSecond_ = reader->meta().ticksPerSecond;
-      metadataKnown_ = true;
-    }
-    const uint32_t processor = reader->meta().processorId;
-    const uint64_t count = reader->bufferCount();
-    // Validate the cursor against the file actually at this path before
-    // trusting its offset (a resumed cursor may predate a rotation). The
-    // fingerprint includes the first record, so it is only final once the
-    // file has one; an empty file stays at identity 0 (unknown).
-    const uint64_t identity = count > 0 ? fileIdentity(*reader) : 0;
-    if (cursor.identity != 0 && identity != 0 && cursor.identity != identity) {
-      throw std::runtime_error(
-          "StreamCursor: resumed cursor does not match the file at '" +
-          paths_[i] +
-          "' (rotated or rewritten since the cursor was saved); restart "
-          "from a fresh cursor");
-    }
-    if (cursor.recordsDecoded > count) {
-      throw std::runtime_error(
-          "StreamCursor: resumed cursor is past the end of '" + paths_[i] +
-          "' (" + std::to_string(cursor.recordsDecoded) +
-          " record(s) decoded, file now holds " + std::to_string(count) +
-          "); the file was truncated or replaced");
-    }
-    if (identity != 0) cursor.identity = identity;
-    for (uint64_t k = cursor.recordsDecoded; k < count; ++k) {
-      BufferView view;
-      if (!reader->readBufferView(k, view)) break;
-      scratch_.clear();
-      stats_.merge(decodeBuffer(view.words, view.seq, processor,
-                                cursor.tsBase, scratch_, options_.decode));
-      for (DecodedEvent& e : scratch_) {
-        merger_.push(static_cast<uint32_t>(i), std::move(e));
-        ++ingested;
+    // Walk the path's rotation chain: drain the current segment, and when
+    // its successor exists (the writer closed this segment — rotation
+    // creates the next file only after the previous one's final flush),
+    // hand off in place. Same lane, tsBase carried over; only the
+    // per-segment record count and fingerprint reset.
+    for (;;) {
+      const std::string segmentPath =
+          rotationSegmentPath(paths_[i], cursor.segment);
+      // A growing file is strictly readable only at flush boundaries: the
+      // footer + trailer must sit exactly at EOF. Mid-append the open
+      // throws and the file waits for the next poll.
+      std::unique_ptr<TraceFileReader> reader;
+      try {
+        reader = std::make_unique<TraceFileReader>(segmentPath, readerOptions);
+      } catch (const std::exception&) {
+        break;
       }
-      cursor.recordsDecoded = k + 1;
+      if (!metadataKnown_) {
+        ticksPerSecond_ = reader->meta().ticksPerSecond;
+        metadataKnown_ = true;
+      }
+      const uint32_t processor = reader->meta().processorId;
+      const uint64_t count = reader->bufferCount();
+      // Validate the cursor against the file actually at this path before
+      // trusting its offset (a resumed cursor may predate a rewrite). The
+      // fingerprint includes the first record, so it is only final once the
+      // file has one; an empty file stays at identity 0 (unknown).
+      const uint64_t identity = count > 0 ? fileIdentity(*reader) : 0;
+      if (cursor.identity != 0 && identity != 0 && cursor.identity != identity) {
+        throw std::runtime_error(
+            "StreamCursor: resumed cursor does not match the file at '" +
+            segmentPath +
+            "' (rewritten since the cursor was saved); restart from a fresh "
+            "cursor");
+      }
+      if (cursor.recordsDecoded > count) {
+        throw std::runtime_error(
+            "StreamCursor: resumed cursor is past the end of '" + segmentPath +
+            "' (" + std::to_string(cursor.recordsDecoded) +
+            " record(s) decoded, file now holds " + std::to_string(count) +
+            "); the file was truncated or replaced");
+      }
+      if (identity != 0) cursor.identity = identity;
+      for (uint64_t k = cursor.recordsDecoded; k < count; ++k) {
+        BufferView view;
+        if (!reader->readBufferView(k, view)) break;
+        scratch_.clear();
+        stats_.merge(decodeBuffer(view.words, view.seq, processor,
+                                  cursor.tsBase, scratch_, options_.decode));
+        for (DecodedEvent& e : scratch_) {
+          merger_.push(static_cast<uint32_t>(i), std::move(e));
+          ++ingested;
+        }
+        cursor.recordsDecoded = k + 1;
+      }
+      if (!options_.followRotations || cursor.recordsDecoded < count ||
+          !segmentExists(rotationSegmentPath(paths_[i], cursor.segment + 1))) {
+        break;
+      }
+      ++cursor.segment;
+      cursor.recordsDecoded = 0;
+      cursor.identity = 0;
     }
   }
   return ingested;

@@ -25,17 +25,22 @@
 
 namespace ktrace::analysis::streaming {
 
-/// Resume point for one growing file.
+/// Resume point for one growing file (or rotation chain of files).
 struct FileCursor {
-  uint64_t recordsDecoded = 0;  // records already decoded and emitted
+  uint64_t recordsDecoded = 0;  // records already decoded in this segment
   uint64_t tsBase = 0;          // running 64-bit timestamp base at that point
   /// Fingerprint of the file the cursor was taken against (header
   /// metadata + first record), filled in by the first successful poll().
   /// 0 = unknown (a cursor saved by an older reader). resume() with a
-  /// non-zero identity is validated on the next poll: a rotated or
-  /// rewritten file no longer matches and poll() throws instead of
-  /// silently replaying from a bogus offset.
+  /// non-zero identity is validated on the next poll: a rewritten file no
+  /// longer matches and poll() throws instead of silently replaying from
+  /// a bogus offset.
   uint64_t identity = 0;
+  /// Rotation-chain position: which segment of the configured path's
+  /// chain (rotationSegmentPath) the cursor is in. recordsDecoded and
+  /// identity are relative to this segment; tsBase carries across the
+  /// whole chain (every segment re-anchors it exactly).
+  uint32_t segment = 0;
 };
 
 /// K-way ordering buffer with a watermark: push events per lane (one lane
@@ -85,6 +90,13 @@ struct StreamCursorOptions {
   /// growing file is read strictly via its footer, which is what makes
   /// incremental re-open safe. Run post-hoc salvage on closed files).
   DecodeOptions decode{};
+  /// Follow FileSink rotation chains: when a configured path's writer
+  /// rotates (close-and-open-next, DESIGN.md §15), poll() finishes the
+  /// closed segment and hands off to its successor
+  /// (rotationSegmentPath(path, segment+1)) in place — same merge lane,
+  /// tsBase carried across the boundary — instead of going quiet on the
+  /// closed file. The tail never restarts from zero.
+  bool followRotations = true;
 };
 
 /// Tail a set of growing (or closed) v3 trace files as one merged stream.
@@ -127,6 +139,8 @@ class StreamCursor {
   bool metadataKnown() const noexcept { return metadataKnown_; }
 
  private:
+  bool segmentExists(const std::string& path) const;
+
   std::vector<std::string> paths_;
   std::vector<FileCursor> cursors_;
   StreamCursorOptions options_;

@@ -59,17 +59,26 @@ bool BatchingSink::enqueue(BufferRecord&& record) {
     return false;
   }
   if (queue_.size() >= config_.maxQueuedRecords) {
-    if (!config_.blockWhenFull || stopping_) {
+    if (!config_.blockWhenFull || stopping_ || downstream_.exhausted()) {
+      // Shedding beats deadlock: with the disk full the writer is
+      // deliberately paused, so waiting for space could outlast the
+      // emergency and wedge the consumer the daemon is trying to suspend.
+      // (The shm drain stops consuming on the same signal, so this
+      // last-resort shed is a one-record race window, exactly counted.)
       recordsDropped_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     backpressureWaits_.fetch_add(1, std::memory_order_relaxed);
-    spaceCv_.wait(lock, [&] {
-      return queue_.size() < config_.maxQueuedRecords || stopping_;
-    });
+    // Plain wait() would miss the sink flipping to exhausted (nothing
+    // notifies this cv on a degrade), so poll that flag on a coarse tick;
+    // space and stop still wake us immediately.
+    while (queue_.size() >= config_.maxQueuedRecords && !stopping_ &&
+           !downstream_.exhausted()) {
+      spaceCv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
     if (queue_.size() >= config_.maxQueuedRecords) {
       recordsDropped_.fetch_add(1, std::memory_order_relaxed);
-      return false;  // woken by stop with the queue still full
+      return false;  // woken by stop or disk-full with the queue still full
     }
   }
   queue_.push_back(std::move(record));
@@ -117,6 +126,10 @@ void BatchingSink::run() {
       if (stopping_) return;
       continue;  // linger expired with nothing queued
     }
+    // Disk full: hold the queue instead of feeding a shedding sink — these
+    // records survive the emergency in place and drain after recovery.
+    // stop() still pushes through (final accounting beats retention).
+    if (!stopping_ && downstream_.exhausted()) continue;  // wait_for re-checks
     std::vector<BufferRecord> batch = takeBatchLocked();
     lock.unlock();
     spaceCv_.notify_all();

@@ -78,6 +78,11 @@ class BatchingSink final : public Sink {
   /// Queue + drop accounting merged with the downstream sink's counters.
   SinkCounters counters() const override;
 
+  /// Forwards the terminal sink's state: while true the writer thread
+  /// holds queued records instead of feeding them into a shedding sink
+  /// (stop()/flushNow() still push everything through).
+  bool exhausted() const override { return downstream_.exhausted(); }
+
   uint64_t batchesFlushed() const noexcept {
     return batchesFlushed_.load(std::memory_order_relaxed);
   }

@@ -319,6 +319,11 @@ uint64_t ShmTraceControl::drainCompleteBuffers(uint64_t nextSeq, Sink& sink,
     nextSeq = oldestSafe;
   }
   while (nextSeq < currentSeq) {
+    // Disk full downstream: stop consuming at this exact boundary. The
+    // undrained tail stays parked in the segment (cursor untouched) and
+    // drains after the storage emergency clears, instead of being pulled
+    // into a sink that can only shed it (DESIGN.md §15).
+    if (sink.exhausted()) return nextSeq;
     const uint32_t slotIdx = static_cast<uint32_t>(nextSeq & (numBuffers - 1));
     const ShmSlotState& s = slots_[slotIdx];
     if (s.lapSeq.load(std::memory_order_acquire) != nextSeq) {

@@ -61,6 +61,13 @@ class Sink {
   /// Lock-free-ish snapshot of the sink's accounting; the default reports
   /// nothing.
   virtual SinkCounters counters() const { return {}; }
+  /// True while the terminal writer cannot persist records right now (a
+  /// full disk — FileSink's recoverable ENOSPC degrade). Decorators
+  /// forward the question downstream. Callers that can hold data upstream
+  /// (the shm drain, BatchingSink's writer) pause on this instead of
+  /// feeding records into a shedding sink, which is what preserves
+  /// exactly-once through a storage emergency (DESIGN.md §15).
+  virtual bool exhausted() const { return false; }
 };
 
 /// Keeps every buffer in memory; the unit tests' and analysis tools' view

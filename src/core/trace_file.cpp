@@ -249,6 +249,7 @@ bool TraceFileWriter::writeBuffer(const BufferRecord& record) {
     // The next write re-seeks to the record boundary, so a successful
     // retry overwrites the torn bytes instead of leaving them mid-stream.
     needSeekToBody_ = true;
+    tornTail_ = true;
     return false;
   }
   noteRecordWritten(staging_.data(), recordBytes);
@@ -318,6 +319,7 @@ size_t TraceFileWriter::writeBufferBatch(const BufferRecord* const* records,
       // Replay uncompressed: simpler to reason about under disk-full, and
       // the per-record path accounts durable records exactly.
       needSeekToBody_ = true;
+      tornTail_ = true;
       size_t done = 0;
       while (done < count && writeBuffer(*records[done])) ++done;
       return done;
@@ -338,6 +340,7 @@ size_t TraceFileWriter::writeBufferBatch(const BufferRecord* const* records,
   // so at its exact boundary, so buffersWritten_/bytesWritten_ count only
   // durable records — never the attempted batch.
   needSeekToBody_ = true;
+  tornTail_ = true;
   size_t done = 0;
   while (done < count && writeBuffer(*records[done])) ++done;
   return done;
@@ -382,6 +385,7 @@ bool TraceFileWriter::writeFooter() {
   std::memcpy(out, &t, sizeof(t));
   if (file_->write(staging_.data(), staging_.size()) != staging_.size()) {
     recordError("footer write failed");
+    tornTail_ = true;  // a partial footer is garbage past the body
     return false;
   }
   return true;
@@ -389,6 +393,18 @@ bool TraceFileWriter::writeFooter() {
 
 bool TraceFileWriter::flush() {
   bool ok = ensureHeader();
+  if (ok && tornTail_) {
+    // A failed write may have left torn bytes past the last record
+    // boundary. Chop them before sealing: the reader requires the footer
+    // trailer at exact EOF, and a surviving segment must read strictly.
+    if (file_->truncate(bodyEnd_)) {
+      tornTail_ = false;
+      needSeekToBody_ = true;  // position is undefined after a truncate
+    } else {
+      recordError("truncate failed");
+      ok = false;
+    }
+  }
   if (ok && options_.formatVersion >= kVersionFooter) {
     ok = writeFooter() && ok;
   }
@@ -1012,22 +1028,158 @@ bool TraceFileReader::readBuffer(uint64_t k, BufferRecord& out) {
   return true;
 }
 
+std::string rotationSegmentPath(const std::string& basePath, uint32_t segment) {
+  if (segment == 0) return basePath;
+  const size_t dot = basePath.find_last_of('.');
+  const size_t slash = basePath.find_last_of('/');
+  const bool hasExt =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  const std::string suffix = util::strprintf(".r%06u", segment);
+  if (!hasExt) return basePath + suffix;
+  return basePath.substr(0, dot) + suffix + basePath.substr(dot);
+}
+
+uint64_t retryBackoffUs(const TraceWriterOptions& options, int attempt) {
+  uint64_t base = options.retryBackoffStartUs;
+  for (int i = 0; i < attempt && base < options.retryBackoffMaxUs; ++i) base <<= 1;
+  if (base > options.retryBackoffMaxUs) base = options.retryBackoffMaxUs;
+  if (base == 0) return 0;
+  // splitmix64 of (seed, attempt): deterministic jitter in [base/2, base].
+  uint64_t z = options.retryJitterSeed + 0x9e3779b97f4a7c15ull *
+                                             (static_cast<uint64_t>(attempt) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const uint64_t half = base / 2;
+  return half + z % (base - half + 1);
+}
+
 FileSink::FileSink(std::string directory, std::string baseName,
                    const TraceFileMeta& commonMeta, util::FileSystem* fs,
                    const TraceWriterOptions& writerOptions)
     : directory_(std::move(directory)), baseName_(std::move(baseName)),
       commonMeta_(commonMeta), fs_(fs), writerOptions_(writerOptions),
-      writers_(commonMeta.numProcessors) {}
+      writers_(commonMeta.numProcessors), segments_(commonMeta.numProcessors, 0) {}
 
 std::string FileSink::pathFor(uint32_t processor) const {
   return util::strprintf("%s/%s.cpu%u.ktrc", directory_.c_str(), baseName_.c_str(),
                          processor);
 }
 
-void FileSink::degrade(const std::string& message) {
+std::string FileSink::pathFor(uint32_t processor, uint32_t segment) const {
+  return rotationSegmentPath(pathFor(processor), segment);
+}
+
+uint32_t FileSink::segmentIndex(uint32_t processor) const {
+  std::lock_guard lock(writersMutex_);
+  return processor < segments_.size() ? segments_[processor] : 0;
+}
+
+void FileSink::degrade(const std::string& message, int err) {
   degraded_.store(true, std::memory_order_relaxed);
+  degradedErrno_.store(err, std::memory_order_relaxed);
   std::lock_guard lock(errorMutex_);
   if (errorMessage_.empty()) errorMessage_ = message;
+}
+
+void FileSink::rotateLocked(uint32_t p) {
+  auto& slot = writers_[p];
+  if (slot == nullptr) return;
+  // Closing the segment writes its final footer; records are already
+  // durable either way (bytesWritten counts record boundaries only), so a
+  // failed footer flush costs salvage work on that one segment, never
+  // data — do not degrade the sink for it.
+  slot->flush();
+  slot.reset();
+  ++segments_[p];
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FileSink::tryRecover() {
+  if (!degraded()) return true;
+  if (degradedErrno() != ENOSPC) return false;
+  // Probe: does a small write fit now? Same filesystem as the writers, so
+  // an injected budget answers honestly.
+  util::FileSystem& fs = fs_ != nullptr ? *fs_ : util::FileSystem::stdio();
+  const std::string probePath =
+      util::strprintf("%s/%s.probe.tmp", directory_.c_str(), baseName_.c_str());
+  {
+    std::unique_ptr<util::File> probe = fs.open(probePath, "wb");
+    if (probe == nullptr) return false;
+    unsigned char block[1024] = {0};
+    bool ok = true;
+    for (int i = 0; i < 4 && ok; ++i) {
+      ok = probe->write(block, sizeof(block)) == sizeof(block);
+    }
+    ok = probe->flush() && ok;
+    probe.reset();
+    fs.remove(probePath);
+    if (!ok) return false;
+  }
+  {
+    std::lock_guard lock(writersMutex_);
+    // Leave the incident's segments behind exactly as they are and start
+    // fresh ones: every post-recovery record lands in a segment whose
+    // footer chain never saw the full disk.
+    for (uint32_t p = 0; p < writers_.size(); ++p) {
+      if (writers_[p] != nullptr) rotateLocked(p);
+    }
+  }
+  // Replay the records the full disk refused, in arrival order, before
+  // clearing the degraded flag: upstream holders are still paused on
+  // exhausted(), so nothing can interleave ahead of the parked backlog
+  // and per-processor seq order is preserved. A replay failure re-parks
+  // the remainder and leaves the sink exhausted.
+  std::vector<BufferRecord> parked;
+  {
+    std::lock_guard parkLock(parkedMutex_);
+    parked.swap(parked_);
+  }
+  size_t i = 0;
+  while (i < parked.size()) {
+    size_t j = i + 1;
+    while (j < parked.size() && parked[j].processor == parked[i].processor) ++j;
+    std::vector<const BufferRecord*> run;
+    run.reserve(j - i);
+    for (size_t k = i; k < j; ++k) run.push_back(&parked[k]);
+    writeRun(run.data(), run.size());
+    i = j;
+  }
+  {
+    std::lock_guard parkLock(parkedMutex_);
+    if (!parked_.empty()) return false;  // re-parked: still out of space
+  }
+  {
+    std::lock_guard errLock(errorMutex_);
+    errorMessage_.clear();
+  }
+  degradedErrno_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FileSink::parkedRecords() const {
+  std::lock_guard lock(parkedMutex_);
+  return parked_.size();
+}
+
+void FileSink::shedParked() {
+  std::lock_guard lock(parkedMutex_);
+  if (parked_.empty()) return;
+  droppedRecords_.fetch_add(parked_.size(), std::memory_order_relaxed);
+  parked_.clear();
+  parked_.shrink_to_fit();
+}
+
+void FileSink::parkRun(const BufferRecord* const* records, size_t n) {
+  std::lock_guard lock(parkedMutex_);
+  const size_t cap = writerOptions_.parkMaxRecords;
+  size_t fit = 0;
+  if (parked_.size() < cap) fit = std::min(n, cap - parked_.size());
+  for (size_t i = 0; i < fit; ++i) parked_.push_back(*records[i]);
+  if (fit < n) {
+    droppedRecords_.fetch_add(n - fit, std::memory_order_relaxed);
+  }
 }
 
 void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
@@ -1037,14 +1189,31 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
   {
     std::lock_guard lock(writersMutex_);
     auto& slot = writers_[p];
+    // Size/record rotation happens before the run, at a record boundary:
+    // the closed segment keeps its complete footer and the run lands at
+    // the head of the successor. A run can overshoot rotateBytes by at
+    // most itself — segments are threshold-triggered, not exact-capped.
+    if (slot != nullptr &&
+        ((writerOptions_.rotateBytes != 0 &&
+          slot->bytesWritten() >= writerOptions_.rotateBytes) ||
+         (writerOptions_.rotateRecords != 0 &&
+          slot->buffersWritten() >= writerOptions_.rotateRecords))) {
+      rotateLocked(p);
+    }
     if (slot == nullptr) {
       TraceFileMeta meta = commonMeta_;
       meta.processorId = p;
       try {
-        slot = std::make_unique<TraceFileWriter>(pathFor(p), meta, fs_, writerOptions_);
+        slot = std::make_unique<TraceFileWriter>(pathFor(p, segments_[p]), meta,
+                                                 fs_, writerOptions_);
       } catch (const std::exception& e) {
-        degrade(e.what());
-        droppedRecords_.fetch_add(n, std::memory_order_relaxed);
+        const int err = errno;
+        degrade(e.what(), err);
+        if (err == ENOSPC) {
+          parkRun(records, n);  // recoverable: hold for tryRecover
+        } else {
+          droppedRecords_.fetch_add(n, std::memory_order_relaxed);
+        }
         return;
       }
     }
@@ -1052,19 +1221,23 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
   }
   // This runs on a consumer shard, fed by the lockless logging hot path —
   // it must not throw (records were size-validated by the caller). Retry
-  // transient errors with bounded backoff, then degrade to counting
-  // drops. writeBufferBatch reports durable records exactly, so a retried
-  // partial write never double-counts bytes or under-counts drops.
+  // transient errors with bounded, jittered exponential backoff, then
+  // degrade to counting drops. writeBufferBatch reports durable records
+  // exactly, so a retried partial write never double-counts bytes or
+  // under-counts drops.
   const uint64_t bytesBefore = writer->bytesWritten();
   const uint64_t rawBefore = writer->rawBytes();
-  constexpr int kMaxAttempts = 4;
+  const int maxAttempts = writerOptions_.retryMaxAttempts > 0
+                              ? writerOptions_.retryMaxAttempts
+                              : 1;
   size_t done = 0;
-  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+  for (int attempt = 0; attempt < maxAttempts; ++attempt) {
     done += writer->writeBufferBatch(records + done, n - done);
     if (done == n) break;
     if (!isTransientErrno(writer->error())) break;
-    if (attempt + 1 < kMaxAttempts) {
-      std::this_thread::sleep_for(std::chrono::microseconds(50u << attempt));
+    if (attempt + 1 < maxAttempts) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(retryBackoffUs(writerOptions_, attempt)));
     }
   }
   recordsWritten_.fetch_add(done, std::memory_order_relaxed);
@@ -1072,8 +1245,15 @@ void FileSink::writeRun(const BufferRecord* const* records, size_t n) {
                           std::memory_order_relaxed);
   rawBytes_.fetch_add(writer->rawBytes() - rawBefore, std::memory_order_relaxed);
   if (done < n) {
-    degrade(writer->errorMessage());
-    droppedRecords_.fetch_add(n - done, std::memory_order_relaxed);
+    degrade(writer->errorMessage(), writer->error());
+    if (writer->error() == ENOSPC) {
+      // The disk filled mid-run. These records were already consumed from
+      // their source, so dropping them here would lose them forever —
+      // park the remainder for tryRecover to land on a fresh segment.
+      parkRun(records + done, n - done);
+    } else {
+      droppedRecords_.fetch_add(n - done, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -1087,7 +1267,12 @@ void FileSink::onBuffer(BufferRecord&& record) {
     return;
   }
   if (degraded()) {
-    droppedRecords_.fetch_add(1, std::memory_order_relaxed);
+    const BufferRecord* r = &record;
+    if (exhausted()) {
+      parkRun(&r, 1);
+    } else {
+      droppedRecords_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
   const BufferRecord* r = &record;
@@ -1116,7 +1301,13 @@ void FileSink::onBufferBatch(std::vector<BufferRecord>&& records) {
     size_t j = i + 1;
     while (j < valid.size() && valid[j]->processor == valid[i]->processor) ++j;
     if (degraded()) {
-      droppedRecords_.fetch_add(valid.size() - i, std::memory_order_relaxed);
+      // The rest of this batch is equally in-flight: park it alongside
+      // the run that hit the wall (or count it, for permanent degrades).
+      if (exhausted()) {
+        parkRun(valid.data() + i, valid.size() - i);
+      } else {
+        droppedRecords_.fetch_add(valid.size() - i, std::memory_order_relaxed);
+      }
       return;
     }
     writeRun(valid.data() + i, j - i);
@@ -1147,6 +1338,7 @@ SinkCounters FileSink::counters() const {
   c.recordsDropped = droppedRecords() + droppedInvalidProcessor() + droppedMalformed();
   c.bytesWritten = bytesWritten();
   c.rawBytes = rawBytes();
+  c.queuedRecords = parkedRecords();  // in flight until tryRecover lands them
   return c;
 }
 

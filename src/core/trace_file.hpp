@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -72,7 +73,47 @@ struct TraceWriterOptions {
   /// grouping is by record ordinal — independent of how writes were
   /// batched — so serial and batched writers emit identical files.
   uint32_t indexRecordsPerEntry = 16;
+  /// FileSink rotation (DESIGN.md §15): close the current segment and open
+  /// the next (rotationSegmentPath) once its durable size reaches this
+  /// many bytes (0 = never). Rotation happens at a record boundary, so
+  /// every closed segment is a complete v3 file (footer + trailer) and
+  /// every segment's first record re-bases the timestamp chain via its
+  /// buffer anchor — a rotated chain decodes exactly like one big file.
+  uint64_t rotateBytes = 0;
+  /// Rotate after this many records per segment (0 = never). Combines
+  /// with rotateBytes: whichever threshold is reached first rotates.
+  uint64_t rotateRecords = 0;
+  /// FileSink transient-error retry policy: attempts per run, then the
+  /// bounded exponential backoff between them. The jitter is a pure
+  /// function of (seed, attempt) — see retryBackoffUs — so tests can pin
+  /// the exact schedule and two sinks never sleep in lockstep unless
+  /// seeded identically.
+  int retryMaxAttempts = 4;
+  uint32_t retryBackoffStartUs = 50;
+  uint32_t retryBackoffMaxUs = 2000;
+  uint64_t retryJitterSeed = 0x6b74726163656261ull;  // "ktraceba"
+  /// ENOSPC parking bound (records). When the disk fills mid-batch the
+  /// unwritten remainder is parked in memory — not dropped — and replayed
+  /// by tryRecover(), so records already consumed from their source
+  /// survive the emergency. Beyond this many parked records, further
+  /// arrivals fall back to counted drops (0 disables parking).
+  uint32_t parkMaxRecords = 256;
 };
+
+/// Path of the k-th segment in a rotation chain rooted at `basePath`:
+/// segment 0 is basePath itself (never renamed, never rewritten); segment
+/// k > 0 inserts ".r<k, zero-padded>" before the extension, e.g.
+/// "fleet.g1.cpu0.ktrc" -> "fleet.g1.cpu0.r000001.ktrc". Zero-padding
+/// keeps lexicographic path order equal to chain order ("r" also sorts
+/// after "ktrc"), so a sorted glob feeds TraceSet::fromFiles segments in
+/// exactly write order.
+std::string rotationSegmentPath(const std::string& basePath, uint32_t segment);
+
+/// Deterministic retry delay before attempt `attempt` (0-based: the delay
+/// slept after the attempt fails): exponential base start<<attempt clamped
+/// to max, with seeded jitter in [base/2, base]. Pure function of
+/// (options, attempt).
+uint64_t retryBackoffUs(const TraceWriterOptions& options, int attempt);
 
 /// What a salvage scan found in one trace file. A clean file has only
 /// good records; everything else measures damage the reader worked around.
@@ -200,6 +241,7 @@ class TraceFileWriter {
   int64_t bodyEnd_ = 0;  // file offset just past the last durable record
   bool headerWritten_ = false;
   bool needSeekToBody_ = false;  // a footer write moved the file position
+  bool tornTail_ = false;  // a failed write may have left bytes past bodyEnd_
   int errno_ = 0;
   std::string errorMessage_;
   std::vector<unsigned char> staging_;   // batch serialization scratch
@@ -339,14 +381,56 @@ class FileSink final : public Sink {
   /// errorMessage() holds the first error observed.
   bool flush();
 
-  /// Path used for a given processor.
+  /// Path used for a given processor (segment 0 of its rotation chain).
   std::string pathFor(uint32_t processor) const;
+  /// Path of segment `segment` of a processor's rotation chain.
+  std::string pathFor(uint32_t processor, uint32_t segment) const;
 
-  /// True once a write has permanently failed; subsequent records are
-  /// counted in droppedRecords() and discarded.
+  /// True once a write has persistently failed; subsequent records are
+  /// counted in droppedRecords() and discarded. An ENOSPC degrade is
+  /// recoverable — see tryRecover(); everything else is permanent.
   bool degraded() const noexcept {
     return degraded_.load(std::memory_order_relaxed);
   }
+  /// errno of the failure that degraded the sink (0 when healthy; ENOSPC
+  /// means tryRecover can bring it back).
+  int degradedErrno() const noexcept {
+    return degradedErrno_.load(std::memory_order_relaxed);
+  }
+  /// Degraded specifically by a full disk (the recoverable class). This
+  /// overrides Sink::exhausted, so upstream holders (BatchingSink, the
+  /// shm drain) pause on it through any decorator chain.
+  bool exhausted() const noexcept override {
+    return degraded() && degradedErrno() == ENOSPC;
+  }
+
+  /// Attempts to leave an ENOSPC degrade: probes the output directory
+  /// with a small write (through the same filesystem), and on success
+  /// replays the parked records (see parkedRecords), clears the degraded
+  /// state, and rotates every open writer so post-recovery records start
+  /// a fresh, cleanly-footered segment. Returns true when the sink is
+  /// healthy afterwards; false while space is still exhausted or the
+  /// degrade was not ENOSPC. Caller must ensure no concurrent onBuffer*
+  /// calls (the daemon suspends the tenant first).
+  bool tryRecover();
+
+  /// Records parked by an ENOSPC incident, waiting for tryRecover to
+  /// land them (bounded by TraceWriterOptions::parkMaxRecords). These are
+  /// neither durable nor dropped yet; counters() reports them as queued.
+  uint64_t parkedRecords() const;
+
+  /// Converts parked records to counted drops. Terminal teardown only
+  /// (detaching a tenant while the disk is still full): once the sink is
+  /// gone the parked records cannot land, and exact accounting requires
+  /// consumed == durable + dropped.
+  void shedParked();
+
+  /// Segments closed by size/record rotation so far (all processors).
+  uint64_t rotations() const noexcept {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  /// Current segment index of a processor's chain (0 = still the base).
+  uint32_t segmentIndex(uint32_t processor) const;
   uint64_t droppedRecords() const noexcept {
     return droppedRecords_.load(std::memory_order_relaxed);
   }
@@ -370,22 +454,33 @@ class FileSink final : public Sink {
   SinkCounters counters() const override;
 
  private:
-  void degrade(const std::string& message);
+  void degrade(const std::string& message, int err);
   /// Writes a run of same-processor records (retry/degrade policy lives
   /// here). `n` == 1 uses the single-record path, > 1 the coalesced one.
   void writeRun(const BufferRecord* const* records, size_t n);
+  /// Parks up to parkMaxRecords of `records[0..n)` for post-recovery
+  /// replay; the overflow is counted as dropped.
+  void parkRun(const BufferRecord* const* records, size_t n);
+  /// Caller holds writersMutex_. Closes processor p's current segment
+  /// (footer flush) and bumps its segment index; the next writeRun lazily
+  /// opens the successor. Rotation never rewrites the closed segment.
+  void rotateLocked(uint32_t p);
 
   std::string directory_;
   std::string baseName_;
   TraceFileMeta commonMeta_;
   util::FileSystem* fs_;
   TraceWriterOptions writerOptions_;
-  /// Slot assignment (lazy writer creation) and flush() hold writersMutex_;
-  /// writes into an existing writer do not — the disjoint-processor
-  /// contract already makes each writer single-threaded.
+  /// Slot assignment (lazy writer creation), rotation, and flush() hold
+  /// writersMutex_; writes into an existing writer do not — the
+  /// disjoint-processor contract already makes each writer
+  /// single-threaded.
   mutable std::mutex writersMutex_;
   std::vector<std::unique_ptr<TraceFileWriter>> writers_;
+  std::vector<uint32_t> segments_;  // per-processor rotation index
+  std::atomic<uint64_t> rotations_{0};
   std::atomic<bool> degraded_{false};
+  std::atomic<int> degradedErrno_{0};
   std::atomic<uint64_t> droppedRecords_{0};
   std::atomic<uint64_t> droppedInvalidProcessor_{0};
   std::atomic<uint64_t> droppedMalformed_{0};
@@ -396,6 +491,11 @@ class FileSink final : public Sink {
   std::atomic<uint64_t> rawBytes_{0};
   mutable std::mutex errorMutex_;  // errorMessage_ only
   std::string errorMessage_;
+  /// ENOSPC parking (DESIGN.md §15): the in-flight records a full disk
+  /// refused, in arrival order, awaiting tryRecover. Shard threads park
+  /// concurrently (different processors), hence the mutex.
+  mutable std::mutex parkedMutex_;
+  std::vector<BufferRecord> parked_;
 };
 
 }  // namespace ktrace

@@ -64,8 +64,9 @@ bool ControlServer::serviceClient(Client& client) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line == "follow") {
       client.following = true;
-      if (!client.stream.writeAll("{\"type\":\"following\",\"ok\":true}\n",
-                                  kWriteTimeoutMs)) {
+      if (!client.stream.writeAll(
+              std::string("{\"type\":\"following\",\"ok\":true}\n"),
+              kWriteTimeoutMs)) {
         return false;
       }
       continue;
@@ -108,10 +109,14 @@ void ControlServer::run() {
       }
     }
 
-    // Read + service clients; drop the dead and the hopeless.
+    // Read + service clients; drop the dead and the hopeless. A client
+    // that disconnected right after sending a command still gets its
+    // buffered lines serviced — the reply write then fails fast (EPIPE,
+    // never SIGPIPE, never a blocked scan thread) and is counted as a
+    // dropped client; a clean EOF with nothing buffered is not.
     for (size_t i = 0; i < clients_.size();) {
       Client& client = clients_[i];
-      bool alive = true;
+      bool open = true;
       char buf[1024];
       for (;;) {
         const long n = client.stream.readSome(buf, sizeof(buf));
@@ -120,11 +125,13 @@ void ControlServer::run() {
           continue;
         }
         if (n == -1) break;     // drained
-        alive = false;          // EOF or error
+        open = false;           // EOF or error
         break;
       }
-      if (alive) alive = serviceClient(client);
-      if (alive) {
+      const bool serviced =
+          client.inbuf.empty() ? true : serviceClient(client);
+      if (!serviced) clientsDropped_.fetch_add(1, std::memory_order_relaxed);
+      if (open && serviced) {
         ++i;
       } else {
         clients_.erase(clients_.begin() + static_cast<long>(i));
@@ -140,6 +147,9 @@ void ControlServer::run() {
             client.stream.writeAll(update, kWriteTimeoutMs)) {
           ++i;
         } else {
+          // A follower that stopped reading (or vanished): one timed-out
+          // write, then it is gone — the stream must not stall the loop.
+          clientsDropped_.fetch_add(1, std::memory_order_relaxed);
           clients_.erase(clients_.begin() + static_cast<long>(i));
         }
       }

@@ -12,7 +12,9 @@
 // must never wedge the control thread, let alone the drain.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,6 +41,13 @@ class ControlServer {
 
   const std::string& path() const noexcept { return socketPath_; }
 
+  /// Clients forcibly dropped because a reply could not be delivered
+  /// (peer gone / EPIPE, write timeout on a slow reader) or the client
+  /// sent an oversized line. Clean disconnects are not counted.
+  uint64_t clientsDropped() const noexcept {
+    return clientsDropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Client {
     util::UnixStream stream;
@@ -56,6 +65,7 @@ class ControlServer {
   std::chrono::milliseconds followInterval_;
   util::UnixListener listener_;
   std::vector<Client> clients_;
+  std::atomic<uint64_t> clientsDropped_{0};
   int stopPipe_[2] = {-1, -1};
   std::thread thread_;
 };

@@ -68,6 +68,9 @@ bool hasSuffix(const std::string& s, const std::string& suffix) {
 
 TraceDaemon::TraceDaemon(DaemonConfig config)
     : config_(std::move(config)),
+      storage_(StorageConfig{config_.outputDir, config_.storageMaxTotalBytes,
+                             config_.storageMaxTenantBytes,
+                             config_.storageRetainAge, config_.traceFs}),
       scheduler_(WatchdogScheduler::Config{config_.schedulerThreads}) {
   if (config_.manifestPath.empty()) {
     config_.manifestPath = config_.outputDir + "/ktraced.manifest";
@@ -130,7 +133,7 @@ void TraceDaemon::writeManifestLocked() {
       const Tenant& tenant = *slot.tenant;
       const TenantState s = tenant.state();
       if (s != TenantState::Active && s != TenantState::Degraded &&
-          s != TenantState::Evicted) {
+          s != TenantState::Suspended && s != TenantState::Evicted) {
         continue;  // never attached: nothing drained, nothing to resume
       }
       const std::vector<uint64_t> seqs = slot.tenant->drainedSeqs();
@@ -189,6 +192,12 @@ void TraceDaemon::stop() {
     const TenantState s = slot.tenant->state();
     if (s == TenantState::Active || s == TenantState::Degraded) {
       slot.tenant->drainAndFlush();
+    } else if (s == TenantState::Suspended) {
+      // Storage emergency at shutdown: the sink cannot take data, so do
+      // NOT poll — cursors stay frozen at the suspension point and the
+      // manifest hands everything still parked in the segment to the
+      // next incarnation (exactly-once preserved, nothing silently lost).
+      slot.tenant->drainAndFlush(/*pollProducers=*/false);
     }
   }
   writeManifestLocked();
@@ -223,6 +232,9 @@ void TraceDaemon::admitLocked(const std::string& path) {
   cfg.attachBackoffMax = config_.attachBackoffMax;
   cfg.analysisWindow = config_.analysisWindow;
   cfg.monitors = config_.monitors;
+  cfg.traceFs = config_.traceFs;
+  cfg.rotateBytes = config_.rotateBytes;
+  cfg.rotateRecords = config_.rotateRecords;
   const auto seed = seeds_.find(path);
   if (seed != seeds_.end()) cfg.seedNextSeq = seed->second.nextSeq;
   Slot slot;
@@ -247,7 +259,10 @@ void TraceDaemon::scanOnce() {
   }
   for (auto& [name, slot] : tenants_) {
     Tenant& tenant = *slot.tenant;
-    if (tenant.state() == TenantState::Attaching) {
+    if (tenant.state() == TenantState::Attaching &&
+        storageMode_ == StorageMode::Active) {
+      // No admissions during a storage emergency: attach writes file
+      // headers, which would fail (or burn the space reclaim just freed).
       if (tenant.tryAttach()) {
         slot.schedulerId =
             scheduler_.add(*tenant.watchdog(), config_.pollInterval);
@@ -259,6 +274,78 @@ void TraceDaemon::scanOnce() {
     }
     tenant.refreshHealth();
   }
+  storagePassLocked();
+}
+
+void TraceDaemon::storagePassLocked() {
+  if (storageMode_ == StorageMode::Active) {
+    // Trip wire 1: a sink actually hit ENOSPC (its tenant is already
+    // shedding into counted drops). Trip wire 2: the free-space probe
+    // fell under the low watermark — act before writes start failing.
+    bool trip = false;
+    for (const auto& [name, slot] : tenants_) {
+      if (slot.tenant->sinkExhausted()) { trip = true; break; }
+    }
+    if (!trip && config_.storageLowWaterBytes > 0) {
+      const int64_t free = storage_.freeBytes();
+      trip = free >= 0 &&
+             static_cast<uint64_t>(free) < config_.storageLowWaterBytes;
+    }
+    if (trip) {
+      ++stats_.storageEmergencies;
+      storageMode_ = StorageMode::Emergency;
+      // Park every attached tenant: pull its watchdog off the scheduler
+      // (remove() blocks until any in-flight poll returns; workers never
+      // take mutex_, so holding it here cannot deadlock), then suspend.
+      // Data stays in the shm segments; cursors freeze where the last
+      // poll left them — nothing healthy is dropped.
+      for (auto& [name, slot] : tenants_) {
+        const TenantState s = slot.tenant->state();
+        if (s != TenantState::Active && s != TenantState::Degraded) continue;
+        const uint64_t schedulerId = slot.schedulerId;
+        slot.schedulerId = 0;
+        if (schedulerId != 0) scheduler_.remove(schedulerId);
+        slot.tenant->suspend();
+      }
+    } else {
+      // Routine retention: apply age / tenant-quota / global-budget limits
+      // to expired generations.
+      if (config_.storageMaxTotalBytes > 0 ||
+          config_.storageMaxTenantBytes > 0 ||
+          config_.storageRetainAge.count() > 0) {
+        storage_.sweep(generation_);
+      }
+      return;
+    }
+  }
+
+  // Emergency: reclaim expired generations until the high watermark
+  // clears (high == 0 reclaims everything expired), then try to re-arm
+  // every suspended tenant's writer. Only when ALL of them can write
+  // again does the daemon resume — a partial resume would let healthy
+  // tenants refill the space the still-stuck ones need.
+  storage_.reclaimForSpace(generation_, config_.storageHighWaterBytes);
+  bool spaceOk = true;
+  if (config_.storageHighWaterBytes > 0) {
+    const int64_t free = storage_.freeBytes();
+    spaceOk = free >= 0 &&
+              static_cast<uint64_t>(free) >= config_.storageHighWaterBytes;
+  }
+  if (!spaceOk) return;
+  bool allRecovered = true;
+  for (auto& [name, slot] : tenants_) {
+    if (slot.tenant->state() != TenantState::Suspended) continue;
+    if (!slot.tenant->recoverSink()) allRecovered = false;
+  }
+  if (!allRecovered) return;
+  for (auto& [name, slot] : tenants_) {
+    if (slot.tenant->state() != TenantState::Suspended) continue;
+    slot.tenant->resume();
+    slot.schedulerId =
+        scheduler_.add(*slot.tenant->watchdog(), config_.pollInterval);
+  }
+  ++stats_.storageRecoveries;
+  storageMode_ = StorageMode::Active;
 }
 
 bool TraceDaemon::evict(const std::string& name) {
@@ -267,7 +354,10 @@ bool TraceDaemon::evict(const std::string& name) {
   if (it == tenants_.end()) return false;
   Slot& slot = it->second;
   const TenantState s = slot.tenant->state();
-  if (s != TenantState::Active && s != TenantState::Degraded) return false;
+  if (s != TenantState::Active && s != TenantState::Degraded &&
+      s != TenantState::Suspended) {
+    return false;
+  }
   const uint64_t schedulerId = slot.schedulerId;
   slot.schedulerId = 0;
   // remove() blocks until any in-flight poll returns; scheduler workers
@@ -298,26 +388,64 @@ DaemonStats TraceDaemon::stats() const {
   return s;
 }
 
+StorageMode TraceDaemon::storageMode() const {
+  std::lock_guard lock(mutex_);
+  return storageMode_;
+}
+
+StorageStats TraceDaemon::storageStats() const {
+  std::lock_guard lock(mutex_);
+  return storage_.stats();
+}
+
+std::string TraceDaemon::storageJson() const {
+  std::lock_guard lock(mutex_);
+  const StorageStats st = storage_.stats();
+  std::ostringstream os;
+  os << "{\"type\":\"storage\",\"mode\":\""
+     << (storageMode_ == StorageMode::Emergency ? "emergency" : "active")
+     << "\",\"free_bytes\":" << storage_.freeBytes()
+     << ",\"tracked_files\":" << st.filesTracked
+     << ",\"tracked_bytes\":" << st.trackedBytes
+     << ",\"sweeps\":" << st.sweeps
+     << ",\"files_reclaimed\":" << st.filesReclaimed
+     << ",\"bytes_reclaimed\":" << st.bytesReclaimed
+     << ",\"reclaim_failures\":" << st.reclaimFailures
+     << ",\"emergencies\":" << stats_.storageEmergencies
+     << ",\"recoveries\":" << stats_.storageRecoveries << "}";
+  return os.str();
+}
+
 std::string TraceDaemon::statusJson() const {
   const DaemonStats s = stats();
-  uint64_t active = 0, degraded = 0, quarantined = 0, attaching = 0,
-           evicted = 0;
+  uint64_t active = 0, degraded = 0, suspended = 0, quarantined = 0,
+           attaching = 0, evicted = 0;
   for (const TenantStatus& t : tenantStatuses()) {
     switch (t.state) {
       case TenantState::Active: ++active; break;
       case TenantState::Degraded: ++degraded; break;
+      case TenantState::Suspended: ++suspended; break;
       case TenantState::Quarantined: ++quarantined; break;
       case TenantState::Attaching: ++attaching; break;
       case TenantState::Evicted: ++evicted; break;
     }
   }
+  // No lock needed: control_ is torn down only after every thread that
+  // could be here (scan thread, control-server threads) has been joined.
+  const uint64_t clientsDropped = control_ ? control_->clientsDropped() : 0;
   std::ostringstream os;
   os << "{\"type\":\"status\",\"generation\":" << s.generation
      << ",\"scans\":" << s.scans << ",\"admitted\":" << s.tenantsAdmitted
      << ",\"resumed\":" << s.tenantsResumed
      << ",\"quarantined\":" << s.tenantsQuarantined
-     << ",\"evicted\":" << s.tenantsEvicted << ",\"tenants\":{\"active\":"
-     << active << ",\"degraded\":" << degraded << ",\"attaching\":" << attaching
+     << ",\"evicted\":" << s.tenantsEvicted
+     << ",\"storage_mode\":\""
+     << (storageMode() == StorageMode::Emergency ? "emergency" : "active")
+     << "\",\"storage_emergencies\":" << s.storageEmergencies
+     << ",\"storage_recoveries\":" << s.storageRecoveries
+     << ",\"clients_dropped\":" << clientsDropped
+     << ",\"tenants\":{\"active\":" << active << ",\"degraded\":" << degraded
+     << ",\"suspended\":" << suspended << ",\"attaching\":" << attaching
      << ",\"quarantined\":" << quarantined << ",\"evicted\":" << evicted
      << "}}";
   return os.str();
@@ -359,6 +487,9 @@ std::string TraceDaemon::handleCommand(const std::string& command) {
       }
     }
     out << "{\"type\":\"end\",\"ok\":true,\"count\":" << withAnalysis << "}\n";
+  } else if (verb == "storage") {
+    out << storageJson() << "\n";
+    out << "{\"type\":\"end\",\"ok\":true}\n";
   } else if (verb == "evict") {
     std::string name;
     in >> name;

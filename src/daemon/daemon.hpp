@@ -30,11 +30,19 @@
 #include <vector>
 
 #include "core/watchdog_scheduler.hpp"
+#include "daemon/storage_manager.hpp"
 #include "daemon/tenant.hpp"
 
 namespace ktrace::daemon {
 
 class ControlServer;
+
+/// Storage state machine (DESIGN.md §15): Active = writers healthy;
+/// Emergency = a sink hit ENOSPC (or free space fell under the low
+/// watermark), every attached tenant is Suspended with its data parked in
+/// its segment, and each scan reclaims expired generations until writers
+/// can be re-armed.
+enum class StorageMode : uint32_t { Active, Emergency };
 
 struct DaemonConfig {
   std::string sessionDir;   // scanned for *.kses
@@ -63,6 +71,22 @@ struct DaemonConfig {
   std::chrono::milliseconds analysisWindow{0};
   /// Derived monitors evaluated per window for every tenant.
   std::vector<analysis::streaming::DerivedMonitor> monitors{};
+  /// Storage resilience (DESIGN.md §15). All trace-file I/O, free-space
+  /// probing, and reclamation go through traceFs (nullptr = stdio) so a
+  /// budgeted test filesystem can stage a deterministic disk-full.
+  util::FileSystem* traceFs = nullptr;
+  /// Per-writer rotation thresholds (0 = never rotate).
+  uint64_t rotateBytes = 0;
+  uint64_t rotateRecords = 0;
+  /// Retention limits enforced by the per-scan sweep (0 = unlimited).
+  uint64_t storageMaxTotalBytes = 0;
+  uint64_t storageMaxTenantBytes = 0;
+  std::chrono::milliseconds storageRetainAge{0};
+  /// Free-space watermarks: below low -> enter Emergency even before a
+  /// write fails; Emergency reclaims until free >= high, then re-arms.
+  /// Both 0 = react to ENOSPC only, recover on a successful write probe.
+  uint64_t storageLowWaterBytes = 0;
+  uint64_t storageHighWaterBytes = 0;
 };
 
 struct DaemonStats {
@@ -72,6 +96,8 @@ struct DaemonStats {
   uint64_t tenantsEvicted = 0;
   uint64_t tenantsResumed = 0;  // seeded from the manifest
   uint64_t generation = 0;
+  uint64_t storageEmergencies = 0;  // Active -> Emergency transitions
+  uint64_t storageRecoveries = 0;   // Emergency -> Active transitions
 };
 
 class TraceDaemon {
@@ -108,6 +134,11 @@ class TraceDaemon {
   DaemonStats stats() const;
   /// This incarnation's generation (previous manifest's + 1).
   uint64_t generation() const noexcept { return generation_; }
+  StorageMode storageMode() const;
+  StorageStats storageStats() const;
+  /// One JSON line describing storage state: mode, free space, retention
+  /// counters (the `storage` control verb's payload).
+  std::string storageJson() const;
   /// One JSON line summarizing the daemon (the follow stream's heartbeat).
   std::string statusJson() const;
   /// One follow-stream frame: the status line plus one line per tenant.
@@ -123,10 +154,14 @@ class TraceDaemon {
   void loadManifest();
   void writeManifestLocked();
   void admitLocked(const std::string& path);
+  /// Storage state machine + retention sweep; runs at the end of every
+  /// scan, under mutex_.
+  void storagePassLocked();
 
   DaemonConfig config_;
   uint64_t generation_ = 1;
   std::map<std::string, ManifestSeed> seeds_;  // segment path -> cursors
+  StorageManager storage_;
 
   WatchdogScheduler scheduler_;
   std::unique_ptr<ControlServer> control_;
@@ -139,6 +174,7 @@ class TraceDaemon {
   };
   std::map<std::string, Slot> tenants_;  // keyed by tenant name
   DaemonStats stats_{};
+  StorageMode storageMode_ = StorageMode::Active;
 
   std::mutex lifecycleMutex_;
   std::atomic<bool> running_{false};

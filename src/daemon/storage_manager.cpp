@@ -1,0 +1,204 @@
+#include "daemon/storage_manager.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+
+namespace ktrace::daemon {
+
+namespace {
+
+/// Parses a trailing "<key><digits>" chunk like "cpu3" or "r000001".
+bool parseKeyedNumber(const std::string& chunk, const char* key, uint64_t& out) {
+  const size_t keyLen = std::strlen(key);
+  if (chunk.size() <= keyLen || chunk.compare(0, keyLen, key) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = keyLen; i < chunk.size(); ++i) {
+    const char c = chunk[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+bool StorageManager::parseOutputName(const std::string& fileName,
+                                     StorageFile& out) {
+  // "<tenant>.g<G>.cpu<N>[.r<K>].ktrc"; tenant may itself contain dots, so
+  // parse from the right.
+  const std::string ext = ".ktrc";
+  if (fileName.size() <= ext.size() ||
+      fileName.compare(fileName.size() - ext.size(), ext.size(), ext) != 0) {
+    return false;
+  }
+  std::string rest = fileName.substr(0, fileName.size() - ext.size());
+
+  auto takeLastChunk = [&rest]() -> std::string {
+    const size_t dot = rest.find_last_of('.');
+    if (dot == std::string::npos) return "";
+    std::string chunk = rest.substr(dot + 1);
+    rest.resize(dot);
+    return chunk;
+  };
+
+  std::string chunk = takeLastChunk();
+  uint64_t value = 0;
+  if (parseKeyedNumber(chunk, "r", value)) {
+    out.segment = static_cast<uint32_t>(value);
+    chunk = takeLastChunk();
+  } else {
+    out.segment = 0;
+  }
+  if (!parseKeyedNumber(chunk, "cpu", value)) return false;
+  out.processor = static_cast<uint32_t>(value);
+  if (!parseKeyedNumber(takeLastChunk(), "g", value)) return false;
+  out.generation = value;
+  if (rest.empty()) return false;
+  out.tenant = rest;
+  return true;
+}
+
+StorageManager::StorageManager(StorageConfig config)
+    : config_(std::move(config)) {
+  if (config_.fs == nullptr) config_.fs = &util::FileSystem::stdio();
+}
+
+std::vector<StorageFile> StorageManager::inventory() const {
+  std::vector<StorageFile> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.outputDir, ec)) {
+    if (ec) break;
+    std::error_code entryEc;
+    if (!entry.is_regular_file(entryEc)) continue;
+    StorageFile file;
+    if (!parseOutputName(entry.path().filename().string(), file)) continue;
+    file.path = entry.path().string();
+    file.bytes = entry.file_size(entryEc);
+    if (entryEc) file.bytes = 0;
+    const auto ftime = entry.last_write_time(entryEc);
+    if (!entryEc) {
+      file.mtime = std::chrono::system_clock::time_point(
+          std::chrono::duration_cast<std::chrono::system_clock::duration>(
+              ftime.time_since_epoch() -
+              std::filesystem::file_time_type::clock::now().time_since_epoch() +
+              std::chrono::system_clock::now().time_since_epoch()));
+    }
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+bool StorageManager::reclaimOrder(const StorageFile& a, const StorageFile& b) {
+  if (a.generation != b.generation) return a.generation < b.generation;
+  if (a.segment != b.segment) return a.segment < b.segment;
+  if (a.processor != b.processor) return a.processor < b.processor;
+  return a.path < b.path;
+}
+
+bool StorageManager::removeFile(const StorageFile& file, uint64_t& total) {
+  if (!config_.fs->remove(file.path)) {
+    ++stats_.reclaimFailures;
+    return false;
+  }
+  ++stats_.filesReclaimed;
+  stats_.bytesReclaimed += file.bytes;
+  total -= std::min(total, file.bytes);
+  return true;
+}
+
+uint64_t StorageManager::sweep(uint64_t currentGeneration) {
+  ++stats_.sweeps;
+  std::vector<StorageFile> files = inventory();
+  uint64_t total = 0;
+  for (const StorageFile& f : files) total += f.bytes;
+  stats_.filesTracked = files.size();
+  stats_.trackedBytes = total;
+  const uint64_t reclaimedBefore = stats_.bytesReclaimed;
+
+  // Reclaim candidates: expired generations only, oldest first. The
+  // current generation is the live chain — its writers are still
+  // appending and the recovery manifest this incarnation will write
+  // describes exactly those files — so it is never deleted, even when
+  // that leaves a limit unsatisfied.
+  std::vector<StorageFile> expired;
+  for (const StorageFile& f : files) {
+    if (f.generation < currentGeneration) expired.push_back(f);
+  }
+  std::sort(expired.begin(), expired.end(), reclaimOrder);
+  std::vector<bool> gone(expired.size(), false);
+
+  // 1. Age bound.
+  if (config_.retainAge.count() > 0) {
+    const auto cutoff = std::chrono::system_clock::now() - config_.retainAge;
+    for (size_t i = 0; i < expired.size(); ++i) {
+      if (!gone[i] && expired[i].mtime < cutoff && removeFile(expired[i], total)) {
+        gone[i] = true;
+      }
+    }
+  }
+
+  // 2. Per-tenant quota.
+  if (config_.maxTenantBytes > 0) {
+    std::map<std::string, uint64_t> tenantBytes;
+    for (const StorageFile& f : files) tenantBytes[f.tenant] += f.bytes;
+    for (size_t i = 0; i < expired.size(); ++i) {
+      if (gone[i]) tenantBytes[expired[i].tenant] -= std::min(
+          tenantBytes[expired[i].tenant], expired[i].bytes);
+    }
+    for (size_t i = 0; i < expired.size(); ++i) {
+      if (gone[i]) continue;
+      uint64_t& used = tenantBytes[expired[i].tenant];
+      if (used <= config_.maxTenantBytes) continue;
+      if (removeFile(expired[i], total)) {
+        gone[i] = true;
+        used -= std::min(used, expired[i].bytes);
+      }
+    }
+  }
+
+  // 3. Global budget.
+  if (config_.maxTotalBytes > 0) {
+    for (size_t i = 0; i < expired.size() && total > config_.maxTotalBytes; ++i) {
+      if (!gone[i]) gone[i] = removeFile(expired[i], total);
+    }
+  }
+
+  stats_.filesTracked =
+      files.size() - static_cast<size_t>(
+                         std::count(gone.begin(), gone.end(), true));
+  stats_.trackedBytes = total;
+  return stats_.bytesReclaimed - reclaimedBefore;
+}
+
+uint64_t StorageManager::reclaimForSpace(uint64_t currentGeneration,
+                                         uint64_t targetFreeBytes) {
+  std::vector<StorageFile> files = inventory();
+  uint64_t total = 0;
+  for (const StorageFile& f : files) total += f.bytes;
+  std::vector<StorageFile> expired;
+  for (const StorageFile& f : files) {
+    if (f.generation < currentGeneration) expired.push_back(f);
+  }
+  std::sort(expired.begin(), expired.end(), reclaimOrder);
+  const uint64_t reclaimedBefore = stats_.bytesReclaimed;
+  for (const StorageFile& f : expired) {
+    if (targetFreeBytes > 0) {
+      const int64_t free = freeBytes();
+      if (free >= 0 && static_cast<uint64_t>(free) >= targetFreeBytes) break;
+    }
+    removeFile(f, total);
+  }
+  stats_.trackedBytes = total;
+  return stats_.bytesReclaimed - reclaimedBefore;
+}
+
+int64_t StorageManager::freeBytes() const {
+  return config_.fs->freeBytes(config_.outputDir);
+}
+
+}  // namespace ktrace::daemon

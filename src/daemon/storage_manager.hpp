@@ -1,0 +1,105 @@
+// StorageManager: retention/GC policy for ktraced's output directory
+// (DESIGN.md §15).
+//
+// The daemon's output grows forever by construction (generation-stamped,
+// rotation-segmented, never rewritten), so something must reclaim — and
+// that something must never delete a file the exactly-once story still
+// depends on. The line is the daemon generation: files of the CURRENT
+// incarnation are the live chain (writers appending, recovery manifest
+// about to describe them) and are never touched; files of EXPIRED
+// generations (previous incarnations, already sealed) are reclaimable,
+// oldest generation first. Within that rule the manager enforces three
+// independent limits:
+//   - per-tenant quota (maxTenantBytes): a hog's history shrinks first,
+//     its neighbours' files are not charged for it;
+//   - a global budget (maxTotalBytes) over everything in the directory;
+//   - an age bound (retainAge) on expired-generation files.
+// Plus the emergency path: reclaimForSpace() frees expired generations
+// until the filesystem's free-space probe clears the high watermark —
+// the disk-full recovery the daemon drives (§15 state machine).
+//
+// All deletion goes through util::FileSystem::remove so a budgeted test
+// filesystem credits the space back, making fill → reclaim → recover a
+// deterministic cycle.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/faultfs.hpp"
+
+namespace ktrace::daemon {
+
+struct StorageConfig {
+  std::string outputDir;
+  /// Global budget over all *.ktrc bytes in outputDir (0 = unlimited).
+  uint64_t maxTotalBytes = 0;
+  /// Per-tenant budget (0 = unlimited).
+  uint64_t maxTenantBytes = 0;
+  /// Delete expired-generation files older than this (0 = keep forever).
+  std::chrono::milliseconds retainAge{0};
+  /// Free-space probing + deletion go through this; stdio by default.
+  util::FileSystem* fs = nullptr;
+};
+
+/// One parsed output file: "<tenant>.g<G>.cpu<N>[.r<K>].ktrc".
+struct StorageFile {
+  std::string path;
+  std::string tenant;
+  uint64_t generation = 0;
+  uint32_t processor = 0;
+  uint32_t segment = 0;  // rotation index within the generation
+  uint64_t bytes = 0;
+  std::chrono::system_clock::time_point mtime{};
+};
+
+struct StorageStats {
+  uint64_t sweeps = 0;
+  uint64_t filesTracked = 0;     // *.ktrc files seen by the last sweep
+  uint64_t trackedBytes = 0;     // their total size
+  uint64_t filesReclaimed = 0;   // cumulative deletions
+  uint64_t bytesReclaimed = 0;
+  uint64_t reclaimFailures = 0;  // remove() refused (cumulative)
+};
+
+class StorageManager {
+ public:
+  explicit StorageManager(StorageConfig config);
+
+  /// One retention pass: inventory the directory, then apply age, tenant
+  /// quota, and global budget — deleting only files with generation <
+  /// currentGeneration, oldest generation first (then rotation order).
+  /// Returns how many bytes were reclaimed.
+  uint64_t sweep(uint64_t currentGeneration);
+
+  /// Emergency reclaim: delete expired-generation files (oldest first)
+  /// until the free-space probe reports at least targetFreeBytes (or
+  /// nothing reclaimable is left). With targetFreeBytes == 0, reclaims
+  /// every expired generation. Returns bytes reclaimed.
+  uint64_t reclaimForSpace(uint64_t currentGeneration, uint64_t targetFreeBytes);
+
+  /// Free bytes where the output directory lives (-1 unknown).
+  int64_t freeBytes() const;
+
+  StorageStats stats() const { return stats_; }
+  const StorageConfig& config() const noexcept { return config_; }
+
+  /// Parses "<tenant>.g<G>.cpu<N>[.r<K>].ktrc"; false when the name is not
+  /// a daemon output file (manifest, probe, foreign files are skipped).
+  static bool parseOutputName(const std::string& fileName, StorageFile& out);
+
+ private:
+  std::vector<StorageFile> inventory() const;
+  /// Deletes one file, updating stats and `total` (directory-wide bytes).
+  bool removeFile(const StorageFile& file, uint64_t& total);
+  /// Reclaim-eligibility order: older generation first, then lower
+  /// rotation segment, then processor, then path (total order).
+  static bool reclaimOrder(const StorageFile& a, const StorageFile& b);
+
+  StorageConfig config_;
+  StorageStats stats_{};
+};
+
+}  // namespace ktrace::daemon

@@ -10,6 +10,7 @@ const char* tenantStateName(TenantState state) noexcept {
     case TenantState::Attaching: return "attaching";
     case TenantState::Active: return "active";
     case TenantState::Degraded: return "degraded";
+    case TenantState::Suspended: return "suspended";
     case TenantState::Quarantined: return "quarantined";
     case TenantState::Evicted: return "evicted";
   }
@@ -42,10 +43,12 @@ bool Tenant::tryAttach() {
     TraceFileMeta meta = session->fileMeta(0);
     TraceWriterOptions writerOptions;
     writerOptions.compress = config_.compressOutput;
+    writerOptions.rotateBytes = config_.rotateBytes;
+    writerOptions.rotateRecords = config_.rotateRecords;
     auto fileSink = std::make_unique<FileSink>(
         config_.outputDir,
         config_.name + ".g" + std::to_string(config_.generation), meta,
-        nullptr, writerOptions);
+        config_.traceFs, writerOptions);
     // Optional live-analysis tap between the batcher and the files: it
     // sees exactly the records that become durable, so offline replay of
     // the files reproduces its snapshots (DESIGN.md §13).
@@ -130,7 +133,34 @@ void Tenant::refreshHealth() {
   }
 }
 
-void Tenant::drainAndFlush() {
+void Tenant::suspend() {
+  const TenantState s = state();
+  if (s != TenantState::Active && s != TenantState::Degraded) return;
+  state_.store(TenantState::Suspended, std::memory_order_release);
+}
+
+void Tenant::resume() {
+  if (state() != TenantState::Suspended) return;
+  std::lock_guard lock(mutex_);
+  // Re-enter via Degraded: refreshHealth heals to Active after a few
+  // clean scans, so the incident stays observable in `tenants` output.
+  dropsBaseline_ = batching_ ? batching_->counters().recordsDropped : 0;
+  healthyRefreshes_ = 0;
+  state_.store(TenantState::Degraded, std::memory_order_release);
+}
+
+bool Tenant::sinkExhausted() const {
+  std::lock_guard lock(mutex_);
+  return fileSink_ && fileSink_->exhausted();
+}
+
+bool Tenant::recoverSink() {
+  std::lock_guard lock(mutex_);
+  if (!fileSink_) return true;
+  return fileSink_->tryRecover();
+}
+
+void Tenant::drainAndFlush(bool pollProducers) {
   std::lock_guard lock(mutex_);
   if (!watchdog_ || drainedDown_) return;
   drainedDown_ = true;
@@ -138,7 +168,12 @@ void Tenant::drainAndFlush() {
   // live producers logging into the segment (fencing would reject their
   // reserves forever). Whatever is committed-but-incomplete stays in the
   // segment for the next incarnation.
-  watchdog_->pollOnce();
+  //
+  // A Suspended tenant skips the poll: its sink cannot take data, so a
+  // drain here would either drop records or advance cursors past records
+  // that never reached a file. Freezing at the suspension point leaves
+  // everything parked in the segment for the next incarnation instead.
+  if (pollProducers) watchdog_->pollOnce();
   // Freeze the cursors at this exact drain: producers may keep committing
   // buffers afterwards, and emitting any of those into this generation's
   // files would put them beyond what the manifest records — the next
@@ -150,10 +185,14 @@ void Tenant::drainAndFlush() {
   // windows complete and the folds settle (live == offline replay).
   if (analyzer_) analyzer_->finish();
   fileSink_->flush();
+  // Terminal: records still parked for an ENOSPC recovery that will
+  // never come cannot land — convert them to counted drops so the final
+  // accounting closes (consumed == durable + dropped).
+  fileSink_->shedParked();
 }
 
 void Tenant::detach(const std::string& reason) {
-  drainAndFlush();
+  drainAndFlush(/*pollProducers=*/state() != TenantState::Suspended);
   std::lock_guard lock(mutex_);
   watchdog_.reset();
   batching_.reset();

@@ -39,6 +39,8 @@ enum class TenantState : uint32_t {
   Attaching,    // discovered; admission (with retry/backoff) in progress
   Active,       // attached and draining
   Degraded,     // attached but shedding (quota/queue) or sink-impaired
+  Suspended,    // storage emergency: drain paused, data parked in the
+                // segment (exactly-once preserved), awaiting reclaim
   Quarantined,  // admission failed hard; segment marked, never retried
   Evicted,      // drained and detached (operator request or shutdown)
 };
@@ -73,6 +75,12 @@ struct TenantConfig {
   std::chrono::milliseconds analysisWindow{0};
   /// Derived monitors evaluated per window (empty = none).
   std::vector<analysis::streaming::DerivedMonitor> monitors{};
+  /// Trace-file I/O goes through this (storage chaos in tests,
+  /// --disk-budget in ktraced); nullptr = stdio.
+  util::FileSystem* traceFs = nullptr;
+  /// Output rotation thresholds (DESIGN.md §15); 0 = never rotate.
+  uint64_t rotateBytes = 0;
+  uint64_t rotateRecords = 0;
 };
 
 /// Control-plane snapshot of one tenant.
@@ -112,8 +120,25 @@ class Tenant {
   SessionWatchdog* watchdog() noexcept { return watchdog_.get(); }
 
   /// Re-derives Active/Degraded from drop deltas and sink health. Scan
-  /// thread only.
+  /// thread only. No-op while Suspended.
   void refreshHealth();
+
+  /// Storage emergency (DESIGN.md §15): park the tenant. The watchdog
+  /// must already be off the scheduler, so no worker is mid-poll; drained
+  /// cursors freeze where the last poll left them and the producers' data
+  /// stays parked in the shm segment — nothing is dropped, nothing is
+  /// written. Scan thread only.
+  void suspend();
+  /// Leave Suspended (back to Active); the caller re-registers the
+  /// watchdog with the scheduler. Scan thread only.
+  void resume();
+  /// True when the file sink degraded on ENOSPC specifically — the signal
+  /// that flips the daemon into emergency mode.
+  bool sinkExhausted() const;
+  /// Asks the file sink to probe for space and re-arm (rotating to fresh
+  /// segments). True when the sink is healthy afterwards. Scan thread
+  /// only.
+  bool recoverSink();
 
   /// Final drain + flush without fencing live producers (graceful
   /// shutdown). The watchdog must already be off the scheduler. Runs at
@@ -121,7 +146,12 @@ class Tenant {
   /// recovery manifest records, so any later poll would emit buffers the
   /// manifest does not cover and the next incarnation would re-drain
   /// them (a double-drain) — repeat calls are no-ops.
-  void drainAndFlush();
+  ///
+  /// pollProducers=false skips the final poll: used for Suspended tenants
+  /// at shutdown, whose sink cannot accept data — cursors stay frozen at
+  /// the suspension point so the manifest hands everything still parked
+  /// in the segment to the next incarnation (exactly-once preserved).
+  void drainAndFlush(bool pollProducers = true);
 
   /// drainAndFlush + teardown of the whole stack; state -> Evicted.
   void detach(const std::string& reason);

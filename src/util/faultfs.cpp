@@ -1,5 +1,8 @@
 #include "util/faultfs.hpp"
 
+#include <sys/statvfs.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
@@ -55,6 +58,17 @@ class StdioFile final : public File {
   bool flush() override {
     if (std::fflush(file_) != 0) {
       errno_ = errno;
+      return false;
+    }
+    return true;
+  }
+
+  bool truncate(int64_t size) override {
+    // Flush first: buffered bytes landing after the ftruncate would regrow
+    // the file past the requested size.
+    if (std::fflush(file_) != 0 ||
+        ::ftruncate(fileno(file_), static_cast<off_t>(size)) != 0) {
+      errno_ = errno != 0 ? errno : EIO;
       return false;
     }
     return true;
@@ -161,6 +175,12 @@ class FaultFile final : public File {
     return ok;
   }
 
+  bool truncate(int64_t size) override {
+    const bool ok = base_->truncate(size);
+    if (!ok) errno_ = base_->error();
+    return ok;
+  }
+
   int error() const noexcept override { return errno_; }
 
  private:
@@ -195,11 +215,194 @@ FileSystem& FileSystem::stdio() {
   return fs;
 }
 
+bool FileSystem::remove(const std::string& path) {
+  return std::remove(path.c_str()) == 0;
+}
+
+int64_t FileSystem::freeBytes(const std::string& path) {
+  // Probe the deepest existing prefix: the output file itself usually does
+  // not exist yet when the preflight asks about it.
+  std::string probe = path;
+  for (;;) {
+    struct statvfs vfs{};
+    if (::statvfs(probe.c_str(), &vfs) == 0) {
+      return static_cast<int64_t>(static_cast<uint64_t>(vfs.f_bavail) *
+                                  vfs.f_frsize);
+    }
+    const size_t slash = probe.find_last_of('/');
+    std::string parent =
+        slash == std::string::npos ? "." : probe.substr(0, slash == 0 ? 1 : slash);
+    if (parent == probe) break;
+    probe = std::move(parent);
+  }
+  return -1;
+}
+
 std::unique_ptr<File> FaultInjectingFileSystem::open(const std::string& path,
                                                      const char* mode) {
   std::unique_ptr<File> base = base_->open(path, mode);
   if (base == nullptr) return nullptr;
   return std::make_unique<FaultFile>(std::move(base), plan_);
+}
+
+// --- DiskBudgetFileSystem -----------------------------------------------
+
+namespace {
+
+/// File wrapper charging byte growth against the owning filesystem's
+/// budget; mirrors FaultFile's ENOSPC shape (bytes that fit are written,
+/// the call fails with ENOSPC).
+class DiskBudgetFileImpl final : public File {
+ public:
+  DiskBudgetFileImpl(std::unique_ptr<File> base, DiskBudgetFileSystem* owner,
+                     std::string path)
+      : base_(std::move(base)), owner_(owner), path_(std::move(path)) {}
+
+  size_t read(void* buf, size_t bytes) override { return base_->read(buf, bytes); }
+
+  size_t write(const void* buf, size_t bytes) override;
+
+  bool seek(int64_t offset, int whence) override { return base_->seek(offset, whence); }
+  int64_t tell() override { return base_->tell(); }
+  int64_t size() override { return base_->size(); }
+  bool flush() override { return base_->flush(); }
+  bool truncate(int64_t size) override;
+  int error() const noexcept override {
+    return errno_ != 0 ? errno_ : base_->error();
+  }
+
+ private:
+  std::unique_ptr<File> base_;
+  DiskBudgetFileSystem* owner_;
+  std::string path_;
+  int errno_ = 0;
+};
+
+bool DiskBudgetFileImpl::truncate(int64_t size) {
+  if (!base_->truncate(size)) {
+    errno_ = base_->error();
+    return false;
+  }
+  // Truncation frees real space: shrink the charge to the new size.
+  owner_->noteTruncate(path_, size);
+  return true;
+}
+
+size_t DiskBudgetFileImpl::write(const void* buf, size_t bytes) {
+  const int64_t pos = base_->tell();
+  if (pos < 0) {
+    errno_ = base_->error();
+    return 0;
+  }
+  const size_t allowed = owner_->admitWrite(path_, pos, bytes);
+  const size_t n = allowed == 0 ? 0 : base_->write(buf, allowed);
+  if (n < bytes) {
+    errno_ = (n < allowed) ? base_->error() : ENOSPC;
+  }
+  return n;
+}
+
+}  // namespace
+
+void DiskBudgetFileSystem::noteTruncate(const std::string& path, int64_t size) {
+  std::lock_guard lock(mutex_);
+  const auto it = charged_.find(path);
+  const uint64_t now = size > 0 ? static_cast<uint64_t>(size) : 0;
+  if (it != charged_.end() && it->second > now) {
+    used_ -= std::min(used_, it->second - now);
+    it->second = now;
+  }
+}
+
+size_t DiskBudgetFileSystem::admitWrite(const std::string& path, int64_t pos,
+                                        size_t bytes) {
+  std::lock_guard lock(mutex_);
+  const uint64_t charged = charged_[path];
+  const uint64_t wantEnd = static_cast<uint64_t>(pos) + bytes;
+  if (wantEnd <= charged) return bytes;  // overwrite in place: free
+  const uint64_t growth = wantEnd - charged;
+  const uint64_t free = budget_ > used_ ? budget_ - used_ : 0;
+  const uint64_t admitGrowth = std::min(growth, free);
+  charged_[path] = charged + admitGrowth;
+  used_ += admitGrowth;
+  // Bytes that fit: the whole request when growth fit, otherwise
+  // everything up to the budget boundary.
+  return admitGrowth == growth ? bytes : bytes - static_cast<size_t>(growth - admitGrowth);
+}
+
+std::unique_ptr<File> DiskBudgetFileSystem::open(const std::string& path,
+                                                 const char* mode) {
+  std::unique_ptr<File> base = base_->open(path, mode);
+  if (base == nullptr) return nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = charged_.find(path);
+    if (mode != nullptr && mode[0] == 'w') {
+      // Truncating open: the old bytes are gone, refund them.
+      if (it != charged_.end()) {
+        used_ -= std::min(used_, it->second);
+        it->second = 0;
+      } else {
+        charged_[path] = 0;
+      }
+    } else if (it == charged_.end()) {
+      // First sight of a pre-existing file: charge what is already there.
+      const int64_t existing = base->size();
+      const uint64_t initial = existing > 0 ? static_cast<uint64_t>(existing) : 0;
+      charged_[path] = initial;
+      used_ += initial;
+    }
+  }
+  return std::make_unique<DiskBudgetFileImpl>(std::move(base), this, path);
+}
+
+bool DiskBudgetFileSystem::remove(const std::string& path) {
+  // A file this filesystem never wrote (a previous incarnation's output,
+  // reclaimed by retention) still frees real space when deleted: its
+  // on-disk size raises the budget, exactly as unlinking raises free
+  // space on a real disk. Size it before the unlink.
+  uint64_t preexisting = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (charged_.find(path) == charged_.end()) {
+      if (std::unique_ptr<File> f = base_->open(path, "rb")) {
+        const int64_t size = f->size();
+        if (size > 0) preexisting = static_cast<uint64_t>(size);
+      }
+    }
+  }
+  const bool ok = base_->remove(path);
+  if (ok) {
+    std::lock_guard lock(mutex_);
+    const auto it = charged_.find(path);
+    if (it != charged_.end()) {
+      used_ -= std::min(used_, it->second);
+      charged_.erase(it);
+    } else {
+      budget_ += preexisting;
+    }
+  }
+  return ok;
+}
+
+int64_t DiskBudgetFileSystem::freeBytes(const std::string&) {
+  std::lock_guard lock(mutex_);
+  return budget_ > used_ ? static_cast<int64_t>(budget_ - used_) : 0;
+}
+
+uint64_t DiskBudgetFileSystem::usedBytes() const {
+  std::lock_guard lock(mutex_);
+  return used_;
+}
+
+uint64_t DiskBudgetFileSystem::budgetBytes() const {
+  std::lock_guard lock(mutex_);
+  return budget_;
+}
+
+void DiskBudgetFileSystem::setBudget(uint64_t budgetBytes) {
+  std::lock_guard lock(mutex_);
+  budget_ = budgetBytes;
 }
 
 }  // namespace ktrace::util

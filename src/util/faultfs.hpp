@@ -11,7 +11,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,11 @@ class File {
   /// Total size in bytes (-1 on error). Restores the current position.
   virtual int64_t size() = 0;
   virtual bool flush() = 0;
+  /// Cuts the file to exactly `size` bytes. The writer uses this to chop a
+  /// torn tail (a failed mid-record write) back to the last record
+  /// boundary before sealing the footer, so a recovered segment reads
+  /// strictly — trailing garbage would hide the footer from the reader.
+  virtual bool truncate(int64_t size) = 0;
   /// errno of the last failed operation (0 if none has failed).
   virtual int error() const noexcept = 0;
 };
@@ -42,6 +49,13 @@ class FileSystem {
   virtual ~FileSystem() = default;
   /// nullptr on failure (errno holds the reason), like fopen.
   virtual std::unique_ptr<File> open(const std::string& path, const char* mode) = 0;
+  /// Deletes a file. Default: ::remove. Storage reclaim goes through this
+  /// so a budgeted filesystem can credit the space back.
+  virtual bool remove(const std::string& path);
+  /// Free bytes on the volume holding `path` (-1 when unknown). Default:
+  /// statvfs. The ENOSPC watermarks in ktraced read this, so a test
+  /// filesystem can lie about disk pressure deterministically.
+  virtual int64_t freeBytes(const std::string& path);
   /// Process-wide passthrough-to-stdio instance.
   static FileSystem& stdio();
 };
@@ -94,11 +108,61 @@ class FaultInjectingFileSystem final : public FileSystem {
       : plan_(plan), base_(base != nullptr ? base : &FileSystem::stdio()) {}
 
   std::unique_ptr<File> open(const std::string& path, const char* mode) override;
+  bool remove(const std::string& path) override { return base_->remove(path); }
+  int64_t freeBytes(const std::string& path) override {
+    return base_->freeBytes(path);
+  }
 
   const FaultPlan& plan() const noexcept { return plan_; }
 
  private:
   FaultPlan plan_;
+  FileSystem* base_;
+};
+
+/// A filesystem with a finite, exact, in-process disk: writes that would
+/// grow the tracked byte total past the budget are cut short at the
+/// boundary and fail with ENOSPC (like FaultPlan::enospcAtOffset, but
+/// global across every file opened through it), remove() credits a file's
+/// bytes back, and freeBytes() reports the remaining budget. This is the
+/// seeded disk-pressure chaos seam: `ktraced --disk-budget=N` routes all
+/// trace output through one of these, so the fill → shed → reclaim →
+/// recover cycle is a pure function of the workload, not of the host disk.
+///
+/// Accounting is by file extension: only bytes past a file's
+/// high-water size are charged (footer rewrites in place are free, like a
+/// real filesystem), truncating opens ("w" modes) and remove() refund the
+/// charge. remove() of a file this instance never wrote (a previous
+/// incarnation's output, reclaimed by retention) raises the budget by the
+/// file's on-disk size instead — unlinking anything frees space, exactly
+/// like a real disk. Thread-safe: the daemon's scheduler workers write
+/// through one instance concurrently.
+class DiskBudgetFileSystem final : public FileSystem {
+ public:
+  explicit DiskBudgetFileSystem(uint64_t budgetBytes, FileSystem* base = nullptr)
+      : budget_(budgetBytes), base_(base != nullptr ? base : &FileSystem::stdio()) {}
+
+  std::unique_ptr<File> open(const std::string& path, const char* mode) override;
+  bool remove(const std::string& path) override;
+  int64_t freeBytes(const std::string& path) override;
+
+  uint64_t usedBytes() const;
+  uint64_t budgetBytes() const;
+  void setBudget(uint64_t budgetBytes);
+
+  /// Internal (for the wrapped File): charge growth of `path` from a write
+  /// of `bytes` at `pos`; returns how many of the requested bytes fit (the
+  /// rest would exceed the budget).
+  size_t admitWrite(const std::string& path, int64_t pos, size_t bytes);
+  /// Internal (for the wrapped File): `path` was truncated to `size` bytes
+  /// — refund the charge above the new size.
+  void noteTruncate(const std::string& path, int64_t size);
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t budget_;
+  uint64_t used_ = 0;
+  std::map<std::string, uint64_t> charged_;  // path -> high-water bytes
   FileSystem* base_;
 };
 

@@ -18,6 +18,7 @@
 #include "core/consumer.hpp"
 #include "core/trace_file.hpp"
 #include "test_support.hpp"
+#include "util/faultfs.hpp"
 
 namespace ktrace {
 namespace {
@@ -98,6 +99,72 @@ TEST(BatchingSink, BlockWhenFullBackpressuresInsteadOfDropping) {
   EXPECT_EQ(slow.delivered.load(), 20u);
   EXPECT_EQ(batcher.recordsDropped(), 0u);
   EXPECT_GE(batcher.backpressureWaits(), 1u);
+}
+
+TEST(BatchingSink, FlushNowSurvivesDegradedDownstreamWithoutDoubleCounting) {
+  // flushNow() while the underlying FileSink is wedged on a full disk:
+  // it must return promptly (the degraded sink parks instead of
+  // blocking), every record must be accounted exactly once across
+  // "written", "parked", and "dropped", and repeated flushes must not
+  // re-count. After recovery the parked records land, so the incident
+  // loses nothing.
+  const auto base = std::filesystem::temp_directory_path() /
+                    ("ktrace_batch_enospc_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(base);
+
+  // Room for the 128-byte header plus one 64-byte record, then ENOSPC.
+  util::DiskBudgetFileSystem fs(224);
+  TraceFileMeta meta;
+  meta.numProcessors = 1;
+  meta.bufferWords = 4;
+  FileSink files(base.string(), "t", meta, &fs);
+  BatchingConfig cfg;
+  cfg.batchRecords = 4;
+  cfg.maxQueuedRecords = 64;
+  BatchingSink batcher(files, cfg);
+  batcher.stop();  // park the writer: flushNow() is the only drain path
+
+  for (uint64_t i = 0; i < 10; ++i) batcher.onBuffer(makeRecord(i));
+  EXPECT_EQ(batcher.queuedNow(), 10u);
+  batcher.flushNow();
+
+  // No wedge: the queue is empty, the sink is degraded, and the split is
+  // exact — one record durable, nine parked at the sink for recovery,
+  // none dropped, none lost in the batcher itself.
+  EXPECT_EQ(batcher.queuedNow(), 0u);
+  EXPECT_TRUE(files.degraded());
+  EXPECT_TRUE(files.exhausted());
+  EXPECT_EQ(batcher.recordsDropped(), 0u);
+  EXPECT_EQ(files.recordsWritten(), 1u);
+  EXPECT_EQ(files.droppedRecords(), 0u);
+  EXPECT_EQ(files.parkedRecords(), 9u);
+
+  // Idempotent: nothing queued, nothing re-counted.
+  batcher.flushNow();
+  EXPECT_EQ(files.recordsWritten(), 1u);
+  EXPECT_EQ(files.parkedRecords(), 9u);
+
+  // More records into a still-degraded sink: parked too, queue never
+  // wedges.
+  for (uint64_t i = 10; i < 14; ++i) batcher.onBuffer(makeRecord(i));
+  batcher.flushNow();
+  EXPECT_EQ(batcher.queuedNow(), 0u);
+  EXPECT_EQ(files.parkedRecords(), 13u);
+  EXPECT_EQ(files.droppedRecords(), 0u);
+
+  // Disk comes back: recovery rotates, replays the parked records into
+  // the fresh segment, and post-recovery flushes land after them.
+  fs.setBudget(1 << 20);
+  EXPECT_TRUE(files.tryRecover());
+  EXPECT_EQ(files.parkedRecords(), 0u);
+  for (uint64_t i = 100; i < 104; ++i) batcher.onBuffer(makeRecord(i));
+  batcher.flushNow();
+  EXPECT_TRUE(files.flush());
+  EXPECT_EQ(files.recordsWritten(), 18u);  // 1 + 13 replayed + 4 fresh
+  EXPECT_EQ(files.droppedRecords(), 0u);   // the incident lost nothing
+  TraceFileReader reader(files.pathFor(0, 1));
+  EXPECT_EQ(reader.bufferCount(), 17u);
+  std::filesystem::remove_all(base);
 }
 
 TEST(BatchingSink, ShardedBatchedFilesMatchSerialByteForByte) {

@@ -84,9 +84,18 @@ TEST_F(FileSinkFaultTest, EnospcDegradesAndCountsDrops) {
   for (uint64_t s = 0; s < 4; ++s) sink.onBuffer(makeRecord(0, s));
 
   EXPECT_TRUE(sink.degraded());
-  EXPECT_EQ(sink.droppedRecords(), 3u);  // record 1 failed, 2 and 3 shed
+  // ENOSPC parks instead of dropping: record 1 failed mid-write and 2, 3
+  // arrived degraded — all three wait for tryRecover, none are lost yet.
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.parkedRecords(), 3u);
+  EXPECT_EQ(sink.counters().queuedRecords, 3u);
   EXPECT_FALSE(sink.flush());
   EXPECT_NE(sink.errorMessage().find("record write failed"), std::string::npos);
+  // Terminal teardown with the disk still full: parked becomes dropped,
+  // so consumed == durable + dropped holds exactly.
+  sink.shedParked();
+  EXPECT_EQ(sink.parkedRecords(), 0u);
+  EXPECT_EQ(sink.droppedRecords(), 3u);
 
   // The file that made it to "disk" salvages to exactly the records that
   // were fully written, plus one torn tail from the short write.
@@ -222,8 +231,9 @@ TEST_F(FileSinkFaultTest, ShortWriteRetryDoesNotDoubleCountBytes) {
 TEST_F(FileSinkFaultTest, BatchWriteEnospcAccountsExactly) {
   // Disk fills mid-way through the third record of a 5-record batch. The
   // coalesced write fails; the record-by-record replay must land records
-  // 0 and 1, tear record 2, and count exactly: 2 written, 3 dropped,
-  // bytesWritten = header + two full records.
+  // 0 and 1, tear record 2, park the unwritten three for recovery, and
+  // count exactly: 2 written, 0 dropped, 3 parked, bytesWritten = header
+  // + two full records.
   util::FaultPlan plan;
   plan.enospcAtOffset =
       static_cast<int64_t>(kHeaderBytes + 2 * kRecordBytes + 40);
@@ -236,11 +246,13 @@ TEST_F(FileSinkFaultTest, BatchWriteEnospcAccountsExactly) {
 
   EXPECT_TRUE(sink.degraded());
   EXPECT_EQ(sink.recordsWritten(), 2u);
-  EXPECT_EQ(sink.droppedRecords(), 3u);
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.parkedRecords(), 3u);
   EXPECT_EQ(sink.bytesWritten(), kHeaderBytes + 2 * kRecordBytes);
   const SinkCounters c = sink.counters();
   EXPECT_EQ(c.recordsAccepted, 2u);
-  EXPECT_EQ(c.recordsDropped, 3u);
+  EXPECT_EQ(c.recordsDropped, 0u);
+  EXPECT_EQ(c.queuedRecords, 3u);  // parked, waiting on tryRecover
   EXPECT_EQ(c.bytesWritten, kHeaderBytes + 2 * kRecordBytes);
 
   // Salvage agrees with the counters: two whole records plus a torn tail.
@@ -304,12 +316,19 @@ TEST_F(FileSinkFaultTest, DegradedSinkKeepsCountingWithoutThrowing) {
   util::FaultPlan plan;
   plan.enospcAtOffset = 0;  // nothing fits, not even the file header
   util::FaultInjectingFileSystem ffs(plan);
-  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  TraceWriterOptions options;
+  options.parkMaxRecords = 64;  // force the parking cap into play
+  FileSink sink(dir_.string(), "t", meta(), &ffs, options);
   for (uint64_t s = 0; s < 100; ++s) sink.onBuffer(makeRecord(0, s));
   EXPECT_TRUE(sink.degraded());
-  EXPECT_EQ(sink.droppedRecords(), 100u);
+  // The first 64 park (bounded memory), the overflow is counted drops.
+  EXPECT_EQ(sink.parkedRecords(), 64u);
+  EXPECT_EQ(sink.droppedRecords(), 36u);
   EXPECT_FALSE(sink.flush());
   EXPECT_FALSE(sink.errorMessage().empty());
+  sink.shedParked();
+  EXPECT_EQ(sink.parkedRecords(), 0u);
+  EXPECT_EQ(sink.droppedRecords(), 100u);
 }
 
 }  // namespace

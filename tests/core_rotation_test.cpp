@@ -1,0 +1,414 @@
+// Output rotation and ENOSPC survival in the trace-file write path
+// (DESIGN.md §15).
+//
+// The invariants under test:
+//   - rotation closes segments at record boundaries with complete v3
+//     footers, and the rotated chain decodes bit-identically to the same
+//     records written unrotated — across thread counts and compression;
+//   - the rotation naming scheme sorts segments in write order;
+//   - transient-error retry backoff is bounded, jittered, and a pure
+//     function of (options, attempt);
+//   - an ENOSPC degrade is recoverable: tryRecover() probes, rotates to
+//     fresh segments, and post-recovery records land durably, with every
+//     shed record counted exactly;
+//   - StreamCursor follows a live writer across rotation boundaries
+//     without restarting, and saved cursors resume mid-chain.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/reader.hpp"
+#include "analysis/streaming/stream_cursor.hpp"
+#include "core/consumer.hpp"
+#include "core/trace_file.hpp"
+#include "test_support.hpp"
+#include "util/faultfs.hpp"
+
+namespace ktrace {
+namespace {
+
+constexpr uint64_t kHeaderBytes = 128;
+constexpr uint32_t kWords = 16;
+constexpr uint64_t kRecordBytes = 32 + kWords * 8;  // 160
+
+class RotationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_rot_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  /// Synthetic record for byte-accounting tests (not decodable).
+  static BufferRecord makeRecord(uint32_t processor, uint64_t seq) {
+    BufferRecord r;
+    r.processor = processor;
+    r.seq = seq;
+    r.committedDelta = kWords;
+    r.words.resize(kWords);
+    for (uint32_t i = 0; i < kWords; ++i) r.words[i] = seq * 1000 + i;
+    return r;
+  }
+
+  static TraceFileMeta meta(uint32_t procs = 1) {
+    TraceFileMeta m;
+    m.numProcessors = procs;
+    m.bufferWords = kWords;
+    return m;
+  }
+
+  /// Real, decodable records: a logged workload captured per processor in
+  /// seq order (same idiom as the v3 format tests).
+  std::map<uint32_t, std::vector<BufferRecord>> makeWorkload(
+      uint32_t procs, int eventsPerProcessor, uint32_t bufferWords) {
+    testing::FakeFacility fx(procs, bufferWords, /*buffersPerProcessor=*/8);
+    MemorySink sink;
+    Consumer consumer(fx.facility, sink, {});
+    for (uint32_t p = 0; p < procs; ++p) {
+      fx.facility.bindCurrentThread(p);
+      for (int i = 0; i < eventsPerProcessor; ++i) {
+        EXPECT_TRUE(fx.facility.log(Major::Test, static_cast<uint16_t>(p),
+                                    uint64_t(i), uint64_t(p), uint64_t(i * 3)));
+        if (i % 32 == 31) consumer.drainNow();
+      }
+    }
+    fx.facility.flushAll();
+    consumer.drainNow();
+    std::map<uint32_t, std::vector<BufferRecord>> byCpu;
+    for (BufferRecord& r : sink.records()) byCpu[r.processor].push_back(std::move(r));
+    for (auto& [cpu, records] : byCpu) {
+      std::stable_sort(records.begin(), records.end(),
+                       [](const BufferRecord& a, const BufferRecord& b) {
+                         return a.seq < b.seq;
+                       });
+    }
+    return byCpu;
+  }
+
+  /// Every segment path a sink has opened, in chain order per processor.
+  static std::vector<std::string> chainPaths(const FileSink& sink, uint32_t procs) {
+    std::vector<std::string> paths;
+    for (uint32_t p = 0; p < procs; ++p) {
+      for (uint32_t s = 0; s <= sink.segmentIndex(p); ++s) {
+        paths.push_back(sink.pathFor(p, s));
+      }
+    }
+    return paths;
+  }
+
+  /// Order-sensitive digest over every field decode promises to reproduce.
+  static uint64_t digest(const analysis::TraceSet& t) {
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xFF;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(t.numProcessors());
+    for (uint32_t p = 0; p < t.numProcessors(); ++p) {
+      for (const DecodedEvent& e : t.processorEvents(p)) {
+        mix(e.header.encode());
+        mix(e.fullTimestamp);
+        mix(e.bufferSeq);
+        mix(e.offsetInBuffer);
+        mix(e.processor);
+        mix(e.data.size());
+        for (uint32_t w = 0; w < e.data.size(); ++w) mix(e.data[w]);
+      }
+    }
+    return h;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(RotationTest, SegmentPathNaming) {
+  EXPECT_EQ(rotationSegmentPath("out/t.cpu0.ktrc", 0), "out/t.cpu0.ktrc");
+  EXPECT_EQ(rotationSegmentPath("out/t.cpu0.ktrc", 1), "out/t.cpu0.r000001.ktrc");
+  EXPECT_EQ(rotationSegmentPath("out/t.cpu0.ktrc", 42), "out/t.cpu0.r000042.ktrc");
+  // No extension: the suffix appends.
+  EXPECT_EQ(rotationSegmentPath("trace", 3), "trace.r000003");
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(rotationSegmentPath("out.d/trace", 2), "out.d/trace.r000002");
+  // Zero-padding keeps lexicographic order == chain order.
+  EXPECT_LT(rotationSegmentPath("t.ktrc", 2), rotationSegmentPath("t.ktrc", 10));
+  EXPECT_LT(std::string("t.ktrc"), rotationSegmentPath("t.ktrc", 1));
+}
+
+TEST_F(RotationTest, RetryBackoffBoundedDeterministicJitter) {
+  TraceWriterOptions options;  // start 50us, max 2000us, default seed
+  uint64_t expectedBase = options.retryBackoffStartUs;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const uint64_t us = retryBackoffUs(options, attempt);
+    // Jitter stays within [base/2, base] of the capped exponential.
+    EXPECT_GE(us, expectedBase / 2) << "attempt " << attempt;
+    EXPECT_LE(us, expectedBase) << "attempt " << attempt;
+    // Pure function of (options, attempt).
+    EXPECT_EQ(us, retryBackoffUs(options, attempt));
+    if (expectedBase < options.retryBackoffMaxUs) expectedBase *= 2;
+    if (expectedBase > options.retryBackoffMaxUs) {
+      expectedBase = options.retryBackoffMaxUs;
+    }
+  }
+  // The cap holds forever.
+  EXPECT_LE(retryBackoffUs(options, 100), uint64_t{options.retryBackoffMaxUs});
+  // A different seed reshuffles the jitter somewhere in the schedule.
+  TraceWriterOptions reseeded = options;
+  reseeded.retryJitterSeed = options.retryJitterSeed + 1;
+  bool differs = false;
+  for (int attempt = 0; attempt < 10 && !differs; ++attempt) {
+    differs = retryBackoffUs(reseeded, attempt) != retryBackoffUs(options, attempt);
+  }
+  EXPECT_TRUE(differs);
+  // Zero backoff start disables sleeping entirely.
+  TraceWriterOptions zero = options;
+  zero.retryBackoffStartUs = 0;
+  EXPECT_EQ(retryBackoffUs(zero, 0), 0u);
+  EXPECT_EQ(retryBackoffUs(zero, 5), 0u);
+}
+
+TEST_F(RotationTest, TransientErrorsRetriedThroughBackoffSchedule) {
+  // Three consecutive EAGAINs exercise the full backoff ladder (default
+  // budget is 4 attempts); every record must still land exactly once.
+  util::FaultPlan plan;
+  plan.transientErrors = 3;
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  for (uint64_t s = 0; s < 3; ++s) sink.onBuffer(makeRecord(0, s));
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.recordsWritten(), 3u);
+  EXPECT_TRUE(sink.flush());
+  TraceFileReader reader(sink.pathFor(0));
+  EXPECT_EQ(reader.bufferCount(), 3u);
+}
+
+TEST_F(RotationTest, RotatedChainDecodesBitIdenticalToUnrotated) {
+  const uint32_t procs = 2;
+  const uint32_t bufferWords = 64;
+  const auto byCpu = makeWorkload(procs, 300, bufferWords);
+  TraceFileMeta m;
+  m.numProcessors = procs;
+  m.bufferWords = bufferWords;
+  m.clockKind = ClockKind::Fake;
+
+  for (const bool compress : {false, true}) {
+    const std::string tag = compress ? "z" : "r";
+    // Unrotated baseline.
+    TraceWriterOptions plain;
+    plain.compress = compress;
+    FileSink flat(dir_.string(), "flat" + tag, m, nullptr, plain);
+    // Rotated: every segment tops out around two records.
+    TraceWriterOptions rotating = plain;
+    rotating.rotateBytes = kHeaderBytes + 1;  // any record pushes past this
+    FileSink rotated(dir_.string(), "rot" + tag, m, nullptr, rotating);
+    for (const auto& [cpu, records] : byCpu) {
+      // Batches keep the compressed path exercised (blocks span batches).
+      std::vector<BufferRecord> flatBatch = records;
+      flat.onBufferBatch(std::move(flatBatch));
+      for (size_t i = 0; i < records.size(); i += 2) {
+        std::vector<BufferRecord> batch(
+            records.begin() + static_cast<long>(i),
+            records.begin() + static_cast<long>(std::min(i + 2, records.size())));
+        rotated.onBufferBatch(std::move(batch));
+      }
+    }
+    EXPECT_TRUE(flat.flush());
+    EXPECT_TRUE(rotated.flush());
+    ASSERT_GT(rotated.rotations(), 0u) << tag;
+
+    // Every closed and current segment is strictly readable (complete
+    // footer, CRC-clean), no salvage needed.
+    const std::vector<std::string> chain = chainPaths(rotated, procs);
+    for (const std::string& path : chain) {
+      ASSERT_NO_THROW({ TraceFileReader reader(path); }) << path;
+    }
+
+    std::vector<std::string> flatPaths;
+    for (uint32_t p = 0; p < procs; ++p) flatPaths.push_back(flat.pathFor(p));
+    for (const uint32_t threads : {1u, 8u}) {
+      DecodeOptions options;
+      options.threads = threads;
+      const auto whole = analysis::TraceSet::fromFiles(flatPaths, options);
+      const auto chained = analysis::TraceSet::fromFiles(chain, options);
+      ASSERT_GT(whole.totalEvents(), 0u);
+      EXPECT_EQ(chained.totalEvents(), whole.totalEvents())
+          << tag << " threads=" << threads;
+      EXPECT_EQ(digest(chained), digest(whole))
+          << tag << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(RotationTest, RotateRecordsClosesSegmentsAtRecordCount) {
+  TraceWriterOptions options;
+  options.rotateRecords = 3;
+  FileSink sink(dir_.string(), "t", meta(), nullptr, options);
+  for (uint64_t s = 0; s < 10; ++s) sink.onBuffer(makeRecord(0, s));
+  EXPECT_TRUE(sink.flush());
+  EXPECT_EQ(sink.rotations(), 3u);
+  EXPECT_EQ(sink.segmentIndex(0), 3u);
+  const uint64_t expected[] = {3, 3, 3, 1};
+  for (uint32_t s = 0; s < 4; ++s) {
+    TraceFileReader reader(sink.pathFor(0, s));
+    EXPECT_EQ(reader.bufferCount(), expected[s]) << "segment " << s;
+  }
+}
+
+TEST_F(RotationTest, EnospcDegradeIsRecoverableAndCountsExactly) {
+  // An in-process disk that fits the header and two records, then fills.
+  util::DiskBudgetFileSystem fs(kHeaderBytes + 2 * kRecordBytes + kRecordBytes / 2);
+  TraceWriterOptions options;
+  FileSink sink(dir_.string(), "t", meta(), &fs, options);
+  for (uint64_t s = 0; s < 5; ++s) sink.onBuffer(makeRecord(0, s));
+
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_TRUE(sink.exhausted());
+  EXPECT_EQ(sink.degradedErrno(), ENOSPC);
+  EXPECT_EQ(sink.recordsWritten(), 2u);
+  // The three that didn't fit are parked for replay, not lost.
+  EXPECT_EQ(sink.droppedRecords(), 0u);
+  EXPECT_EQ(sink.parkedRecords(), 3u);
+
+  // No space yet: the probe must refuse to re-arm.
+  EXPECT_FALSE(sink.tryRecover());
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_EQ(sink.parkedRecords(), 3u);
+
+  // "Reclaim" frees the disk; recovery rotates to a fresh segment and
+  // lands the parked records there before clearing the degrade.
+  fs.setBudget(1 << 20);
+  EXPECT_TRUE(sink.tryRecover());
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_FALSE(sink.exhausted());
+  EXPECT_EQ(sink.parkedRecords(), 0u);
+  EXPECT_EQ(sink.segmentIndex(0), 1u);
+
+  for (uint64_t s = 10; s < 14; ++s) sink.onBuffer(makeRecord(0, s));
+  EXPECT_TRUE(sink.flush());
+  EXPECT_FALSE(sink.degraded());
+  EXPECT_EQ(sink.recordsWritten(), 9u);  // 2 + 3 replayed + 4 fresh
+  EXPECT_EQ(sink.droppedRecords(), 0u);  // zero loss across the incident
+
+  // The fresh segment carries the replayed incident records followed by
+  // the post-recovery ones, in order.
+  TraceFileReader reader(sink.pathFor(0, 1));
+  EXPECT_EQ(reader.bufferCount(), 7u);
+  const uint64_t expectSeq[] = {2, 3, 4, 10, 11, 12, 13};
+  BufferRecord rec;
+  for (uint64_t k = 0; k < 7; ++k) {
+    ASSERT_TRUE(reader.readBuffer(k, rec));
+    EXPECT_EQ(rec.seq, expectSeq[k]);
+  }
+  // The incident segment salvages to exactly the records that fit.
+  TraceReaderOptions salvage;
+  salvage.salvage = true;
+  TraceFileReader incident(sink.pathFor(0, 0), salvage);
+  EXPECT_EQ(incident.salvageReport().goodRecords, 2u);
+}
+
+TEST_F(RotationTest, NonEnospcDegradeIsNotRecoverable) {
+  util::FaultPlan plan;
+  plan.transientErrors = 1000;  // EAGAIN forever: retries exhaust, degrade
+  util::FaultInjectingFileSystem ffs(plan);
+  FileSink sink(dir_.string(), "t", meta(), &ffs);
+  sink.onBuffer(makeRecord(0, 0));
+  EXPECT_TRUE(sink.degraded());
+  EXPECT_FALSE(sink.exhausted());
+  EXPECT_FALSE(sink.tryRecover());  // only the ENOSPC class re-arms
+  EXPECT_TRUE(sink.degraded());
+}
+
+TEST_F(RotationTest, StreamCursorFollowsRotationChain) {
+  const uint32_t bufferWords = 64;
+  const auto byCpu = makeWorkload(1, 200, bufferWords);
+  const std::vector<BufferRecord>& records = byCpu.at(0);
+  ASSERT_GE(records.size(), 6u);
+  TraceFileMeta m;
+  m.numProcessors = 1;
+  m.bufferWords = bufferWords;
+  m.clockKind = ClockKind::Fake;
+  TraceWriterOptions options;
+  options.rotateRecords = 2;
+  FileSink sink(dir_.string(), "live", m, nullptr, options);
+
+  const size_t firstHalf = records.size() / 2;
+  for (size_t i = 0; i < firstHalf; ++i) {
+    BufferRecord r = records[i];
+    sink.onBuffer(std::move(r));
+  }
+  ASSERT_TRUE(sink.flush());
+  ASSERT_GT(sink.segmentIndex(0), 0u);
+
+  analysis::streaming::StreamCursor cursor({sink.pathFor(0)});
+  const size_t firstIngested = cursor.poll();
+  size_t ingested = firstIngested;
+  EXPECT_GT(ingested, 0u);
+  // The cursor walked the whole chain to the live segment.
+  EXPECT_EQ(cursor.cursors()[0].segment, sink.segmentIndex(0));
+  const std::vector<analysis::streaming::FileCursor> saved = cursor.cursors();
+
+  // The writer rotates onward; the same cursor keeps following.
+  for (size_t i = firstHalf; i < records.size(); ++i) {
+    BufferRecord r = records[i];
+    sink.onBuffer(std::move(r));
+  }
+  ASSERT_TRUE(sink.flush());
+  ingested += cursor.poll();
+  EXPECT_EQ(cursor.cursors()[0].segment, sink.segmentIndex(0));
+  cursor.finish();
+  size_t streamed = 0;
+  while (cursor.next() != nullptr) ++streamed;
+  EXPECT_EQ(streamed, ingested);
+
+  // Ground truth: offline decode of the full chain sees the same events.
+  const auto whole = analysis::TraceSet::fromFiles(chainPaths(sink, 1));
+  EXPECT_EQ(streamed, whole.totalEvents());
+
+  // A fresh reader resumed from the saved cursors decodes only the
+  // post-save tail — mid-chain resume, no restart from zero.
+  analysis::streaming::StreamCursor resumed({sink.pathFor(0)});
+  resumed.resume(saved);
+  const size_t tail = resumed.poll();
+  EXPECT_EQ(tail, whole.totalEvents() - firstIngested);
+  resumed.finish();
+  size_t tailStreamed = 0;
+  while (resumed.next() != nullptr) ++tailStreamed;
+  EXPECT_EQ(tailStreamed, tail);
+}
+
+TEST_F(RotationTest, StreamCursorRotationFollowDisabledStaysOnSegment) {
+  const auto byCpu = makeWorkload(1, 100, 64);
+  TraceFileMeta m;
+  m.numProcessors = 1;
+  m.bufferWords = 64;
+  m.clockKind = ClockKind::Fake;
+  TraceWriterOptions options;
+  options.rotateRecords = 2;
+  FileSink sink(dir_.string(), "live", m, nullptr, options);
+  for (const BufferRecord& r : byCpu.at(0)) {
+    BufferRecord copy = r;
+    sink.onBuffer(std::move(copy));
+  }
+  ASSERT_TRUE(sink.flush());
+  ASSERT_GT(sink.segmentIndex(0), 0u);
+
+  analysis::streaming::StreamCursorOptions opts;
+  opts.followRotations = false;
+  analysis::streaming::StreamCursor cursor({sink.pathFor(0)}, opts);
+  cursor.poll();
+  EXPECT_EQ(cursor.cursors()[0].segment, 0u);  // pinned to the base segment
+}
+
+}  // namespace
+}  // namespace ktrace

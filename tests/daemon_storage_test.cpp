@@ -1,0 +1,511 @@
+// Storage resilience in ktraced (DESIGN.md §15): retention policy,
+// disk-full emergency mode, and the control plane that reports both.
+//
+// The invariants under test:
+//   - StorageManager parses daemon output names exactly and never
+//     mis-claims manifests, probes, or foreign files;
+//   - retention (age / tenant quota / global budget) deletes only
+//     expired-generation files, oldest generation first — the current
+//     generation is untouchable even when a limit stays unsatisfied;
+//   - a full disk trips Emergency mode: tenants suspend with their data
+//     parked in shm, nothing healthy is dropped, and when space returns
+//     the daemon recovers to Active and drains exactly once;
+//   - an actual sink ENOSPC also trips, recovery rotates to fresh
+//     segments, and post-recovery events are all durable;
+//   - the "storage" control verb reports the subsystem, and a client that
+//     disconnects before reading its reply is dropped and counted, never
+//     wedging the daemon.
+#include "daemon/storage_manager.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/decode.hpp"
+#include "core/shm_session.hpp"
+#include "core/trace_file.hpp"
+#include "daemon/daemon.hpp"
+#include "util/faultfs.hpp"
+#include "util/net.hpp"
+
+namespace {
+
+using namespace ktrace;
+using namespace ktrace::daemon;
+using namespace std::chrono_literals;
+
+// --- StorageManager policy (no daemon) ----------------------------------
+
+TEST(StorageName, ParsesTheFullGrammar) {
+  StorageFile f;
+  ASSERT_TRUE(StorageManager::parseOutputName("app.g1.cpu0.ktrc", f));
+  EXPECT_EQ(f.tenant, "app");
+  EXPECT_EQ(f.generation, 1u);
+  EXPECT_EQ(f.processor, 0u);
+  EXPECT_EQ(f.segment, 0u);
+
+  ASSERT_TRUE(StorageManager::parseOutputName("app.g12.cpu3.r000042.ktrc", f));
+  EXPECT_EQ(f.tenant, "app");
+  EXPECT_EQ(f.generation, 12u);
+  EXPECT_EQ(f.processor, 3u);
+  EXPECT_EQ(f.segment, 42u);
+
+  // Tenant names may themselves contain dots; parsing is from the right.
+  ASSERT_TRUE(StorageManager::parseOutputName("my.app.v2.g7.cpu1.ktrc", f));
+  EXPECT_EQ(f.tenant, "my.app.v2");
+  EXPECT_EQ(f.generation, 7u);
+
+  // Non-output files must never be claimed (and so never deleted).
+  EXPECT_FALSE(StorageManager::parseOutputName("ktraced.manifest", f));
+  EXPECT_FALSE(StorageManager::parseOutputName("app.probe.tmp", f));
+  EXPECT_FALSE(StorageManager::parseOutputName("app.cpu0.ktrc", f));       // no gen
+  EXPECT_FALSE(StorageManager::parseOutputName("app.g1.ktrc", f));         // no cpu
+  EXPECT_FALSE(StorageManager::parseOutputName("app.gx.cpu0.ktrc", f));    // bad gen
+  EXPECT_FALSE(StorageManager::parseOutputName(".g1.cpu0.ktrc", f));       // no tenant
+  EXPECT_FALSE(StorageManager::parseOutputName("app.g1.cpu0.ktrc.bak", f));
+}
+
+class StorageManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_storage_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// Drops a fake output file of exactly `bytes` bytes.
+  std::string makeFile(const std::string& name, size_t bytes) {
+    const std::string path = (dir_ / name).string();
+    std::ofstream out(path, std::ios::binary);
+    for (size_t i = 0; i < bytes; ++i) out.put('\x42');
+    return path;
+  }
+
+  StorageConfig config() {
+    StorageConfig cfg;
+    cfg.outputDir = dir_.string();
+    return cfg;
+  }
+
+  bool exists(const std::string& name) {
+    return std::filesystem::exists(dir_ / name);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageManagerTest, GlobalBudgetReclaimsOldestGenerationFirst) {
+  makeFile("a.g1.cpu0.ktrc", 1000);
+  makeFile("a.g1.cpu0.r000001.ktrc", 1000);
+  makeFile("a.g2.cpu0.ktrc", 1000);
+  makeFile("a.g3.cpu0.ktrc", 1000);  // current generation
+  makeFile("ktraced.manifest", 500);
+
+  StorageConfig cfg = config();
+  cfg.maxTotalBytes = 2500;
+  StorageManager mgr(cfg);
+  const uint64_t reclaimed = mgr.sweep(/*currentGeneration=*/3);
+
+  // 4000 tracked bytes > 2500: g1's two segments go (oldest generation,
+  // rotation order) which lands the total at 2000. g2 survives.
+  EXPECT_EQ(reclaimed, 2000u);
+  EXPECT_FALSE(exists("a.g1.cpu0.ktrc"));
+  EXPECT_FALSE(exists("a.g1.cpu0.r000001.ktrc"));
+  EXPECT_TRUE(exists("a.g2.cpu0.ktrc"));
+  EXPECT_TRUE(exists("a.g3.cpu0.ktrc"));
+  EXPECT_TRUE(exists("ktraced.manifest"));  // never inventoried
+  EXPECT_EQ(mgr.stats().filesReclaimed, 2u);
+  EXPECT_EQ(mgr.stats().trackedBytes, 2000u);
+}
+
+TEST_F(StorageManagerTest, CurrentGenerationIsNeverDeleted) {
+  makeFile("a.g5.cpu0.ktrc", 10'000);
+  makeFile("a.g5.cpu1.ktrc", 10'000);
+  StorageConfig cfg = config();
+  cfg.maxTotalBytes = 1;       // impossible to satisfy
+  cfg.maxTenantBytes = 1;      // ditto
+  StorageManager mgr(cfg);
+  EXPECT_EQ(mgr.sweep(/*currentGeneration=*/5), 0u);
+  EXPECT_TRUE(exists("a.g5.cpu0.ktrc"));
+  EXPECT_TRUE(exists("a.g5.cpu1.ktrc"));
+  EXPECT_EQ(mgr.stats().filesReclaimed, 0u);
+}
+
+TEST_F(StorageManagerTest, TenantQuotaShrinksTheHogNotTheNeighbour) {
+  makeFile("hog.g1.cpu0.ktrc", 4000);
+  makeFile("hog.g2.cpu0.ktrc", 4000);
+  makeFile("hog.g3.cpu0.ktrc", 100);    // current
+  makeFile("quiet.g1.cpu0.ktrc", 500);
+  StorageConfig cfg = config();
+  cfg.maxTenantBytes = 5000;
+  StorageManager mgr(cfg);
+  mgr.sweep(/*currentGeneration=*/3);
+  // hog is at 8100: dropping g1 lands it at 4100 <= 5000. quiet (500) is
+  // far under quota and must not be charged for its neighbour.
+  EXPECT_FALSE(exists("hog.g1.cpu0.ktrc"));
+  EXPECT_TRUE(exists("hog.g2.cpu0.ktrc"));
+  EXPECT_TRUE(exists("hog.g3.cpu0.ktrc"));
+  EXPECT_TRUE(exists("quiet.g1.cpu0.ktrc"));
+}
+
+TEST_F(StorageManagerTest, AgeBoundDeletesOnlyStaleExpiredFiles) {
+  const std::string stale = makeFile("a.g1.cpu0.ktrc", 100);
+  makeFile("a.g2.cpu0.ktrc", 100);
+  // Backdate the expired file beyond the retention window.
+  std::filesystem::last_write_time(
+      stale, std::filesystem::file_time_type::clock::now() - 10h);
+  StorageConfig cfg = config();
+  cfg.retainAge = 1h;
+  StorageManager mgr(cfg);
+  EXPECT_EQ(mgr.sweep(/*currentGeneration=*/2), 100u);
+  EXPECT_FALSE(exists("a.g1.cpu0.ktrc"));
+  EXPECT_TRUE(exists("a.g2.cpu0.ktrc"));
+}
+
+TEST_F(StorageManagerTest, ReclaimForSpaceFreesUntilTheWatermarkClears) {
+  util::DiskBudgetFileSystem fs(10'000);
+  // Write the expired files through the budgeted fs so deleting them
+  // credits space back.
+  for (const char* name : {"a.g1.cpu0.ktrc", "a.g1.cpu1.ktrc",
+                           "a.g2.cpu0.ktrc", "a.g3.cpu0.ktrc"}) {
+    auto f = fs.open((dir_ / name).string(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<unsigned char> block(2000, 0x42);
+    ASSERT_EQ(f->write(block.data(), block.size()), block.size());
+    ASSERT_TRUE(f->flush());
+  }
+  ASSERT_EQ(fs.usedBytes(), 8000u);
+
+  StorageConfig cfg = config();
+  cfg.fs = &fs;
+  StorageManager mgr(cfg);
+  // Need 6000 free; at 2000 free, that takes both g1 files (g2 must
+  // survive: the target clears before reclaim order reaches it).
+  const uint64_t reclaimed =
+      mgr.reclaimForSpace(/*currentGeneration=*/3, /*targetFreeBytes=*/6000);
+  EXPECT_EQ(reclaimed, 4000u);
+  EXPECT_GE(fs.freeBytes((dir_ / "x").string()), 6000);
+  EXPECT_FALSE(exists("a.g1.cpu0.ktrc"));
+  EXPECT_FALSE(exists("a.g1.cpu1.ktrc"));
+  EXPECT_TRUE(exists("a.g2.cpu0.ktrc"));
+  EXPECT_TRUE(exists("a.g3.cpu0.ktrc"));
+
+  // targetFreeBytes == 0: scorched earth over expired generations only.
+  EXPECT_EQ(mgr.reclaimForSpace(3, 0), 2000u);
+  EXPECT_FALSE(exists("a.g2.cpu0.ktrc"));
+  EXPECT_TRUE(exists("a.g3.cpu0.ktrc"));
+}
+
+// --- Daemon end-to-end: emergency mode ----------------------------------
+
+class DaemonStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ktrace_dstorage_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_ / "sessions");
+    std::filesystem::create_directories(dir_ / "out");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string sessionsDir() const { return (dir_ / "sessions").string(); }
+  std::string outDir() const { return (dir_ / "out").string(); }
+  std::string segPath(const std::string& name) const {
+    return (dir_ / "sessions" / name).string();
+  }
+
+  DaemonConfig baseConfig() const {
+    DaemonConfig cfg;
+    cfg.sessionDir = sessionsDir();
+    cfg.outputDir = outDir();
+    cfg.scanInterval = 10ms;
+    cfg.pollInterval = std::chrono::microseconds{500};
+    cfg.schedulerThreads = 2;
+    return cfg;
+  }
+
+  static void createSegment(const std::string& path, uint32_t buffers = 256) {
+    ShmSession::Config cfg;
+    cfg.numProcessors = 1;
+    cfg.bufferWords = 64;
+    cfg.numBuffers = buffers;
+    FakeClock clock(1, 1);
+    ShmSession::create(path, cfg, clock.ref());
+  }
+
+  static void produceBurst(const std::string& path, uint64_t start,
+                           uint64_t events) {
+    FakeClock clock(1'000, 3);
+    ShmSession session = ShmSession::attach(path, clock.ref());
+    const int lease = session.acquireLease(::getpid(), 0, 1);
+    ASSERT_GE(lease, 0);
+    ShmTraceControl producer =
+        session.producerControl(0, static_cast<uint32_t>(lease));
+    for (uint64_t i = 0; i < events; ++i) {
+      ASSERT_TRUE(producer.logEvent(Major::Test, 1, start + i));
+    }
+    producer.flushCurrentBuffer();
+    session.releaseLease(static_cast<uint32_t>(lease));
+  }
+
+  static TenantStatus statusOf(const TraceDaemon& daemon,
+                               const std::string& name) {
+    for (const TenantStatus& t : daemon.tenantStatuses()) {
+      if (t.name == name) return t;
+    }
+    return {};
+  }
+
+  template <typename Pred>
+  static TenantStatus waitFor(const TraceDaemon& daemon,
+                              const std::string& name, Pred pred,
+                              std::chrono::milliseconds deadline = 10'000ms) {
+    const auto until = std::chrono::steady_clock::now() + deadline;
+    TenantStatus last;
+    while (std::chrono::steady_clock::now() < until) {
+      last = statusOf(daemon, name);
+      if (pred(last)) return last;
+      std::this_thread::sleep_for(2ms);
+    }
+    return last;
+  }
+
+  /// Test-event ids decoded from every existing file of a rotation chain.
+  static std::vector<uint64_t> decodedIds(const std::string& basePath) {
+    std::vector<BufferRecord> records;
+    for (uint32_t segment = 0;; ++segment) {
+      const std::string path = rotationSegmentPath(basePath, segment);
+      if (!std::filesystem::exists(path)) break;
+      TraceReaderOptions options;
+      options.salvage = true;  // the incident segment may end torn
+      TraceFileReader reader(path, options);
+      for (uint64_t k = 0; k < reader.bufferCount(); ++k) {
+        BufferRecord r;
+        EXPECT_TRUE(reader.readBuffer(k, r)) << path << " record " << k;
+        records.push_back(std::move(r));
+      }
+    }
+    std::sort(records.begin(), records.end(),
+              [](const BufferRecord& a, const BufferRecord& b) {
+                return a.seq < b.seq;
+              });
+    std::vector<DecodedEvent> events;
+    uint64_t tsBase = 0;
+    for (const BufferRecord& r : records) {
+      decodeBuffer(r.words, r.seq, 0, tsBase, events);
+    }
+    std::vector<uint64_t> ids;
+    for (const DecodedEvent& e : events) {
+      if (e.header.major == Major::Test) ids.push_back(e.data[0]);
+    }
+    return ids;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// Low-watermark trip: space runs out while every sink is still healthy.
+// The daemon must suspend the tenant BEFORE any write fails — zero drops —
+// park the pending data in shm, and after space returns drain every event
+// exactly once.
+TEST_F(DaemonStorageTest, WatermarkEmergencyPreservesExactlyOnce) {
+  createSegment(segPath("app.kses"));
+  produceBurst(segPath("app.kses"), 0, 100);
+
+  util::DiskBudgetFileSystem fs(4u << 20);
+  DaemonConfig cfg = baseConfig();
+  cfg.traceFs = &fs;
+  cfg.storageLowWaterBytes = 16'384;
+  cfg.storageHighWaterBytes = 256'000;
+  TraceDaemon daemon(cfg);
+  daemon.start();
+
+  waitFor(daemon, "app", [](const TenantStatus& t) {
+    return t.state == TenantState::Active && !t.pendingData;
+  });
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Active);
+
+  // The disk "fills" out from under the daemon: free space collapses to
+  // zero with no write having failed yet.
+  fs.setBudget(fs.usedBytes());
+  const TenantStatus suspended =
+      waitFor(daemon, "app", [](const TenantStatus& t) {
+        return t.state == TenantState::Suspended;
+      });
+  ASSERT_EQ(suspended.state, TenantState::Suspended);
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Emergency);
+  EXPECT_EQ(daemon.stats().storageEmergencies, 1u);
+  EXPECT_EQ(suspended.sink.recordsDropped, 0u);
+
+  // New data parks in the shm segment; the suspended tenant must not
+  // drain it, and the daemon must not flap back to Active on its own.
+  produceBurst(segPath("app.kses"), 100, 100);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(statusOf(daemon, "app").state, TenantState::Suspended);
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Emergency);
+
+  // Space returns (an operator deleted something, a quota was raised…):
+  // the next scan recovers, resumes, and drains the parked data.
+  fs.setBudget(8u << 20);
+  const TenantStatus drained =
+      waitFor(daemon, "app", [](const TenantStatus& t) {
+        return t.state != TenantState::Suspended && !t.pendingData;
+      });
+  EXPECT_NE(drained.state, TenantState::Suspended);
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Active);
+  EXPECT_EQ(daemon.stats().storageRecoveries, 1u);
+  EXPECT_EQ(drained.sink.recordsDropped, 0u);
+  daemon.stop();
+
+  // Exactly once: every produced id, no duplicates, across the chain.
+  const std::vector<uint64_t> ids = decodedIds(outDir() + "/app.g1.cpu0.ktrc");
+  ASSERT_EQ(ids.size(), 200u);
+  std::set<uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 200u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 199u);
+}
+
+// Hard ENOSPC trip: the sink actually fails mid-drain and degrades. The
+// records shed during the incident are counted losses (this tenant is the
+// casualty, not a healthy bystander); recovery must rotate to a fresh
+// segment and everything produced after recovery must be durable.
+TEST_F(DaemonStorageTest, SinkEnospcTripsEmergencyAndRecoversIntoFreshSegment) {
+  createSegment(segPath("app.kses"));
+  produceBurst(segPath("app.kses"), 0, 200);
+
+  // Room for the header and a handful of records, then ENOSPC mid-drain.
+  util::DiskBudgetFileSystem fs(2'048);
+  DaemonConfig cfg = baseConfig();
+  cfg.traceFs = &fs;
+  cfg.storageHighWaterBytes = 64'000;
+  TraceDaemon daemon(cfg);
+  daemon.start();
+
+  const TenantStatus suspended =
+      waitFor(daemon, "app", [](const TenantStatus& t) {
+        return t.state == TenantState::Suspended;
+      });
+  ASSERT_EQ(suspended.state, TenantState::Suspended);
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Emergency);
+  EXPECT_GE(daemon.stats().storageEmergencies, 1u);
+
+  // While the budget stays exhausted the probe keeps failing: no recovery.
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Emergency);
+  EXPECT_EQ(daemon.stats().storageRecoveries, 0u);
+
+  fs.setBudget(8u << 20);
+  waitFor(daemon, "app", [](const TenantStatus& t) {
+    return t.state != TenantState::Suspended && !t.pendingData;
+  });
+  EXPECT_EQ(daemon.storageMode(), StorageMode::Active);
+  EXPECT_EQ(daemon.stats().storageRecoveries, 1u);
+
+  // Produced strictly after recovery: must all land.
+  produceBurst(segPath("app.kses"), 1'000, 50);
+  waitFor(daemon, "app", [](const TenantStatus& t) { return !t.pendingData; });
+  daemon.stop();
+
+  // The recovery rotated past the incident segment.
+  EXPECT_TRUE(std::filesystem::exists(
+      rotationSegmentPath(outDir() + "/app.g1.cpu0.ktrc", 1)));
+  const std::vector<uint64_t> ids = decodedIds(outDir() + "/app.g1.cpu0.ktrc");
+  std::set<uint64_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size()) << "an event decoded twice";
+  for (uint64_t i = 1'000; i < 1'050; ++i) {
+    EXPECT_TRUE(unique.count(i)) << "post-recovery event " << i << " lost";
+  }
+}
+
+// The control plane reports the storage subsystem, and a client that
+// vanishes before reading its reply is dropped and counted — the daemon
+// keeps serving.
+TEST_F(DaemonStorageTest, StorageVerbAndDeadClientAccounting) {
+  createSegment(segPath("app.kses"));
+  produceBurst(segPath("app.kses"), 0, 50);
+
+  DaemonConfig cfg = baseConfig();
+  cfg.socketPath = (dir_ / "ctl.sock").string();
+  TraceDaemon daemon(cfg);
+  daemon.start();
+  waitFor(daemon, "app", [](const TenantStatus& t) {
+    return t.state == TenantState::Active && !t.pendingData;
+  });
+
+  const auto roundTrip = [&](const std::string& command) {
+    util::UnixStream stream = util::UnixStream::connect(cfg.socketPath);
+    EXPECT_TRUE(stream.valid());
+    EXPECT_TRUE(stream.writeAll(command + "\n"));
+    std::vector<std::string> lines;
+    std::string line;
+    while (stream.readLine(line, 2'000)) {
+      lines.push_back(line);
+      if (line.find("\"type\":\"end\"") != std::string::npos) break;
+      line.clear();
+    }
+    return lines;
+  };
+
+  std::vector<std::string> reply = roundTrip("storage");
+  ASSERT_EQ(reply.size(), 2u);
+  EXPECT_NE(reply[0].find("\"type\":\"storage\""), std::string::npos);
+  EXPECT_NE(reply[0].find("\"mode\":\"active\""), std::string::npos);
+  EXPECT_NE(reply[0].find("\"free_bytes\":"), std::string::npos);
+  EXPECT_NE(reply[1].find("\"ok\":true"), std::string::npos);
+
+  // Dead client: send a command and hang up without reading the reply.
+  // The daemon must survive the undeliverable reply (EPIPE, not SIGPIPE).
+  {
+    util::UnixStream ghost = util::UnixStream::connect(cfg.socketPath);
+    ASSERT_TRUE(ghost.valid());
+    ASSERT_TRUE(ghost.writeAll("tenants\n"));
+  }  // closed before reading anything
+  reply = roundTrip("status");
+  ASSERT_EQ(reply.size(), 2u) << "daemon wedged by a dead client";
+
+  // Slow client: floods commands and never reads a byte. The replies
+  // overflow the socket buffer, the bounded reply write times out, and
+  // the daemon drops the connection and counts it instead of blocking
+  // its control thread forever.
+  {
+    util::UnixStream slow = util::UnixStream::connect(cfg.socketPath);
+    ASSERT_TRUE(slow.valid());
+    std::string flood;
+    for (int i = 0; i < 4'000; ++i) flood += "status\n";
+    slow.writeAll(flood);
+
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    bool counted = false;
+    while (!counted && std::chrono::steady_clock::now() < deadline) {
+      reply = roundTrip("status");
+      ASSERT_EQ(reply.size(), 2u);
+      counted =
+          reply[0].find("\"clients_dropped\":") != std::string::npos &&
+          reply[0].find("\"clients_dropped\":0,") == std::string::npos;
+      if (!counted) std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_TRUE(counted) << "stalled client was never dropped: " << reply[0];
+  }
+  daemon.stop();
+}
+
+}  // namespace

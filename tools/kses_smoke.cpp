@@ -164,6 +164,11 @@ int runProduce(const util::Cli& cli) {
 int runVerify(const util::Cli& cli) {
   const uint32_t procs = static_cast<uint32_t>(cli.getInt("procs", 4));
   const std::string prefix = cli.getString("count-prefix", "");
+  // The committed prefix in the count file is absolute (start + logged).
+  // When the files under test only hold a later burst (an earlier burst
+  // drained into a previous, since-reclaimed generation), --start bounds
+  // the completeness check to ids [start, committed).
+  const uint64_t start = static_cast<uint64_t>(cli.getInt("start", 0));
   std::vector<BufferRecord> all;
   for (size_t i = 1; i < cli.positional().size(); ++i) {
     const std::string& file = cli.positional()[i];
@@ -211,7 +216,7 @@ int runVerify(const util::Cli& cli) {
       expected = readCount(prefix + ".p" + std::to_string(p));
     }
     uint64_t missing = 0;
-    for (uint64_t i = 0; i < expected; ++i) {
+    for (uint64_t i = start; i < expected; ++i) {
       if (ids.count(eventId(p, i)) == 0) ++missing;
     }
     if (missing != 0) {
@@ -235,7 +240,8 @@ int usage() {
       "[--buffers=N]\n"
       "       kses_smoke produce SEGMENT --proc=P --events=N "
       "[--start=N] [--count-file=F] [--heartbeat-every=N] [--park]\n"
-      "       kses_smoke verify --procs=P [--count-prefix=PREFIX] FILES...\n");
+      "       kses_smoke verify --procs=P [--count-prefix=PREFIX] "
+      "[--start=N] FILES...\n");
   return util::kExitUsage;
 }
 

@@ -12,7 +12,9 @@
 //
 // --check is the offline admission audit: validate every segment the way
 // attach would (read-only), report, and exit with the shared damage code
-// when anything fails — without touching the segments.
+// when anything fails — without touching the segments. It also preflights
+// the output directory: writability and free space, so a doomed start
+// fails here instead of as ENOSPC under load.
 #include <signal.h>
 
 #include <chrono>
@@ -20,6 +22,7 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -28,6 +31,7 @@
 #include "daemon/daemon.hpp"
 #include "util/cli.hpp"
 #include "util/exit_codes.hpp"
+#include "util/faultfs.hpp"
 #include "util/net.hpp"
 
 namespace {
@@ -57,7 +61,16 @@ int usage() {
                "  --monitors=FILE  derived-monitor config (NAME = EXPR per line;\n"
                "                   default: loss_ratio, bytes_per_event,\n"
                "                   compression_ratio)\n"
-               "  --check          validate segments read-only and exit\n"
+               "  --rotate-bytes=N   rotate a tenant's output file after N bytes\n"
+               "  --rotate-records=N rotate after N records (0 = never)\n"
+               "  --max-bytes=N    global retention budget over OUT (0 = unlimited)\n"
+               "  --tenant-bytes=N per-tenant retention quota (0 = unlimited)\n"
+               "  --retain-ms=N    delete expired-generation files older than N ms\n"
+               "  --free-low=N     enter storage emergency below N free bytes\n"
+               "  --free-high=N    leave emergency once N free bytes reclaimed\n"
+               "  --disk-budget=N  cap trace-file writes at N bytes total (chaos\n"
+               "                   harness: simulated disk; 0 = real disk)\n"
+               "  --check          validate segments + output dir read-only and exit\n"
                "\n"
                "exit codes:\n");
   for (const util::ExitCodeRow* row = util::exitCodeTable();
@@ -65,6 +78,40 @@ int usage() {
     std::fprintf(stderr, "  %d  %s\n", row->code, row->meaning);
   }
   return util::kExitUsage;
+}
+
+/// Output-directory preflight: can we create it, write into it, and how
+/// much room is there? A start that would only discover ENOSPC under
+/// load fails here instead.
+int preflightOutput(const std::string& outDir, uint64_t lowWater) {
+  std::error_code ec;
+  std::filesystem::create_directories(outDir, ec);
+  util::FileSystem& fs = util::FileSystem::stdio();
+  const std::string probePath = outDir + "/.ktraced.preflight.tmp";
+  bool writable = false;
+  if (std::unique_ptr<util::File> probe = fs.open(probePath, "wb")) {
+    const char byte = 0;
+    writable = probe->write(&byte, 1) == 1 && probe->flush();
+  }
+  fs.remove(probePath);
+  if (!writable) {
+    std::printf("%s: NOT WRITABLE\n", outDir.c_str());
+    return util::kExitFailure;
+  }
+  const int64_t free = fs.freeBytes(outDir);
+  if (free < 0) {
+    std::printf("%s: writable, free space unknown\n", outDir.c_str());
+    return util::kExitOk;
+  }
+  std::printf("%s: writable, %lld bytes free\n", outDir.c_str(),
+              static_cast<long long>(free));
+  if (lowWater > 0 && static_cast<uint64_t>(free) < lowWater) {
+    std::printf("%s: BELOW LOW WATERMARK (%llu bytes): the daemon would "
+                "start in storage emergency\n",
+                outDir.c_str(), static_cast<unsigned long long>(lowWater));
+    return util::kExitFailure;
+  }
+  return util::kExitOk;
 }
 
 /// Read-only admission audit over every segment in the directory.
@@ -117,7 +164,13 @@ int main(int argc, char** argv) {
   if (dir.empty() || !cli.positional().empty() || !cli.unknownFlags().empty()) {
     return usage();
   }
-  if (cli.getBool("check", false)) return runCheck(dir);
+  if (cli.getBool("check", false)) {
+    const int segmentResult = runCheck(dir);
+    const int outputResult =
+        preflightOutput(cli.getString("out", "ktraced-out"),
+                        static_cast<uint64_t>(cli.getInt("free-low", 0)));
+    return segmentResult != util::kExitOk ? segmentResult : outputResult;
+  }
 
   daemon::DaemonConfig config;
   config.sessionDir = dir;
@@ -142,6 +195,29 @@ int main(int argc, char** argv) {
   config.batching.maxQueuedRecords =
       static_cast<size_t>(cli.getInt("queue", 64));
   config.compressOutput = cli.getBool("compress", false);
+  config.rotateBytes = static_cast<uint64_t>(cli.getInt("rotate-bytes", 0));
+  config.rotateRecords = static_cast<uint64_t>(cli.getInt("rotate-records", 0));
+  config.storageMaxTotalBytes =
+      static_cast<uint64_t>(cli.getInt("max-bytes", 0));
+  config.storageMaxTenantBytes =
+      static_cast<uint64_t>(cli.getInt("tenant-bytes", 0));
+  config.storageRetainAge =
+      std::chrono::milliseconds(cli.getInt("retain-ms", 0));
+  config.storageLowWaterBytes =
+      static_cast<uint64_t>(cli.getInt("free-low", 0));
+  config.storageHighWaterBytes =
+      static_cast<uint64_t>(cli.getInt("free-high", 0));
+  // The simulated disk for the chaos harness: an exact in-process byte
+  // budget over every trace file, so ENOSPC fill/recover cycles are
+  // deterministic and leave the real disk alone. Static so it outlives
+  // the daemon's writers.
+  static std::unique_ptr<util::DiskBudgetFileSystem> budgetFs;
+  const uint64_t diskBudget =
+      static_cast<uint64_t>(cli.getInt("disk-budget", 0));
+  if (diskBudget > 0) {
+    budgetFs = std::make_unique<util::DiskBudgetFileSystem>(diskBudget);
+    config.traceFs = budgetFs.get();
+  }
   if (cli.getBool("no-streaming", false)) {
     config.analysisWindow = std::chrono::milliseconds(0);
   } else {
@@ -188,11 +264,14 @@ int main(int argc, char** argv) {
     const daemon::DaemonStats stats = daemon.stats();
     std::fprintf(stderr,
                  "ktraced: drained; admitted=%llu resumed=%llu "
-                 "quarantined=%llu evicted=%llu\n",
+                 "quarantined=%llu evicted=%llu emergencies=%llu "
+                 "recoveries=%llu\n",
                  static_cast<unsigned long long>(stats.tenantsAdmitted),
                  static_cast<unsigned long long>(stats.tenantsResumed),
                  static_cast<unsigned long long>(stats.tenantsQuarantined),
-                 static_cast<unsigned long long>(stats.tenantsEvicted));
+                 static_cast<unsigned long long>(stats.tenantsEvicted),
+                 static_cast<unsigned long long>(stats.storageEmergencies),
+                 static_cast<unsigned long long>(stats.storageRecoveries));
     return util::kExitOk;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ktraced: %s\n", e.what());

@@ -113,6 +113,7 @@ int usage() {
       "  monitor --socket=PATH [--follow [--max-updates=N]]\n"
       "  tenants --socket=PATH [--json]\n"
       "  top     --socket=PATH [--once] [--json] [--interval-ms=N] [--rows=N]\n"
+      "  storage --socket=PATH\n"
       "  evict NAME --socket=PATH\n"
       "\n"
       "global flags (trace-reading commands):\n"
@@ -379,9 +380,14 @@ int runDaemonClient(const std::string& command, const std::string& socketPath,
     if (!sendLine("evict " + args[0])) return util::kExitFailure;
     return printUntilEnd();
   }
+  if (command == "storage") {
+    // Storage mode + retention counters (DESIGN.md §15), one JSON line.
+    if (!sendLine("storage")) return util::kExitFailure;
+    return printUntilEnd();
+  }
   std::fprintf(stderr,
                "ktracetool: --socket only applies to monitor/tenants/top/"
-               "evict\n");
+               "storage/evict\n");
   return util::kExitUsage;
 }
 
